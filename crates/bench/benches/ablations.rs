@@ -1,0 +1,47 @@
+//! E12 benches: design-choice ablations — search heuristics, AC
+//! preprocessing, and the Booleanization route against direct search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcs_core::{backtracking_search, solve, SearchOptions, Strategy};
+use cqcs_structures::generators;
+
+fn bench_search_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_search_heuristics");
+    group.sample_size(10);
+    let k3 = generators::complete_graph(3);
+    let g = generators::random_graph_nm(12, 22, 3);
+    for (name, opts) in [
+        ("plain", SearchOptions { mrv: false, mac: false, ac_preprocess: false }),
+        ("mrv", SearchOptions { mrv: true, mac: false, ac_preprocess: false }),
+        ("mac", SearchOptions { mrv: false, mac: true, ac_preprocess: false }),
+        ("mrv_mac_ac", SearchOptions::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "G(12,22)→K3"), &g, |b, g| {
+            b.iter(|| backtracking_search(g, &k3, opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_booleanize_vs_search(c: &mut Criterion) {
+    // CSP(C4) solved via the dispatcher's Booleanization route vs raw
+    // search (Example 3.8 made quantitative).
+    let mut group = c.benchmark_group("e12_booleanization_route");
+    group.sample_size(10);
+    let c4 = generators::directed_cycle(4);
+    for n in [8usize, 16, 32] {
+        let a = generators::directed_cycle(n);
+        group.bench_with_input(BenchmarkId::new("auto_booleanize", n), &a, |b, a| {
+            b.iter(|| solve(a, &c4, Strategy::Auto).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("generic_search", n), &a, |b, a| {
+            b.iter(|| {
+                solve(a, &c4, Strategy::Generic(SearchOptions::default())).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_heuristics, bench_booleanize_vs_search);
+criterion_main!(benches);

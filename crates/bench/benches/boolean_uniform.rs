@@ -1,0 +1,62 @@
+//! E1/E3 benches: Schaefer recognition and the two uniform routes of
+//! Theorems 3.3 (formula building) vs 3.4 (direct algorithms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcs_bench::closed_boolean_relation;
+use cqcs_boolean::relation::{BooleanRelation, BooleanStructure};
+use cqcs_boolean::schaefer::classify_relation;
+use cqcs_boolean::uniform::{solve_schaefer, solve_schaefer_via_formulas};
+use cqcs_structures::{Structure, StructureBuilder};
+use std::sync::Arc;
+
+fn horn_template() -> Structure {
+    BooleanStructure::new(vec![
+        ("I".into(), BooleanRelation::new(2, vec![0b00, 0b10, 0b11]).unwrap()),
+        ("T".into(), BooleanRelation::new(1, vec![0b1]).unwrap()),
+        ("F".into(), BooleanRelation::new(1, vec![0b0]).unwrap()),
+    ])
+    .to_structure()
+}
+
+fn horn_chain(template: &Structure, n: usize) -> Structure {
+    let mut b = StructureBuilder::new(Arc::clone(template.vocabulary()), n);
+    b.add_fact("T", &[0]).unwrap();
+    for i in 1..n as u32 {
+        b.add_fact("I", &[i - 1, i]).unwrap();
+    }
+    b.finish()
+}
+
+fn bench_recognition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_schaefer_recognition");
+    group.sample_size(20);
+    for arity in [6usize, 8, 10] {
+        let tuples = closed_boolean_relation(arity, 16, 7, |a, b, _| a & b);
+        let r = BooleanRelation::new(arity, tuples).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("classify", format!("arity{}_r{}", arity, r.len())),
+            &r,
+            |bench, r| bench.iter(|| classify_relation(r)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_uniform_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_uniform_routes");
+    group.sample_size(15);
+    let template = horn_template();
+    for n in [200usize, 800, 3200] {
+        let a = horn_chain(&template, n);
+        group.bench_with_input(BenchmarkId::new("formula_route", n), &a, |bench, a| {
+            bench.iter(|| solve_schaefer_via_formulas(a, &template).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("direct_route", n), &a, |bench, a| {
+            bench.iter(|| solve_schaefer(a, &template).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recognition, bench_uniform_routes);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E5/E10 benches: conjunctive-query containment — Saraiya's
+//! Booleanization fast path vs the generic route, and chain/star/cycle
+//! query families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcs_cq::{contained_in, parse_query, two_atom_containment, ConjunctiveQuery};
+
+fn chain_query(len: usize) -> ConjunctiveQuery {
+    let body: Vec<String> =
+        (0..len).map(|i| format!("E(V{i}, V{})", i + 1)).collect();
+    parse_query(&format!("Q(V0) :- {}.", body.join(", "))).unwrap()
+}
+
+fn star_query(rays: usize) -> ConjunctiveQuery {
+    let body: Vec<String> = (0..rays).map(|i| format!("E(C, V{i})")).collect();
+    parse_query(&format!("Q(C) :- {}.", body.join(", "))).unwrap()
+}
+
+fn cycle_query(len: usize) -> ConjunctiveQuery {
+    let body: Vec<String> =
+        (0..len).map(|i| format!("E(V{i}, V{})", (i + 1) % len)).collect();
+    parse_query(&format!("Q :- {}.", body.join(", "))).unwrap()
+}
+
+fn bench_saraiya(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_saraiya");
+    group.sample_size(20);
+    let q1 = parse_query("Q(X) :- E(X, Y), E(Y, X).").unwrap();
+    for len in [8usize, 16, 32] {
+        let q2 = chain_query(len);
+        group.bench_with_input(BenchmarkId::new("booleanized", len), &q2, |b, q2| {
+            b.iter(|| two_atom_containment(&q1, q2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("generic", len), &q2, |b, q2| {
+            b.iter(|| contained_in(&q1, q2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_query_families");
+    group.sample_size(15);
+    for n in [6usize, 12, 18] {
+        let chain = chain_query(n);
+        let star = star_query(n);
+        let cyc = cycle_query(if n % 2 == 0 { n } else { n + 1 });
+        let small_cycle = cycle_query(3);
+        group.bench_with_input(BenchmarkId::new("chain_in_chain", n), &n, |b, _| {
+            let shorter = chain_query(n / 2);
+            b.iter(|| contained_in(&chain, &shorter).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("star_in_star", n), &n, |b, _| {
+            let smaller = star_query(2);
+            b.iter(|| contained_in(&star, &smaller).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_in_cycle", n), &n, |b, _| {
+            b.iter(|| contained_in(&cyc, &small_cycle).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saraiya, bench_families);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E7/E12 benches: Datalog evaluation — the canonical program ρ_B and
+//! the semi-naive differential.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcs_datalog::canonical_program;
+use cqcs_datalog::eval::{eval_naive, eval_semi_naive};
+use cqcs_datalog::programs;
+use cqcs_structures::generators;
+
+fn bench_rho_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_canonical_program");
+    group.sample_size(10);
+    let program = canonical_program(&generators::complete_graph(2), 2);
+    for n in [4usize, 6, 8] {
+        let a = generators::random_digraph(n, 0.3, 17);
+        group.bench_with_input(BenchmarkId::new("rho_k2_seminaive", n), &a, |b, a| {
+            b.iter(|| eval_semi_naive(&program, a))
+        });
+    }
+    group.finish();
+}
+
+fn bench_seminaive_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_seminaive");
+    group.sample_size(10);
+    let program = programs::cycle_detection();
+    for n in [16usize, 32, 64] {
+        let a = generators::directed_path(n);
+        group.bench_with_input(BenchmarkId::new("naive_tc", n), &a, |b, a| {
+            b.iter(|| eval_naive(&program, a))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive_tc", n), &a, |b, a| {
+            b.iter(|| eval_semi_naive(&program, a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rho_b, bench_seminaive_vs_naive);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E6 bench: the existential k-pebble game's O(n^{2k}) winner
+//! computation (Theorem 4.7(1) / 4.9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcs_pebble::game::solve_game;
+use cqcs_structures::generators;
+
+fn bench_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pebble_game");
+    group.sample_size(10);
+    let b = generators::random_digraph(4, 0.4, 99);
+    for k in [2usize, 3] {
+        let sizes: &[usize] = if k == 2 { &[8, 12, 16] } else { &[6, 8, 10] };
+        for &n in sizes {
+            let a = generators::random_digraph(n, 0.3, 5);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &a,
+                |bench, a| bench.iter(|| solve_game(a, &b, k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_two_coloring_decision(c: &mut Criterion) {
+    // The 3-pebble game *deciding* 2-colorability (Theorem 4.8 route).
+    let mut group = c.benchmark_group("e6_pebble_two_coloring");
+    group.sample_size(10);
+    let k2 = generators::complete_graph(2);
+    for n in [7usize, 9, 11] {
+        let odd = generators::undirected_cycle(n);
+        group.bench_with_input(BenchmarkId::new("odd_cycle", n), &odd, |bench, a| {
+            bench.iter(|| solve_game(a, &k2, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_game, bench_two_coloring_decision);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E8 bench: the bounded-treewidth DP (Theorem 5.4) vs generic search,
+//! and the ∃FO^{k+1} evaluation route of Lemma 5.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcs_core::{backtracking_search, SearchOptions};
+use cqcs_structures::{gaifman_graph, generators};
+use cqcs_treewidth::dp::homomorphism_via_treewidth;
+use cqcs_treewidth::fo::{evaluate, structure_to_fo};
+use cqcs_treewidth::heuristics::min_fill_decomposition;
+
+fn bench_dp_vs_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_treewidth_dp");
+    group.sample_size(10);
+    let k3 = generators::complete_graph(3);
+    for k in [1usize, 2, 3] {
+        for n in [20usize, 40, 80] {
+            let a = generators::partial_ktree(n, k, 0.85, 21);
+            group.bench_with_input(
+                BenchmarkId::new(format!("dp_k{k}"), n),
+                &a,
+                |bench, a| bench.iter(|| homomorphism_via_treewidth(a, &k3)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("search_k{k}"), n),
+                &a,
+                |bench, a| {
+                    bench.iter(|| backtracking_search(a, &k3, SearchOptions::default()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fo_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_fo_evaluation");
+    group.sample_size(10);
+    let k3 = generators::complete_graph(3);
+    for n in [20usize, 40] {
+        let a = generators::partial_ktree(n, 2, 0.85, 21);
+        let td = min_fill_decomposition(&gaifman_graph(&a));
+        let q = structure_to_fo(&a, &td).unwrap();
+        group.bench_with_input(BenchmarkId::new("fo_eval", n), &q, |bench, q| {
+            bench.iter(|| evaluate(q, &k3))
+        });
+        group.bench_with_input(BenchmarkId::new("fo_translate", n), &a, |bench, a| {
+            bench.iter(|| structure_to_fo(a, &td).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_vs_search, bench_fo_route);
+criterion_main!(benches);

@@ -1,0 +1,509 @@
+//! Regenerates every experiment table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p cqcs-bench --release --bin experiments            # all
+//! cargo run -p cqcs-bench --release --bin experiments -- E3 E6   # some
+//! ```
+//!
+//! All workloads are seeded; output is Markdown.
+
+use cqcs_bench::{closed_boolean_relation, growth_exponent, header, median_ms, row};
+use cqcs_boolean::booleanize::{booleanize, booleanize_with_labels};
+use cqcs_boolean::formula_build;
+use cqcs_boolean::relation::{BooleanRelation, BooleanStructure};
+use cqcs_boolean::schaefer::{classify_relation, classify_structure};
+use cqcs_boolean::uniform::{solve_schaefer, solve_schaefer_via_formulas};
+use cqcs_core::{backtracking_search, solve, SearchOptions, Strategy};
+use cqcs_cq::{canonical_query, contained_in, evaluate, parse_query, two_atom_containment};
+use cqcs_datalog::canonical_program;
+use cqcs_datalog::eval::{eval_naive, eval_semi_naive};
+use cqcs_pebble::game::solve_game;
+use cqcs_pebble::spoiler_wins;
+use cqcs_structures::homomorphism::homomorphism_exists;
+use cqcs_structures::{binary_encode, binary_encode_optimized, generators};
+use cqcs_structures::{Element, Structure, StructureBuilder};
+use cqcs_treewidth::dp::homomorphism_via_treewidth;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+    let experiments: [(&str, fn()); 12] = [
+        ("E1", e1),
+        ("E2", e2),
+        ("E3", e3),
+        ("E4", e4),
+        ("E5", e5),
+        ("E6", e6),
+        ("E7", e7),
+        ("E8", e8),
+        ("E9", e9),
+        ("E10", e10),
+        ("E11", e11),
+        ("E12", e12),
+    ];
+    for (id, run) in experiments {
+        if want(id) {
+            run();
+            println!();
+        }
+    }
+}
+
+/// A Horn-implication template shared by E3/E12.
+fn horn_template() -> Structure {
+    BooleanStructure::new(vec![
+        (
+            "I".into(),
+            BooleanRelation::new(2, vec![0b00, 0b10, 0b11]).unwrap(),
+        ),
+        ("T".into(), BooleanRelation::new(1, vec![0b1]).unwrap()),
+        ("F".into(), BooleanRelation::new(1, vec![0b0]).unwrap()),
+    ])
+    .to_structure()
+}
+
+/// A satisfiable implication-chain left structure of given size.
+fn horn_chain(template: &Structure, n: usize, seed: u64) -> Structure {
+    let mut rng = seed;
+    let mut next = move |m: usize| {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        (rng % m as u64) as u32
+    };
+    let mut b = StructureBuilder::new(Arc::clone(template.vocabulary()), n);
+    b.add_fact("T", &[0]).unwrap();
+    for i in 1..n as u32 {
+        b.add_fact("I", &[next(i as usize), i]).unwrap();
+    }
+    // A few extra random implications for density.
+    for _ in 0..n {
+        let x = next(n);
+        let y = next(n);
+        b.add_fact("I", &[x, y]).unwrap();
+    }
+    b.finish()
+}
+
+fn e1() {
+    println!("## E1 — Schaefer recognition (Thm 3.1)\n");
+    header(&["arity", "|R|", "classify time (ms)", "classes found"]);
+    for &arity in &[4usize, 6, 8, 10] {
+        for &seeds in &[4usize, 16, 64] {
+            let tuples = closed_boolean_relation(arity, seeds, 7, |a, b, _| a & b);
+            let r = BooleanRelation::new(arity, tuples).unwrap();
+            let t = median_ms(5, || classify_relation(&r));
+            let classes = classify_relation(&r);
+            row(&[
+                arity.to_string(),
+                r.len().to_string(),
+                format!("{t:.3}"),
+                classes.to_string(),
+            ]);
+        }
+    }
+}
+
+fn e2() {
+    println!("## E2 — Defining-formula construction (Thm 3.2)\n");
+    header(&["class", "arity", "|R|", "formula size", "round-trip models == R"]);
+    for &arity in &[4usize, 6, 8] {
+        let horn = BooleanRelation::new(
+            arity,
+            closed_boolean_relation(arity, 5, 11, |a, b, _| a & b),
+        )
+        .unwrap();
+        let f = formula_build::defining_horn(&horn).unwrap();
+        row(&[
+            "Horn".into(),
+            arity.to_string(),
+            horn.len().to_string(),
+            f.length().to_string(),
+            (f.models_as_relation() == horn).to_string(),
+        ]);
+        let bij = BooleanRelation::new(
+            arity,
+            closed_boolean_relation(arity, 3, 13, BooleanRelation::majority),
+        )
+        .unwrap();
+        let f = formula_build::defining_bijunctive(&bij);
+        row(&[
+            "bijunctive".into(),
+            arity.to_string(),
+            bij.len().to_string(),
+            f.length().to_string(),
+            (f.models_as_relation() == bij).to_string(),
+        ]);
+        let aff = BooleanRelation::new(
+            arity,
+            closed_boolean_relation(arity, 3, 17, |a, b, c| a ^ b ^ c),
+        )
+        .unwrap();
+        let sys = formula_build::defining_affine(&aff);
+        let models = {
+            let mut masks = Vec::new();
+            for bits in 0..(1u64 << arity) {
+                let a: Vec<bool> = (0..arity).map(|i| bits & (1 << i) != 0).collect();
+                if sys.eval(&a) {
+                    masks.push(bits);
+                }
+            }
+            BooleanRelation::new(arity, masks).unwrap()
+        };
+        row(&[
+            "affine".into(),
+            arity.to_string(),
+            aff.len().to_string(),
+            sys.equations.len().to_string(),
+            (models == aff).to_string(),
+        ]);
+    }
+}
+
+fn e3() {
+    println!("## E3 — Formula route (Thm 3.3) vs direct route (Thm 3.4)\n");
+    header(&["‖A‖ (Horn chain)", "formula route (ms)", "direct route (ms)", "answers agree"]);
+    let template = horn_template();
+    let mut formula_pts = Vec::new();
+    let mut direct_pts = Vec::new();
+    for &n in &[100usize, 200, 400, 800, 1600] {
+        let a = horn_chain(&template, n, 3);
+        let tf = median_ms(3, || solve_schaefer_via_formulas(&a, &template).unwrap());
+        let td = median_ms(3, || solve_schaefer(&a, &template).unwrap());
+        let agree = solve_schaefer_via_formulas(&a, &template).unwrap().is_some()
+            == solve_schaefer(&a, &template).unwrap().is_some();
+        formula_pts.push((a.size() as f64, tf));
+        direct_pts.push((a.size() as f64, td));
+        row(&[
+            a.size().to_string(),
+            format!("{tf:.3}"),
+            format!("{td:.3}"),
+            agree.to_string(),
+        ]);
+    }
+    println!(
+        "\nfitted growth exponents: formula {:.2}, direct {:.2}",
+        growth_exponent(&formula_pts),
+        growth_exponent(&direct_pts)
+    );
+}
+
+fn e4() {
+    println!("## E4 — Booleanization (Lemma 3.5, Examples 3.7/3.8)\n");
+    header(&["|B|", "bits", "‖A_b‖/‖A‖", "hom preserved (20 seeds)"]);
+    for &m in &[3usize, 4, 8, 16] {
+        let mut preserved = 0;
+        let mut ratio = 0.0;
+        for seed in 0..20u64 {
+            let a = generators::random_digraph(6, 0.3, seed);
+            let b = generators::random_digraph(m, 0.3, seed + 1000);
+            let expected = homomorphism_exists(&a, &b);
+            let (ab, bb, info) = booleanize(&a, &b).unwrap();
+            let got = homomorphism_exists(&ab, &bb);
+            if got == expected {
+                preserved += 1;
+            }
+            ratio += ab.size() as f64 / a.size() as f64;
+            let _ = info;
+        }
+        let bits = if m <= 2 { 1 } else { (usize::BITS - (m - 1).leading_zeros()) as usize };
+        row(&[
+            m.to_string(),
+            bits.to_string(),
+            format!("{:.2}", ratio / 20.0),
+            format!("{preserved}/20"),
+        ]);
+    }
+    // Example 3.8: the two labelings of C4.
+    let c4 = generators::directed_cycle(4);
+    for (name, labels) in [("a↦00,b↦01,c↦10,d↦11", [0u64, 1, 2, 3]), ("a↦00,b↦10,c↦11,d↦01", [0, 2, 3, 1])] {
+        let (_, bb, _) = booleanize_with_labels(&c4, &c4, &labels).unwrap();
+        let classes = classify_structure(&BooleanStructure::from_structure(&bb).unwrap());
+        println!("\nC4 labeling {name}: classes {classes}");
+    }
+}
+
+fn e5() {
+    println!("## E5 — Saraiya two-atom containment (Prop 3.6)\n");
+    header(&["chain length of Q2", "Saraiya (ms)", "generic (ms)", "agree"]);
+    for &len in &[4usize, 8, 16, 32] {
+        // Q1: two-atom query  Q(X) :- E(X,Y), E(Y,X).
+        let q1 = parse_query("Q(X) :- E(X, Y), E(Y, X).").unwrap();
+        // Q2: a chain of length `len` from X.
+        let mut body = Vec::new();
+        for i in 0..len {
+            body.push(format!("E(V{i}, V{})", i + 1));
+        }
+        let q2 = parse_query(&format!("Q(V0) :- {}.", body.join(", "))).unwrap();
+        let ts = median_ms(3, || two_atom_containment(&q1, &q2).unwrap());
+        let tg = median_ms(3, || contained_in(&q1, &q2).unwrap());
+        let agree =
+            two_atom_containment(&q1, &q2).unwrap() == contained_in(&q1, &q2).unwrap();
+        row(&[len.to_string(), format!("{ts:.3}"), format!("{tg:.3}"), agree.to_string()]);
+    }
+}
+
+fn e6() {
+    println!("## E6 — Existential k-pebble game cost (Thm 4.7/4.9, O(n^2k))\n");
+    header(&["k", "n", "time (ms)", "configs generated", "surviving"]);
+    for &k in &[2usize, 3] {
+        let mut pts = Vec::new();
+        let sizes: &[usize] = if k == 2 { &[6, 9, 12, 15, 18] } else { &[5, 7, 9, 11] };
+        for &n in sizes {
+            let a = generators::random_digraph(n, 0.3, 5);
+            let b = generators::random_digraph(4, 0.4, 99);
+            let t = median_ms(3, || solve_game(&a, &b, k));
+            let res = solve_game(&a, &b, k);
+            pts.push((n as f64, t));
+            row(&[
+                k.to_string(),
+                n.to_string(),
+                format!("{t:.3}"),
+                res.generated.to_string(),
+                res.surviving.to_string(),
+            ]);
+        }
+        println!("fitted exponent for k={k}: {:.2} (paper bound: ≤ {})", growth_exponent(&pts), 2 * k);
+    }
+}
+
+fn e7() {
+    println!("## E7 — Canonical program ρ_B ≡ pebble game (Thm 4.7(2)/4.8)\n");
+    header(&["template", "k", "ρ_B == game (seeds)", "game == ¬hom (seeds)"]);
+    let k2 = generators::complete_graph(2);
+    let tt2 = generators::transitive_tournament(2);
+    for (name, b, k, datalog_complete) in [
+        ("K2", &k2, 2, false),
+        ("K2", &k2, 3, true),
+        ("TT2", &tt2, 2, true),
+    ] {
+        let program = canonical_program(b, k);
+        let mut agree_game = 0;
+        let mut agree_hom = 0;
+        let trials = 12;
+        for seed in 0..trials {
+            let a = generators::random_digraph(4, 0.35, seed);
+            let rho = eval_semi_naive(&program, &a).goal_derived;
+            let game = spoiler_wins(&a, b, k);
+            let nohom = !homomorphism_exists(&a, b);
+            if rho == game {
+                agree_game += 1;
+            }
+            if game == nohom {
+                agree_hom += 1;
+            }
+        }
+        let hom_note = if datalog_complete {
+            format!("{agree_hom}/{trials}")
+        } else {
+            format!("{agree_hom}/{trials} (no completeness promised)")
+        };
+        row(&[name.into(), k.to_string(), format!("{agree_game}/{trials}"), hom_note]);
+    }
+}
+
+fn e8() {
+    println!("## E8 — Bounded treewidth uniformizes (Thm 5.4)\n");
+    header(&["k", "n", "DP (ms)", "width used", "backtracking (ms)", "agree"]);
+    let k3 = generators::complete_graph(3);
+    for &k in &[1usize, 2, 3] {
+        let mut dp_pts = Vec::new();
+        for &n in &[10usize, 20, 40, 80] {
+            let a = generators::partial_ktree(n, k, 0.85, 21);
+            let tdp = median_ms(3, || homomorphism_via_treewidth(&a, &k3));
+            let (h, w) = homomorphism_via_treewidth(&a, &k3);
+            let tbt = median_ms(1, || {
+                backtracking_search(&a, &k3, SearchOptions::default())
+            });
+            let (hb, _) = backtracking_search(&a, &k3, SearchOptions::default());
+            dp_pts.push((n as f64, tdp));
+            row(&[
+                k.to_string(),
+                n.to_string(),
+                format!("{tdp:.3}"),
+                w.to_string(),
+                format!("{tbt:.3}"),
+                (h.is_some() == hb.is_some()).to_string(),
+            ]);
+        }
+        println!("fitted DP exponent for k={k}: {:.2}", growth_exponent(&dp_pts));
+    }
+}
+
+fn e9() {
+    println!("## E9 — Binary (dual-graph) encoding (Lemma 5.5)\n");
+    header(&["seed", "hom(A,B)", "hom(bin(A),bin(B))", "‖bin(A)‖/‖A‖ full", "optimized"]);
+    for seed in 0..6u64 {
+        let a = generators::random_structure(4, &[2, 3], 4, seed);
+        let b = generators::random_structure_over(a.vocabulary(), 3, 6, seed + 100);
+        let expected = homomorphism_exists(&a, &b);
+        let ba = binary_encode(&a);
+        let bb = binary_encode(&b);
+        let got = homomorphism_exists(&ba.structure, &bb.structure);
+        let opt = binary_encode_optimized(&a);
+        row(&[
+            seed.to_string(),
+            expected.to_string(),
+            got.to_string(),
+            format!("{:.2}", ba.structure.size() as f64 / a.size() as f64),
+            format!("{:.2}", opt.structure.size() as f64 / a.size() as f64),
+        ]);
+    }
+}
+
+fn e10() {
+    println!("## E10 — Chandra–Merlin equivalences (Thm 2.1)\n");
+    header(&["pair", "containment (hom route)", "evaluation route", "agree"]);
+    let chains: Vec<(String, String)> = vec![
+        ("Q(X) :- E(X,A), E(A,B), E(B,X).".into(), "Q(X) :- E(X,A).".into()),
+        ("Q :- E(A,B), E(B,C), E(C,A).".into(), "Q :- E(A,B).".into()),
+        ("Q(X) :- E(X,A), E(A,X).".into(), "Q(X) :- E(X,A), E(A,B), E(B,X).".into()),
+        ("Q :- E(A,B), E(B,C).".into(), "Q :- E(A,A).".into()),
+    ];
+    for (left, right) in chains {
+        let q1 = parse_query(&left).unwrap();
+        let q2 = parse_query(&right).unwrap();
+        let hom_route = contained_in(&q1, &q2).unwrap();
+        // Evaluation route: (X⃗) ∈ Q2(D_{Q1}).
+        let (d1, _) = cqcs_cq::canonical_databases(&q1, &q2).unwrap();
+        let eval_route = {
+            // Evaluate q2's *body* over D_{Q1} and check the
+            // distinguished tuple appears among the answers.
+            let answers = evaluate(&q2, &d1.database).unwrap();
+            if q1.head.is_empty() {
+                !answers.is_empty()
+            } else {
+                let target: Vec<Element> = q1
+                    .head
+                    .iter()
+                    .map(|h| {
+                        Element::new(
+                            d1.variables.iter().position(|v| v == h).unwrap(),
+                        )
+                    })
+                    .collect();
+                answers.contains(&target)
+            }
+        };
+        row(&[
+            format!("{left} ⊑ {right}"),
+            hom_route.to_string(),
+            eval_route.to_string(),
+            (hom_route == eval_route).to_string(),
+        ]);
+    }
+    // And the §2 remark: hom(A → B) iff Q_B ⊑ Q_A, on random digraphs.
+    let mut agree = 0;
+    for seed in 0..10u64 {
+        let a = generators::random_digraph(4, 0.4, seed);
+        let b = generators::random_digraph(3, 0.5, seed + 31);
+        let qa = canonical_query(&a);
+        let qb = canonical_query(&b);
+        let hom = homomorphism_exists(&a, &b);
+        let cont = contained_in(&qb, &qa).unwrap();
+        if hom == cont {
+            agree += 1;
+        }
+    }
+    println!("\nhom(A→B) ⟺ Q_B ⊑ Q_A on random digraphs: {agree}/10 agree");
+}
+
+fn e11() {
+    println!("## E11 — Dichotomy boundary: CSP(K2) vs CSP(K3) (§2, Hell–Nešetřil)\n");
+    header(&["instance family", "pebble k=3 decides 2-col", "pebble k=3 sound for 3-col", "false positives (3-col)"]);
+    let k2 = generators::complete_graph(2);
+    let k3 = generators::complete_graph(3);
+    let mut decide2 = 0;
+    let mut sound3 = 0;
+    let mut fp3 = 0;
+    let trials = 15;
+    for seed in 0..trials {
+        let g = generators::random_graph_nm(8, 12, seed);
+        let two = homomorphism_exists(&g, &k2);
+        let game2 = !spoiler_wins(&g, &k2, 3);
+        if two == game2 {
+            decide2 += 1;
+        }
+        let three = homomorphism_exists(&g, &k3);
+        let game3 = !spoiler_wins(&g, &k3, 3);
+        if spoiler_wins(&g, &k3, 3) {
+            // Spoiler win must imply no hom.
+            if !three {
+                sound3 += 1;
+            }
+        } else {
+            sound3 += 1;
+            if !three && game3 {
+                fp3 += 1;
+            }
+        }
+    }
+    row(&[
+        "G(8,12) ×15".into(),
+        format!("{decide2}/{trials}"),
+        format!("{sound3}/{trials}"),
+        fp3.to_string(),
+    ]);
+    println!("\n(K4, K3): game verdict with k=3: Duplicator wins = {} — the canonical false positive", !spoiler_wins(&generators::complete_graph(4), &k3, 3));
+}
+
+fn e12() {
+    println!("## E12 — Ablations\n");
+    println!("### Backtracking heuristics (3-coloring random graphs)\n");
+    header(&["config", "mean nodes", "mean backtracks"]);
+    let k3 = generators::complete_graph(3);
+    for (name, opts) in [
+        ("plain", SearchOptions { mrv: false, mac: false, ac_preprocess: false }),
+        ("MRV", SearchOptions { mrv: true, mac: false, ac_preprocess: false }),
+        ("MAC", SearchOptions { mrv: false, mac: true, ac_preprocess: false }),
+        ("MRV+MAC+AC", SearchOptions::default()),
+    ] {
+        let mut nodes = 0u64;
+        let mut backs = 0u64;
+        let trials = 10;
+        for seed in 0..trials {
+            let g = generators::random_graph_nm(12, 22, seed);
+            let (_, stats) = backtracking_search(&g, &k3, opts);
+            nodes += stats.nodes;
+            backs += stats.backtracks;
+        }
+        row(&[
+            name.into(),
+            format!("{:.0}", nodes as f64 / trials as f64),
+            format!("{:.0}", backs as f64 / trials as f64),
+        ]);
+    }
+    println!("\n### Naive vs semi-naive Datalog (ρ_{{K2}}, k=2)\n");
+    header(&["n", "naive join work", "semi-naive join work", "agree"]);
+    let program = canonical_program(&generators::complete_graph(2), 2);
+    for &n in &[4usize, 6, 8] {
+        let a = generators::random_digraph(n, 0.3, 17);
+        let nv = eval_naive(&program, &a);
+        let sn = eval_semi_naive(&program, &a);
+        row(&[
+            n.to_string(),
+            nv.join_work.to_string(),
+            sn.join_work.to_string(),
+            (nv.goal_derived == sn.goal_derived).to_string(),
+        ]);
+    }
+    println!("\n### Dispatch routes on mixed instances\n");
+    header(&["instance", "route", "hom exists"]);
+    let k2g = generators::complete_graph(2);
+    let cases: Vec<(&str, Structure, Structure)> = vec![
+        ("C6 → K2", generators::undirected_cycle(6), k2g.clone()),
+        ("C8 → C4", generators::directed_cycle(8), generators::directed_cycle(4)),
+        ("P6 → TT4", generators::directed_path(6), generators::transitive_tournament(4)),
+        ("2-tree → K3", generators::partial_ktree(10, 2, 0.9, 3), k3.clone()),
+        ("G(9,18) → K3", generators::random_graph_nm(9, 18, 5), k3.clone()),
+    ];
+    for (name, a, b) in cases {
+        let sol = solve(&a, &b, Strategy::Auto).unwrap();
+        row(&[
+            name.into(),
+            format!("{:?}", sol.route),
+            sol.homomorphism.is_some().to_string(),
+        ]);
+    }
+}

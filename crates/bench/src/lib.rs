@@ -1,0 +1,126 @@
+//! # cqcs-bench — workloads and the experiment harness
+//!
+//! Shared generators and measurement helpers for the criterion benches
+//! (`benches/`) and the deterministic table generator
+//! (`src/bin/experiments.rs`), which regenerates every table in
+//! `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+/// Milliseconds elapsed running `f` once.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Median-of-`runs` timing (milliseconds) of `f`.
+pub fn median_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(runs >= 1);
+    let mut times: Vec<f64> = (0..runs).map(|_| time_ms(&mut f).1).collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Fits the growth exponent `p` of `t = c·n^p` from `(n, t)` samples by
+/// least squares on log–log scale (ignores non-positive samples).
+pub fn growth_exponent(samples: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|(n, t)| *n > 0.0 && *t > 0.0)
+        .map(|(n, t)| (n.ln(), t.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Prints a Markdown table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a Markdown table header (and separator).
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Random Boolean relation closed under an operation, for E1/E2
+/// workloads.
+pub fn closed_boolean_relation(
+    arity: usize,
+    seeds: usize,
+    seed: u64,
+    close: impl Fn(u64, u64, u64) -> u64,
+) -> Vec<u64> {
+    let mask = if arity == 64 { u64::MAX } else { (1u64 << arity) - 1 };
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut tuples: Vec<u64> = (0..seeds)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & mask
+        })
+        .collect();
+    tuples.sort_unstable();
+    tuples.dedup();
+    loop {
+        let mut added = false;
+        let snapshot = tuples.clone();
+        for &a in &snapshot {
+            for &b in &snapshot {
+                for &c in &snapshot {
+                    let t = close(a, b, c);
+                    if !tuples.contains(&t) {
+                        tuples.push(t);
+                        added = true;
+                    }
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    tuples.sort_unstable();
+    tuples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_exponent_recovers_powers() {
+        let quad: Vec<(f64, f64)> =
+            (1..=6).map(|n| (n as f64, 3.0 * (n as f64).powi(2))).collect();
+        assert!((growth_exponent(&quad) - 2.0).abs() < 1e-9);
+        let lin: Vec<(f64, f64)> =
+            (1..=6).map(|n| (n as f64, 0.5 * n as f64)).collect();
+        assert!((growth_exponent(&lin) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_relation_is_closed() {
+        let horn = closed_boolean_relation(5, 4, 42, |a, b, _| a & b);
+        for &a in &horn {
+            for &b in &horn {
+                assert!(horn.binary_search(&(a & b)).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn median_is_positive() {
+        let m = median_ms(3, || (0..1000).sum::<u64>());
+        assert!(m >= 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! CNF formulas: the propositional substrate for Theorems 3.2–3.3.
+//!
+//! Defining formulas δ_R for Horn, dual Horn, and bijunctive relations
+//! are CNF; the uniform algorithm of Theorem 3.3 instantiates them per
+//! tuple of the left structure and feeds the result to the matching SAT
+//! solver.
+
+use crate::relation::BooleanRelation;
+
+/// A propositional literal over variable `var`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The variable index.
+    pub var: u32,
+    /// `true` for `p`, `false` for `¬p`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// The positive literal `p_var`.
+    pub fn pos(var: u32) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// The negative literal `¬p_var`.
+    pub fn neg(var: u32) -> Self {
+        Literal { var, positive: false }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Self {
+        Literal { var: self.var, positive: !self.positive }
+    }
+
+    /// Evaluates under an assignment.
+    #[inline]
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var as usize] == self.positive
+    }
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.positive {
+            write!(f, "p{}", self.var)
+        } else {
+            write!(f, "¬p{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals. The empty clause is `false`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Clause {
+    /// The literals of the clause.
+    pub literals: Vec<Literal>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    pub fn new(literals: Vec<Literal>) -> Self {
+        Clause { literals }
+    }
+
+    /// Evaluates under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.literals.iter().any(|l| l.eval(assignment))
+    }
+
+    /// Number of positive literals.
+    pub fn positive_count(&self) -> usize {
+        self.literals.iter().filter(|l| l.positive).count()
+    }
+
+    /// Number of negative literals.
+    pub fn negative_count(&self) -> usize {
+        self.literals.len() - self.positive_count()
+    }
+
+    /// Whether the clause is a tautology (`p ∨ ¬p`).
+    pub fn is_tautology(&self) -> bool {
+        self.literals.iter().any(|l| self.literals.contains(&l.negated()))
+    }
+}
+
+impl std::fmt::Display for Clause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.literals.is_empty() {
+            return f.write_str("⊥");
+        }
+        let parts: Vec<String> = self.literals.iter().map(|l| l.to_string()).collect();
+        write!(f, "({})", parts.join(" ∨ "))
+    }
+}
+
+/// A CNF formula over variables `0..num_vars`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CnfFormula {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses (conjunction).
+    pub clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates a formula; asserts all literals are in range.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        debug_assert!(clauses
+            .iter()
+            .all(|c| c.literals.iter().all(|l| (l.var as usize) < num_vars)));
+        CnfFormula { num_vars, clauses }
+    }
+
+    /// Evaluates under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Whether every clause has at most one positive literal.
+    pub fn is_horn(&self) -> bool {
+        self.clauses.iter().all(|c| c.positive_count() <= 1)
+    }
+
+    /// Whether every clause has at most one negative literal.
+    pub fn is_dual_horn(&self) -> bool {
+        self.clauses.iter().all(|c| c.negative_count() <= 1)
+    }
+
+    /// Whether every clause has at most two literals.
+    pub fn is_2cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.literals.len() <= 2)
+    }
+
+    /// Total number of literal occurrences (the formula's length).
+    pub fn length(&self) -> usize {
+        self.clauses.iter().map(|c| c.literals.len()).sum()
+    }
+
+    /// Enumerates all models (use only for small `num_vars`; intended
+    /// for round-trip verification of defining formulas).
+    pub fn models(&self) -> Vec<Vec<bool>> {
+        assert!(self.num_vars <= 24, "model enumeration limited to 24 variables");
+        let mut out = Vec::new();
+        let mut assignment = vec![false; self.num_vars];
+        for bits in 0u64..(1u64 << self.num_vars) {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = bits & (1 << i) != 0;
+            }
+            if self.eval(&assignment) {
+                out.push(assignment.clone());
+            }
+        }
+        out
+    }
+
+    /// The models as a [`BooleanRelation`] over the formula's variables
+    /// (position `i` = variable `i`).
+    pub fn models_as_relation(&self) -> BooleanRelation {
+        let masks: Vec<u64> = self
+            .models()
+            .into_iter()
+            .map(|m| m.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i)))
+            .collect();
+        BooleanRelation::new(self.num_vars, masks)
+            .expect("models fit the declared variable count")
+    }
+}
+
+impl std::fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.clauses.is_empty() {
+            return f.write_str("⊤");
+        }
+        let parts: Vec<String> = self.clauses.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(lits: &[(u32, bool)]) -> Clause {
+        Clause::new(lits.iter().map(|&(v, p)| Literal { var: v, positive: p }).collect())
+    }
+
+    #[test]
+    fn literal_eval_and_negation() {
+        let a = Literal::pos(0);
+        assert!(a.eval(&[true]));
+        assert!(!a.eval(&[false]));
+        assert_eq!(a.negated(), Literal::neg(0));
+        assert_eq!(a.negated().negated(), a);
+    }
+
+    #[test]
+    fn clause_eval() {
+        let c = clause(&[(0, false), (1, true)]); // ¬p0 ∨ p1
+        assert!(c.eval(&[false, false]));
+        assert!(c.eval(&[true, true]));
+        assert!(!c.eval(&[true, false]));
+        assert!(!Clause::default().eval(&[]), "empty clause is false");
+    }
+
+    #[test]
+    fn shape_predicates() {
+        let horn = CnfFormula::new(
+            3,
+            vec![clause(&[(0, false), (1, false), (2, true)]), clause(&[(0, true)])],
+        );
+        assert!(horn.is_horn());
+        assert!(!horn.is_dual_horn());
+        assert!(!horn.is_2cnf());
+
+        let two = CnfFormula::new(2, vec![clause(&[(0, true), (1, true)])]);
+        assert!(two.is_2cnf());
+        assert!(two.is_dual_horn());
+        assert!(!two.is_horn());
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(clause(&[(0, true), (0, false)]).is_tautology());
+        assert!(!clause(&[(0, true), (1, false)]).is_tautology());
+    }
+
+    #[test]
+    fn model_enumeration() {
+        // p0 ∨ p1 has 3 models out of 4.
+        let f = CnfFormula::new(2, vec![clause(&[(0, true), (1, true)])]);
+        assert_eq!(f.models().len(), 3);
+        let r = f.models_as_relation();
+        assert_eq!(r.len(), 3);
+        assert!(!r.contains(0b00));
+        assert!(r.contains(0b01) && r.contains(0b10) && r.contains(0b11));
+    }
+
+    #[test]
+    fn empty_formula_is_true() {
+        let f = CnfFormula::new(2, vec![]);
+        assert!(f.eval(&[false, false]));
+        assert_eq!(f.models().len(), 4);
+        assert_eq!(f.length(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = CnfFormula::new(2, vec![clause(&[(0, false), (1, true)])]);
+        assert_eq!(f.to_string(), "(¬p0 ∨ p1)");
+        assert_eq!(CnfFormula::new(0, vec![]).to_string(), "⊤");
+        assert_eq!(Clause::default().to_string(), "⊥");
+    }
+}

@@ -1,0 +1,172 @@
+//! A small DPLL SAT solver: the general-CNF baseline.
+//!
+//! The paper's point is that Schaefer instances *avoid* general SAT; the
+//! benchmark suite still needs a complete baseline to show what the
+//! tractable routes are being compared against. This is a classic DPLL
+//! with unit propagation and first-unassigned branching — deliberately
+//! free of modern CDCL machinery so the asymptotic contrast with the
+//! polynomial routes stays visible.
+
+use crate::cnf::CnfFormula;
+
+/// Solves an arbitrary CNF by DPLL. Returns a model or `None`.
+pub fn solve_dpll(f: &CnfFormula) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
+    if dpll(f, &mut assignment) {
+        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Clause state under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, the rest false.
+    Unit(crate::cnf::Literal),
+    Unresolved,
+}
+
+fn clause_state(c: &crate::cnf::Clause, assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for &lit in &c.literals {
+        match assignment[lit.var as usize] {
+            Some(v) if v == lit.positive => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(lit);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted one")),
+        _ => ClauseState::Unresolved,
+    }
+}
+
+fn dpll(f: &CnfFormula, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint; record the trail for backtracking.
+    let mut trail: Vec<u32> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for c in &f.clauses {
+            match clause_state(c, assignment) {
+                ClauseState::Conflict => {
+                    for v in trail {
+                        assignment[v as usize] = None;
+                    }
+                    return false;
+                }
+                ClauseState::Unit(lit) => {
+                    assignment[lit.var as usize] = Some(lit.positive);
+                    trail.push(lit.var);
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+    // Branch on the first unassigned variable.
+    match assignment.iter().position(|v| v.is_none()) {
+        None => true, // no conflicts, everything assigned
+        Some(v) => {
+            for value in [true, false] {
+                assignment[v] = Some(value);
+                if dpll(f, assignment) {
+                    return true;
+                }
+                assignment[v] = None;
+            }
+            for v in trail {
+                assignment[v as usize] = None;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Literal};
+
+    fn lit(v: u32, p: bool) -> Literal {
+        Literal { var: v, positive: p }
+    }
+
+    #[test]
+    fn solves_one_in_three() {
+        // Positive one-in-three on 3 vars, clauses encoded directly:
+        // at least one, and pairwise not-both.
+        let f = CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![lit(0, true), lit(1, true), lit(2, true)]),
+                Clause::new(vec![lit(0, false), lit(1, false)]),
+                Clause::new(vec![lit(0, false), lit(2, false)]),
+                Clause::new(vec![lit(1, false), lit(2, false)]),
+            ],
+        );
+        let m = solve_dpll(&f).unwrap();
+        assert!(f.eval(&m));
+        assert_eq!(m.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn detects_unsat() {
+        // (p0)(¬p0).
+        let f = CnfFormula::new(
+            1,
+            vec![Clause::new(vec![lit(0, true)]), Clause::new(vec![lit(0, false)])],
+        );
+        assert!(solve_dpll(&f).is_none());
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let f = CnfFormula::new(3, vec![]);
+        assert!(solve_dpll(&f).is_some());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let f = CnfFormula::new(1, vec![Clause::default()]);
+        assert!(solve_dpll(&f).is_none());
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_search() {
+        let mut x = 0xC0FFEEu64;
+        for round in 0..60 {
+            let nv = 5usize;
+            let mut clauses = Vec::new();
+            for _ in 0..8 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let width = 1 + (x % 3) as usize;
+                let lits: Vec<Literal> = (0..width)
+                    .map(|i| lit(((x >> (5 * i)) % 5) as u32, (x >> (20 + i)) & 1 != 0))
+                    .collect();
+                clauses.push(Clause::new(lits));
+            }
+            let f = CnfFormula::new(nv, clauses);
+            let brute = !f.models().is_empty();
+            match solve_dpll(&f) {
+                Some(m) => {
+                    assert!(f.eval(&m), "round {round}");
+                    assert!(brute);
+                }
+                None => assert!(!brute, "round {round}"),
+            }
+        }
+    }
+}

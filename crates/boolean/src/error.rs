@@ -1,0 +1,56 @@
+//! Error type for the Boolean subsystem.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by Boolean-CSP operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Relation arity exceeds the bit-packed representation limit (63).
+    ArityTooLarge { arity: usize },
+    /// A tuple mask has bits set beyond the relation's arity.
+    TupleOutOfRange { mask: u64, arity: usize },
+    /// A structure expected to be Boolean has a non-`{0,1}` universe.
+    NotBoolean { universe: usize },
+    /// The structure is not in Schaefer's tractable class.
+    NotSchaefer,
+    /// A formula violated a syntactic expectation (e.g. not Horn).
+    WrongFormulaShape(&'static str),
+    /// Generic invalid-argument error.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ArityTooLarge { arity } => {
+                write!(f, "Boolean relation arity {arity} exceeds the supported maximum of 63")
+            }
+            Error::TupleOutOfRange { mask, arity } => {
+                write!(f, "tuple mask {mask:#b} has bits beyond arity {arity}")
+            }
+            Error::NotBoolean { universe } => {
+                write!(f, "expected a Boolean structure (universe 2), got universe {universe}")
+            }
+            Error::NotSchaefer => write!(f, "structure is not in Schaefer's class"),
+            Error::WrongFormulaShape(what) => write!(f, "formula is not {what}"),
+            Error::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(Error::ArityTooLarge { arity: 99 }.to_string().contains("99"));
+        assert!(Error::NotBoolean { universe: 5 }.to_string().contains('5'));
+        assert!(Error::WrongFormulaShape("Horn").to_string().contains("Horn"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Linear-time Horn satisfiability (Dowling–Gallier / Beeri–Bernstein).
+//!
+//! The paper's Theorem 3.3 notes that satisfiability of the instantiated
+//! Horn formula φ_A "can be checked in time that is linear in the length
+//! of φ_A" [BB79, DG84]. This is the classic counter-based unit
+//! propagation: each clause keeps a count of premise variables not yet
+//! known true; when it reaches zero the head is forced.
+
+use crate::cnf::CnfFormula;
+use crate::error::{Error, Result};
+
+/// Solves a Horn CNF. Returns the **minimal model** (the unique
+/// pointwise-least satisfying assignment) or `None` if unsatisfiable.
+///
+/// Errors if the formula is not Horn.
+pub fn solve_horn(f: &CnfFormula) -> Result<Option<Vec<bool>>> {
+    if !f.is_horn() {
+        return Err(Error::WrongFormulaShape("Horn"));
+    }
+    let n = f.num_vars;
+    let mut truth = vec![false; n];
+    // Per clause: remaining untrue premise count and the head (if any).
+    let mut remaining: Vec<usize> = Vec::with_capacity(f.clauses.len());
+    let mut head: Vec<Option<u32>> = Vec::with_capacity(f.clauses.len());
+    // watch[v] = clauses having ¬v as a premise literal.
+    let mut watch: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut queue: Vec<u32> = Vec::new();
+
+    for (ci, clause) in f.clauses.iter().enumerate() {
+        let mut premises = 0usize;
+        let mut h: Option<u32> = None;
+        for lit in &clause.literals {
+            if lit.positive {
+                debug_assert!(h.is_none(), "Horn: at most one positive literal");
+                h = Some(lit.var);
+            } else {
+                premises += 1;
+                watch[lit.var as usize].push(ci as u32);
+            }
+        }
+        remaining.push(premises);
+        head.push(h);
+        if premises == 0 {
+            match h {
+                None => return Ok(None), // empty clause
+                Some(v) => {
+                    if !truth[v as usize] {
+                        truth[v as usize] = true;
+                        queue.push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    while let Some(v) = queue.pop() {
+        // `watch` lists are built once and each entry is visited at most
+        // once because a variable enters the queue at most once.
+        for idx in 0..watch[v as usize].len() {
+            let ci = watch[v as usize][idx] as usize;
+            // A premise may repeat ¬v; each occurrence decrements.
+            remaining[ci] -= 1;
+            if remaining[ci] == 0 {
+                match head[ci] {
+                    None => return Ok(None), // all-negative clause falsified
+                    Some(h) => {
+                        if !truth[h as usize] {
+                            truth[h as usize] = true;
+                            queue.push(h);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Some(truth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Literal};
+
+    fn clause(neg: &[u32], pos: Option<u32>) -> Clause {
+        let mut lits: Vec<Literal> = neg.iter().map(|&v| Literal::neg(v)).collect();
+        if let Some(p) = pos {
+            lits.push(Literal::pos(p));
+        }
+        Clause::new(lits)
+    }
+
+    #[test]
+    fn simple_propagation() {
+        // p0; p0→p1; p1∧p0→p2.
+        let f = CnfFormula::new(
+            3,
+            vec![clause(&[], Some(0)), clause(&[0], Some(1)), clause(&[1, 0], Some(2))],
+        );
+        let model = solve_horn(&f).unwrap().unwrap();
+        assert_eq!(model, vec![true, true, true]);
+        assert!(f.eval(&model));
+    }
+
+    #[test]
+    fn minimal_model_is_least() {
+        // p0→p1 alone: minimal model is all-false.
+        let f = CnfFormula::new(2, vec![clause(&[0], Some(1))]);
+        let model = solve_horn(&f).unwrap().unwrap();
+        assert_eq!(model, vec![false, false]);
+    }
+
+    #[test]
+    fn unsatisfiable_chain() {
+        // p0; p0→p1; ¬p0∨¬p1.
+        let f = CnfFormula::new(
+            2,
+            vec![clause(&[], Some(0)), clause(&[0], Some(1)), clause(&[0, 1], None)],
+        );
+        assert_eq!(solve_horn(&f).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let f = CnfFormula::new(1, vec![Clause::default()]);
+        assert_eq!(solve_horn(&f).unwrap(), None);
+    }
+
+    #[test]
+    fn repeated_premise_literal() {
+        // (¬p0 ∨ ¬p0 ∨ p1) ∧ p0: must force p1, not get stuck.
+        let f = CnfFormula::new(2, vec![clause(&[0, 0], Some(1)), clause(&[], Some(0))]);
+        let model = solve_horn(&f).unwrap().unwrap();
+        assert_eq!(model, vec![true, true]);
+    }
+
+    #[test]
+    fn rejects_non_horn() {
+        let f = CnfFormula::new(
+            2,
+            vec![Clause::new(vec![Literal::pos(0), Literal::pos(1)])],
+        );
+        assert!(matches!(
+            solve_horn(&f).unwrap_err(),
+            Error::WrongFormulaShape("Horn")
+        ));
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_search() {
+        // Random small Horn formulas: satisfiable iff some assignment
+        // works; minimal model is pointwise ≤ every model.
+        let mut x = 0x12345678u64;
+        for _ in 0..60 {
+            let nv = 5usize;
+            let mut clauses = Vec::new();
+            for _ in 0..6 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let nneg = (x % 3) as usize;
+                let neg: Vec<u32> = (0..nneg).map(|i| ((x >> (8 * i)) % 5) as u32).collect();
+                let pos = if x & (1 << 40) != 0 { Some(((x >> 41) % 5) as u32) } else { None };
+                clauses.push(clause(&neg, pos));
+            }
+            let f = CnfFormula::new(nv, clauses);
+            let models = f.models();
+            match solve_horn(&f).unwrap() {
+                None => assert!(models.is_empty(), "solver said UNSAT but models exist"),
+                Some(m) => {
+                    assert!(f.eval(&m));
+                    for other in &models {
+                        for v in 0..nv {
+                            assert!(
+                                !m[v] || other[v],
+                                "minimal model must be pointwise least"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

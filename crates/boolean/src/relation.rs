@@ -1,0 +1,297 @@
+//! Bit-packed Boolean relations and Boolean structures.
+//!
+//! A *Boolean relation* of arity `k` is a set of truth assignments to
+//! `p₁,…,p_k` (paper §3.1); we pack each assignment into a `u64` mask
+//! (bit `i` = value of position `i`, LSB-first), so the componentwise
+//! operations Schaefer's closure criteria need — `∧`, `∨`, `⊕`,
+//! majority — are single machine instructions.
+//!
+//! A *Boolean structure* is a structure with universe `{0, 1}`; it is
+//! interchangeable with [`cqcs_structures::Structure`] via
+//! [`BooleanStructure::to_structure`] / [`BooleanStructure::from_structure`].
+
+use crate::error::{Error, Result};
+use cqcs_structures::{Element, Structure, StructureBuilder, Vocabulary};
+use std::sync::Arc;
+
+/// Maximum supported arity of a bit-packed Boolean relation.
+pub const MAX_ARITY: usize = 63;
+
+/// A Boolean relation: a set of `arity`-bit masks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BooleanRelation {
+    arity: usize,
+    /// Sorted, deduplicated tuple masks.
+    tuples: Vec<u64>,
+}
+
+impl BooleanRelation {
+    /// Creates a relation from tuple masks, validating the arity bound
+    /// and that no mask uses bits beyond the arity.
+    pub fn new(arity: usize, mut tuples: Vec<u64>) -> Result<Self> {
+        if arity > MAX_ARITY {
+            return Err(Error::ArityTooLarge { arity });
+        }
+        let limit = 1u64 << arity;
+        if let Some(&bad) = tuples.iter().find(|&&t| t >= limit) {
+            return Err(Error::TupleOutOfRange { mask: bad, arity });
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Ok(BooleanRelation { arity, tuples })
+    }
+
+    /// Builds a relation from explicit bit vectors.
+    pub fn from_bits(arity: usize, tuples: &[&[bool]]) -> Result<Self> {
+        let masks = tuples
+            .iter()
+            .map(|bits| {
+                assert_eq!(bits.len(), arity, "bit vector length must equal arity");
+                bits.iter()
+                    .enumerate()
+                    .fold(0u64, |m, (i, &b)| if b { m | (1 << i) } else { m })
+            })
+            .collect();
+        Self::new(arity, masks)
+    }
+
+    /// The arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Mask with the low `arity` bits set (the all-ones tuple).
+    #[inline]
+    pub fn ones_mask(&self) -> u64 {
+        if self.arity == 64 { u64::MAX } else { (1u64 << self.arity) - 1 }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, t: u64) -> bool {
+        self.tuples.binary_search(&t).is_ok()
+    }
+
+    /// Iterates over tuple masks in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tuples.iter().copied()
+    }
+
+    /// The value (`false`/`true`) at `pos` of tuple mask `t`.
+    #[inline]
+    pub fn bit(t: u64, pos: usize) -> bool {
+        t & (1 << pos) != 0
+    }
+
+    /// Componentwise majority of three tuples (the bijunctive closure
+    /// operation of Theorem 3.1).
+    #[inline]
+    pub fn majority(a: u64, b: u64, c: u64) -> u64 {
+        (a & b) | (b & c) | (a & c)
+    }
+
+    /// Converts to a single-relation [`Structure`] view. Prefer
+    /// [`BooleanStructure`] for multi-relation templates.
+    pub fn to_structure(&self, name: &str) -> Structure {
+        BooleanStructure::new(vec![(name.to_owned(), self.clone())])
+            .to_structure()
+    }
+}
+
+/// A named collection of Boolean relations — a structure over universe
+/// `{0, 1}` in the paper's sense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BooleanStructure {
+    relations: Vec<(String, BooleanRelation)>,
+}
+
+impl BooleanStructure {
+    /// Creates a Boolean structure from named relations.
+    pub fn new(relations: Vec<(String, BooleanRelation)>) -> Self {
+        BooleanStructure { relations }
+    }
+
+    /// The named relations.
+    pub fn relations(&self) -> &[(String, BooleanRelation)] {
+        &self.relations
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether there are no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&BooleanRelation> {
+        self.relations.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Renders as a [`Structure`] with universe `{0, 1}`: element 0 is
+    /// `false`, element 1 is `true`; bit `i` of a mask becomes tuple
+    /// position `i`.
+    pub fn to_structure(&self) -> Structure {
+        let mut voc = Vocabulary::new();
+        for (name, rel) in &self.relations {
+            voc.add(name, rel.arity()).expect("names are distinct by construction");
+        }
+        let voc = voc.into_shared();
+        let mut b = StructureBuilder::new(Arc::clone(&voc), 2);
+        let mut buf: Vec<Element> = Vec::new();
+        for (name, rel) in &self.relations {
+            let id = voc.lookup(name).expect("just added");
+            for t in rel.iter() {
+                buf.clear();
+                buf.extend(
+                    (0..rel.arity())
+                        .map(|i| Element(u32::from(BooleanRelation::bit(t, i)))),
+                );
+                b.add_tuple(id, &buf).expect("elements 0/1 are in range");
+            }
+        }
+        b.finish()
+    }
+
+    /// Reads a Boolean structure back from a [`Structure`]; the universe
+    /// must have exactly 2 elements (0 = false, 1 = true).
+    pub fn from_structure(s: &Structure) -> Result<Self> {
+        if s.universe() != 2 {
+            return Err(Error::NotBoolean { universe: s.universe() });
+        }
+        let mut relations = Vec::with_capacity(s.vocabulary().len());
+        for (id, name, arity) in s.vocabulary().symbols() {
+            if arity > MAX_ARITY {
+                return Err(Error::ArityTooLarge { arity });
+            }
+            let masks: Vec<u64> = s
+                .relation(id)
+                .iter()
+                .map(|tuple| {
+                    tuple
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |m, (i, e)| m | ((e.0 as u64) << i))
+                })
+                .collect();
+            relations.push((name.to_owned(), BooleanRelation::new(arity, masks)?));
+        }
+        Ok(BooleanStructure { relations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        // Positive one-in-three 3-SAT relation (§2 of the paper):
+        // {(1,0,0), (0,1,0), (0,0,1)} = masks {0b001, 0b010, 0b100}.
+        let r = BooleanRelation::new(3, vec![0b001, 0b010, 0b100]).unwrap();
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(0b010));
+        assert!(!r.contains(0b011));
+        assert_eq!(r.ones_mask(), 0b111);
+    }
+
+    #[test]
+    fn from_bits_matches_masks() {
+        let r = BooleanRelation::from_bits(
+            2,
+            &[&[false, true], &[true, false]],
+        )
+        .unwrap();
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0b01, 0b10]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let r = BooleanRelation::new(2, vec![3, 3, 1]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            BooleanRelation::new(64, vec![]).unwrap_err(),
+            Error::ArityTooLarge { .. }
+        ));
+        assert!(matches!(
+            BooleanRelation::new(2, vec![0b100]).unwrap_err(),
+            Error::TupleOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn majority_and_bit() {
+        assert_eq!(BooleanRelation::majority(0b110, 0b101, 0b011), 0b111);
+        assert_eq!(BooleanRelation::majority(0b110, 0b100, 0b000), 0b100);
+        assert!(BooleanRelation::bit(0b10, 1));
+        assert!(!BooleanRelation::bit(0b10, 0));
+    }
+
+    #[test]
+    fn structure_roundtrip() {
+        let bs = BooleanStructure::new(vec![
+            (
+                "R".into(),
+                BooleanRelation::new(3, vec![0b001, 0b110]).unwrap(),
+            ),
+            ("P".into(), BooleanRelation::new(1, vec![0b1]).unwrap()),
+        ]);
+        let s = bs.to_structure();
+        assert_eq!(s.universe(), 2);
+        let back = BooleanStructure::from_structure(&s).unwrap();
+        assert_eq!(back, bs);
+    }
+
+    #[test]
+    fn structure_tuple_bit_order() {
+        // Mask 0b001 of arity 3 = (1, 0, 0): position 0 is the LSB.
+        let bs = BooleanStructure::new(vec![(
+            "R".into(),
+            BooleanRelation::new(3, vec![0b001]).unwrap(),
+        )]);
+        let s = bs.to_structure();
+        let r = s.vocabulary().lookup("R").unwrap();
+        let t: Vec<u32> = s.relation(r).tuple(0).iter().map(|e| e.0).collect();
+        assert_eq!(t, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn from_structure_rejects_non_boolean() {
+        let s = cqcs_structures::generators::complete_graph(3);
+        assert!(matches!(
+            BooleanStructure::from_structure(&s).unwrap_err(),
+            Error::NotBoolean { universe: 3 }
+        ));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let bs = BooleanStructure::new(vec![(
+            "Q".into(),
+            BooleanRelation::new(1, vec![0, 1]).unwrap(),
+        )]);
+        assert!(bs.relation("Q").is_some());
+        assert!(bs.relation("Z").is_none());
+    }
+}

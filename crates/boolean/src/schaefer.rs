@@ -1,0 +1,443 @@
+//! Schaefer's classification by closure properties (Theorem 3.1).
+//!
+//! Schaefer's dichotomy identifies six classes of Boolean structures for
+//! which `CSP(B)` is tractable. Theorem 3.1 of the paper shows the class
+//! `SC` is polynomial-time recognizable via closure criteria:
+//!
+//! * **0-valid / 1-valid** — the relation contains `(0,…,0)` / `(1,…,1)`;
+//! * **Horn** — closed under componentwise `∧` (Dechter–Pearl);
+//! * **dual Horn** — closed under componentwise `∨` (Dechter–Pearl);
+//! * **bijunctive** — closed under componentwise majority (Schaefer);
+//! * **affine** — closed under `t₁ ⊕ t₂ ⊕ t₃` (Schaefer).
+//!
+//! All criteria are `O(|R|²)` or `O(|R|³)` membership checks on the
+//! bit-packed relation.
+
+use crate::relation::{BooleanRelation, BooleanStructure};
+
+/// One of Schaefer's six tractable classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchaeferClass {
+    /// Contains the all-zeros tuple.
+    ZeroValid,
+    /// Contains the all-ones tuple.
+    OneValid,
+    /// Definable by a CNF with ≤ 1 positive literal per clause.
+    Horn,
+    /// Definable by a CNF with ≤ 1 negative literal per clause.
+    DualHorn,
+    /// Definable by a 2-CNF.
+    Bijunctive,
+    /// Definable by a conjunction of linear equations over GF(2).
+    Affine,
+}
+
+impl SchaeferClass {
+    /// All six classes, in the crate's canonical order.
+    pub const ALL: [SchaeferClass; 6] = [
+        SchaeferClass::ZeroValid,
+        SchaeferClass::OneValid,
+        SchaeferClass::Horn,
+        SchaeferClass::DualHorn,
+        SchaeferClass::Bijunctive,
+        SchaeferClass::Affine,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            SchaeferClass::ZeroValid => 1,
+            SchaeferClass::OneValid => 2,
+            SchaeferClass::Horn => 4,
+            SchaeferClass::DualHorn => 8,
+            SchaeferClass::Bijunctive => 16,
+            SchaeferClass::Affine => 32,
+        }
+    }
+}
+
+impl std::fmt::Display for SchaeferClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SchaeferClass::ZeroValid => "0-valid",
+            SchaeferClass::OneValid => "1-valid",
+            SchaeferClass::Horn => "Horn",
+            SchaeferClass::DualHorn => "dual Horn",
+            SchaeferClass::Bijunctive => "bijunctive",
+            SchaeferClass::Affine => "affine",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A subset of Schaefer's six classes (a relation or structure may lie
+/// in several at once — see Example 3.8's two labelings of `C₄`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchaeferSet(u8);
+
+impl SchaeferSet {
+    /// The empty set (not Schaefer).
+    pub fn empty() -> Self {
+        SchaeferSet(0)
+    }
+
+    /// The set of all six classes.
+    pub fn all() -> Self {
+        SchaeferSet(0b111111)
+    }
+
+    /// Membership test.
+    pub fn contains(self, c: SchaeferClass) -> bool {
+        self.0 & c.bit() != 0
+    }
+
+    /// Adds a class.
+    pub fn insert(&mut self, c: SchaeferClass) {
+        self.0 |= c.bit();
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: SchaeferSet) -> SchaeferSet {
+        SchaeferSet(self.0 & other.0)
+    }
+
+    /// Whether any class applies (i.e. the relation/structure is in
+    /// Schaefer's tractable class `SC`).
+    pub fn is_schaefer(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Whether one of the two *trivial* classes (0-valid / 1-valid)
+    /// applies.
+    pub fn is_trivial(self) -> bool {
+        self.contains(SchaeferClass::ZeroValid) || self.contains(SchaeferClass::OneValid)
+    }
+
+    /// Iterates over the classes in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = SchaeferClass> {
+        SchaeferClass::ALL.into_iter().filter(move |c| self.contains(*c))
+    }
+}
+
+impl std::fmt::Display for SchaeferSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.iter().map(|c| c.to_string()).collect();
+        write!(f, "{{{}}}", names.join(", "))
+    }
+}
+
+/// Whether `r` contains the all-zeros tuple.
+pub fn is_zero_valid(r: &BooleanRelation) -> bool {
+    r.contains(0)
+}
+
+/// Whether `r` contains the all-ones tuple.
+pub fn is_one_valid(r: &BooleanRelation) -> bool {
+    r.contains(r.ones_mask())
+}
+
+/// Dechter–Pearl criterion: `r` is Horn iff closed under componentwise
+/// `∧`.
+pub fn is_horn(r: &BooleanRelation) -> bool {
+    for t1 in r.iter() {
+        for t2 in r.iter() {
+            if t2 >= t1 {
+                break; // t1 ∧ t2 = t2 ∧ t1; diagonal is trivial
+            }
+            if !r.contains(t1 & t2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Dechter–Pearl criterion: `r` is dual Horn iff closed under
+/// componentwise `∨`.
+pub fn is_dual_horn(r: &BooleanRelation) -> bool {
+    for t1 in r.iter() {
+        for t2 in r.iter() {
+            if t2 >= t1 {
+                break;
+            }
+            if !r.contains(t1 | t2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Schaefer's criterion: `r` is bijunctive iff closed under
+/// componentwise majority of triples.
+pub fn is_bijunctive(r: &BooleanRelation) -> bool {
+    let tuples: Vec<u64> = r.iter().collect();
+    for (i, &t1) in tuples.iter().enumerate() {
+        for &t2 in &tuples[i..] {
+            for &t3 in &tuples[i..] {
+                if !r.contains(BooleanRelation::majority(t1, t2, t3)) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Schaefer's criterion: `r` is affine iff closed under `t₁ ⊕ t₂ ⊕ t₃`.
+pub fn is_affine(r: &BooleanRelation) -> bool {
+    let tuples: Vec<u64> = r.iter().collect();
+    for (i, &t1) in tuples.iter().enumerate() {
+        for (j, &t2) in tuples.iter().enumerate().skip(i) {
+            for &t3 in &tuples[j..] {
+                if !r.contains(t1 ^ t2 ^ t3) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Classifies a single relation against all six criteria.
+pub fn classify_relation(r: &BooleanRelation) -> SchaeferSet {
+    let mut set = SchaeferSet::empty();
+    if is_zero_valid(r) {
+        set.insert(SchaeferClass::ZeroValid);
+    }
+    if is_one_valid(r) {
+        set.insert(SchaeferClass::OneValid);
+    }
+    if is_horn(r) {
+        set.insert(SchaeferClass::Horn);
+    }
+    if is_dual_horn(r) {
+        set.insert(SchaeferClass::DualHorn);
+    }
+    if is_bijunctive(r) {
+        set.insert(SchaeferClass::Bijunctive);
+    }
+    if is_affine(r) {
+        set.insert(SchaeferClass::Affine);
+    }
+    set
+}
+
+/// Classifies a Boolean structure: a class applies iff it applies to
+/// **every** relation (Schaefer's definition). An empty structure is in
+/// all six classes.
+pub fn classify_structure(b: &BooleanStructure) -> SchaeferSet {
+    b.relations()
+        .iter()
+        .map(|(_, r)| classify_relation(r))
+        .fold(SchaeferSet::all(), SchaeferSet::intersect)
+}
+
+/// Whether `b` is a Schaefer structure (`b ∈ SC`), i.e. `CSP(b)` is
+/// tractable by Schaefer's dichotomy.
+pub fn is_schaefer_structure(b: &BooleanStructure) -> bool {
+    classify_structure(b).is_schaefer()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::BooleanRelation;
+
+    fn rel(arity: usize, tuples: &[u64]) -> BooleanRelation {
+        BooleanRelation::new(arity, tuples.to_vec()).unwrap()
+    }
+
+    /// Exhaustive reference check of a closure property.
+    fn closed_under(r: &BooleanRelation, op: impl Fn(u64, u64, u64) -> u64) -> bool {
+        for a in r.iter() {
+            for b in r.iter() {
+                for c in r.iter() {
+                    if !r.contains(op(a, b, c)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn one_in_three_is_np_side() {
+        // Positive one-in-three 3-SAT (§2): in none of the six classes.
+        let r = rel(3, &[0b001, 0b010, 0b100]);
+        let set = classify_relation(&r);
+        assert!(!set.is_schaefer(), "got {set}");
+    }
+
+    #[test]
+    fn implication_relation_classes() {
+        // x → y = {00, 01, 11}: Horn, dual Horn, bijunctive, 0- and
+        // 1-valid; not affine (00 ⊕ 01 ⊕ 11 = 10 ∉ R).
+        let r = rel(2, &[0b00, 0b10, 0b11]); // masks: y is bit 1
+        let set = classify_relation(&r);
+        assert!(set.contains(SchaeferClass::Horn));
+        assert!(set.contains(SchaeferClass::DualHorn));
+        assert!(set.contains(SchaeferClass::Bijunctive));
+        assert!(set.contains(SchaeferClass::ZeroValid));
+        assert!(set.contains(SchaeferClass::OneValid));
+        assert!(!set.contains(SchaeferClass::Affine));
+    }
+
+    #[test]
+    fn xor_is_affine_and_bijunctive_not_horn() {
+        // x ⊕ y = {01, 10}.
+        let r = rel(2, &[0b01, 0b10]);
+        let set = classify_relation(&r);
+        assert!(set.contains(SchaeferClass::Affine));
+        assert!(set.contains(SchaeferClass::Bijunctive), "2 tuples are always bijunctive");
+        assert!(!set.contains(SchaeferClass::Horn), "01 ∧ 10 = 00 ∉ R");
+        assert!(!set.contains(SchaeferClass::DualHorn), "01 ∨ 10 = 11 ∉ R");
+        assert!(!set.contains(SchaeferClass::ZeroValid));
+        assert!(!set.contains(SchaeferClass::OneValid));
+    }
+
+    #[test]
+    fn any_two_tuple_relation_is_bijunctive() {
+        // maj(a,b,b) = b, so with ≤ 2 tuples closure is automatic — the
+        // observation powering Saraiya's case (Prop 3.6).
+        for (a, b) in [(0b0011u64, 0b1100u64), (0b0000, 0b1111), (0b0101, 0b0110)] {
+            let r = rel(4, &[a, b]);
+            assert!(is_bijunctive(&r), "({a:#b},{b:#b})");
+            assert!(is_affine(&r), "two tuples are affine too: a⊕b⊕b = a");
+        }
+    }
+
+    #[test]
+    fn horn_criterion_matches_brute_force() {
+        // Cross-validate the pairwise check against the triple-wise
+        // reference (∧ is associative/idempotent so pairs suffice).
+        for seed in 0..50u64 {
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut tuples = Vec::new();
+            for _ in 0..4 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                tuples.push(x & 0b1111);
+            }
+            let r = rel(4, &tuples);
+            assert_eq!(
+                is_horn(&r),
+                closed_under(&r, |a, b, c| a & b & c),
+                "tuples {tuples:?}"
+            );
+            assert_eq!(
+                is_dual_horn(&r),
+                closed_under(&r, |a, b, c| a | b | c),
+                "tuples {tuples:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_and_bijunctive_match_brute_force() {
+        for seed in 0..50u64 {
+            let mut x = seed.wrapping_mul(0xA076_1D64_78BD_642F) | 1;
+            let mut tuples = Vec::new();
+            for _ in 0..5 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                tuples.push(x & 0b111);
+            }
+            let r = rel(3, &tuples);
+            assert_eq!(is_affine(&r), closed_under(&r, |a, b, c| a ^ b ^ c));
+            assert_eq!(
+                is_bijunctive(&r),
+                closed_under(&r, BooleanRelation::majority)
+            );
+        }
+    }
+
+    #[test]
+    fn c4_first_labeling_is_affine_only() {
+        // Example 3.8: E' = {(0,0,0,1), (0,1,1,0), (1,0,1,1), (1,1,0,0)}
+        // with tuple (a,b,c,d) written position 0 first (LSB).
+        let masks: Vec<u64> = [
+            [0u64, 0, 0, 1],
+            [0, 1, 1, 0],
+            [1, 0, 1, 1],
+            [1, 1, 0, 0],
+        ]
+        .iter()
+        .map(|t| t.iter().enumerate().fold(0, |m, (i, &b)| m | (b << i)))
+        .collect();
+        let r = rel(4, &masks);
+        let set = classify_relation(&r);
+        assert!(set.contains(SchaeferClass::Affine));
+        assert!(!set.contains(SchaeferClass::ZeroValid));
+        assert!(!set.contains(SchaeferClass::OneValid));
+        assert!(!set.contains(SchaeferClass::Horn));
+        assert!(!set.contains(SchaeferClass::DualHorn));
+        assert!(!set.contains(SchaeferClass::Bijunctive));
+    }
+
+    #[test]
+    fn c4_second_labeling_is_affine_and_bijunctive() {
+        // Example 3.8's alternative labeling: E'' = {(0,0,1,0),
+        // (1,0,1,1), (1,1,0,1), (0,1,0,0)} — affine AND bijunctive,
+        // neither Horn nor dual Horn.
+        let masks: Vec<u64> = [
+            [0u64, 0, 1, 0],
+            [1, 0, 1, 1],
+            [1, 1, 0, 1],
+            [0, 1, 0, 0],
+        ]
+        .iter()
+        .map(|t| t.iter().enumerate().fold(0, |m, (i, &b)| m | (b << i)))
+        .collect();
+        let r = rel(4, &masks);
+        let set = classify_relation(&r);
+        assert!(set.contains(SchaeferClass::Affine));
+        assert!(set.contains(SchaeferClass::Bijunctive));
+        assert!(!set.contains(SchaeferClass::Horn));
+        assert!(!set.contains(SchaeferClass::DualHorn));
+    }
+
+    #[test]
+    fn structure_classification_intersects() {
+        // R1 = x→y (not affine), R2 = x⊕y (not Horn): the structure's
+        // class set is the intersection — bijunctive survives.
+        let imp = rel(2, &[0b00, 0b10, 0b11]);
+        let xor = rel(2, &[0b01, 0b10]);
+        let b = BooleanStructure::new(vec![("I".into(), imp), ("X".into(), xor)]);
+        let set = classify_structure(&b);
+        assert!(set.contains(SchaeferClass::Bijunctive));
+        assert!(!set.contains(SchaeferClass::Horn));
+        assert!(!set.contains(SchaeferClass::Affine));
+        assert!(set.is_schaefer());
+        assert!(is_schaefer_structure(&b));
+    }
+
+    #[test]
+    fn empty_structure_is_everything() {
+        let b = BooleanStructure::new(vec![]);
+        assert_eq!(classify_structure(&b), SchaeferSet::all());
+    }
+
+    #[test]
+    fn empty_relation_is_closed_but_not_valid() {
+        let r = rel(2, &[]);
+        let set = classify_relation(&r);
+        assert!(set.contains(SchaeferClass::Horn));
+        assert!(set.contains(SchaeferClass::Affine));
+        assert!(!set.contains(SchaeferClass::ZeroValid));
+        assert!(!set.contains(SchaeferClass::OneValid));
+    }
+
+    #[test]
+    fn set_display() {
+        let mut s = SchaeferSet::empty();
+        s.insert(SchaeferClass::Horn);
+        s.insert(SchaeferClass::Affine);
+        assert_eq!(s.to_string(), "{Horn, affine}");
+        assert!(!s.is_trivial());
+        s.insert(SchaeferClass::ZeroValid);
+        assert!(s.is_trivial());
+    }
+}

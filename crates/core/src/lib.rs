@@ -1,0 +1,24 @@
+//! # cqcs-core — the uniform homomorphism-problem solver
+//!
+//! The paper's thesis operationalized: conjunctive-query containment
+//! and constraint satisfaction are both the question "is there a
+//! homomorphism `h : A → B`?", and the three uniformization results
+//! (§3 Schaefer, §4 Datalog/pebble games, §5 bounded treewidth) are
+//! *dispatch rules* a uniform solver can apply after inspecting the
+//! input pair:
+//!
+//! * [`analysis`] — what is this instance? Boolean? Schaefer (and in
+//!   which classes)? Booleanizable into Schaefer? Acyclic? Of small
+//!   treewidth?
+//! * [`solvers::backtracking`] — the complete generic solver (MRV +
+//!   MAC, both toggleable for experiment E12), with search statistics;
+//! * [`solvers::dispatch`] — [`solve`]: the meta-algorithm that picks
+//!   the tractable route the paper proves correct, falling back to
+//!   search only when no theorem applies.
+
+pub mod analysis;
+pub mod solvers;
+
+pub use analysis::{analyze, InstanceAnalysis};
+pub use solvers::backtracking::{backtracking_search, SearchOptions, SearchStats};
+pub use solvers::dispatch::{solve, Route, Solution, Strategy};

@@ -1,0 +1,243 @@
+//! Complete backtracking search for homomorphisms.
+//!
+//! The generic (NP-side) solver every tractable route is benchmarked
+//! against, and the fallback when no theorem applies. Two classic
+//! improvements are toggleable so experiment E12 can measure them:
+//!
+//! * **MRV** — pick the unassigned element with the fewest candidates;
+//! * **MAC** — after each tentative assignment, re-establish hyperarc
+//!   consistency (via `cqcs-pebble`'s propagator) instead of only
+//!   checking fully-assigned tuples.
+
+use cqcs_pebble::consistency::refine_domains;
+use cqcs_structures::{BitSet, Element, Homomorphism, Structure};
+
+/// Search configuration (all on by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Minimum-remaining-values variable ordering.
+    pub mrv: bool,
+    /// Maintain arc consistency during search.
+    pub mac: bool,
+    /// Enforce arc consistency once before searching.
+    pub ac_preprocess: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { mrv: true, mac: true, ac_preprocess: true }
+    }
+}
+
+/// Search effort counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Assignments attempted.
+    pub nodes: u64,
+    /// Dead ends hit.
+    pub backtracks: u64,
+}
+
+/// Runs the search. Returns a homomorphism (if one exists) plus the
+/// effort counters.
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies.
+pub fn backtracking_search(
+    a: &Structure,
+    b: &Structure,
+    opts: SearchOptions,
+) -> (Option<Homomorphism>, SearchStats) {
+    assert!(a.same_vocabulary(b), "search across different vocabularies");
+    let mut stats = SearchStats::default();
+
+    // 0-ary preconditions.
+    for r in a.vocabulary().iter() {
+        if a.vocabulary().arity(r) == 0
+            && !a.relation(r).is_empty()
+            && b.relation(r).is_empty()
+        {
+            return (None, stats);
+        }
+    }
+    if a.universe() == 0 {
+        return (Some(Homomorphism::from_map(Vec::new())), stats);
+    }
+    if b.universe() == 0 {
+        return (None, stats);
+    }
+
+    let mut domains = vec![BitSet::full(b.universe()); a.universe()];
+    if opts.ac_preprocess {
+        let ac = refine_domains(a, b, domains);
+        if !ac.consistent {
+            return (None, stats);
+        }
+        domains = ac.domains;
+    }
+    let mut assigned: Vec<Option<Element>> = vec![None; a.universe()];
+    let found = descend(a, b, &opts, &mut stats, &domains, &mut assigned);
+    let hom = found.then(|| {
+        let map: Vec<Element> =
+            assigned.iter().map(|o| o.expect("search completed")).collect();
+        debug_assert!(cqcs_structures::is_homomorphism(&map, a, b));
+        Homomorphism::from_map(map)
+    });
+    (hom, stats)
+}
+
+fn descend(
+    a: &Structure,
+    b: &Structure,
+    opts: &SearchOptions,
+    stats: &mut SearchStats,
+    domains: &[BitSet],
+    assigned: &mut Vec<Option<Element>>,
+) -> bool {
+    // Pick the next variable.
+    let next = if opts.mrv {
+        (0..a.universe())
+            .filter(|&e| assigned[e].is_none())
+            .min_by_key(|&e| domains[e].len())
+    } else {
+        (0..a.universe()).find(|&e| assigned[e].is_none())
+    };
+    let Some(x) = next else { return true };
+
+    let candidates: Vec<usize> = domains[x].iter().collect();
+    for v in candidates {
+        stats.nodes += 1;
+        assigned[x] = Some(Element(v as u32));
+        if !locally_consistent(a, b, assigned, Element(x as u32)) {
+            assigned[x] = None;
+            continue;
+        }
+        if opts.mac {
+            let mut narrowed = domains.to_vec();
+            narrowed[x] = BitSet::new(b.universe());
+            narrowed[x].insert(v);
+            let ac = refine_domains(a, b, narrowed);
+            if ac.consistent && descend(a, b, opts, stats, &ac.domains, assigned) {
+                return true;
+            }
+        } else if descend(a, b, opts, stats, domains, assigned) {
+            return true;
+        }
+        assigned[x] = None;
+    }
+    stats.backtracks += 1;
+    false
+}
+
+/// Checks tuples through `x` whose elements are all assigned.
+fn locally_consistent(
+    a: &Structure,
+    b: &Structure,
+    assigned: &[Option<Element>],
+    x: Element,
+) -> bool {
+    let mut image: Vec<Element> = Vec::with_capacity(a.vocabulary().max_arity());
+    'occ: for &(r, t) in a.occurrences(x) {
+        image.clear();
+        for &e in a.relation(r).tuple(t as usize) {
+            match assigned[e.index()] {
+                Some(v) => image.push(v),
+                None => continue 'occ,
+            }
+        }
+        if !b.relation(r).contains(&image) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcs_structures::generators;
+    use cqcs_structures::homomorphism::homomorphism_exists;
+
+    fn all_option_combos() -> Vec<SearchOptions> {
+        let mut out = Vec::new();
+        for mrv in [false, true] {
+            for mac in [false, true] {
+                for ac in [false, true] {
+                    out.push(SearchOptions { mrv, mac, ac_preprocess: ac });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_configurations_agree_with_reference() {
+        for seed in 0..12u64 {
+            let a = generators::random_digraph(6, 0.3, seed);
+            let b = generators::random_digraph(4, 0.35, seed + 600);
+            let expected = homomorphism_exists(&a, &b);
+            for opts in all_option_combos() {
+                let (h, _) = backtracking_search(&a, &b, opts);
+                assert_eq!(h.is_some(), expected, "seed {seed} opts {opts:?}");
+                if let Some(h) = h {
+                    assert!(cqcs_structures::is_homomorphism(h.as_slice(), &a, &b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_instances() {
+        let k3 = generators::complete_graph(3);
+        let c5 = generators::undirected_cycle(5);
+        let (h, _) = backtracking_search(&c5, &k3, SearchOptions::default());
+        assert!(h.is_some());
+        let k2 = generators::complete_graph(2);
+        let (h, stats) = backtracking_search(&c5, &k2, SearchOptions::default());
+        assert!(h.is_none());
+        assert!(stats.nodes > 0 || stats.backtracks == 0);
+    }
+
+    #[test]
+    fn mac_prunes_more_than_plain() {
+        // On an unsatisfiable coloring instance MAC should explore no
+        // more nodes than the plain search.
+        let g = generators::undirected_cycle(9);
+        let k2 = generators::complete_graph(2);
+        let (h1, plain) = backtracking_search(
+            &g,
+            &k2,
+            SearchOptions { mrv: false, mac: false, ac_preprocess: false },
+        );
+        let (h2, mac) = backtracking_search(
+            &g,
+            &k2,
+            SearchOptions { mrv: false, mac: true, ac_preprocess: false },
+        );
+        assert!(h1.is_none() && h2.is_none());
+        assert!(mac.nodes <= plain.nodes, "MAC {} > plain {}", mac.nodes, plain.nodes);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let voc = generators::digraph_vocabulary();
+        let empty = cqcs_structures::StructureBuilder::new(voc, 0).finish();
+        let k2 = generators::complete_graph(2);
+        let (h, _) = backtracking_search(&empty, &k2, SearchOptions::default());
+        assert!(h.is_some());
+        let (h, _) = backtracking_search(&k2, &empty, SearchOptions::default());
+        assert!(h.is_none());
+    }
+
+    #[test]
+    fn stats_populated() {
+        let a = generators::undirected_cycle(6);
+        let b = generators::complete_graph(3);
+        let (_, stats) = backtracking_search(
+            &a,
+            &b,
+            SearchOptions { mrv: true, mac: false, ac_preprocess: false },
+        );
+        assert!(stats.nodes >= 6, "at least one node per element");
+    }
+}

@@ -1,0 +1,307 @@
+//! The uniform meta-algorithm: dispatch to the paper's tractable route.
+//!
+//! [`solve`] with [`Strategy::Auto`] inspects the instance and applies,
+//! in order:
+//!
+//! 1. **Schaefer** (Theorem 3.3/3.4): `B` Boolean and in `SC` — direct
+//!    quadratic algorithms, Gaussian elimination for affine;
+//! 2. **Acyclic `A`** (width 1, Yannakakis lineage): semijoin program —
+//!    checked before Booleanization because the A-side test is cheaper;
+//! 3. **Booleanization** (Lemma 3.5): encode `(A, B)` in binary; if the
+//!    encoded template lands in `SC` (as `C₄` does, Example 3.8, and as
+//!    Saraiya-style two-tuple templates do, Prop 3.6), solve the
+//!    Boolean instance and decode;
+//! 4. **Bounded treewidth `A`** (Theorem 5.4): DP over a min-fill
+//!    decomposition when its width fits the budget;
+//! 5. **Generic search** with arc-consistency preprocessing — the
+//!    NP-side fallback the paper's results exist to avoid.
+
+use crate::solvers::backtracking::{backtracking_search, SearchOptions, SearchStats};
+use cqcs_boolean::booleanize::booleanize;
+use cqcs_boolean::uniform::{schaefer_classes, solve_schaefer};
+use cqcs_structures::{Element, Homomorphism, Structure};
+use cqcs_treewidth::acyclic::yannakakis;
+use cqcs_treewidth::dp::solve_with_decomposition;
+use cqcs_treewidth::heuristics::min_fill_decomposition;
+
+/// How to attack the instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Inspect and dispatch (the uniform algorithm).
+    Auto,
+    /// Force the Schaefer route (errors if `B` is not Schaefer).
+    Schaefer,
+    /// Force Booleanization + Schaefer (errors if not applicable).
+    Booleanize,
+    /// Force the acyclic route (errors if `A` is not acyclic).
+    Acyclic,
+    /// Force the bounded-treewidth DP whatever the width.
+    Treewidth,
+    /// Generic backtracking with the given options.
+    Generic(SearchOptions),
+}
+
+/// Which route actually solved the instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Theorem 3.3/3.4 on a Boolean template.
+    Schaefer,
+    /// Lemma 3.5 then Theorem 3.3/3.4.
+    Booleanization,
+    /// GYO + semijoins.
+    Acyclic,
+    /// Theorem 5.4 DP (with the width used).
+    Treewidth(usize),
+    /// Backtracking search.
+    Generic,
+}
+
+/// A solved instance.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The homomorphism, if one exists.
+    pub homomorphism: Option<Homomorphism>,
+    /// The route taken.
+    pub route: Route,
+    /// Search statistics (only for the generic route).
+    pub stats: Option<SearchStats>,
+}
+
+/// Errors from forced strategies that do not apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The requested route's precondition fails.
+    RouteNotApplicable(&'static str),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::RouteNotApplicable(what) => {
+                write!(f, "requested route not applicable: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Width budget for the automatic treewidth route: beyond this the DP's
+/// `|B|^{w+1}` tables are no longer clearly better than search.
+pub const AUTO_TREEWIDTH_BUDGET: usize = 3;
+
+/// Solves `hom(A → B)`.
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies.
+pub fn solve(a: &Structure, b: &Structure, strategy: Strategy) -> Result<Solution, SolveError> {
+    assert!(a.same_vocabulary(b), "solve across different vocabularies");
+    match strategy {
+        Strategy::Auto => Ok(auto(a, b)),
+        Strategy::Schaefer => try_schaefer(a, b)
+            .ok_or(SolveError::RouteNotApplicable("B is not a Schaefer Boolean structure")),
+        Strategy::Booleanize => try_booleanize(a, b)
+            .ok_or(SolveError::RouteNotApplicable("Booleanized template is not Schaefer")),
+        Strategy::Acyclic => try_acyclic(a, b)
+            .ok_or(SolveError::RouteNotApplicable("A is not acyclic")),
+        Strategy::Treewidth => Ok(treewidth_route(a, b)),
+        Strategy::Generic(opts) => {
+            let (h, stats) = backtracking_search(a, b, opts);
+            Ok(Solution { homomorphism: h, route: Route::Generic, stats: Some(stats) })
+        }
+    }
+}
+
+fn auto(a: &Structure, b: &Structure) -> Solution {
+    if let Some(sol) = try_schaefer(a, b) {
+        return sol;
+    }
+    if let Some(sol) = try_acyclic(a, b) {
+        return sol;
+    }
+    if let Some(sol) = try_booleanize(a, b) {
+        return sol;
+    }
+    if a.universe() > 0 {
+        let g = cqcs_structures::gaifman_graph(a);
+        let td = min_fill_decomposition(&g);
+        if td.width() <= AUTO_TREEWIDTH_BUDGET {
+            let h = solve_with_decomposition(a, b, &td)
+                .expect("decomposition from A's own Gaifman graph is valid");
+            return Solution {
+                homomorphism: h,
+                route: Route::Treewidth(td.width()),
+                stats: None,
+            };
+        }
+    }
+    let (h, stats) = backtracking_search(a, b, SearchOptions::default());
+    Solution { homomorphism: h, route: Route::Generic, stats: Some(stats) }
+}
+
+fn bools_to_hom(bits: Vec<bool>) -> Homomorphism {
+    Homomorphism::from_map(bits.into_iter().map(|v| Element(u32::from(v))).collect())
+}
+
+fn try_schaefer(a: &Structure, b: &Structure) -> Option<Solution> {
+    if b.universe() != 2 {
+        return None;
+    }
+    let classes = schaefer_classes(b).ok()?;
+    if !classes.is_schaefer() {
+        return None;
+    }
+    let h = solve_schaefer(a, b).expect("classes checked");
+    Some(Solution {
+        homomorphism: h.map(bools_to_hom),
+        route: Route::Schaefer,
+        stats: None,
+    })
+}
+
+fn try_booleanize(a: &Structure, b: &Structure) -> Option<Solution> {
+    if b.universe() <= 2 {
+        return None; // already Boolean (or degenerate)
+    }
+    let (ab, bb, info) = booleanize(a, b).ok()?;
+    let classes = schaefer_classes(&bb).ok()?;
+    if !classes.is_schaefer() {
+        return None;
+    }
+    let h = solve_schaefer(&ab, &bb).expect("classes checked");
+    let homomorphism = h.map(|bits| {
+        let hb: Vec<Element> =
+            bits.into_iter().map(|v| Element(u32::from(v))).collect();
+        let decoded = info.decode(&hb);
+        debug_assert!(cqcs_structures::is_homomorphism(&decoded, a, b));
+        Homomorphism::from_map(decoded)
+    });
+    Some(Solution { homomorphism, route: Route::Booleanization, stats: None })
+}
+
+fn try_acyclic(a: &Structure, b: &Structure) -> Option<Solution> {
+    let result = yannakakis(a, b)?;
+    Some(Solution { homomorphism: result, route: Route::Acyclic, stats: None })
+}
+
+fn treewidth_route(a: &Structure, b: &Structure) -> Solution {
+    let td = if a.universe() == 0 {
+        cqcs_treewidth::TreeDecomposition { bags: vec![], edges: vec![] }
+    } else {
+        min_fill_decomposition(&cqcs_structures::gaifman_graph(a))
+    };
+    let width = td.width();
+    let h = solve_with_decomposition(a, b, &td).expect("own decomposition is valid");
+    Solution { homomorphism: h, route: Route::Treewidth(width), stats: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcs_structures::generators;
+    use cqcs_structures::homomorphism::homomorphism_exists;
+
+    fn check(a: &Structure, b: &Structure, expect_route: Option<Route>) {
+        let expected = homomorphism_exists(a, b);
+        let sol = solve(a, b, Strategy::Auto).unwrap();
+        assert_eq!(sol.homomorphism.is_some(), expected);
+        if let Some(h) = &sol.homomorphism {
+            assert!(cqcs_structures::is_homomorphism(h.as_slice(), a, b));
+        }
+        if let Some(r) = expect_route {
+            assert_eq!(sol.route, r);
+        }
+    }
+
+    #[test]
+    fn auto_picks_schaefer_for_boolean_templates() {
+        let k2 = generators::complete_graph(2);
+        for n in [4, 5, 6, 7] {
+            check(&generators::undirected_cycle(n), &k2, Some(Route::Schaefer));
+        }
+    }
+
+    #[test]
+    fn auto_picks_booleanization_for_c4() {
+        // Example 3.8: CSP(C4) through the affine route.
+        let c4 = generators::directed_cycle(4);
+        for n in [3, 4, 5, 8] {
+            check(&generators::directed_cycle(n), &c4, Some(Route::Booleanization));
+        }
+    }
+
+    #[test]
+    fn auto_picks_acyclic_for_paths() {
+        let t4 = generators::transitive_tournament(4);
+        check(&generators::directed_path(4), &t4, Some(Route::Acyclic));
+        check(&generators::directed_path(6), &t4, Some(Route::Acyclic));
+    }
+
+    #[test]
+    fn auto_picks_treewidth_for_partial_ktrees() {
+        let k3 = generators::complete_graph(3);
+        let a = generators::partial_ktree(10, 2, 0.9, 5);
+        let sol = solve(&a, &k3, Strategy::Auto).unwrap();
+        assert!(matches!(sol.route, Route::Treewidth(w) if w <= 3));
+        assert_eq!(sol.homomorphism.is_some(), homomorphism_exists(&a, &k3));
+    }
+
+    #[test]
+    fn auto_falls_back_to_generic() {
+        // Dense A, K3 template: none of the theorems apply.
+        let a = generators::random_graph_nm(10, 24, 9);
+        let k3 = generators::complete_graph(3);
+        let sol = solve(&a, &k3, Strategy::Auto).unwrap();
+        assert_eq!(sol.route, Route::Generic);
+        assert!(sol.stats.is_some());
+        assert_eq!(sol.homomorphism.is_some(), homomorphism_exists(&a, &k3));
+    }
+
+    #[test]
+    fn forced_routes_and_errors() {
+        let c5 = generators::undirected_cycle(5);
+        let k3 = generators::complete_graph(3);
+        // K3 is not Boolean.
+        assert!(solve(&c5, &k3, Strategy::Schaefer).is_err());
+        // C5 is not acyclic.
+        assert!(solve(&c5, &k3, Strategy::Acyclic).is_err());
+        // Booleanized K3 is not Schaefer.
+        assert!(solve(&c5, &k3, Strategy::Booleanize).is_err());
+        // Treewidth always works.
+        let sol = solve(&c5, &k3, Strategy::Treewidth).unwrap();
+        assert!(sol.homomorphism.is_some());
+        // Generic always works.
+        let sol = solve(&c5, &k3, Strategy::Generic(SearchOptions::default())).unwrap();
+        assert!(sol.homomorphism.is_some());
+    }
+
+    #[test]
+    fn all_strategies_agree_on_random_instances() {
+        for seed in 0..10u64 {
+            let a = generators::random_digraph(6, 0.3, seed);
+            let b = generators::random_digraph(4, 0.4, seed + 777);
+            let expected = homomorphism_exists(&a, &b);
+            for strat in [
+                Strategy::Auto,
+                Strategy::Treewidth,
+                Strategy::Generic(SearchOptions::default()),
+            ] {
+                let sol = solve(&a, &b, strat).unwrap();
+                assert_eq!(sol.homomorphism.is_some(), expected, "seed {seed} {strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_coloring_against_c4_template_uses_booleanization() {
+        // CSP(C4) ≡ 2-colorability in disguise (Example 3.8): verify
+        // our dispatcher gets the same answers as hom on digraph inputs.
+        let c4 = generators::directed_cycle(4);
+        for seed in 0..6u64 {
+            let a = generators::random_digraph(6, 0.25, seed);
+            let expected = homomorphism_exists(&a, &c4);
+            let sol = solve(&a, &c4, Strategy::Auto).unwrap();
+            assert_eq!(sol.homomorphism.is_some(), expected, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Solver implementations and the uniform dispatcher.
+
+pub mod backtracking;
+pub mod dispatch;

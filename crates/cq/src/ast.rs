@@ -1,0 +1,209 @@
+//! Conjunctive-query abstract syntax.
+//!
+//! Per the paper's §2: a query is a rule whose head lists the
+//! distinguished variables (in a chosen order — the order matters for
+//! containment!) and whose body is a conjunction of extensional atoms.
+//! All arguments are variables (pure conjunctive queries, no
+//! constants).
+
+use std::collections::HashMap;
+
+/// A body atom `R(v₁, …, v_r)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The predicate name.
+    pub predicate: String,
+    /// The argument variables.
+    pub args: Vec<String>,
+}
+
+/// Errors from query construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A distinguished (head) variable does not occur in the body.
+    UnsafeHeadVariable(String),
+    /// The same predicate was used with two different arities.
+    ArityConflict { predicate: String, first: usize, second: usize },
+    /// The two queries being compared have different head widths.
+    HeadWidthMismatch { left: usize, right: usize },
+    /// A predicate used by the query is absent from the database.
+    UnknownPredicate(String),
+    /// Miscellaneous invalid input.
+    Invalid(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable `{v}` does not occur in the body")
+            }
+            QueryError::ArityConflict { predicate, first, second } => write!(
+                f,
+                "predicate `{predicate}` used with arities {first} and {second}"
+            ),
+            QueryError::HeadWidthMismatch { left, right } => write!(
+                f,
+                "queries have different numbers of distinguished variables ({left} vs {right})"
+            ),
+            QueryError::UnknownPredicate(p) => {
+                write!(f, "predicate `{p}` is not part of the database vocabulary")
+            }
+            QueryError::Invalid(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A conjunctive query `head(X⃗) :- body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// The distinguished variables, in head order.
+    pub head: Vec<String>,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds and validates a query: head variables must occur in the
+    /// body (safety) and predicates must have consistent arities.
+    pub fn new(head: Vec<String>, body: Vec<Atom>) -> Result<Self, QueryError> {
+        let q = ConjunctiveQuery { head, body };
+        q.validate()?;
+        Ok(q)
+    }
+
+    fn validate(&self) -> Result<(), QueryError> {
+        let mut arities: HashMap<&str, usize> = HashMap::new();
+        for atom in &self.body {
+            match arities.get(atom.predicate.as_str()) {
+                Some(&a) if a != atom.args.len() => {
+                    return Err(QueryError::ArityConflict {
+                        predicate: atom.predicate.clone(),
+                        first: a,
+                        second: atom.args.len(),
+                    });
+                }
+                _ => {
+                    arities.insert(&atom.predicate, atom.args.len());
+                }
+            }
+        }
+        for h in &self.head {
+            if !self.body.iter().any(|a| a.args.contains(h)) {
+                return Err(QueryError::UnsafeHeadVariable(h.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// All distinct variables, body-first discovery order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for atom in &self.body {
+            for v in &atom.args {
+                if !seen.contains(&v.as_str()) {
+                    seen.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Predicate names with arities, in first-use order.
+    pub fn predicates(&self) -> Vec<(&str, usize)> {
+        let mut out: Vec<(&str, usize)> = Vec::new();
+        for atom in &self.body {
+            if !out.iter().any(|(p, _)| *p == atom.predicate) {
+                out.push((&atom.predicate, atom.args.len()));
+            }
+        }
+        out
+    }
+
+    /// Number of occurrences of each predicate (Saraiya's two-atom
+    /// condition looks at the maximum).
+    pub fn max_predicate_occurrences(&self) -> usize {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for atom in &self.body {
+            *counts.entry(atom.predicate.as_str()).or_insert(0) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Head width (number of distinguished variables).
+    pub fn head_width(&self) -> usize {
+        self.head.len()
+    }
+}
+
+impl std::fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q({})", self.head.join(", "))?;
+        write!(f, " :- ")?;
+        let atoms: Vec<String> = self
+            .body
+            .iter()
+            .map(|a| format!("{}({})", a.predicate, a.args.join(", ")))
+            .collect();
+        write!(f, "{}.", atoms.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom { predicate: p.into(), args: args.iter().map(|s| s.to_string()).collect() }
+    }
+
+    #[test]
+    fn paper_example_query() {
+        // Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).
+        let q = ConjunctiveQuery::new(
+            vec!["X1".into(), "X2".into()],
+            vec![
+                atom("P", &["X1", "Z1", "Z2"]),
+                atom("R", &["Z2", "Z3"]),
+                atom("R", &["Z3", "X2"]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(q.head_width(), 2);
+        assert_eq!(q.variables(), vec!["X1", "Z1", "Z2", "Z3", "X2"]);
+        assert_eq!(q.predicates(), vec![("P", 3), ("R", 2)]);
+        assert_eq!(q.max_predicate_occurrences(), 2);
+        assert_eq!(
+            q.to_string(),
+            "Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2)."
+        );
+    }
+
+    #[test]
+    fn unsafe_head_rejected() {
+        let err = ConjunctiveQuery::new(
+            vec!["X".into(), "Y".into()],
+            vec![atom("E", &["X", "X"])],
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::UnsafeHeadVariable("Y".into()));
+    }
+
+    #[test]
+    fn arity_conflict_rejected() {
+        let err = ConjunctiveQuery::new(
+            vec![],
+            vec![atom("E", &["X", "Y"]), atom("E", &["X"])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::ArityConflict { .. }));
+    }
+
+    #[test]
+    fn boolean_query_allowed() {
+        let q = ConjunctiveQuery::new(vec![], vec![atom("E", &["X", "Y"])]).unwrap();
+        assert_eq!(q.head_width(), 0);
+    }
+}

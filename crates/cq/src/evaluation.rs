@@ -1,0 +1,154 @@
+//! Conjunctive-query evaluation.
+//!
+//! `Q(D)` is the set of head-variable assignments whose extension to
+//! the body maps into `D` — i.e. homomorphisms from the (unmarked)
+//! frozen body into `D`, projected onto the head. Theorem 2.1's second
+//! formulation of containment (`(X⃗) ∈ Q₂(D_{Q₁})`) is tested against
+//! the homomorphism formulation in the integration suite (E10).
+
+use crate::ast::{ConjunctiveQuery, QueryError};
+use cqcs_structures::homomorphism::all_homomorphisms;
+use cqcs_structures::{Element, Structure, StructureBuilder};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Freezes the query body over the database's vocabulary (no
+/// distinguished markers — evaluation constrains the head by
+/// projection, not by markers).
+fn freeze_body(
+    q: &ConjunctiveQuery,
+    db: &Structure,
+) -> Result<(Structure, Vec<String>), QueryError> {
+    let voc = db.vocabulary();
+    for (p, arity) in q.predicates() {
+        match voc.lookup(p) {
+            None => return Err(QueryError::UnknownPredicate(p.to_owned())),
+            Some(id) if voc.arity(id) != arity => {
+                return Err(QueryError::ArityConflict {
+                    predicate: p.to_owned(),
+                    first: voc.arity(id),
+                    second: arity,
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    let variables: Vec<String> = q.variables().iter().map(|s| s.to_string()).collect();
+    let index: HashMap<&str, Element> = variables
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), Element(i as u32)))
+        .collect();
+    let mut b = StructureBuilder::new(Arc::clone(voc), variables.len());
+    let mut buf = Vec::new();
+    for atom in &q.body {
+        let rel = voc.lookup(&atom.predicate).expect("checked above");
+        buf.clear();
+        buf.extend(atom.args.iter().map(|v| index[v.as_str()]));
+        b.add_tuple(rel, &buf).expect("in range");
+    }
+    Ok((b.finish(), variables))
+}
+
+/// Evaluates `Q` on `D`: the sorted, deduplicated list of answers.
+///
+/// Enumeration is complete (it walks all body homomorphisms), so use it
+/// on query-sized inputs; the Boolean variant [`boolean_answer`] is the
+/// scalable one.
+pub fn evaluate(
+    q: &ConjunctiveQuery,
+    db: &Structure,
+) -> Result<Vec<Vec<Element>>, QueryError> {
+    let (body, variables) = freeze_body(q, db)?;
+    let head_pos: Vec<usize> = q
+        .head
+        .iter()
+        .map(|h| variables.iter().position(|v| v == h).expect("safety checked"))
+        .collect();
+    let mut answers: Vec<Vec<Element>> = all_homomorphisms(&body, db)
+        .into_iter()
+        .map(|h| head_pos.iter().map(|&i| h.apply(Element::new(i))).collect())
+        .collect();
+    answers.sort_unstable();
+    answers.dedup();
+    Ok(answers)
+}
+
+/// Evaluates a Boolean query (or the Boolean shadow of any query):
+/// `Q(D) ≠ ∅`?
+pub fn boolean_answer(q: &ConjunctiveQuery, db: &Structure) -> Result<bool, QueryError> {
+    let (body, _) = freeze_body(q, db)?;
+    let sol = cqcs_core::solve(&body, db, cqcs_core::Strategy::Auto)
+        .map_err(|e| QueryError::Invalid(e.to_string()))?;
+    Ok(sol.homomorphism.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use cqcs_structures::generators;
+
+    #[test]
+    fn path_query_on_tournament() {
+        // Q(X, Y) :- E(X, Z), E(Z, Y): pairs connected by a 2-walk.
+        let q = parse_query("Q(X, Y) :- E(X, Z), E(Z, Y).").unwrap();
+        let t3 = generators::transitive_tournament(3);
+        let answers = evaluate(&q, &t3).unwrap();
+        assert_eq!(answers, vec![vec![Element(0), Element(2)]]);
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        // Q(X) :- E(X, Y): sources, each once.
+        let q = parse_query("Q(X) :- E(X, Y).").unwrap();
+        let t3 = generators::transitive_tournament(3);
+        let answers = evaluate(&q, &t3).unwrap();
+        assert_eq!(answers, vec![vec![Element(0)], vec![Element(1)]]);
+    }
+
+    #[test]
+    fn boolean_answers() {
+        let triangle = parse_query("Q :- E(X, Y), E(Y, Z), E(Z, X).").unwrap();
+        assert!(boolean_answer(&triangle, &generators::directed_cycle(3)).unwrap());
+        assert!(!boolean_answer(&triangle, &generators::directed_path(5)).unwrap());
+        // Closed walks of length 6 exist in C3 (wrap twice).
+        let hex = parse_query("Q :- E(A,B), E(B,C), E(C,D), E(D,F), E(F,G), E(G,A).").unwrap();
+        assert!(boolean_answer(&hex, &generators::directed_cycle(3)).unwrap());
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        let q = parse_query("Q(X) :- F(X, X).").unwrap();
+        let d = generators::directed_path(2);
+        assert!(matches!(
+            evaluate(&q, &d),
+            Err(QueryError::UnknownPredicate(p)) if p == "F"
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let q = parse_query("Q(X) :- E(X, X, X).").unwrap();
+        let d = generators::directed_path(2);
+        assert!(matches!(evaluate(&q, &d), Err(QueryError::ArityConflict { .. })));
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms() {
+        let q = parse_query("Q(X) :- E(X, X).").unwrap();
+        let voc = generators::digraph_vocabulary();
+        let mut b = cqcs_structures::StructureBuilder::new(voc, 3);
+        b.add_fact("E", &[1, 1]).unwrap();
+        b.add_fact("E", &[0, 2]).unwrap();
+        let d = b.finish();
+        assert_eq!(evaluate(&q, &d).unwrap(), vec![vec![Element(1)]]);
+    }
+
+    #[test]
+    fn all_answers_on_complete_graph() {
+        let q = parse_query("Q(X, Y) :- E(X, Y).").unwrap();
+        let k3 = generators::complete_graph(3);
+        assert_eq!(evaluate(&q, &k3).unwrap().len(), 6);
+    }
+}

@@ -1,0 +1,136 @@
+//! Query minimization via cores — the classic Chandra–Merlin
+//! application of containment.
+//!
+//! The minimal equivalent of `Q` is the canonical query of the **core**
+//! of `D_Q`. The distinguished markers `P_i` pin the head variables, so
+//! the core never folds them away; body variables folded together or
+//! retracted disappear as redundant atoms.
+
+use crate::ast::{Atom, ConjunctiveQuery, QueryError};
+use crate::canonical::{canonical_database, DISTINGUISHED_PREFIX};
+use cqcs_structures::core_of::core_of;
+
+/// Minimizes a conjunctive query: returns an equivalent query with the
+/// fewest atoms (unique up to variable renaming).
+pub fn minimize(q: &ConjunctiveQuery) -> Result<ConjunctiveQuery, QueryError> {
+    let cd = canonical_database(q);
+    let res = core_of(&cd.database);
+    let core = &res.core;
+
+    // Name core elements: reuse an original variable name that folded
+    // onto each core element (the first retained pre-image).
+    let mut names: Vec<Option<String>> = vec![None; core.universe()];
+    for (orig, kept) in res.retained.iter().enumerate() {
+        if let Some(c) = kept {
+            names[c.index()] = Some(cd.variables[orig].clone());
+        }
+    }
+    let name_of =
+        |e: cqcs_structures::Element| names[e.index()].clone().expect("core elements named");
+
+    let voc = core.vocabulary();
+    let mut body = Vec::new();
+    let mut head = vec![String::new(); q.head_width()];
+    for (id, name, arity) in voc.symbols() {
+        if let Some(idx_str) = name.strip_prefix(DISTINGUISHED_PREFIX) {
+            let i: usize = idx_str.parse().expect("marker names are generated");
+            for t in core.relation(id).iter() {
+                head[i] = name_of(t[0]);
+            }
+            continue;
+        }
+        let _ = arity;
+        for t in core.relation(id).iter() {
+            body.push(Atom {
+                predicate: name.to_owned(),
+                args: t.iter().map(|&e| name_of(e)).collect(),
+            });
+        }
+    }
+    ConjunctiveQuery::new(head, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use crate::parser::parse_query;
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        parse_query(src).unwrap()
+    }
+
+    #[test]
+    fn redundant_atom_removed() {
+        let query = q("Q(X) :- E(X, Y), E(X, Z).");
+        let min = minimize(&query).unwrap();
+        assert_eq!(min.body.len(), 1);
+        assert!(equivalent(&query, &min).unwrap());
+        assert_eq!(min.head.len(), 1);
+    }
+
+    #[test]
+    fn minimal_query_unchanged() {
+        let query = q("Q(X) :- E(X, Y), E(Y, X).");
+        let min = minimize(&query).unwrap();
+        assert_eq!(min.body.len(), 2);
+        assert!(equivalent(&query, &min).unwrap());
+    }
+
+    #[test]
+    fn directed_even_cycle_is_a_core() {
+        // The *directed* 6-cycle admits only rotations as
+        // endomorphisms, so it does not minimize.
+        let query = q("Q :- E(A,B), E(B,C), E(C,D), E(D,F), E(F,G), E(G,A).");
+        let min = minimize(&query).unwrap();
+        assert_eq!(min.body.len(), 6);
+    }
+
+    #[test]
+    fn symmetric_even_cycle_collapses_to_an_edge() {
+        // The symmetric 4-cycle 2-colors, so its core is one symmetric
+        // edge: 2 atoms.
+        let query = q(
+            "Q :- E(A,B), E(B,A), E(B,C), E(C,B), E(C,D), E(D,C), E(D,A), E(A,D).",
+        );
+        let min = minimize(&query).unwrap();
+        assert_eq!(min.body.len(), 2, "got {min}");
+        assert!(equivalent(&query, &min).unwrap());
+    }
+
+    #[test]
+    fn odd_cycle_is_minimal() {
+        let query = q("Q :- E(A,B), E(B,C), E(C,A).");
+        let min = minimize(&query).unwrap();
+        assert_eq!(min.body.len(), 3);
+    }
+
+    #[test]
+    fn head_pins_variables() {
+        // Q(X, Y) :- E(X, Y), E(X, Z): Z-atom is redundant, but the
+        // (X, Y) edge is pinned by the head.
+        let query = q("Q(X, Y) :- E(X, Y), E(X, Z).");
+        let min = minimize(&query).unwrap();
+        assert_eq!(min.body.len(), 1);
+        assert_eq!(min.head, vec!["X", "Y"]);
+        assert_eq!(min.body[0].args, vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn chain_with_shortcut() {
+        // Two parallel paths of the same shape fold together.
+        let query = q("Q(X) :- E(X, A), E(A, B), E(X, C), E(C, D).");
+        let min = minimize(&query).unwrap();
+        assert_eq!(min.body.len(), 2);
+        assert!(equivalent(&query, &min).unwrap());
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let query = q("Q(X) :- E(X, Y), E(X, Z), E(Z, W), E(Y, W).");
+        let once = minimize(&query).unwrap();
+        let twice = minimize(&once).unwrap();
+        assert_eq!(once.body.len(), twice.body.len());
+        assert!(equivalent(&once, &twice).unwrap());
+    }
+}

@@ -1,0 +1,149 @@
+//! Parser for the rule syntax of conjunctive queries.
+//!
+//! ```text
+//! Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).
+//! ```
+//!
+//! The head predicate name is arbitrary (conventionally `Q`); `%`
+//! starts a line comment; the trailing dot is optional.
+
+use crate::ast::{Atom, ConjunctiveQuery, QueryError};
+
+/// Parses one conjunctive query.
+pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, QueryError> {
+    let cleaned: String = src
+        .lines()
+        .map(|l| l.split('%').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let Some((head_part, body_part)) = cleaned.split_once(":-") else {
+        return Err(QueryError::Invalid("missing `:-`".into()));
+    };
+    let head = parse_head(head_part.trim())?;
+    let body = parse_atoms(body_part.trim().trim_end_matches('.').trim())?;
+    ConjunctiveQuery::new(head, body)
+}
+
+fn parse_head(s: &str) -> Result<Vec<String>, QueryError> {
+    let s = s.trim();
+    let Some(open) = s.find('(') else {
+        // Bare head predicate: Boolean query.
+        if s.is_empty() || !is_ident(s) {
+            return Err(QueryError::Invalid(format!("bad head `{s}`")));
+        }
+        return Ok(Vec::new());
+    };
+    if !s.ends_with(')') {
+        return Err(QueryError::Invalid("head missing `)`".into()));
+    }
+    let name = &s[..open];
+    if !is_ident(name.trim()) {
+        return Err(QueryError::Invalid(format!("bad head predicate `{name}`")));
+    }
+    let inner = &s[open + 1..s.len() - 1];
+    split_args(inner)
+}
+
+fn parse_atoms(s: &str) -> Result<Vec<Atom>, QueryError> {
+    let mut atoms = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let Some(open) = rest.find('(') else {
+            return Err(QueryError::Invalid(format!("expected an atom at `{rest}`")));
+        };
+        let Some(close) = rest[open..].find(')') else {
+            return Err(QueryError::Invalid("atom missing `)`".into()));
+        };
+        let close = open + close;
+        let name = rest[..open].trim().trim_start_matches(',').trim();
+        if !is_ident(name) {
+            return Err(QueryError::Invalid(format!("bad predicate name `{name}`")));
+        }
+        let args = split_args(&rest[open + 1..close])?;
+        if args.is_empty() {
+            return Err(QueryError::Invalid(format!(
+                "atom `{name}` needs at least one argument"
+            )));
+        }
+        atoms.push(Atom { predicate: name.to_owned(), args });
+        rest = rest[close + 1..].trim();
+    }
+    if atoms.is_empty() {
+        return Err(QueryError::Invalid("empty body".into()));
+    }
+    Ok(atoms)
+}
+
+fn split_args(inner: &str) -> Result<Vec<String>, QueryError> {
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|a| {
+            let a = a.trim();
+            if is_ident(a) {
+                Ok(a.to_owned())
+            } else {
+                Err(QueryError::Invalid(format!("bad variable `{a}`")))
+            }
+        })
+        .collect()
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let q = parse_query("Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).").unwrap();
+        assert_eq!(q.head, vec!["X1", "X2"]);
+        assert_eq!(q.body.len(), 3);
+        assert_eq!(q.body[0].predicate, "P");
+        assert_eq!(q.body[0].args, vec!["X1", "Z1", "Z2"]);
+    }
+
+    #[test]
+    fn reordered_head_is_different() {
+        // The paper stresses the head order choice.
+        let a = parse_query("Q(X1, X2) :- R(X1, X2).").unwrap();
+        let b = parse_query("Q(X2, X1) :- R(X1, X2).").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let q = parse_query("Q :- E(X, Y), E(Y, X).").unwrap();
+        assert!(q.head.is_empty());
+        assert_eq!(q.body.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_multiline() {
+        let q = parse_query(
+            "Q(X) :- % head\n  E(X, Y), % first hop\n  E(Y, X).",
+        )
+        .unwrap();
+        assert_eq!(q.body.len(), 2);
+    }
+
+    #[test]
+    fn trailing_dot_optional() {
+        assert!(parse_query("Q(X) :- E(X, X)").is_ok());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("Q(X) E(X, X)").is_err(), "missing :-");
+        assert!(parse_query("Q(X) :- ").is_err(), "empty body");
+        assert!(parse_query("Q(X) :- E(X").is_err(), "unclosed paren");
+        assert!(parse_query("Q(Y) :- E(X, X).").is_err(), "unsafe head");
+        assert!(parse_query("Q(X) :- E().").is_err(), "empty atom");
+    }
+}

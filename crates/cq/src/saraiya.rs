@@ -1,0 +1,120 @@
+//! Saraiya's two-atom containment through Booleanization (Prop 3.6).
+//!
+//! If every predicate occurs at most twice in `Q₁`'s body, then every
+//! relation of `D_{Q₁}` has at most two tuples; Booleanizing the
+//! homomorphism instance `(D_{Q₂}, D_{Q₁})` therefore produces a
+//! template whose relations have at most two tuples each — and any
+//! ≤2-tuple Boolean relation is **bijunctive** (the majority of any
+//! three of two values repeats one of them). Containment thus reduces
+//! to 2-SAT-style propagation: the paper's polynomial bound
+//! `O(‖Q₂‖·log‖Q₁‖ + ‖Q₁‖)`.
+
+use crate::ast::{ConjunctiveQuery, QueryError};
+use crate::canonical::canonical_databases;
+use cqcs_boolean::booleanize::booleanize;
+use cqcs_boolean::schaefer::SchaeferClass;
+use cqcs_boolean::uniform::{schaefer_classes, solve_schaefer};
+
+/// Whether every predicate occurs at most twice in the query body.
+pub fn is_two_atom(q: &ConjunctiveQuery) -> bool {
+    q.max_predicate_occurrences() <= 2
+}
+
+/// Decides `q1 ⊑ q2` for a two-atom `q1` via Booleanization +
+/// bijunctive solving. Errors if `q1` is not two-atom (callers wanting
+/// the general case use [`crate::containment::contained_in`]).
+pub fn two_atom_containment(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Result<bool, QueryError> {
+    if !is_two_atom(q1) {
+        return Err(QueryError::Invalid(
+            "Saraiya's algorithm needs a two-atom left query".into(),
+        ));
+    }
+    let (d1, d2) = canonical_databases(q1, q2)?;
+    // hom(D_{Q2} → D_{Q1}); Booleanize with D_{Q1} as the template.
+    let (ab, bb, _info) = booleanize(&d2.database, &d1.database)
+        .map_err(|e| QueryError::Invalid(e.to_string()))?;
+    let classes =
+        schaefer_classes(&bb).map_err(|e| QueryError::Invalid(e.to_string()))?;
+    debug_assert!(
+        classes.contains(SchaeferClass::Bijunctive),
+        "≤2-tuple relations must Booleanize to a bijunctive template"
+    );
+    let h = solve_schaefer(&ab, &bb).map_err(|e| QueryError::Invalid(e.to_string()))?;
+    Ok(h.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::contained_in;
+    use crate::parser::parse_query;
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        parse_query(src).unwrap()
+    }
+
+    #[test]
+    fn two_atom_detection() {
+        assert!(is_two_atom(&q("Q(X) :- E(X, Y), E(Y, X), F(X, X).")));
+        assert!(!is_two_atom(&q("Q(X) :- E(X, Y), E(Y, Z), E(Z, X).")));
+    }
+
+    #[test]
+    fn agrees_with_generic_containment() {
+        // Pairs (q1 two-atom, q2 arbitrary); cross-check both answers.
+        let cases = [
+            ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(X, Y).", true),
+            ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(Y, X).", true),
+            ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(X, Y), E(Y, Z), E(Z, X).", false),
+            ("Q(X) :- E(X, Y).", "Q(X) :- E(X, Y), E(Y, Z).", false),
+            ("Q(X, Y) :- E(X, Y), F(Y, X).", "Q(X, Y) :- E(X, Y).", true),
+            ("Q :- E(A, B), E(B, C).", "Q :- E(A, B).", true),
+        ];
+        for (left, right, expected) in cases {
+            let q1 = q(left);
+            let q2 = q(right);
+            assert_eq!(
+                two_atom_containment(&q1, &q2).unwrap(),
+                expected,
+                "Saraiya on {left} ⊑ {right}"
+            );
+            assert_eq!(
+                contained_in(&q1, &q2).unwrap(),
+                expected,
+                "generic on {left} ⊑ {right}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_on_richer_vocabularies() {
+        let q1 = q("Q(X) :- E(X, Y), F(Y, Z), E(Z, X).");
+        assert!(is_two_atom(&q1));
+        let q2a = q("Q(X) :- E(X, Y).");
+        let q2b = q("Q(X) :- F(X, Y), F(Y, Z).");
+        assert_eq!(
+            two_atom_containment(&q1, &q2a).unwrap(),
+            contained_in(&q1, &q2a).unwrap()
+        );
+        assert_eq!(
+            two_atom_containment(&q1, &q2b).unwrap(),
+            contained_in(&q1, &q2b).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_non_two_atom_left_query() {
+        let q1 = q("Q(X) :- E(X, A), E(A, B), E(B, X).");
+        let q2 = q("Q(X) :- E(X, Y).");
+        assert!(two_atom_containment(&q1, &q2).is_err());
+    }
+
+    #[test]
+    fn reflexive_containment() {
+        let q1 = q("Q(X, Y) :- E(X, Z), E(Z, Y).");
+        assert!(two_atom_containment(&q1, &q1).unwrap());
+    }
+}

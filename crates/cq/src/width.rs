@@ -1,0 +1,106 @@
+//! Structural width measures of queries.
+//!
+//! The paper's introduction situates its results against the
+//! Chekuri–Rajaraman querywidth line: containment `Q₁ ⊑ Q₂` is
+//! polynomial when `Q₂` has bounded width, because `D_{Q₂}` is the
+//! *left* structure of the homomorphism test. These helpers measure the
+//! widths that drive the dispatcher: the (Gaifman) treewidth of the
+//! query's canonical database and hypergraph acyclicity (width 1).
+
+use crate::ast::ConjunctiveQuery;
+use crate::canonical::canonical_database;
+use cqcs_structures::gaifman_graph;
+use cqcs_treewidth::acyclic::is_acyclic;
+use cqcs_treewidth::exact::{exact_treewidth, EXACT_MAX_VERTICES};
+use cqcs_treewidth::heuristics::min_fill_decomposition;
+
+/// Width facts about one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryWidth {
+    /// Number of variables.
+    pub variables: usize,
+    /// Number of body atoms.
+    pub atoms: usize,
+    /// Upper bound on the treewidth of the query graph (min-fill).
+    pub treewidth_upper: usize,
+    /// Exact treewidth when the query is small enough to afford it.
+    pub treewidth_exact: Option<usize>,
+    /// Whether the body hypergraph is α-acyclic (width-1 / Yannakakis
+    /// territory).
+    pub acyclic: bool,
+}
+
+/// Measures a query's structural width.
+///
+/// The canonical database *without* head markers drives the graph
+/// measures (markers are unary and never change treewidth), but
+/// acyclicity is measured on the marked database since that is what the
+/// containment solver actually sees.
+pub fn query_width(q: &ConjunctiveQuery) -> QueryWidth {
+    let cd = canonical_database(q);
+    let g = gaifman_graph(&cd.database);
+    let treewidth_upper =
+        if cd.database.universe() == 0 { 0 } else { min_fill_decomposition(&g).width() };
+    let treewidth_exact =
+        (g.len() <= EXACT_MAX_VERTICES).then(|| exact_treewidth(&g));
+    QueryWidth {
+        variables: cd.database.universe(),
+        atoms: q.body.len(),
+        treewidth_upper,
+        treewidth_exact,
+        acyclic: is_acyclic(&cd.database),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn chain_queries_are_width_one_and_acyclic() {
+        let q = parse_query("Q(V0) :- E(V0,V1), E(V1,V2), E(V2,V3).").unwrap();
+        let w = query_width(&q);
+        assert_eq!(w.variables, 4);
+        assert_eq!(w.atoms, 3);
+        assert_eq!(w.treewidth_exact, Some(1));
+        assert!(w.acyclic);
+    }
+
+    #[test]
+    fn cycle_queries_have_width_two_and_are_cyclic() {
+        let q = parse_query("Q :- E(A,B), E(B,C), E(C,D), E(D,A).").unwrap();
+        let w = query_width(&q);
+        assert_eq!(w.treewidth_exact, Some(2));
+        assert!(!w.acyclic);
+        assert!(w.treewidth_upper >= 2);
+    }
+
+    #[test]
+    fn wide_atom_is_acyclic_despite_gaifman_clique() {
+        // One ternary atom: Gaifman treewidth 2, but hypergraph-acyclic
+        // — exactly the paper's incidence-vs-Gaifman discussion.
+        let q = parse_query("Q :- R(A, B, C).").unwrap();
+        let w = query_width(&q);
+        assert_eq!(w.treewidth_exact, Some(2));
+        assert!(w.acyclic);
+    }
+
+    #[test]
+    fn triangle_query() {
+        let q = parse_query("Q :- E(A,B), E(B,C), E(C,A).").unwrap();
+        let w = query_width(&q);
+        assert_eq!(w.treewidth_exact, Some(2));
+        assert!(!w.acyclic);
+    }
+
+    #[test]
+    fn markers_do_not_inflate_width() {
+        let plain = parse_query("Q :- E(A,B), E(B,C).").unwrap();
+        let headed = parse_query("Q(A, C) :- E(A,B), E(B,C).").unwrap();
+        assert_eq!(
+            query_width(&plain).treewidth_exact,
+            query_width(&headed).treewidth_exact
+        );
+    }
+}

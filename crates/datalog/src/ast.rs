@@ -1,0 +1,305 @@
+//! Datalog abstract syntax: programs, rules, atoms.
+//!
+//! Predicates are interned program-wide; variables are interned
+//! per-rule (a rule's variables are scoped to it). IDB predicates are
+//! those occurring in rule heads; everything else is EDB and is bound
+//! to the relations of an input [`cqcs_structures::Structure`] by name
+//! at evaluation time.
+
+use std::collections::HashMap;
+
+/// Program-wide predicate handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Rule-scoped variable handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An atom `P(v₁, …, v_r)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The predicate.
+    pub pred: PredId,
+    /// The argument variables.
+    pub args: Vec<VarId>,
+}
+
+/// A rule `head :- body₁, …, body_m` (empty body = unconditional,
+/// deriving the head for every active-domain assignment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom (must be an IDB predicate).
+    pub head: Atom,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+    /// Number of distinct variables in the rule.
+    pub num_vars: usize,
+}
+
+impl Rule {
+    /// Distinct variables occurring in the body.
+    pub fn body_vars(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> =
+            self.body.iter().flat_map(|a| a.args.iter().copied()).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Distinct variables occurring in the head.
+    pub fn head_vars(&self) -> Vec<VarId> {
+        let mut vars = self.head.args.clone();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Whether every head variable occurs in the body (range
+    /// restricted / "safe" in the classical sense).
+    pub fn is_range_restricted(&self) -> bool {
+        let body = self.body_vars();
+        self.head_vars().iter().all(|v| body.contains(v))
+    }
+}
+
+/// A Datalog program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pred_names: Vec<String>,
+    pred_arities: Vec<usize>,
+    is_idb: Vec<bool>,
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// The goal predicate.
+    pub goal: PredId,
+}
+
+impl Program {
+    /// Predicate name.
+    pub fn pred_name(&self, p: PredId) -> &str {
+        &self.pred_names[p.index()]
+    }
+
+    /// Predicate arity.
+    pub fn pred_arity(&self, p: PredId) -> usize {
+        self.pred_arities[p.index()]
+    }
+
+    /// Whether the predicate occurs in some rule head.
+    pub fn is_idb(&self, p: PredId) -> bool {
+        self.is_idb[p.index()]
+    }
+
+    /// Number of predicates.
+    pub fn num_preds(&self) -> usize {
+        self.pred_names.len()
+    }
+
+    /// Looks up a predicate by name.
+    pub fn pred(&self, name: &str) -> Option<PredId> {
+        self.pred_names.iter().position(|n| n == name).map(|i| PredId(i as u32))
+    }
+
+    /// The EDB predicates (inputs), in id order.
+    pub fn edb_preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.num_preds() as u32).map(PredId).filter(|p| !self.is_idb(*p))
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for rule in &self.rules {
+            let fmt_atom = |a: &Atom| -> String {
+                if a.args.is_empty() {
+                    self.pred_name(a.pred).to_owned()
+                } else {
+                    format!(
+                        "{}({})",
+                        self.pred_name(a.pred),
+                        a.args
+                            .iter()
+                            .map(|v| format!("V{}", v.0))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            };
+            write!(f, "{} :- ", fmt_atom(&rule.head))?;
+            let body: Vec<String> = rule.body.iter().map(fmt_atom).collect();
+            writeln!(f, "{}.", body.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental program construction with string-named predicates and
+/// variables.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    pred_names: Vec<String>,
+    pred_arities: Vec<usize>,
+    by_name: HashMap<String, PredId>,
+    rules: Vec<Rule>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a predicate (name, arity); re-declaration with a
+    /// different arity panics (program construction is a programming
+    /// act, not user input).
+    pub fn pred(&mut self, name: &str, arity: usize) -> PredId {
+        if let Some(&p) = self.by_name.get(name) {
+            assert_eq!(
+                self.pred_arities[p.index()],
+                arity,
+                "predicate `{name}` re-declared with different arity"
+            );
+            return p;
+        }
+        let p = PredId(self.pred_names.len() as u32);
+        self.pred_names.push(name.to_owned());
+        self.pred_arities.push(arity);
+        self.by_name.insert(name.to_owned(), p);
+        p
+    }
+
+    /// Adds a rule from (pred, variable names) tuples; the first entry
+    /// is the head.
+    pub fn rule(&mut self, head: (&str, &[&str]), body: &[(&str, &[&str])]) {
+        let mut vars: HashMap<String, VarId> = HashMap::new();
+        let mut intern_atom = |b: &mut Self, pred: &str, args: &[&str]| -> Atom {
+            let p = b.pred(pred, args.len());
+            let args = args
+                .iter()
+                .map(|a| {
+                    let next = vars.len() as u32;
+                    *vars.entry((*a).to_owned()).or_insert(VarId(next))
+                })
+                .collect();
+            Atom { pred: p, args }
+        };
+        let head_atom = intern_atom(self, head.0, head.1);
+        let body_atoms: Vec<Atom> =
+            body.iter().map(|(p, a)| intern_atom(self, p, a)).collect();
+        self.rules.push(Rule { head: head_atom, body: body_atoms, num_vars: vars.len() });
+    }
+
+    /// Adds a pre-built rule (used by the canonical-program generator).
+    pub fn raw_rule(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Finalizes with the named goal predicate (interned 0-ary if new).
+    pub fn finish(mut self, goal: &str) -> Program {
+        let goal = self.by_name.get(goal).copied().unwrap_or_else(|| {
+            let p = PredId(self.pred_names.len() as u32);
+            self.pred_names.push(goal.to_owned());
+            self.pred_arities.push(0);
+            p
+        });
+        let mut is_idb = vec![false; self.pred_names.len()];
+        for r in &self.rules {
+            is_idb[r.head.pred.index()] = true;
+        }
+        Program {
+            pred_names: self.pred_names,
+            pred_arities: self.pred_arities,
+            is_idb,
+            rules: self.rules,
+            goal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.rule(("P", &["X", "Y"]), &[("E", &["X", "Y"])]);
+        b.rule(("P", &["X", "Y"]), &[("P", &["X", "Z"]), ("E", &["Z", "Y"])]);
+        b.rule(("Q", &[]), &[("P", &["X", "X"])]);
+        b.finish("Q")
+    }
+
+    #[test]
+    fn build_and_introspect() {
+        let p = tc_program();
+        assert_eq!(p.num_preds(), 3);
+        let e = p.pred("E").unwrap();
+        let pp = p.pred("P").unwrap();
+        let q = p.pred("Q").unwrap();
+        assert!(!p.is_idb(e));
+        assert!(p.is_idb(pp) && p.is_idb(q));
+        assert_eq!(p.pred_arity(pp), 2);
+        assert_eq!(p.pred_arity(q), 0);
+        assert_eq!(p.goal, q);
+        assert_eq!(p.edb_preds().collect::<Vec<_>>(), vec![e]);
+    }
+
+    #[test]
+    fn rule_variable_interning() {
+        let p = tc_program();
+        let r = &p.rules[1]; // P(X,Y) :- P(X,Z), E(Z,Y).
+        assert_eq!(r.num_vars, 3);
+        assert_eq!(r.head.args[0], r.body[0].args[0], "X shared");
+        assert_eq!(r.body[0].args[1], r.body[1].args[0], "Z shared");
+        assert!(r.is_range_restricted());
+    }
+
+    #[test]
+    fn unsafe_rule_detected() {
+        let mut b = ProgramBuilder::new();
+        b.rule(("T", &["X", "Y"]), &[("E", &["X", "X"])]);
+        let p = b.finish("T");
+        assert!(!p.rules[0].is_range_restricted(), "Y not in body");
+    }
+
+    #[test]
+    fn display_roundtrippable_shape() {
+        let p = tc_program();
+        let text = p.to_string();
+        assert!(text.contains(":-"));
+        assert!(text.contains('P'));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn arity_conflict_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut b = ProgramBuilder::new();
+            b.rule(("P", &["X"]), &[("E", &["X", "X"])]);
+            b.rule(("P", &["X", "Y"]), &[("E", &["X", "Y"])]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn goal_interned_when_missing() {
+        let mut b = ProgramBuilder::new();
+        b.rule(("P", &["X"]), &[("E", &["X", "X"])]);
+        let p = b.finish("Goal");
+        assert_eq!(p.pred_arity(p.goal), 0);
+        assert_eq!(p.pred_name(p.goal), "Goal");
+    }
+}

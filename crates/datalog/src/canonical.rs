@@ -1,0 +1,280 @@
+//! The canonical k-Datalog program ρ_B of Theorem 4.7(2).
+//!
+//! For a fixed structure `B` and pebble count `k`, ρ_B expresses "given
+//! `A`, does the Spoiler win the existential k-pebble game on (A, B)?".
+//! Its IDB has one k-ary predicate `T_b` per k-tuple `b ∈ B^k`, read as
+//! "the position (x⃗, b⃗) is winning for the Spoiler", plus the 0-ary
+//! goal `S`:
+//!
+//! 1. for every `b` with `b_i ≠ b_j`: `T_b(x'₁,…,x'ₖ) :-` with
+//!    `x'_i = x'_j` (the correspondence is not a function);
+//! 2. for every symbol `R` and index tuple `(i₁,…,i_m)` with
+//!    `(b_{i₁},…,b_{i_m}) ∉ R^B`: `T_b(x₁,…,xₖ) :- R(x_{i₁},…,x_{i_m})`
+//!    (the mapping is not a homomorphism);
+//! 3. for every `j`: `T_b(x₁,…,xₖ) :- ⋀_{c ∈ B}
+//!    T_{b[j←c]}(x₁,…,x_{j−1},y,x_{j+1},…,xₖ)` (the Spoiler re-places
+//!    pebble `j` on a new element `y`; whatever `c` the Duplicator
+//!    answers, the position stays winning) — note the head variable
+//!    `x_j` is range-unrestricted, exactly the active-domain semantics
+//!    [`crate::eval`] implements;
+//! 4. `S :- ⋀_{b ∈ B^k} T_b(x₁,…,xₖ)` (some placement defeats every
+//!    reply).
+//!
+//! The program has `|B|^k` IDB predicates and `O(|B|^k · (k² + ‖σ‖·kᵐ))`
+//! rules — polynomial for fixed `B` and `k`, exactly as the theorem
+//! requires. Remark 4.10(1): ρ_B *is* the Feder–Vardi program: if
+//! co-CSP(B) is k-Datalog-expressible at all, ρ_B expresses it.
+
+use crate::ast::{Atom, PredId, Program, ProgramBuilder, Rule, VarId};
+use cqcs_structures::{Element, Structure};
+
+/// Builds ρ_B for the given template and pebble count.
+///
+/// # Panics
+/// Panics if `k = 0`, or if `|B|^k` would be unreasonably large
+/// (> 10⁶ predicates) — the construction is meant for small fixed
+/// templates, mirroring its role in the paper.
+pub fn canonical_program(b: &Structure, k: usize) -> Program {
+    assert!(k >= 1, "at least one pebble");
+    let m = b.universe();
+    let preds = (m as u64).checked_pow(k as u32).expect("|B|^k overflow");
+    assert!(preds <= 1_000_000, "|B|^k = {preds} too large for ρ_B");
+
+    let mut builder = ProgramBuilder::new();
+    // Intern EDB predicates with B's vocabulary names.
+    let edb: Vec<PredId> = b
+        .vocabulary()
+        .symbols()
+        .map(|(_, name, arity)| builder.pred(name, arity))
+        .collect();
+    // Intern T_b for every b ∈ B^k, in lexicographic order so that
+    // index arithmetic can recover them.
+    let t_pred = |builder: &mut ProgramBuilder, tuple: &[u32]| -> PredId {
+        let name = format!(
+            "T_{}",
+            tuple.iter().map(u32::to_string).collect::<Vec<_>>().join("_")
+        );
+        builder.pred(&name, k)
+    };
+    let mut all_b: Vec<Vec<u32>> = Vec::with_capacity(preds as usize);
+    {
+        let mut tuple = vec![0u32; k];
+        loop {
+            all_b.push(tuple.clone());
+            let mut i = 0;
+            loop {
+                if i == k {
+                    break;
+                }
+                tuple[i] += 1;
+                if (tuple[i] as usize) < m {
+                    break;
+                }
+                tuple[i] = 0;
+                i += 1;
+            }
+            if i == k {
+                break;
+            }
+            if m == 0 {
+                break;
+            }
+        }
+        if m == 0 {
+            all_b.clear();
+        }
+    }
+
+    let goal = builder.pred("S", 0);
+
+    for bt in &all_b {
+        let tb = t_pred(&mut builder, bt);
+        // Rule family 1: non-functional positions.
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if bt[i] != bt[j] {
+                    // Head pattern x'_i = x'_j = x_i; variables are
+                    // rule-scoped ids: give position p variable p,
+                    // except position j reuses i.
+                    let args: Vec<VarId> = (0..k)
+                        .map(|p| VarId(if p == j { i as u32 } else { p as u32 }))
+                        .collect();
+                    builder.raw_rule(Rule {
+                        head: Atom { pred: tb, args },
+                        body: vec![],
+                        num_vars: k,
+                    });
+                }
+            }
+        }
+        // Rule family 2: tuple violations.
+        for (sym_idx, (rel, _, arity)) in b.vocabulary().symbols().enumerate() {
+            if arity == 0 {
+                continue;
+            }
+            // Every index tuple (i₁..i_m) ∈ [k]^m with the image not in R^B.
+            let mut idx = vec![0usize; arity];
+            loop {
+                let image: Vec<Element> =
+                    idx.iter().map(|&i| Element(bt[i])).collect();
+                if !b.relation(rel).contains(&image) {
+                    let body = vec![Atom {
+                        pred: edb[sym_idx],
+                        args: idx.iter().map(|&i| VarId(i as u32)).collect(),
+                    }];
+                    let head = Atom {
+                        pred: tb,
+                        args: (0..k as u32).map(VarId).collect(),
+                    };
+                    builder.raw_rule(Rule { head, body, num_vars: k });
+                }
+                // Advance idx in [k]^m.
+                let mut p = 0;
+                loop {
+                    if p == arity {
+                        break;
+                    }
+                    idx[p] += 1;
+                    if idx[p] < k {
+                        break;
+                    }
+                    idx[p] = 0;
+                    p += 1;
+                }
+                if p == arity {
+                    break;
+                }
+            }
+        }
+        // Rule family 3: re-place pebble j.
+        for j in 0..k {
+            // Variables: x_0..x_{k-1} are 0..k-1; y is k.
+            let y = VarId(k as u32);
+            let body: Vec<Atom> = (0..m as u32)
+                .map(|c| {
+                    let mut bc = bt.clone();
+                    bc[j] = c;
+                    let pred = t_pred(&mut builder, &bc);
+                    let args: Vec<VarId> = (0..k)
+                        .map(|p| if p == j { y } else { VarId(p as u32) })
+                        .collect();
+                    Atom { pred, args }
+                })
+                .collect();
+            let head = Atom { pred: tb, args: (0..k as u32).map(VarId).collect() };
+            builder.raw_rule(Rule { head, body, num_vars: k + 1 });
+        }
+    }
+
+    // Rule family 4: the goal.
+    {
+        let body: Vec<Atom> = all_b
+            .iter()
+            .map(|bt| Atom {
+                pred: t_pred(&mut builder, bt),
+                args: (0..k as u32).map(VarId).collect(),
+            })
+            .collect();
+        builder.raw_rule(Rule {
+            head: Atom { pred: goal, args: vec![] },
+            body,
+            num_vars: k,
+        });
+    }
+
+    builder.finish("S")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_naive, eval_semi_naive};
+    use crate::validate::datalog_width;
+    use cqcs_pebble::spoiler_wins;
+    use cqcs_structures::generators;
+
+    #[test]
+    fn program_shape_for_k2_on_k2() {
+        let b = generators::complete_graph(2);
+        let p = canonical_program(&b, 2);
+        // 4 T-predicates + E + S.
+        assert_eq!(p.num_preds(), 6);
+        assert!(p.pred("T_0_1").is_some());
+        assert_eq!(p.pred_arity(p.pred("T_0_1").unwrap()), 2);
+        assert_eq!(p.pred_arity(p.goal), 0);
+    }
+
+    #[test]
+    fn width_is_k_plus_one_variable_bodies() {
+        // Rule family 3 bodies use k distinct variables; heads use k;
+        // family-3 rules have k+1 total (x_j appears only in the head).
+        // The paper counts body and head variables separately: both ≤ k.
+        let b = generators::complete_graph(2);
+        let p = canonical_program(&b, 2);
+        assert_eq!(datalog_width(&p), 2);
+    }
+
+    /// The headline equivalence of Theorem 4.7(2): bottom-up evaluation
+    /// of ρ_B on A derives the goal iff the Spoiler wins the
+    /// k-pebble game on (A, B).
+    #[test]
+    fn rho_b_equals_pebble_game_on_k2() {
+        let b = generators::complete_graph(2);
+        let program = canonical_program(&b, 2);
+        for seed in 0..8u64 {
+            let a = generators::random_digraph(4, 0.4, seed);
+            let expected = spoiler_wins(&a, &b, 2);
+            assert_eq!(
+                eval_semi_naive(&program, &a).goal_derived,
+                expected,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rho_b_equals_pebble_game_odd_cycles_k3() {
+        // With k = 3 on template K2, ρ_B decides 2-colorability
+        // (Theorem 4.8/4.9 route), matching the game.
+        let b = generators::complete_graph(2);
+        let program = canonical_program(&b, 3);
+        for n in [3, 4, 5, 6] {
+            let a = generators::undirected_cycle(n);
+            let expected = spoiler_wins(&a, &b, 3);
+            assert_eq!(expected, n % 2 == 1, "sanity: game decides 2-coloring");
+            assert_eq!(
+                eval_semi_naive(&program, &a).goal_derived,
+                expected,
+                "C{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rho_b_on_directed_templates() {
+        let b = generators::transitive_tournament(2);
+        let program = canonical_program(&b, 2);
+        for seed in 0..6u64 {
+            let a = generators::random_digraph(4, 0.35, seed + 50);
+            assert_eq!(
+                eval_naive(&program, &a).goal_derived,
+                spoiler_wins(&a, &b, 2),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree_on_rho_b() {
+        let b = generators::complete_graph(2);
+        let program = canonical_program(&b, 2);
+        for seed in 0..5u64 {
+            let a = generators::random_digraph(5, 0.3, seed);
+            assert_eq!(
+                eval_naive(&program, &a).goal_derived,
+                eval_semi_naive(&program, &a).goal_derived,
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Bottom-up Datalog evaluation.
+//!
+//! Both the textbook **naive** iteration and the **semi-naive**
+//! differential variant are provided (experiment E12 measures the gap).
+//! Semantics are over the **active domain**: rule variables range over
+//! the whole universe of the input structure, so range-unrestricted
+//! head variables (which the canonical program ρ_B of Theorem 4.7 uses)
+//! mean "for every element". Evaluation terminates within a polynomial
+//! number of steps in the size of the input, as the paper recalls in
+//! §4.1.
+
+use crate::ast::{Atom, PredId, Program, Rule};
+use cqcs_structures::Structure;
+use std::collections::{HashMap, HashSet};
+
+/// Derived facts per predicate.
+pub type FactStore = HashMap<PredId, HashSet<Vec<u32>>>;
+
+/// The outcome of a bottom-up evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// All derived IDB facts (EDB facts are not copied in).
+    pub facts: FactStore,
+    /// Whether any fact of the goal predicate was derived.
+    pub goal_derived: bool,
+    /// Fixpoint iterations performed.
+    pub iterations: usize,
+    /// Total rule-body join attempts (a work measure for E12).
+    pub join_work: usize,
+}
+
+/// Binds the program's EDB predicates to the structure's relations by
+/// name; missing relations are treated as empty.
+fn edb_store(program: &Program, input: &Structure) -> FactStore {
+    let mut store: FactStore = HashMap::new();
+    for p in program.edb_preds() {
+        let mut set = HashSet::new();
+        if let Some(rel) = input.vocabulary().lookup(program.pred_name(p)) {
+            if input.vocabulary().arity(rel) == program.pred_arity(p) {
+                for t in input.relation(rel).iter() {
+                    set.insert(t.iter().map(|e| e.0).collect());
+                }
+            }
+        }
+        store.insert(p, set);
+    }
+    store
+}
+
+/// Naive evaluation: re-derive everything until no new fact appears.
+pub fn eval_naive(program: &Program, input: &Structure) -> EvalResult {
+    let edb = edb_store(program, input);
+    let universe = input.universe() as u32;
+    let mut idb: FactStore = HashMap::new();
+    let mut iterations = 0usize;
+    let mut join_work = 0usize;
+    loop {
+        iterations += 1;
+        let mut fresh: Vec<(PredId, Vec<u32>)> = Vec::new();
+        for rule in &program.rules {
+            derive(rule, &edb, &idb, None, &idb, universe, &mut |fact| {
+                fresh.push((rule.head.pred, fact));
+            }, &mut join_work);
+        }
+        let mut changed = false;
+        for (p, fact) in fresh {
+            if idb.entry(p).or_default().insert(fact) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let goal_derived = idb.get(&program.goal).is_some_and(|s| !s.is_empty());
+    EvalResult { facts: idb, goal_derived, iterations, join_work }
+}
+
+/// Semi-naive evaluation: each round only instantiates rule bodies with
+/// at least one atom taken from the previous round's delta.
+pub fn eval_semi_naive(program: &Program, input: &Structure) -> EvalResult {
+    let edb = edb_store(program, input);
+    let universe = input.universe() as u32;
+    let mut idb: FactStore = HashMap::new();
+    let mut iterations = 0usize;
+    let mut join_work = 0usize;
+
+    // Round 0: rules whose bodies contain no IDB atom (including empty
+    // bodies).
+    let mut delta: FactStore = HashMap::new();
+    for rule in &program.rules {
+        if rule.body.iter().all(|a| !program.is_idb(a.pred)) {
+            derive(rule, &edb, &idb, None, &idb, universe, &mut |fact| {
+                delta.entry(rule.head.pred).or_default().insert(fact);
+            }, &mut join_work);
+        }
+    }
+    for (p, facts) in &delta {
+        idb.entry(*p).or_default().extend(facts.iter().cloned());
+    }
+
+    while delta.values().any(|s| !s.is_empty()) {
+        iterations += 1;
+        let mut next: FactStore = HashMap::new();
+        for rule in &program.rules {
+            for (pos, atom) in rule.body.iter().enumerate() {
+                if !program.is_idb(atom.pred) {
+                    continue;
+                }
+                if delta.get(&atom.pred).is_none_or(HashSet::is_empty) {
+                    continue;
+                }
+                derive(rule, &edb, &idb, Some(pos), &delta, universe, &mut |fact| {
+                    if !idb.get(&rule.head.pred).is_some_and(|s| s.contains(&fact)) {
+                        next.entry(rule.head.pred).or_default().insert(fact);
+                    }
+                }, &mut join_work);
+            }
+        }
+        for (p, facts) in &next {
+            idb.entry(*p).or_default().extend(facts.iter().cloned());
+        }
+        delta = next;
+    }
+    let goal_derived = idb.get(&program.goal).is_some_and(|s| !s.is_empty());
+    EvalResult { facts: idb, goal_derived, iterations, join_work }
+}
+
+/// Evaluates one rule body by backtracking join; head-only variables
+/// range over the active domain. When `delta_pos` is set, that body
+/// atom draws from `delta` instead of the full store.
+#[allow(clippy::too_many_arguments)]
+fn derive(
+    rule: &Rule,
+    edb: &FactStore,
+    idb: &FactStore,
+    delta_pos: Option<usize>,
+    delta: &FactStore,
+    universe: u32,
+    emit: &mut dyn FnMut(Vec<u32>),
+    join_work: &mut usize,
+) {
+    let mut binding: Vec<Option<u32>> = vec![None; rule.num_vars];
+    join_atoms(rule, 0, edb, idb, delta_pos, delta, universe, &mut binding, emit, join_work);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_atoms(
+    rule: &Rule,
+    pos: usize,
+    edb: &FactStore,
+    idb: &FactStore,
+    delta_pos: Option<usize>,
+    delta: &FactStore,
+    universe: u32,
+    binding: &mut Vec<Option<u32>>,
+    emit: &mut dyn FnMut(Vec<u32>),
+    join_work: &mut usize,
+) {
+    if pos == rule.body.len() {
+        // Enumerate head-only variables over the active domain.
+        emit_heads(rule, 0, universe, binding, emit);
+        return;
+    }
+    let atom = &rule.body[pos];
+    let store = if delta_pos == Some(pos) { delta } else { pick_store(atom, edb, idb) };
+    let Some(facts) = store.get(&atom.pred) else { return };
+    'fact: for fact in facts {
+        *join_work += 1;
+        let mut bound_here: Vec<usize> = Vec::new();
+        for (i, &v) in atom.args.iter().enumerate() {
+            match binding[v.index()] {
+                Some(existing) if existing != fact[i] => {
+                    for &b in &bound_here {
+                        binding[b] = None;
+                    }
+                    continue 'fact;
+                }
+                Some(_) => {}
+                None => {
+                    binding[v.index()] = Some(fact[i]);
+                    bound_here.push(v.index());
+                }
+            }
+        }
+        join_atoms(
+            rule, pos + 1, edb, idb, delta_pos, delta, universe, binding, emit, join_work,
+        );
+        for &b in &bound_here {
+            binding[b] = None;
+        }
+    }
+}
+
+fn pick_store<'a>(atom: &Atom, edb: &'a FactStore, idb: &'a FactStore) -> &'a FactStore {
+    if edb.contains_key(&atom.pred) {
+        edb
+    } else {
+        idb
+    }
+}
+
+fn emit_heads(
+    rule: &Rule,
+    from: usize,
+    universe: u32,
+    binding: &mut Vec<Option<u32>>,
+    emit: &mut dyn FnMut(Vec<u32>),
+) {
+    // Find the next unbound head variable.
+    let unbound = rule.head.args[from..]
+        .iter()
+        .enumerate()
+        .find(|(_, v)| binding[v.index()].is_none());
+    match unbound {
+        None => {
+            let fact: Vec<u32> = rule
+                .head
+                .args
+                .iter()
+                .map(|v| binding[v.index()].expect("all head vars bound"))
+                .collect();
+            emit(fact);
+        }
+        Some((offset, &v)) => {
+            let at = from + offset;
+            for value in 0..universe {
+                binding[v.index()] = Some(value);
+                emit_heads(rule, at + 1, universe, binding, emit);
+            }
+            binding[v.index()] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ProgramBuilder;
+    use cqcs_structures::generators;
+
+    fn tc_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.rule(("P", &["X", "Y"]), &[("E", &["X", "Y"])]);
+        b.rule(("P", &["X", "Y"]), &[("P", &["X", "Z"]), ("E", &["Z", "Y"])]);
+        b.rule(("Q", &[]), &[("P", &["X", "X"])]);
+        b.finish("Q")
+    }
+
+    #[test]
+    fn transitive_closure_on_path() {
+        let program = tc_program();
+        let input = generators::directed_path(4);
+        for result in [eval_naive(&program, &input), eval_semi_naive(&program, &input)] {
+            let p = program.pred("P").unwrap();
+            let facts = &result.facts[&p];
+            assert_eq!(facts.len(), 6, "all pairs i<j on a 4-path");
+            assert!(facts.contains(&vec![0u32, 3]));
+            assert!(!result.goal_derived, "a path has no cycle");
+        }
+    }
+
+    #[test]
+    fn cycle_detection_goal() {
+        let program = tc_program();
+        let input = generators::directed_cycle(3);
+        assert!(eval_naive(&program, &input).goal_derived);
+        assert!(eval_semi_naive(&program, &input).goal_derived);
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let program = tc_program();
+        for seed in 0..10u64 {
+            let input = generators::random_digraph(6, 0.3, seed);
+            let a = eval_naive(&program, &input);
+            let b = eval_semi_naive(&program, &input);
+            assert_eq!(a.goal_derived, b.goal_derived, "seed {seed}");
+            let p = program.pred("P").unwrap();
+            assert_eq!(
+                a.facts.get(&p).cloned().unwrap_or_default(),
+                b.facts.get(&p).cloned().unwrap_or_default(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn semi_naive_does_less_join_work() {
+        let program = tc_program();
+        let input = generators::directed_path(12);
+        let naive = eval_naive(&program, &input);
+        let semi = eval_semi_naive(&program, &input);
+        assert!(
+            semi.join_work < naive.join_work,
+            "semi-naive {} !< naive {}",
+            semi.join_work,
+            naive.join_work
+        );
+    }
+
+    #[test]
+    fn active_domain_head_variables() {
+        // T(X, Y) :- E(X, X).  Y is range-unrestricted: derives a fact
+        // per universe element once some loop exists.
+        let mut b = ProgramBuilder::new();
+        b.rule(("T", &["X", "Y"]), &[("E", &["X", "X"])]);
+        let program = b.finish("T");
+        let voc = generators::digraph_vocabulary();
+        let mut sb = cqcs_structures::StructureBuilder::new(voc, 4);
+        sb.add_fact("E", &[2, 2]).unwrap();
+        let input = sb.finish();
+        let result = eval_naive(&program, &input);
+        let t = program.pred("T").unwrap();
+        assert_eq!(result.facts[&t].len(), 4, "Y ranges over the universe");
+        assert!(result.facts[&t].contains(&vec![2u32, 0]));
+        let semi = eval_semi_naive(&program, &input);
+        assert_eq!(semi.facts[&t], result.facts[&t]);
+    }
+
+    #[test]
+    fn empty_body_rules_fire_unconditionally() {
+        let mut b = ProgramBuilder::new();
+        b.rule(("T", &["X"]), &[]);
+        let program = b.finish("T");
+        let input = generators::directed_path(3);
+        let result = eval_semi_naive(&program, &input);
+        let t = program.pred("T").unwrap();
+        assert_eq!(result.facts[&t].len(), 3);
+        assert!(result.goal_derived);
+    }
+
+    #[test]
+    fn missing_edb_is_empty() {
+        // Program mentions relation "F" that the structure lacks.
+        let mut b = ProgramBuilder::new();
+        b.rule(("T", &["X"]), &[("F", &["X"])]);
+        let program = b.finish("T");
+        let input = generators::directed_path(3);
+        let result = eval_naive(&program, &input);
+        assert!(!result.goal_derived);
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms() {
+        // Q :- E(X, X) finds loops only.
+        let mut b = ProgramBuilder::new();
+        b.rule(("Q", &[]), &[("E", &["X", "X"])]);
+        let program = b.finish("Q");
+        assert!(!eval_naive(&program, &generators::directed_cycle(3)).goal_derived);
+        let voc = generators::digraph_vocabulary();
+        let mut sb = cqcs_structures::StructureBuilder::new(voc, 2);
+        sb.add_fact("E", &[1, 1]).unwrap();
+        assert!(eval_naive(&program, &sb.finish()).goal_derived);
+    }
+
+    #[test]
+    fn zero_ary_goal_via_semi_naive() {
+        let program = tc_program();
+        let input = generators::directed_cycle(5);
+        let semi = eval_semi_naive(&program, &input);
+        assert!(semi.goal_derived);
+        assert!(semi.iterations >= 2, "recursion actually iterated");
+    }
+}

@@ -1,0 +1,266 @@
+//! A hand-rolled parser for the usual Datalog rule syntax.
+//!
+//! ```text
+//! P(X, Y) :- E(X, Y).
+//! P(X, Y) :- P(X, Z), E(Z, W), E(W, Y).
+//! Q :- P(X, X).
+//! ```
+//!
+//! Identifiers are alphanumeric (plus `_`); every argument is a
+//! variable (pure Datalog, no constants — the paper's programs need
+//! none). `%` starts a line comment. The goal predicate is chosen by
+//! the caller.
+
+use crate::ast::{Program, ProgramBuilder};
+
+/// A parse error with a (line, column) position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Dot,
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, column: self.col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match self.peek() {
+            None => Ok(Token::Eof),
+            Some(b'(') => {
+                self.bump();
+                Ok(Token::LParen)
+            }
+            Some(b')') => {
+                self.bump();
+                Ok(Token::RParen)
+            }
+            Some(b',') => {
+                self.bump();
+                Ok(Token::Comma)
+            }
+            Some(b'.') => {
+                self.bump();
+                Ok(Token::Dot)
+            }
+            Some(b':') => {
+                self.bump();
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    Ok(Token::Turnstile)
+                } else {
+                    Err(self.error("expected `-` after `:`"))
+                }
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                let mut ident = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        ident.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Token::Ident(ident))
+            }
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+        }
+    }
+}
+
+/// A raw parsed atom: predicate name and variable names.
+type RawAtom = (String, Vec<String>);
+
+fn parse_atom(lex: &mut Lexer<'_>, first: Token) -> Result<RawAtom, ParseError> {
+    let Token::Ident(pred) = first else {
+        return Err(lex.error("expected a predicate name"));
+    };
+    let mut args = Vec::new();
+    // Peek for an argument list by trying the next token only when `(`.
+    let save = (lex.pos, lex.line, lex.col);
+    let t = lex.next_token()?;
+    if t != Token::LParen {
+        (lex.pos, lex.line, lex.col) = save;
+        return Ok((pred, args));
+    }
+    loop {
+        match lex.next_token()? {
+            Token::Ident(v) => args.push(v),
+            Token::RParen if args.is_empty() => break,
+            _ => return Err(lex.error("expected a variable name")),
+        }
+        match lex.next_token()? {
+            Token::Comma => {}
+            Token::RParen => break,
+            _ => return Err(lex.error("expected `,` or `)`")),
+        }
+    }
+    Ok((pred, args))
+}
+
+/// Parses a program; `goal` names the goal predicate.
+pub fn parse_program(src: &str, goal: &str) -> Result<Program, ParseError> {
+    let mut lex = Lexer::new(src);
+    let mut builder = ProgramBuilder::new();
+    loop {
+        let t = lex.next_token()?;
+        if t == Token::Eof {
+            break;
+        }
+        let head = parse_atom(&mut lex, t)?;
+        let mut body: Vec<RawAtom> = Vec::new();
+        match lex.next_token()? {
+            Token::Dot => {}
+            Token::Turnstile => loop {
+                let t = lex.next_token()?;
+                if t == Token::Dot && body.is_empty() {
+                    break; // `H :- .` — explicit empty body
+                }
+                body.push(parse_atom(&mut lex, t)?);
+                match lex.next_token()? {
+                    Token::Comma => {}
+                    Token::Dot => break,
+                    _ => return Err(lex.error("expected `,` or `.`")),
+                }
+            },
+            _ => return Err(lex.error("expected `:-` or `.` after the head")),
+        }
+        let head_args: Vec<&str> = head.1.iter().map(String::as_str).collect();
+        let body_refs: Vec<(&str, Vec<&str>)> = body
+            .iter()
+            .map(|(p, args)| (p.as_str(), args.iter().map(String::as_str).collect()))
+            .collect();
+        let body_slices: Vec<(&str, &[&str])> =
+            body_refs.iter().map(|(p, a)| (*p, a.as_slice())).collect();
+        builder.rule((head.0.as_str(), &head_args), &body_slices);
+    }
+    Ok(builder.finish(goal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_semi_naive;
+    use cqcs_structures::generators;
+
+    #[test]
+    fn parses_transitive_closure() {
+        let src = "
+            % transitive closure with cycle goal
+            P(X, Y) :- E(X, Y).
+            P(X, Y) :- P(X, Z), E(Z, Y).
+            Q :- P(X, X).
+        ";
+        let p = parse_program(src, "Q").unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.pred_arity(p.pred("P").unwrap()), 2);
+        assert!(eval_semi_naive(&p, &generators::directed_cycle(4)).goal_derived);
+        assert!(!eval_semi_naive(&p, &generators::directed_path(4)).goal_derived);
+    }
+
+    #[test]
+    fn zero_ary_atoms() {
+        let p = parse_program("Q :- E(X, Y). R :- Q.", "R").unwrap();
+        assert_eq!(p.pred_arity(p.pred("Q").unwrap()), 0);
+        assert!(eval_semi_naive(&p, &generators::directed_path(2)).goal_derived);
+    }
+
+    #[test]
+    fn facts_without_body() {
+        let p = parse_program("T(X).", "T").unwrap();
+        assert_eq!(p.rules[0].body.len(), 0);
+        let r = eval_semi_naive(&p, &generators::directed_path(3));
+        assert!(r.goal_derived);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_program("P(X) :- E(X,).", "P").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("variable"));
+        let err = parse_program("P(X) : E(X).", "P").unwrap_err();
+        assert!(err.message.contains('-'));
+        let err = parse_program("P(X) E(X).", "P").unwrap_err();
+        assert!(err.to_string().contains(":-"));
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let src = "% leading comment\nP(X)\n  :- % inline\n  E(X, X).";
+        let p = parse_program(src, "P").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = parse_program("P(X) :- E(X) & F(X).", "P").unwrap_err();
+        assert!(err.message.contains('&'));
+    }
+}

@@ -1,0 +1,24 @@
+//! # cqcs-pebble — existential k-pebble games (§4 of the paper)
+//!
+//! The Spoiler/Duplicator game that characterizes expressibility in
+//! ∃L^k_∞ω (Theorem 4.5) and powers the uniform tractability result for
+//! Datalog-definable co-CSPs (Theorems 4.7–4.9):
+//!
+//! * [`game`] — computes the Duplicator's maximal winning family: the
+//!   largest nonempty set of partial homomorphisms with at most `k`
+//!   pebbles, closed under subfunctions and with the forth property up
+//!   to `k` ([KV95]); a greatest-fixpoint pruning with counter-based
+//!   cascade, the algorithmic content of Theorem 4.7(1);
+//! * [`consistency`] — (hyper)arc consistency, the practical pruning
+//!   companion used by the uniform solver in `cqcs-core`;
+//! * [`solver`] — the decision procedure of Theorem 4.9: `Spoiler wins ⟹
+//!   no homomorphism` always, and the converse exactly when co-CSP(B)
+//!   is expressible in k-Datalog (Theorem 4.8).
+
+pub mod consistency;
+pub mod game;
+pub mod solver;
+
+pub use consistency::{arc_consistent_domains, ArcConsistency};
+pub use game::{duplicator_wins, solve_game, Config, GameAnalysis};
+pub use solver::{pebble_filter, spoiler_wins, PebbleOutcome};

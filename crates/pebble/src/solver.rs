@@ -1,0 +1,128 @@
+//! The pebble-game decision procedure (Theorems 4.8 / 4.9).
+//!
+//! For a class `B` of structures whose co-CSP is expressible in
+//! k-Datalog, "the Spoiler wins the existential k-pebble game on
+//! `(A, B)`" is **equivalent** to "there is no homomorphism `A → B`"
+//! (Theorem 4.8), which makes the game's polynomial-time winner
+//! computation a *uniform* algorithm for `CSP(A, B)` (Theorem 4.9,
+//! running time `O(n^{2k})`).
+//!
+//! For arbitrary `B` only one direction holds — a Spoiler win refutes
+//! every homomorphism (the Duplicator could otherwise follow one). The
+//! [`pebble_filter`] entry point exposes exactly that asymmetry.
+
+use crate::game;
+use cqcs_structures::Structure;
+
+/// Verdict of the k-pebble filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PebbleOutcome {
+    /// The Spoiler wins: there is certainly **no** homomorphism.
+    SpoilerWins,
+    /// The Duplicator wins: no refutation. A homomorphism exists
+    /// whenever co-CSP(B) is k-Datalog-expressible (Theorem 4.8); for
+    /// other templates this is inconclusive.
+    DuplicatorWins,
+}
+
+/// Runs the existential k-pebble game as a homomorphism filter.
+pub fn pebble_filter(a: &Structure, b: &Structure, k: usize) -> PebbleOutcome {
+    if game::duplicator_wins(a, b, k) {
+        PebbleOutcome::DuplicatorWins
+    } else {
+        PebbleOutcome::SpoilerWins
+    }
+}
+
+/// Whether the Spoiler wins — i.e. the game *refutes* a homomorphism.
+pub fn spoiler_wins(a: &Structure, b: &Structure, k: usize) -> bool {
+    !game::duplicator_wins(a, b, k)
+}
+
+/// Decides `hom(A → B)` **assuming** co-CSP(B) is expressible in
+/// k-Datalog (Theorem 4.9). The caller owns that promise; for templates
+/// outside the class the answer may be a false positive (never a false
+/// negative).
+pub fn decide_assuming_datalog_width(a: &Structure, b: &Structure, k: usize) -> bool {
+    game::duplicator_wins(a, b, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcs_structures::generators;
+    use cqcs_structures::homomorphism::homomorphism_exists;
+    use cqcs_structures::{Structure, StructureBuilder};
+    use std::sync::Arc;
+
+    /// Horn implication template as a general structure: I(x,y) = x→y,
+    /// T(x) = x is true, F(x) = x is false.
+    fn horn_template() -> Structure {
+        let voc = cqcs_structures::Vocabulary::from_symbols([("I", 2), ("T", 1), ("F", 1)])
+            .unwrap()
+            .into_shared();
+        let mut b = StructureBuilder::new(voc, 2);
+        for (x, y) in [(0u32, 0u32), (0, 1), (1, 1)] {
+            b.add_fact("I", &[x, y]).unwrap();
+        }
+        b.add_fact("T", &[1]).unwrap();
+        b.add_fact("F", &[0]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn complete_for_horn_template() {
+        // co-CSP of a 2-ary Horn Boolean structure is 2-Datalog
+        // expressible (Remark 4.10(2)), so the 2-pebble game decides it.
+        let b = horn_template();
+        for seed in 0..30u64 {
+            let a = generators::random_structure_over(b.vocabulary(), 6, 5, seed);
+            let expected = homomorphism_exists(&a, &b);
+            assert_eq!(
+                decide_assuming_datalog_width(&a, &b, 2),
+                expected,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_for_two_coloring_with_three_pebbles() {
+        let k2 = generators::complete_graph(2);
+        for seed in 0..20u64 {
+            let a = generators::random_graph_nm(7, 8, seed);
+            let expected = homomorphism_exists(&a, &k2);
+            assert_eq!(decide_assuming_datalog_width(&a, &k2, 3), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn filter_is_sound_everywhere() {
+        for seed in 0..15u64 {
+            let a = generators::random_digraph(6, 0.3, seed);
+            let b = generators::random_digraph(4, 0.3, seed + 123);
+            if pebble_filter(&a, &b, 2) == PebbleOutcome::SpoilerWins {
+                assert!(!homomorphism_exists(&a, &b), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_on_three_coloring() {
+        // The documented failure mode outside the Datalog class.
+        let k4 = generators::complete_graph(4);
+        let k3 = generators::complete_graph(3);
+        assert!(decide_assuming_datalog_width(&k4, &k3, 3));
+        assert!(!homomorphism_exists(&k4, &k3));
+    }
+
+    #[test]
+    fn outcome_enum_matches_game() {
+        let c5 = generators::undirected_cycle(5);
+        let k2 = generators::complete_graph(2);
+        assert_eq!(pebble_filter(&c5, &k2, 3), PebbleOutcome::SpoilerWins);
+        assert_eq!(pebble_filter(&c5, &k2, 2), PebbleOutcome::DuplicatorWins);
+        assert!(spoiler_wins(&c5, &k2, 3));
+        let _ = Arc::clone(c5.vocabulary());
+    }
+}

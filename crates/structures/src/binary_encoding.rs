@@ -1,0 +1,245 @@
+//! The dual-graph binary encoding of Lemma 5.5.
+//!
+//! `binary(A)` is a structure with **binary relations only**: its domain
+//! is the set of tuples occurring in the relations of `A`, its vocabulary
+//! has a symbol `E_{P,Q,i,j}` for each pair of relation symbols `P, Q`
+//! and argument positions `i, j`, and `E_{P,Q,i,j}` contains the pair
+//! `(s, t)` iff the `i`-th element of `s` equals the `j`-th element of
+//! `t`. Lemma 5.5: `hom(A → B) ⟺ hom(binary(A) → binary(B))`.
+//!
+//! The paper also notes an *optimized* encoding for the left-hand
+//! structure: it suffices to store enough coincidence pairs that their
+//! reflexive-symmetric-transitive closure recovers all of them (this can
+//! lower the treewidth of the encoding). [`binary_encode_optimized`]
+//! implements the chain variant: consecutive occurrences of each element
+//! are linked. It is sound **only on the left side** of a homomorphism
+//! test whose right side uses the full encoding — see
+//! `optimized_left_encoding_preserves_homomorphisms` in the tests.
+
+use crate::structure::{Element, Structure, StructureBuilder};
+use crate::vocabulary::{RelId, Vocabulary};
+use std::sync::Arc;
+
+/// The binary vocabulary derived from a base vocabulary, with the
+/// `(P, Q, i, j) → RelId` correspondence.
+#[derive(Debug, Clone)]
+pub struct BinaryVocabulary {
+    /// The derived vocabulary (all symbols binary).
+    pub vocabulary: Arc<Vocabulary>,
+    /// Flattened lookup; see [`BinaryVocabulary::symbol`].
+    ids: Vec<RelId>,
+    arities: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+impl BinaryVocabulary {
+    /// Derives the binary vocabulary of `base`. Deterministic: equal base
+    /// vocabularies give equal derived vocabularies, so independently
+    /// encoded structures remain compatible.
+    pub fn new(base: &Vocabulary) -> Self {
+        let arities: Vec<usize> = base.iter().map(|r| base.arity(r)).collect();
+        let mut voc = Vocabulary::new();
+        let mut ids = Vec::new();
+        let mut offsets = Vec::with_capacity(base.len() * base.len());
+        for (p, pname, parity) in base.symbols() {
+            for (q, qname, qarity) in base.symbols() {
+                offsets.push(ids.len());
+                for i in 0..parity {
+                    for j in 0..qarity {
+                        let name = format!("E_{pname}_{qname}_{i}_{j}");
+                        ids.push(voc.add(&name, 2).expect("fresh generated name"));
+                    }
+                }
+                let _ = (p, q);
+            }
+        }
+        BinaryVocabulary { vocabulary: voc.into_shared(), ids, arities, offsets }
+    }
+
+    /// The symbol `E_{P,Q,i,j}`.
+    pub fn symbol(&self, p: RelId, q: RelId, i: usize, j: usize) -> RelId {
+        let nbase = self.arities.len();
+        let block = self.offsets[p.index() * nbase + q.index()];
+        self.ids[block + i * self.arities[q.index()] + j]
+    }
+}
+
+/// A binary-encoded structure together with its tuple-node bookkeeping.
+#[derive(Debug, Clone)]
+pub struct BinaryEncoded {
+    /// The encoded structure (all relations binary).
+    pub structure: Structure,
+    /// For each element of the encoded universe, the originating tuple.
+    pub tuple_origin: Vec<(RelId, u32)>,
+}
+
+fn tuple_nodes(s: &Structure) -> Vec<(RelId, u32)> {
+    let mut nodes = Vec::with_capacity(s.total_tuples());
+    for r in s.vocabulary().iter() {
+        for t in 0..s.relation(r).len() {
+            nodes.push((r, t as u32));
+        }
+    }
+    nodes
+}
+
+/// Occurrence list: for each universe element of `s`, the positions
+/// `(tuple_node_index, position)` where it occurs.
+fn occurrence_positions(
+    s: &Structure,
+    nodes: &[(RelId, u32)],
+) -> Vec<Vec<(usize, usize)>> {
+    let mut occ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); s.universe()];
+    for (node, &(r, t)) in nodes.iter().enumerate() {
+        for (pos, &e) in s.relation(r).tuple(t as usize).iter().enumerate() {
+            occ[e.index()].push((node, pos));
+        }
+    }
+    occ
+}
+
+/// The **full** binary encoding of Lemma 5.5: every coincidence pair is
+/// stored (the encoding is reflexively-symmetrically-transitively
+/// closed by construction).
+pub fn binary_encode(s: &Structure) -> BinaryEncoded {
+    let bv = BinaryVocabulary::new(s.vocabulary());
+    let nodes = tuple_nodes(s);
+    let occ = occurrence_positions(s, &nodes);
+    let mut b = StructureBuilder::new(Arc::clone(&bv.vocabulary), nodes.len());
+    for positions in &occ {
+        for &(n1, i) in positions {
+            for &(n2, j) in positions {
+                let (p, _) = nodes[n1];
+                let (q, _) = nodes[n2];
+                b.add_tuple(
+                    bv.symbol(p, q, i, j),
+                    &[Element(n1 as u32), Element(n2 as u32)],
+                )
+                .expect("in range by construction");
+            }
+        }
+    }
+    BinaryEncoded { structure: b.finish(), tuple_origin: nodes }
+}
+
+/// The **optimized** (chain) binary encoding: only consecutive
+/// occurrences of each element are linked, plus the reflexive pair on the
+/// first occurrence. The stored pairs' closure equals the full
+/// coincidence relation, which by the paper's optimization note suffices
+/// when this encoding is used as the *left* structure against a fully
+/// encoded right structure.
+pub fn binary_encode_optimized(s: &Structure) -> BinaryEncoded {
+    let bv = BinaryVocabulary::new(s.vocabulary());
+    let nodes = tuple_nodes(s);
+    let occ = occurrence_positions(s, &nodes);
+    let mut b = StructureBuilder::new(Arc::clone(&bv.vocabulary), nodes.len());
+    for positions in &occ {
+        for w in positions.windows(2) {
+            let (n1, i) = w[0];
+            let (n2, j) = w[1];
+            let (p, _) = nodes[n1];
+            let (q, _) = nodes[n2];
+            b.add_tuple(
+                bv.symbol(p, q, i, j),
+                &[Element(n1 as u32), Element(n2 as u32)],
+            )
+            .expect("in range by construction");
+        }
+        if let Some(&(n1, i)) = positions.first() {
+            let (p, _) = nodes[n1];
+            b.add_tuple(bv.symbol(p, p, i, i), &[Element(n1 as u32), Element(n1 as u32)])
+                .expect("in range by construction");
+        }
+    }
+    BinaryEncoded { structure: b.finish(), tuple_origin: nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::homomorphism::homomorphism_exists;
+
+    /// Lemma 5.5 on deterministic families.
+    #[test]
+    fn full_encoding_preserves_homomorphism_both_ways() {
+        let cases: Vec<(Structure, Structure, bool)> = vec![
+            (generators::undirected_cycle(5), generators::complete_graph(3), true),
+            (generators::undirected_cycle(5), generators::complete_graph(2), false),
+            (generators::directed_path(4), generators::directed_cycle(3), true),
+            (generators::directed_cycle(3), generators::directed_path(5), false),
+        ];
+        for (a, b, expected) in cases {
+            assert_eq!(homomorphism_exists(&a, &b), expected);
+            let ba = binary_encode(&a);
+            let bb = binary_encode(&b);
+            assert_eq!(
+                homomorphism_exists(&ba.structure, &bb.structure),
+                expected,
+                "binary encoding must preserve hom existence"
+            );
+        }
+    }
+
+    #[test]
+    fn full_encoding_on_random_structures() {
+        for seed in 0..6 {
+            let a = generators::random_structure(4, &[2, 3], 4, seed);
+            let b = generators::random_structure_over(a.vocabulary(), 3, 6, seed + 100);
+            let expected = homomorphism_exists(&a, &b);
+            let ba = binary_encode(&a);
+            let bb = binary_encode(&b);
+            assert_eq!(
+                homomorphism_exists(&ba.structure, &bb.structure),
+                expected,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_left_encoding_preserves_homomorphisms() {
+        for seed in 0..6 {
+            let a = generators::random_structure(4, &[2, 2], 5, seed);
+            let b = generators::random_structure_over(a.vocabulary(), 3, 6, seed + 50);
+            let expected = homomorphism_exists(&a, &b);
+            let ba = binary_encode_optimized(&a); // reduced left side
+            let bb = binary_encode(&b); // full right side
+            assert_eq!(
+                homomorphism_exists(&ba.structure, &bb.structure),
+                expected,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_encoding_is_smaller() {
+        let a = generators::complete_graph(4);
+        let full = binary_encode(&a);
+        let opt = binary_encode_optimized(&a);
+        assert!(opt.structure.total_tuples() < full.structure.total_tuples());
+        assert_eq!(opt.structure.universe(), full.structure.universe());
+    }
+
+    #[test]
+    fn encoded_universe_is_tuple_count() {
+        let a = generators::directed_cycle(4);
+        let enc = binary_encode(&a);
+        assert_eq!(enc.structure.universe(), a.total_tuples());
+        assert_eq!(enc.tuple_origin.len(), 4);
+    }
+
+    #[test]
+    fn binary_vocabulary_symbols() {
+        let base = Vocabulary::from_symbols([("P", 2), ("Q", 1)]).unwrap();
+        let bv = BinaryVocabulary::new(&base);
+        // 2·2 + 2·1 + 1·2 + 1·1 = 9 symbols.
+        assert_eq!(bv.vocabulary.len(), 9);
+        let p = base.lookup("P").unwrap();
+        let q = base.lookup("Q").unwrap();
+        let sym = bv.symbol(p, q, 1, 0);
+        assert_eq!(bv.vocabulary.name(sym), "E_P_Q_1_0");
+        assert_eq!(bv.vocabulary.arity(sym), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! A compact fixed-capacity bit set.
+//!
+//! Used throughout the workspace for domains (sets of target elements),
+//! graph adjacency, and subset dynamic programming. The standard library
+//! has no bit set and external bit-set crates are not part of this
+//! workspace's dependency budget, so we provide a small, well-tested one.
+
+/// A fixed-capacity set of `usize` values below `capacity`.
+///
+/// Backed by `u64` blocks. All operations on two sets require equal
+/// capacities (checked with `debug_assert!` in release-hot paths).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+const BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { blocks: vec![0; capacity.div_ceil(BITS)], capacity }
+    }
+
+    /// Creates a full set containing every value in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for b in &mut s.blocks {
+            *b = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Clears excess bits beyond `capacity` in the last block.
+    fn trim(&mut self) {
+        let extra = self.blocks.len() * BITS - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// The maximum number of distinct values this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `v`, returning `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, v: usize) -> bool {
+        debug_assert!(v < self.capacity, "bitset insert out of range");
+        let (blk, bit) = (v / BITS, v % BITS);
+        let had = self.blocks[blk] & (1 << bit) != 0;
+        self.blocks[blk] |= 1 << bit;
+        !had
+    }
+
+    /// Removes `v`, returning `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: usize) -> bool {
+        debug_assert!(v < self.capacity, "bitset remove out of range");
+        let (blk, bit) = (v / BITS, v % BITS);
+        let had = self.blocks[blk] & (1 << bit) != 0;
+        self.blocks[blk] &= !(1 << bit);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        if v >= self.capacity {
+            return false;
+        }
+        self.blocks[v / BITS] & (1 << (v % BITS)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            *b = 0;
+        }
+    }
+
+    /// In-place union: `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place difference: `self ∖= other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !*b;
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the two sets share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// The smallest element, if any.
+    pub fn min(&self) -> Option<usize> {
+        for (i, &b) in self.blocks.iter().enumerate() {
+            if b != 0 {
+                return Some(i * BITS + b.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, block: 0, bits: self.blocks.first().copied().unwrap_or(0) }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to exactly fit the maximum value.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.block * BITS + bit);
+            }
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.block];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000), "out-of-range contains is false, not a panic");
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        for cap in [0, 1, 63, 64, 65, 128, 200] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "capacity {cap}");
+            assert_eq!(s.iter().count(), cap);
+        }
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a: BitSet = [1usize, 3, 5, 7].into_iter().collect();
+        let b: BitSet = [3usize, 4, 5].into_iter().collect();
+        // Make capacities equal for the binary ops.
+        let mut b2 = BitSet::new(a.capacity());
+        for v in b.iter() {
+            b2.insert(v);
+        }
+        let mut u = a.clone();
+        u.union_with(&b2);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5, 7]);
+        let mut i = a.clone();
+        i.intersect_with(&b2);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3, 5]);
+        a.difference_with(&b2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 7]);
+        assert!(i.is_subset(&u));
+        assert!(!u.is_subset(&i));
+        assert!(a.is_disjoint(&i));
+    }
+
+    #[test]
+    fn min_and_iteration_order() {
+        let s: BitSet = [70usize, 2, 65].into_iter().collect();
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 65, 70]);
+        assert_eq!(BitSet::new(10).min(), None);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = BitSet::full(100);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: BitSet = [1usize, 2].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 2}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Cores and retracts.
+//!
+//! A structure is a *core* if every endomorphism is surjective; every
+//! finite structure has a unique core up to isomorphism, namely its
+//! smallest retract. Cores power conjunctive-query **minimization**
+//! (the classic Chandra–Merlin application recalled in §1–2 of the
+//! paper): the minimal equivalent of a query `Q` is the canonical query
+//! of the core of its canonical database.
+//!
+//! Computing cores is NP-hard in general; this implementation removes
+//! one element at a time via retraction search and is intended for the
+//! query-sized structures minimization actually sees.
+
+use crate::homomorphism::extend_homomorphism;
+use crate::structure::{Element, Structure};
+
+/// The result of a core computation.
+#[derive(Debug, Clone)]
+pub struct CoreResult {
+    /// The core itself (an induced substructure of the input, with
+    /// elements renamed densely).
+    pub core: Structure,
+    /// `retained[e]` is `Some(c)` iff input element `e` survives into the
+    /// core as element `c`.
+    pub retained: Vec<Option<Element>>,
+    /// A retraction from the input onto the retained elements, composed
+    /// with the renaming: `retraction[e]` is the core element the input
+    /// element `e` folds onto.
+    pub retraction: Vec<Element>,
+}
+
+/// Computes the core of `s` by repeatedly retracting away one element.
+///
+/// At each round the algorithm looks for an element `x` such that some
+/// endomorphism of the current structure avoids `x`; if found, the
+/// structure is replaced by the induced substructure without `x`. When no
+/// element can be removed, the remainder is a core (an endomorphism with
+/// a smaller image would in particular avoid some element).
+pub fn core_of(s: &Structure) -> CoreResult {
+    let mut current = s.clone();
+    // retraction_to_current[e]: where input element e currently sits
+    // (as an element of `current`).
+    let mut to_current: Vec<Element> = s.elements().collect();
+
+    'shrink: loop {
+        let n = current.universe();
+        for x in 0..n {
+            let keep: Vec<bool> = (0..n).map(|i| i != x).collect();
+            let (sub, rename) = current.restrict(&keep);
+            // An endomorphism of `current` avoiding x is exactly a
+            // homomorphism current → sub (after renaming).
+            if let Some(h) = extend_homomorphism(&current, &sub, &[]) {
+                // Input elements now sit at h(previous position),
+                // expressed in `sub`'s dense naming.
+                for slot in to_current.iter_mut() {
+                    *slot = h.apply(*slot);
+                }
+                let _ = rename;
+                current = sub;
+                continue 'shrink;
+            }
+        }
+        break;
+    }
+
+    let retained: Vec<Option<Element>> = {
+        // An input element e is retained iff it still names itself: we
+        // recover this by checking which input elements map bijectively.
+        // Build the inverse: core element c came from the input elements
+        // folding onto it; `e` is "retained" if it is the canonical
+        // preimage we kept. Since `restrict` keeps original elements, an
+        // input element is retained iff following the fold chain, it was
+        // never removed. We reconstruct that by tracking which input
+        // elements map to distinct core elements *and* were kept at each
+        // step; simplest faithful criterion: e is retained iff
+        // to_current[e] has e as the minimal input preimage.
+        let mut first_preimage: Vec<Option<usize>> = vec![None; current.universe()];
+        for (e, c) in to_current.iter().enumerate() {
+            let slot = &mut first_preimage[c.index()];
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        let mut retained = vec![None; s.universe()];
+        for (c, pre) in first_preimage.iter().enumerate() {
+            if let Some(e) = pre {
+                retained[*e] = Some(Element(c as u32));
+            }
+        }
+        retained
+    };
+
+    CoreResult { core: current, retained, retraction: to_current }
+}
+
+/// Whether `s` is a core: no endomorphism avoids any element.
+pub fn is_core(s: &Structure) -> bool {
+    core_of(s).core.universe() == s.universe()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::homomorphism::{homomorphism_exists, is_homomorphism};
+
+    #[test]
+    fn cliques_are_cores() {
+        for k in 1..=4 {
+            assert!(is_core(&generators::complete_graph(k)), "K{k} is a core");
+        }
+    }
+
+    #[test]
+    fn even_cycle_core_is_edge() {
+        // C6 (undirected) retracts onto a single edge = K2.
+        let c6 = generators::undirected_cycle(6);
+        let res = core_of(&c6);
+        assert_eq!(res.core.universe(), 2);
+        let e = res.core.vocabulary().lookup("E").unwrap();
+        assert_eq!(res.core.relation(e).len(), 2, "one symmetric edge");
+    }
+
+    #[test]
+    fn odd_cycle_is_core() {
+        let c5 = generators::undirected_cycle(5);
+        assert!(is_core(&c5), "odd cycles are cores");
+    }
+
+    #[test]
+    fn directed_path_core_is_single_edge() {
+        // The directed path 0→1→2→3 retracts onto... nothing smaller than
+        // itself? hom(P4 → P4 minus endpoint) fails since P4 needs a
+        // 3-edge walk. Its core is itself.
+        let p4 = generators::directed_path(4);
+        assert!(is_core(&p4));
+    }
+
+    #[test]
+    fn retraction_is_homomorphism_onto_core() {
+        let c6 = generators::undirected_cycle(6);
+        let res = core_of(&c6);
+        // Check that x ↦ retraction[x] is a hom from c6 to the core.
+        assert!(is_homomorphism(&res.retraction, &c6, &res.core));
+        // Core embeds back (hom both ways = hom-equivalent).
+        assert!(homomorphism_exists(&res.core, &c6));
+        assert!(homomorphism_exists(&c6, &res.core));
+    }
+
+    #[test]
+    fn retained_elements_consistent() {
+        let c6 = generators::undirected_cycle(6);
+        let res = core_of(&c6);
+        let kept: Vec<_> = res.retained.iter().flatten().collect();
+        assert_eq!(kept.len(), res.core.universe());
+        // Retained elements map to distinct core elements.
+        let mut seen: Vec<_> = kept.iter().map(|e| e.index()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), res.core.universe());
+    }
+
+    #[test]
+    fn disjoint_triangle_and_hexagon_core() {
+        // Triangle ⊎ C6: the hexagon folds onto an edge of the triangle,
+        // so the core is the triangle (3 elements).
+        let voc = generators::digraph_vocabulary();
+        let mut b = crate::StructureBuilder::new(voc, 9);
+        // Triangle on 0,1,2 (symmetric).
+        for (x, y) in [(0, 1), (1, 2), (2, 0)] {
+            b.add_fact("E", &[x, y]).unwrap();
+            b.add_fact("E", &[y, x]).unwrap();
+        }
+        // Hexagon on 3..9 (symmetric).
+        for i in 0..6u32 {
+            let (x, y) = (3 + i, 3 + (i + 1) % 6);
+            b.add_fact("E", &[x, y]).unwrap();
+            b.add_fact("E", &[y, x]).unwrap();
+        }
+        let s = b.finish();
+        let res = core_of(&s);
+        assert_eq!(res.core.universe(), 3);
+        assert!(is_core(&res.core));
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let c6 = generators::undirected_cycle(6);
+        let once = core_of(&c6);
+        let twice = core_of(&once.core);
+        assert_eq!(once.core.universe(), twice.core.universe());
+    }
+}

@@ -1,0 +1,282 @@
+//! The classic presentation of constraint satisfaction and its
+//! round-trip to the homomorphism form.
+//!
+//! The AI literature states CSP as: variables, a set of possible values,
+//! per-variable domains, and constraints (a scope of variables plus the
+//! list of allowed value tuples). The paper's §1–2 observe that *every*
+//! such instance is a homomorphism question. [`CspInstance::to_structures`]
+//! realizes that observation: the left structure's universe is the
+//! variables, the right structure's universe is the values, each
+//! constraint contributes a fresh relation symbol, and per-variable
+//! domains become unary relations.
+
+use crate::error::{Error, Result};
+use crate::homomorphism::{find_homomorphism, Homomorphism};
+use crate::structure::{Element, Structure, StructureBuilder};
+use crate::vocabulary::Vocabulary;
+use std::sync::Arc;
+
+/// A constraint: the variables it scopes and the allowed value tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Variable indices this constraint applies to (repeats allowed).
+    pub scope: Vec<usize>,
+    /// Allowed assignments, one value per scope position.
+    pub allowed: Vec<Vec<usize>>,
+}
+
+impl Constraint {
+    /// Creates a constraint, validating tuple widths against the scope.
+    pub fn new(scope: Vec<usize>, allowed: Vec<Vec<usize>>) -> Result<Self> {
+        let width = scope.len();
+        if let Some(bad) = allowed.iter().find(|t| t.len() != width) {
+            return Err(Error::Invalid(format!(
+                "constraint over {width} variables given a tuple of width {}",
+                bad.len()
+            )));
+        }
+        Ok(Constraint { scope, allowed })
+    }
+}
+
+/// A constraint-satisfaction instance in the classic formulation.
+#[derive(Debug, Clone, Default)]
+pub struct CspInstance {
+    num_variables: usize,
+    num_values: usize,
+    /// `domains[v]`: allowed values for variable `v`; `None` = all values.
+    domains: Vec<Option<Vec<usize>>>,
+    constraints: Vec<Constraint>,
+}
+
+impl CspInstance {
+    /// Creates an instance with the given numbers of variables and
+    /// values; all domains initially unrestricted.
+    pub fn new(num_variables: usize, num_values: usize) -> Self {
+        CspInstance {
+            num_variables,
+            num_values,
+            domains: vec![None; num_variables],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.num_variables
+    }
+
+    /// Number of values.
+    pub fn num_values(&self) -> usize {
+        self.num_values
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Restricts the domain of `var` to `values`.
+    pub fn set_domain(&mut self, var: usize, values: Vec<usize>) -> Result<()> {
+        if var >= self.num_variables {
+            return Err(Error::Invalid(format!("variable {var} out of range")));
+        }
+        if let Some(&bad) = values.iter().find(|&&v| v >= self.num_values) {
+            return Err(Error::Invalid(format!("value {bad} out of range")));
+        }
+        self.domains[var] = Some(values);
+        Ok(())
+    }
+
+    /// Adds a constraint after validating variable and value ranges.
+    pub fn add_constraint(&mut self, c: Constraint) -> Result<()> {
+        if let Some(&bad) = c.scope.iter().find(|&&v| v >= self.num_variables) {
+            return Err(Error::Invalid(format!("variable {bad} out of range")));
+        }
+        for t in &c.allowed {
+            if let Some(&bad) = t.iter().find(|&&v| v >= self.num_values) {
+                return Err(Error::Invalid(format!("value {bad} out of range")));
+            }
+        }
+        self.constraints.push(c);
+        Ok(())
+    }
+
+    /// Convenience: adds a binary constraint from `(x, y)` pairs.
+    pub fn add_binary(
+        &mut self,
+        x: usize,
+        y: usize,
+        allowed: &[(usize, usize)],
+    ) -> Result<()> {
+        self.add_constraint(Constraint::new(
+            vec![x, y],
+            allowed.iter().map(|&(a, b)| vec![a, b]).collect(),
+        )?)
+    }
+
+    /// Encodes the instance as a homomorphism problem `(A, B)`:
+    /// `hom(A → B)` iff the instance is satisfiable.
+    ///
+    /// Symbol layout: `C{i}` of arity `|scope_i|` for each constraint,
+    /// `D{v}` unary for each variable with a restricted domain.
+    pub fn to_structures(&self) -> (Structure, Structure) {
+        let mut voc = Vocabulary::new();
+        let csyms: Vec<_> = self
+            .constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                voc.add(&format!("C{i}"), c.scope.len()).expect("fresh name")
+            })
+            .collect();
+        let dsyms: Vec<_> = self
+            .domains
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_some())
+            .map(|(v, _)| (v, voc.add(&format!("D{v}"), 1).expect("fresh name")))
+            .collect();
+        let voc = voc.into_shared();
+
+        let mut a = StructureBuilder::new(Arc::clone(&voc), self.num_variables);
+        let mut b = StructureBuilder::new(Arc::clone(&voc), self.num_values);
+        for (i, c) in self.constraints.iter().enumerate() {
+            let scope: Vec<Element> =
+                c.scope.iter().map(|&v| Element(v as u32)).collect();
+            a.add_tuple(csyms[i], &scope).expect("validated on insert");
+            for t in &c.allowed {
+                let vals: Vec<Element> = t.iter().map(|&v| Element(v as u32)).collect();
+                b.add_tuple(csyms[i], &vals).expect("validated on insert");
+            }
+        }
+        for &(v, sym) in &dsyms {
+            a.add_tuple(sym, &[Element(v as u32)]).expect("validated");
+            for &val in self.domains[v].as_ref().expect("filtered to Some") {
+                b.add_tuple(sym, &[Element(val as u32)]).expect("validated");
+            }
+        }
+        (a.finish(), b.finish())
+    }
+
+    /// Solves the instance through the homomorphism encoding, returning
+    /// one satisfying assignment (`assignment[var] = value`).
+    pub fn solve(&self) -> Option<Vec<usize>> {
+        let (a, b) = self.to_structures();
+        find_homomorphism(&a, &b).map(|h| homomorphism_to_assignment(&h))
+    }
+
+    /// Checks an assignment against domains and constraints.
+    pub fn check(&self, assignment: &[usize]) -> bool {
+        if assignment.len() != self.num_variables {
+            return false;
+        }
+        if assignment.iter().any(|&v| v >= self.num_values) {
+            return false;
+        }
+        for (v, d) in self.domains.iter().enumerate() {
+            if let Some(vals) = d {
+                if !vals.contains(&assignment[v]) {
+                    return false;
+                }
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let image: Vec<usize> = c.scope.iter().map(|&v| assignment[v]).collect();
+            c.allowed.contains(&image)
+        })
+    }
+}
+
+/// Converts a homomorphism produced from [`CspInstance::to_structures`]
+/// back into an assignment.
+pub fn homomorphism_to_assignment(h: &Homomorphism) -> Vec<usize> {
+    h.as_slice().iter().map(|e| e.index()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3-coloring of a triangle: satisfiable with 3 colors, not 2.
+    #[test]
+    fn triangle_coloring() {
+        let neq3: Vec<(usize, usize)> = (0..3)
+            .flat_map(|a| (0..3).map(move |b| (a, b)))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let mut csp = CspInstance::new(3, 3);
+        csp.add_binary(0, 1, &neq3).unwrap();
+        csp.add_binary(1, 2, &neq3).unwrap();
+        csp.add_binary(0, 2, &neq3).unwrap();
+        let sol = csp.solve().expect("triangle is 3-colorable");
+        assert!(csp.check(&sol));
+
+        let neq2: Vec<(usize, usize)> = vec![(0, 1), (1, 0)];
+        let mut csp2 = CspInstance::new(3, 2);
+        csp2.add_binary(0, 1, &neq2).unwrap();
+        csp2.add_binary(1, 2, &neq2).unwrap();
+        csp2.add_binary(0, 2, &neq2).unwrap();
+        assert!(csp2.solve().is_none(), "triangle is not 2-colorable");
+    }
+
+    #[test]
+    fn domains_constrain() {
+        let mut csp = CspInstance::new(2, 3);
+        csp.set_domain(0, vec![1]).unwrap();
+        csp.add_binary(0, 1, &[(1, 2), (0, 0)]).unwrap();
+        let sol = csp.solve().unwrap();
+        assert_eq!(sol, vec![1, 2]);
+        // Empty domain → unsatisfiable.
+        csp.set_domain(1, vec![]).unwrap();
+        assert!(csp.solve().is_none());
+    }
+
+    #[test]
+    fn ternary_constraints() {
+        // x + y + z ≡ 1 (mod 2) over {0,1}: odd parity.
+        let odd: Vec<Vec<usize>> = (0..8usize)
+            .map(|bits| vec![bits & 1, (bits >> 1) & 1, (bits >> 2) & 1])
+            .filter(|t| t.iter().sum::<usize>() % 2 == 1)
+            .collect();
+        let mut csp = CspInstance::new(3, 2);
+        csp.add_constraint(Constraint::new(vec![0, 1, 2], odd).unwrap()).unwrap();
+        let sol = csp.solve().unwrap();
+        assert_eq!(sol.iter().sum::<usize>() % 2, 1);
+        assert!(csp.check(&sol));
+    }
+
+    #[test]
+    fn check_rejects_bad_assignments() {
+        let mut csp = CspInstance::new(2, 2);
+        csp.add_binary(0, 1, &[(0, 1)]).unwrap();
+        assert!(csp.check(&[0, 1]));
+        assert!(!csp.check(&[1, 0]));
+        assert!(!csp.check(&[0]), "wrong length");
+        assert!(!csp.check(&[0, 5]), "value out of range");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut csp = CspInstance::new(2, 2);
+        assert!(csp.set_domain(5, vec![0]).is_err());
+        assert!(csp.set_domain(0, vec![7]).is_err());
+        assert!(csp.add_binary(0, 9, &[(0, 0)]).is_err());
+        assert!(csp.add_binary(0, 1, &[(0, 9)]).is_err());
+        assert!(Constraint::new(vec![0, 1], vec![vec![0]]).is_err());
+    }
+
+    #[test]
+    fn unconstrained_instance_is_satisfiable() {
+        let csp = CspInstance::new(3, 1);
+        assert_eq!(csp.solve().unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn no_values_unsatisfiable_with_variables() {
+        let csp = CspInstance::new(1, 0);
+        assert!(csp.solve().is_none());
+        let empty = CspInstance::new(0, 0);
+        assert_eq!(empty.solve().unwrap(), Vec::<usize>::new());
+    }
+}

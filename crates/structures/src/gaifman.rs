@@ -1,0 +1,76 @@
+//! The Gaifman graph of a structure.
+//!
+//! Two elements are adjacent iff they occur together in some tuple
+//! (Gaifman, 1982; paper §5). The *treewidth of a structure* is defined
+//! as the treewidth of its Gaifman graph, which Lemma 5.1 shows agrees
+//! with the direct tree-decomposition definition for structures.
+
+use crate::graph::UndirectedGraph;
+use crate::structure::Structure;
+
+/// Builds the Gaifman graph of `s`: vertices are the elements of the
+/// universe, with an edge between two distinct elements iff they co-occur
+/// in a tuple of some relation.
+pub fn gaifman_graph(s: &Structure) -> UndirectedGraph {
+    let mut g = UndirectedGraph::new(s.universe());
+    for r in s.vocabulary().iter() {
+        for t in s.relation(r).iter() {
+            for (i, &a) in t.iter().enumerate() {
+                for &b in &t[i + 1..] {
+                    if a != b {
+                        g.add_edge(a.index(), b.index());
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::StructureBuilder;
+    use crate::vocabulary::Vocabulary;
+
+    #[test]
+    fn single_wide_tuple_gives_clique() {
+        // A single n-ary tuple of distinct elements → Gaifman graph is K_n
+        // (the example at the end of §5 of the paper).
+        let voc = Vocabulary::from_symbols([("R", 4)]).unwrap().into_shared();
+        let mut b = StructureBuilder::new(voc, 4);
+        b.add_fact("R", &[0, 1, 2, 3]).unwrap();
+        let s = b.finish();
+        let g = gaifman_graph(&s);
+        assert_eq!(g.num_edges(), 6, "K4 has 6 edges");
+    }
+
+    #[test]
+    fn binary_relation_gives_its_own_graph() {
+        let s = crate::generators::directed_path(4);
+        let g = gaifman_graph(&s);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn repeated_elements_do_not_loop() {
+        let voc = Vocabulary::from_symbols([("R", 3)]).unwrap().into_shared();
+        let mut b = StructureBuilder::new(voc, 2);
+        b.add_fact("R", &[0, 0, 1]).unwrap();
+        let s = b.finish();
+        let g = gaifman_graph(&s);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn isolated_elements_remain() {
+        let voc = Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let b = StructureBuilder::new(voc, 3);
+        let g = gaifman_graph(&b.finish());
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

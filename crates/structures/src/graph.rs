@@ -1,0 +1,181 @@
+//! Simple undirected graphs over `{0, …, n-1}`.
+//!
+//! Used for the Gaifman and incidence views of a structure (§5 of the
+//! paper) and consumed by the `cqcs-treewidth` crate's decomposition
+//! algorithms. Adjacency is stored as bit sets so clique tests and
+//! elimination-style algorithms are cheap.
+
+use crate::bitset::BitSet;
+
+/// An undirected simple graph (no self-loops, no multi-edges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    n: usize,
+    adj: Vec<BitSet>,
+    num_edges: usize,
+}
+
+impl UndirectedGraph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        UndirectedGraph { n, adj: vec![BitSet::new(n); n], num_edges: 0 }
+    }
+
+    /// Builds a graph from an edge list; self-loops and duplicates are
+    /// ignored.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds an undirected edge; self-loops are ignored. Returns whether a
+    /// new edge was inserted.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u == v {
+            return false;
+        }
+        let new = self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        if new {
+            self.num_edges += 1;
+        }
+        new
+    }
+
+    /// Edge membership test.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adj[u].contains(v)
+    }
+
+    /// The neighbourhood of `u` as a bit set.
+    #[inline]
+    pub fn adjacency(&self, u: usize) -> &BitSet {
+        &self.adj[u]
+    }
+
+    /// Iterates over the neighbours of `u` in increasing order.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[u].iter()
+    }
+
+    /// The degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Iterates over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.adj[u].iter().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Whether the vertex set `s` induces a clique.
+    pub fn is_clique(&self, s: &BitSet) -> bool {
+        let members: Vec<usize> = s.iter().collect();
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Connected components as vertex lists (singleton vertices included).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut out = Vec::new();
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for v in self.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_edges() {
+        let mut g = UndirectedGraph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate (reversed) edge ignored");
+        assert!(!g.add_edge(2, 2), "self-loop ignored");
+        g.add_edge(1, 2);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = UndirectedGraph::from_edges(4, &[(3, 1), (0, 2), (1, 0)]);
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let tri: BitSet = [0usize, 1, 2].into_iter().collect();
+        let mut tri_full = BitSet::new(4);
+        for v in tri.iter() {
+            tri_full.insert(v);
+        }
+        assert!(g.is_clique(&tri_full));
+        let mut not_clique = BitSet::new(4);
+        not_clique.insert(0);
+        not_clique.insert(3);
+        assert!(!g.is_clique(&not_clique));
+        assert!(g.is_clique(&BitSet::new(4)), "empty set is a clique");
+    }
+
+    #[test]
+    fn components_found() {
+        let g = UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+}

@@ -1,0 +1,379 @@
+//! Homomorphisms between relational structures.
+//!
+//! This module provides the *reference* algorithms: a complete
+//! backtracking search with static most-constrained-first ordering and
+//! full-tuple consistency checking. It is deliberately simple — every
+//! smarter solver in the workspace (Schaefer dispatch, pebble-game
+//! filtering, bounded-treewidth DP, MAC backtracking) is cross-validated
+//! against this one on small instances.
+
+use crate::structure::{Element, Structure};
+
+/// A total homomorphism `h : A → B`, stored as a dense map over `A`'s
+/// universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Homomorphism {
+    map: Vec<Element>,
+}
+
+impl Homomorphism {
+    /// Wraps a raw dense map. The caller asserts it is a homomorphism;
+    /// use [`is_homomorphism`] to verify.
+    pub fn from_map(map: Vec<Element>) -> Self {
+        Homomorphism { map }
+    }
+
+    /// The image of element `e`.
+    #[inline]
+    pub fn apply(&self, e: Element) -> Element {
+        self.map[e.index()]
+    }
+
+    /// The dense map as a slice.
+    pub fn as_slice(&self) -> &[Element] {
+        &self.map
+    }
+
+    /// Number of elements in the domain.
+    pub fn domain_size(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The set of distinct image elements.
+    pub fn image(&self) -> Vec<Element> {
+        let mut img = self.map.clone();
+        img.sort_unstable();
+        img.dedup();
+        img
+    }
+
+    /// Whether the map is surjective onto a universe of `n` elements.
+    pub fn is_surjective_onto(&self, n: usize) -> bool {
+        self.image().len() == n
+    }
+}
+
+/// Checks whether the dense map `map` (of length `a.universe()`) is a
+/// homomorphism from `a` to `b`.
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies or the map
+/// has the wrong length.
+pub fn is_homomorphism(map: &[Element], a: &Structure, b: &Structure) -> bool {
+    assert!(a.same_vocabulary(b), "homomorphism across different vocabularies");
+    assert_eq!(map.len(), a.universe(), "map length must equal |A|");
+    let mut image: Vec<Element> = Vec::with_capacity(a.vocabulary().max_arity());
+    for r in a.vocabulary().iter() {
+        let ra = a.relation(r);
+        let rb = b.relation(r);
+        if ra.arity() == 0 {
+            if !ra.is_empty() && rb.is_empty() {
+                return false;
+            }
+            continue;
+        }
+        for t in ra.iter() {
+            image.clear();
+            image.extend(t.iter().map(|&e| map[e.index()]));
+            if !rb.contains(&image) {
+                return false;
+            }
+        }
+    }
+    map.iter().all(|e| e.index() < b.universe())
+}
+
+/// Searches for a homomorphism `h : A → B`. Returns the first one found.
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies.
+pub fn find_homomorphism(a: &Structure, b: &Structure) -> Option<Homomorphism> {
+    extend_homomorphism(a, b, &[])
+}
+
+/// Convenience wrapper: does any homomorphism `A → B` exist?
+pub fn homomorphism_exists(a: &Structure, b: &Structure) -> bool {
+    find_homomorphism(a, b).is_some()
+}
+
+/// Searches for a homomorphism extending the given partial assignment
+/// (pairs `(a_elem, b_elem)`).
+///
+/// Returns `None` if no extension exists (including when the partial
+/// assignment itself is inconsistent).
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies.
+pub fn extend_homomorphism(
+    a: &Structure,
+    b: &Structure,
+    partial: &[(Element, Element)],
+) -> Option<Homomorphism> {
+    let mut out = None;
+    search(a, b, partial, &mut |h| {
+        out = Some(Homomorphism::from_map(h.to_vec()));
+        false // stop after the first
+    });
+    out
+}
+
+/// Counts homomorphisms `A → B`, stopping early once `limit` is reached.
+///
+/// Pass `usize::MAX` for an exact count.
+pub fn count_homomorphisms(a: &Structure, b: &Structure, limit: usize) -> usize {
+    let mut count = 0usize;
+    search(a, b, &[], &mut |_| {
+        count += 1;
+        count < limit
+    });
+    count
+}
+
+/// Enumerates all homomorphisms (use only on small instances).
+pub fn all_homomorphisms(a: &Structure, b: &Structure) -> Vec<Homomorphism> {
+    let mut out = Vec::new();
+    search(a, b, &[], &mut |h| {
+        out.push(Homomorphism::from_map(h.to_vec()));
+        true
+    });
+    out
+}
+
+/// Core backtracking search. Invokes `on_solution` with each complete
+/// homomorphism found; the callback returns `false` to stop the search.
+fn search(
+    a: &Structure,
+    b: &Structure,
+    partial: &[(Element, Element)],
+    on_solution: &mut dyn FnMut(&[Element]) -> bool,
+) {
+    assert!(a.same_vocabulary(b), "homomorphism across different vocabularies");
+    // 0-ary relations are global preconditions.
+    for r in a.vocabulary().iter() {
+        if a.vocabulary().arity(r) == 0
+            && !a.relation(r).is_empty()
+            && b.relation(r).is_empty()
+        {
+            return;
+        }
+    }
+    let n = a.universe();
+    let m = b.universe();
+    if n == 0 {
+        on_solution(&[]);
+        return;
+    }
+    if m == 0 {
+        return; // nonempty A cannot map into an empty universe
+    }
+
+    let mut assign: Vec<Option<Element>> = vec![None; n];
+    for &(x, y) in partial {
+        assert!(x.index() < n, "partial assignment domain out of range");
+        if y.index() >= m {
+            return;
+        }
+        match assign[x.index()] {
+            Some(prev) if prev != y => return, // contradictory pre-assignment
+            _ => assign[x.index()] = Some(y),
+        }
+    }
+    // Verify consistency of the pre-assigned part.
+    for &(x, _) in partial {
+        if !consistent_after(a, b, &assign, x) {
+            return;
+        }
+    }
+
+    // Static order: most-occurring (most constrained) unassigned first.
+    let mut order: Vec<Element> = a
+        .elements()
+        .filter(|e| assign[e.index()].is_none())
+        .collect();
+    order.sort_by_key(|e| std::cmp::Reverse(a.occurrences(*e).len()));
+
+    backtrack(a, b, &mut assign, &order, 0, on_solution);
+}
+
+fn backtrack(
+    a: &Structure,
+    b: &Structure,
+    assign: &mut Vec<Option<Element>>,
+    order: &[Element],
+    depth: usize,
+    on_solution: &mut dyn FnMut(&[Element]) -> bool,
+) -> bool {
+    if depth == order.len() {
+        let complete: Vec<Element> =
+            assign.iter().map(|o| o.expect("assignment complete")).collect();
+        return on_solution(&complete);
+    }
+    let x = order[depth];
+    for v in 0..b.universe() as u32 {
+        assign[x.index()] = Some(Element(v));
+        if consistent_after(a, b, assign, x)
+            && !backtrack(a, b, assign, order, depth + 1, on_solution)
+        {
+            return false;
+        }
+    }
+    assign[x.index()] = None;
+    true
+}
+
+/// Checks every tuple of `A` containing `x` whose elements are all
+/// assigned: its image must be a tuple of `B`.
+fn consistent_after(
+    a: &Structure,
+    b: &Structure,
+    assign: &[Option<Element>],
+    x: Element,
+) -> bool {
+    let mut image: Vec<Element> = Vec::with_capacity(a.vocabulary().max_arity());
+    'occurrence: for &(r, t) in a.occurrences(x) {
+        image.clear();
+        for &e in a.relation(r).tuple(t as usize) {
+            match assign[e.index()] {
+                Some(v) => image.push(v),
+                None => continue 'occurrence,
+            }
+        }
+        if !b.relation(r).contains(&image) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_maps_into_edge() {
+        // P4 (3 edges) → K2: 2-coloring of a path exists.
+        let p = generators::directed_path(4);
+        let k2 = generators::complete_graph(2);
+        let h = find_homomorphism(&p, &k2).expect("path is 2-colorable");
+        assert!(is_homomorphism(h.as_slice(), &p, &k2));
+    }
+
+    #[test]
+    fn odd_cycle_not_two_colorable() {
+        let c5 = generators::undirected_cycle(5);
+        let k2 = generators::complete_graph(2);
+        assert!(find_homomorphism(&c5, &k2).is_none());
+        let c6 = generators::undirected_cycle(6);
+        assert!(find_homomorphism(&c6, &k2).is_some());
+    }
+
+    #[test]
+    fn clique_colorability() {
+        let k3 = generators::complete_graph(3);
+        let k4 = generators::complete_graph(4);
+        assert!(homomorphism_exists(&k3, &k4), "K3 → K4");
+        assert!(!homomorphism_exists(&k4, &k3), "K4 ↛ K3");
+    }
+
+    #[test]
+    fn counting_two_colorings() {
+        // An even cycle has exactly 2 proper 2-colorings.
+        let c4 = generators::undirected_cycle(4);
+        let k2 = generators::complete_graph(2);
+        assert_eq!(count_homomorphisms(&c4, &k2, usize::MAX), 2);
+        // Limit caps the count.
+        assert_eq!(count_homomorphisms(&c4, &k2, 1), 1);
+    }
+
+    #[test]
+    fn extend_respects_partial() {
+        let p = generators::directed_path(3); // 0→1→2
+        let k2 = generators::complete_graph(2);
+        let h =
+            extend_homomorphism(&p, &k2, &[(Element(0), Element(1))]).expect("extendable");
+        assert_eq!(h.apply(Element(0)), Element(1));
+        assert_eq!(h.apply(Element(1)), Element(0));
+        assert_eq!(h.apply(Element(2)), Element(1));
+    }
+
+    #[test]
+    fn inconsistent_partial_rejected() {
+        let k2a = generators::complete_graph(2);
+        let k2b = generators::complete_graph(2);
+        // Mapping both endpoints of an edge to the same vertex fails.
+        assert!(extend_homomorphism(
+            &k2a,
+            &k2b,
+            &[(Element(0), Element(0)), (Element(1), Element(0))]
+        )
+        .is_none());
+        // Contradictory duplicate pre-assignment fails.
+        assert!(extend_homomorphism(
+            &k2a,
+            &k2b,
+            &[(Element(0), Element(0)), (Element(0), Element(1))]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn empty_a_has_trivial_hom() {
+        let voc = crate::Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let empty = crate::StructureBuilder::new(voc, 0).finish();
+        let k2 = generators::complete_graph(2);
+        assert!(homomorphism_exists(&empty, &k2));
+    }
+
+    #[test]
+    fn empty_b_universe_blocks() {
+        let voc = crate::Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let empty = crate::StructureBuilder::new(std::sync::Arc::clone(&voc), 0).finish();
+        let one = crate::StructureBuilder::new(voc, 1).finish();
+        assert!(!homomorphism_exists(&one, &empty));
+        assert!(homomorphism_exists(&empty, &one));
+    }
+
+    #[test]
+    fn all_homomorphisms_enumerates() {
+        // Loops on both sides: maps from 2-element loop-graph to
+        // 2-element loop-graph = all 4 functions.
+        let voc = crate::Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let mut b = crate::StructureBuilder::new(std::sync::Arc::clone(&voc), 2);
+        b.add_fact("E", &[0, 0]).unwrap();
+        b.add_fact("E", &[1, 1]).unwrap();
+        let s = b.finish();
+        let homs = all_homomorphisms(&s, &s);
+        assert_eq!(homs.len(), 4);
+        for h in &homs {
+            assert!(is_homomorphism(h.as_slice(), &s, &s));
+        }
+    }
+
+    #[test]
+    fn homomorphism_accessors() {
+        let p = generators::directed_path(2);
+        let k2 = generators::complete_graph(2);
+        let h = find_homomorphism(&p, &k2).unwrap();
+        assert_eq!(h.domain_size(), 2);
+        assert_eq!(h.image().len(), 2);
+        assert!(h.is_surjective_onto(2));
+    }
+
+    #[test]
+    fn unary_predicates_constrain() {
+        // A: one element marked P. B: P empty → no hom; P nonempty → hom.
+        let voc =
+            crate::Vocabulary::from_symbols([("P", 1)]).unwrap().into_shared();
+        let mut ab = crate::StructureBuilder::new(std::sync::Arc::clone(&voc), 1);
+        ab.add_fact("P", &[0]).unwrap();
+        let a = ab.finish();
+        let b_empty = crate::StructureBuilder::new(std::sync::Arc::clone(&voc), 1).finish();
+        let mut bb = crate::StructureBuilder::new(voc, 2);
+        bb.add_fact("P", &[1]).unwrap();
+        let b_marked = bb.finish();
+        assert!(!homomorphism_exists(&a, &b_empty));
+        let h = find_homomorphism(&a, &b_marked).unwrap();
+        assert_eq!(h.apply(Element(0)), Element(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! The incidence graph of a structure.
+//!
+//! The bipartite graph with the tuples of `A` on one side and the
+//! elements of the universe on the other, with an edge from tuple `t` to
+//! element `a` iff `a` occurs in `t` (paper §5, after Theorem 5.4). The
+//! paper relates its treewidth ("incidence treewidth") to the Gaifman
+//! treewidth: `incidence ≤ gaifman + 1` and
+//! `gaifman ≤ (incidence + 1) · max_arity − 1`.
+
+use crate::graph::UndirectedGraph;
+use crate::structure::Structure;
+use crate::vocabulary::RelId;
+
+/// The incidence graph of a structure, with bookkeeping that identifies
+/// which graph vertices are elements and which are tuples.
+#[derive(Debug, Clone)]
+pub struct IncidenceGraph {
+    /// The underlying undirected bipartite graph. Vertices
+    /// `0..num_elements` are universe elements; vertices
+    /// `num_elements..` are tuple nodes.
+    pub graph: UndirectedGraph,
+    /// Number of element vertices (equals the structure's universe size).
+    pub num_elements: usize,
+    /// For each tuple node (offset by `num_elements`), its origin.
+    pub tuple_origin: Vec<(RelId, u32)>,
+}
+
+impl IncidenceGraph {
+    /// Number of tuple vertices.
+    pub fn num_tuples(&self) -> usize {
+        self.tuple_origin.len()
+    }
+
+    /// The graph vertex for the `i`-th tuple node.
+    pub fn tuple_vertex(&self, i: usize) -> usize {
+        self.num_elements + i
+    }
+}
+
+/// Builds the incidence graph of `s`.
+pub fn incidence_graph(s: &Structure) -> IncidenceGraph {
+    let num_elements = s.universe();
+    let mut tuple_origin = Vec::with_capacity(s.total_tuples());
+    for r in s.vocabulary().iter() {
+        for t in 0..s.relation(r).len() {
+            tuple_origin.push((r, t as u32));
+        }
+    }
+    let mut graph = UndirectedGraph::new(num_elements + tuple_origin.len());
+    for (i, &(r, t)) in tuple_origin.iter().enumerate() {
+        let tv = num_elements + i;
+        for &e in s.relation(r).tuple(t as usize) {
+            graph.add_edge(tv, e.index());
+        }
+    }
+    IncidenceGraph { graph, num_elements, tuple_origin }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::StructureBuilder;
+    use crate::vocabulary::Vocabulary;
+
+    #[test]
+    fn single_wide_tuple_is_a_star() {
+        // The paper's example: a single n-ary tuple has Gaifman graph K_n
+        // but its incidence graph is a tree (a star), so incidence
+        // treewidth 1.
+        let voc = Vocabulary::from_symbols([("R", 5)]).unwrap().into_shared();
+        let mut b = StructureBuilder::new(voc, 5);
+        b.add_fact("R", &[0, 1, 2, 3, 4]).unwrap();
+        let s = b.finish();
+        let inc = incidence_graph(&s);
+        assert_eq!(inc.num_elements, 5);
+        assert_eq!(inc.num_tuples(), 1);
+        assert_eq!(inc.graph.num_edges(), 5);
+        assert_eq!(inc.graph.degree(inc.tuple_vertex(0)), 5);
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let s = crate::generators::directed_path(3);
+        let inc = incidence_graph(&s);
+        // No element-element or tuple-tuple edges.
+        for u in 0..inc.num_elements {
+            for v in 0..inc.num_elements {
+                assert!(!inc.graph.has_edge(u, v));
+            }
+        }
+        for i in 0..inc.num_tuples() {
+            for j in 0..inc.num_tuples() {
+                assert!(!inc.graph.has_edge(inc.tuple_vertex(i), inc.tuple_vertex(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_element_edge_counted_once() {
+        let voc = Vocabulary::from_symbols([("R", 2)]).unwrap().into_shared();
+        let mut b = StructureBuilder::new(voc, 1);
+        b.add_fact("R", &[0, 0]).unwrap();
+        let s = b.finish();
+        let inc = incidence_graph(&s);
+        assert_eq!(inc.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn tuple_origin_bookkeeping() {
+        let voc = Vocabulary::from_symbols([("E", 2), ("P", 1)]).unwrap().into_shared();
+        let mut b = StructureBuilder::new(std::sync::Arc::clone(&voc), 2);
+        b.add_fact("E", &[0, 1]).unwrap();
+        b.add_fact("P", &[1]).unwrap();
+        let s = b.finish();
+        let inc = incidence_graph(&s);
+        assert_eq!(inc.num_tuples(), 2);
+        let e = voc.lookup("E").unwrap();
+        let p = voc.lookup("P").unwrap();
+        assert_eq!(inc.tuple_origin[0], (e, 0));
+        assert_eq!(inc.tuple_origin[1], (p, 0));
+    }
+}

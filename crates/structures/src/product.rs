@@ -1,0 +1,118 @@
+//! Direct products of relational structures.
+//!
+//! `A × B` has universe `A × B` and `((a₁,b₁),…,(aₖ,bₖ)) ∈ R^{A×B}` iff
+//! `(a₁,…,aₖ) ∈ R^A` and `(b₁,…,bₖ) ∈ R^B`. Its universal property —
+//! `hom(C → A×B) ⟺ hom(C → A) ∧ hom(C → B)` — makes it a sharp
+//! cross-validation tool for every solver in the workspace, and products
+//! are the algebraic backbone of the CSP literature the paper engages
+//! (closure under operations = polymorphisms).
+
+use crate::structure::{Element, Structure, StructureBuilder};
+use std::sync::Arc;
+
+/// The index of the pair `(x, y)` in the product universe.
+#[inline]
+pub fn pair_index(x: Element, y: Element, b_universe: usize) -> Element {
+    Element(x.0 * b_universe as u32 + y.0)
+}
+
+/// Splits a product element back into its two coordinates.
+#[inline]
+pub fn pair_split(e: Element, b_universe: usize) -> (Element, Element) {
+    (Element(e.0 / b_universe as u32), Element(e.0 % b_universe as u32))
+}
+
+/// Computes the direct product `A × B`.
+///
+/// The product has `|A| · |B|` elements and `|R^A| · |R^B|` tuples per
+/// relation, so use it on small inputs.
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies.
+pub fn direct_product(a: &Structure, b: &Structure) -> Structure {
+    assert!(a.same_vocabulary(b), "product of structures over different vocabularies");
+    let voc = Arc::clone(a.vocabulary());
+    let bu = b.universe();
+    let mut builder = StructureBuilder::new(Arc::clone(&voc), a.universe() * bu);
+    let mut buf: Vec<Element> = Vec::new();
+    for r in voc.iter() {
+        let ra = a.relation(r);
+        let rb = b.relation(r);
+        for ta in ra.iter() {
+            for tb in rb.iter() {
+                buf.clear();
+                buf.extend(
+                    ta.iter().zip(tb.iter()).map(|(&x, &y)| pair_index(x, y, bu)),
+                );
+                builder.add_tuple(r, &buf).expect("in range by construction");
+            }
+        }
+    }
+    builder.finish()
+}
+
+/// The two canonical projection homomorphisms out of `A × B`, as dense
+/// maps (first component, second component).
+pub fn projections(a: &Structure, b: &Structure) -> (Vec<Element>, Vec<Element>) {
+    let bu = b.universe();
+    let n = a.universe() * bu;
+    let mut p1 = Vec::with_capacity(n);
+    let mut p2 = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let (x, y) = pair_split(Element(i), bu);
+        p1.push(x);
+        p2.push(y);
+    }
+    (p1, p2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::homomorphism::{homomorphism_exists, is_homomorphism};
+
+    #[test]
+    fn projections_are_homomorphisms() {
+        let a = generators::directed_cycle(3);
+        let b = generators::complete_graph(3);
+        let p = direct_product(&a, &b);
+        let (p1, p2) = projections(&a, &b);
+        assert!(is_homomorphism(&p1, &p, &a));
+        assert!(is_homomorphism(&p2, &p, &b));
+    }
+
+    #[test]
+    fn universal_property() {
+        // C5 → K3 (5-cycle is 3-colorable) and C5 → K4, so C5 → K3 × K4.
+        let c5 = generators::undirected_cycle(5);
+        let k3 = generators::complete_graph(3);
+        let k4 = generators::complete_graph(4);
+        let prod = direct_product(&k3, &k4);
+        assert!(homomorphism_exists(&c5, &prod));
+        // C5 ↛ K2, so C5 ↛ K2 × K4.
+        let k2 = generators::complete_graph(2);
+        let prod2 = direct_product(&k2, &k4);
+        assert!(!homomorphism_exists(&c5, &prod2));
+    }
+
+    #[test]
+    fn product_sizes() {
+        let a = generators::directed_path(3); // 2 edges
+        let b = generators::directed_path(4); // 3 edges
+        let p = direct_product(&a, &b);
+        assert_eq!(p.universe(), 12);
+        let e = p.vocabulary().lookup("E").unwrap();
+        assert_eq!(p.relation(e).len(), 6);
+    }
+
+    #[test]
+    fn pair_index_roundtrip() {
+        for x in 0..5u32 {
+            for y in 0..7u32 {
+                let e = pair_index(Element(x), Element(y), 7);
+                assert_eq!(pair_split(e, 7), (Element(x), Element(y)));
+            }
+        }
+    }
+}

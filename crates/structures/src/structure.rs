@@ -1,0 +1,433 @@
+//! Finite relational structures with immutable, indexed relations.
+//!
+//! A [`Structure`] is built once through a [`StructureBuilder`] and is
+//! immutable afterwards: relations are stored as sorted, deduplicated,
+//! flattened tuple arrays, with per-position inverted indexes
+//! (`position → element → tuple ids`) and a per-element occurrence list
+//! (`element → (relation, tuple id)`). The occurrence list is exactly the
+//! "linked lists that link all occurrences in A of an element a" that the
+//! paper's Theorem 3.4 preprocessing stage builds, and the inverted
+//! indexes are what make homomorphism extension and semijoin passes cheap.
+
+use crate::error::{Error, Result};
+use crate::vocabulary::{RelId, Vocabulary};
+use std::sync::Arc;
+
+/// An element of a structure's universe `{0, …, n-1}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Element(pub u32);
+
+impl Element {
+    /// The element as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an element from a dense index.
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        Element(i as u32)
+    }
+}
+
+impl std::fmt::Debug for Element {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Element {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One relation of a structure: a sorted, deduplicated set of tuples plus
+/// per-position inverted indexes.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    arity: usize,
+    ntuples: usize,
+    /// Flattened tuples, `ntuples * arity` elements, sorted lexicographically.
+    data: Vec<Element>,
+    /// `index[pos][elem] = sorted tuple ids t with tuple(t)[pos] == elem`.
+    index: Vec<Vec<Vec<u32>>>,
+}
+
+impl Relation {
+    fn from_tuples(arity: usize, universe: usize, mut raw: Vec<Vec<Element>>) -> Relation {
+        raw.sort_unstable();
+        raw.dedup();
+        let ntuples = raw.len();
+        let mut data = Vec::with_capacity(ntuples * arity);
+        for t in &raw {
+            data.extend_from_slice(t);
+        }
+        let mut index = vec![vec![Vec::new(); universe]; arity];
+        for (t, tuple) in raw.iter().enumerate() {
+            for (pos, e) in tuple.iter().enumerate() {
+                index[pos][e.index()].push(t as u32);
+            }
+        }
+        Relation { arity, ntuples, data, index }
+    }
+
+    /// The arity of the relation symbol.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ntuples
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ntuples == 0
+    }
+
+    /// The `i`-th tuple in lexicographic order.
+    #[inline]
+    pub fn tuple(&self, i: usize) -> &[Element] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over all tuples in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Element]> + '_ {
+        (0..self.ntuples).map(move |i| self.tuple(i))
+    }
+
+    /// Sorted ids of tuples whose `pos`-th component equals `elem`.
+    #[inline]
+    pub fn tuples_with(&self, pos: usize, elem: Element) -> &[u32] {
+        &self.index[pos][elem.index()]
+    }
+
+    /// Membership test by binary search (tuples are sorted).
+    pub fn contains(&self, tuple: &[Element]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        if self.arity == 0 {
+            return self.ntuples > 0;
+        }
+        let mut lo = 0usize;
+        let mut hi = self.ntuples;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.tuple(mid).cmp(tuple) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+/// A finite relational structure over a shared [`Vocabulary`].
+#[derive(Debug, Clone)]
+pub struct Structure {
+    voc: Arc<Vocabulary>,
+    universe: usize,
+    relations: Vec<Relation>,
+    /// `occurrences[elem] = (relation, tuple id)` pairs, one per occurrence.
+    occurrences: Vec<Vec<(RelId, u32)>>,
+}
+
+impl Structure {
+    /// The vocabulary the structure interprets.
+    pub fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.voc
+    }
+
+    /// Size of the universe.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Iterates over the elements of the universe.
+    pub fn elements(&self) -> impl Iterator<Item = Element> {
+        (0..self.universe as u32).map(Element)
+    }
+
+    /// The interpretation of a relation symbol.
+    #[inline]
+    pub fn relation(&self, r: RelId) -> &Relation {
+        &self.relations[r.index()]
+    }
+
+    /// All `(relation, tuple)` occurrences of an element — the paper's
+    /// per-element linked lists.
+    #[inline]
+    pub fn occurrences(&self, e: Element) -> &[(RelId, u32)] {
+        &self.occurrences[e.index()]
+    }
+
+    /// Total number of tuples across all relations, `|A|` in the paper's
+    /// notation for tuple counts.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Encoding size `‖A‖`: universe size plus the total number of
+    /// element occurrences in tuples.
+    pub fn size(&self) -> usize {
+        self.universe
+            + self.relations.iter().map(|r| r.len() * r.arity()).sum::<usize>()
+    }
+
+    /// Whether two structures are over the same vocabulary (by content).
+    pub fn same_vocabulary(&self, other: &Structure) -> bool {
+        Arc::ptr_eq(&self.voc, &other.voc) || *self.voc == *other.voc
+    }
+
+    /// The induced substructure on the elements where `keep` is `true`,
+    /// together with the (partial) renaming from old elements to new.
+    ///
+    /// Tuples mentioning a dropped element are dropped.
+    pub fn restrict(&self, keep: &[bool]) -> (Structure, Vec<Option<Element>>) {
+        assert_eq!(keep.len(), self.universe);
+        let mut rename: Vec<Option<Element>> = vec![None; self.universe];
+        let mut next = 0u32;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                rename[i] = Some(Element(next));
+                next += 1;
+            }
+        }
+        let mut builder = StructureBuilder::new(Arc::clone(&self.voc), next as usize);
+        let mut buf: Vec<Element> = Vec::with_capacity(self.voc.max_arity());
+        for r in self.voc.iter() {
+            'tuples: for t in self.relation(r).iter() {
+                buf.clear();
+                for &e in t {
+                    match rename[e.index()] {
+                        Some(ne) => buf.push(ne),
+                        None => continue 'tuples,
+                    }
+                }
+                builder
+                    .add_tuple(r, &buf)
+                    .expect("restricted tuple is valid by construction");
+            }
+        }
+        (builder.finish(), rename)
+    }
+}
+
+/// Mutable accumulator producing an immutable [`Structure`].
+///
+/// ```
+/// use cqcs_structures::{StructureBuilder, Vocabulary, Element};
+/// let voc = Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+/// let mut b = StructureBuilder::new(voc.clone(), 3);
+/// let e = voc.lookup("E").unwrap();
+/// b.add_tuple(e, &[Element(0), Element(1)]).unwrap();
+/// b.add_tuple(e, &[Element(1), Element(2)]).unwrap();
+/// let s = b.finish();
+/// assert_eq!(s.relation(e).len(), 2);
+/// assert!(s.relation(e).contains(&[Element(0), Element(1)]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StructureBuilder {
+    voc: Arc<Vocabulary>,
+    universe: usize,
+    tuples: Vec<Vec<Vec<Element>>>,
+}
+
+impl StructureBuilder {
+    /// Starts a structure with the given universe size.
+    pub fn new(voc: Arc<Vocabulary>, universe: usize) -> Self {
+        let tuples = vec![Vec::new(); voc.len()];
+        StructureBuilder { voc, universe, tuples }
+    }
+
+    /// The universe size the builder was created with.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The vocabulary of the structure under construction.
+    pub fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.voc
+    }
+
+    /// Adds a tuple to a relation, validating arity and element range.
+    pub fn add_tuple(&mut self, r: RelId, tuple: &[Element]) -> Result<()> {
+        let arity = self.voc.arity(r);
+        if tuple.len() != arity {
+            return Err(Error::ArityMismatch {
+                relation: self.voc.name(r).to_owned(),
+                arity,
+                got: tuple.len(),
+            });
+        }
+        for &e in tuple {
+            if e.index() >= self.universe {
+                return Err(Error::ElementOutOfRange {
+                    relation: self.voc.name(r).to_owned(),
+                    element: e.0,
+                    universe: self.universe,
+                });
+            }
+        }
+        self.tuples[r.index()].push(tuple.to_vec());
+        Ok(())
+    }
+
+    /// Adds a tuple by relation name and raw element indices.
+    pub fn add_fact(&mut self, name: &str, tuple: &[u32]) -> Result<()> {
+        let r = self.voc.require(name)?;
+        let elems: Vec<Element> = tuple.iter().map(|&e| Element(e)).collect();
+        self.add_tuple(r, &elems)
+    }
+
+    /// Finalizes: sorts, deduplicates, and indexes every relation.
+    pub fn finish(self) -> Structure {
+        let universe = self.universe;
+        let voc = self.voc;
+        let relations: Vec<Relation> = voc
+            .iter()
+            .zip(self.tuples)
+            .map(|(r, raw)| Relation::from_tuples(voc.arity(r), universe, raw))
+            .collect();
+        let mut occurrences = vec![Vec::new(); universe];
+        for r in voc.iter() {
+            let rel = &relations[r.index()];
+            for (t, tuple) in rel.iter().enumerate() {
+                for &e in tuple {
+                    occurrences[e.index()].push((r, t as u32));
+                }
+            }
+        }
+        // An element occurring several times in one tuple should be
+        // processed once per (relation, tuple) pair by propagation loops.
+        for occ in &mut occurrences {
+            occ.dedup();
+        }
+        Structure { voc, universe, relations, occurrences }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digraph(edges: &[(u32, u32)], n: usize) -> Structure {
+        let voc = Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let mut b = StructureBuilder::new(Arc::clone(&voc), n);
+        for &(x, y) in edges {
+            b.add_fact("E", &[x, y]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let s = digraph(&[(0, 1), (1, 2), (0, 1)], 3);
+        let e = s.vocabulary().lookup("E").unwrap();
+        assert_eq!(s.relation(e).len(), 2, "duplicates removed");
+        assert!(s.relation(e).contains(&[Element(0), Element(1)]));
+        assert!(!s.relation(e).contains(&[Element(1), Element(0)]));
+        assert_eq!(s.universe(), 3);
+        assert_eq!(s.total_tuples(), 2);
+        assert_eq!(s.size(), 3 + 4);
+    }
+
+    #[test]
+    fn tuples_sorted_lexicographically() {
+        let s = digraph(&[(2, 0), (0, 2), (1, 1)], 3);
+        let e = s.vocabulary().lookup("E").unwrap();
+        let tuples: Vec<Vec<u32>> =
+            s.relation(e).iter().map(|t| t.iter().map(|x| x.0).collect()).collect();
+        assert_eq!(tuples, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
+    }
+
+    #[test]
+    fn positional_index() {
+        let s = digraph(&[(0, 1), (0, 2), (1, 2)], 3);
+        let e = s.vocabulary().lookup("E").unwrap();
+        let rel = s.relation(e);
+        assert_eq!(rel.tuples_with(0, Element(0)).len(), 2);
+        assert_eq!(rel.tuples_with(1, Element(2)).len(), 2);
+        assert_eq!(rel.tuples_with(0, Element(2)).len(), 0);
+        for &t in rel.tuples_with(1, Element(2)) {
+            assert_eq!(rel.tuple(t as usize)[1], Element(2));
+        }
+    }
+
+    #[test]
+    fn occurrence_lists() {
+        let s = digraph(&[(0, 1), (1, 2)], 3);
+        let e = s.vocabulary().lookup("E").unwrap();
+        assert_eq!(s.occurrences(Element(1)).len(), 2);
+        assert_eq!(s.occurrences(Element(0)), &[(e, 0)]);
+    }
+
+    #[test]
+    fn self_loop_occurrence_deduplicated() {
+        let s = digraph(&[(1, 1)], 2);
+        assert_eq!(
+            s.occurrences(Element(1)).len(),
+            1,
+            "element occurring twice in one tuple is listed once"
+        );
+        assert_eq!(s.occurrences(Element(0)).len(), 0);
+    }
+
+    #[test]
+    fn arity_and_range_validation() {
+        let voc = Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let mut b = StructureBuilder::new(voc, 2);
+        assert!(matches!(
+            b.add_fact("E", &[0]).unwrap_err(),
+            Error::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            b.add_fact("E", &[0, 5]).unwrap_err(),
+            Error::ElementOutOfRange { .. }
+        ));
+        assert!(matches!(
+            b.add_fact("F", &[0, 1]).unwrap_err(),
+            Error::UnknownRelation { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_ary_relation() {
+        let voc = Vocabulary::from_symbols([("S", 0)]).unwrap().into_shared();
+        let mut b = StructureBuilder::new(Arc::clone(&voc), 1);
+        let s_empty = StructureBuilder::new(Arc::clone(&voc), 1).finish();
+        b.add_fact("S", &[]).unwrap();
+        let s = b.finish();
+        let sym = voc.lookup("S").unwrap();
+        assert!(s.relation(sym).contains(&[]));
+        assert!(!s_empty.relation(sym).contains(&[]));
+        assert_eq!(s.relation(sym).len(), 1);
+    }
+
+    #[test]
+    fn restrict_induced_substructure() {
+        let s = digraph(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        let (sub, rename) = s.restrict(&[true, true, true, false]);
+        assert_eq!(sub.universe(), 3);
+        let e = sub.vocabulary().lookup("E").unwrap();
+        // Edges (2,3) and (3,0) vanish with element 3.
+        assert_eq!(sub.relation(e).len(), 2);
+        assert_eq!(rename[3], None);
+        assert_eq!(rename[0], Some(Element(0)));
+        assert!(sub.relation(e).contains(&[Element(0), Element(1)]));
+        assert!(sub.relation(e).contains(&[Element(1), Element(2)]));
+    }
+
+    #[test]
+    fn same_vocabulary_by_content() {
+        let a = digraph(&[(0, 1)], 2);
+        let b = digraph(&[(1, 0)], 2);
+        assert!(a.same_vocabulary(&b), "equal content counts even without shared Arc");
+    }
+}

@@ -1,0 +1,137 @@
+//! The `A + B` encoding of §4.2 of the paper.
+//!
+//! A pair of σ-structures `(A, B)` is encoded as a single structure over
+//! the vocabulary `σ₁ + σ₂ = σ₁ ∪ σ₂ ∪ {D₁, D₂}`: the universe is the
+//! disjoint union of the universes, `D₁`/`D₂` are unary markers of the
+//! two parts, and each `R₁`/`R₂` is `R`'s interpretation on the
+//! respective part. This lets queries on *pairs* of structures (such as
+//! "does the Spoiler win the existential k-pebble game on A and B?",
+//! Theorem 4.7) be treated as ordinary queries on single structures.
+
+use crate::structure::{Element, Structure, StructureBuilder};
+use crate::vocabulary::{RelId, Vocabulary};
+use std::sync::Arc;
+
+/// The vocabulary `σ₁ + σ₂` together with the symbol correspondence.
+#[derive(Debug, Clone)]
+pub struct SumVocabulary {
+    /// The combined vocabulary.
+    pub vocabulary: Arc<Vocabulary>,
+    /// `copy1[r.index()]` is the `σ₁` copy of original symbol `r`.
+    pub copy1: Vec<RelId>,
+    /// `copy2[r.index()]` is the `σ₂` copy of original symbol `r`.
+    pub copy2: Vec<RelId>,
+    /// The unary marker for the first part.
+    pub d1: RelId,
+    /// The unary marker for the second part.
+    pub d2: RelId,
+}
+
+/// Builds `σ₁ + σ₂` from a base vocabulary.
+pub fn sum_vocabulary(base: &Vocabulary) -> SumVocabulary {
+    let mut voc = Vocabulary::new();
+    let mut copy1 = Vec::with_capacity(base.len());
+    let mut copy2 = Vec::with_capacity(base.len());
+    for (_, name, arity) in base.symbols() {
+        copy1.push(voc.add(&format!("{name}_1"), arity).expect("fresh name"));
+    }
+    for (_, name, arity) in base.symbols() {
+        copy2.push(voc.add(&format!("{name}_2"), arity).expect("fresh name"));
+    }
+    let d1 = voc.add("D_1", 1).expect("fresh name");
+    let d2 = voc.add("D_2", 1).expect("fresh name");
+    SumVocabulary { vocabulary: voc.into_shared(), copy1, copy2, d1, d2 }
+}
+
+/// Encodes the pair `(a, b)` as the single structure `a + b`.
+///
+/// Elements `0..a.universe()` are `a`'s universe; elements
+/// `a.universe()..` are `b`'s, shifted.
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies.
+pub fn structure_sum(a: &Structure, b: &Structure) -> (Structure, SumVocabulary) {
+    assert!(a.same_vocabulary(b), "sum of structures over different vocabularies");
+    let sv = sum_vocabulary(a.vocabulary());
+    let offset = a.universe() as u32;
+    let mut builder =
+        StructureBuilder::new(Arc::clone(&sv.vocabulary), a.universe() + b.universe());
+    let mut buf: Vec<Element> = Vec::new();
+    for r in a.vocabulary().iter() {
+        for t in a.relation(r).iter() {
+            builder.add_tuple(sv.copy1[r.index()], t).expect("in range");
+        }
+        for t in b.relation(r).iter() {
+            buf.clear();
+            buf.extend(t.iter().map(|e| Element(e.0 + offset)));
+            builder.add_tuple(sv.copy2[r.index()], &buf).expect("in range");
+        }
+    }
+    for e in 0..a.universe() as u32 {
+        builder.add_tuple(sv.d1, &[Element(e)]).expect("in range");
+    }
+    for e in 0..b.universe() as u32 {
+        builder.add_tuple(sv.d2, &[Element(e + offset)]).expect("in range");
+    }
+    (builder.finish(), sv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn sum_has_disjoint_marked_parts() {
+        let a = generators::directed_path(3);
+        let b = generators::directed_cycle(4);
+        let (s, sv) = structure_sum(&a, &b);
+        assert_eq!(s.universe(), 7);
+        assert_eq!(s.relation(sv.d1).len(), 3);
+        assert_eq!(s.relation(sv.d2).len(), 4);
+        // D1 and D2 partition the universe.
+        let mut marked = vec![0u8; 7];
+        for t in s.relation(sv.d1).iter() {
+            marked[t[0].index()] += 1;
+        }
+        for t in s.relation(sv.d2).iter() {
+            marked[t[0].index()] += 1;
+        }
+        assert!(marked.iter().all(|&m| m == 1));
+    }
+
+    #[test]
+    fn relations_are_copied_with_offset() {
+        let a = generators::directed_path(3); // edges (0,1),(1,2)
+        let b = generators::directed_path(2); // edge (0,1) → (3,4)
+        let (s, sv) = structure_sum(&a, &b);
+        let e = a.vocabulary().lookup("E").unwrap();
+        let e1 = sv.copy1[e.index()];
+        let e2 = sv.copy2[e.index()];
+        assert_eq!(s.relation(e1).len(), 2);
+        assert_eq!(s.relation(e2).len(), 1);
+        assert!(s.relation(e2).contains(&[Element(3), Element(4)]));
+    }
+
+    #[test]
+    fn vocabulary_names() {
+        let sv = sum_vocabulary(&generators::digraph_vocabulary());
+        let v = &sv.vocabulary;
+        assert!(v.lookup("E_1").is_some());
+        assert!(v.lookup("E_2").is_some());
+        assert!(v.lookup("D_1").is_some());
+        assert_eq!(v.arity(sv.d1), 1);
+        assert_eq!(v.arity(sv.copy2[0]), 2);
+    }
+
+    #[test]
+    fn empty_structures_sum() {
+        let voc = generators::digraph_vocabulary();
+        let a = StructureBuilder::new(Arc::clone(&voc), 0).finish();
+        let b = StructureBuilder::new(voc, 2).finish();
+        let (s, sv) = structure_sum(&a, &b);
+        assert_eq!(s.universe(), 2);
+        assert_eq!(s.relation(sv.d1).len(), 0);
+        assert_eq!(s.relation(sv.d2).len(), 2);
+    }
+}

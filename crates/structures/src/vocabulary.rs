@@ -1,0 +1,213 @@
+//! Relational vocabularies (signatures).
+//!
+//! A vocabulary is a finite list of relation symbols, each with a fixed
+//! arity. Symbols are interned: the cheap copyable handle [`RelId`] is
+//! what [`crate::Structure`] and every algorithm in the workspace pass
+//! around, so hot paths never touch strings.
+
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle for an interned relation symbol within one [`Vocabulary`].
+///
+/// Ids are dense (`0..vocabulary.len()`), so per-relation data can live in
+/// plain `Vec`s indexed by `RelId::index()`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub(crate) u32);
+
+impl RelId {
+    /// The dense index of this symbol, suitable for `Vec` indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `RelId` from a dense index. The caller must ensure the
+    /// index is valid for the vocabulary it will be used with.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        RelId(i as u32)
+    }
+}
+
+impl std::fmt::Debug for RelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RelId({})", self.0)
+    }
+}
+
+/// A finite relational vocabulary: named relation symbols with arities.
+///
+/// ```
+/// use cqcs_structures::Vocabulary;
+/// let mut voc = Vocabulary::new();
+/// let e = voc.add("E", 2).unwrap();
+/// assert_eq!(voc.arity(e), 2);
+/// assert_eq!(voc.name(e), "E");
+/// assert_eq!(voc.lookup("E"), Some(e));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    arities: Vec<usize>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vocabulary from `(name, arity)` pairs.
+    pub fn from_symbols<'a, I>(symbols: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (&'a str, usize)>,
+    {
+        let mut voc = Vocabulary::new();
+        for (name, arity) in symbols {
+            voc.add(name, arity)?;
+        }
+        Ok(voc)
+    }
+
+    /// Adds a relation symbol. Re-adding an existing symbol with the same
+    /// arity returns its existing id; a different arity is an error.
+    pub fn add(&mut self, name: &str, arity: usize) -> Result<RelId> {
+        if let Some(&id) = self.by_name.get(name) {
+            let old = self.arities[id.index()];
+            if old != arity {
+                return Err(Error::DuplicateSymbol {
+                    name: name.to_owned(),
+                    old_arity: old,
+                    new_arity: arity,
+                });
+            }
+            return Ok(id);
+        }
+        let id = RelId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.arities.push(arity);
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks a symbol up by name.
+    pub fn lookup(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`Vocabulary::lookup`] but returns a descriptive error.
+    pub fn require(&self, name: &str) -> Result<RelId> {
+        self.lookup(name).ok_or_else(|| Error::UnknownRelation { name: name.to_owned() })
+    }
+
+    /// The arity of a symbol.
+    #[inline]
+    pub fn arity(&self, id: RelId) -> usize {
+        self.arities[id.index()]
+    }
+
+    /// The name of a symbol.
+    #[inline]
+    pub fn name(&self, id: RelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbol ids in dense order.
+    pub fn iter(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.names.len() as u32).map(RelId)
+    }
+
+    /// Iterates over `(id, name, arity)` triples.
+    pub fn symbols(&self) -> impl Iterator<Item = (RelId, &str, usize)> + '_ {
+        self.iter().map(move |id| (id, self.name(id), self.arity(id)))
+    }
+
+    /// The largest arity among all symbols (0 for an empty vocabulary).
+    pub fn max_arity(&self) -> usize {
+        self.arities.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Wraps this vocabulary in an [`Arc`] for sharing among structures.
+    pub fn into_shared(self) -> Arc<Vocabulary> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut voc = Vocabulary::new();
+        let e = voc.add("E", 2).unwrap();
+        let p = voc.add("P", 1).unwrap();
+        assert_ne!(e, p);
+        assert_eq!(voc.lookup("E"), Some(e));
+        assert_eq!(voc.lookup("P"), Some(p));
+        assert_eq!(voc.lookup("Q"), None);
+        assert_eq!(voc.len(), 2);
+        assert_eq!(voc.max_arity(), 2);
+    }
+
+    #[test]
+    fn re_add_same_arity_is_idempotent() {
+        let mut voc = Vocabulary::new();
+        let a = voc.add("R", 3).unwrap();
+        let b = voc.add("R", 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(voc.len(), 1);
+    }
+
+    #[test]
+    fn re_add_different_arity_errors() {
+        let mut voc = Vocabulary::new();
+        voc.add("R", 3).unwrap();
+        let err = voc.add("R", 2).unwrap_err();
+        assert!(matches!(err, Error::DuplicateSymbol { .. }));
+    }
+
+    #[test]
+    fn from_symbols_builder() {
+        let voc = Vocabulary::from_symbols([("E", 2), ("P", 1), ("T", 3)]).unwrap();
+        assert_eq!(voc.len(), 3);
+        assert_eq!(voc.arity(voc.lookup("T").unwrap()), 3);
+        let names: Vec<&str> = voc.symbols().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["E", "P", "T"]);
+    }
+
+    #[test]
+    fn require_reports_unknown() {
+        let voc = Vocabulary::new();
+        let err = voc.require("missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn zero_ary_symbols_are_allowed() {
+        let mut voc = Vocabulary::new();
+        let s = voc.add("S", 0).unwrap();
+        assert_eq!(voc.arity(s), 0);
+    }
+
+    #[test]
+    fn dense_ids() {
+        let voc = Vocabulary::from_symbols([("A", 1), ("B", 1), ("C", 1)]).unwrap();
+        let ids: Vec<usize> = voc.iter().map(RelId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(RelId::from_index(1), voc.lookup("B").unwrap());
+    }
+}

@@ -1,0 +1,122 @@
+//! Exact treewidth by dynamic programming over vertex subsets.
+//!
+//! The Bodlaender–Fomin–Koster–Kratsch recurrence over elimination
+//! prefixes: `dp[S] = min_{v ∈ S} max(dp[S∖v], |Q(S∖v, v)|)`, where
+//! `Q(S, v)` is the set of vertices outside `S ∪ {v}` reachable from `v`
+//! through `S`. `dp[V]` is the treewidth. Exponential (`O(2^n · n²)`) —
+//! used to certify the heuristics and generators on small graphs.
+
+use cqcs_structures::UndirectedGraph;
+
+/// Maximum vertex count accepted by [`exact_treewidth`].
+pub const EXACT_MAX_VERTICES: usize = 24;
+
+/// Computes the exact treewidth of `g`.
+///
+/// # Panics
+/// Panics if `g` has more than [`EXACT_MAX_VERTICES`] vertices.
+pub fn exact_treewidth(g: &UndirectedGraph) -> usize {
+    let n = g.len();
+    assert!(n <= EXACT_MAX_VERTICES, "exact treewidth limited to {EXACT_MAX_VERTICES} vertices");
+    if n == 0 {
+        return 0;
+    }
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    // dp[S]: best width over orders eliminating exactly S first.
+    let mut dp = vec![u8::MAX; (full as usize) + 1];
+    dp[0] = 0;
+    for s in 1..=full {
+        let mut best = u8::MAX;
+        let mut candidates = s;
+        while candidates != 0 {
+            let v = candidates.trailing_zeros() as usize;
+            candidates &= candidates - 1;
+            let prev = s & !(1 << v);
+            let sub = dp[prev as usize];
+            if sub == u8::MAX {
+                continue;
+            }
+            let q = q_size(g, prev, v) as u8;
+            best = best.min(sub.max(q));
+        }
+        dp[s as usize] = best;
+    }
+    dp[full as usize] as usize
+}
+
+/// `|Q(S, v)|`: vertices outside `S ∪ {v}` reachable from `v` via paths
+/// whose internal vertices all lie in `S`.
+fn q_size(g: &UndirectedGraph, s: u32, v: usize) -> usize {
+    let mut seen: u32 = 1 << v;
+    let mut stack = vec![v];
+    let mut q = 0usize;
+    while let Some(u) = stack.pop() {
+        for w in g.neighbors(u) {
+            if seen & (1 << w) != 0 {
+                continue;
+            }
+            seen |= 1 << w;
+            if s & (1 << w) != 0 {
+                stack.push(w); // internal vertex, keep walking
+            } else {
+                q += 1; // boundary vertex counts once
+            }
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::min_fill_decomposition;
+    use cqcs_structures::{gaifman_graph, generators};
+
+    #[test]
+    fn known_treewidths() {
+        let path = gaifman_graph(&generators::directed_path(7));
+        assert_eq!(exact_treewidth(&path), 1);
+        let cycle = gaifman_graph(&generators::undirected_cycle(7));
+        assert_eq!(exact_treewidth(&cycle), 2);
+        let k5 = gaifman_graph(&generators::complete_graph(5));
+        assert_eq!(exact_treewidth(&k5), 4);
+        let grid = gaifman_graph(&generators::grid_graph(3, 4));
+        assert_eq!(exact_treewidth(&grid), 3);
+    }
+
+    #[test]
+    fn singletons_and_empty() {
+        assert_eq!(exact_treewidth(&UndirectedGraph::new(0)), 0);
+        assert_eq!(exact_treewidth(&UndirectedGraph::new(1)), 0);
+        assert_eq!(exact_treewidth(&UndirectedGraph::new(3)), 0, "no edges");
+    }
+
+    #[test]
+    fn ktrees_have_treewidth_k() {
+        for k in 1..=3 {
+            let g = UndirectedGraph::from_edges(9, &generators::ktree_edges(9, k, 5));
+            assert_eq!(exact_treewidth(&g), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn heuristics_upper_bound_exact() {
+        for seed in 0..12 {
+            let s = generators::random_graph_nm(10, 14, seed);
+            let g = gaifman_graph(&s);
+            let exact = exact_treewidth(&g);
+            let heur = min_fill_decomposition(&g).width();
+            assert!(heur >= exact, "heuristic below exact?! seed {seed}");
+            assert!(heur <= exact + 2, "min-fill far off on a small graph, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn partial_ktrees_within_bound() {
+        for seed in 0..8 {
+            let s = generators::partial_ktree(10, 2, 0.7, seed);
+            let g = gaifman_graph(&s);
+            assert!(exact_treewidth(&g) <= 2, "partial 2-tree has tw ≤ 2, seed {seed}");
+        }
+    }
+}

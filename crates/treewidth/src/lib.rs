@@ -1,0 +1,36 @@
+//! # cqcs-treewidth — bounded treewidth and constraint satisfaction
+//! (§5 of the paper)
+//!
+//! The third uniformization result: restricting the **left** structure
+//! to treewidth ≤ k makes the homomorphism problem uniformly tractable
+//! (Theorem 5.4). Built here:
+//!
+//! * [`decomposition`] — tree decompositions of structures and graphs,
+//!   validated against the paper's three conditions; width;
+//! * [`heuristics`] — elimination-order decompositions (min-degree,
+//!   min-fill), the standard way to *obtain* decompositions;
+//! * [`exact`] — exact treewidth by subset dynamic programming for the
+//!   small graphs the test-suite cross-validates on;
+//! * [`dp`] — the bounded-treewidth homomorphism solver: dynamic
+//!   programming over bag assignments, polynomial for fixed width;
+//! * [`fo`] — Lemma 5.2 made executable: the canonical query of a
+//!   structure of treewidth k rendered as an ∃FO^{k+1} formula (at most
+//!   k+1 variable *slots*, reused along the decomposition) with an
+//!   evaluator, giving the paper's alternative proof of Theorem 5.4;
+//! * [`acyclic`] — the width-1 special case: GYO acyclicity and
+//!   Yannakakis-style semijoin evaluation (the Chekuri–Rajaraman /
+//!   Yannakakis lineage the paper discusses).
+
+pub mod acyclic;
+pub mod decomposition;
+pub mod dp;
+pub mod exact;
+pub mod fo;
+pub mod heuristics;
+
+pub use acyclic::{is_acyclic, yannakakis};
+pub use decomposition::TreeDecomposition;
+pub use dp::{homomorphism_via_treewidth, solve_with_decomposition};
+pub use exact::exact_treewidth;
+pub use fo::{structure_to_fo, FoFormula};
+pub use heuristics::{decomposition_from_elimination, min_degree_order, min_fill_order};

@@ -1,0 +1,96 @@
+//! Scheduling as constraint satisfaction — one of the AI motivations
+//! the paper cites (§1): variables, values, constraints; solved by
+//! encoding into the homomorphism problem.
+//!
+//! Scenario: assign time slots to exams so that exams sharing students
+//! get different slots, some exams must precede others, and a few
+//! rooms/slots are off-limits for specific exams.
+//!
+//! Run with `cargo run --example scheduling`.
+
+use cqcs::core::{analyze, solve, Strategy};
+use cqcs::structures::{Constraint, CspInstance};
+
+const EXAMS: [&str; 6] = ["algebra", "biology", "chemistry", "databases", "english", "french"];
+const SLOTS: [&str; 4] = ["mon-am", "mon-pm", "tue-am", "tue-pm"];
+
+fn main() {
+    let mut csp = CspInstance::new(EXAMS.len(), SLOTS.len());
+
+    // Conflicts: exams sharing students need different slots.
+    let neq: Vec<(usize, usize)> = (0..SLOTS.len())
+        .flat_map(|a| (0..SLOTS.len()).map(move |b| (a, b)))
+        .filter(|&(a, b)| a != b)
+        .collect();
+    let conflicts = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (1, 5)];
+    for &(x, y) in &conflicts {
+        csp.add_binary(x, y, &neq).unwrap();
+    }
+
+    // Precedences: algebra before databases, biology before english.
+    let lt: Vec<(usize, usize)> = (0..SLOTS.len())
+        .flat_map(|a| (0..SLOTS.len()).map(move |b| (a, b)))
+        .filter(|&(a, b)| a < b)
+        .collect();
+    csp.add_binary(0, 3, &lt).unwrap();
+    csp.add_binary(1, 4, &lt).unwrap();
+
+    // Availability: french cannot be on Monday; chemistry needs morning.
+    csp.set_domain(5, vec![2, 3]).unwrap();
+    csp.set_domain(2, vec![0, 2]).unwrap();
+
+    // A ternary fairness constraint: the three morning-heavy exams may
+    // not all land on the same day (demonstrates non-binary scopes).
+    let same_day = |s: usize| s / 2;
+    let allowed: Vec<Vec<usize>> = (0..SLOTS.len().pow(3))
+        .map(|i| vec![i % 4, (i / 4) % 4, (i / 16) % 4])
+        .filter(|t| {
+            !(same_day(t[0]) == same_day(t[1]) && same_day(t[1]) == same_day(t[2]))
+        })
+        .collect();
+    csp.add_constraint(Constraint::new(vec![0, 2, 4], allowed).unwrap()).unwrap();
+
+    // The classic AI formulation…
+    println!("{} exams, {} slots, {} constraints", EXAMS.len(), SLOTS.len(), csp.constraints().len());
+
+    // …is exactly a homomorphism instance (the paper's §2 observation).
+    let (a, b) = csp.to_structures();
+    println!(
+        "as structures: |A| = {} (variables), |B| = {} (values), ‖A‖ = {}, ‖B‖ = {}",
+        a.universe(),
+        b.universe(),
+        a.size(),
+        b.size()
+    );
+    println!("\nanalysis:\n{}\n", analyze(&a, &b));
+
+    let sol = solve(&a, &b, Strategy::Auto).unwrap();
+    match &sol.homomorphism {
+        Some(h) => {
+            println!("schedule found via route {:?}:", sol.route);
+            for (i, exam) in EXAMS.iter().enumerate() {
+                let slot = h.apply(cqcs::structures::Element::new(i)).index();
+                println!("  {exam:10} → {}", SLOTS[slot]);
+            }
+            let assignment: Vec<usize> =
+                h.as_slice().iter().map(|e| e.index()).collect();
+            assert!(csp.check(&assignment), "solver output violates a constraint");
+        }
+        None => println!("no feasible schedule"),
+    }
+
+    // Tighten until infeasible: every exam conflicts with every other.
+    let mut impossible = csp.clone();
+    for x in 0..EXAMS.len() {
+        for y in (x + 1)..EXAMS.len() {
+            impossible.add_binary(x, y, &neq).unwrap();
+        }
+    }
+    let (a2, b2) = impossible.to_structures();
+    let sol2 = solve(&a2, &b2, Strategy::Auto).unwrap();
+    println!(
+        "\n6 mutually conflicting exams into 4 slots: {}",
+        if sol2.homomorphism.is_some() { "feasible?!" } else { "infeasible (pigeonhole)" }
+    );
+    assert!(sol2.homomorphism.is_none());
+}

@@ -1,0 +1,192 @@
+//! Integration tests: the paper's claims, checked across crate
+//! boundaries.
+
+use cqcs::boolean::booleanize::booleanize;
+use cqcs::boolean::schaefer::SchaeferClass;
+use cqcs::boolean::uniform::schaefer_classes;
+use cqcs::core::{solve, Strategy};
+use cqcs::cq::{canonical_databases, canonical_query, contained_in, evaluate, parse_query};
+use cqcs::datalog::{canonical_program, eval_semi_naive};
+use cqcs::pebble::{game::duplicator_wins, spoiler_wins};
+use cqcs::structures::homomorphism::homomorphism_exists;
+use cqcs::structures::{generators, Element};
+use cqcs::treewidth::dp::homomorphism_via_treewidth;
+use cqcs::treewidth::fo::{evaluate as fo_eval, structure_to_fo};
+use cqcs::treewidth::heuristics::min_fill_decomposition;
+
+/// Theorem 2.1 (Chandra–Merlin): the three formulations of containment
+/// coincide — (i) Q1 ⊑ Q2, via (ii) the distinguished tuple being in
+/// Q2(D_{Q1}), via (iii) hom(D_{Q2} → D_{Q1}).
+#[test]
+fn theorem_2_1_three_formulations() {
+    let pairs = [
+        ("Q(X) :- E(X, A), E(A, B), E(B, X).", "Q(X) :- E(X, A)."),
+        ("Q(X) :- E(X, A), E(A, X).", "Q(X) :- E(X, A), E(A, B), E(B, X)."),
+        ("Q :- E(A, B), E(B, C), E(C, A).", "Q :- E(A, B)."),
+        ("Q(X, Y) :- E(X, Y).", "Q(Y, X) :- E(X, Y)."),
+        ("Q :- E(A, B), E(B, A).", "Q :- E(A, A)."),
+    ];
+    for (l, r) in pairs {
+        let q1 = parse_query(l).unwrap();
+        let q2 = parse_query(r).unwrap();
+        let (d1, d2) = canonical_databases(&q1, &q2).unwrap();
+        // (iii) homomorphism formulation (reference search).
+        let hom = homomorphism_exists(&d2.database, &d1.database);
+        // (i) containment through the dispatcher.
+        let cont = contained_in(&q1, &q2).unwrap();
+        // (ii) evaluation formulation.
+        let answers = evaluate(&q2, &d1.database).unwrap();
+        let eval_says = if q1.head.is_empty() {
+            !answers.is_empty()
+        } else {
+            let target: Vec<Element> = q1
+                .head
+                .iter()
+                .map(|h| Element::new(d1.variables.iter().position(|v| v == h).unwrap()))
+                .collect();
+            answers.contains(&target)
+        };
+        assert_eq!(hom, cont, "{l} ⊑ {r}");
+        assert_eq!(hom, eval_says, "{l} ⊑ {r}");
+    }
+}
+
+/// §2's reduction the other way: hom(A → B) iff Q_B ⊑ Q_A.
+#[test]
+fn homomorphism_reduces_to_containment() {
+    for seed in 0..10u64 {
+        let a = generators::random_digraph(4, 0.4, seed);
+        let b = generators::random_digraph(3, 0.5, seed + 31);
+        let qa = canonical_query(&a);
+        let qb = canonical_query(&b);
+        assert_eq!(
+            homomorphism_exists(&a, &b),
+            contained_in(&qb, &qa).unwrap(),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Lemma 3.5 + Example 3.8, end to end through the dispatcher: CSP(C4)
+/// is solved polynomially via the affine Booleanization, and the
+/// answers match brute force.
+#[test]
+fn csp_c4_via_booleanization() {
+    let c4 = generators::directed_cycle(4);
+    let (_, bb, _) = booleanize(&c4, &c4).unwrap();
+    let classes = schaefer_classes(&bb).unwrap();
+    assert!(classes.contains(SchaeferClass::Affine));
+    for seed in 0..10u64 {
+        let a = generators::random_digraph(5, 0.3, seed);
+        let expected = homomorphism_exists(&a, &c4);
+        let sol = solve(&a, &c4, Strategy::Auto).unwrap();
+        assert_eq!(sol.homomorphism.is_some(), expected, "seed {seed}");
+    }
+}
+
+/// Theorem 4.7(2) + 4.8 across crates: bottom-up evaluation of ρ_B
+/// agrees with the pebble game, and (for K2 with 3 pebbles, whose
+/// co-CSP is 3-Datalog-expressible) with homomorphism existence.
+#[test]
+fn rho_b_pebble_game_and_hom_coincide() {
+    let k2 = generators::complete_graph(2);
+    let program = canonical_program(&k2, 3);
+    for seed in 0..6u64 {
+        let a = generators::random_graph_nm(6, 7, seed);
+        let rho = eval_semi_naive(&program, &a).goal_derived;
+        let game = spoiler_wins(&a, &k2, 3);
+        let hom = homomorphism_exists(&a, &k2);
+        assert_eq!(rho, game, "Theorem 4.7(2), seed {seed}");
+        assert_eq!(game, !hom, "Theorem 4.8 on K2/k=3, seed {seed}");
+    }
+}
+
+/// Theorem 4.5/4.8 soundness frontier: the Duplicator always survives
+/// when a homomorphism exists; the converse fails outside the Datalog
+/// class (K4 vs K3).
+#[test]
+fn pebble_game_soundness_and_incompleteness() {
+    for seed in 0..8u64 {
+        let a = generators::random_digraph(5, 0.35, seed);
+        let b = generators::random_digraph(4, 0.35, seed + 77);
+        if homomorphism_exists(&a, &b) {
+            for k in 1..=3 {
+                assert!(duplicator_wins(&a, &b, k), "seed {seed} k {k}");
+            }
+        }
+    }
+    let k4 = generators::complete_graph(4);
+    let k3 = generators::complete_graph(3);
+    assert!(duplicator_wins(&k4, &k3, 3) && !homomorphism_exists(&k4, &k3));
+}
+
+/// Theorem 5.4 + Lemma 5.2 across crates: the DP and the ∃FO^{k+1}
+/// evaluation agree with the reference on bounded-treewidth inputs, and
+/// the formula really uses at most k+1 variable slots.
+#[test]
+fn treewidth_dp_and_fo_agree() {
+    for seed in 0..8u64 {
+        let a = generators::partial_ktree(8, 2, 0.8, seed);
+        let b = generators::random_digraph(4, 0.4, seed + 11);
+        let expected = homomorphism_exists(&a, &b);
+        let (h, width) = homomorphism_via_treewidth(&a, &b);
+        assert_eq!(h.is_some(), expected, "seed {seed}");
+        assert!(width <= 2);
+        let td = min_fill_decomposition(&cqcs::structures::gaifman_graph(&a));
+        let q = structure_to_fo(&a, &td).unwrap();
+        assert!(q.num_slots <= 3, "Lemma 5.2: k+1 slots");
+        assert_eq!(fo_eval(&q, &b), expected, "seed {seed}");
+    }
+}
+
+/// §2's non-uniformity example: CSP(cliques, graphs) is the clique
+/// problem — every fixed right side is easy, the uniform problem is
+/// the hard direction. We check the reductions line up on small cases.
+#[test]
+fn clique_non_uniformity_example() {
+    let g = generators::random_graph_nm(8, 20, 3);
+    // hom(K_k → G) = "G has a k-clique".
+    let mut max_clique = 0;
+    for k in 2..=5 {
+        if homomorphism_exists(&generators::complete_graph(k), &g) {
+            max_clique = k;
+        }
+    }
+    // Brute-force the max clique for comparison.
+    let e = g.vocabulary().lookup("E").unwrap();
+    let mut best = 1;
+    for mask in 0u32..(1 << 8) {
+        let members: Vec<u32> = (0..8).filter(|&i| mask & (1 << i) != 0).collect();
+        let is_clique = members.iter().enumerate().all(|(i, &u)| {
+            members[i + 1..]
+                .iter()
+                .all(|&v| g.relation(e).contains(&[Element(u), Element(v)]))
+        });
+        if is_clique {
+            best = best.max(members.len());
+        }
+    }
+    assert_eq!(max_clique, best.min(5));
+}
+
+/// The uniform dispatcher never disagrees with the reference search.
+#[test]
+fn dispatcher_correct_on_mixed_workload() {
+    let mixed: Vec<(cqcs::structures::Structure, cqcs::structures::Structure)> = vec![
+        (generators::undirected_cycle(7), generators::complete_graph(2)),
+        (generators::undirected_cycle(8), generators::complete_graph(2)),
+        (generators::directed_cycle(9), generators::directed_cycle(3)),
+        (generators::directed_path(5), generators::transitive_tournament(4)),
+        (generators::partial_ktree(9, 2, 0.8, 1), generators::complete_graph(3)),
+        (generators::random_graph_nm(8, 16, 2), generators::complete_graph(3)),
+        (generators::grid_graph(2, 4), generators::complete_graph(2)),
+    ];
+    for (a, b) in &mixed {
+        let expected = homomorphism_exists(a, b);
+        let sol = solve(a, b, Strategy::Auto).unwrap();
+        assert_eq!(sol.homomorphism.is_some(), expected, "route {:?}", sol.route);
+        if let Some(h) = &sol.homomorphism {
+            assert!(cqcs::structures::is_homomorphism(h.as_slice(), a, b));
+        }
+    }
+}

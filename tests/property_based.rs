@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use cqcs::boolean::booleanize::booleanize;
+use cqcs::boolean::relation::BooleanRelation;
+use cqcs::boolean::schaefer;
+use cqcs::core::{backtracking_search, solve, SearchOptions, Strategy as SolveStrategy};
+use cqcs::pebble::consistency::arc_consistent_domains;
+use cqcs::structures::homomorphism::{find_homomorphism, homomorphism_exists};
+use cqcs::structures::product::{direct_product, projections};
+use cqcs::structures::{generators, is_homomorphism, BitSet};
+use cqcs::treewidth::exact::exact_treewidth;
+use cqcs::treewidth::heuristics::{
+    decomposition_from_elimination, min_degree_order, min_fill_order,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a small random digraph structure.
+fn digraph(max_n: usize, max_edges: usize) -> impl Strategy<Value = cqcs::structures::Structure> {
+    (1..=max_n, proptest::collection::vec((0..max_n as u32, 0..max_n as u32), 0..=max_edges))
+        .prop_map(|(n, edges)| {
+            let voc = generators::digraph_vocabulary();
+            let mut b = cqcs::structures::StructureBuilder::new(voc, n);
+            for (x, y) in edges {
+                let _ = b.add_fact("E", &[x % n as u32, y % n as u32]);
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BitSet behaves like a HashSet<usize>.
+    #[test]
+    fn bitset_models_hashset(ops in proptest::collection::vec((0usize..96, any::<bool>()), 0..60)) {
+        let mut bs = BitSet::new(96);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (v, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(v), hs.insert(v));
+            } else {
+                prop_assert_eq!(bs.remove(v), hs.remove(&v));
+            }
+        }
+        prop_assert_eq!(bs.len(), hs.len());
+        let from_bs: HashSet<usize> = bs.iter().collect();
+        prop_assert_eq!(from_bs, hs);
+    }
+
+    /// The product's universal property: hom(C → A×B) iff hom(C → A)
+    /// and hom(C → B); and the projections are homomorphisms.
+    #[test]
+    fn product_universal_property(
+        c in digraph(4, 6),
+        a in digraph(3, 5),
+        b in digraph(3, 5),
+    ) {
+        let p = direct_product(&a, &b);
+        let (p1, p2) = projections(&a, &b);
+        prop_assert!(is_homomorphism(&p1, &p, &a));
+        prop_assert!(is_homomorphism(&p2, &p, &b));
+        let both = homomorphism_exists(&c, &a) && homomorphism_exists(&c, &b);
+        prop_assert_eq!(homomorphism_exists(&c, &p), both);
+    }
+
+    /// Booleanization preserves homomorphism existence (Lemma 3.5).
+    #[test]
+    fn booleanization_preserves_hom(a in digraph(5, 8), b in digraph(4, 7)) {
+        prop_assume!(b.universe() >= 1);
+        let expected = homomorphism_exists(&a, &b);
+        let (ab, bb, info) = booleanize(&a, &b).unwrap();
+        prop_assert_eq!(homomorphism_exists(&ab, &bb), expected);
+        if expected {
+            let hb = find_homomorphism(&ab, &bb).unwrap();
+            let decoded = info.decode(hb.as_slice());
+            prop_assert!(is_homomorphism(&decoded, &a, &b));
+        }
+    }
+
+    /// Arc consistency is sound: wiping out a domain proves no hom, and
+    /// surviving domains contain every real solution's values.
+    #[test]
+    fn arc_consistency_sound(a in digraph(5, 8), b in digraph(3, 5)) {
+        let ac = arc_consistent_domains(&a, &b);
+        match find_homomorphism(&a, &b) {
+            Some(h) => {
+                prop_assert!(ac.consistent);
+                for e in a.elements() {
+                    prop_assert!(ac.domains[e.index()].contains(h.apply(e).index()));
+                }
+            }
+            None => { /* AC may or may not detect it — only soundness matters */ }
+        }
+        if !ac.consistent {
+            prop_assert!(!homomorphism_exists(&a, &b));
+        }
+    }
+
+    /// The auto dispatcher and all-options search agree with the
+    /// reference on arbitrary instances.
+    #[test]
+    fn solvers_agree(a in digraph(5, 8), b in digraph(3, 6)) {
+        let expected = homomorphism_exists(&a, &b);
+        let sol = solve(&a, &b, SolveStrategy::Auto).unwrap();
+        prop_assert_eq!(sol.homomorphism.is_some(), expected);
+        let (h, _) = backtracking_search(&a, &b, SearchOptions::default());
+        prop_assert_eq!(h.is_some(), expected);
+    }
+
+    /// Closure properties of Boolean relations survive classification:
+    /// closing any set under ∧ yields a Horn relation, etc.
+    #[test]
+    fn closures_classify(tuples in proptest::collection::vec(0u64..16, 1..5)) {
+        let close = |mut ts: Vec<u64>, f: fn(u64, u64) -> u64| {
+            loop {
+                let snapshot = ts.clone();
+                let mut added = false;
+                for &a in &snapshot {
+                    for &b in &snapshot {
+                        let t = f(a, b);
+                        if !ts.contains(&t) {
+                            ts.push(t);
+                            added = true;
+                        }
+                    }
+                }
+                if !added { break; }
+            }
+            ts
+        };
+        let horn = BooleanRelation::new(4, close(tuples.clone(), |a, b| a & b)).unwrap();
+        prop_assert!(schaefer::is_horn(&horn));
+        let dual = BooleanRelation::new(4, close(tuples.clone(), |a, b| a | b)).unwrap();
+        prop_assert!(schaefer::is_dual_horn(&dual));
+    }
+
+    /// Elimination-order decompositions are always valid, and on small
+    /// graphs their width is an upper bound on the exact treewidth.
+    #[test]
+    fn heuristic_decompositions_valid(a in digraph(8, 14)) {
+        let g = cqcs::structures::gaifman_graph(&a);
+        for order in [min_degree_order(&g), min_fill_order(&g)] {
+            let td = decomposition_from_elimination(&g, &order);
+            prop_assert!(td.validate_graph(&g).is_ok());
+            prop_assert!(td.validate(&a).is_ok());
+            prop_assert!(td.width() >= exact_treewidth(&g));
+        }
+    }
+
+    /// Homomorphism composition: if h : A→B and g : B→C then
+    /// g∘h : A→C.
+    #[test]
+    fn homomorphisms_compose(a in digraph(4, 6), b in digraph(3, 5), c in digraph(3, 5)) {
+        if let (Some(h), Some(g)) = (find_homomorphism(&a, &b), find_homomorphism(&b, &c)) {
+            let composed: Vec<_> = a.elements().map(|e| g.apply(h.apply(e))).collect();
+            prop_assert!(is_homomorphism(&composed, &a, &c));
+        }
+    }
+}
