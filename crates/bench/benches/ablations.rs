@@ -1,9 +1,9 @@
 //! E12 benches: design-choice ablations — search heuristics, AC
 //! preprocessing, and the Booleanization route against direct search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqcs_core::{backtracking_search, solve, SearchOptions, Strategy};
 use cqcs_structures::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_search_heuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_search_heuristics");
@@ -11,9 +11,30 @@ fn bench_search_heuristics(c: &mut Criterion) {
     let k3 = generators::complete_graph(3);
     let g = generators::random_graph_nm(12, 22, 3);
     for (name, opts) in [
-        ("plain", SearchOptions { mrv: false, mac: false, ac_preprocess: false }),
-        ("mrv", SearchOptions { mrv: true, mac: false, ac_preprocess: false }),
-        ("mac", SearchOptions { mrv: false, mac: true, ac_preprocess: false }),
+        (
+            "plain",
+            SearchOptions {
+                mrv: false,
+                mac: false,
+                ac_preprocess: false,
+            },
+        ),
+        (
+            "mrv",
+            SearchOptions {
+                mrv: true,
+                mac: false,
+                ac_preprocess: false,
+            },
+        ),
+        (
+            "mac",
+            SearchOptions {
+                mrv: false,
+                mac: true,
+                ac_preprocess: false,
+            },
+        ),
         ("mrv_mac_ac", SearchOptions::default()),
     ] {
         group.bench_with_input(BenchmarkId::new(name, "G(12,22)→K3"), &g, |b, g| {
@@ -35,9 +56,7 @@ fn bench_booleanize_vs_search(c: &mut Criterion) {
             b.iter(|| solve(a, &c4, Strategy::Auto).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("generic_search", n), &a, |b, a| {
-            b.iter(|| {
-                solve(a, &c4, Strategy::Generic(SearchOptions::default())).unwrap()
-            })
+            b.iter(|| solve(a, &c4, Strategy::Generic(SearchOptions::default())).unwrap())
         });
     }
     group.finish();

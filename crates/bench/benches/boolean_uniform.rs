@@ -1,17 +1,20 @@
 //! E1/E3 benches: Schaefer recognition and the two uniform routes of
 //! Theorems 3.3 (formula building) vs 3.4 (direct algorithms).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqcs_bench::closed_boolean_relation;
 use cqcs_boolean::relation::{BooleanRelation, BooleanStructure};
 use cqcs_boolean::schaefer::classify_relation;
 use cqcs_boolean::uniform::{solve_schaefer, solve_schaefer_via_formulas};
 use cqcs_structures::{Structure, StructureBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 
 fn horn_template() -> Structure {
     BooleanStructure::new(vec![
-        ("I".into(), BooleanRelation::new(2, vec![0b00, 0b10, 0b11]).unwrap()),
+        (
+            "I".into(),
+            BooleanRelation::new(2, vec![0b00, 0b10, 0b11]).unwrap(),
+        ),
         ("T".into(), BooleanRelation::new(1, vec![0b1]).unwrap()),
         ("F".into(), BooleanRelation::new(1, vec![0b0]).unwrap()),
     ])

@@ -2,12 +2,11 @@
 //! Booleanization fast path vs the generic route, and chain/star/cycle
 //! query families.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqcs_cq::{contained_in, parse_query, two_atom_containment, ConjunctiveQuery};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn chain_query(len: usize) -> ConjunctiveQuery {
-    let body: Vec<String> =
-        (0..len).map(|i| format!("E(V{i}, V{})", i + 1)).collect();
+    let body: Vec<String> = (0..len).map(|i| format!("E(V{i}, V{})", i + 1)).collect();
     parse_query(&format!("Q(V0) :- {}.", body.join(", "))).unwrap()
 }
 
@@ -17,8 +16,9 @@ fn star_query(rays: usize) -> ConjunctiveQuery {
 }
 
 fn cycle_query(len: usize) -> ConjunctiveQuery {
-    let body: Vec<String> =
-        (0..len).map(|i| format!("E(V{i}, V{})", (i + 1) % len)).collect();
+    let body: Vec<String> = (0..len)
+        .map(|i| format!("E(V{i}, V{})", (i + 1) % len))
+        .collect();
     parse_query(&format!("Q :- {}.", body.join(", "))).unwrap()
 }
 

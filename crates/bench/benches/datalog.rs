@@ -1,11 +1,11 @@
 //! E7/E12 benches: Datalog evaluation — the canonical program ρ_B and
 //! the semi-naive differential.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqcs_datalog::canonical_program;
 use cqcs_datalog::eval::{eval_naive, eval_semi_naive};
 use cqcs_datalog::programs;
 use cqcs_structures::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_rho_b(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_canonical_program");

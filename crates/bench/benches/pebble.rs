@@ -1,9 +1,9 @@
 //! E6 bench: the existential k-pebble game's O(n^{2k}) winner
 //! computation (Theorem 4.7(1) / 4.9).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqcs_pebble::game::solve_game;
 use cqcs_structures::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_game(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_pebble_game");
@@ -13,11 +13,9 @@ fn bench_game(c: &mut Criterion) {
         let sizes: &[usize] = if k == 2 { &[8, 12, 16] } else { &[6, 8, 10] };
         for &n in sizes {
             let a = generators::random_digraph(n, 0.3, 5);
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &a,
-                |bench, a| bench.iter(|| solve_game(a, &b, k)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &a, |bench, a| {
+                bench.iter(|| solve_game(a, &b, k))
+            });
         }
     }
     group.finish();

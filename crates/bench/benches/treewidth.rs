@@ -1,12 +1,12 @@
 //! E8 bench: the bounded-treewidth DP (Theorem 5.4) vs generic search,
 //! and the ∃FO^{k+1} evaluation route of Lemma 5.2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqcs_core::{backtracking_search, SearchOptions};
 use cqcs_structures::{gaifman_graph, generators};
 use cqcs_treewidth::dp::homomorphism_via_treewidth;
 use cqcs_treewidth::fo::{evaluate, structure_to_fo};
 use cqcs_treewidth::heuristics::min_fill_decomposition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_dp_vs_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_treewidth_dp");
@@ -15,17 +15,13 @@ fn bench_dp_vs_search(c: &mut Criterion) {
     for k in [1usize, 2, 3] {
         for n in [20usize, 40, 80] {
             let a = generators::partial_ktree(n, k, 0.85, 21);
-            group.bench_with_input(
-                BenchmarkId::new(format!("dp_k{k}"), n),
-                &a,
-                |bench, a| bench.iter(|| homomorphism_via_treewidth(a, &k3)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("dp_k{k}"), n), &a, |bench, a| {
+                bench.iter(|| homomorphism_via_treewidth(a, &k3))
+            });
             group.bench_with_input(
                 BenchmarkId::new(format!("search_k{k}"), n),
                 &a,
-                |bench, a| {
-                    bench.iter(|| backtracking_search(a, &k3, SearchOptions::default()))
-                },
+                |bench, a| bench.iter(|| backtracking_search(a, &k3, SearchOptions::default())),
             );
         }
     }

@@ -107,7 +107,13 @@ fn e1() {
 
 fn e2() {
     println!("## E2 — Defining-formula construction (Thm 3.2)\n");
-    header(&["class", "arity", "|R|", "formula size", "round-trip models == R"]);
+    header(&[
+        "class",
+        "arity",
+        "|R|",
+        "formula size",
+        "round-trip models == R",
+    ]);
     for &arity in &[4usize, 6, 8] {
         let horn = BooleanRelation::new(
             arity,
@@ -163,7 +169,12 @@ fn e2() {
 
 fn e3() {
     println!("## E3 — Formula route (Thm 3.3) vs direct route (Thm 3.4)\n");
-    header(&["‖A‖ (Horn chain)", "formula route (ms)", "direct route (ms)", "answers agree"]);
+    header(&[
+        "‖A‖ (Horn chain)",
+        "formula route (ms)",
+        "direct route (ms)",
+        "answers agree",
+    ]);
     let template = horn_template();
     let mut formula_pts = Vec::new();
     let mut direct_pts = Vec::new();
@@ -171,7 +182,9 @@ fn e3() {
         let a = horn_chain(&template, n, 3);
         let tf = median_ms(3, || solve_schaefer_via_formulas(&a, &template).unwrap());
         let td = median_ms(3, || solve_schaefer(&a, &template).unwrap());
-        let agree = solve_schaefer_via_formulas(&a, &template).unwrap().is_some()
+        let agree = solve_schaefer_via_formulas(&a, &template)
+            .unwrap()
+            .is_some()
             == solve_schaefer(&a, &template).unwrap().is_some();
         formula_pts.push((a.size() as f64, tf));
         direct_pts.push((a.size() as f64, td));
@@ -207,7 +220,11 @@ fn e4() {
             ratio += ab.size() as f64 / a.size() as f64;
             let _ = info;
         }
-        let bits = if m <= 2 { 1 } else { (usize::BITS - (m - 1).leading_zeros()) as usize };
+        let bits = if m <= 2 {
+            1
+        } else {
+            (usize::BITS - (m - 1).leading_zeros()) as usize
+        };
         row(&[
             m.to_string(),
             bits.to_string(),
@@ -217,7 +234,10 @@ fn e4() {
     }
     // Example 3.8: the two labelings of C4.
     let c4 = generators::directed_cycle(4);
-    for (name, labels) in [("a↦00,b↦01,c↦10,d↦11", [0u64, 1, 2, 3]), ("a↦00,b↦10,c↦11,d↦01", [0, 2, 3, 1])] {
+    for (name, labels) in [
+        ("a↦00,b↦01,c↦10,d↦11", [0u64, 1, 2, 3]),
+        ("a↦00,b↦10,c↦11,d↦01", [0, 2, 3, 1]),
+    ] {
         let (_, bb, _) = booleanize_with_labels(&c4, &c4, &labels).unwrap();
         let classes = classify_structure(&BooleanStructure::from_structure(&bb).unwrap());
         println!("\nC4 labeling {name}: classes {classes}");
@@ -226,7 +246,12 @@ fn e4() {
 
 fn e5() {
     println!("## E5 — Saraiya two-atom containment (Prop 3.6)\n");
-    header(&["chain length of Q2", "Saraiya (ms)", "generic (ms)", "agree"]);
+    header(&[
+        "chain length of Q2",
+        "Saraiya (ms)",
+        "generic (ms)",
+        "agree",
+    ]);
     for &len in &[4usize, 8, 16, 32] {
         // Q1: two-atom query  Q(X) :- E(X,Y), E(Y,X).
         let q1 = parse_query("Q(X) :- E(X, Y), E(Y, X).").unwrap();
@@ -238,9 +263,13 @@ fn e5() {
         let q2 = parse_query(&format!("Q(V0) :- {}.", body.join(", "))).unwrap();
         let ts = median_ms(3, || two_atom_containment(&q1, &q2).unwrap());
         let tg = median_ms(3, || contained_in(&q1, &q2).unwrap());
-        let agree =
-            two_atom_containment(&q1, &q2).unwrap() == contained_in(&q1, &q2).unwrap();
-        row(&[len.to_string(), format!("{ts:.3}"), format!("{tg:.3}"), agree.to_string()]);
+        let agree = two_atom_containment(&q1, &q2).unwrap() == contained_in(&q1, &q2).unwrap();
+        row(&[
+            len.to_string(),
+            format!("{ts:.3}"),
+            format!("{tg:.3}"),
+            agree.to_string(),
+        ]);
     }
 }
 
@@ -249,7 +278,11 @@ fn e6() {
     header(&["k", "n", "time (ms)", "configs generated", "surviving"]);
     for &k in &[2usize, 3] {
         let mut pts = Vec::new();
-        let sizes: &[usize] = if k == 2 { &[6, 9, 12, 15, 18] } else { &[5, 7, 9, 11] };
+        let sizes: &[usize] = if k == 2 {
+            &[6, 9, 12, 15, 18]
+        } else {
+            &[5, 7, 9, 11]
+        };
         for &n in sizes {
             let a = generators::random_digraph(n, 0.3, 5);
             let b = generators::random_digraph(4, 0.4, 99);
@@ -264,13 +297,22 @@ fn e6() {
                 res.surviving.to_string(),
             ]);
         }
-        println!("fitted exponent for k={k}: {:.2} (paper bound: ≤ {})", growth_exponent(&pts), 2 * k);
+        println!(
+            "fitted exponent for k={k}: {:.2} (paper bound: ≤ {})",
+            growth_exponent(&pts),
+            2 * k
+        );
     }
 }
 
 fn e7() {
     println!("## E7 — Canonical program ρ_B ≡ pebble game (Thm 4.7(2)/4.8)\n");
-    header(&["template", "k", "ρ_B == game (seeds)", "game == ¬hom (seeds)"]);
+    header(&[
+        "template",
+        "k",
+        "ρ_B == game (seeds)",
+        "game == ¬hom (seeds)",
+    ]);
     let k2 = generators::complete_graph(2);
     let tt2 = generators::transitive_tournament(2);
     for (name, b, k, datalog_complete) in [
@@ -299,13 +341,25 @@ fn e7() {
         } else {
             format!("{agree_hom}/{trials} (no completeness promised)")
         };
-        row(&[name.into(), k.to_string(), format!("{agree_game}/{trials}"), hom_note]);
+        row(&[
+            name.into(),
+            k.to_string(),
+            format!("{agree_game}/{trials}"),
+            hom_note,
+        ]);
     }
 }
 
 fn e8() {
     println!("## E8 — Bounded treewidth uniformizes (Thm 5.4)\n");
-    header(&["k", "n", "DP (ms)", "width used", "backtracking (ms)", "agree"]);
+    header(&[
+        "k",
+        "n",
+        "DP (ms)",
+        "width used",
+        "backtracking (ms)",
+        "agree",
+    ]);
     let k3 = generators::complete_graph(3);
     for &k in &[1usize, 2, 3] {
         let mut dp_pts = Vec::new();
@@ -313,9 +367,7 @@ fn e8() {
             let a = generators::partial_ktree(n, k, 0.85, 21);
             let tdp = median_ms(3, || homomorphism_via_treewidth(&a, &k3));
             let (h, w) = homomorphism_via_treewidth(&a, &k3);
-            let tbt = median_ms(1, || {
-                backtracking_search(&a, &k3, SearchOptions::default())
-            });
+            let tbt = median_ms(1, || backtracking_search(&a, &k3, SearchOptions::default()));
             let (hb, _) = backtracking_search(&a, &k3, SearchOptions::default());
             dp_pts.push((n as f64, tdp));
             row(&[
@@ -327,13 +379,22 @@ fn e8() {
                 (h.is_some() == hb.is_some()).to_string(),
             ]);
         }
-        println!("fitted DP exponent for k={k}: {:.2}", growth_exponent(&dp_pts));
+        println!(
+            "fitted DP exponent for k={k}: {:.2}",
+            growth_exponent(&dp_pts)
+        );
     }
 }
 
 fn e9() {
     println!("## E9 — Binary (dual-graph) encoding (Lemma 5.5)\n");
-    header(&["seed", "hom(A,B)", "hom(bin(A),bin(B))", "‖bin(A)‖/‖A‖ full", "optimized"]);
+    header(&[
+        "seed",
+        "hom(A,B)",
+        "hom(bin(A),bin(B))",
+        "‖bin(A)‖/‖A‖ full",
+        "optimized",
+    ]);
     for seed in 0..6u64 {
         let a = generators::random_structure(4, &[2, 3], 4, seed);
         let b = generators::random_structure_over(a.vocabulary(), 3, 6, seed + 100);
@@ -354,11 +415,22 @@ fn e9() {
 
 fn e10() {
     println!("## E10 — Chandra–Merlin equivalences (Thm 2.1)\n");
-    header(&["pair", "containment (hom route)", "evaluation route", "agree"]);
+    header(&[
+        "pair",
+        "containment (hom route)",
+        "evaluation route",
+        "agree",
+    ]);
     let chains: Vec<(String, String)> = vec![
-        ("Q(X) :- E(X,A), E(A,B), E(B,X).".into(), "Q(X) :- E(X,A).".into()),
+        (
+            "Q(X) :- E(X,A), E(A,B), E(B,X).".into(),
+            "Q(X) :- E(X,A).".into(),
+        ),
         ("Q :- E(A,B), E(B,C), E(C,A).".into(), "Q :- E(A,B).".into()),
-        ("Q(X) :- E(X,A), E(A,X).".into(), "Q(X) :- E(X,A), E(A,B), E(B,X).".into()),
+        (
+            "Q(X) :- E(X,A), E(A,X).".into(),
+            "Q(X) :- E(X,A), E(A,B), E(B,X).".into(),
+        ),
         ("Q :- E(A,B), E(B,C).".into(), "Q :- E(A,A).".into()),
     ];
     for (left, right) in chains {
@@ -377,11 +449,7 @@ fn e10() {
                 let target: Vec<Element> = q1
                     .head
                     .iter()
-                    .map(|h| {
-                        Element::new(
-                            d1.variables.iter().position(|v| v == h).unwrap(),
-                        )
-                    })
+                    .map(|h| Element::new(d1.variables.iter().position(|v| v == h).unwrap()))
                     .collect();
                 answers.contains(&target)
             }
@@ -411,7 +479,12 @@ fn e10() {
 
 fn e11() {
     println!("## E11 — Dichotomy boundary: CSP(K2) vs CSP(K3) (§2, Hell–Nešetřil)\n");
-    header(&["instance family", "pebble k=3 decides 2-col", "pebble k=3 sound for 3-col", "false positives (3-col)"]);
+    header(&[
+        "instance family",
+        "pebble k=3 decides 2-col",
+        "pebble k=3 sound for 3-col",
+        "false positives (3-col)",
+    ]);
     let k2 = generators::complete_graph(2);
     let k3 = generators::complete_graph(3);
     let mut decide2 = 0;
@@ -445,7 +518,10 @@ fn e11() {
         format!("{sound3}/{trials}"),
         fp3.to_string(),
     ]);
-    println!("\n(K4, K3): game verdict with k=3: Duplicator wins = {} — the canonical false positive", !spoiler_wins(&generators::complete_graph(4), &k3, 3));
+    println!(
+        "\n(K4, K3): game verdict with k=3: Duplicator wins = {} — the canonical false positive",
+        !spoiler_wins(&generators::complete_graph(4), &k3, 3)
+    );
 }
 
 fn e12() {
@@ -454,9 +530,30 @@ fn e12() {
     header(&["config", "mean nodes", "mean backtracks"]);
     let k3 = generators::complete_graph(3);
     for (name, opts) in [
-        ("plain", SearchOptions { mrv: false, mac: false, ac_preprocess: false }),
-        ("MRV", SearchOptions { mrv: true, mac: false, ac_preprocess: false }),
-        ("MAC", SearchOptions { mrv: false, mac: true, ac_preprocess: false }),
+        (
+            "plain",
+            SearchOptions {
+                mrv: false,
+                mac: false,
+                ac_preprocess: false,
+            },
+        ),
+        (
+            "MRV",
+            SearchOptions {
+                mrv: true,
+                mac: false,
+                ac_preprocess: false,
+            },
+        ),
+        (
+            "MAC",
+            SearchOptions {
+                mrv: false,
+                mac: true,
+                ac_preprocess: false,
+            },
+        ),
         ("MRV+MAC+AC", SearchOptions::default()),
     ] {
         let mut nodes = 0u64;
@@ -493,10 +590,26 @@ fn e12() {
     let k2g = generators::complete_graph(2);
     let cases: Vec<(&str, Structure, Structure)> = vec![
         ("C6 → K2", generators::undirected_cycle(6), k2g.clone()),
-        ("C8 → C4", generators::directed_cycle(8), generators::directed_cycle(4)),
-        ("P6 → TT4", generators::directed_path(6), generators::transitive_tournament(4)),
-        ("2-tree → K3", generators::partial_ktree(10, 2, 0.9, 3), k3.clone()),
-        ("G(9,18) → K3", generators::random_graph_nm(9, 18, 5), k3.clone()),
+        (
+            "C8 → C4",
+            generators::directed_cycle(8),
+            generators::directed_cycle(4),
+        ),
+        (
+            "P6 → TT4",
+            generators::directed_path(6),
+            generators::transitive_tournament(4),
+        ),
+        (
+            "2-tree → K3",
+            generators::partial_ktree(10, 2, 0.9, 3),
+            k3.clone(),
+        ),
+        (
+            "G(9,18) → K3",
+            generators::random_graph_nm(9, 18, 5),
+            k3.clone(),
+        ),
     ];
     for (name, a, b) in cases {
         let sol = solve(&a, &b, Strategy::Auto).unwrap();

@@ -49,7 +49,10 @@ pub fn row(cells: &[String]) {
 /// Prints a Markdown table header (and separator).
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Random Boolean relation closed under an operation, for E1/E2
@@ -60,7 +63,11 @@ pub fn closed_boolean_relation(
     seed: u64,
     close: impl Fn(u64, u64, u64) -> u64,
 ) -> Vec<u64> {
-    let mask = if arity == 64 { u64::MAX } else { (1u64 << arity) - 1 };
+    let mask = if arity == 64 {
+        u64::MAX
+    } else {
+        (1u64 << arity) - 1
+    };
     let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
     let mut tuples: Vec<u64> = (0..seeds)
         .map(|_| {
@@ -100,11 +107,11 @@ mod tests {
 
     #[test]
     fn growth_exponent_recovers_powers() {
-        let quad: Vec<(f64, f64)> =
-            (1..=6).map(|n| (n as f64, 3.0 * (n as f64).powi(2))).collect();
+        let quad: Vec<(f64, f64)> = (1..=6)
+            .map(|n| (n as f64, 3.0 * (n as f64).powi(2)))
+            .collect();
         assert!((growth_exponent(&quad) - 2.0).abs() < 1e-9);
-        let lin: Vec<(f64, f64)> =
-            (1..=6).map(|n| (n as f64, 0.5 * n as f64)).collect();
+        let lin: Vec<(f64, f64)> = (1..=6).map(|n| (n as f64, 0.5 * n as f64)).collect();
         assert!((growth_exponent(&lin) - 1.0).abs() < 1e-9);
     }
 

@@ -38,9 +38,8 @@ impl BooleanizeInfo {
         assert_eq!(hb.len(), self.a_universe * self.bits);
         (0..self.a_universe)
             .map(|a| {
-                let code = (0..self.bits).fold(0u64, |c, i| {
-                    c | ((hb[a * self.bits + i].0 as u64) << i)
-                });
+                let code =
+                    (0..self.bits).fold(0u64, |c, i| c | ((hb[a * self.bits + i].0 as u64) << i));
                 match self.labels.iter().position(|&l| l == code) {
                     Some(e) => Element::new(e),
                     None => Element(0),
@@ -101,8 +100,13 @@ pub fn booleanize_with_labels(
             return Err(Error::Invalid("labels must be distinct".into()));
         }
     }
-    let m = bits_needed(b.universe())
-        .max(labels.iter().map(|&l| bits_needed((l + 1) as usize)).max().unwrap_or(1));
+    let m = bits_needed(b.universe()).max(
+        labels
+            .iter()
+            .map(|&l| bits_needed((l + 1) as usize))
+            .max()
+            .unwrap_or(1),
+    );
 
     // Derived vocabulary: same names, arities scaled by m.
     let mut voc = Vocabulary::new();
@@ -110,7 +114,8 @@ pub fn booleanize_with_labels(
         if arity * m > MAX_ARITY {
             return Err(Error::ArityTooLarge { arity: arity * m });
         }
-        voc.add(name, arity * m).expect("names unchanged, still distinct");
+        voc.add(name, arity * m)
+            .expect("names unchanged, still distinct");
     }
     let voc = voc.into_shared();
 
@@ -179,9 +184,10 @@ mod tests {
     fn lemma_3_5_on_colorings() {
         // C5 → K3 yes, C5 → K2 no; both survive Booleanization.
         let c5 = generators::undirected_cycle(5);
-        for (template, expected) in
-            [(generators::complete_graph(3), true), (generators::complete_graph(2), false)]
-        {
+        for (template, expected) in [
+            (generators::complete_graph(3), true),
+            (generators::complete_graph(2), false),
+        ] {
             let (ab, bb, info) = booleanize(&c5, &template).unwrap();
             assert_eq!(homomorphism_exists(&ab, &bb), expected);
             if expected {
@@ -229,12 +235,7 @@ mod tests {
         // Booleanized template is affine but not Horn/dual-Horn/
         // bijunctive/0-valid/1-valid.
         let c4 = generators::directed_cycle(4);
-        let (_, bb, _) = booleanize_with_labels(
-            &c4,
-            &c4,
-            &[0b00, 0b01, 0b10, 0b11],
-        )
-        .unwrap();
+        let (_, bb, _) = booleanize_with_labels(&c4, &c4, &[0b00, 0b01, 0b10, 0b11]).unwrap();
         let bs = BooleanStructure::from_structure(&bb).unwrap();
         let set = classify_structure(&bs);
         assert!(set.contains(SchaeferClass::Affine));
@@ -249,12 +250,7 @@ mod tests {
     fn example_3_8_second_labeling_also_bijunctive() {
         // a↦00, b↦10, c↦11, d↦01: affine AND bijunctive.
         let c4 = generators::directed_cycle(4);
-        let (_, bb, _) = booleanize_with_labels(
-            &c4,
-            &c4,
-            &[0b00, 0b10, 0b11, 0b01],
-        )
-        .unwrap();
+        let (_, bb, _) = booleanize_with_labels(&c4, &c4, &[0b00, 0b10, 0b11, 0b01]).unwrap();
         let bs = BooleanStructure::from_structure(&bb).unwrap();
         let set = classify_structure(&bs);
         assert!(set.contains(SchaeferClass::Affine));
@@ -282,8 +278,14 @@ mod tests {
     fn validation_errors() {
         let a = generators::directed_path(2);
         let b = generators::directed_path(3);
-        assert!(booleanize_with_labels(&a, &b, &[0, 1]).is_err(), "wrong label count");
-        assert!(booleanize_with_labels(&a, &b, &[0, 1, 1]).is_err(), "duplicate labels");
+        assert!(
+            booleanize_with_labels(&a, &b, &[0, 1]).is_err(),
+            "wrong label count"
+        );
+        assert!(
+            booleanize_with_labels(&a, &b, &[0, 1, 1]).is_err(),
+            "duplicate labels"
+        );
         let other = generators::random_structure(2, &[3], 1, 0);
         assert!(booleanize(&other, &b).is_err(), "vocabulary mismatch");
     }

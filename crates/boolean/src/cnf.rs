@@ -19,17 +19,26 @@ pub struct Literal {
 impl Literal {
     /// The positive literal `p_var`.
     pub fn pos(var: u32) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// The negative literal `¬p_var`.
     pub fn neg(var: u32) -> Self {
-        Literal { var, positive: false }
+        Literal {
+            var,
+            positive: false,
+        }
     }
 
     /// The complementary literal.
     pub fn negated(self) -> Self {
-        Literal { var: self.var, positive: !self.positive }
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 
     /// Evaluates under an assignment.
@@ -79,7 +88,9 @@ impl Clause {
 
     /// Whether the clause is a tautology (`p ∨ ¬p`).
     pub fn is_tautology(&self) -> bool {
-        self.literals.iter().any(|l| self.literals.contains(&l.negated()))
+        self.literals
+            .iter()
+            .any(|l| self.literals.contains(&l.negated()))
     }
 }
 
@@ -140,7 +151,10 @@ impl CnfFormula {
     /// Enumerates all models (use only for small `num_vars`; intended
     /// for round-trip verification of defining formulas).
     pub fn models(&self) -> Vec<Vec<bool>> {
-        assert!(self.num_vars <= 24, "model enumeration limited to 24 variables");
+        assert!(
+            self.num_vars <= 24,
+            "model enumeration limited to 24 variables"
+        );
         let mut out = Vec::new();
         let mut assignment = vec![false; self.num_vars];
         for bits in 0u64..(1u64 << self.num_vars) {
@@ -160,10 +174,13 @@ impl CnfFormula {
         let masks: Vec<u64> = self
             .models()
             .into_iter()
-            .map(|m| m.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i)))
+            .map(|m| {
+                m.iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+            })
             .collect();
-        BooleanRelation::new(self.num_vars, masks)
-            .expect("models fit the declared variable count")
+        BooleanRelation::new(self.num_vars, masks).expect("models fit the declared variable count")
     }
 }
 
@@ -182,7 +199,14 @@ mod tests {
     use super::*;
 
     fn clause(lits: &[(u32, bool)]) -> Clause {
-        Clause::new(lits.iter().map(|&(v, p)| Literal { var: v, positive: p }).collect())
+        Clause::new(
+            lits.iter()
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
+                .collect(),
+        )
     }
 
     #[test]
@@ -207,7 +231,10 @@ mod tests {
     fn shape_predicates() {
         let horn = CnfFormula::new(
             3,
-            vec![clause(&[(0, false), (1, false), (2, true)]), clause(&[(0, true)])],
+            vec![
+                clause(&[(0, false), (1, false), (2, true)]),
+                clause(&[(0, true)]),
+            ],
         );
         assert!(horn.is_horn());
         assert!(!horn.is_dual_horn());

@@ -58,7 +58,11 @@ fn ones_mask(tuple: &[Element], one: &[bool]) -> u64 {
 /// Errors if `B` is not a Boolean structure with every relation Horn.
 pub fn horn_csp(a: &Structure, b: &Structure) -> Result<Option<Vec<bool>>> {
     let template = boolean_template(a, b)?;
-    if let Some((id, _)) = template.iter().enumerate().find(|(_, r)| !schaefer::is_horn(r)) {
+    if let Some((id, _)) = template
+        .iter()
+        .enumerate()
+        .find(|(_, r)| !schaefer::is_horn(r))
+    {
         return Err(Error::Invalid(format!(
             "relation `{}` is not Horn",
             a.vocabulary().name(RelId::from_index(id))
@@ -74,35 +78,32 @@ fn horn_fixpoint(a: &Structure, template: &[BooleanRelation]) -> Option<Vec<bool
 
     // Processes one tuple: either fails (no extension in Q') or forces
     // new elements into One.
-    let process = |one: &mut Vec<bool>,
-                       queue: &mut Vec<Element>,
-                       r: RelId,
-                       tuple: &[Element]|
-     -> bool {
-        let rel = &template[r.index()];
-        let mask = ones_mask(tuple, one);
-        let mut meet = rel.ones_mask();
-        let mut any = false;
-        for t in rel.iter() {
-            if t & mask == mask {
-                meet &= t;
-                any = true;
-            }
-        }
-        if !any {
-            return false; // One(t) has no extension in Q' — monotone, fatal
-        }
-        let forced = meet & !mask;
-        if forced != 0 {
-            for (i, e) in tuple.iter().enumerate() {
-                if forced & (1 << i) != 0 && !one[e.index()] {
-                    one[e.index()] = true;
-                    queue.push(*e);
+    let process =
+        |one: &mut Vec<bool>, queue: &mut Vec<Element>, r: RelId, tuple: &[Element]| -> bool {
+            let rel = &template[r.index()];
+            let mask = ones_mask(tuple, one);
+            let mut meet = rel.ones_mask();
+            let mut any = false;
+            for t in rel.iter() {
+                if t & mask == mask {
+                    meet &= t;
+                    any = true;
                 }
             }
-        }
-        true
-    };
+            if !any {
+                return false; // One(t) has no extension in Q' — monotone, fatal
+            }
+            let forced = meet & !mask;
+            if forced != 0 {
+                for (i, e) in tuple.iter().enumerate() {
+                    if forced & (1 << i) != 0 && !one[e.index()] {
+                        one[e.index()] = true;
+                        queue.push(*e);
+                    }
+                }
+            }
+            true
+        };
 
     // Initial pass over every tuple (catches ∅ → j units and empty Q').
     for r in a.vocabulary().iter() {
@@ -136,8 +137,10 @@ fn horn_fixpoint(a: &Structure, template: &[BooleanRelation]) -> Option<Vec<bool
 /// Horn fixpoint, flip the answer.
 pub fn dual_horn_csp(a: &Structure, b: &Structure) -> Result<Option<Vec<bool>>> {
     let template = boolean_template(a, b)?;
-    if let Some((id, _)) =
-        template.iter().enumerate().find(|(_, r)| !schaefer::is_dual_horn(r))
+    if let Some((id, _)) = template
+        .iter()
+        .enumerate()
+        .find(|(_, r)| !schaefer::is_dual_horn(r))
     {
         return Err(Error::Invalid(format!(
             "relation `{}` is not dual Horn",
@@ -158,8 +161,10 @@ pub fn dual_horn_csp(a: &Structure, b: &Structure) -> Result<Option<Vec<bool>>> 
 /// Theorem 3.4, bijunctive case: the phase-based propagation algorithm.
 pub fn bijunctive_csp(a: &Structure, b: &Structure) -> Result<Option<Vec<bool>>> {
     let template = boolean_template(a, b)?;
-    if let Some((id, _)) =
-        template.iter().enumerate().find(|(_, r)| !schaefer::is_bijunctive(r))
+    if let Some((id, _)) = template
+        .iter()
+        .enumerate()
+        .find(|(_, r)| !schaefer::is_bijunctive(r))
     {
         return Err(Error::Invalid(format!(
             "relation `{}` is not bijunctive",
@@ -198,7 +203,12 @@ pub fn bijunctive_csp(a: &Structure, b: &Structure) -> Result<Option<Vec<bool>>>
             return Ok(None);
         }
     }
-    Ok(Some(value.into_iter().map(|v| v.expect("all phases assign")).collect()))
+    Ok(Some(
+        value
+            .into_iter()
+            .map(|v| v.expect("all phases assign"))
+            .collect(),
+    ))
 }
 
 /// Assigns `value[start] = guess` and propagates; returns `false` on
@@ -206,7 +216,7 @@ pub fn bijunctive_csp(a: &Structure, b: &Structure) -> Result<Option<Vec<bool>>>
 fn propagate_bijunctive(
     a: &Structure,
     template: &[BooleanRelation],
-    value: &mut Vec<Option<bool>>,
+    value: &mut [Option<bool>],
     trail: &mut Vec<usize>,
     start: usize,
     guess: bool,
@@ -296,7 +306,10 @@ mod tests {
     #[test]
     fn horn_implication_chain() {
         let bs = BooleanStructure::new(vec![
-            ("I".into(), BooleanRelation::new(2, vec![0b00, 0b10, 0b11]).unwrap()),
+            (
+                "I".into(),
+                BooleanRelation::new(2, vec![0b00, 0b10, 0b11]).unwrap(),
+            ),
             ("T".into(), BooleanRelation::new(1, vec![0b1]).unwrap()),
             ("F".into(), BooleanRelation::new(1, vec![0b0]).unwrap()),
         ]);
@@ -330,10 +343,7 @@ mod tests {
         let horn_rel = BooleanRelation::new(3, vec![0b000, 0b001, 0b011, 0b111]).unwrap();
         assert!(schaefer::is_horn(&horn_rel));
         let unit = BooleanRelation::new(1, vec![0b1]).unwrap();
-        let bs = BooleanStructure::new(vec![
-            ("R".into(), horn_rel),
-            ("U".into(), unit),
-        ]);
+        let bs = BooleanStructure::new(vec![("R".into(), horn_rel), ("U".into(), unit)]);
         let b = bs.to_structure();
         for seed in 0..20u64 {
             let a = generators::random_structure_over(b.vocabulary(), 6, 5, seed);
@@ -341,8 +351,7 @@ mod tests {
             let got = horn_csp(&a, &b).unwrap();
             assert_eq!(got.is_some(), expected, "seed {seed}");
             if let Some(h) = got {
-                let map: Vec<_> =
-                    h.iter().map(|&v| Element::new(usize::from(v))).collect();
+                let map: Vec<_> = h.iter().map(|&v| Element::new(usize::from(v))).collect();
                 assert!(is_homomorphism(&map, &a, &b));
             }
         }
@@ -363,8 +372,7 @@ mod tests {
             let got = dual_horn_csp(&a, &b).unwrap();
             assert_eq!(got.is_some(), expected, "seed {seed}");
             if let Some(h) = got {
-                let map: Vec<_> =
-                    h.iter().map(|&v| Element::new(usize::from(v))).collect();
+                let map: Vec<_> = h.iter().map(|&v| Element::new(usize::from(v))).collect();
                 assert!(is_homomorphism(&map, &a, &b));
             }
         }
@@ -381,8 +389,7 @@ mod tests {
         for i in 0..6u32 {
             facts.push([i, (i + 1) % 6]);
         }
-        let fact_refs: Vec<(&str, &[u32])> =
-            facts.iter().map(|f| ("E", f.as_slice())).collect();
+        let fact_refs: Vec<(&str, &[u32])> = facts.iter().map(|f| ("E", f.as_slice())).collect();
         let a = left(&bs, 6, &fact_refs);
         let h = bijunctive_csp(&a, &b).unwrap().unwrap();
         for w in &facts {
@@ -393,8 +400,7 @@ mod tests {
         for i in 0..5u32 {
             facts.push([i, (i + 1) % 5]);
         }
-        let fact_refs: Vec<(&str, &[u32])> =
-            facts.iter().map(|f| ("E", f.as_slice())).collect();
+        let fact_refs: Vec<(&str, &[u32])> = facts.iter().map(|f| ("E", f.as_slice())).collect();
         let a = left(&bs, 5, &fact_refs);
         assert_eq!(bijunctive_csp(&a, &b).unwrap(), None);
     }
@@ -431,8 +437,7 @@ mod tests {
             let got = bijunctive_csp(&a, &b).unwrap();
             assert_eq!(got.is_some(), expected, "seed {seed}");
             if let Some(h) = got {
-                let map: Vec<_> =
-                    h.iter().map(|&v| Element::new(usize::from(v))).collect();
+                let map: Vec<_> = h.iter().map(|&v| Element::new(usize::from(v))).collect();
                 assert!(is_homomorphism(&map, &a, &b), "seed {seed}");
             }
         }

@@ -99,7 +99,10 @@ mod tests {
     use crate::cnf::{Clause, Literal};
 
     fn lit(v: u32, p: bool) -> Literal {
-        Literal { var: v, positive: p }
+        Literal {
+            var: v,
+            positive: p,
+        }
     }
 
     #[test]
@@ -125,7 +128,10 @@ mod tests {
         // (p0)(¬p0).
         let f = CnfFormula::new(
             1,
-            vec![Clause::new(vec![lit(0, true)]), Clause::new(vec![lit(0, false)])],
+            vec![
+                Clause::new(vec![lit(0, true)]),
+                Clause::new(vec![lit(0, false)]),
+            ],
         );
         assert!(solve_dpll(&f).is_none());
     }

@@ -26,13 +26,19 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::ArityTooLarge { arity } => {
-                write!(f, "Boolean relation arity {arity} exceeds the supported maximum of 63")
+                write!(
+                    f,
+                    "Boolean relation arity {arity} exceeds the supported maximum of 63"
+                )
             }
             Error::TupleOutOfRange { mask, arity } => {
                 write!(f, "tuple mask {mask:#b} has bits beyond arity {arity}")
             }
             Error::NotBoolean { universe } => {
-                write!(f, "expected a Boolean structure (universe 2), got universe {universe}")
+                write!(
+                    f,
+                    "expected a Boolean structure (universe 2), got universe {universe}"
+                )
             }
             Error::NotSchaefer => write!(f, "structure is not in Schaefer's class"),
             Error::WrongFormulaShape(what) => write!(f, "formula is not {what}"),
@@ -49,8 +55,12 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(Error::ArityTooLarge { arity: 99 }.to_string().contains("99"));
+        assert!(Error::ArityTooLarge { arity: 99 }
+            .to_string()
+            .contains("99"));
         assert!(Error::NotBoolean { universe: 5 }.to_string().contains('5'));
-        assert!(Error::WrongFormulaShape("Horn").to_string().contains("Horn"));
+        assert!(Error::WrongFormulaShape("Horn")
+            .to_string()
+            .contains("Horn"));
     }
 }

@@ -126,11 +126,8 @@ pub fn defining_dual_horn(r: &BooleanRelation) -> Result<CnfFormula> {
         return Err(Error::WrongFormulaShape("dual Horn"));
     }
     let mask = r.ones_mask();
-    let flipped = BooleanRelation::new(
-        r.arity(),
-        r.iter().map(|t| !t & mask).collect(),
-    )
-    .expect("flipped tuples stay in range");
+    let flipped = BooleanRelation::new(r.arity(), r.iter().map(|t| !t & mask).collect())
+        .expect("flipped tuples stay in range");
     let clauses = build_horn_implicates(&flipped)?
         .into_iter()
         .map(|c| Clause::new(c.literals.into_iter().map(Literal::negated).collect()))
@@ -177,9 +174,9 @@ fn build_horn_implicates(r: &BooleanRelation) -> Result<Vec<Clause>> {
     let prune = raw.len() <= 20_000;
     for (premise, head) in raw {
         let subsumed = prune
-            && kept.iter().any(|&(p2, h2)| {
-                p2 & premise == p2 && (h2.is_none() || h2 == head)
-            });
+            && kept
+                .iter()
+                .any(|&(p2, h2)| p2 & premise == p2 && (h2.is_none() || h2 == head));
         if !subsumed {
             kept.push((premise, head));
         }

@@ -50,7 +50,10 @@ pub struct LinearSystem {
 impl LinearSystem {
     /// Creates an empty (trivially satisfiable) system.
     pub fn new(num_vars: usize) -> Self {
-        LinearSystem { num_vars, equations: Vec::new() }
+        LinearSystem {
+            num_vars,
+            equations: Vec::new(),
+        }
     }
 
     /// Adds the equation `Σ_{i ∈ vars} x_i = rhs`.
@@ -91,7 +94,10 @@ impl LinearSystem {
             used += 1;
         }
         // Inconsistency: 0 = 1 rows.
-        if rows[used..].iter().any(|row| row.vars.is_empty() && row.rhs) {
+        if rows[used..]
+            .iter()
+            .any(|row| row.vars.is_empty() && row.rhs)
+        {
             return None;
         }
         let mut solution = vec![false; self.num_vars];
@@ -121,7 +127,10 @@ impl LinearSystem {
             }
             used += 1;
         }
-        if rows[used..].iter().any(|row| row.vars.is_empty() && row.rhs) {
+        if rows[used..]
+            .iter()
+            .any(|row| row.vars.is_empty() && row.rhs)
+        {
             return Some(0);
         }
         let free = self.num_vars - used;

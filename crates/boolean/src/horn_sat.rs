@@ -56,8 +56,8 @@ pub fn solve_horn(f: &CnfFormula) -> Result<Option<Vec<bool>>> {
     while let Some(v) = queue.pop() {
         // `watch` lists are built once and each entry is visited at most
         // once because a variable enters the queue at most once.
-        for idx in 0..watch[v as usize].len() {
-            let ci = watch[v as usize][idx] as usize;
+        for &watched in &watch[v as usize] {
+            let ci = watched as usize;
             // A premise may repeat ¬v; each occurrence decrements.
             remaining[ci] -= 1;
             if remaining[ci] == 0 {
@@ -94,7 +94,11 @@ mod tests {
         // p0; p0→p1; p1∧p0→p2.
         let f = CnfFormula::new(
             3,
-            vec![clause(&[], Some(0)), clause(&[0], Some(1)), clause(&[1, 0], Some(2))],
+            vec![
+                clause(&[], Some(0)),
+                clause(&[0], Some(1)),
+                clause(&[1, 0], Some(2)),
+            ],
         );
         let model = solve_horn(&f).unwrap().unwrap();
         assert_eq!(model, vec![true, true, true]);
@@ -114,7 +118,11 @@ mod tests {
         // p0; p0→p1; ¬p0∨¬p1.
         let f = CnfFormula::new(
             2,
-            vec![clause(&[], Some(0)), clause(&[0], Some(1)), clause(&[0, 1], None)],
+            vec![
+                clause(&[], Some(0)),
+                clause(&[0], Some(1)),
+                clause(&[0, 1], None),
+            ],
         );
         assert_eq!(solve_horn(&f).unwrap(), None);
     }
@@ -135,10 +143,7 @@ mod tests {
 
     #[test]
     fn rejects_non_horn() {
-        let f = CnfFormula::new(
-            2,
-            vec![Clause::new(vec![Literal::pos(0), Literal::pos(1)])],
-        );
+        let f = CnfFormula::new(2, vec![Clause::new(vec![Literal::pos(0), Literal::pos(1)])]);
         assert!(matches!(
             solve_horn(&f).unwrap_err(),
             Error::WrongFormulaShape("Horn")
@@ -159,7 +164,11 @@ mod tests {
                 x ^= x << 17;
                 let nneg = (x % 3) as usize;
                 let neg: Vec<u32> = (0..nneg).map(|i| ((x >> (8 * i)) % 5) as u32).collect();
-                let pos = if x & (1 << 40) != 0 { Some(((x >> 41) % 5) as u32) } else { None };
+                let pos = if x & (1 << 40) != 0 {
+                    Some(((x >> 41) % 5) as u32)
+                } else {
+                    None
+                };
                 clauses.push(clause(&neg, pos));
             }
             let f = CnfFormula::new(nv, clauses);
@@ -170,10 +179,7 @@ mod tests {
                     assert!(f.eval(&m));
                     for other in &models {
                         for v in 0..nv {
-                            assert!(
-                                !m[v] || other[v],
-                                "minimal model must be pointwise least"
-                            );
+                            assert!(!m[v] || other[v], "minimal model must be pointwise least");
                         }
                     }
                 }

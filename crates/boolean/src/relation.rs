@@ -75,7 +75,11 @@ impl BooleanRelation {
     /// Mask with the low `arity` bits set (the all-ones tuple).
     #[inline]
     pub fn ones_mask(&self) -> u64 {
-        if self.arity == 64 { u64::MAX } else { (1u64 << self.arity) - 1 }
+        if self.arity == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.arity) - 1
+        }
     }
 
     /// Membership test.
@@ -105,8 +109,7 @@ impl BooleanRelation {
     /// Converts to a single-relation [`Structure`] view. Prefer
     /// [`BooleanStructure`] for multi-relation templates.
     pub fn to_structure(&self, name: &str) -> Structure {
-        BooleanStructure::new(vec![(name.to_owned(), self.clone())])
-            .to_structure()
+        BooleanStructure::new(vec![(name.to_owned(), self.clone())]).to_structure()
     }
 }
 
@@ -140,7 +143,10 @@ impl BooleanStructure {
 
     /// Looks up a relation by name.
     pub fn relation(&self, name: &str) -> Option<&BooleanRelation> {
-        self.relations.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+        self.relations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
     }
 
     /// Renders as a [`Structure`] with universe `{0, 1}`: element 0 is
@@ -149,7 +155,8 @@ impl BooleanStructure {
     pub fn to_structure(&self) -> Structure {
         let mut voc = Vocabulary::new();
         for (name, rel) in &self.relations {
-            voc.add(name, rel.arity()).expect("names are distinct by construction");
+            voc.add(name, rel.arity())
+                .expect("names are distinct by construction");
         }
         let voc = voc.into_shared();
         let mut b = StructureBuilder::new(Arc::clone(&voc), 2);
@@ -159,8 +166,7 @@ impl BooleanStructure {
             for t in rel.iter() {
                 buf.clear();
                 buf.extend(
-                    (0..rel.arity())
-                        .map(|i| Element(u32::from(BooleanRelation::bit(t, i)))),
+                    (0..rel.arity()).map(|i| Element(u32::from(BooleanRelation::bit(t, i)))),
                 );
                 b.add_tuple(id, &buf).expect("elements 0/1 are in range");
             }
@@ -172,7 +178,9 @@ impl BooleanStructure {
     /// must have exactly 2 elements (0 = false, 1 = true).
     pub fn from_structure(s: &Structure) -> Result<Self> {
         if s.universe() != 2 {
-            return Err(Error::NotBoolean { universe: s.universe() });
+            return Err(Error::NotBoolean {
+                universe: s.universe(),
+            });
         }
         let mut relations = Vec::with_capacity(s.vocabulary().len());
         for (id, name, arity) in s.vocabulary().symbols() {
@@ -213,11 +221,7 @@ mod tests {
 
     #[test]
     fn from_bits_matches_masks() {
-        let r = BooleanRelation::from_bits(
-            2,
-            &[&[false, true], &[true, false]],
-        )
-        .unwrap();
+        let r = BooleanRelation::from_bits(2, &[&[false, true], &[true, false]]).unwrap();
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![0b01, 0b10]);
     }
 

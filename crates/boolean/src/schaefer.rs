@@ -114,7 +114,9 @@ impl SchaeferSet {
 
     /// Iterates over the classes in canonical order.
     pub fn iter(self) -> impl Iterator<Item = SchaeferClass> {
-        SchaeferClass::ALL.into_iter().filter(move |c| self.contains(*c))
+        SchaeferClass::ALL
+            .into_iter()
+            .filter(move |c| self.contains(*c))
     }
 }
 
@@ -289,7 +291,10 @@ mod tests {
         let r = rel(2, &[0b01, 0b10]);
         let set = classify_relation(&r);
         assert!(set.contains(SchaeferClass::Affine));
-        assert!(set.contains(SchaeferClass::Bijunctive), "2 tuples are always bijunctive");
+        assert!(
+            set.contains(SchaeferClass::Bijunctive),
+            "2 tuples are always bijunctive"
+        );
         assert!(!set.contains(SchaeferClass::Horn), "01 ∧ 10 = 00 ∉ R");
         assert!(!set.contains(SchaeferClass::DualHorn), "01 ∨ 10 = 11 ∉ R");
         assert!(!set.contains(SchaeferClass::ZeroValid));
@@ -358,15 +363,10 @@ mod tests {
     fn c4_first_labeling_is_affine_only() {
         // Example 3.8: E' = {(0,0,0,1), (0,1,1,0), (1,0,1,1), (1,1,0,0)}
         // with tuple (a,b,c,d) written position 0 first (LSB).
-        let masks: Vec<u64> = [
-            [0u64, 0, 0, 1],
-            [0, 1, 1, 0],
-            [1, 0, 1, 1],
-            [1, 1, 0, 0],
-        ]
-        .iter()
-        .map(|t| t.iter().enumerate().fold(0, |m, (i, &b)| m | (b << i)))
-        .collect();
+        let masks: Vec<u64> = [[0u64, 0, 0, 1], [0, 1, 1, 0], [1, 0, 1, 1], [1, 1, 0, 0]]
+            .iter()
+            .map(|t| t.iter().enumerate().fold(0, |m, (i, &b)| m | (b << i)))
+            .collect();
         let r = rel(4, &masks);
         let set = classify_relation(&r);
         assert!(set.contains(SchaeferClass::Affine));
@@ -382,15 +382,10 @@ mod tests {
         // Example 3.8's alternative labeling: E'' = {(0,0,1,0),
         // (1,0,1,1), (1,1,0,1), (0,1,0,0)} — affine AND bijunctive,
         // neither Horn nor dual Horn.
-        let masks: Vec<u64> = [
-            [0u64, 0, 1, 0],
-            [1, 0, 1, 1],
-            [1, 1, 0, 1],
-            [0, 1, 0, 0],
-        ]
-        .iter()
-        .map(|t| t.iter().enumerate().fold(0, |m, (i, &b)| m | (b << i)))
-        .collect();
+        let masks: Vec<u64> = [[0u64, 0, 1, 0], [1, 0, 1, 1], [1, 1, 0, 1], [0, 1, 0, 0]]
+            .iter()
+            .map(|t| t.iter().enumerate().fold(0, |m, (i, &b)| m | (b << i)))
+            .collect();
         let r = rel(4, &masks);
         let set = classify_relation(&r);
         assert!(set.contains(SchaeferClass::Affine));

@@ -101,8 +101,7 @@ fn tarjan_scc(adj: &[Vec<u32>]) -> Vec<u32> {
             } else {
                 dfs.pop();
                 if let Some(&(parent, _)) = dfs.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     loop {
@@ -128,15 +127,24 @@ mod tests {
 
     fn cl2(l1: (u32, bool), l2: (u32, bool)) -> Clause {
         Clause::new(vec![
-            Literal { var: l1.0, positive: l1.1 },
-            Literal { var: l2.0, positive: l2.1 },
+            Literal {
+                var: l1.0,
+                positive: l1.1,
+            },
+            Literal {
+                var: l2.0,
+                positive: l2.1,
+            },
         ])
     }
 
     #[test]
     fn satisfiable_chain() {
         // (p0 ∨ p1) ∧ (¬p0 ∨ p1): p1 must be true.
-        let f = CnfFormula::new(2, vec![cl2((0, true), (1, true)), cl2((0, false), (1, true))]);
+        let f = CnfFormula::new(
+            2,
+            vec![cl2((0, true), (1, true)), cl2((0, false), (1, true))],
+        );
         let m = solve_2sat(&f).unwrap().unwrap();
         assert!(f.eval(&m));
         assert!(m[1]);
@@ -174,7 +182,10 @@ mod tests {
     fn contradictory_units() {
         let f = CnfFormula::new(
             1,
-            vec![Clause::new(vec![Literal::pos(0)]), Clause::new(vec![Literal::neg(0)])],
+            vec![
+                Clause::new(vec![Literal::pos(0)]),
+                Clause::new(vec![Literal::neg(0)]),
+            ],
         );
         assert_eq!(solve_2sat(&f).unwrap(), None);
     }
@@ -189,7 +200,11 @@ mod tests {
     fn rejects_wide_clauses() {
         let f = CnfFormula::new(
             3,
-            vec![Clause::new(vec![Literal::pos(0), Literal::pos(1), Literal::pos(2)])],
+            vec![Clause::new(vec![
+                Literal::pos(0),
+                Literal::pos(1),
+                Literal::pos(2),
+            ])],
         );
         assert!(matches!(
             solve_2sat(&f).unwrap_err(),

@@ -79,7 +79,11 @@ pub fn solve_schaefer_via_formulas(a: &Structure, b: &Structure) -> Result<Optio
     if classes.contains(SchaeferClass::OneValid) {
         return Ok(Some(direct::trivial_csp(a, true)));
     }
-    let Some(class) = CLASS_PRIORITY.iter().copied().find(|c| classes.contains(*c)) else {
+    let Some(class) = CLASS_PRIORITY
+        .iter()
+        .copied()
+        .find(|c| classes.contains(*c))
+    else {
         return Err(Error::NotSchaefer);
     };
     match class {
@@ -96,11 +100,7 @@ pub fn solve_schaefer_via_formulas(a: &Structure, b: &Structure) -> Result<Optio
                         phi.num_vars,
                         phi.clauses
                             .iter()
-                            .map(|c| {
-                                Clause::new(
-                                    c.literals.iter().map(|l| l.negated()).collect(),
-                                )
-                            })
+                            .map(|c| Clause::new(c.literals.iter().map(|l| l.negated()).collect()))
                             .collect(),
                     );
                     solve_horn(&flipped)?.map(|m| m.into_iter().map(|v| !v).collect())
@@ -185,10 +185,7 @@ fn solve_affine_route(a: &Structure, b: &Structure) -> Result<Option<Vec<bool>>>
                     let e = t[i].index();
                     parity[e] = !parity[e];
                 }
-                sys.add_equation(
-                    (0..n).filter(|&e| parity[e]),
-                    eq.rhs,
-                );
+                sys.add_equation((0..n).filter(|&e| parity[e]), eq.rhs);
             }
         }
     }
@@ -210,10 +207,13 @@ mod tests {
             ("direct", solve_schaefer(a, b).unwrap()),
             ("formulas", solve_schaefer_via_formulas(a, b).unwrap()),
         ] {
-            assert_eq!(got.is_some(), expected, "{name} route disagrees with reference");
+            assert_eq!(
+                got.is_some(),
+                expected,
+                "{name} route disagrees with reference"
+            );
             if let Some(h) = got {
-                let map: Vec<Element> =
-                    h.iter().map(|&v| Element::new(usize::from(v))).collect();
+                let map: Vec<Element> = h.iter().map(|&v| Element::new(usize::from(v))).collect();
                 assert!(is_homomorphism(&map, a, b), "{name} returned a non-hom");
             }
         }
@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn horn_template_both_routes() {
         let b = template(vec![
-            ("R", BooleanRelation::new(3, vec![0b000, 0b001, 0b011, 0b111]).unwrap()),
+            (
+                "R",
+                BooleanRelation::new(3, vec![0b000, 0b001, 0b011, 0b111]).unwrap(),
+            ),
             ("U", BooleanRelation::new(1, vec![0b1]).unwrap()),
         ]);
         for seed in 0..10 {
@@ -272,7 +275,10 @@ mod tests {
     fn affine_template_both_routes() {
         // Even parity relation (x⊕y⊕z = 0) plus XOR.
         let b = template(vec![
-            ("P", BooleanRelation::new(3, vec![0b000, 0b011, 0b101, 0b110]).unwrap()),
+            (
+                "P",
+                BooleanRelation::new(3, vec![0b000, 0b011, 0b101, 0b110]).unwrap(),
+            ),
             ("X", BooleanRelation::new(2, vec![0b01, 0b10]).unwrap()),
         ]);
         // This template is both affine and bijunctive? P is affine but
@@ -309,7 +315,10 @@ mod tests {
             BooleanRelation::new(3, vec![0b001, 0b010, 0b100]).unwrap(),
         )]);
         let a = generators::random_structure_over(b.vocabulary(), 3, 2, 0);
-        assert!(matches!(solve_schaefer(&a, &b).unwrap_err(), Error::NotSchaefer));
+        assert!(matches!(
+            solve_schaefer(&a, &b).unwrap_err(),
+            Error::NotSchaefer
+        ));
         assert!(matches!(
             solve_schaefer_via_formulas(&a, &b).unwrap_err(),
             Error::NotSchaefer

@@ -57,10 +57,15 @@ impl std::fmt::Display for InstanceAnalysis {
 /// # Panics
 /// Panics if the structures are over different vocabularies.
 pub fn analyze(a: &Structure, b: &Structure) -> InstanceAnalysis {
-    assert!(a.same_vocabulary(b), "analysis across different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "analysis across different vocabularies"
+    );
     let b_is_boolean = b.universe() == 2;
     let schaefer = if b_is_boolean {
-        BooleanStructure::from_structure(b).ok().map(|bs| classify_structure(&bs))
+        BooleanStructure::from_structure(b)
+            .ok()
+            .map(|bs| classify_structure(&bs))
     } else {
         None
     };
@@ -68,7 +73,9 @@ pub fn analyze(a: &Structure, b: &Structure) -> InstanceAnalysis {
         None
     } else {
         booleanize(a, b).ok().and_then(|(_, bb, _)| {
-            BooleanStructure::from_structure(&bb).ok().map(|bs| classify_structure(&bs))
+            BooleanStructure::from_structure(&bb)
+                .ok()
+                .map(|bs| classify_structure(&bs))
         })
     };
     let a_treewidth_upper = if a.universe() == 0 {

@@ -25,7 +25,11 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { mrv: true, mac: true, ac_preprocess: true }
+        SearchOptions {
+            mrv: true,
+            mac: true,
+            ac_preprocess: true,
+        }
     }
 }
 
@@ -53,10 +57,7 @@ pub fn backtracking_search(
 
     // 0-ary preconditions.
     for r in a.vocabulary().iter() {
-        if a.vocabulary().arity(r) == 0
-            && !a.relation(r).is_empty()
-            && b.relation(r).is_empty()
-        {
+        if a.vocabulary().arity(r) == 0 && !a.relation(r).is_empty() && b.relation(r).is_empty() {
             return (None, stats);
         }
     }
@@ -78,8 +79,10 @@ pub fn backtracking_search(
     let mut assigned: Vec<Option<Element>> = vec![None; a.universe()];
     let found = descend(a, b, &opts, &mut stats, &domains, &mut assigned);
     let hom = found.then(|| {
-        let map: Vec<Element> =
-            assigned.iter().map(|o| o.expect("search completed")).collect();
+        let map: Vec<Element> = assigned
+            .iter()
+            .map(|o| o.expect("search completed"))
+            .collect();
         debug_assert!(cqcs_structures::is_homomorphism(&map, a, b));
         Homomorphism::from_map(map)
     });
@@ -163,7 +166,11 @@ mod tests {
         for mrv in [false, true] {
             for mac in [false, true] {
                 for ac in [false, true] {
-                    out.push(SearchOptions { mrv, mac, ac_preprocess: ac });
+                    out.push(SearchOptions {
+                        mrv,
+                        mac,
+                        ac_preprocess: ac,
+                    });
                 }
             }
         }
@@ -207,15 +214,28 @@ mod tests {
         let (h1, plain) = backtracking_search(
             &g,
             &k2,
-            SearchOptions { mrv: false, mac: false, ac_preprocess: false },
+            SearchOptions {
+                mrv: false,
+                mac: false,
+                ac_preprocess: false,
+            },
         );
         let (h2, mac) = backtracking_search(
             &g,
             &k2,
-            SearchOptions { mrv: false, mac: true, ac_preprocess: false },
+            SearchOptions {
+                mrv: false,
+                mac: true,
+                ac_preprocess: false,
+            },
         );
         assert!(h1.is_none() && h2.is_none());
-        assert!(mac.nodes <= plain.nodes, "MAC {} > plain {}", mac.nodes, plain.nodes);
+        assert!(
+            mac.nodes <= plain.nodes,
+            "MAC {} > plain {}",
+            mac.nodes,
+            plain.nodes
+        );
     }
 
     #[test]
@@ -236,7 +256,11 @@ mod tests {
         let (_, stats) = backtracking_search(
             &a,
             &b,
-            SearchOptions { mrv: true, mac: false, ac_preprocess: false },
+            SearchOptions {
+                mrv: true,
+                mac: false,
+                ac_preprocess: false,
+            },
         );
         assert!(stats.nodes >= 6, "at least one node per element");
     }

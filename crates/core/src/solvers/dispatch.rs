@@ -98,16 +98,23 @@ pub fn solve(a: &Structure, b: &Structure, strategy: Strategy) -> Result<Solutio
     assert!(a.same_vocabulary(b), "solve across different vocabularies");
     match strategy {
         Strategy::Auto => Ok(auto(a, b)),
-        Strategy::Schaefer => try_schaefer(a, b)
-            .ok_or(SolveError::RouteNotApplicable("B is not a Schaefer Boolean structure")),
-        Strategy::Booleanize => try_booleanize(a, b)
-            .ok_or(SolveError::RouteNotApplicable("Booleanized template is not Schaefer")),
-        Strategy::Acyclic => try_acyclic(a, b)
-            .ok_or(SolveError::RouteNotApplicable("A is not acyclic")),
+        Strategy::Schaefer => try_schaefer(a, b).ok_or(SolveError::RouteNotApplicable(
+            "B is not a Schaefer Boolean structure",
+        )),
+        Strategy::Booleanize => try_booleanize(a, b).ok_or(SolveError::RouteNotApplicable(
+            "Booleanized template is not Schaefer",
+        )),
+        Strategy::Acyclic => {
+            try_acyclic(a, b).ok_or(SolveError::RouteNotApplicable("A is not acyclic"))
+        }
         Strategy::Treewidth => Ok(treewidth_route(a, b)),
         Strategy::Generic(opts) => {
             let (h, stats) = backtracking_search(a, b, opts);
-            Ok(Solution { homomorphism: h, route: Route::Generic, stats: Some(stats) })
+            Ok(Solution {
+                homomorphism: h,
+                route: Route::Generic,
+                stats: Some(stats),
+            })
         }
     }
 }
@@ -136,7 +143,11 @@ fn auto(a: &Structure, b: &Structure) -> Solution {
         }
     }
     let (h, stats) = backtracking_search(a, b, SearchOptions::default());
-    Solution { homomorphism: h, route: Route::Generic, stats: Some(stats) }
+    Solution {
+        homomorphism: h,
+        route: Route::Generic,
+        stats: Some(stats),
+    }
 }
 
 fn bools_to_hom(bits: Vec<bool>) -> Homomorphism {
@@ -170,29 +181,43 @@ fn try_booleanize(a: &Structure, b: &Structure) -> Option<Solution> {
     }
     let h = solve_schaefer(&ab, &bb).expect("classes checked");
     let homomorphism = h.map(|bits| {
-        let hb: Vec<Element> =
-            bits.into_iter().map(|v| Element(u32::from(v))).collect();
+        let hb: Vec<Element> = bits.into_iter().map(|v| Element(u32::from(v))).collect();
         let decoded = info.decode(&hb);
         debug_assert!(cqcs_structures::is_homomorphism(&decoded, a, b));
         Homomorphism::from_map(decoded)
     });
-    Some(Solution { homomorphism, route: Route::Booleanization, stats: None })
+    Some(Solution {
+        homomorphism,
+        route: Route::Booleanization,
+        stats: None,
+    })
 }
 
 fn try_acyclic(a: &Structure, b: &Structure) -> Option<Solution> {
     let result = yannakakis(a, b)?;
-    Some(Solution { homomorphism: result, route: Route::Acyclic, stats: None })
+    Some(Solution {
+        homomorphism: result,
+        route: Route::Acyclic,
+        stats: None,
+    })
 }
 
 fn treewidth_route(a: &Structure, b: &Structure) -> Solution {
     let td = if a.universe() == 0 {
-        cqcs_treewidth::TreeDecomposition { bags: vec![], edges: vec![] }
+        cqcs_treewidth::TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        }
     } else {
         min_fill_decomposition(&cqcs_structures::gaifman_graph(a))
     };
     let width = td.width();
     let h = solve_with_decomposition(a, b, &td).expect("own decomposition is valid");
-    Solution { homomorphism: h, route: Route::Treewidth(width), stats: None }
+    Solution {
+        homomorphism: h,
+        route: Route::Treewidth(width),
+        stats: None,
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +251,11 @@ mod tests {
         // Example 3.8: CSP(C4) through the affine route.
         let c4 = generators::directed_cycle(4);
         for n in [3, 4, 5, 8] {
-            check(&generators::directed_cycle(n), &c4, Some(Route::Booleanization));
+            check(
+                &generators::directed_cycle(n),
+                &c4,
+                Some(Route::Booleanization),
+            );
         }
     }
 
@@ -287,7 +316,11 @@ mod tests {
                 Strategy::Generic(SearchOptions::default()),
             ] {
                 let sol = solve(&a, &b, strat).unwrap();
-                assert_eq!(sol.homomorphism.is_some(), expected, "seed {seed} {strat:?}");
+                assert_eq!(
+                    sol.homomorphism.is_some(),
+                    expected,
+                    "seed {seed} {strat:?}"
+                );
             }
         }
     }

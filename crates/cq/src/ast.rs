@@ -23,7 +23,11 @@ pub enum QueryError {
     /// A distinguished (head) variable does not occur in the body.
     UnsafeHeadVariable(String),
     /// The same predicate was used with two different arities.
-    ArityConflict { predicate: String, first: usize, second: usize },
+    ArityConflict {
+        predicate: String,
+        first: usize,
+        second: usize,
+    },
     /// The two queries being compared have different head widths.
     HeadWidthMismatch { left: usize, right: usize },
     /// A predicate used by the query is absent from the database.
@@ -38,7 +42,11 @@ impl std::fmt::Display for QueryError {
             QueryError::UnsafeHeadVariable(v) => {
                 write!(f, "head variable `{v}` does not occur in the body")
             }
-            QueryError::ArityConflict { predicate, first, second } => write!(
+            QueryError::ArityConflict {
+                predicate,
+                first,
+                second,
+            } => write!(
                 f,
                 "predicate `{predicate}` used with arities {first} and {second}"
             ),
@@ -156,7 +164,10 @@ mod tests {
     use super::*;
 
     fn atom(p: &str, args: &[&str]) -> Atom {
-        Atom { predicate: p.into(), args: args.iter().map(|s| s.to_string()).collect() }
+        Atom {
+            predicate: p.into(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     #[test]
@@ -183,21 +194,15 @@ mod tests {
 
     #[test]
     fn unsafe_head_rejected() {
-        let err = ConjunctiveQuery::new(
-            vec!["X".into(), "Y".into()],
-            vec![atom("E", &["X", "X"])],
-        )
-        .unwrap_err();
+        let err = ConjunctiveQuery::new(vec!["X".into(), "Y".into()], vec![atom("E", &["X", "X"])])
+            .unwrap_err();
         assert_eq!(err, QueryError::UnsafeHeadVariable("Y".into()));
     }
 
     #[test]
     fn arity_conflict_rejected() {
-        let err = ConjunctiveQuery::new(
-            vec![],
-            vec![atom("E", &["X", "Y"]), atom("E", &["X"])],
-        )
-        .unwrap_err();
+        let err = ConjunctiveQuery::new(vec![], vec![atom("E", &["X", "Y"]), atom("E", &["X"])])
+            .unwrap_err();
         assert!(matches!(err, QueryError::ArityConflict { .. }));
     }
 

@@ -67,7 +67,9 @@ fn freeze(q: &ConjunctiveQuery, voc: &Arc<Vocabulary>) -> CanonicalDatabase {
     let mut b = StructureBuilder::new(Arc::clone(voc), variables.len());
     let mut buf: Vec<Element> = Vec::new();
     for atom in &q.body {
-        let rel = voc.lookup(&atom.predicate).expect("joint vocabulary covers the query");
+        let rel = voc
+            .lookup(&atom.predicate)
+            .expect("joint vocabulary covers the query");
         buf.clear();
         buf.extend(atom.args.iter().map(|v| index[v.as_str()]));
         b.add_tuple(rel, &buf).expect("frozen tuples are in range");
@@ -78,7 +80,10 @@ fn freeze(q: &ConjunctiveQuery, voc: &Arc<Vocabulary>) -> CanonicalDatabase {
             .expect("markers added");
         b.add_tuple(marker, &[index[h.as_str()]]).expect("in range");
     }
-    CanonicalDatabase { database: b.finish(), variables }
+    CanonicalDatabase {
+        database: b.finish(),
+        variables,
+    }
 }
 
 /// Builds the canonical databases of two queries over a **shared**

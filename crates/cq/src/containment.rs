@@ -41,7 +41,10 @@ pub fn containment_mapping(
             .iter()
             .enumerate()
             .map(|(i, v)| {
-                (v.clone(), d1.variables[h.apply(cqcs_structures::Element::new(i)).index()].clone())
+                (
+                    v.clone(),
+                    d1.variables[h.apply(cqcs_structures::Element::new(i)).index()].clone(),
+                )
             })
             .collect()
     }))
@@ -116,7 +119,10 @@ mod tests {
         // hom from C6's canonical db into C3's: wrap around twice.
         let hex = q("Q :- E(A,B), E(B,C), E(C,D), E(D,F), E(F,G), E(G,A).");
         assert!(contained_in(&triangle, &hex).unwrap());
-        assert!(!contained_in(&hex, &triangle).unwrap(), "C6 is bipartite, C3 is not");
+        assert!(
+            !contained_in(&hex, &triangle).unwrap(),
+            "C6 is bipartite, C3 is not"
+        );
     }
 
     #[test]

@@ -55,15 +55,17 @@ fn freeze_body(
 /// Enumeration is complete (it walks all body homomorphisms), so use it
 /// on query-sized inputs; the Boolean variant [`boolean_answer`] is the
 /// scalable one.
-pub fn evaluate(
-    q: &ConjunctiveQuery,
-    db: &Structure,
-) -> Result<Vec<Vec<Element>>, QueryError> {
+pub fn evaluate(q: &ConjunctiveQuery, db: &Structure) -> Result<Vec<Vec<Element>>, QueryError> {
     let (body, variables) = freeze_body(q, db)?;
     let head_pos: Vec<usize> = q
         .head
         .iter()
-        .map(|h| variables.iter().position(|v| v == h).expect("safety checked"))
+        .map(|h| {
+            variables
+                .iter()
+                .position(|v| v == h)
+                .expect("safety checked")
+        })
         .collect();
     let mut answers: Vec<Vec<Element>> = all_homomorphisms(&body, db)
         .into_iter()
@@ -131,7 +133,10 @@ mod tests {
     fn arity_mismatch_rejected() {
         let q = parse_query("Q(X) :- E(X, X, X).").unwrap();
         let d = generators::directed_path(2);
-        assert!(matches!(evaluate(&q, &d), Err(QueryError::ArityConflict { .. })));
+        assert!(matches!(
+            evaluate(&q, &d),
+            Err(QueryError::ArityConflict { .. })
+        ));
     }
 
     #[test]

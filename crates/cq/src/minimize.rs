@@ -90,9 +90,7 @@ mod tests {
     fn symmetric_even_cycle_collapses_to_an_edge() {
         // The symmetric 4-cycle 2-colors, so its core is one symmetric
         // edge: 2 atoms.
-        let query = q(
-            "Q :- E(A,B), E(B,A), E(B,C), E(C,B), E(C,D), E(D,C), E(D,A), E(A,D).",
-        );
+        let query = q("Q :- E(A,B), E(B,A), E(B,C), E(C,B), E(C,D), E(D,C), E(D,A), E(A,D).");
         let min = minimize(&query).unwrap();
         assert_eq!(min.body.len(), 2, "got {min}");
         assert!(equivalent(&query, &min).unwrap());

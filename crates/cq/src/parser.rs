@@ -65,7 +65,10 @@ fn parse_atoms(s: &str) -> Result<Vec<Atom>, QueryError> {
                 "atom `{name}` needs at least one argument"
             )));
         }
-        atoms.push(Atom { predicate: name.to_owned(), args });
+        atoms.push(Atom {
+            predicate: name.to_owned(),
+            args,
+        });
         rest = rest[close + 1..].trim();
     }
     if atoms.is_empty() {
@@ -126,10 +129,7 @@ mod tests {
 
     #[test]
     fn comments_and_multiline() {
-        let q = parse_query(
-            "Q(X) :- % head\n  E(X, Y), % first hop\n  E(Y, X).",
-        )
-        .unwrap();
+        let q = parse_query("Q(X) :- % head\n  E(X, Y), % first hop\n  E(Y, X).").unwrap();
         assert_eq!(q.body.len(), 2);
     }
 

@@ -34,10 +34,9 @@ pub fn two_atom_containment(
     }
     let (d1, d2) = canonical_databases(q1, q2)?;
     // hom(D_{Q2} → D_{Q1}); Booleanize with D_{Q1} as the template.
-    let (ab, bb, _info) = booleanize(&d2.database, &d1.database)
-        .map_err(|e| QueryError::Invalid(e.to_string()))?;
-    let classes =
-        schaefer_classes(&bb).map_err(|e| QueryError::Invalid(e.to_string()))?;
+    let (ab, bb, _info) =
+        booleanize(&d2.database, &d1.database).map_err(|e| QueryError::Invalid(e.to_string()))?;
+    let classes = schaefer_classes(&bb).map_err(|e| QueryError::Invalid(e.to_string()))?;
     debug_assert!(
         classes.contains(SchaeferClass::Bijunctive),
         "≤2-tuple relations must Booleanize to a bijunctive template"
@@ -68,7 +67,11 @@ mod tests {
         let cases = [
             ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(X, Y).", true),
             ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(Y, X).", true),
-            ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(X, Y), E(Y, Z), E(Z, X).", false),
+            (
+                "Q(X) :- E(X, Y), E(Y, X).",
+                "Q(X) :- E(X, Y), E(Y, Z), E(Z, X).",
+                false,
+            ),
             ("Q(X) :- E(X, Y).", "Q(X) :- E(X, Y), E(Y, Z).", false),
             ("Q(X, Y) :- E(X, Y), F(Y, X).", "Q(X, Y) :- E(X, Y).", true),
             ("Q :- E(A, B), E(B, C).", "Q :- E(A, B).", true),

@@ -39,10 +39,12 @@ pub struct QueryWidth {
 pub fn query_width(q: &ConjunctiveQuery) -> QueryWidth {
     let cd = canonical_database(q);
     let g = gaifman_graph(&cd.database);
-    let treewidth_upper =
-        if cd.database.universe() == 0 { 0 } else { min_fill_decomposition(&g).width() };
-    let treewidth_exact =
-        (g.len() <= EXACT_MAX_VERTICES).then(|| exact_treewidth(&g));
+    let treewidth_upper = if cd.database.universe() == 0 {
+        0
+    } else {
+        min_fill_decomposition(&g).width()
+    };
+    let treewidth_exact = (g.len() <= EXACT_MAX_VERTICES).then(|| exact_treewidth(&g));
     QueryWidth {
         variables: cd.database.universe(),
         atoms: q.body.len(),

@@ -54,8 +54,11 @@ pub struct Rule {
 impl Rule {
     /// Distinct variables occurring in the body.
     pub fn body_vars(&self) -> Vec<VarId> {
-        let mut vars: Vec<VarId> =
-            self.body.iter().flat_map(|a| a.args.iter().copied()).collect();
+        let mut vars: Vec<VarId> = self
+            .body
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .collect();
         vars.sort_unstable();
         vars.dedup();
         vars
@@ -112,12 +115,17 @@ impl Program {
 
     /// Looks up a predicate by name.
     pub fn pred(&self, name: &str) -> Option<PredId> {
-        self.pred_names.iter().position(|n| n == name).map(|i| PredId(i as u32))
+        self.pred_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| PredId(i as u32))
     }
 
     /// The EDB predicates (inputs), in id order.
     pub fn edb_preds(&self) -> impl Iterator<Item = PredId> + '_ {
-        (0..self.num_preds() as u32).map(PredId).filter(|p| !self.is_idb(*p))
+        (0..self.num_preds() as u32)
+            .map(PredId)
+            .filter(|p| !self.is_idb(*p))
     }
 }
 
@@ -198,9 +206,12 @@ impl ProgramBuilder {
             Atom { pred: p, args }
         };
         let head_atom = intern_atom(self, head.0, head.1);
-        let body_atoms: Vec<Atom> =
-            body.iter().map(|(p, a)| intern_atom(self, p, a)).collect();
-        self.rules.push(Rule { head: head_atom, body: body_atoms, num_vars: vars.len() });
+        let body_atoms: Vec<Atom> = body.iter().map(|(p, a)| intern_atom(self, p, a)).collect();
+        self.rules.push(Rule {
+            head: head_atom,
+            body: body_atoms,
+            num_vars: vars.len(),
+        });
     }
 
     /// Adds a pre-built rule (used by the canonical-program generator).
@@ -237,7 +248,10 @@ mod tests {
     fn tc_program() -> Program {
         let mut b = ProgramBuilder::new();
         b.rule(("P", &["X", "Y"]), &[("E", &["X", "Y"])]);
-        b.rule(("P", &["X", "Y"]), &[("P", &["X", "Z"]), ("E", &["Z", "Y"])]);
+        b.rule(
+            ("P", &["X", "Y"]),
+            &[("P", &["X", "Z"]), ("E", &["Z", "Y"])],
+        );
         b.rule(("Q", &[]), &[("P", &["X", "X"])]);
         b.finish("Q")
     }

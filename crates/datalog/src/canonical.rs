@@ -52,7 +52,11 @@ pub fn canonical_program(b: &Structure, k: usize) -> Program {
     let t_pred = |builder: &mut ProgramBuilder, tuple: &[u32]| -> PredId {
         let name = format!(
             "T_{}",
-            tuple.iter().map(u32::to_string).collect::<Vec<_>>().join("_")
+            tuple
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join("_")
         );
         builder.pred(&name, k)
     };
@@ -115,8 +119,7 @@ pub fn canonical_program(b: &Structure, k: usize) -> Program {
             // Every index tuple (i₁..i_m) ∈ [k]^m with the image not in R^B.
             let mut idx = vec![0usize; arity];
             loop {
-                let image: Vec<Element> =
-                    idx.iter().map(|&i| Element(bt[i])).collect();
+                let image: Vec<Element> = idx.iter().map(|&i| Element(bt[i])).collect();
                 if !b.relation(rel).contains(&image) {
                     let body = vec![Atom {
                         pred: edb[sym_idx],
@@ -126,7 +129,11 @@ pub fn canonical_program(b: &Structure, k: usize) -> Program {
                         pred: tb,
                         args: (0..k as u32).map(VarId).collect(),
                     };
-                    builder.raw_rule(Rule { head, body, num_vars: k });
+                    builder.raw_rule(Rule {
+                        head,
+                        body,
+                        num_vars: k,
+                    });
                 }
                 // Advance idx in [k]^m.
                 let mut p = 0;
@@ -161,8 +168,15 @@ pub fn canonical_program(b: &Structure, k: usize) -> Program {
                     Atom { pred, args }
                 })
                 .collect();
-            let head = Atom { pred: tb, args: (0..k as u32).map(VarId).collect() };
-            builder.raw_rule(Rule { head, body, num_vars: k + 1 });
+            let head = Atom {
+                pred: tb,
+                args: (0..k as u32).map(VarId).collect(),
+            };
+            builder.raw_rule(Rule {
+                head,
+                body,
+                num_vars: k + 1,
+            });
         }
     }
 
@@ -176,7 +190,10 @@ pub fn canonical_program(b: &Structure, k: usize) -> Program {
             })
             .collect();
         builder.raw_rule(Rule {
-            head: Atom { pred: goal, args: vec![] },
+            head: Atom {
+                pred: goal,
+                args: vec![],
+            },
             body,
             num_vars: k,
         });
@@ -242,11 +259,7 @@ mod tests {
             let a = generators::undirected_cycle(n);
             let expected = spoiler_wins(&a, &b, 3);
             assert_eq!(expected, n % 2 == 1, "sanity: game decides 2-coloring");
-            assert_eq!(
-                eval_semi_naive(&program, &a).goal_derived,
-                expected,
-                "C{n}"
-            );
+            assert_eq!(eval_semi_naive(&program, &a).goal_derived, expected, "C{n}");
         }
     }
 

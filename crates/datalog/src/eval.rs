@@ -58,9 +58,18 @@ pub fn eval_naive(program: &Program, input: &Structure) -> EvalResult {
         iterations += 1;
         let mut fresh: Vec<(PredId, Vec<u32>)> = Vec::new();
         for rule in &program.rules {
-            derive(rule, &edb, &idb, None, &idb, universe, &mut |fact| {
-                fresh.push((rule.head.pred, fact));
-            }, &mut join_work);
+            derive(
+                rule,
+                &edb,
+                &idb,
+                None,
+                &idb,
+                universe,
+                &mut |fact| {
+                    fresh.push((rule.head.pred, fact));
+                },
+                &mut join_work,
+            );
         }
         let mut changed = false;
         for (p, fact) in fresh {
@@ -73,7 +82,12 @@ pub fn eval_naive(program: &Program, input: &Structure) -> EvalResult {
         }
     }
     let goal_derived = idb.get(&program.goal).is_some_and(|s| !s.is_empty());
-    EvalResult { facts: idb, goal_derived, iterations, join_work }
+    EvalResult {
+        facts: idb,
+        goal_derived,
+        iterations,
+        join_work,
+    }
 }
 
 /// Semi-naive evaluation: each round only instantiates rule bodies with
@@ -90,9 +104,18 @@ pub fn eval_semi_naive(program: &Program, input: &Structure) -> EvalResult {
     let mut delta: FactStore = HashMap::new();
     for rule in &program.rules {
         if rule.body.iter().all(|a| !program.is_idb(a.pred)) {
-            derive(rule, &edb, &idb, None, &idb, universe, &mut |fact| {
-                delta.entry(rule.head.pred).or_default().insert(fact);
-            }, &mut join_work);
+            derive(
+                rule,
+                &edb,
+                &idb,
+                None,
+                &idb,
+                universe,
+                &mut |fact| {
+                    delta.entry(rule.head.pred).or_default().insert(fact);
+                },
+                &mut join_work,
+            );
         }
     }
     for (p, facts) in &delta {
@@ -110,11 +133,20 @@ pub fn eval_semi_naive(program: &Program, input: &Structure) -> EvalResult {
                 if delta.get(&atom.pred).is_none_or(HashSet::is_empty) {
                     continue;
                 }
-                derive(rule, &edb, &idb, Some(pos), &delta, universe, &mut |fact| {
-                    if !idb.get(&rule.head.pred).is_some_and(|s| s.contains(&fact)) {
-                        next.entry(rule.head.pred).or_default().insert(fact);
-                    }
-                }, &mut join_work);
+                derive(
+                    rule,
+                    &edb,
+                    &idb,
+                    Some(pos),
+                    &delta,
+                    universe,
+                    &mut |fact| {
+                        if !idb.get(&rule.head.pred).is_some_and(|s| s.contains(&fact)) {
+                            next.entry(rule.head.pred).or_default().insert(fact);
+                        }
+                    },
+                    &mut join_work,
+                );
             }
         }
         for (p, facts) in &next {
@@ -123,7 +155,12 @@ pub fn eval_semi_naive(program: &Program, input: &Structure) -> EvalResult {
         delta = next;
     }
     let goal_derived = idb.get(&program.goal).is_some_and(|s| !s.is_empty());
-    EvalResult { facts: idb, goal_derived, iterations, join_work }
+    EvalResult {
+        facts: idb,
+        goal_derived,
+        iterations,
+        join_work,
+    }
 }
 
 /// Evaluates one rule body by backtracking join; head-only variables
@@ -141,7 +178,18 @@ fn derive(
     join_work: &mut usize,
 ) {
     let mut binding: Vec<Option<u32>> = vec![None; rule.num_vars];
-    join_atoms(rule, 0, edb, idb, delta_pos, delta, universe, &mut binding, emit, join_work);
+    join_atoms(
+        rule,
+        0,
+        edb,
+        idb,
+        delta_pos,
+        delta,
+        universe,
+        &mut binding,
+        emit,
+        join_work,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -163,8 +211,14 @@ fn join_atoms(
         return;
     }
     let atom = &rule.body[pos];
-    let store = if delta_pos == Some(pos) { delta } else { pick_store(atom, edb, idb) };
-    let Some(facts) = store.get(&atom.pred) else { return };
+    let store = if delta_pos == Some(pos) {
+        delta
+    } else {
+        pick_store(atom, edb, idb)
+    };
+    let Some(facts) = store.get(&atom.pred) else {
+        return;
+    };
     'fact: for fact in facts {
         *join_work += 1;
         let mut bound_here: Vec<usize> = Vec::new();
@@ -184,7 +238,16 @@ fn join_atoms(
             }
         }
         join_atoms(
-            rule, pos + 1, edb, idb, delta_pos, delta, universe, binding, emit, join_work,
+            rule,
+            pos + 1,
+            edb,
+            idb,
+            delta_pos,
+            delta,
+            universe,
+            binding,
+            emit,
+            join_work,
         );
         for &b in &bound_here {
             binding[b] = None;
@@ -242,7 +305,10 @@ mod tests {
     fn tc_program() -> Program {
         let mut b = ProgramBuilder::new();
         b.rule(("P", &["X", "Y"]), &[("E", &["X", "Y"])]);
-        b.rule(("P", &["X", "Y"]), &[("P", &["X", "Z"]), ("E", &["Z", "Y"])]);
+        b.rule(
+            ("P", &["X", "Y"]),
+            &[("P", &["X", "Z"]), ("E", &["Z", "Y"])],
+        );
         b.rule(("Q", &[]), &[("P", &["X", "X"])]);
         b.finish("Q")
     }
@@ -251,7 +317,10 @@ mod tests {
     fn transitive_closure_on_path() {
         let program = tc_program();
         let input = generators::directed_path(4);
-        for result in [eval_naive(&program, &input), eval_semi_naive(&program, &input)] {
+        for result in [
+            eval_naive(&program, &input),
+            eval_semi_naive(&program, &input),
+        ] {
             let p = program.pred("P").unwrap();
             let facts = &result.facts[&p];
             assert_eq!(facts.len(), 6, "all pairs i<j on a 4-path");

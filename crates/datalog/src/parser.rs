@@ -26,7 +26,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -52,11 +56,20 @@ enum Token {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, column: self.col, message: message.into() }
+        ParseError {
+            line: self.line,
+            column: self.col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {

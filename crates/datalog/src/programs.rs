@@ -63,17 +63,14 @@ mod tests {
     #[test]
     fn non_two_colorability_agrees_with_hom() {
         let k2 = generators::complete_graph(2);
-        for program in
-            [non_two_colorability_4datalog(), non_two_colorability_3datalog()]
-        {
+        for program in [
+            non_two_colorability_4datalog(),
+            non_two_colorability_3datalog(),
+        ] {
             for n in [3, 4, 5, 6, 7, 8] {
                 let g = generators::undirected_cycle(n);
                 let expected = !homomorphism_exists(&g, &k2);
-                assert_eq!(
-                    eval_semi_naive(&program, &g).goal_derived,
-                    expected,
-                    "C{n}"
-                );
+                assert_eq!(eval_semi_naive(&program, &g).goal_derived, expected, "C{n}");
             }
             // Random graphs too.
             for seed in 0..8u64 {

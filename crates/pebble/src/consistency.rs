@@ -37,21 +37,25 @@ pub fn arc_consistent_domains(a: &Structure, b: &Structure) -> ArcConsistency {
 /// Enforces hyperarc consistency starting from the given domains
 /// (used by MAC search after a tentative assignment).
 pub fn refine_domains(a: &Structure, b: &Structure, mut domains: Vec<BitSet>) -> ArcConsistency {
-    assert!(a.same_vocabulary(b), "arc consistency across different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "arc consistency across different vocabularies"
+    );
     assert_eq!(domains.len(), a.universe());
     let mut deletions = 0usize;
 
     // 0-ary relations: a missing fact in B is a global wipeout.
     for r in a.vocabulary().iter() {
-        if a.vocabulary().arity(r) == 0
-            && !a.relation(r).is_empty()
-            && b.relation(r).is_empty()
-        {
+        if a.vocabulary().arity(r) == 0 && !a.relation(r).is_empty() && b.relation(r).is_empty() {
             for d in &mut domains {
                 deletions += d.len();
                 d.clear();
             }
-            return ArcConsistency { domains, consistent: a.universe() == 0, deletions };
+            return ArcConsistency {
+                domains,
+                consistent: a.universe() == 0,
+                deletions,
+            };
         }
     }
 
@@ -66,9 +70,9 @@ pub fn refine_domains(a: &Structure, b: &Structure, mut domains: Vec<BitSet>) ->
         if a.vocabulary().arity(r) == 0 {
             continue;
         }
-        for t in 0..a.relation(r).len() {
+        for (t, is_queued) in queued[r.index()].iter_mut().enumerate() {
             queue.push_back((r, t as u32));
-            queued[r.index()][t] = true;
+            *is_queued = true;
         }
     }
 
@@ -99,7 +103,11 @@ pub fn refine_domains(a: &Structure, b: &Structure, mut domains: Vec<BitSet>) ->
             if after < before {
                 deletions += before - after;
                 if after == 0 {
-                    return ArcConsistency { domains, consistent: false, deletions };
+                    return ArcConsistency {
+                        domains,
+                        consistent: false,
+                        deletions,
+                    };
                 }
                 // Re-enqueue every tuple through e.
                 for &(r2, t2) in a.occurrences(e) {
@@ -113,7 +121,11 @@ pub fn refine_domains(a: &Structure, b: &Structure, mut domains: Vec<BitSet>) ->
     }
 
     let consistent = domains.iter().all(|d| !d.is_empty());
-    ArcConsistency { domains, consistent, deletions }
+    ArcConsistency {
+        domains,
+        consistent,
+        deletions,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +151,9 @@ mod tests {
     fn unary_constraints_prune() {
         use cqcs_structures::{StructureBuilder, Vocabulary};
         use std::sync::Arc;
-        let voc = Vocabulary::from_symbols([("E", 2), ("P", 1)]).unwrap().into_shared();
+        let voc = Vocabulary::from_symbols([("E", 2), ("P", 1)])
+            .unwrap()
+            .into_shared();
         // A: edge (0,1), P(0). B: path 0→1, P only on 1 → 0 must map to
         // 1, but 1 has no outgoing edge... so inconsistent.
         let mut ab = StructureBuilder::new(Arc::clone(&voc), 2);

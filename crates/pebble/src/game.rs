@@ -53,16 +53,21 @@ struct ConfigData {
 /// Panics if the structures are over different vocabularies or `k = 0`.
 pub fn solve_game(a: &Structure, b: &Structure, k: usize) -> GameAnalysis {
     assert!(k >= 1, "the game needs at least one pebble");
-    assert!(a.same_vocabulary(b), "pebble game across different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "pebble game across different vocabularies"
+    );
 
     // 0-ary relations are global: if A asserts a fact B lacks, even the
     // empty configuration is not a partial homomorphism.
     for r in a.vocabulary().iter() {
-        if a.vocabulary().arity(r) == 0
-            && !a.relation(r).is_empty()
-            && b.relation(r).is_empty()
-        {
-            return GameAnalysis { k, duplicator_wins: false, generated: 0, surviving: 0 };
+        if a.vocabulary().arity(r) == 0 && !a.relation(r).is_empty() && b.relation(r).is_empty() {
+            return GameAnalysis {
+                k,
+                duplicator_wins: false,
+                generated: 0,
+                surviving: 0,
+            };
         }
     }
 
@@ -99,8 +104,8 @@ pub fn solve_game(a: &Structure, b: &Structure, k: usize) -> GameAnalysis {
     for (ci, data) in configs.iter_mut().enumerate() {
         if data.pairs.len() < k {
             let dom: Vec<u32> = data.pairs.iter().map(|&(x, _)| x).collect();
-            let unsupported = (0..n as u32)
-                .any(|x| !dom.contains(&x) && data.counters[x as usize] == 0);
+            let unsupported =
+                (0..n as u32).any(|x| !dom.contains(&x) && data.counters[x as usize] == 0);
             if unsupported {
                 data.alive = false;
                 worklist.push(ci as u32);
@@ -153,7 +158,12 @@ pub fn solve_game(a: &Structure, b: &Structure, k: usize) -> GameAnalysis {
         .get(&Vec::new())
         .map(|&id| configs[id as usize].alive)
         .unwrap_or(false);
-    GameAnalysis { k, duplicator_wins, generated, surviving }
+    GameAnalysis {
+        k,
+        duplicator_wins,
+        generated,
+        surviving,
+    }
 }
 
 /// DFS generation of all partial homomorphisms with ≤ k pebbles whose
@@ -174,7 +184,11 @@ fn gen_configs(
     configs.push(ConfigData {
         pairs: current.clone(),
         alive: true,
-        counters: if current.len() < k { vec![0; a.universe()] } else { Vec::new() },
+        counters: if current.len() < k {
+            vec![0; a.universe()]
+        } else {
+            Vec::new()
+        },
     });
     if current.len() == k {
         return;
@@ -236,7 +250,10 @@ mod tests {
         // If hom(A→B) exists the Duplicator plays h(a) forever — at any
         // pebble count (the easy direction of Theorem 4.8).
         let cases = [
-            (generators::undirected_cycle(6), generators::complete_graph(2)),
+            (
+                generators::undirected_cycle(6),
+                generators::complete_graph(2),
+            ),
             (generators::directed_path(5), generators::directed_cycle(3)),
             (generators::complete_graph(3), generators::complete_graph(4)),
         ];
@@ -314,7 +331,10 @@ mod tests {
             let mut prev = true;
             for k in 1..=4 {
                 let now = duplicator_wins(&a, &b, k);
-                assert!(!now || prev, "Duplicator win must be antitone in k (seed {seed})");
+                assert!(
+                    !now || prev,
+                    "Duplicator win must be antitone in k (seed {seed})"
+                );
                 prev = now;
             }
         }
@@ -352,6 +372,6 @@ mod tests {
         assert!(res.surviving > 0);
         assert!(res.surviving <= res.generated);
         // Generated = all partial homs of size ≤ 2: 1 + n·m + valid pairs.
-        assert!(res.generated >= 1 + 4 * 2);
+        assert!(res.generated > 4 * 2);
     }
 }

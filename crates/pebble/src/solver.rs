@@ -92,7 +92,11 @@ mod tests {
         for seed in 0..20u64 {
             let a = generators::random_graph_nm(7, 8, seed);
             let expected = homomorphism_exists(&a, &k2);
-            assert_eq!(decide_assuming_datalog_width(&a, &k2, 3), expected, "seed {seed}");
+            assert_eq!(
+                decide_assuming_datalog_width(&a, &k2, 3),
+                expected,
+                "seed {seed}"
+            );
         }
     }
 

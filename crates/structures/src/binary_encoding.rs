@@ -53,7 +53,12 @@ impl BinaryVocabulary {
                 let _ = (p, q);
             }
         }
-        BinaryVocabulary { vocabulary: voc.into_shared(), ids, arities, offsets }
+        BinaryVocabulary {
+            vocabulary: voc.into_shared(),
+            ids,
+            arities,
+            offsets,
+        }
     }
 
     /// The symbol `E_{P,Q,i,j}`.
@@ -85,10 +90,7 @@ fn tuple_nodes(s: &Structure) -> Vec<(RelId, u32)> {
 
 /// Occurrence list: for each universe element of `s`, the positions
 /// `(tuple_node_index, position)` where it occurs.
-fn occurrence_positions(
-    s: &Structure,
-    nodes: &[(RelId, u32)],
-) -> Vec<Vec<(usize, usize)>> {
+fn occurrence_positions(s: &Structure, nodes: &[(RelId, u32)]) -> Vec<Vec<(usize, usize)>> {
     let mut occ: Vec<Vec<(usize, usize)>> = vec![Vec::new(); s.universe()];
     for (node, &(r, t)) in nodes.iter().enumerate() {
         for (pos, &e) in s.relation(r).tuple(t as usize).iter().enumerate() {
@@ -119,7 +121,10 @@ pub fn binary_encode(s: &Structure) -> BinaryEncoded {
             }
         }
     }
-    BinaryEncoded { structure: b.finish(), tuple_origin: nodes }
+    BinaryEncoded {
+        structure: b.finish(),
+        tuple_origin: nodes,
+    }
 }
 
 /// The **optimized** (chain) binary encoding: only consecutive
@@ -147,11 +152,17 @@ pub fn binary_encode_optimized(s: &Structure) -> BinaryEncoded {
         }
         if let Some(&(n1, i)) = positions.first() {
             let (p, _) = nodes[n1];
-            b.add_tuple(bv.symbol(p, p, i, i), &[Element(n1 as u32), Element(n1 as u32)])
-                .expect("in range by construction");
+            b.add_tuple(
+                bv.symbol(p, p, i, i),
+                &[Element(n1 as u32), Element(n1 as u32)],
+            )
+            .expect("in range by construction");
         }
     }
-    BinaryEncoded { structure: b.finish(), tuple_origin: nodes }
+    BinaryEncoded {
+        structure: b.finish(),
+        tuple_origin: nodes,
+    }
 }
 
 #[cfg(test)]
@@ -164,10 +175,26 @@ mod tests {
     #[test]
     fn full_encoding_preserves_homomorphism_both_ways() {
         let cases: Vec<(Structure, Structure, bool)> = vec![
-            (generators::undirected_cycle(5), generators::complete_graph(3), true),
-            (generators::undirected_cycle(5), generators::complete_graph(2), false),
-            (generators::directed_path(4), generators::directed_cycle(3), true),
-            (generators::directed_cycle(3), generators::directed_path(5), false),
+            (
+                generators::undirected_cycle(5),
+                generators::complete_graph(3),
+                true,
+            ),
+            (
+                generators::undirected_cycle(5),
+                generators::complete_graph(2),
+                false,
+            ),
+            (
+                generators::directed_path(4),
+                generators::directed_cycle(3),
+                true,
+            ),
+            (
+                generators::directed_cycle(3),
+                generators::directed_path(5),
+                false,
+            ),
         ];
         for (a, b, expected) in cases {
             assert_eq!(homomorphism_exists(&a, &b), expected);

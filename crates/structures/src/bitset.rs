@@ -20,7 +20,10 @@ const BITS: usize = 64;
 impl BitSet {
     /// Creates an empty set able to hold values in `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { blocks: vec![0; capacity.div_ceil(BITS)], capacity }
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(BITS)],
+            capacity,
+        }
     }
 
     /// Creates a full set containing every value in `0..capacity`.
@@ -122,13 +125,19 @@ impl BitSet {
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Whether the two sets share no element.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// The smallest element, if any.
@@ -143,7 +152,11 @@ impl BitSet {
 
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, block: 0, bits: self.blocks.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
     }
 }
 
@@ -205,7 +218,10 @@ mod tests {
         assert!(!s.insert(64), "double insert reports false");
         assert!(s.contains(0) && s.contains(64) && s.contains(129));
         assert!(!s.contains(1));
-        assert!(!s.contains(1000), "out-of-range contains is false, not a panic");
+        assert!(
+            !s.contains(1000),
+            "out-of-range contains is false, not a panic"
+        );
         assert_eq!(s.len(), 3);
         assert!(s.remove(64));
         assert!(!s.remove(64));

@@ -90,7 +90,11 @@ pub fn core_of(s: &Structure) -> CoreResult {
         retained
     };
 
-    CoreResult { core: current, retained, retraction: to_current }
+    CoreResult {
+        core: current,
+        retained,
+        retraction: to_current,
+    }
 }
 
 /// Whether `s` is a core: no endomorphism avoids any element.

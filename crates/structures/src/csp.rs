@@ -103,12 +103,7 @@ impl CspInstance {
     }
 
     /// Convenience: adds a binary constraint from `(x, y)` pairs.
-    pub fn add_binary(
-        &mut self,
-        x: usize,
-        y: usize,
-        allowed: &[(usize, usize)],
-    ) -> Result<()> {
+    pub fn add_binary(&mut self, x: usize, y: usize, allowed: &[(usize, usize)]) -> Result<()> {
         self.add_constraint(Constraint::new(
             vec![x, y],
             allowed.iter().map(|&(a, b)| vec![a, b]).collect(),
@@ -127,7 +122,8 @@ impl CspInstance {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                voc.add(&format!("C{i}"), c.scope.len()).expect("fresh name")
+                voc.add(&format!("C{i}"), c.scope.len())
+                    .expect("fresh name")
             })
             .collect();
         let dsyms: Vec<_> = self
@@ -142,8 +138,7 @@ impl CspInstance {
         let mut a = StructureBuilder::new(Arc::clone(&voc), self.num_variables);
         let mut b = StructureBuilder::new(Arc::clone(&voc), self.num_values);
         for (i, c) in self.constraints.iter().enumerate() {
-            let scope: Vec<Element> =
-                c.scope.iter().map(|&v| Element(v as u32)).collect();
+            let scope: Vec<Element> = c.scope.iter().map(|&v| Element(v as u32)).collect();
             a.add_tuple(csyms[i], &scope).expect("validated on insert");
             for t in &c.allowed {
                 let vals: Vec<Element> = t.iter().map(|&v| Element(v as u32)).collect();
@@ -240,7 +235,8 @@ mod tests {
             .filter(|t| t.iter().sum::<usize>() % 2 == 1)
             .collect();
         let mut csp = CspInstance::new(3, 2);
-        csp.add_constraint(Constraint::new(vec![0, 1, 2], odd).unwrap()).unwrap();
+        csp.add_constraint(Constraint::new(vec![0, 1, 2], odd).unwrap())
+            .unwrap();
         let sol = csp.solve().unwrap();
         assert_eq!(sol.iter().sum::<usize>() % 2, 1);
         assert!(csp.check(&sol));

@@ -9,11 +9,23 @@ pub type Result<T> = std::result::Result<T, Error>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// A relation symbol was declared twice with different arities.
-    DuplicateSymbol { name: String, old_arity: usize, new_arity: usize },
+    DuplicateSymbol {
+        name: String,
+        old_arity: usize,
+        new_arity: usize,
+    },
     /// A tuple's length does not match the arity of its relation symbol.
-    ArityMismatch { relation: String, arity: usize, got: usize },
+    ArityMismatch {
+        relation: String,
+        arity: usize,
+        got: usize,
+    },
     /// A tuple mentions an element outside the declared universe.
-    ElementOutOfRange { relation: String, element: u32, universe: usize },
+    ElementOutOfRange {
+        relation: String,
+        element: u32,
+        universe: usize,
+    },
     /// Two structures were combined but are not over the same vocabulary.
     VocabularyMismatch,
     /// A relation symbol id is not valid for this vocabulary.
@@ -25,16 +37,28 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::DuplicateSymbol { name, old_arity, new_arity } => write!(
+            Error::DuplicateSymbol {
+                name,
+                old_arity,
+                new_arity,
+            } => write!(
                 f,
                 "relation symbol `{name}` declared with arity {new_arity} \
                  but previously had arity {old_arity}"
             ),
-            Error::ArityMismatch { relation, arity, got } => write!(
+            Error::ArityMismatch {
+                relation,
+                arity,
+                got,
+            } => write!(
                 f,
                 "tuple of length {got} supplied for relation `{relation}` of arity {arity}"
             ),
-            Error::ElementOutOfRange { relation, element, universe } => write!(
+            Error::ElementOutOfRange {
+                relation,
+                element,
+                universe,
+            } => write!(
                 f,
                 "element {element} in a tuple of `{relation}` is outside the \
                  universe of size {universe}"
@@ -58,13 +82,25 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::ArityMismatch { relation: "E".into(), arity: 2, got: 3 };
+        let e = Error::ArityMismatch {
+            relation: "E".into(),
+            arity: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains("arity 2"));
         assert!(e.to_string().contains('E'));
-        let e = Error::ElementOutOfRange { relation: "E".into(), element: 9, universe: 4 };
+        let e = Error::ElementOutOfRange {
+            relation: "E".into(),
+            element: 9,
+            universe: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
-        let e = Error::DuplicateSymbol { name: "R".into(), old_arity: 1, new_arity: 2 };
+        let e = Error::DuplicateSymbol {
+            name: "R".into(),
+            old_arity: 1,
+            new_arity: 2,
+        };
         assert!(e.to_string().contains('R'));
     }
 

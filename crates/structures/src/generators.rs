@@ -112,7 +112,10 @@ pub fn random_digraph(n: usize, p: f64, seed: u64) -> Structure {
 /// representation).
 pub fn random_graph_nm(n: usize, m: usize, seed: u64) -> Structure {
     let max_edges = n * n.saturating_sub(1) / 2;
-    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} possible"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut all: Vec<(u32, u32)> = (0..n as u32)
         .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
@@ -130,7 +133,7 @@ pub fn random_graph_nm(n: usize, m: usize, seed: u64) -> Structure {
 /// attached to a random existing `k`-clique. Every `k`-tree has treewidth
 /// exactly `k` (for `n > k`).
 pub fn ktree_edges(n: usize, k: usize, seed: u64) -> Vec<(usize, usize)> {
-    assert!(n >= k + 1, "a k-tree needs at least k+1 vertices");
+    assert!(n > k, "a k-tree needs at least k+1 vertices");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::new();
     // Seed clique K_{k+1} and the initial set of k-cliques.
@@ -151,8 +154,13 @@ pub fn ktree_edges(n: usize, k: usize, seed: u64) -> Vec<(usize, usize)> {
         }
         // New k-cliques: v together with each (k-1)-subset of base.
         for omit in 0..base.len() {
-            let mut clique: Vec<usize> =
-                base.iter().copied().enumerate().filter(|&(i, _)| i != omit).map(|(_, u)| u).collect();
+            let mut clique: Vec<usize> = base
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| i != omit)
+                .map(|(_, u)| u)
+                .collect();
             clique.push(v);
             cliques.push(clique);
         }
@@ -189,7 +197,8 @@ pub fn random_structure(
 ) -> Structure {
     let mut voc = Vocabulary::new();
     for (i, &a) in arities.iter().enumerate() {
-        voc.add(&format!("R{i}"), a).expect("fresh names cannot collide");
+        voc.add(&format!("R{i}"), a)
+            .expect("fresh names cannot collide");
     }
     let voc = voc.into_shared();
     let mut rng = StdRng::seed_from_u64(seed);

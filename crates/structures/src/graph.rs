@@ -18,7 +18,11 @@ pub struct UndirectedGraph {
 impl UndirectedGraph {
     /// Creates an edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        UndirectedGraph { n, adj: vec![BitSet::new(n); n], num_edges: 0 }
+        UndirectedGraph {
+            n,
+            adj: vec![BitSet::new(n); n],
+            num_edges: 0,
+        }
     }
 
     /// Builds a graph from an edge list; self-loops and duplicates are
@@ -87,7 +91,10 @@ impl UndirectedGraph {
     /// Iterates over all edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n).flat_map(move |u| {
-            self.adj[u].iter().filter(move |&v| u < v).map(move |v| (u, v))
+            self.adj[u]
+                .iter()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 

@@ -60,7 +60,10 @@ impl Homomorphism {
 /// Panics if the structures are over different vocabularies or the map
 /// has the wrong length.
 pub fn is_homomorphism(map: &[Element], a: &Structure, b: &Structure) -> bool {
-    assert!(a.same_vocabulary(b), "homomorphism across different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "homomorphism across different vocabularies"
+    );
     assert_eq!(map.len(), a.universe(), "map length must equal |A|");
     let mut image: Vec<Element> = Vec::with_capacity(a.vocabulary().max_arity());
     for r in a.vocabulary().iter() {
@@ -147,13 +150,13 @@ fn search(
     partial: &[(Element, Element)],
     on_solution: &mut dyn FnMut(&[Element]) -> bool,
 ) {
-    assert!(a.same_vocabulary(b), "homomorphism across different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "homomorphism across different vocabularies"
+    );
     // 0-ary relations are global preconditions.
     for r in a.vocabulary().iter() {
-        if a.vocabulary().arity(r) == 0
-            && !a.relation(r).is_empty()
-            && b.relation(r).is_empty()
-        {
+        if a.vocabulary().arity(r) == 0 && !a.relation(r).is_empty() && b.relation(r).is_empty() {
             return;
         }
     }
@@ -204,8 +207,10 @@ fn backtrack(
     on_solution: &mut dyn FnMut(&[Element]) -> bool,
 ) -> bool {
     if depth == order.len() {
-        let complete: Vec<Element> =
-            assign.iter().map(|o| o.expect("assignment complete")).collect();
+        let complete: Vec<Element> = assign
+            .iter()
+            .map(|o| o.expect("assignment complete"))
+            .collect();
         return on_solution(&complete);
     }
     let x = order[depth];
@@ -223,12 +228,7 @@ fn backtrack(
 
 /// Checks every tuple of `A` containing `x` whose elements are all
 /// assigned: its image must be a tuple of `B`.
-fn consistent_after(
-    a: &Structure,
-    b: &Structure,
-    assign: &[Option<Element>],
-    x: Element,
-) -> bool {
+fn consistent_after(a: &Structure, b: &Structure, assign: &[Option<Element>], x: Element) -> bool {
     let mut image: Vec<Element> = Vec::with_capacity(a.vocabulary().max_arity());
     'occurrence: for &(r, t) in a.occurrences(x) {
         image.clear();
@@ -290,8 +290,7 @@ mod tests {
     fn extend_respects_partial() {
         let p = generators::directed_path(3); // 0→1→2
         let k2 = generators::complete_graph(2);
-        let h =
-            extend_homomorphism(&p, &k2, &[(Element(0), Element(1))]).expect("extendable");
+        let h = extend_homomorphism(&p, &k2, &[(Element(0), Element(1))]).expect("extendable");
         assert_eq!(h.apply(Element(0)), Element(1));
         assert_eq!(h.apply(Element(1)), Element(0));
         assert_eq!(h.apply(Element(2)), Element(1));
@@ -319,7 +318,9 @@ mod tests {
 
     #[test]
     fn empty_a_has_trivial_hom() {
-        let voc = crate::Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let voc = crate::Vocabulary::from_symbols([("E", 2)])
+            .unwrap()
+            .into_shared();
         let empty = crate::StructureBuilder::new(voc, 0).finish();
         let k2 = generators::complete_graph(2);
         assert!(homomorphism_exists(&empty, &k2));
@@ -327,7 +328,9 @@ mod tests {
 
     #[test]
     fn empty_b_universe_blocks() {
-        let voc = crate::Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let voc = crate::Vocabulary::from_symbols([("E", 2)])
+            .unwrap()
+            .into_shared();
         let empty = crate::StructureBuilder::new(std::sync::Arc::clone(&voc), 0).finish();
         let one = crate::StructureBuilder::new(voc, 1).finish();
         assert!(!homomorphism_exists(&one, &empty));
@@ -338,7 +341,9 @@ mod tests {
     fn all_homomorphisms_enumerates() {
         // Loops on both sides: maps from 2-element loop-graph to
         // 2-element loop-graph = all 4 functions.
-        let voc = crate::Vocabulary::from_symbols([("E", 2)]).unwrap().into_shared();
+        let voc = crate::Vocabulary::from_symbols([("E", 2)])
+            .unwrap()
+            .into_shared();
         let mut b = crate::StructureBuilder::new(std::sync::Arc::clone(&voc), 2);
         b.add_fact("E", &[0, 0]).unwrap();
         b.add_fact("E", &[1, 1]).unwrap();
@@ -363,8 +368,9 @@ mod tests {
     #[test]
     fn unary_predicates_constrain() {
         // A: one element marked P. B: P empty → no hom; P nonempty → hom.
-        let voc =
-            crate::Vocabulary::from_symbols([("P", 1)]).unwrap().into_shared();
+        let voc = crate::Vocabulary::from_symbols([("P", 1)])
+            .unwrap()
+            .into_shared();
         let mut ab = crate::StructureBuilder::new(std::sync::Arc::clone(&voc), 1);
         ab.add_fact("P", &[0]).unwrap();
         let a = ab.finish();

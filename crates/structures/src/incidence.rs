@@ -53,7 +53,11 @@ pub fn incidence_graph(s: &Structure) -> IncidenceGraph {
             graph.add_edge(tv, e.index());
         }
     }
-    IncidenceGraph { graph, num_elements, tuple_origin }
+    IncidenceGraph {
+        graph,
+        num_elements,
+        tuple_origin,
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +111,9 @@ mod tests {
 
     #[test]
     fn tuple_origin_bookkeeping() {
-        let voc = Vocabulary::from_symbols([("E", 2), ("P", 1)]).unwrap().into_shared();
+        let voc = Vocabulary::from_symbols([("E", 2), ("P", 1)])
+            .unwrap()
+            .into_shared();
         let mut b = StructureBuilder::new(std::sync::Arc::clone(&voc), 2);
         b.add_fact("E", &[0, 1]).unwrap();
         b.add_fact("P", &[1]).unwrap();

@@ -49,9 +49,7 @@ pub use csp::{Constraint, CspInstance};
 pub use error::{Error, Result};
 pub use gaifman::gaifman_graph;
 pub use graph::UndirectedGraph;
-pub use homomorphism::{
-    extend_homomorphism, find_homomorphism, is_homomorphism, Homomorphism,
-};
+pub use homomorphism::{extend_homomorphism, find_homomorphism, is_homomorphism, Homomorphism};
 pub use incidence::incidence_graph;
 pub use product::direct_product;
 pub use structure::{Element, Relation, Structure, StructureBuilder};

@@ -19,7 +19,10 @@ pub fn pair_index(x: Element, y: Element, b_universe: usize) -> Element {
 /// Splits a product element back into its two coordinates.
 #[inline]
 pub fn pair_split(e: Element, b_universe: usize) -> (Element, Element) {
-    (Element(e.0 / b_universe as u32), Element(e.0 % b_universe as u32))
+    (
+        Element(e.0 / b_universe as u32),
+        Element(e.0 % b_universe as u32),
+    )
 }
 
 /// Computes the direct product `A × B`.
@@ -30,7 +33,10 @@ pub fn pair_split(e: Element, b_universe: usize) -> (Element, Element) {
 /// # Panics
 /// Panics if the structures are over different vocabularies.
 pub fn direct_product(a: &Structure, b: &Structure) -> Structure {
-    assert!(a.same_vocabulary(b), "product of structures over different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "product of structures over different vocabularies"
+    );
     let voc = Arc::clone(a.vocabulary());
     let bu = b.universe();
     let mut builder = StructureBuilder::new(Arc::clone(&voc), a.universe() * bu);
@@ -42,9 +48,13 @@ pub fn direct_product(a: &Structure, b: &Structure) -> Structure {
             for tb in rb.iter() {
                 buf.clear();
                 buf.extend(
-                    ta.iter().zip(tb.iter()).map(|(&x, &y)| pair_index(x, y, bu)),
+                    ta.iter()
+                        .zip(tb.iter())
+                        .map(|(&x, &y)| pair_index(x, y, bu)),
                 );
-                builder.add_tuple(r, &buf).expect("in range by construction");
+                builder
+                    .add_tuple(r, &buf)
+                    .expect("in range by construction");
             }
         }
     }

@@ -70,7 +70,12 @@ impl Relation {
                 index[pos][e.index()].push(t as u32);
             }
         }
-        Relation { arity, ntuples, data, index }
+        Relation {
+            arity,
+            ntuples,
+            data,
+            index,
+        }
     }
 
     /// The arity of the relation symbol.
@@ -177,7 +182,11 @@ impl Structure {
     /// element occurrences in tuples.
     pub fn size(&self) -> usize {
         self.universe
-            + self.relations.iter().map(|r| r.len() * r.arity()).sum::<usize>()
+            + self
+                .relations
+                .iter()
+                .map(|r| r.len() * r.arity())
+                .sum::<usize>()
     }
 
     /// Whether two structures are over the same vocabulary (by content).
@@ -243,7 +252,11 @@ impl StructureBuilder {
     /// Starts a structure with the given universe size.
     pub fn new(voc: Arc<Vocabulary>, universe: usize) -> Self {
         let tuples = vec![Vec::new(); voc.len()];
-        StructureBuilder { voc, universe, tuples }
+        StructureBuilder {
+            voc,
+            universe,
+            tuples,
+        }
     }
 
     /// The universe size the builder was created with.
@@ -309,7 +322,12 @@ impl StructureBuilder {
         for occ in &mut occurrences {
             occ.dedup();
         }
-        Structure { voc, universe, relations, occurrences }
+        Structure {
+            voc,
+            universe,
+            relations,
+            occurrences,
+        }
     }
 }
 
@@ -342,8 +360,11 @@ mod tests {
     fn tuples_sorted_lexicographically() {
         let s = digraph(&[(2, 0), (0, 2), (1, 1)], 3);
         let e = s.vocabulary().lookup("E").unwrap();
-        let tuples: Vec<Vec<u32>> =
-            s.relation(e).iter().map(|t| t.iter().map(|x| x.0).collect()).collect();
+        let tuples: Vec<Vec<u32>> = s
+            .relation(e)
+            .iter()
+            .map(|t| t.iter().map(|x| x.0).collect())
+            .collect();
         assert_eq!(tuples, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
     }
 
@@ -428,6 +449,9 @@ mod tests {
     fn same_vocabulary_by_content() {
         let a = digraph(&[(0, 1)], 2);
         let b = digraph(&[(1, 0)], 2);
-        assert!(a.same_vocabulary(&b), "equal content counts even without shared Arc");
+        assert!(
+            a.same_vocabulary(&b),
+            "equal content counts even without shared Arc"
+        );
     }
 }

@@ -40,7 +40,13 @@ pub fn sum_vocabulary(base: &Vocabulary) -> SumVocabulary {
     }
     let d1 = voc.add("D_1", 1).expect("fresh name");
     let d2 = voc.add("D_2", 1).expect("fresh name");
-    SumVocabulary { vocabulary: voc.into_shared(), copy1, copy2, d1, d2 }
+    SumVocabulary {
+        vocabulary: voc.into_shared(),
+        copy1,
+        copy2,
+        d1,
+        d2,
+    }
 }
 
 /// Encodes the pair `(a, b)` as the single structure `a + b`.
@@ -51,7 +57,10 @@ pub fn sum_vocabulary(base: &Vocabulary) -> SumVocabulary {
 /// # Panics
 /// Panics if the structures are over different vocabularies.
 pub fn structure_sum(a: &Structure, b: &Structure) -> (Structure, SumVocabulary) {
-    assert!(a.same_vocabulary(b), "sum of structures over different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "sum of structures over different vocabularies"
+    );
     let sv = sum_vocabulary(a.vocabulary());
     let offset = a.universe() as u32;
     let mut builder =
@@ -64,14 +73,18 @@ pub fn structure_sum(a: &Structure, b: &Structure) -> (Structure, SumVocabulary)
         for t in b.relation(r).iter() {
             buf.clear();
             buf.extend(t.iter().map(|e| Element(e.0 + offset)));
-            builder.add_tuple(sv.copy2[r.index()], &buf).expect("in range");
+            builder
+                .add_tuple(sv.copy2[r.index()], &buf)
+                .expect("in range");
         }
     }
     for e in 0..a.universe() as u32 {
         builder.add_tuple(sv.d1, &[Element(e)]).expect("in range");
     }
     for e in 0..b.universe() as u32 {
-        builder.add_tuple(sv.d2, &[Element(e + offset)]).expect("in range");
+        builder
+            .add_tuple(sv.d2, &[Element(e + offset)])
+            .expect("in range");
     }
     (builder.finish(), sv)
 }
@@ -90,7 +103,7 @@ mod tests {
         assert_eq!(s.relation(sv.d1).len(), 3);
         assert_eq!(s.relation(sv.d2).len(), 4);
         // D1 and D2 partition the universe.
-        let mut marked = vec![0u8; 7];
+        let mut marked = [0u8; 7];
         for t in s.relation(sv.d1).iter() {
             marked[t[0].index()] += 1;
         }

@@ -100,7 +100,9 @@ impl Vocabulary {
 
     /// Like [`Vocabulary::lookup`] but returns a descriptive error.
     pub fn require(&self, name: &str) -> Result<RelId> {
-        self.lookup(name).ok_or_else(|| Error::UnknownRelation { name: name.to_owned() })
+        self.lookup(name).ok_or_else(|| Error::UnknownRelation {
+            name: name.to_owned(),
+        })
     }
 
     /// The arity of a symbol.
@@ -132,7 +134,8 @@ impl Vocabulary {
 
     /// Iterates over `(id, name, arity)` triples.
     pub fn symbols(&self) -> impl Iterator<Item = (RelId, &str, usize)> + '_ {
-        self.iter().map(move |id| (id, self.name(id), self.arity(id)))
+        self.iter()
+            .map(move |id| (id, self.name(id), self.arity(id)))
     }
 
     /// The largest arity among all symbols (0 for an empty vocabulary).

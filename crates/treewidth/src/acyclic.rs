@@ -41,7 +41,11 @@ pub fn gyo_join_tree(a: &Structure) -> Option<JoinTree> {
     let mut edge_sets: Vec<HashSet<u32>> = nodes
         .iter()
         .map(|&(r, t)| {
-            a.relation(r).tuple(t as usize).iter().map(|e| e.0).collect()
+            a.relation(r)
+                .tuple(t as usize)
+                .iter()
+                .map(|e| e.0)
+                .collect()
         })
         .collect();
     let mut alive: Vec<bool> = vec![true; n];
@@ -75,9 +79,8 @@ pub fn gyo_join_tree(a: &Structure) -> Option<JoinTree> {
             if !alive[i] {
                 continue;
             }
-            let container = (0..n).find(|&j| {
-                j != i && alive[j] && edge_sets[i].is_subset(&edge_sets[j])
-            });
+            let container =
+                (0..n).find(|&j| j != i && alive[j] && edge_sets[i].is_subset(&edge_sets[j]));
             if let Some(j) = container {
                 alive[i] = false;
                 parent[i] = Some(j);
@@ -96,7 +99,9 @@ pub fn gyo_join_tree(a: &Structure) -> Option<JoinTree> {
             // Check whether what is left is several disconnected
             // survivors with empty vertex sets (a forest), which is
             // still acyclic.
-            let stuck = (0..n).filter(|&i| alive[i]).any(|i| !edge_sets[i].is_empty());
+            let stuck = (0..n)
+                .filter(|&i| alive[i])
+                .any(|i| !edge_sets[i].is_empty());
             if stuck {
                 return None;
             }
@@ -115,15 +120,15 @@ pub fn is_acyclic(a: &Structure) -> bool {
 /// and returns a witness. Returns `Err(())`-like `None` wrapped in
 /// `Option`: the outer `Option` is `None` when `A` is *not* acyclic.
 pub fn yannakakis(a: &Structure, b: &Structure) -> Option<Option<Homomorphism>> {
-    assert!(a.same_vocabulary(b), "homomorphism across different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "homomorphism across different vocabularies"
+    );
     let jt = gyo_join_tree(a)?;
 
     // Global 0-ary preconditions.
     for r in a.vocabulary().iter() {
-        if a.vocabulary().arity(r) == 0
-            && !a.relation(r).is_empty()
-            && b.relation(r).is_empty()
-        {
+        if a.vocabulary().arity(r) == 0 && !a.relation(r).is_empty() && b.relation(r).is_empty() {
             return Some(None);
         }
     }
@@ -167,14 +172,14 @@ pub fn yannakakis(a: &Structure, b: &Structure) -> Option<Option<Homomorphism>> 
         // Process nodes so every child precedes its parent: sort by
         // decreasing depth.
         let mut depth = vec![0usize; n];
-        for i in 0..n {
+        for (i, slot) in depth.iter_mut().enumerate() {
             let mut d = 0;
             let mut cur = i;
             while let Some(p) = jt.parent[cur] {
                 d += 1;
                 cur = p;
             }
-            depth[i] = d;
+            *slot = d;
         }
         let mut idx: Vec<usize> = (0..n).collect();
         idx.sort_by_key(|&i| std::cmp::Reverse(depth[i]));
@@ -186,10 +191,18 @@ pub fn yannakakis(a: &Structure, b: &Structure) -> Option<Option<Homomorphism>> 
     let shared_elems = |i: usize, p: usize| -> Vec<u32> {
         let (ri, ti) = jt.nodes[i];
         let (rp, tp) = jt.nodes[p];
-        let pi: HashSet<u32> =
-            a.relation(ri).tuple(ti as usize).iter().map(|e| e.0).collect();
-        let pp: HashSet<u32> =
-            a.relation(rp).tuple(tp as usize).iter().map(|e| e.0).collect();
+        let pi: HashSet<u32> = a
+            .relation(ri)
+            .tuple(ti as usize)
+            .iter()
+            .map(|e| e.0)
+            .collect();
+        let pp: HashSet<u32> = a
+            .relation(rp)
+            .tuple(tp as usize)
+            .iter()
+            .map(|e| e.0)
+            .collect();
         let mut v: Vec<u32> = pi.intersection(&pp).copied().collect();
         v.sort_unstable();
         v
@@ -201,7 +214,10 @@ pub fn yannakakis(a: &Structure, b: &Structure) -> Option<Option<Homomorphism>> 
         elems
             .iter()
             .map(|&e| {
-                let pos = pattern.iter().position(|x| x.0 == e).expect("shared element");
+                let pos = pattern
+                    .iter()
+                    .position(|x| x.0 == e)
+                    .expect("shared element");
                 w[pos]
             })
             .collect()
@@ -247,15 +263,16 @@ pub fn yannakakis(a: &Structure, b: &Structure) -> Option<Option<Homomorphism>> 
         };
         let (r, t) = jt.nodes[i];
         for (pos, &e) in a.relation(r).tuple(t as usize).iter().enumerate() {
-            debug_assert!(map[e.index()].is_none() || map[e.index()] == Some(pick[pos]),
-                "join-tree connectivity guarantees agreement");
+            debug_assert!(
+                map[e.index()].is_none() || map[e.index()] == Some(pick[pos]),
+                "join-tree connectivity guarantees agreement"
+            );
             map[e.index()] = Some(pick[pos]);
         }
         chosen[i] = Some(pick);
     }
     // Isolated elements map to 0.
-    let h: Vec<Element> =
-        map.into_iter().map(|o| o.unwrap_or(Element(0))).collect();
+    let h: Vec<Element> = map.into_iter().map(|o| o.unwrap_or(Element(0))).collect();
     debug_assert!(cqcs_structures::is_homomorphism(&h, a, b));
     Some(Some(Homomorphism::from_map(h)))
 }

@@ -25,7 +25,10 @@ pub enum DecompositionError {
     /// The edge set does not form a tree over the bags.
     NotATree,
     /// Some tuple's elements are covered by no single bag.
-    TupleNotCovered { relation: String, tuple_index: usize },
+    TupleNotCovered {
+        relation: String,
+        tuple_index: usize,
+    },
     /// Some element's bags do not form a connected subtree.
     ElementNotConnected { element: usize },
     /// Some element appears in no bag.
@@ -36,8 +39,14 @@ impl std::fmt::Display for DecompositionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecompositionError::NotATree => write!(f, "bag edges do not form a tree"),
-            DecompositionError::TupleNotCovered { relation, tuple_index } => {
-                write!(f, "tuple {tuple_index} of `{relation}` is covered by no bag")
+            DecompositionError::TupleNotCovered {
+                relation,
+                tuple_index,
+            } => {
+                write!(
+                    f,
+                    "tuple {tuple_index} of `{relation}` is covered by no bag"
+                )
             }
             DecompositionError::ElementNotConnected { element } => {
                 write!(f, "bags containing element {element} are not connected")
@@ -55,7 +64,12 @@ impl TreeDecomposition {
     /// The width: maximum bag size minus one (−1 ⇒ 0 for the empty
     /// decomposition).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(BitSet::len).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(BitSet::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Number of tree nodes.
@@ -70,7 +84,10 @@ impl TreeDecomposition {
 
     /// The trivial decomposition: one bag holding the whole universe.
     pub fn trivial(universe: usize) -> Self {
-        TreeDecomposition { bags: vec![BitSet::full(universe)], edges: vec![] }
+        TreeDecomposition {
+            bags: vec![BitSet::full(universe)],
+            edges: vec![],
+        }
     }
 
     /// Adjacency lists of the bag tree.
@@ -89,9 +106,10 @@ impl TreeDecomposition {
         self.validate_shape(s.universe())?;
         for r in s.vocabulary().iter() {
             for (ti, tuple) in s.relation(r).iter().enumerate() {
-                let covered = self.bags.iter().any(|bag| {
-                    tuple.iter().all(|e| bag.contains(e.index()))
-                });
+                let covered = self
+                    .bags
+                    .iter()
+                    .any(|bag| tuple.iter().all(|e| bag.contains(e.index())));
                 if !covered {
                     return Err(DecompositionError::TupleNotCovered {
                         relation: s.vocabulary().name(r).to_owned(),
@@ -108,8 +126,10 @@ impl TreeDecomposition {
     pub fn validate_graph(&self, g: &UndirectedGraph) -> Result<(), DecompositionError> {
         self.validate_shape(g.len())?;
         for (u, v) in g.edges() {
-            let covered =
-                self.bags.iter().any(|bag| bag.contains(u) && bag.contains(v));
+            let covered = self
+                .bags
+                .iter()
+                .any(|bag| bag.contains(u) && bag.contains(v));
             if !covered {
                 return Err(DecompositionError::TupleNotCovered {
                     relation: "E".to_owned(),
@@ -153,8 +173,7 @@ impl TreeDecomposition {
         }
         // Element coverage + subtree connectedness.
         for e in 0..universe {
-            let holders: Vec<usize> =
-                (0..n).filter(|&i| self.bags[i].contains(e)).collect();
+            let holders: Vec<usize> = (0..n).filter(|&i| self.bags[i].contains(e)).collect();
             if holders.is_empty() {
                 return Err(DecompositionError::ElementMissing { element: e });
             }
@@ -254,7 +273,10 @@ mod tests {
     #[test]
     fn missing_element_detected() {
         let p = generators::directed_path(2);
-        let td = TreeDecomposition { bags: vec![bag(2, &[0])], edges: vec![] };
+        let td = TreeDecomposition {
+            bags: vec![bag(2, &[0])],
+            edges: vec![],
+        };
         assert!(matches!(
             td.validate(&p),
             Err(DecompositionError::TupleNotCovered { .. })
@@ -274,7 +296,10 @@ mod tests {
             bags: vec![bag(3, &[0, 1]), bag(3, &[1, 2]), bag(3, &[1])],
             edges: vec![(0, 1)],
         };
-        assert!(matches!(forest.validate(&p), Err(DecompositionError::NotATree)));
+        assert!(matches!(
+            forest.validate(&p),
+            Err(DecompositionError::NotATree)
+        ));
     }
 
     #[test]
@@ -297,7 +322,10 @@ mod tests {
         use cqcs_structures::StructureBuilder;
         let voc = generators::digraph_vocabulary();
         let s = StructureBuilder::new(voc, 0).finish();
-        let td = TreeDecomposition { bags: vec![], edges: vec![] };
+        let td = TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        };
         td.validate(&s).unwrap();
     }
 }

@@ -24,15 +24,15 @@ pub fn solve_with_decomposition(
     b: &Structure,
     td: &TreeDecomposition,
 ) -> Result<Option<Homomorphism>, DecompositionError> {
-    assert!(a.same_vocabulary(b), "homomorphism across different vocabularies");
+    assert!(
+        a.same_vocabulary(b),
+        "homomorphism across different vocabularies"
+    );
     td.validate(a)?;
 
     // Global 0-ary preconditions.
     for r in a.vocabulary().iter() {
-        if a.vocabulary().arity(r) == 0
-            && !a.relation(r).is_empty()
-            && b.relation(r).is_empty()
-        {
+        if a.vocabulary().arity(r) == 0 && !a.relation(r).is_empty() && b.relation(r).is_empty() {
             return Ok(None);
         }
     }
@@ -88,14 +88,16 @@ pub fn solve_with_decomposition(
     // For each node: valid assignments; per (child) a map from
     // shared-projection to a representative child assignment.
     let mut valid: Vec<Vec<Vec<Element>>> = vec![Vec::new(); nodes];
-    let mut child_reps: Vec<HashMap<Vec<Element>, Vec<Element>>> =
-        vec![HashMap::new(); nodes];
+    let mut child_reps: Vec<HashMap<Vec<Element>, Vec<Element>>> = vec![HashMap::new(); nodes];
 
     let m = b.universe();
     for &u in &order {
         let bag = &bags[u];
-        let children: Vec<usize> =
-            adj[u].iter().copied().filter(|&v| parent[v] == Some(u)).collect();
+        let children: Vec<usize> = adj[u]
+            .iter()
+            .copied()
+            .filter(|&v| parent[v] == Some(u))
+            .collect();
         // Shared positions with each child (indices into `bag`).
         let shared_pos: Vec<Vec<usize>> = children
             .iter()
@@ -122,12 +124,12 @@ pub fn solve_with_decomposition(
                 valid[u].push(assignment.clone());
             }
             // Increment mixed-radix counter.
-            for i in 0..counters.len() {
-                counters[i] += 1;
-                if counters[i] < m {
+            for counter in counters.iter_mut() {
+                *counter += 1;
+                if *counter < m {
                     continue 'enumerate;
                 }
-                counters[i] = 0;
+                *counter = 0;
             }
             break;
         }
@@ -163,9 +165,7 @@ pub fn solve_with_decomposition(
                 let shared: Vec<Element> = bags[v]
                     .iter()
                     .filter(|e| td.bags[u].contains(e.index()))
-                    .map(|&e| {
-                        map[e.index()].expect("parent bag already assigned")
-                    })
+                    .map(|&e| map[e.index()].expect("parent bag already assigned"))
                     .collect();
                 let child_asg = child_reps[v]
                     .get(&shared)
@@ -207,10 +207,7 @@ fn assignment_ok(
 
 /// Convenience pipeline: Gaifman graph → min-fill decomposition → DP.
 /// Returns the homomorphism (if any) and the decomposition width used.
-pub fn homomorphism_via_treewidth(
-    a: &Structure,
-    b: &Structure,
-) -> (Option<Homomorphism>, usize) {
+pub fn homomorphism_via_treewidth(a: &Structure, b: &Structure) -> (Option<Homomorphism>, usize) {
     let g = gaifman_graph(a);
     let mut td = heuristics::min_fill_decomposition(&g);
     if td.is_empty() && a.universe() > 0 {
@@ -297,7 +294,10 @@ mod tests {
         let mut bag = cqcs_structures::BitSet::new(3);
         bag.insert(0);
         bag.insert(1);
-        let td2 = TreeDecomposition { bags: vec![bag], edges: vec![] };
+        let td2 = TreeDecomposition {
+            bags: vec![bag],
+            edges: vec![],
+        };
         assert!(solve_with_decomposition(&p, &p, &td2).is_err());
         let _ = td;
     }
@@ -307,8 +307,13 @@ mod tests {
         let voc = generators::digraph_vocabulary();
         let empty = cqcs_structures::StructureBuilder::new(voc, 0).finish();
         let k2 = generators::complete_graph(2);
-        let td = TreeDecomposition { bags: vec![], edges: vec![] };
-        assert!(solve_with_decomposition(&empty, &k2, &td).unwrap().is_some());
+        let td = TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        };
+        assert!(solve_with_decomposition(&empty, &k2, &td)
+            .unwrap()
+            .is_some());
         // Nonempty A into empty B.
         let (h, _) = homomorphism_via_treewidth(&k2, &empty);
         assert!(h.is_none());
@@ -317,8 +322,7 @@ mod tests {
     #[test]
     fn isolated_elements_are_mapped() {
         let voc = generators::digraph_vocabulary();
-        let mut builder =
-            cqcs_structures::StructureBuilder::new(std::sync::Arc::clone(&voc), 4);
+        let mut builder = cqcs_structures::StructureBuilder::new(std::sync::Arc::clone(&voc), 4);
         builder.add_fact("E", &[0, 1]).unwrap();
         let a = builder.finish(); // elements 2, 3 isolated
         let b = generators::complete_graph(2);

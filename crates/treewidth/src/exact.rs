@@ -17,7 +17,10 @@ pub const EXACT_MAX_VERTICES: usize = 24;
 /// Panics if `g` has more than [`EXACT_MAX_VERTICES`] vertices.
 pub fn exact_treewidth(g: &UndirectedGraph) -> usize {
     let n = g.len();
-    assert!(n <= EXACT_MAX_VERTICES, "exact treewidth limited to {EXACT_MAX_VERTICES} vertices");
+    assert!(
+        n <= EXACT_MAX_VERTICES,
+        "exact treewidth limited to {EXACT_MAX_VERTICES} vertices"
+    );
     if n == 0 {
         return 0;
     }
@@ -107,7 +110,10 @@ mod tests {
             let exact = exact_treewidth(&g);
             let heur = min_fill_decomposition(&g).width();
             assert!(heur >= exact, "heuristic below exact?! seed {seed}");
-            assert!(heur <= exact + 2, "min-fill far off on a small graph, seed {seed}");
+            assert!(
+                heur <= exact + 2,
+                "min-fill far off on a small graph, seed {seed}"
+            );
         }
     }
 
@@ -116,7 +122,10 @@ mod tests {
         for seed in 0..8 {
             let s = generators::partial_ktree(10, 2, 0.7, seed);
             let g = gaifman_graph(&s);
-            assert!(exact_treewidth(&g) <= 2, "partial 2-tree has tw ≤ 2, seed {seed}");
+            assert!(
+                exact_treewidth(&g) <= 2,
+                "partial 2-tree has tw ≤ 2, seed {seed}"
+            );
         }
     }
 }

@@ -60,9 +60,7 @@ impl FoFormula {
     pub fn free_slots(&self) -> HashSet<u8> {
         match self {
             FoFormula::Atom { slots, .. } => slots.iter().copied().collect(),
-            FoFormula::And(parts) => {
-                parts.iter().flat_map(|p| p.free_slots()).collect()
-            }
+            FoFormula::And(parts) => parts.iter().flat_map(|p| p.free_slots()).collect(),
             FoFormula::Exists { slot, body } => {
                 let mut f = body.free_slots();
                 f.remove(slot);
@@ -90,7 +88,10 @@ pub fn structure_to_fo(
 ) -> Result<FoQuery, DecompositionError> {
     td.validate(a)?;
     if a.universe() == 0 || td.is_empty() {
-        return Ok(FoQuery { formula: FoFormula::And(Vec::new()), num_slots: 0 });
+        return Ok(FoQuery {
+            formula: FoFormula::And(Vec::new()),
+            num_slots: 0,
+        });
     }
     let nodes = td.len();
     let adj = td.adjacency();
@@ -111,7 +112,16 @@ pub fn structure_to_fo(
     }
 
     let mut slot_of: HashMap<u32, u8> = HashMap::new();
-    let formula = build(a, td, &adj, &tuples_of, 0, usize::MAX, &mut slot_of, num_slots);
+    let formula = build(
+        a,
+        td,
+        &adj,
+        &tuples_of,
+        0,
+        usize::MAX,
+        &mut slot_of,
+        num_slots,
+    );
     Ok(FoQuery { formula, num_slots })
 }
 
@@ -129,14 +139,20 @@ fn build(
 ) -> FoFormula {
     // Elements entering scope at this bag get free slots.
     let bag: Vec<u32> = td.bags[node].iter().map(|e| e as u32).collect();
-    let fresh: Vec<u32> =
-        bag.iter().copied().filter(|e| !slot_of.contains_key(e)).collect();
+    let fresh: Vec<u32> = bag
+        .iter()
+        .copied()
+        .filter(|e| !slot_of.contains_key(e))
+        .collect();
     let in_use: HashSet<u8> = slot_of.values().copied().collect();
-    let mut pool: Vec<u8> =
-        (0..num_slots as u8).filter(|s| !in_use.contains(s)).collect();
+    let mut pool: Vec<u8> = (0..num_slots as u8)
+        .filter(|s| !in_use.contains(s))
+        .collect();
     let mut introduced: Vec<(u32, u8)> = Vec::new();
     for &e in &fresh {
-        let slot = pool.pop().expect("bag size ≤ num_slots guarantees a free slot");
+        let slot = pool
+            .pop()
+            .expect("bag size ≤ num_slots guarantees a free slot");
         slot_of.insert(e, slot);
         introduced.push((e, slot));
     }
@@ -166,7 +182,9 @@ fn build(
         for &(e, _) in &leaving {
             slot_of.remove(&e);
         }
-        parts.push(build(a, td, adj, tuples_of, child, node, slot_of, num_slots));
+        parts.push(build(
+            a, td, adj, tuples_of, child, node, slot_of, num_slots,
+        ));
         for &(e, s) in &leaving {
             slot_of.insert(e, s);
         }
@@ -177,7 +195,10 @@ fn build(
     // irrelevant for ∃).
     for &(e, slot) in introduced.iter().rev() {
         slot_of.remove(&e);
-        formula = FoFormula::Exists { slot, body: Box::new(formula) };
+        formula = FoFormula::Exists {
+            slot,
+            body: Box::new(formula),
+        };
     }
     formula
 }
@@ -220,7 +241,10 @@ fn eval(f: &FoFormula, b: &Structure) -> SlotRelation {
                 }
                 rows.insert(out_slots.iter().map(|s| bound[s]).collect());
             }
-            SlotRelation { slots: out_slots, rows }
+            SlotRelation {
+                slots: out_slots,
+                rows,
+            }
         }
         FoFormula::And(parts) => {
             let mut acc = SlotRelation {
@@ -240,12 +264,8 @@ fn eval(f: &FoFormula, b: &Structure) -> SlotRelation {
             match inner.slots.iter().position(|s| s == slot) {
                 None => inner, // vacuous quantification
                 Some(idx) => {
-                    let slots: Vec<u8> = inner
-                        .slots
-                        .iter()
-                        .copied()
-                        .filter(|s| s != slot)
-                        .collect();
+                    let slots: Vec<u8> =
+                        inner.slots.iter().copied().filter(|s| s != slot).collect();
                     let rows = inner
                         .rows
                         .into_iter()
@@ -263,8 +283,12 @@ fn eval(f: &FoFormula, b: &Structure) -> SlotRelation {
 
 /// Natural join on shared slots.
 fn join(r1: SlotRelation, r2: SlotRelation) -> SlotRelation {
-    let shared: Vec<u8> =
-        r1.slots.iter().copied().filter(|s| r2.slots.contains(s)).collect();
+    let shared: Vec<u8> = r1
+        .slots
+        .iter()
+        .copied()
+        .filter(|s| r2.slots.contains(s))
+        .collect();
     let r2_only: Vec<usize> = (0..r2.slots.len())
         .filter(|&i| !r1.slots.contains(&r2.slots[i]))
         .collect();
@@ -299,7 +323,10 @@ fn join(r1: SlotRelation, r2: SlotRelation) -> SlotRelation {
             }
         }
     }
-    SlotRelation { slots: out_slots, rows }
+    SlotRelation {
+        slots: out_slots,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -347,7 +374,7 @@ mod tests {
             let c = generators::undirected_cycle(n);
             let q = fo_of(&c);
             assert_eq!(evaluate(&q, &k2), n % 2 == 0, "C{n} vs K2");
-            assert_eq!(evaluate(&q, &k3), true, "C{n} vs K3");
+            assert!(evaluate(&q, &k3), "C{n} vs K3");
         }
     }
 
@@ -357,11 +384,7 @@ mod tests {
             let a = generators::partial_ktree(8, 2, 0.75, seed);
             let b = generators::random_digraph(4, 0.45, seed + 777);
             let q = fo_of(&a);
-            assert_eq!(
-                evaluate(&q, &b),
-                homomorphism_exists(&a, &b),
-                "seed {seed}"
-            );
+            assert_eq!(evaluate(&q, &b), homomorphism_exists(&a, &b), "seed {seed}");
             assert!(q.num_slots <= 3);
         }
     }
@@ -378,7 +401,10 @@ mod tests {
     fn empty_structure_sentence_is_true() {
         let voc = generators::digraph_vocabulary();
         let empty = cqcs_structures::StructureBuilder::new(voc, 0).finish();
-        let td = TreeDecomposition { bags: vec![], edges: vec![] };
+        let td = TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        };
         let q = structure_to_fo(&empty, &td).unwrap();
         assert!(evaluate(&q, &generators::complete_graph(2)));
     }

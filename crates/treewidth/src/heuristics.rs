@@ -21,8 +21,7 @@ pub fn min_degree_order(g: &UndirectedGraph) -> Vec<usize> {
 /// elimination adds the fewest fill edges.
 pub fn min_fill_order(g: &UndirectedGraph) -> Vec<usize> {
     greedy_order(g, |adj, v, eliminated| {
-        let neighbors: Vec<usize> =
-            adj[v].iter().filter(|&u| !eliminated[u]).collect();
+        let neighbors: Vec<usize> = adj[v].iter().filter(|&u| !eliminated[u]).collect();
         let mut fill = 0usize;
         for (i, &a) in neighbors.iter().enumerate() {
             for &b in &neighbors[i + 1..] {
@@ -49,8 +48,7 @@ fn greedy_order(
             .min_by_key(|&v| score(&adj, v, &eliminated))
             .expect("some vertex remains");
         // Connect v's surviving neighbours into a clique.
-        let neighbors: Vec<usize> =
-            adj[v].iter().filter(|&u| !eliminated[u]).collect();
+        let neighbors: Vec<usize> = adj[v].iter().filter(|&u| !eliminated[u]).collect();
         for (i, &a) in neighbors.iter().enumerate() {
             for &b in &neighbors[i + 1..] {
                 adj[a].insert(b);
@@ -68,14 +66,14 @@ fn greedy_order(
 
 /// Builds a tree decomposition from an elimination order. The width of
 /// the result is the width of the order (max bag − 1).
-pub fn decomposition_from_elimination(
-    g: &UndirectedGraph,
-    order: &[usize],
-) -> TreeDecomposition {
+pub fn decomposition_from_elimination(g: &UndirectedGraph, order: &[usize]) -> TreeDecomposition {
     let n = g.len();
     assert_eq!(order.len(), n, "order must cover every vertex");
     if n == 0 {
-        return TreeDecomposition { bags: vec![], edges: vec![] };
+        return TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        };
     }
     let mut position = vec![0usize; n];
     for (i, &v) in order.iter().enumerate() {
@@ -86,8 +84,7 @@ pub fn decomposition_from_elimination(
     let mut bags: Vec<BitSet> = Vec::with_capacity(n);
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for (i, &v) in order.iter().enumerate() {
-        let later: Vec<usize> =
-            adj[v].iter().filter(|&u| position[u] > i).collect();
+        let later: Vec<usize> = adj[v].iter().filter(|&u| position[u] > i).collect();
         let mut bag = BitSet::new(n);
         bag.insert(v);
         for &u in &later {

@@ -28,8 +28,14 @@ fn main() {
         ("K4", generators::complete_graph(4)),
     ] {
         // Route 1: the uniform solver (Schaefer for K2, search for K3).
-        let two = solve(&g, &k2, Strategy::Auto).unwrap().homomorphism.is_some();
-        let three = solve(&g, &k3, Strategy::Auto).unwrap().homomorphism.is_some();
+        let two = solve(&g, &k2, Strategy::Auto)
+            .unwrap()
+            .homomorphism
+            .is_some();
+        let three = solve(&g, &k3, Strategy::Auto)
+            .unwrap()
+            .homomorphism
+            .is_some();
         // Route 2: the existential 3-pebble game (complete for K2).
         let game = match pebble_filter(&g, &k2, 3) {
             PebbleOutcome::DuplicatorWins => true,
@@ -37,7 +43,10 @@ fn main() {
         };
         // Route 3: the §4.1 Datalog program for NON-2-colorability.
         let datalog_no = eval_semi_naive(&program, &g).goal_derived;
-        assert_eq!(two, game, "Theorem 4.8: the 3-pebble game decides 2-coloring");
+        assert_eq!(
+            two, game,
+            "Theorem 4.8: the 3-pebble game decides 2-coloring"
+        );
         assert_eq!(two, !datalog_no, "the Datalog program agrees");
         println!(
             "{name:17}| {two:5} | {game:10} | {:13} | {three}",

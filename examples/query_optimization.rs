@@ -11,8 +11,7 @@
 //! Run with `cargo run --example query_optimization`.
 
 use cqcs::cq::{
-    contained_in, equivalent, evaluate, is_two_atom, minimize, parse_query,
-    two_atom_containment,
+    contained_in, equivalent, evaluate, is_two_atom, minimize, parse_query, two_atom_containment,
 };
 use cqcs::structures::{Element, StructureBuilder, Vocabulary};
 
@@ -49,16 +48,17 @@ fn main() {
     // Step 2: compare against the view catalog.
     let views = [
         ("citing_authors", "V(A) :- Author(A, P), Cites(P, R)."),
-        ("chain_authors", "V(A) :- Author(A, P), Cites(P, R), Cites(R, S)."),
+        (
+            "chain_authors",
+            "V(A) :- Author(A, P), Cites(P, R), Cites(R, S).",
+        ),
         ("self_citers", "V(A) :- Author(A, P), Cites(P, P)."),
     ];
     for (name, src) in views {
         let view = parse_query(src).unwrap();
         let fits = contained_in(&minimized, &view).unwrap();
         let exact = equivalent(&minimized, &view).unwrap();
-        println!(
-            "  view {name:15} contains incoming: {fits:5}  equivalent: {exact}"
-        );
+        println!("  view {name:15} contains incoming: {fits:5}  equivalent: {exact}");
     }
 
     // Step 3: Saraiya's fast path applies when the incoming query uses
@@ -67,7 +67,10 @@ fn main() {
     if is_two_atom(&minimized) {
         let fast = two_atom_containment(&minimized, &view).unwrap();
         let slow = contained_in(&minimized, &view).unwrap();
-        println!("\nSaraiya fast path: {fast} (generic agrees: {})", fast == slow);
+        println!(
+            "\nSaraiya fast path: {fast} (generic agrees: {})",
+            fast == slow
+        );
     }
 
     // Step 4: actually evaluate — containment was about *all*

@@ -9,8 +9,7 @@ use cqcs::structures::generators;
 fn main() {
     // ── Conjunctive-query containment ──────────────────────────────
     // Chandra–Merlin: Q1 ⊑ Q2 iff a homomorphism D_{Q2} → D_{Q1}.
-    let specific =
-        parse_query("Q(X) :- Cites(X, Y), Cites(Y, Z), Cites(Z, X).").unwrap();
+    let specific = parse_query("Q(X) :- Cites(X, Y), Cites(Y, Z), Cites(Z, X).").unwrap();
     let general = parse_query("Q(X) :- Cites(X, Y).").unwrap();
     println!("Q1 = {specific}");
     println!("Q2 = {general}");
@@ -30,7 +29,11 @@ fn main() {
     let c6 = generators::undirected_cycle(6);
     let k2 = generators::complete_graph(2);
     let sol = solve(&c6, &k2, Strategy::Auto).unwrap();
-    println!("\n2-coloring C6: route {:?}, colorable = {}", sol.route, sol.homomorphism.is_some());
+    println!(
+        "\n2-coloring C6: route {:?}, colorable = {}",
+        sol.route,
+        sol.homomorphism.is_some()
+    );
     assert_eq!(sol.route, Route::Schaefer);
 
     // CSP(C4) is 2-colorability in disguise (Example 3.8): the solver
@@ -38,7 +41,11 @@ fn main() {
     let c4 = generators::directed_cycle(4);
     let c8 = generators::directed_cycle(8);
     let sol = solve(&c8, &c4, Strategy::Auto).unwrap();
-    println!("hom(C8 → C4): route {:?}, exists = {}", sol.route, sol.homomorphism.is_some());
+    println!(
+        "hom(C8 → C4): route {:?}, exists = {}",
+        sol.route,
+        sol.homomorphism.is_some()
+    );
     assert_eq!(sol.route, Route::Booleanization);
 
     // A bounded-treewidth left structure dispatches to the §5 DP.

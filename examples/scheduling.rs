@@ -11,7 +11,14 @@
 use cqcs::core::{analyze, solve, Strategy};
 use cqcs::structures::{Constraint, CspInstance};
 
-const EXAMS: [&str; 6] = ["algebra", "biology", "chemistry", "databases", "english", "french"];
+const EXAMS: [&str; 6] = [
+    "algebra",
+    "biology",
+    "chemistry",
+    "databases",
+    "english",
+    "french",
+];
 const SLOTS: [&str; 4] = ["mon-am", "mon-pm", "tue-am", "tue-pm"];
 
 fn main() {
@@ -44,14 +51,18 @@ fn main() {
     let same_day = |s: usize| s / 2;
     let allowed: Vec<Vec<usize>> = (0..SLOTS.len().pow(3))
         .map(|i| vec![i % 4, (i / 4) % 4, (i / 16) % 4])
-        .filter(|t| {
-            !(same_day(t[0]) == same_day(t[1]) && same_day(t[1]) == same_day(t[2]))
-        })
+        .filter(|t| !(same_day(t[0]) == same_day(t[1]) && same_day(t[1]) == same_day(t[2])))
         .collect();
-    csp.add_constraint(Constraint::new(vec![0, 2, 4], allowed).unwrap()).unwrap();
+    csp.add_constraint(Constraint::new(vec![0, 2, 4], allowed).unwrap())
+        .unwrap();
 
     // The classic AI formulation…
-    println!("{} exams, {} slots, {} constraints", EXAMS.len(), SLOTS.len(), csp.constraints().len());
+    println!(
+        "{} exams, {} slots, {} constraints",
+        EXAMS.len(),
+        SLOTS.len(),
+        csp.constraints().len()
+    );
 
     // …is exactly a homomorphism instance (the paper's §2 observation).
     let (a, b) = csp.to_structures();
@@ -72,9 +83,11 @@ fn main() {
                 let slot = h.apply(cqcs::structures::Element::new(i)).index();
                 println!("  {exam:10} → {}", SLOTS[slot]);
             }
-            let assignment: Vec<usize> =
-                h.as_slice().iter().map(|e| e.index()).collect();
-            assert!(csp.check(&assignment), "solver output violates a constraint");
+            let assignment: Vec<usize> = h.as_slice().iter().map(|e| e.index()).collect();
+            assert!(
+                csp.check(&assignment),
+                "solver output violates a constraint"
+            );
         }
         None => println!("no feasible schedule"),
     }
@@ -90,7 +103,11 @@ fn main() {
     let sol2 = solve(&a2, &b2, Strategy::Auto).unwrap();
     println!(
         "\n6 mutually conflicting exams into 4 slots: {}",
-        if sol2.homomorphism.is_some() { "feasible?!" } else { "infeasible (pigeonhole)" }
+        if sol2.homomorphism.is_some() {
+            "feasible?!"
+        } else {
+            "infeasible (pigeonhole)"
+        }
     );
     assert!(sol2.homomorphism.is_none());
 }

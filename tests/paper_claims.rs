@@ -21,7 +21,10 @@ use cqcs::treewidth::heuristics::min_fill_decomposition;
 fn theorem_2_1_three_formulations() {
     let pairs = [
         ("Q(X) :- E(X, A), E(A, B), E(B, X).", "Q(X) :- E(X, A)."),
-        ("Q(X) :- E(X, A), E(A, X).", "Q(X) :- E(X, A), E(A, B), E(B, X)."),
+        (
+            "Q(X) :- E(X, A), E(A, X).",
+            "Q(X) :- E(X, A), E(A, B), E(B, X).",
+        ),
         ("Q :- E(A, B), E(B, C), E(C, A).", "Q :- E(A, B)."),
         ("Q(X, Y) :- E(X, Y).", "Q(Y, X) :- E(X, Y)."),
         ("Q :- E(A, B), E(B, A).", "Q :- E(A, A)."),
@@ -173,18 +176,38 @@ fn clique_non_uniformity_example() {
 #[test]
 fn dispatcher_correct_on_mixed_workload() {
     let mixed: Vec<(cqcs::structures::Structure, cqcs::structures::Structure)> = vec![
-        (generators::undirected_cycle(7), generators::complete_graph(2)),
-        (generators::undirected_cycle(8), generators::complete_graph(2)),
+        (
+            generators::undirected_cycle(7),
+            generators::complete_graph(2),
+        ),
+        (
+            generators::undirected_cycle(8),
+            generators::complete_graph(2),
+        ),
         (generators::directed_cycle(9), generators::directed_cycle(3)),
-        (generators::directed_path(5), generators::transitive_tournament(4)),
-        (generators::partial_ktree(9, 2, 0.8, 1), generators::complete_graph(3)),
-        (generators::random_graph_nm(8, 16, 2), generators::complete_graph(3)),
+        (
+            generators::directed_path(5),
+            generators::transitive_tournament(4),
+        ),
+        (
+            generators::partial_ktree(9, 2, 0.8, 1),
+            generators::complete_graph(3),
+        ),
+        (
+            generators::random_graph_nm(8, 16, 2),
+            generators::complete_graph(3),
+        ),
         (generators::grid_graph(2, 4), generators::complete_graph(2)),
     ];
     for (a, b) in &mixed {
         let expected = homomorphism_exists(a, b);
         let sol = solve(a, b, Strategy::Auto).unwrap();
-        assert_eq!(sol.homomorphism.is_some(), expected, "route {:?}", sol.route);
+        assert_eq!(
+            sol.homomorphism.is_some(),
+            expected,
+            "route {:?}",
+            sol.route
+        );
         if let Some(h) = &sol.homomorphism {
             assert!(cqcs::structures::is_homomorphism(h.as_slice(), a, b));
         }

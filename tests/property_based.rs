@@ -17,7 +17,10 @@ use std::collections::HashSet;
 
 /// Strategy: a small random digraph structure.
 fn digraph(max_n: usize, max_edges: usize) -> impl Strategy<Value = cqcs::structures::Structure> {
-    (1..=max_n, proptest::collection::vec((0..max_n as u32, 0..max_n as u32), 0..=max_edges))
+    (
+        1..=max_n,
+        proptest::collection::vec((0..max_n as u32, 0..max_n as u32), 0..=max_edges),
+    )
         .prop_map(|(n, edges)| {
             let voc = generators::digraph_vocabulary();
             let mut b = cqcs::structures::StructureBuilder::new(voc, n);
@@ -157,4 +160,99 @@ proptest! {
             prop_assert!(is_homomorphism(&composed, &a, &c));
         }
     }
+
+    /// Mixed-arity structures (unary + binary + ternary symbols): the
+    /// reference search, the option-toggled search, and the auto
+    /// dispatcher agree, and any found homomorphism checks out.
+    #[test]
+    fn solvers_agree_mixed_arity(
+        (a, b) in mixed_arity_pair(4, 3, 5),
+    ) {
+        let expected = homomorphism_exists(&a, &b);
+        if let Some(h) = find_homomorphism(&a, &b) {
+            prop_assert!(is_homomorphism(h.as_slice(), &a, &b));
+        }
+        let sol = solve(&a, &b, SolveStrategy::Auto).unwrap();
+        prop_assert_eq!(sol.homomorphism.is_some(), expected);
+        let (h, _) = backtracking_search(&a, &b, SearchOptions::default());
+        prop_assert_eq!(h.is_some(), expected);
+        // Arc consistency stays sound off the graph fragment too.
+        let ac = arc_consistent_domains(&a, &b);
+        if !ac.consistent {
+            prop_assert!(!expected);
+        }
+    }
+
+    /// The product of mixed-arity structures multiplies universes and
+    /// relation cardinalities exactly (distinct tuple pairs stay
+    /// distinct).
+    #[test]
+    fn product_cardinalities_mixed_arity(
+        (a, b) in mixed_arity_pair(3, 3, 4),
+    ) {
+        let p = direct_product(&a, &b);
+        prop_assert_eq!(p.universe(), a.universe() * b.universe());
+        for r in a.vocabulary().iter() {
+            let pr = p.vocabulary().lookup(a.vocabulary().name(r)).unwrap();
+            let br = b.vocabulary().lookup(a.vocabulary().name(r)).unwrap();
+            prop_assert_eq!(
+                p.relation(pr).len(),
+                a.relation(r).len() * b.relation(br).len()
+            );
+        }
+    }
+
+    /// Exact treewidth reproduces the textbook values on known
+    /// families: paths 1, cycles 2, cliques k-1, grids min(r, c).
+    #[test]
+    fn exact_treewidth_known_families(n in 3usize..=7, r in 2usize..=3, c in 2usize..=4) {
+        let path = cqcs::structures::gaifman_graph(&generators::undirected_path(n));
+        prop_assert_eq!(exact_treewidth(&path), 1);
+        let cycle = cqcs::structures::gaifman_graph(&generators::undirected_cycle(n));
+        prop_assert_eq!(exact_treewidth(&cycle), 2);
+        let clique = cqcs::structures::gaifman_graph(&generators::complete_graph(n));
+        prop_assert_eq!(exact_treewidth(&clique), n - 1);
+        let grid = cqcs::structures::gaifman_graph(&generators::grid_graph(r, c));
+        prop_assert_eq!(exact_treewidth(&grid), r.min(c));
+    }
+}
+
+/// Strategy: a pair of structures over a shared vocabulary
+/// `{U/1, E/2, T/3}`, hitting code paths the digraph-only strategies
+/// cannot (unary constraints, ternary constraint propagation).
+fn mixed_arity_pair(
+    max_na: usize,
+    max_nb: usize,
+    max_tuples: usize,
+) -> impl Strategy<Value = (cqcs::structures::Structure, cqcs::structures::Structure)> {
+    let build = move |n: usize, tuples: &[(u8, Vec<u32>)]| {
+        let mut voc = cqcs::structures::Vocabulary::new();
+        voc.add("U", 1).unwrap();
+        voc.add("E", 2).unwrap();
+        voc.add("T", 3).unwrap();
+        let voc = voc.into_shared();
+        let mut b = cqcs::structures::StructureBuilder::new(voc, n);
+        for (which, args) in tuples {
+            let name = ["U", "E", "T"][(*which % 3) as usize];
+            let arity = (*which % 3) as usize + 1;
+            let args: Vec<u32> = args
+                .iter()
+                .cycle()
+                .take(arity)
+                .map(|&v| v % n as u32)
+                .collect();
+            let _ = b.add_fact(name, &args);
+        }
+        b.finish()
+    };
+    (
+        1..=max_na,
+        proptest::collection::vec((any::<u8>(), proptest::collection::vec(0u32..8, 3)), 0..=12),
+        1..=max_nb,
+        proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(0u32..8, 3)),
+            0..=max_tuples * 3,
+        ),
+    )
+        .prop_map(move |(na, ta, nb, tb)| (build(na, &ta), build(nb, &tb)))
 }
