@@ -1,44 +1,97 @@
 //! E12 benches: design-choice ablations — search heuristics, AC
-//! preprocessing, and the Booleanization route against direct search.
+//! preprocessing, the propagation engine itself, and the Booleanization
+//! route against direct search.
 
 use cqcs_core::{backtracking_search, solve, SearchOptions, Strategy};
-use cqcs_structures::generators;
+use cqcs_pebble::consistency::{refine_domains, refine_domains_reference};
+use cqcs_pebble::propagator::Propagator;
+use cqcs_structures::{generators, BitSet, Element};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_search_heuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_search_heuristics");
     group.sample_size(10);
     let k3 = generators::complete_graph(3);
-    let g = generators::random_graph_nm(12, 22, 3);
-    for (name, opts) in [
-        (
-            "plain",
-            SearchOptions {
-                mrv: false,
-                mac: false,
-                ac_preprocess: false,
-            },
-        ),
-        (
-            "mrv",
-            SearchOptions {
-                mrv: true,
-                mac: false,
-                ac_preprocess: false,
-            },
-        ),
-        (
-            "mac",
-            SearchOptions {
-                mrv: false,
-                mac: true,
-                ac_preprocess: false,
-            },
-        ),
-        ("mrv_mac_ac", SearchOptions::default()),
-    ] {
-        group.bench_with_input(BenchmarkId::new(name, "G(12,22)→K3"), &g, |b, g| {
-            b.iter(|| backtracking_search(g, &k3, opts))
+    for &(n, m) in &[(12usize, 22usize), (20, 40)] {
+        let g = generators::random_graph_nm(n, m, 3);
+        for (name, opts) in [
+            (
+                "plain",
+                SearchOptions {
+                    mrv: false,
+                    mac: false,
+                    ac_preprocess: false,
+                },
+            ),
+            (
+                "mrv",
+                SearchOptions {
+                    mrv: true,
+                    mac: false,
+                    ac_preprocess: false,
+                },
+            ),
+            (
+                "mac",
+                SearchOptions {
+                    mrv: false,
+                    mac: true,
+                    ac_preprocess: false,
+                },
+            ),
+            ("mrv_mac_ac", SearchOptions::default()),
+        ] {
+            let id = format!("G({n},{m})→K3");
+            group.bench_with_input(BenchmarkId::new(name, id), &g, |b, g| {
+                b.iter(|| backtracking_search(g, &k3, opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_propagation_engine(c: &mut Criterion) {
+    // The hot inner loop in isolation: one full fixpoint from scratch
+    // (reference scan vs support-indexed engine), and the per-node MAC
+    // step (clone + full refine vs incremental assign/undo).
+    let mut group = c.benchmark_group("e12_propagation_engine");
+    group.sample_size(10);
+    let k3 = generators::complete_graph(3);
+    for &(n, m) in &[(20usize, 40usize), (40, 80)] {
+        let g = generators::random_graph_nm(n, m, 7);
+        let full = vec![BitSet::full(k3.universe()); g.universe()];
+        let id = format!("G({n},{m})→K3");
+        group.bench_with_input(BenchmarkId::new("fixpoint_reference", &id), &g, |bch, g| {
+            bch.iter(|| refine_domains_reference(g, &k3, full.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("fixpoint_indexed", &id), &g, |bch, g| {
+            bch.iter(|| refine_domains(g, &k3, full.clone()))
+        });
+        // Per-node step: narrow element 0 to each candidate in turn.
+        group.bench_with_input(BenchmarkId::new("node_clone_refine", &id), &g, |bch, g| {
+            let base = refine_domains(g, &k3, full.clone()).domains;
+            bch.iter(|| {
+                for v in 0..k3.universe() {
+                    let mut narrowed = base.to_vec();
+                    narrowed[0] = BitSet::new(k3.universe());
+                    narrowed[0].insert(v);
+                    let ac = refine_domains(g, &k3, narrowed);
+                    std::hint::black_box(ac.consistent);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("node_assign_undo", &id), &g, |bch, g| {
+            let mut prop = Propagator::new(g, &k3);
+            assert!(prop.establish());
+            // Only live candidates may be assigned (assign asserts it).
+            let candidates: Vec<usize> = prop.domain(Element(0)).iter().collect();
+            bch.iter(|| {
+                for &v in &candidates {
+                    let ok = prop.assign(Element(0), v);
+                    std::hint::black_box(ok);
+                    prop.undo();
+                }
+            })
         });
     }
     group.finish();
@@ -62,5 +115,10 @@ fn bench_booleanize_vs_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search_heuristics, bench_booleanize_vs_search);
+criterion_group!(
+    benches,
+    bench_search_heuristics,
+    bench_propagation_engine,
+    bench_booleanize_vs_search
+);
 criterion_main!(benches);

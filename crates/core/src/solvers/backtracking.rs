@@ -5,12 +5,19 @@
 //! improvements are toggleable so experiment E12 can measure them:
 //!
 //! * **MRV** — pick the unassigned element with the fewest candidates;
-//! * **MAC** — after each tentative assignment, re-establish hyperarc
-//!   consistency (via `cqcs-pebble`'s propagator) instead of only
-//!   checking fully-assigned tuples.
+//! * **MAC** — after each tentative assignment, maintain hyperarc
+//!   consistency via `cqcs-pebble`'s incremental [`Propagator`]:
+//!   `assign(x := v)` propagates only from the tuples through changed
+//!   elements, and `undo()` rolls the trail back in O(changed), instead
+//!   of cloning the full domain vector and refining from scratch at
+//!   every node.
+//!
+//! MAC implies arc-consistent starting domains (that is what
+//! "maintaining" means), so with `mac: true` the root domains are
+//! established once even when `ac_preprocess` is off.
 
-use cqcs_pebble::consistency::refine_domains;
-use cqcs_structures::{BitSet, Element, Homomorphism, Structure};
+use cqcs_pebble::propagator::Propagator;
+use cqcs_structures::{Element, Homomorphism, Structure};
 
 /// Search configuration (all on by default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,8 +45,12 @@ impl Default for SearchOptions {
 pub struct SearchStats {
     /// Assignments attempted.
     pub nodes: u64,
-    /// Dead ends hit.
+    /// Dead ends hit: exhausted candidate lists *and* MAC wipeouts.
     pub backtracks: u64,
+    /// Domain-value deletions performed by propagation *during this
+    /// search call* (0 unless AC preprocessing or MAC ran). A reused
+    /// propagator's earlier deletions are not re-counted.
+    pub deletions: u64,
 }
 
 /// Runs the search. Returns a homomorphism (if one exists) plus the
@@ -52,8 +63,28 @@ pub fn backtracking_search(
     b: &Structure,
     opts: SearchOptions,
 ) -> (Option<Homomorphism>, SearchStats) {
-    assert!(a.same_vocabulary(b), "search across different vocabularies");
+    let mut prop = Propagator::new(a, b);
+    backtracking_search_with(opts, &mut prop)
+}
+
+/// Runs the search on a caller-provided propagator, so a dispatcher
+/// that already established arc consistency (e.g. as a refutation
+/// prefilter) does not pay for it twice. The propagator must be fresh
+/// or at depth 0; it is returned to that state on exit.
+///
+/// # Panics
+/// Panics if the propagator has open assignment frames — the search
+/// unwinds to depth 0 on exit and must not pop a caller's own frames.
+pub fn backtracking_search_with(
+    opts: SearchOptions,
+    prop: &mut Propagator<'_>,
+) -> (Option<Homomorphism>, SearchStats) {
+    assert_eq!(prop.depth(), 0, "search requires a depth-0 propagator");
+    let (a, b) = (prop.left(), prop.right());
     let mut stats = SearchStats::default();
+    // The propagator's deletion counter is monotone across reuse;
+    // report only this call's delta.
+    let deletions_at_entry = prop.deletions() as u64;
 
     // 0-ary preconditions.
     for r in a.vocabulary().iter() {
@@ -68,16 +99,21 @@ pub fn backtracking_search(
         return (None, stats);
     }
 
-    let mut domains = vec![BitSet::full(b.universe()); a.universe()];
-    if opts.ac_preprocess {
-        let ac = refine_domains(a, b, domains);
-        if !ac.consistent {
+    if opts.ac_preprocess || opts.mac {
+        let consistent = prop.establish();
+        stats.deletions = prop.deletions() as u64 - deletions_at_entry;
+        if !consistent {
             return (None, stats);
         }
-        domains = ac.domains;
     }
     let mut assigned: Vec<Option<Element>> = vec![None; a.universe()];
-    let found = descend(a, b, &opts, &mut stats, &domains, &mut assigned);
+    let found = descend(a, b, &opts, &mut stats, prop, &mut assigned);
+    stats.deletions = prop.deletions() as u64 - deletions_at_entry;
+    // A successful descent returns early with its assign frames still
+    // open; unwind them so the propagator is reusable at depth 0.
+    while prop.depth() > 0 {
+        prop.undo();
+    }
     let hom = found.then(|| {
         let map: Vec<Element> = assigned
             .iter()
@@ -94,37 +130,43 @@ fn descend(
     b: &Structure,
     opts: &SearchOptions,
     stats: &mut SearchStats,
-    domains: &[BitSet],
+    prop: &mut Propagator<'_>,
     assigned: &mut Vec<Option<Element>>,
 ) -> bool {
-    // Pick the next variable.
+    // Pick the next variable (MRV reads live domain sizes in O(1)).
     let next = if opts.mrv {
         (0..a.universe())
             .filter(|&e| assigned[e].is_none())
-            .min_by_key(|&e| domains[e].len())
+            .min_by_key(|&e| prop.domain_size(Element::new(e)))
     } else {
         (0..a.universe()).find(|&e| assigned[e].is_none())
     };
     let Some(x) = next else { return true };
 
-    let candidates: Vec<usize> = domains[x].iter().collect();
+    let candidates: Vec<usize> = prop.domain(Element::new(x)).iter().collect();
     for v in candidates {
         stats.nodes += 1;
         assigned[x] = Some(Element(v as u32));
-        if !locally_consistent(a, b, assigned, Element(x as u32)) {
-            assigned[x] = None;
-            continue;
-        }
         if opts.mac {
-            let mut narrowed = domains.to_vec();
-            narrowed[x] = BitSet::new(b.universe());
-            narrowed[x].insert(v);
-            let ac = refine_domains(a, b, narrowed);
-            if ac.consistent && descend(a, b, opts, stats, &ac.domains, assigned) {
+            // Incremental propagation subsumes the fully-assigned
+            // tuple checks: every assigned element has a singleton
+            // domain, so a violated tuple wipes a domain out.
+            if prop.assign(Element::new(x), v) {
+                if descend(a, b, opts, stats, prop, assigned) {
+                    return true;
+                }
+            } else {
+                stats.backtracks += 1;
+            }
+            prop.undo();
+        } else {
+            if !locally_consistent(a, b, assigned, Element::new(x)) {
+                assigned[x] = None;
+                continue;
+            }
+            if descend(a, b, opts, stats, prop, assigned) {
                 return true;
             }
-        } else if descend(a, b, opts, stats, domains, assigned) {
-            return true;
         }
         assigned[x] = None;
     }
@@ -239,6 +281,56 @@ mod tests {
     }
 
     #[test]
+    fn mac_wipeouts_are_counted_as_backtracks() {
+        // Pinning any element of an odd cycle to a 2-coloring wipes
+        // out immediately: every MAC node is a dead end, and each must
+        // be counted (the pre-propagator solver dropped these).
+        let c9 = generators::undirected_cycle(9);
+        let k2 = generators::complete_graph(2);
+        let (h, stats) = backtracking_search(
+            &c9,
+            &k2,
+            SearchOptions {
+                mrv: false,
+                mac: true,
+                ac_preprocess: false,
+            },
+        );
+        assert!(h.is_none());
+        assert!(stats.nodes > 0);
+        assert!(
+            stats.backtracks >= stats.nodes,
+            "every node is a wipeout dead end plus the exhausted root: \
+             backtracks {} < nodes {}",
+            stats.backtracks,
+            stats.nodes
+        );
+        assert!(stats.deletions > 0, "propagation effort is recorded");
+    }
+
+    #[test]
+    fn deletions_accounting() {
+        let a = generators::undirected_cycle(6);
+        let b = generators::complete_graph(3);
+        // AC preprocessing alone on an already-consistent instance
+        // deletes nothing, and plain search propagates nothing.
+        let (_, stats) = backtracking_search(
+            &a,
+            &b,
+            SearchOptions {
+                mrv: false,
+                mac: false,
+                ac_preprocess: true,
+            },
+        );
+        assert_eq!(stats.deletions, 0);
+        // MAC search propagates per node; the effort shows up.
+        let (h, stats) = backtracking_search(&a, &b, SearchOptions::default());
+        assert!(h.is_some());
+        assert!(stats.deletions > 0, "MAC propagation effort is recorded");
+    }
+
+    #[test]
     fn empty_cases() {
         let voc = generators::digraph_vocabulary();
         let empty = cqcs_structures::StructureBuilder::new(voc, 0).finish();
@@ -263,5 +355,19 @@ mod tests {
             },
         );
         assert!(stats.nodes >= 6, "at least one node per element");
+    }
+
+    #[test]
+    fn search_reuses_an_established_propagator() {
+        let a = generators::random_graph_nm(10, 18, 4);
+        let b = generators::complete_graph(3);
+        let mut prop = Propagator::new(&a, &b);
+        assert!(prop.establish());
+        let (h1, _) = backtracking_search_with(SearchOptions::default(), &mut prop);
+        assert_eq!(prop.depth(), 0, "search unwinds its trail frames");
+        // The same propagator can be searched again.
+        let (h2, _) = backtracking_search_with(SearchOptions::default(), &mut prop);
+        assert_eq!(h1.is_some(), h2.is_some());
+        assert_eq!(h1.is_some(), homomorphism_exists(&a, &b));
     }
 }

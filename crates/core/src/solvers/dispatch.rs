@@ -11,14 +11,21 @@
 //!    encoded template lands in `SC` (as `C₄` does, Example 3.8, and as
 //!    Saraiya-style two-tuple templates do, Prop 3.6), solve the
 //!    Boolean instance and decode;
-//! 4. **Bounded treewidth `A`** (Theorem 5.4): DP over a min-fill
+//! 4. **Arc-consistency prefilter** (Theorem 4.7's approximation): one
+//!    incremental-propagator fixpoint; a wipeout refutes the instance
+//!    outright, and otherwise the established engine is reused by step
+//!    6 instead of being rebuilt;
+//! 5. **Bounded treewidth `A`** (Theorem 5.4): DP over a min-fill
 //!    decomposition when its width fits the budget;
-//! 5. **Generic search** with arc-consistency preprocessing — the
+//! 6. **Generic search** seeded with the prefilter's propagator — the
 //!    NP-side fallback the paper's results exist to avoid.
 
-use crate::solvers::backtracking::{backtracking_search, SearchOptions, SearchStats};
+use crate::solvers::backtracking::{
+    backtracking_search, backtracking_search_with, SearchOptions, SearchStats,
+};
 use cqcs_boolean::booleanize::booleanize;
 use cqcs_boolean::uniform::{schaefer_classes, solve_schaefer};
+use cqcs_pebble::propagator::Propagator;
 use cqcs_structures::{Element, Homomorphism, Structure};
 use cqcs_treewidth::acyclic::yannakakis;
 use cqcs_treewidth::dp::solve_with_decomposition;
@@ -50,6 +57,10 @@ pub enum Route {
     Booleanization,
     /// GYO + semijoins.
     Acyclic,
+    /// Refuted by (hyper)arc consistency alone — the pebble-game
+    /// approximation (Theorem 4.7) settled the instance before any
+    /// search or DP started.
+    ArcRefuted,
     /// Theorem 5.4 DP (with the width used).
     Treewidth(usize),
     /// Backtracking search.
@@ -63,7 +74,7 @@ pub struct Solution {
     pub homomorphism: Option<Homomorphism>,
     /// The route taken.
     pub route: Route,
-    /// Search statistics (only for the generic route).
+    /// Search statistics (for the generic and arc-refuted routes).
     pub stats: Option<SearchStats>,
 }
 
@@ -129,6 +140,21 @@ fn auto(a: &Structure, b: &Structure) -> Solution {
     if let Some(sol) = try_booleanize(a, b) {
         return sol;
     }
+    // Establish arc consistency once, up front: a wipeout refutes the
+    // instance before the treewidth DP or search spends anything, and
+    // otherwise the same propagator (support index, filtered domains)
+    // is handed to the generic search instead of being rebuilt.
+    let mut prop = Propagator::new(a, b);
+    if a.universe() > 0 && b.universe() > 0 && !prop.establish() {
+        return Solution {
+            homomorphism: None,
+            route: Route::ArcRefuted,
+            stats: Some(SearchStats {
+                deletions: prop.deletions() as u64,
+                ..SearchStats::default()
+            }),
+        };
+    }
     if a.universe() > 0 {
         let g = cqcs_structures::gaifman_graph(a);
         let td = min_fill_decomposition(&g);
@@ -142,7 +168,10 @@ fn auto(a: &Structure, b: &Structure) -> Solution {
             };
         }
     }
-    let (h, stats) = backtracking_search(a, b, SearchOptions::default());
+    let (h, mut stats) = backtracking_search_with(SearchOptions::default(), &mut prop);
+    // The search reports its own delta; fold the prefilter's establish
+    // deletions back in so the solution carries the whole solve's effort.
+    stats.deletions = prop.deletions() as u64;
     Solution {
         homomorphism: h,
         route: Route::Generic,
@@ -323,6 +352,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn arc_refuted_route_fires_before_search() {
+        use cqcs_structures::{StructureBuilder, Vocabulary};
+        use std::sync::Arc;
+        // Unary pins force a wipeout that AC alone detects; the dense
+        // binary part keeps every earlier route (Schaefer / acyclic /
+        // Booleanize / treewidth budget) from applying.
+        let voc = Vocabulary::from_symbols([("E", 2), ("P", 1), ("Q", 1)])
+            .unwrap()
+            .into_shared();
+        let mut ab = StructureBuilder::new(Arc::clone(&voc), 8);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                if i != j {
+                    ab.add_fact("E", &[i, j]).unwrap();
+                }
+            }
+        }
+        ab.add_fact("P", &[0]).unwrap();
+        let a = ab.finish();
+        // K3-like template: Booleanized K3 is not Schaefer (see
+        // `forced_routes_and_errors`), so that route stays closed too.
+        let mut bb = StructureBuilder::new(Arc::clone(&voc), 3);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                if i != j {
+                    bb.add_fact("E", &[i, j]).unwrap();
+                }
+            }
+        }
+        // P is empty in B: element 0 of A has no candidate image.
+        bb.add_fact("Q", &[0]).unwrap();
+        let b = bb.finish();
+        assert!(!homomorphism_exists(&a, &b));
+        let sol = solve(&a, &b, Strategy::Auto).unwrap();
+        assert_eq!(sol.route, Route::ArcRefuted);
+        assert!(sol.homomorphism.is_none());
+        let stats = sol.stats.unwrap();
+        assert!(stats.deletions > 0, "the refutation's effort is recorded");
+        assert_eq!(stats.nodes, 0, "no search node was ever expanded");
     }
 
     #[test]

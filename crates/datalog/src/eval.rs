@@ -23,7 +23,11 @@ pub struct EvalResult {
     pub facts: FactStore,
     /// Whether any fact of the goal predicate was derived.
     pub goal_derived: bool,
-    /// Fixpoint iterations performed.
+    /// Rule-application rounds performed. Both evaluators use the same
+    /// convention — every round actually executed is counted,
+    /// including naive evaluation's final no-change round and
+    /// semi-naive evaluation's seeding round — so the two figures are
+    /// directly comparable in experiment E12.
     pub iterations: usize,
     /// Total rule-body join attempts (a work measure for E12).
     pub join_work: usize,
@@ -100,7 +104,9 @@ pub fn eval_semi_naive(program: &Program, input: &Structure) -> EvalResult {
     let mut join_work = 0usize;
 
     // Round 0: rules whose bodies contain no IDB atom (including empty
-    // bodies).
+    // bodies). This seeding round is a rule-application round and is
+    // counted, matching the naive evaluator's every-round convention.
+    iterations += 1;
     let mut delta: FactStore = HashMap::new();
     for rule in &program.rules {
         if rule.body.iter().all(|a| !program.is_idb(a.pred)) {
@@ -421,6 +427,28 @@ mod tests {
         let mut sb = cqcs_structures::StructureBuilder::new(voc, 2);
         sb.add_fact("E", &[1, 1]).unwrap();
         assert!(eval_naive(&program, &sb.finish()).goal_derived);
+    }
+
+    #[test]
+    fn iteration_accounting_is_comparable() {
+        // Regression for the E12 accounting mismatch: naive counted
+        // its final no-change round while semi-naive skipped its
+        // seeding round, so the two `iterations` figures drifted by
+        // two. Under the unified every-round-performed convention they
+        // coincide on the canonical workloads.
+        let program = tc_program();
+        // 4-path: edges, length-2, length-3, then one no-change round.
+        let input = generators::directed_path(4);
+        let naive = eval_naive(&program, &input);
+        let semi = eval_semi_naive(&program, &input);
+        assert_eq!(naive.iterations, 4);
+        assert_eq!(semi.iterations, 4);
+        // 3-cycle: edges, length-2, loops, goal Q, then no change.
+        let input = generators::directed_cycle(3);
+        let naive = eval_naive(&program, &input);
+        let semi = eval_semi_naive(&program, &input);
+        assert_eq!(naive.iterations, 5);
+        assert_eq!(semi.iterations, 5);
     }
 
     #[test]

@@ -8,7 +8,14 @@
 //! general (incomplete), exactly like the Duplicator surviving the
 //! game. `cqcs-core`'s backtracking solver uses it both as
 //! preprocessing and (in MAC mode) during search.
+//!
+//! The entry points here are one-shot conveniences over the
+//! incremental [`Propagator`](crate::propagator::Propagator); the
+//! original re-scanning fixpoint loop survives as
+//! [`refine_domains_reference`], the executable specification the
+//! property suite checks the engine against.
 
+use crate::propagator::Propagator;
 use cqcs_structures::{BitSet, Structure};
 use std::collections::VecDeque;
 
@@ -34,9 +41,38 @@ pub fn arc_consistent_domains(a: &Structure, b: &Structure) -> ArcConsistency {
     refine_domains(a, b, domains)
 }
 
-/// Enforces hyperarc consistency starting from the given domains
-/// (used by MAC search after a tentative assignment).
-pub fn refine_domains(a: &Structure, b: &Structure, mut domains: Vec<BitSet>) -> ArcConsistency {
+/// Enforces hyperarc consistency starting from the given domains.
+///
+/// One-shot wrapper over the incremental
+/// [`Propagator`](crate::propagator::Propagator): builds the support
+/// index, seeds the full worklist, and runs to the fixpoint. Callers
+/// that refine repeatedly (MAC search) should hold a `Propagator` and
+/// use `assign`/`undo` instead.
+pub fn refine_domains(a: &Structure, b: &Structure, domains: Vec<BitSet>) -> ArcConsistency {
+    let mut p = Propagator::with_domains(a, b, domains);
+    let consistent = p.establish();
+    let deletions = p.deletions();
+    ArcConsistency {
+        domains: p.into_domains(),
+        consistent,
+        deletions,
+    }
+}
+
+/// The straightforward from-scratch refinement loop: re-enqueues every
+/// tuple of `A`, and rescans every tuple of `R^B` per revision with no
+/// support index.
+///
+/// Kept as the executable specification that the propagator is tested
+/// against (same fixpoint, verdict, and deletion count whenever
+/// consistent — on wipeout the pruning order, and hence the partially
+/// pruned domains, may differ), and as the baseline the ablation
+/// benches measure the incremental engine's speedup over.
+pub fn refine_domains_reference(
+    a: &Structure,
+    b: &Structure,
+    mut domains: Vec<BitSet>,
+) -> ArcConsistency {
     assert!(
         a.same_vocabulary(b),
         "arc consistency across different vocabularies"

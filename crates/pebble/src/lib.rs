@@ -11,14 +11,20 @@
 //!   cascade, the algorithmic content of Theorem 4.7(1);
 //! * [`consistency`] — (hyper)arc consistency, the practical pruning
 //!   companion used by the uniform solver in `cqcs-core`;
+//! * [`propagator`] — the incremental propagation engine behind it:
+//!   support-indexed revisions, a trail of domain deltas for
+//!   `assign`/`undo` in O(changed), and change-seeded worklists, so
+//!   MAC search never re-establishes consistency from scratch;
 //! * [`solver`] — the decision procedure of Theorem 4.9: `Spoiler wins ⟹
 //!   no homomorphism` always, and the converse exactly when co-CSP(B)
 //!   is expressible in k-Datalog (Theorem 4.8).
 
 pub mod consistency;
 pub mod game;
+pub mod propagator;
 pub mod solver;
 
-pub use consistency::{arc_consistent_domains, ArcConsistency};
+pub use consistency::{arc_consistent_domains, refine_domains, ArcConsistency};
 pub use game::{duplicator_wins, solve_game, Config, GameAnalysis};
+pub use propagator::Propagator;
 pub use solver::{pebble_filter, spoiler_wins, PebbleOutcome};

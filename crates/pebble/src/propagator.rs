@@ -1,0 +1,491 @@
+//! Incremental (hyper)arc-consistency propagation with an undo trail.
+//!
+//! [`Propagator`] is the engine behind MAC search in `cqcs-core` and
+//! the fast path of [`refine_domains`](crate::consistency::refine_domains).
+//! Compared to re-running the from-scratch refinement at every search
+//! node, it:
+//!
+//! 1. precomputes a [`SupportIndex`] over `B`'s tuples once per
+//!    instance, so a revision computes the *live witnesses* of an
+//!    `A`-tuple by bitset unions/intersections over tuple ids instead
+//!    of rescanning `R^B`;
+//! 2. maintains a **trail** of `(element, removed value)` deltas with
+//!    per-assignment frames, so search does `assign(x := v)` +
+//!    [`undo`](Propagator::undo) in O(changed) instead of cloning the
+//!    whole domain vector per node;
+//! 3. seeds its worklist only with the tuples through *changed*
+//!    elements — after [`establish`](Propagator::establish) reaches the
+//!    (unique) arc-consistency fixpoint, re-propagating from a single
+//!    narrowed domain visits only the affected part of `A`.
+//!
+//! Domains always sit at the arc-consistency fixpoint of the current
+//! assignment prefix (except transiently inside a failed `assign`,
+//! which the matching `undo` repairs), so MRV heuristics can read live
+//! domain sizes in O(1) via [`domain_size`](Propagator::domain_size).
+
+use cqcs_structures::{BitSet, Element, RelId, Structure, SupportIndex};
+use std::collections::VecDeque;
+
+/// Incremental arc-consistency engine over a fixed instance `(A, B)`.
+#[derive(Debug, Clone)]
+pub struct Propagator<'s> {
+    a: &'s Structure,
+    b: &'s Structure,
+    /// Built lazily on [`establish`](Propagator::establish) so plain
+    /// (non-MAC) searches pay nothing for it.
+    support: Option<SupportIndex>,
+    domains: Vec<BitSet>,
+    /// Cached `domains[e].len()` for O(1) MRV reads.
+    sizes: Vec<usize>,
+    /// `(element, removed value)` deltas, in removal order.
+    trail: Vec<(u32, u32)>,
+    /// Trail lengths at each open [`assign`](Propagator::assign) frame.
+    frames: Vec<usize>,
+    /// Monotone count of `(element, value)` deletions ever performed
+    /// (not decremented by `undo` — an effort measure, like
+    /// [`ArcConsistency::deletions`](crate::consistency::ArcConsistency)).
+    deletions: usize,
+    queue: VecDeque<(RelId, u32)>,
+    queued: Vec<Vec<bool>>,
+    /// Scratch: per-relation live-witness sets (capacity `|R^B|`).
+    live: Vec<BitSet>,
+    /// Scratch: per-relation witness-union accumulator.
+    acc: Vec<BitSet>,
+    /// Scratch: per-position supported-value sets (capacity `|B|`).
+    supported: Vec<BitSet>,
+    /// Scratch: values pruned by the current revision.
+    removed: Vec<u32>,
+    established: bool,
+}
+
+impl<'s> Propagator<'s> {
+    /// Creates a propagator with full domains.
+    ///
+    /// # Panics
+    /// Panics if the structures are over different vocabularies.
+    pub fn new(a: &'s Structure, b: &'s Structure) -> Self {
+        let full = BitSet::full(b.universe());
+        let domains = vec![full; a.universe()];
+        Self::with_domains(a, b, domains)
+    }
+
+    /// Creates a propagator starting from the given domains (each with
+    /// capacity `b.universe()`).
+    ///
+    /// # Panics
+    /// Panics if the structures are over different vocabularies or the
+    /// domain vector does not match `a`'s universe.
+    pub fn with_domains(a: &'s Structure, b: &'s Structure, domains: Vec<BitSet>) -> Self {
+        assert!(
+            a.same_vocabulary(b),
+            "arc consistency across different vocabularies"
+        );
+        assert_eq!(domains.len(), a.universe());
+        let sizes: Vec<usize> = domains.iter().map(BitSet::len).collect();
+        let queued = a
+            .vocabulary()
+            .iter()
+            .map(|r| vec![false; a.relation(r).len()])
+            .collect();
+        let (live, acc) = a
+            .vocabulary()
+            .iter()
+            .map(|r| {
+                let n = b.relation(r).len();
+                (BitSet::new(n), BitSet::new(n))
+            })
+            .unzip();
+        let supported = vec![BitSet::new(b.universe()); a.vocabulary().max_arity()];
+        Propagator {
+            a,
+            b,
+            support: None,
+            domains,
+            sizes,
+            trail: Vec::new(),
+            frames: Vec::new(),
+            deletions: 0,
+            queue: VecDeque::new(),
+            queued,
+            live,
+            acc,
+            supported,
+            removed: Vec::new(),
+            established: false,
+        }
+    }
+
+    /// The instance's left structure.
+    pub fn left(&self) -> &'s Structure {
+        self.a
+    }
+
+    /// The instance's right (template) structure.
+    pub fn right(&self) -> &'s Structure {
+        self.b
+    }
+
+    /// Current domain of an element.
+    #[inline]
+    pub fn domain(&self, e: Element) -> &BitSet {
+        &self.domains[e.index()]
+    }
+
+    /// Current domain size of an element, O(1).
+    #[inline]
+    pub fn domain_size(&self, e: Element) -> usize {
+        self.sizes[e.index()]
+    }
+
+    /// All current domains.
+    pub fn domains(&self) -> &[BitSet] {
+        &self.domains
+    }
+
+    /// Consumes the propagator, yielding the domains.
+    pub fn into_domains(self) -> Vec<BitSet> {
+        self.domains
+    }
+
+    /// Total `(element, value)` deletions performed so far (monotone;
+    /// not decremented by [`undo`](Propagator::undo)).
+    pub fn deletions(&self) -> usize {
+        self.deletions
+    }
+
+    /// Number of open assignment frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether every domain is nonempty.
+    pub fn is_consistent(&self) -> bool {
+        self.sizes.iter().all(|&s| s > 0)
+    }
+
+    /// Runs propagation to the arc-consistency fixpoint from the
+    /// current domains, seeding the worklist with **every** tuple of
+    /// `A`. Returns whether all domains are still nonempty. Idempotent:
+    /// repeated calls after the first are O(1).
+    pub fn establish(&mut self) -> bool {
+        if self.established {
+            return self.is_consistent();
+        }
+        self.established = true;
+        if self.support.is_none() {
+            self.support = Some(SupportIndex::build(self.b));
+        }
+        // 0-ary relations: a missing fact in B is a global wipeout.
+        for r in self.a.vocabulary().iter() {
+            if self.a.vocabulary().arity(r) == 0
+                && !self.a.relation(r).is_empty()
+                && self.b.relation(r).is_empty()
+            {
+                for (e, d) in self.domains.iter_mut().enumerate() {
+                    for v in d.iter() {
+                        self.trail.push((e as u32, v as u32));
+                    }
+                    self.deletions += self.sizes[e];
+                    self.sizes[e] = 0;
+                    d.clear();
+                }
+                return self.is_consistent();
+            }
+        }
+        for r in self.a.vocabulary().iter() {
+            if self.a.vocabulary().arity(r) == 0 {
+                continue;
+            }
+            for t in 0..self.a.relation(r).len() {
+                self.queued[r.index()][t] = true;
+                self.queue.push_back((r, t as u32));
+            }
+        }
+        self.run_queue() && self.is_consistent()
+    }
+
+    /// Tentatively assigns `x := v`: opens a trail frame, narrows
+    /// `dom(x)` to `{v}`, and propagates from the tuples through `x`
+    /// only. Returns `false` on wipeout (some domain emptied); in
+    /// either case the matching [`undo`](Propagator::undo) restores the
+    /// pre-assignment domains exactly.
+    ///
+    /// Call [`establish`](Propagator::establish) once before the first
+    /// `assign` so the starting point is a fixpoint.
+    ///
+    /// # Panics
+    /// Panics if [`establish`](Propagator::establish) has not run, or
+    /// if `v` is not in `dom(x)` — assigning a pruned value would
+    /// silently corrupt the size cache, so the checks are kept in
+    /// release builds too (both are O(1)).
+    pub fn assign(&mut self, x: Element, v: usize) -> bool {
+        assert!(self.established, "assign before establish");
+        assert!(
+            self.domains[x.index()].contains(v),
+            "assigning pruned value {v} to {x:?}"
+        );
+        self.frames.push(self.trail.len());
+        let xi = x.index();
+        if self.sizes[xi] > 1 {
+            let mut removed = std::mem::take(&mut self.removed);
+            removed.clear();
+            removed.extend(
+                self.domains[xi]
+                    .iter()
+                    .filter(|&u| u != v)
+                    .map(|u| u as u32),
+            );
+            for &u in &removed {
+                self.domains[xi].remove(u as usize);
+                self.trail.push((x.0, u));
+            }
+            self.deletions += removed.len();
+            self.sizes[xi] = 1;
+            self.removed = removed;
+            self.enqueue_occurrences(x);
+        }
+        self.run_queue()
+    }
+
+    /// Rolls back the most recent [`assign`](Propagator::assign),
+    /// restoring every domain it narrowed.
+    ///
+    /// # Panics
+    /// Panics if there is no open frame.
+    pub fn undo(&mut self) {
+        let mark = self.frames.pop().expect("undo without a matching assign");
+        while self.trail.len() > mark {
+            let (e, v) = self.trail.pop().expect("trail at least mark deep");
+            if self.domains[e as usize].insert(v as usize) {
+                self.sizes[e as usize] += 1;
+            }
+        }
+    }
+
+    fn enqueue_occurrences(&mut self, e: Element) {
+        for &(r, t) in self.a.occurrences(e) {
+            if !self.queued[r.index()][t as usize] {
+                self.queued[r.index()][t as usize] = true;
+                self.queue.push_back((r, t));
+            }
+        }
+    }
+
+    /// Drains the worklist; on wipeout, clears it (and the queued
+    /// flags) and reports `false`.
+    fn run_queue(&mut self) -> bool {
+        while let Some((r, t)) = self.queue.pop_front() {
+            self.queued[r.index()][t as usize] = false;
+            if !self.revise(r, t) {
+                for &(r2, t2) in &self.queue {
+                    self.queued[r2.index()][t2 as usize] = false;
+                }
+                self.queue.clear();
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Revises one `A`-tuple: computes its live witnesses in `R^B` via
+    /// the support index, intersects each element's domain with the
+    /// values those witnesses supply, and enqueues the tuples through
+    /// any element that shrank. Returns `false` if a domain emptied.
+    fn revise(&mut self, r: RelId, t: u32) -> bool {
+        let support = self.support.as_ref().expect("established before revise");
+        let tuple = self.a.relation(r).tuple(t as usize);
+        let arity = tuple.len();
+        let ri = r.index();
+
+        // live = ∩_p ⋃_{v ∈ dom(e_p)} supports(r, p, v)
+        let mut live = std::mem::take(&mut self.live[ri]);
+        let mut acc = std::mem::take(&mut self.acc[ri]);
+        live.insert_all();
+        for (p, &e) in tuple.iter().enumerate() {
+            if live.is_empty() {
+                break;
+            }
+            acc.clear();
+            for v in self.domains[e.index()].iter() {
+                acc.union_with(support.supports(r, p, v));
+            }
+            live.intersect_with(&acc);
+        }
+
+        // supported[p] = {w[p] : w live}
+        let brel = self.b.relation(r);
+        for s in self.supported.iter_mut().take(arity) {
+            s.clear();
+        }
+        for w in live.iter() {
+            for (p, &bv) in brel.tuple(w).iter().enumerate() {
+                self.supported[p].insert(bv.index());
+            }
+        }
+        self.live[ri] = live;
+        self.acc[ri] = acc;
+
+        // Intersect each element's domain with its supported set,
+        // trailing every removal so `undo` can restore it.
+        let mut ok = true;
+        let mut removed = std::mem::take(&mut self.removed);
+        for (p, &e) in tuple.iter().enumerate() {
+            let ei = e.index();
+            removed.clear();
+            removed.extend(
+                self.domains[ei]
+                    .iter()
+                    .filter(|&v| !self.supported[p].contains(v))
+                    .map(|v| v as u32),
+            );
+            if removed.is_empty() {
+                continue;
+            }
+            for &v in &removed {
+                self.domains[ei].remove(v as usize);
+                self.trail.push((e.0, v));
+            }
+            self.deletions += removed.len();
+            self.sizes[ei] -= removed.len();
+            if self.sizes[ei] == 0 {
+                ok = false;
+                break;
+            }
+            self.enqueue_occurrences(e);
+        }
+        self.removed = removed;
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::{arc_consistent_domains, refine_domains_reference};
+    use cqcs_structures::generators;
+    use cqcs_structures::homomorphism::homomorphism_exists;
+
+    #[test]
+    fn establish_matches_reference_fixpoint() {
+        for seed in 0..30u64 {
+            let a = generators::random_digraph(7, 0.3, seed);
+            let b = generators::random_digraph(4, 0.3, seed + 500);
+            let full = vec![BitSet::full(b.universe()); a.universe()];
+            let reference = refine_domains_reference(&a, &b, full);
+            let mut p = Propagator::new(&a, &b);
+            let ok = p.establish();
+            assert_eq!(ok, reference.consistent, "seed {seed}");
+            if reference.consistent {
+                assert_eq!(p.domains(), &reference.domains[..], "seed {seed}");
+                assert_eq!(p.deletions(), reference.deletions, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_matches_scratch_refinement() {
+        // After establish, assign(x := v) must land on the same
+        // fixpoint as a from-scratch refinement of the narrowed
+        // domains — the incremental worklist loses nothing.
+        for seed in 0..20u64 {
+            let a = generators::random_digraph(6, 0.35, seed);
+            let b = generators::random_digraph(3, 0.5, seed + 900);
+            let mut p = Propagator::new(&a, &b);
+            if !p.establish() {
+                continue;
+            }
+            let base = p.domains().to_vec();
+            for x in a.elements() {
+                for v in base[x.index()].clone().iter() {
+                    let mut narrowed = base.clone();
+                    narrowed[x.index()].clear();
+                    narrowed[x.index()].insert(v);
+                    let reference = refine_domains_reference(&a, &b, narrowed);
+                    let ok = p.assign(x, v);
+                    assert_eq!(ok, reference.consistent, "seed {seed} {x:?}:={v}");
+                    if ok {
+                        assert_eq!(
+                            p.domains(),
+                            &reference.domains[..],
+                            "seed {seed} {x:?}:={v}"
+                        );
+                    }
+                    p.undo();
+                    assert_eq!(p.domains(), &base[..], "undo restores, seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_assign_undo_restores_exactly() {
+        let a = generators::random_graph_nm(8, 14, 5);
+        let b = generators::complete_graph(3);
+        let mut p = Propagator::new(&a, &b);
+        assert!(p.establish());
+        let snap0 = p.domains().to_vec();
+        assert!(p.assign(Element(0), p.domain(Element(0)).min().unwrap()));
+        let snap1 = p.domains().to_vec();
+        let v1 = p.domain(Element(1)).min().unwrap();
+        let _ = p.assign(Element(1), v1);
+        let v2 = p.domain(Element(2)).min();
+        if let Some(v2) = v2 {
+            let _ = p.assign(Element(2), v2);
+            p.undo();
+        }
+        p.undo();
+        assert_eq!(p.domains(), &snap1[..]);
+        p.undo();
+        assert_eq!(p.domains(), &snap0[..]);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn wipeout_is_sound_and_undoable() {
+        // C9 → K2: arc consistent until any element is pinned.
+        let c9 = generators::undirected_cycle(9);
+        let k2 = generators::complete_graph(2);
+        let mut p = Propagator::new(&c9, &k2);
+        assert!(p.establish());
+        let snap = p.domains().to_vec();
+        for v in 0..2 {
+            assert!(!p.assign(Element(0), v), "odd cycle pinned must wipe out");
+            p.undo();
+            assert_eq!(p.domains(), &snap[..]);
+        }
+        assert!(!homomorphism_exists(&c9, &k2));
+    }
+
+    #[test]
+    fn zero_ary_wipeout() {
+        use cqcs_structures::{StructureBuilder, Vocabulary};
+        use std::sync::Arc;
+        let voc = Vocabulary::from_symbols([("S", 0), ("E", 2)])
+            .unwrap()
+            .into_shared();
+        let mut ab = StructureBuilder::new(Arc::clone(&voc), 2);
+        ab.add_fact("S", &[]).unwrap();
+        ab.add_fact("E", &[0, 1]).unwrap();
+        let a = ab.finish();
+        let b = StructureBuilder::new(Arc::clone(&voc), 2).finish();
+        let mut p = Propagator::new(&a, &b);
+        assert!(!p.establish());
+        assert_eq!(p.deletions(), 4, "both full domains cleared");
+    }
+
+    #[test]
+    fn mixed_arity_establish_matches_reference() {
+        for seed in 0..20u64 {
+            let a = generators::random_structure(5, &[1, 2, 3], 8, seed);
+            let b = generators::random_structure_over(a.vocabulary(), 3, 9, seed + 70);
+            let full = vec![BitSet::full(b.universe()); a.universe()];
+            let reference = refine_domains_reference(&a, &b, full);
+            let fast = arc_consistent_domains(&a, &b);
+            assert_eq!(fast.consistent, reference.consistent, "seed {seed}");
+            if reference.consistent {
+                assert_eq!(fast.domains, reference.domains, "seed {seed}");
+                assert_eq!(fast.deletions, reference.deletions, "seed {seed}");
+            }
+        }
+    }
+}

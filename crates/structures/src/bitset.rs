@@ -98,6 +98,16 @@ impl BitSet {
         }
     }
 
+    /// Inserts every value in `0..capacity` (the in-place analogue of
+    /// [`BitSet::full`], so hot loops can reset a scratch set without
+    /// reallocating).
+    pub fn insert_all(&mut self) {
+        for b in &mut self.blocks {
+            *b = u64::MAX;
+        }
+        self.trim();
+    }
+
     /// In-place union: `self ∪= other`.
     pub fn union_with(&mut self, other: &BitSet) {
         debug_assert_eq!(self.capacity, other.capacity);
@@ -157,6 +167,14 @@ impl BitSet {
             block: 0,
             bits: self.blocks.first().copied().unwrap_or(0),
         }
+    }
+}
+
+impl Default for BitSet {
+    /// The empty set with capacity 0 (useful as a `mem::take`
+    /// placeholder in hot loops).
+    fn default() -> Self {
+        BitSet::new(0)
     }
 }
 
@@ -274,6 +292,19 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn insert_all_matches_full() {
+        for cap in [0, 1, 63, 64, 65, 130] {
+            let mut s = BitSet::new(cap);
+            if cap > 0 {
+                s.insert(cap - 1);
+            }
+            s.insert_all();
+            assert_eq!(s, BitSet::full(cap), "capacity {cap}");
+            assert_eq!(s.len(), cap);
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod incidence;
 pub mod product;
 pub mod structure;
 pub mod sum;
+pub mod support;
 pub mod vocabulary;
 
 pub use binary_encoding::{binary_encode, binary_encode_optimized};
@@ -54,4 +55,5 @@ pub use incidence::incidence_graph;
 pub use product::direct_product;
 pub use structure::{Element, Relation, Structure, StructureBuilder};
 pub use sum::{structure_sum, SumVocabulary};
+pub use support::SupportIndex;
 pub use vocabulary::{RelId, Vocabulary};

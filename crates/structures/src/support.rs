@@ -1,0 +1,122 @@
+//! Per-`(relation, position, value)` support indexes over a structure's
+//! tuples.
+//!
+//! A [`SupportIndex`] over a target structure `B` answers, in O(1), the
+//! question "which tuples of `R^B` have value `v` at position `p`?" —
+//! as a [`BitSet`] over tuple ids, so that propagation engines can
+//! compute the *live witnesses* of a constraint by bitwise union and
+//! intersection instead of rescanning `R^B`. This is the same data as
+//! [`Relation::tuples_with`](crate::Relation::tuples_with) in set form,
+//! built once per solve next to the per-element `occurrences` lists the
+//! paper's Theorem 3.4 preprocessing stage constructs.
+
+use crate::bitset::BitSet;
+use crate::structure::{Element, Structure};
+use crate::vocabulary::RelId;
+
+/// Bitset-valued inverted index: `(relation, position, value) → tuple
+/// ids`.
+#[derive(Debug, Clone)]
+pub struct SupportIndex {
+    /// `per_rel[r][p][v]` = ids of tuples `w ∈ R` with `w[p] = v`.
+    per_rel: Vec<Vec<Vec<BitSet>>>,
+    /// `|R|` per relation, the capacity of each tuple-id bitset.
+    tuple_counts: Vec<usize>,
+}
+
+impl SupportIndex {
+    /// Builds the index over every relation of `s`.
+    pub fn build(s: &Structure) -> SupportIndex {
+        let universe = s.universe();
+        let mut per_rel = Vec::with_capacity(s.vocabulary().len());
+        let mut tuple_counts = Vec::with_capacity(s.vocabulary().len());
+        for r in s.vocabulary().iter() {
+            let rel = s.relation(r);
+            let ntuples = rel.len();
+            let mut positions = Vec::with_capacity(rel.arity());
+            for p in 0..rel.arity() {
+                let mut by_value = vec![BitSet::new(ntuples); universe];
+                for (v, bits) in by_value.iter_mut().enumerate() {
+                    for &t in rel.tuples_with(p, Element::new(v)) {
+                        bits.insert(t as usize);
+                    }
+                }
+                positions.push(by_value);
+            }
+            per_rel.push(positions);
+            tuple_counts.push(ntuples);
+        }
+        SupportIndex {
+            per_rel,
+            tuple_counts,
+        }
+    }
+
+    /// Ids of tuples of relation `r` whose `pos`-th component is
+    /// `value`, as a bitset over `0..tuple_count(r)`.
+    #[inline]
+    pub fn supports(&self, r: RelId, pos: usize, value: usize) -> &BitSet {
+        &self.per_rel[r.index()][pos][value]
+    }
+
+    /// Number of tuples in relation `r` (the capacity of its support
+    /// bitsets).
+    #[inline]
+    pub fn tuple_count(&self, r: RelId) -> usize {
+        self.tuple_counts[r.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn index_agrees_with_tuples_with() {
+        let s = generators::random_digraph(6, 0.4, 11);
+        let idx = SupportIndex::build(&s);
+        for r in s.vocabulary().iter() {
+            let rel = s.relation(r);
+            assert_eq!(idx.tuple_count(r), rel.len());
+            for p in 0..rel.arity() {
+                for v in 0..s.universe() {
+                    let from_vec: Vec<usize> = rel
+                        .tuples_with(p, Element::new(v))
+                        .iter()
+                        .map(|&t| t as usize)
+                        .collect();
+                    let from_bits: Vec<usize> = idx.supports(r, p, v).iter().collect();
+                    assert_eq!(from_bits, from_vec, "relation {r:?} pos {p} value {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_tuple_indexed_once_per_position() {
+        let s = generators::random_structure(5, &[1, 2, 3], 7, 3);
+        let idx = SupportIndex::build(&s);
+        for r in s.vocabulary().iter() {
+            let rel = s.relation(r);
+            for p in 0..rel.arity() {
+                let total: usize = (0..s.universe()).map(|v| idx.supports(r, p, v).len()).sum();
+                assert_eq!(total, rel.len(), "partition of tuple ids by value");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_has_empty_supports() {
+        let voc = generators::digraph_vocabulary();
+        let s = crate::StructureBuilder::new(voc, 3).finish();
+        let idx = SupportIndex::build(&s);
+        let e = s.vocabulary().lookup("E").unwrap();
+        assert_eq!(idx.tuple_count(e), 0);
+        for p in 0..2 {
+            for v in 0..3 {
+                assert!(idx.supports(e, p, v).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Fails if the committed EXPERIMENTS.md has rotted: regenerates every
+# table with the experiments binary and diffs against the committed
+# copy. Every count, verdict, and route is seeded and deterministic;
+# only timing cells vary by machine, so all floats are masked on both
+# sides before diffing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+regen="$(mktemp)"
+trap 'rm -f "$regen"' EXIT
+cargo run -q -p cqcs-bench --release --bin experiments > "$regen"
+
+mask() { sed -E 's/[0-9]+\.[0-9]+/<float>/g' "$1"; }
+if ! diff -u <(mask EXPERIMENTS.md) <(mask "$regen"); then
+  echo >&2
+  echo "EXPERIMENTS.md is stale. Regenerate it with:" >&2
+  echo "  cargo run -p cqcs-bench --release --bin experiments > EXPERIMENTS.md" >&2
+  exit 1
+fi
+echo "EXPERIMENTS.md is fresh."

@@ -4,7 +4,8 @@ use cqcs::boolean::booleanize::booleanize;
 use cqcs::boolean::relation::BooleanRelation;
 use cqcs::boolean::schaefer;
 use cqcs::core::{backtracking_search, solve, SearchOptions, Strategy as SolveStrategy};
-use cqcs::pebble::consistency::arc_consistent_domains;
+use cqcs::pebble::consistency::{arc_consistent_domains, refine_domains, refine_domains_reference};
+use cqcs::pebble::propagator::Propagator;
 use cqcs::structures::homomorphism::{find_homomorphism, homomorphism_exists};
 use cqcs::structures::product::{direct_product, projections};
 use cqcs::structures::{generators, is_homomorphism, BitSet};
@@ -180,6 +181,110 @@ proptest! {
         let ac = arc_consistent_domains(&a, &b);
         if !ac.consistent {
             prop_assert!(!expected);
+        }
+    }
+
+    /// The incremental propagator is a drop-in for the reference
+    /// from-scratch refinement on arbitrary mixed-arity instances and
+    /// arbitrary (possibly already restricted) starting domains: the
+    /// consistency verdict always agrees, and whenever consistent the
+    /// final domains and the deletion count match exactly. (On wipeout
+    /// the pruning order, and hence the partially pruned domains, may
+    /// legitimately differ.)
+    #[test]
+    fn propagator_matches_reference_refinement(
+        (a, b) in mixed_arity_pair(4, 3, 6),
+        masks in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let full = BitSet::full(b.universe());
+        let domains: Vec<BitSet> = (0..a.universe())
+            .map(|e| {
+                let mut d = BitSet::new(b.universe());
+                for v in 0..b.universe() {
+                    if masks[e % masks.len()] & (1 << (v % 64)) != 0 {
+                        d.insert(v);
+                    }
+                }
+                if d.is_empty() { full.clone() } else { d }
+            })
+            .collect();
+        let reference = refine_domains_reference(&a, &b, domains.clone());
+        let fast = refine_domains(&a, &b, domains);
+        prop_assert_eq!(fast.consistent, reference.consistent);
+        if reference.consistent {
+            prop_assert_eq!(&fast.domains, &reference.domains);
+            prop_assert_eq!(fast.deletions, reference.deletions);
+        }
+    }
+
+    /// Incremental `assign`/`undo` on the propagator reaches exactly
+    /// the fixpoint a from-scratch refinement of the narrowed domains
+    /// reaches, and `undo` restores the previous state bit for bit.
+    #[test]
+    fn propagator_assign_undo_is_exact(
+        (a, b) in mixed_arity_pair(4, 3, 6),
+        picks in proptest::collection::vec((0usize..8, 0usize..8), 1..4),
+    ) {
+        let mut prop = Propagator::new(&a, &b);
+        if !prop.establish() {
+            return Ok(());
+        }
+        let mut snapshots: Vec<Vec<BitSet>> = vec![prop.domains().to_vec()];
+        for (xe, vv) in picks {
+            let x = cqcs::structures::Element::new(xe % a.universe());
+            let dom = prop.domain(x);
+            if dom.is_empty() {
+                break;
+            }
+            let v = dom.iter().nth(vv % dom.len()).unwrap();
+            // From-scratch reference on the same narrowing.
+            let mut narrowed = prop.domains().to_vec();
+            narrowed[x.index()].clear();
+            narrowed[x.index()].insert(v);
+            let reference = refine_domains_reference(&a, &b, narrowed);
+            let ok = prop.assign(x, v);
+            prop_assert_eq!(ok, reference.consistent);
+            if !ok {
+                prop.undo();
+                prop_assert_eq!(prop.domains(), &snapshots.last().unwrap()[..]);
+                continue;
+            }
+            prop_assert_eq!(prop.domains(), &reference.domains[..]);
+            snapshots.push(prop.domains().to_vec());
+        }
+        while prop.depth() > 0 {
+            prop.undo();
+        }
+        prop_assert_eq!(prop.domains(), &snapshots[0][..]);
+    }
+
+    /// All eight `SearchOptions` combinations agree with the reference
+    /// decision procedure on mixed-arity instances, and any witness
+    /// they produce is a real homomorphism.
+    #[test]
+    fn search_option_combos_agree(
+        (a, b) in mixed_arity_pair(4, 3, 6),
+    ) {
+        let expected = homomorphism_exists(&a, &b);
+        for mrv in [false, true] {
+            for mac in [false, true] {
+                for ac_preprocess in [false, true] {
+                    let opts = SearchOptions { mrv, mac, ac_preprocess };
+                    let (h, stats) = backtracking_search(&a, &b, opts);
+                    prop_assert_eq!(h.is_some(), expected, "opts {:?}", opts);
+                    if let Some(h) = h {
+                        prop_assert!(is_homomorphism(h.as_slice(), &a, &b));
+                    }
+                    if !expected && (mac || ac_preprocess) {
+                        // A refuted MAC/AC run must report its effort.
+                        prop_assert!(
+                            stats.nodes + stats.backtracks + stats.deletions > 0
+                                || a.universe() == 0
+                                || b.universe() == 0
+                        );
+                    }
+                }
+            }
         }
     }
 
