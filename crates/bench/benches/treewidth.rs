@@ -1,11 +1,17 @@
 //! E8 bench: the bounded-treewidth DP (Theorem 5.4) vs generic search,
-//! and the ∃FO^{k+1} evaluation route of Lemma 5.2.
+//! and the ∃FO^{k+1} evaluation route of Lemma 5.2; plus the exact
+//! treewidth oracles (E13): subset DP vs branch and bound, and the
+//! cached min-fill order vs its from-scratch reference.
 
 use cqcs_core::{backtracking_search, SearchOptions};
 use cqcs_structures::{gaifman_graph, generators};
+use cqcs_treewidth::bb::bb_treewidth;
 use cqcs_treewidth::dp::homomorphism_via_treewidth;
+use cqcs_treewidth::exact::dp_treewidth;
 use cqcs_treewidth::fo::{evaluate, structure_to_fo};
-use cqcs_treewidth::heuristics::min_fill_decomposition;
+use cqcs_treewidth::heuristics::{
+    min_fill_decomposition, min_fill_order, min_fill_order_reference,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_dp_vs_search(c: &mut Criterion) {
@@ -46,5 +52,51 @@ fn bench_fo_route(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dp_vs_search, bench_fo_route);
+fn bench_exact_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_exact_treewidth");
+    group.sample_size(10);
+    // Head-to-head below the DP ceiling.
+    for n in [12usize, 16] {
+        let g = gaifman_graph(&generators::random_graph_nm(n, 2 * n, 7));
+        group.bench_with_input(BenchmarkId::new("subset_dp", n), &g, |bench, g| {
+            bench.iter(|| dp_treewidth(g))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), &g, |bench, g| {
+            bench.iter(|| bb_treewidth(g))
+        });
+    }
+    // Branch and bound alone past the ceiling.
+    for (n, k) in [(40usize, 3usize), (60, 5)] {
+        let g = gaifman_graph(&generators::partial_ktree(n, k, 0.85, 2));
+        group.bench_with_input(
+            BenchmarkId::new(format!("branch_bound_k{k}"), n),
+            &g,
+            |bench, g| bench.iter(|| bb_treewidth(g)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_min_fill_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_fill_order");
+    group.sample_size(10);
+    for n in [40usize, 80] {
+        let g = gaifman_graph(&generators::random_graph_nm(n, 3 * n, 5));
+        group.bench_with_input(BenchmarkId::new("cached", n), &g, |bench, g| {
+            bench.iter(|| min_fill_order(g))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &g, |bench, g| {
+            bench.iter(|| min_fill_order_reference(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_vs_search,
+    bench_fo_route,
+    bench_exact_oracles,
+    bench_min_fill_cache
+);
 criterion_main!(benches);

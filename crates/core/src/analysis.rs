@@ -5,7 +5,17 @@ use cqcs_boolean::relation::BooleanStructure;
 use cqcs_boolean::schaefer::{classify_structure, SchaeferSet};
 use cqcs_structures::{gaifman_graph, Structure};
 use cqcs_treewidth::acyclic::is_acyclic;
+use cqcs_treewidth::exact::exact_treewidth_budgeted;
 use cqcs_treewidth::heuristics::min_fill_decomposition;
+
+/// Largest left structure the analyzer (and the dispatcher's treewidth
+/// probe) runs the exact-width oracle on.
+pub const EXACT_WIDTH_PROBE_MAX_VERTICES: usize = 48;
+
+/// Branch-and-bound node budget for that probe: analysis must stay
+/// cheap relative to solving, so the oracle answers only when the
+/// search is essentially free.
+pub const EXACT_WIDTH_PROBE_NODE_BUDGET: u64 = 20_000;
 
 /// What the dispatcher learned by inspecting `(A, B)`.
 #[derive(Debug, Clone)]
@@ -25,15 +35,24 @@ pub struct InstanceAnalysis {
     pub a_acyclic: bool,
     /// Upper bound on `A`'s treewidth (min-fill heuristic).
     pub a_treewidth_upper: usize,
+    /// `A`'s exact treewidth, when the budgeted branch-and-bound oracle
+    /// answered (small graphs, [`EXACT_WIDTH_PROBE_NODE_BUDGET`] nodes).
+    pub a_treewidth_exact: Option<usize>,
 }
 
 impl InstanceAnalysis {
+    /// The sharpest treewidth measure available: exact when the oracle
+    /// answered, the min-fill upper bound otherwise.
+    pub fn a_treewidth(&self) -> usize {
+        self.a_treewidth_exact.unwrap_or(self.a_treewidth_upper)
+    }
+
     /// Whether *some* polynomial route from the paper applies.
     pub fn tractable_route_exists(&self, treewidth_budget: usize) -> bool {
         self.schaefer.is_some_and(|s| s.is_schaefer())
             || self.booleanized_schaefer.is_some_and(|s| s.is_schaefer())
             || self.a_acyclic
-            || self.a_treewidth_upper <= treewidth_budget
+            || self.a_treewidth() <= treewidth_budget
     }
 }
 
@@ -48,7 +67,10 @@ impl std::fmt::Display for InstanceAnalysis {
             writeln!(f, "Booleanized template classes: {s}")?;
         }
         writeln!(f, "A acyclic: {}", self.a_acyclic)?;
-        write!(f, "A treewidth ≤ {}", self.a_treewidth_upper)
+        match self.a_treewidth_exact {
+            Some(w) => write!(f, "A treewidth = {w} (exact)"),
+            None => write!(f, "A treewidth ≤ {}", self.a_treewidth_upper),
+        }
     }
 }
 
@@ -78,10 +100,15 @@ pub fn analyze(a: &Structure, b: &Structure) -> InstanceAnalysis {
                 .map(|bs| classify_structure(&bs))
         })
     };
-    let a_treewidth_upper = if a.universe() == 0 {
-        0
+    let (a_treewidth_upper, a_treewidth_exact) = if a.universe() == 0 {
+        (0, Some(0))
     } else {
-        min_fill_decomposition(&gaifman_graph(a)).width()
+        let g = gaifman_graph(a);
+        let upper = min_fill_decomposition(&g).width();
+        let exact = (g.len() <= EXACT_WIDTH_PROBE_MAX_VERTICES)
+            .then(|| exact_treewidth_budgeted(&g, EXACT_WIDTH_PROBE_NODE_BUDGET))
+            .flatten();
+        (upper, exact)
     };
     InstanceAnalysis {
         a_size: a.size(),
@@ -91,6 +118,7 @@ pub fn analyze(a: &Structure, b: &Structure) -> InstanceAnalysis {
         booleanized_schaefer,
         a_acyclic: is_acyclic(a),
         a_treewidth_upper,
+        a_treewidth_exact,
     }
 }
 
@@ -108,6 +136,12 @@ mod tests {
         assert!(!info.b_is_boolean);
         assert!(info.schaefer.is_none());
         assert_eq!(info.a_treewidth_upper, 2);
+        assert_eq!(
+            info.a_treewidth_exact,
+            Some(2),
+            "C6 is small: oracle answers"
+        );
+        assert_eq!(info.a_treewidth(), 2);
         assert!(!info.a_acyclic);
         assert!(info.tractable_route_exists(2));
         assert!(info.to_string().contains("treewidth"));
@@ -145,6 +179,24 @@ mod tests {
         assert!(info.schaefer.is_none());
         assert!(info.booleanized_schaefer.is_some_and(|s| !s.is_schaefer()));
         assert!(info.a_treewidth_upper > 3);
+        assert!(
+            info.a_treewidth_exact.is_some_and(|w| w > 3),
+            "exact oracle confirms the instance really is wide"
+        );
         assert!(!info.tractable_route_exists(3));
+    }
+
+    #[test]
+    fn exact_probe_never_above_the_heuristic() {
+        for seed in 0..8u64 {
+            let a = generators::random_graph_nm(10, 20, seed);
+            let info = analyze(&a, &generators::complete_graph(3));
+            let w = info.a_treewidth_exact.expect("small graph: oracle answers");
+            assert!(w <= info.a_treewidth_upper, "seed {seed}");
+            assert_eq!(info.a_treewidth(), w, "seed {seed}");
+        }
+        // Petersen: the exact measure is 4 whatever min-fill says.
+        let info = analyze(&generators::petersen(), &generators::complete_graph(3));
+        assert_eq!(info.a_treewidth_exact, Some(4));
     }
 }

@@ -20,6 +20,7 @@
 //! 6. **Generic search** seeded with the prefilter's propagator — the
 //!    NP-side fallback the paper's results exist to avoid.
 
+use crate::analysis::{EXACT_WIDTH_PROBE_MAX_VERTICES, EXACT_WIDTH_PROBE_NODE_BUDGET};
 use crate::solvers::backtracking::{
     backtracking_search, backtracking_search_with, SearchOptions, SearchStats,
 };
@@ -28,8 +29,9 @@ use cqcs_boolean::uniform::{schaefer_classes, solve_schaefer};
 use cqcs_pebble::propagator::Propagator;
 use cqcs_structures::{Element, Homomorphism, Structure};
 use cqcs_treewidth::acyclic::yannakakis;
+use cqcs_treewidth::bb::bb_treewidth_best_effort;
 use cqcs_treewidth::dp::solve_with_decomposition;
-use cqcs_treewidth::heuristics::min_fill_decomposition;
+use cqcs_treewidth::heuristics::{decomposition_from_elimination, min_fill_decomposition};
 
 /// How to attack the instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +169,24 @@ fn auto(a: &Structure, b: &Structure) -> Solution {
                 stats: None,
             };
         }
+        // The heuristic overshot the budget. On small graphs, ask the
+        // branch and bound (bounded effort) for a narrower order before
+        // surrendering to search. A witness is enough — even when the
+        // budget runs out, the incumbent is a complete order that may
+        // fit, so best-effort rather than oracle-or-nothing.
+        if g.len() <= EXACT_WIDTH_PROBE_MAX_VERTICES {
+            let (r, _optimal) = bb_treewidth_best_effort(&g, EXACT_WIDTH_PROBE_NODE_BUDGET);
+            if r.width <= AUTO_TREEWIDTH_BUDGET {
+                let td = decomposition_from_elimination(&g, &r.order);
+                let h = solve_with_decomposition(a, b, &td)
+                    .expect("decomposition from a complete order is valid");
+                return Solution {
+                    homomorphism: h,
+                    route: Route::Treewidth(r.width),
+                    stats: None,
+                };
+            }
+        }
     }
     let (h, mut stats) = backtracking_search_with(SearchOptions::default(), &mut prop);
     // The search reports its own delta; fold the prefilter's establish
@@ -301,6 +321,24 @@ mod tests {
         let a = generators::partial_ktree(10, 2, 0.9, 5);
         let sol = solve(&a, &k3, Strategy::Auto).unwrap();
         assert!(matches!(sol.route, Route::Treewidth(w) if w <= 3));
+        assert_eq!(sol.homomorphism.is_some(), homomorphism_exists(&a, &k3));
+    }
+
+    #[test]
+    fn exact_probe_rescues_instances_min_fill_overshoots() {
+        // partial_ktree(20, 3, 0.7, 16): min-fill builds a width-4
+        // decomposition, over the auto budget of 3, but the exact oracle
+        // finds a width-3 order — the instance stays on the DP route
+        // instead of falling through to generic search.
+        let a = generators::partial_ktree(20, 3, 0.7, 16);
+        let g = cqcs_structures::gaifman_graph(&a);
+        assert!(
+            min_fill_decomposition(&g).width() > AUTO_TREEWIDTH_BUDGET,
+            "fixture rotted: min-fill no longer overshoots"
+        );
+        let k3 = generators::complete_graph(3);
+        let sol = solve(&a, &k3, Strategy::Auto).unwrap();
+        assert_eq!(sol.route, Route::Treewidth(3));
         assert_eq!(sol.homomorphism.is_some(), homomorphism_exists(&a, &k3));
     }
 

@@ -9,10 +9,19 @@
 
 use crate::ast::ConjunctiveQuery;
 use crate::canonical::canonical_database;
-use cqcs_structures::gaifman_graph;
+use cqcs_structures::{gaifman_graph, UndirectedGraph};
 use cqcs_treewidth::acyclic::is_acyclic;
-use cqcs_treewidth::exact::{exact_treewidth, EXACT_MAX_VERTICES};
+use cqcs_treewidth::exact::{dp_treewidth, exact_treewidth_budgeted, EXACT_MAX_VERTICES};
 use cqcs_treewidth::heuristics::min_fill_decomposition;
+
+/// Largest query graph the exact-width oracle is consulted on. The old
+/// ceiling was the subset DP's 24 vertices; branch and bound lifts it,
+/// and the node budget below keeps pathological queries from stalling
+/// width measurement.
+pub const WIDTH_ORACLE_MAX_VERTICES: usize = 64;
+
+/// Branch-and-bound node budget for [`query_width`]'s exact measure.
+pub const WIDTH_ORACLE_NODE_BUDGET: u64 = 100_000;
 
 /// Width facts about one query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,7 +32,11 @@ pub struct QueryWidth {
     pub atoms: usize,
     /// Upper bound on the treewidth of the query graph (min-fill).
     pub treewidth_upper: usize,
-    /// Exact treewidth when the query is small enough to afford it.
+    /// Exact treewidth when the budgeted branch-and-bound oracle
+    /// answers within [`WIDTH_ORACLE_NODE_BUDGET`] nodes (queries up to
+    /// [`WIDTH_ORACLE_MAX_VERTICES`] variables). Queries small enough
+    /// for the subset DP (≤ [`EXACT_MAX_VERTICES`] variables) always
+    /// get an answer, as they did before the branch and bound existed.
     pub treewidth_exact: Option<usize>,
     /// Whether the body hypergraph is α-acyclic (width-1 / Yannakakis
     /// territory).
@@ -44,7 +57,7 @@ pub fn query_width(q: &ConjunctiveQuery) -> QueryWidth {
     } else {
         min_fill_decomposition(&g).width()
     };
-    let treewidth_exact = (g.len() <= EXACT_MAX_VERTICES).then(|| exact_treewidth(&g));
+    let treewidth_exact = exact_width_oracle(&g, WIDTH_ORACLE_NODE_BUDGET);
     QueryWidth {
         variables: cd.database.universe(),
         atoms: q.body.len(),
@@ -52,6 +65,19 @@ pub fn query_width(q: &ConjunctiveQuery) -> QueryWidth {
         treewidth_exact,
         acyclic: is_acyclic(&cd.database),
     }
+}
+
+/// The exact measure behind [`query_width`]: budgeted branch and bound
+/// up to [`WIDTH_ORACLE_MAX_VERTICES`] vertices, falling back to the
+/// subset DP when the budget runs out on a graph small enough for it —
+/// so the ≤ [`EXACT_MAX_VERTICES`]-variable guarantee of the pre-B&B
+/// oracle is preserved (the DP is budgetless but bounded at that size).
+fn exact_width_oracle(g: &UndirectedGraph, node_budget: u64) -> Option<usize> {
+    if g.len() > WIDTH_ORACLE_MAX_VERTICES {
+        return None;
+    }
+    exact_treewidth_budgeted(g, node_budget)
+        .or_else(|| (g.len() <= EXACT_MAX_VERTICES).then(|| dp_treewidth(g)))
 }
 
 #[cfg(test)]
@@ -94,6 +120,51 @@ mod tests {
         let w = query_width(&q);
         assert_eq!(w.treewidth_exact, Some(2));
         assert!(!w.acyclic);
+    }
+
+    #[test]
+    fn exact_width_past_the_old_dp_ceiling() {
+        // A 30-variable chain: the subset DP's 24-vertex cap used to
+        // leave `treewidth_exact` empty here; the B&B oracle answers.
+        let body: Vec<String> = (0..29).map(|i| format!("E(V{i}, V{})", i + 1)).collect();
+        let q = parse_query(&format!("Q(V0) :- {}.", body.join(", "))).unwrap();
+        let w = query_width(&q);
+        assert_eq!(w.variables, 30);
+        assert_eq!(w.treewidth_exact, Some(1));
+        assert!(w.acyclic);
+        // A 26-variable cycle is cyclic with exact width 2.
+        let body: Vec<String> = (0..26)
+            .map(|i| format!("E(V{i}, V{})", (i + 1) % 26))
+            .collect();
+        let q = parse_query(&format!("Q :- {}.", body.join(", "))).unwrap();
+        let w = query_width(&q);
+        assert_eq!(w.treewidth_exact, Some(2));
+        assert!(!w.acyclic);
+    }
+
+    #[test]
+    fn oracle_falls_back_to_dp_below_the_dp_ceiling() {
+        use cqcs_structures::{gaifman_graph, generators};
+        // With a one-node budget the branch and bound exhausts on most
+        // graphs, but ≤ 24-vertex queries must still get an exact
+        // answer (the pre-B&B guarantee): the subset DP backstops.
+        let mut exercised_fallback = false;
+        for seed in 0..6u64 {
+            let g = gaifman_graph(&generators::random_graph_nm(12, 26, seed));
+            let w = exact_width_oracle(&g, 1).expect("small graph: always Some");
+            assert_eq!(w, dp_treewidth(&g), "seed {seed}");
+            if exact_treewidth_budgeted(&g, 1).is_none() {
+                exercised_fallback = true;
+            }
+        }
+        assert!(
+            exercised_fallback,
+            "budget 1 never exhausted: test is vacuous"
+        );
+        // Past the DP ceiling the oracle stays oracle-if-cheap: None on
+        // exhaustion rather than stalling.
+        let big = gaifman_graph(&generators::random_graph_nm(40, 120, 3));
+        assert_eq!(exact_width_oracle(&big, 1), None);
     }
 
     #[test]

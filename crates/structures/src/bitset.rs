@@ -132,6 +132,18 @@ impl BitSet {
         }
     }
 
+    /// `|self ∩ other|` without materialising the intersection — the
+    /// popcount the elimination-style graph algorithms lean on (live
+    /// degrees, common-neighbour counts, clique tests).
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
@@ -275,6 +287,20 @@ mod tests {
         assert!(i.is_subset(&u));
         assert!(!u.is_subset(&i));
         assert!(a.is_disjoint(&i));
+    }
+
+    #[test]
+    fn counting_ops_match_materialised_sets() {
+        let a: BitSet = [1usize, 3, 5, 64, 70, 90].into_iter().collect();
+        let mut b = BitSet::new(a.capacity());
+        for v in [3usize, 5, 70, 89] {
+            b.insert(v);
+        }
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(a.intersection_len(&b), inter.len());
+        assert_eq!(a.intersection_len(&BitSet::new(a.capacity())), 0);
+        assert_eq!(a.intersection_len(&a), a.len());
     }
 
     #[test]

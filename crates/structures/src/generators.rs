@@ -93,6 +93,19 @@ pub fn grid_graph(rows: usize, cols: usize) -> Structure {
     graph_structure(rows * cols, edges)
 }
 
+/// The Petersen graph (symmetric edges): outer 5-cycle `0..5`, inner
+/// pentagram `5..10`, spokes `i — i+5`. A standard treewidth test case
+/// (treewidth 4) that no greedy elimination order gets wrong by much.
+pub fn petersen() -> Structure {
+    let mut edges = Vec::new();
+    for i in 0..5u32 {
+        edges.push((i, (i + 1) % 5)); // outer cycle
+        edges.push((i, i + 5)); // spoke
+        edges.push((5 + i, 5 + (i + 2) % 5)); // inner pentagram
+    }
+    graph_structure(10, edges.into_iter().flat_map(|(u, v)| [(u, v), (v, u)]))
+}
+
 /// A random digraph on `n` vertices: each ordered pair `(i, j)`, `i ≠ j`,
 /// is an edge independently with probability `p`.
 pub fn random_digraph(n: usize, p: f64, seed: u64) -> Structure {
@@ -281,6 +294,19 @@ mod tests {
         assert_eq!(g.universe(), 6);
         let e = g.vocabulary().lookup("E").unwrap();
         assert_eq!(g.relation(e).len(), 2 * 7, "2x3 grid has 7 edges");
+    }
+
+    #[test]
+    fn petersen_shape() {
+        let p = petersen();
+        assert_eq!(p.universe(), 10);
+        let e = p.vocabulary().lookup("E").unwrap();
+        assert_eq!(p.relation(e).len(), 30, "15 undirected edges, symmetric");
+        // 3-regular.
+        let g = crate::gaifman_graph(&p);
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 3, "vertex {v}");
+        }
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Exact treewidth by QuickBB-style branch and bound over elimination
+//! orders (Gogate–Dechter lineage).
+//!
+//! The subset DP of [`crate::exact`] is sharp but capped by its `2^n`
+//! table; this solver searches the elimination-order tree instead and
+//! routinely certifies graphs in the 40–80 vertex range:
+//!
+//! * **seeded** by the better of the min-fill and min-degree orders
+//!   (the incumbent is a real order, so the result always carries one);
+//! * **pruned** by the MMD / MMD+ degeneracy lower bounds of
+//!   [`crate::lower_bounds`] — a node dies when
+//!   `max(prefix width, mmd(rest)) ≥ incumbent`;
+//! * **reduced** by the simplicial and almost-simplicial rules: a vertex
+//!   whose live neighbourhood is a clique (or a clique plus one vertex,
+//!   when its degree is at most a lower bound on the remainder's
+//!   treewidth) can be eliminated first in some optimal order, so the
+//!   node becomes a forced move instead of a branch;
+//! * **memoized** on the eliminated prefix *set* (keyed by [`BitSet`]):
+//!   the fill graph after eliminating a set is independent of the order,
+//!   so reaching a known set with an equal-or-worse prefix width is a
+//!   dead end.
+//!
+//! The search returns an optimal **order**, not just the number, so
+//! [`crate::heuristics::decomposition_from_elimination`] turns every
+//! result into a [`crate::TreeDecomposition`] that validates against the
+//! input graph.
+
+use crate::heuristics::{fill_count, min_degree_order, min_fill_order};
+use crate::lower_bounds::{mmd_lower_bound, mmd_of, mmd_plus_lower_bound};
+use cqcs_structures::{BitSet, UndirectedGraph};
+use std::collections::HashMap;
+
+/// An exact elimination order with search accounting.
+#[derive(Debug, Clone)]
+pub struct BbResult {
+    /// The treewidth of the input graph.
+    pub width: usize,
+    /// An optimal elimination order witnessing `width`.
+    pub order: Vec<usize>,
+    /// Branch-and-bound nodes expanded (0 when the seed order was
+    /// already provably optimal).
+    pub nodes: u64,
+}
+
+/// Memo entries stop being inserted beyond this (lookups continue), so
+/// adversarial instances degrade to slower search instead of OOM.
+const MEMO_CAP: usize = 1 << 19;
+
+/// Computes the exact treewidth of `g` with an optimal elimination
+/// order, by branch and bound. No vertex-count cap; worst-case
+/// exponential, in practice comfortable far beyond the subset DP's 24.
+pub fn bb_treewidth(g: &UndirectedGraph) -> BbResult {
+    bb_treewidth_with_budget(g, u64::MAX).expect("unlimited budget cannot be exhausted")
+}
+
+/// [`bb_treewidth`] with a node budget: returns `None` when the search
+/// would expand more than `node_budget` nodes, for callers that want an
+/// oracle-if-cheap (dispatch probes, width measurement).
+pub fn bb_treewidth_with_budget(g: &UndirectedGraph, node_budget: u64) -> Option<BbResult> {
+    let (r, optimal) = bb_treewidth_best_effort(g, node_budget);
+    optimal.then_some(r)
+}
+
+/// [`bb_treewidth_with_budget`] for callers that want a *witness*, not
+/// a proof: exhaustion returns the incumbent — still a complete
+/// elimination order whose width upper-bounds the treewidth — instead
+/// of discarding it. The flag is `true` when the search finished, i.e.
+/// the width is exactly the treewidth.
+pub fn bb_treewidth_best_effort(g: &UndirectedGraph, node_budget: u64) -> (BbResult, bool) {
+    let n = g.len();
+    if n == 0 {
+        return (
+            BbResult {
+                width: 0,
+                order: vec![],
+                nodes: 0,
+            },
+            true,
+        );
+    }
+    // Incumbent: the better of the two greedy elimination orders.
+    let mut best_order = min_fill_order(g);
+    let mut best_width = elimination_width(g, &best_order);
+    let md = min_degree_order(g);
+    let md_width = elimination_width(g, &md);
+    if md_width < best_width {
+        best_order = md;
+        best_width = md_width;
+    }
+    let root_lb = mmd_lower_bound(g).max(mmd_plus_lower_bound(g));
+    if root_lb >= best_width {
+        // The greedy order is provably optimal; no search needed.
+        return (
+            BbResult {
+                width: best_width,
+                order: best_order,
+                nodes: 0,
+            },
+            true,
+        );
+    }
+    let mut solver = Solver {
+        adj: (0..n).map(|v| g.adjacency(v).clone()).collect(),
+        remaining: BitSet::full(n),
+        prefix: Vec::with_capacity(n),
+        best_width,
+        best_order,
+        nodes: 0,
+        budget: node_budget,
+        exhausted: false,
+        memo: HashMap::new(),
+    };
+    solver.search(0);
+    (
+        BbResult {
+            width: solver.best_width,
+            order: solver.best_order,
+            nodes: solver.nodes,
+        },
+        !solver.exhausted,
+    )
+}
+
+/// The width of an elimination order: the maximum live degree at
+/// elimination time (max bag size − 1).
+pub fn elimination_width(g: &UndirectedGraph, order: &[usize]) -> usize {
+    let n = g.len();
+    assert_eq!(order.len(), n, "order must cover every vertex");
+    let mut adj: Vec<BitSet> = (0..n).map(|v| g.adjacency(v).clone()).collect();
+    let mut alive = BitSet::full(n);
+    let mut width = 0usize;
+    for &v in order {
+        let mut nv = adj[v].clone();
+        nv.intersect_with(&alive);
+        width = width.max(nv.len());
+        let neighbors: Vec<usize> = nv.iter().collect();
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+        alive.remove(v);
+    }
+    width
+}
+
+struct Solver {
+    /// Working adjacency: the input graph plus the current prefix's fill
+    /// edges. Eliminated vertices linger in the sets; every read masks
+    /// with `remaining`.
+    adj: Vec<BitSet>,
+    remaining: BitSet,
+    prefix: Vec<usize>,
+    best_width: usize,
+    best_order: Vec<usize>,
+    nodes: u64,
+    budget: u64,
+    exhausted: bool,
+    /// Eliminated-set ⇒ smallest prefix width it was explored with.
+    memo: HashMap<BitSet, usize>,
+}
+
+impl Solver {
+    /// Explores completions of the current prefix, whose width so far is
+    /// `g_width`. Invariant on entry: `g_width < self.best_width`.
+    fn search(&mut self, g_width: usize) {
+        if self.exhausted {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.exhausted = true;
+            return;
+        }
+        let rem = self.remaining.len();
+        if rem == 0 {
+            // Every caller checks the bound before recursing, so this
+            // is a strict improvement; the guard is belt and braces.
+            if g_width < self.best_width {
+                self.best_width = g_width;
+                self.best_order = self.prefix.clone();
+            }
+            return;
+        }
+        // A clique remainder has exactly one width; finish directly.
+        if self.remaining_is_clique(rem) {
+            let w = g_width.max(rem - 1);
+            if w < self.best_width {
+                self.best_width = w;
+                self.best_order = self.prefix.clone();
+                self.best_order.extend(self.remaining.iter());
+            }
+            return;
+        }
+        // Memo prune: same eliminated set ⇒ same fill graph ⇒ same
+        // completion cost; a worse-or-equal prefix cannot do better.
+        // Checked before the lower bound so repeat states skip the
+        // O(n²) degeneracy scan.
+        if let Some(&seen) = self.memo.get(&self.remaining) {
+            if seen <= g_width {
+                return;
+            }
+        }
+        // Lower-bound prune: the completion costs at least the
+        // remainder's treewidth, itself at least its degeneracy.
+        let rest_lb = mmd_of(&self.adj, &self.remaining);
+        if g_width.max(rest_lb) >= self.best_width {
+            return;
+        }
+        if self.memo.len() < MEMO_CAP || self.memo.contains_key(&self.remaining) {
+            self.memo.insert(self.remaining.clone(), g_width);
+        }
+        // Reduction rules make the node a forced move.
+        if let Some(v) = self.find_reducible(rest_lb) {
+            let (d, added) = self.eliminate(v);
+            if g_width.max(d) < self.best_width {
+                self.search(g_width.max(d));
+            }
+            self.undo(v, added);
+            return;
+        }
+        // Branch, cheapest fill first so the incumbent improves early.
+        let mut cands: Vec<(usize, usize, usize)> = self
+            .remaining
+            .iter()
+            .map(|v| {
+                let (fill, d) = self.fill_and_degree(v);
+                (fill, d, v)
+            })
+            .collect();
+        cands.sort_unstable();
+        for (_, d, v) in cands {
+            if g_width.max(d) >= self.best_width {
+                continue;
+            }
+            let (_, added) = self.eliminate(v);
+            self.search(g_width.max(d));
+            self.undo(v, added);
+            if self.exhausted {
+                return;
+            }
+        }
+    }
+
+    fn remaining_is_clique(&self, rem: usize) -> bool {
+        self.remaining
+            .iter()
+            .all(|v| self.adj[v].intersection_len(&self.remaining) == rem - 1)
+    }
+
+    /// Fill-in count and live degree of `v`.
+    fn fill_and_degree(&self, v: usize) -> (usize, usize) {
+        let d = self.adj[v].intersection_len(&self.remaining);
+        (fill_count(&self.adj, &self.remaining, v), d)
+    }
+
+    /// A vertex that is safe to eliminate first in some optimal
+    /// completion: simplicial (live neighbourhood is a clique), or
+    /// almost-simplicial (clique after dropping one neighbour) with
+    /// degree at most `rest_lb`, a lower bound on the remainder's
+    /// treewidth.
+    fn find_reducible(&self, rest_lb: usize) -> Option<usize> {
+        for v in self.remaining.iter() {
+            let mut nv = self.adj[v].clone();
+            nv.intersect_with(&self.remaining);
+            let d = nv.len();
+            if d <= 1 {
+                return Some(v);
+            }
+            // Vertices of the neighbourhood missing some co-neighbour.
+            let bad: Vec<usize> = nv
+                .iter()
+                .filter(|&a| self.adj[a].intersection_len(&nv) < d - 1)
+                .collect();
+            if bad.is_empty() {
+                return Some(v); // simplicial
+            }
+            if d <= rest_lb {
+                // Almost-simplicial: every non-edge of N(v) must touch
+                // the dropped vertex, so only `bad` members qualify.
+                for &u in &bad {
+                    let mut rest = nv.clone();
+                    rest.remove(u);
+                    let clique = rest
+                        .iter()
+                        .all(|a| self.adj[a].intersection_len(&rest) == d - 2);
+                    if clique {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Eliminates `v`: clique-ifies its live neighbourhood and drops it
+    /// from `remaining`. Returns its live degree and the fill edges
+    /// added, for [`Solver::undo`].
+    fn eliminate(&mut self, v: usize) -> (usize, Vec<(usize, usize)>) {
+        let mut nv = self.adj[v].clone();
+        nv.intersect_with(&self.remaining);
+        let neighbors: Vec<usize> = nv.iter().collect();
+        let mut added = Vec::new();
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                if !self.adj[a].contains(b) {
+                    self.adj[a].insert(b);
+                    self.adj[b].insert(a);
+                    added.push((a, b));
+                }
+            }
+        }
+        self.remaining.remove(v);
+        self.prefix.push(v);
+        (neighbors.len(), added)
+    }
+
+    fn undo(&mut self, v: usize, added: Vec<(usize, usize)>) {
+        self.prefix.pop();
+        self.remaining.insert(v);
+        for (a, b) in added {
+            self.adj[a].remove(b);
+            self.adj[b].remove(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::dp_treewidth;
+    use crate::heuristics::decomposition_from_elimination;
+    use cqcs_structures::{gaifman_graph, generators};
+
+    fn check_order(g: &UndirectedGraph, r: &BbResult) {
+        assert_eq!(elimination_width(g, &r.order), r.width, "order width");
+        let td = decomposition_from_elimination(g, &r.order);
+        td.validate_graph(g).unwrap();
+        assert_eq!(td.width(), r.width, "decomposition width");
+    }
+
+    #[test]
+    fn known_families() {
+        for (g, want) in [
+            (gaifman_graph(&generators::undirected_path(9)), 1),
+            (gaifman_graph(&generators::undirected_cycle(8)), 2),
+            (gaifman_graph(&generators::complete_graph(6)), 5),
+            (gaifman_graph(&generators::grid_graph(3, 5)), 3),
+            (gaifman_graph(&generators::petersen()), 4),
+        ] {
+            let r = bb_treewidth(&g);
+            assert_eq!(r.width, want);
+            check_order(&g, &r);
+        }
+    }
+
+    #[test]
+    fn agrees_with_subset_dp_on_random_graphs() {
+        for n in [6usize, 9, 12] {
+            for density in [1usize, 2, 3] {
+                for seed in 0..6u64 {
+                    let m = (n * density).min(n * (n - 1) / 2);
+                    let s = generators::random_graph_nm(n, m, seed);
+                    let g = gaifman_graph(&s);
+                    let r = bb_treewidth(&g);
+                    assert_eq!(r.width, dp_treewidth(&g), "n={n} m={m} seed={seed}");
+                    check_order(&g, &r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ktrees_need_no_branching() {
+        // Chordal graphs fall entirely to the simplicial rule (or the
+        // seed order, which is exact on them).
+        for (n, k) in [(30usize, 3usize), (40, 4), (50, 5)] {
+            let g = UndirectedGraph::from_edges(n, &generators::ktree_edges(n, k, 11));
+            let r = bb_treewidth(&g);
+            assert_eq!(r.width, k, "n={n} k={k}");
+            assert_eq!(r.nodes, 0, "greedy is exact on chordal graphs");
+            check_order(&g, &r);
+        }
+    }
+
+    #[test]
+    fn partial_ktrees_past_the_dp_ceiling() {
+        for (n, k, seed) in [(40usize, 3usize, 2u64), (50, 4, 5), (60, 5, 7)] {
+            let s = generators::partial_ktree(n, k, 0.9, seed);
+            let g = gaifman_graph(&s);
+            let r = bb_treewidth(&g);
+            assert!(r.width <= k, "partial {k}-tree has tw ≤ {k}");
+            check_order(&g, &r);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_none() {
+        let mut saw_exhaustion = false;
+        for seed in 0..5u64 {
+            let g = gaifman_graph(&generators::random_graph_nm(13, 26, seed));
+            let full = bb_treewidth(&g);
+            match bb_treewidth_with_budget(&g, 1) {
+                // A one-node budget only finishes when the seed order
+                // was already provably optimal — same answer either way.
+                Some(r) => assert_eq!(r.width, full.width, "seed {seed}"),
+                None => saw_exhaustion = true,
+            }
+        }
+        assert!(
+            saw_exhaustion,
+            "some 13-vertex instance needs more than one node"
+        );
+    }
+
+    #[test]
+    fn best_effort_returns_the_incumbent_on_exhaustion() {
+        use crate::heuristics::{min_degree_order, min_fill_order};
+        for seed in 0..5u64 {
+            let g = gaifman_graph(&generators::random_graph_nm(13, 26, seed));
+            let (r, optimal) = bb_treewidth_best_effort(&g, 1);
+            // The result is always a complete order witnessing its width.
+            assert_eq!(elimination_width(&g, &r.order), r.width, "seed {seed}");
+            if optimal {
+                assert_eq!(r.width, bb_treewidth(&g).width, "seed {seed}");
+            } else {
+                // Exhausted: the incumbent is the better greedy seed.
+                let seed_width = elimination_width(&g, &min_fill_order(&g))
+                    .min(elimination_width(&g, &min_degree_order(&g)));
+                assert_eq!(r.width, seed_width, "seed {seed}");
+                assert!(r.width >= bb_treewidth(&g).width, "seed {seed}");
+            }
+        }
+        // With room to finish, the flag reports optimality.
+        let g = gaifman_graph(&generators::random_graph_nm(13, 26, 0));
+        let (r, optimal) = bb_treewidth_best_effort(&g, u64::MAX);
+        assert!(optimal);
+        assert_eq!(r.width, bb_treewidth(&g).width);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let r = bb_treewidth(&UndirectedGraph::new(0));
+        assert_eq!((r.width, r.order.len()), (0, 0));
+        let r = bb_treewidth(&UndirectedGraph::new(1));
+        assert_eq!(r.width, 0);
+        assert_eq!(r.order, vec![0]);
+        let r = bb_treewidth(&UndirectedGraph::new(5));
+        assert_eq!(r.width, 0, "edgeless");
+        check_order(&UndirectedGraph::new(5), &r);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut edges = Vec::new();
+        // Triangle + square + isolated vertex.
+        edges.extend([(0, 1), (1, 2), (2, 0)]);
+        edges.extend([(3, 4), (4, 5), (5, 6), (6, 3)]);
+        let g = UndirectedGraph::from_edges(8, &edges);
+        let r = bb_treewidth(&g);
+        assert_eq!(r.width, 2);
+        check_order(&g, &r);
+    }
+}

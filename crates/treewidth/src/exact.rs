@@ -1,25 +1,74 @@
-//! Exact treewidth by dynamic programming over vertex subsets.
+//! Exact treewidth: subset DP for small graphs, branch and bound above.
 //!
-//! The Bodlaender–Fomin–Koster–Kratsch recurrence over elimination
-//! prefixes: `dp[S] = min_{v ∈ S} max(dp[S∖v], |Q(S∖v, v)|)`, where
-//! `Q(S, v)` is the set of vertices outside `S ∪ {v}` reachable from `v`
-//! through `S`. `dp[V]` is the treewidth. Exponential (`O(2^n · n²)`) —
-//! used to certify the heuristics and generators on small graphs.
+//! Two engines sit behind [`exact_treewidth`]:
+//!
+//! * [`dp_treewidth`] — the Bodlaender–Fomin–Koster–Kratsch recurrence
+//!   over elimination prefixes: `dp[S] = min_{v ∈ S} max(dp[S∖v],
+//!   |Q(S∖v, v)|)`, where `Q(S, v)` is the set of vertices outside
+//!   `S ∪ {v}` reachable from `v` through `S`. `dp[V]` is the treewidth.
+//!   `O(2^n · n²)`, hard-capped at [`EXACT_MAX_VERTICES`].
+//! * [`crate::bb::bb_treewidth`] — QuickBB-style branch and bound over
+//!   elimination orders, uncapped; the route for everything larger, and
+//!   the one that also produces an optimal *order* (so every exact
+//!   answer can ship a validated [`TreeDecomposition`], see
+//!   [`exact_decomposition`]).
+//!
+//! The two are cross-validated against each other by the differential
+//! property suite (`tests/property_based.rs`) and the E13 experiment.
 
+use crate::bb::{bb_treewidth, bb_treewidth_with_budget};
+use crate::decomposition::TreeDecomposition;
+use crate::heuristics::decomposition_from_elimination;
 use cqcs_structures::UndirectedGraph;
 
-/// Maximum vertex count accepted by [`exact_treewidth`].
+/// Maximum vertex count accepted by the subset DP ([`dp_treewidth`]);
+/// also the dispatch boundary of [`exact_treewidth`]. Beyond it the
+/// `2^n` table is hopeless and branch and bound takes over.
 pub const EXACT_MAX_VERTICES: usize = 24;
 
 /// Computes the exact treewidth of `g`.
 ///
+/// Dispatches to the subset DP for graphs of at most
+/// [`EXACT_MAX_VERTICES`] vertices and to branch and bound
+/// ([`crate::bb`]) above — no vertex cap, but worst-case exponential
+/// time; use [`exact_treewidth_budgeted`] when a bounded-effort oracle
+/// is wanted.
+pub fn exact_treewidth(g: &UndirectedGraph) -> usize {
+    if g.len() <= EXACT_MAX_VERTICES {
+        dp_treewidth(g)
+    } else {
+        bb_treewidth(g).width
+    }
+}
+
+/// Exact treewidth with a branch-and-bound node budget: `None` when the
+/// instance needs more than `node_budget` nodes. Unlike
+/// [`exact_treewidth`] this always runs the branch and bound (it is the
+/// faster engine on almost every real graph, and the only interruptible
+/// one), so callers get oracle-if-cheap semantics at any size.
+pub fn exact_treewidth_budgeted(g: &UndirectedGraph, node_budget: u64) -> Option<usize> {
+    bb_treewidth_with_budget(g, node_budget).map(|r| r.width)
+}
+
+/// Exact treewidth together with a witnessing [`TreeDecomposition`]
+/// (built from the branch and bound's optimal elimination order and
+/// guaranteed to validate against `g`).
+pub fn exact_decomposition(g: &UndirectedGraph) -> (usize, TreeDecomposition) {
+    let r = bb_treewidth(g);
+    let td = decomposition_from_elimination(g, &r.order);
+    debug_assert_eq!(td.width(), r.width, "optimal order must witness width");
+    (r.width, td)
+}
+
+/// Computes the exact treewidth of `g` by subset dynamic programming.
+///
 /// # Panics
 /// Panics if `g` has more than [`EXACT_MAX_VERTICES`] vertices.
-pub fn exact_treewidth(g: &UndirectedGraph) -> usize {
+pub fn dp_treewidth(g: &UndirectedGraph) -> usize {
     let n = g.len();
     assert!(
         n <= EXACT_MAX_VERTICES,
-        "exact treewidth limited to {EXACT_MAX_VERTICES} vertices"
+        "subset-DP treewidth limited to {EXACT_MAX_VERTICES} vertices"
     );
     if n == 0 {
         return 0;
@@ -126,6 +175,42 @@ mod tests {
                 exact_treewidth(&g) <= 2,
                 "partial 2-tree has tw ≤ 2, seed {seed}"
             );
+        }
+    }
+
+    #[test]
+    fn dispatch_crosses_the_dp_ceiling() {
+        // 40 vertices: the old hard cap would have panicked here.
+        let s = generators::partial_ktree(40, 3, 0.9, 1);
+        let g = gaifman_graph(&s);
+        assert!(g.len() > EXACT_MAX_VERTICES);
+        let (w, td) = exact_decomposition(&g);
+        assert_eq!(exact_treewidth(&g), w);
+        assert!(w <= 3);
+        td.validate_graph(&g).unwrap();
+        assert_eq!(td.width(), w);
+    }
+
+    #[test]
+    fn budgeted_oracle_matches_when_it_answers() {
+        for seed in 0..6u64 {
+            let s = generators::random_graph_nm(10, 18, seed);
+            let g = gaifman_graph(&s);
+            if let Some(w) = exact_treewidth_budgeted(&g, 10_000) {
+                assert_eq!(w, dp_treewidth(&g), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_decomposition_validates_on_random_graphs() {
+        for seed in 0..8u64 {
+            let s = generators::random_graph_nm(12, 20, seed);
+            let g = gaifman_graph(&s);
+            let (w, td) = exact_decomposition(&g);
+            assert_eq!(w, dp_treewidth(&g), "seed {seed}");
+            td.validate_graph(&g).unwrap();
+            assert_eq!(td.width(), w, "seed {seed}");
         }
     }
 }

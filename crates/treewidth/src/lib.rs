@@ -8,9 +8,18 @@
 //! * [`decomposition`] — tree decompositions of structures and graphs,
 //!   validated against the paper's three conditions; width;
 //! * [`heuristics`] — elimination-order decompositions (min-degree,
-//!   min-fill), the standard way to *obtain* decompositions;
-//! * [`exact`] — exact treewidth by subset dynamic programming for the
-//!   small graphs the test-suite cross-validates on;
+//!   min-fill with cached fill-in counts), the standard way to *obtain*
+//!   decompositions;
+//! * [`exact`] — the exact-treewidth oracle: subset dynamic programming
+//!   up to 24 vertices, QuickBB-style branch and bound above;
+//! * [`bb`] — that branch and bound: elimination-order search seeded by
+//!   min-fill, pruned by degeneracy lower bounds, reduced by
+//!   (almost-)simplicial vertices, memoized on eliminated-prefix sets;
+//!   returns an optimal order, so every answer carries a validated
+//!   decomposition;
+//! * [`lower_bounds`] — the MMD / MMD+ degeneracy lower bounds the
+//!   search prunes against (and the sandwich the property suite pins:
+//!   `mmd ≤ exact ≤ min-fill`);
 //! * [`dp`] — the bounded-treewidth homomorphism solver: dynamic
 //!   programming over bag assignments, polynomial for fixed width;
 //! * [`fo`] — Lemma 5.2 made executable: the canonical query of a
@@ -22,15 +31,21 @@
 //!   Yannakakis lineage the paper discusses).
 
 pub mod acyclic;
+pub mod bb;
 pub mod decomposition;
 pub mod dp;
 pub mod exact;
 pub mod fo;
 pub mod heuristics;
+pub mod lower_bounds;
 
 pub use acyclic::{is_acyclic, yannakakis};
+pub use bb::{
+    bb_treewidth, bb_treewidth_best_effort, bb_treewidth_with_budget, elimination_width, BbResult,
+};
 pub use decomposition::TreeDecomposition;
 pub use dp::{homomorphism_via_treewidth, solve_with_decomposition};
-pub use exact::exact_treewidth;
+pub use exact::{exact_decomposition, exact_treewidth, exact_treewidth_budgeted};
 pub use fo::{structure_to_fo, FoFormula};
 pub use heuristics::{decomposition_from_elimination, min_degree_order, min_fill_order};
+pub use lower_bounds::{mmd_lower_bound, mmd_plus_lower_bound};

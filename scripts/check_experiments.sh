@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Fails if the committed EXPERIMENTS.md has rotted: regenerates every
 # table with the experiments binary and diffs against the committed
-# copy. Every count, verdict, and route is seeded and deterministic;
-# only timing cells vary by machine, so all floats are masked on both
-# sides before diffing.
+# copy. Every count, verdict, route, width, and B&B node count is
+# seeded and deterministic; only timing cells vary by machine, so all
+# floats are masked on both sides before diffing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,4 +18,24 @@ if ! diff -u <(mask EXPERIMENTS.md) <(mask "$regen"); then
   echo "  cargo run -p cqcs-bench --release --bin experiments > EXPERIMENTS.md" >&2
   exit 1
 fi
-echo "EXPERIMENTS.md is fresh."
+
+# The E13 cross-validation table is a correctness oracle, not just a
+# benchmark: every row must agree with the DP and ship a decomposition
+# that validated. Guard against a regeneration that "freshly" records a
+# disagreement.
+if ! grep -q '^## E13' "$regen"; then
+  echo "E13 treewidth cross-validation table is missing." >&2
+  exit 1
+fi
+e13="$(sed -n '/^## E13/,$p' "$regen")"
+if echo "$e13" | grep -qE 'INVALID|WIDTH MISMATCH'; then
+  echo "E13 reports an invalid exact decomposition:" >&2
+  echo "$e13" | grep -E 'INVALID|WIDTH MISMATCH' >&2
+  exit 1
+fi
+if echo "$e13" | grep -qE '\| false \|'; then
+  echo "E13 reports a DP/B&B disagreement:" >&2
+  echo "$e13" | grep -E '\| false \|' >&2
+  exit 1
+fi
+echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates)."

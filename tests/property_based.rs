@@ -9,10 +9,12 @@ use cqcs::pebble::propagator::Propagator;
 use cqcs::structures::homomorphism::{find_homomorphism, homomorphism_exists};
 use cqcs::structures::product::{direct_product, projections};
 use cqcs::structures::{generators, is_homomorphism, BitSet};
-use cqcs::treewidth::exact::exact_treewidth;
+use cqcs::treewidth::bb::{bb_treewidth, elimination_width};
+use cqcs::treewidth::exact::{dp_treewidth, exact_treewidth};
 use cqcs::treewidth::heuristics::{
-    decomposition_from_elimination, min_degree_order, min_fill_order,
+    decomposition_from_elimination, min_degree_order, min_fill_order, min_fill_order_reference,
 };
+use cqcs::treewidth::lower_bounds::{mmd_lower_bound, mmd_plus_lower_bound};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -307,6 +309,44 @@ proptest! {
         }
     }
 
+    /// Differential oracle: the branch-and-bound solver and the subset
+    /// DP compute the same treewidth on random graphs (mixed densities
+    /// via the free edge count), and the B&B's elimination order
+    /// witnesses that width through a validated tree decomposition.
+    /// Stress-runnable via `PROPTEST_CASES=5000`.
+    #[test]
+    fn bb_matches_subset_dp_with_witness(a in digraph(13, 40)) {
+        let g = cqcs::structures::gaifman_graph(&a);
+        let r = bb_treewidth(&g);
+        prop_assert_eq!(r.width, dp_treewidth(&g), "B&B disagrees with DP");
+        prop_assert_eq!(r.order.len(), g.len());
+        prop_assert_eq!(elimination_width(&g, &r.order), r.width);
+        let td = decomposition_from_elimination(&g, &r.order);
+        prop_assert!(td.validate_graph(&g).is_ok());
+        prop_assert_eq!(td.width(), r.width, "order does not witness the width");
+    }
+
+    /// The sandwich every width measure must respect:
+    /// `mmd ≤ mmd⁺ ≤ exact ≤ min(min-fill, min-degree)`.
+    #[test]
+    fn treewidth_sandwich(a in digraph(12, 36)) {
+        let g = cqcs::structures::gaifman_graph(&a);
+        let exact = exact_treewidth(&g);
+        prop_assert!(mmd_lower_bound(&g) <= exact);
+        prop_assert!(mmd_plus_lower_bound(&g) <= exact);
+        let min_fill = elimination_width(&g, &min_fill_order(&g));
+        let min_degree = elimination_width(&g, &min_degree_order(&g));
+        prop_assert!(exact <= min_fill.min(min_degree));
+    }
+
+    /// The cached-fill min-fill order is *identical* to the
+    /// from-scratch reference, not merely equal in width.
+    #[test]
+    fn min_fill_cache_preserves_order(a in digraph(12, 40)) {
+        let g = cqcs::structures::gaifman_graph(&a);
+        prop_assert_eq!(min_fill_order(&g), min_fill_order_reference(&g));
+    }
+
     /// Exact treewidth reproduces the textbook values on known
     /// families: paths 1, cycles 2, cliques k-1, grids min(r, c).
     #[test]
@@ -320,6 +360,52 @@ proptest! {
         let grid = cqcs::structures::gaifman_graph(&generators::grid_graph(r, c));
         prop_assert_eq!(exact_treewidth(&grid), r.min(c));
     }
+}
+
+/// Known treewidth families pinned through the branch-and-bound oracle
+/// (deterministic, not property-sampled — these are the textbook
+/// regression anchors for the exact subsystem, several past the subset
+/// DP's 24-vertex ceiling).
+#[test]
+fn bb_treewidth_known_family_regressions() {
+    let check = |g: &cqcs::structures::UndirectedGraph, want: usize, what: &str| {
+        let r = bb_treewidth(g);
+        assert_eq!(r.width, want, "{what}");
+        let td = decomposition_from_elimination(g, &r.order);
+        td.validate_graph(g).unwrap();
+        assert_eq!(td.width(), want, "{what}: order fails to witness");
+    };
+    use cqcs::structures::{gaifman_graph, UndirectedGraph};
+    for n in [4usize, 6, 8] {
+        check(
+            &gaifman_graph(&generators::complete_graph(n)),
+            n - 1,
+            &format!("K_{n}"),
+        );
+    }
+    for n in [5usize, 12, 30] {
+        check(
+            &gaifman_graph(&generators::undirected_cycle(n)),
+            2,
+            &format!("C_{n}"),
+        );
+    }
+    for n in [10usize, 25, 40] {
+        // Random 1-trees are exactly the trees.
+        check(
+            &UndirectedGraph::from_edges(n, &generators::ktree_edges(n, 1, n as u64)),
+            1,
+            &format!("tree on {n} vertices"),
+        );
+    }
+    for (rows, cols) in [(2usize, 9usize), (3, 7), (4, 5)] {
+        check(
+            &gaifman_graph(&generators::grid_graph(rows, cols)),
+            rows.min(cols),
+            &format!("{rows}×{cols} grid"),
+        );
+    }
+    check(&gaifman_graph(&generators::petersen()), 4, "Petersen");
 }
 
 /// Strategy: a pair of structures over a shared vocabulary
