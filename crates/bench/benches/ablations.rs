@@ -3,10 +3,13 @@
 //! route against direct search.
 
 use cqcs_core::{backtracking_search, solve, SearchOptions, Strategy};
-use cqcs_pebble::consistency::{refine_domains, refine_domains_reference};
+use cqcs_pebble::consistency::{
+    refine_domains, refine_domains_reference, refine_domains_with_support,
+};
 use cqcs_pebble::propagator::Propagator;
-use cqcs_structures::{generators, BitSet, Element};
+use cqcs_structures::{generators, BitSet, Element, SupportIndex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 
 fn bench_search_heuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_search_heuristics");
@@ -67,6 +70,17 @@ fn bench_propagation_engine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fixpoint_indexed", &id), &g, |bch, g| {
             bch.iter(|| refine_domains(g, &k3, full.clone()))
         });
+        // The serving regime: the index is built once per template
+        // (CompiledTemplate), so the one-shot fixpoint pays only for
+        // propagation.
+        group.bench_with_input(
+            BenchmarkId::new("fixpoint_indexed_prebuilt", &id),
+            &g,
+            |bch, g| {
+                let support = Arc::new(SupportIndex::build(&k3));
+                bch.iter(|| refine_domains_with_support(g, &k3, &support, full.clone()))
+            },
+        );
         // Per-node step: narrow element 0 to each candidate in turn.
         group.bench_with_input(BenchmarkId::new("node_clone_refine", &id), &g, |bch, g| {
             let base = refine_domains(g, &k3, full.clone()).domains;

@@ -62,6 +62,29 @@ fn bits_needed(n: usize) -> usize {
     }
 }
 
+/// The template half of Lemma 3.5's encoding: everything that depends
+/// only on `B` and the labeling — the Boolean template `B_b`, the bit
+/// width, and the derived vocabulary. Computed once per template by
+/// [`booleanize_template`] and reused across instances by
+/// [`booleanize_instance`], so a caller streaming many left structures
+/// against one `B` never re-encodes (or re-classifies) the right side.
+#[derive(Debug, Clone)]
+pub struct BooleanizedTemplate {
+    /// `B_b`: the Boolean template over the derived vocabulary.
+    pub template: Structure,
+    /// Bits per element (`max(1, ⌈log₂ |B|⌉)`, or more if the labeling
+    /// uses higher codes).
+    pub bits: usize,
+    /// The labeling used: `labels[e]` is the code of `B`-element `e`.
+    pub labels: Vec<u64>,
+    /// Universe size of the original right structure.
+    pub b_universe: usize,
+    /// The derived vocabulary (same names, arities scaled by `bits`).
+    voc: Arc<Vocabulary>,
+    /// The original `B`'s vocabulary, for instance-side validation.
+    source_voc: Arc<Vocabulary>,
+}
+
 /// Booleanizes the instance `(a, b)` with the identity labeling.
 /// Returns `(A_b, B_b, info)` with `hom(A→B) ⟺ hom(A_b→B_b)`.
 pub fn booleanize(a: &Structure, b: &Structure) -> Result<(Structure, Structure, BooleanizeInfo)> {
@@ -80,6 +103,14 @@ pub fn booleanize_with_labels(
             "left and right structures are over different vocabularies".into(),
         ));
     }
+    let t = booleanize_template(b, labels)?;
+    let (ab, info) = booleanize_instance(a, &t)?;
+    Ok((ab, t.template, info))
+}
+
+/// Encodes the template side of Lemma 3.5 — `B_b` over the derived
+/// vocabulary — independently of any left structure.
+pub fn booleanize_template(b: &Structure, labels: &[u64]) -> Result<BooleanizedTemplate> {
     if labels.len() != b.universe() {
         return Err(Error::Invalid(format!(
             "labeling covers {} elements but B has {}",
@@ -110,7 +141,7 @@ pub fn booleanize_with_labels(
 
     // Derived vocabulary: same names, arities scaled by m.
     let mut voc = Vocabulary::new();
-    for (_, name, arity) in a.vocabulary().symbols() {
+    for (_, name, arity) in b.vocabulary().symbols() {
         if arity * m > MAX_ARITY {
             return Err(Error::ArityTooLarge { arity: arity * m });
         }
@@ -119,25 +150,10 @@ pub fn booleanize_with_labels(
     }
     let voc = voc.into_shared();
 
-    // A_b: every element a becomes m copies (a, 0..m).
-    let mut ab = StructureBuilder::new(Arc::clone(&voc), a.universe() * m);
-    let mut buf: Vec<Element> = Vec::new();
-    for (r, name, _) in a.vocabulary().symbols() {
-        let rb = voc.lookup(name).expect("copied symbol");
-        for t in a.relation(r).iter() {
-            buf.clear();
-            for &e in t {
-                for i in 0..m {
-                    buf.push(Element((e.index() * m + i) as u32));
-                }
-            }
-            ab.add_tuple(rb, &buf).expect("in range by construction");
-        }
-    }
-
     // B_b: universe {0, 1}; each B-tuple becomes the concatenation of
     // its elements' codes.
     let mut bb = StructureBuilder::new(Arc::clone(&voc), 2);
+    let mut buf: Vec<Element> = Vec::new();
     for (r, name, _) in b.vocabulary().symbols() {
         let rb = voc.lookup(name).expect("copied symbol");
         for t in b.relation(r).iter() {
@@ -152,13 +168,52 @@ pub fn booleanize_with_labels(
         }
     }
 
+    Ok(BooleanizedTemplate {
+        template: bb.finish(),
+        bits: m,
+        labels: labels.to_vec(),
+        b_universe: b.universe(),
+        voc,
+        source_voc: Arc::clone(b.vocabulary()),
+    })
+}
+
+/// Encodes a left structure against a precomputed
+/// [`BooleanizedTemplate`]: `a` must be over the template's original
+/// vocabulary. Returns `A_b` and the decode bookkeeping, with
+/// `hom(A→B) ⟺ hom(A_b→B_b)`.
+pub fn booleanize_instance(
+    a: &Structure,
+    t: &BooleanizedTemplate,
+) -> Result<(Structure, BooleanizeInfo)> {
+    if **a.vocabulary() != *t.source_voc {
+        return Err(Error::Invalid(
+            "left and right structures are over different vocabularies".into(),
+        ));
+    }
+    let m = t.bits;
+    // A_b: every element a becomes m copies (a, 0..m).
+    let mut ab = StructureBuilder::new(Arc::clone(&t.voc), a.universe() * m);
+    let mut buf: Vec<Element> = Vec::new();
+    for (r, name, _) in a.vocabulary().symbols() {
+        let rb = t.voc.lookup(name).expect("copied symbol");
+        for tu in a.relation(r).iter() {
+            buf.clear();
+            for &e in tu {
+                for i in 0..m {
+                    buf.push(Element((e.index() * m + i) as u32));
+                }
+            }
+            ab.add_tuple(rb, &buf).expect("in range by construction");
+        }
+    }
     let info = BooleanizeInfo {
         bits: m,
-        b_universe: b.universe(),
+        b_universe: t.b_universe,
         a_universe: a.universe(),
-        labels: labels.to_vec(),
+        labels: t.labels.clone(),
     };
-    Ok((ab.finish(), bb.finish(), info))
+    Ok((ab.finish(), info))
 }
 
 #[cfg(test)]
@@ -272,6 +327,43 @@ mod tests {
         let set = classify_structure(&bs);
         assert!(set.contains(SchaeferClass::Bijunctive));
         assert!(set.contains(SchaeferClass::Affine));
+    }
+
+    #[test]
+    fn split_encoding_matches_the_one_shot() {
+        // Template-half + instance-half must reproduce booleanize
+        // exactly — same structures, same decode bookkeeping.
+        for seed in 0..8u64 {
+            let a = generators::random_structure(5, &[2, 3], 5, seed);
+            let b = generators::random_structure_over(a.vocabulary(), 4, 8, seed + 50);
+            let (ab1, bb1, info1) = booleanize(&a, &b).unwrap();
+            let t = booleanize_template(&b, &identity_labels(b.universe())).unwrap();
+            let (ab2, info2) = booleanize_instance(&a, &t).unwrap();
+            assert!(ab1.same_vocabulary(&ab2), "seed {seed}");
+            assert_eq!(ab1.size(), ab2.size(), "seed {seed}");
+            assert!(bb1.same_vocabulary(&t.template), "seed {seed}");
+            assert_eq!(bb1.size(), t.template.size(), "seed {seed}");
+            assert_eq!(info1.bits, info2.bits, "seed {seed}");
+            assert_eq!(info1.labels, info2.labels, "seed {seed}");
+            // One template encoding serves a second instance too.
+            let a2 = generators::random_structure_over(a.vocabulary(), 6, 7, seed + 99);
+            let (ab3, info3) = booleanize_instance(&a2, &t).unwrap();
+            let expected = homomorphism_exists(&a2, &b);
+            assert_eq!(
+                homomorphism_exists(&ab3, &t.template),
+                expected,
+                "seed {seed}"
+            );
+            let _ = info3;
+        }
+    }
+
+    #[test]
+    fn instance_encoding_rejects_foreign_vocabularies() {
+        let b = generators::complete_graph(3);
+        let t = booleanize_template(&b, &identity_labels(3)).unwrap();
+        let other = generators::random_structure(3, &[3], 2, 0);
+        assert!(booleanize_instance(&other, &t).is_err());
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod schaefer;
 pub mod two_sat;
 pub mod uniform;
 
-pub use booleanize::{booleanize, BooleanizeInfo};
+pub use booleanize::{
+    booleanize, booleanize_instance, booleanize_template, BooleanizeInfo, BooleanizedTemplate,
+};
 pub use cnf::{Clause, CnfFormula, Literal};
 pub use error::{Error, Result};
 pub use gf2::LinearSystem;

@@ -5,8 +5,8 @@ use cqcs_boolean::relation::BooleanStructure;
 use cqcs_boolean::schaefer::{classify_structure, SchaeferSet};
 use cqcs_structures::{gaifman_graph, Structure};
 use cqcs_treewidth::acyclic::is_acyclic;
-use cqcs_treewidth::exact::exact_treewidth_budgeted;
-use cqcs_treewidth::heuristics::min_fill_decomposition;
+use cqcs_treewidth::exact::exact_treewidth_budgeted_seeded;
+use cqcs_treewidth::heuristics::{decomposition_from_elimination, min_fill_order};
 
 /// Largest left structure the analyzer (and the dispatcher's treewidth
 /// probe) runs the exact-width oracle on.
@@ -103,10 +103,14 @@ pub fn analyze(a: &Structure, b: &Structure) -> InstanceAnalysis {
     let (a_treewidth_upper, a_treewidth_exact) = if a.universe() == 0 {
         (0, Some(0))
     } else {
+        // One min-fill run serves both measures: the heuristic upper
+        // bound and the seed order of the budgeted exact probe (which
+        // would otherwise recompute it for its incumbent).
         let g = gaifman_graph(a);
-        let upper = min_fill_decomposition(&g).width();
+        let order = min_fill_order(&g);
+        let upper = decomposition_from_elimination(&g, &order).width();
         let exact = (g.len() <= EXACT_WIDTH_PROBE_MAX_VERTICES)
-            .then(|| exact_treewidth_budgeted(&g, EXACT_WIDTH_PROBE_NODE_BUDGET))
+            .then(|| exact_treewidth_budgeted_seeded(&g, &order, EXACT_WIDTH_PROBE_NODE_BUDGET))
             .flatten();
         (upper, exact)
     };

@@ -14,11 +14,34 @@
 //!   MAC, both toggleable for experiment E12), with search statistics;
 //! * [`solvers::dispatch`] — [`solve`]: the meta-algorithm that picks
 //!   the tractable route the paper proves correct, falling back to
-//!   search only when no theorem applies.
+//!   search only when no theorem applies;
+//! * [`session`] — the serving shape of the same algorithm:
+//!   [`Session::compile`] fixes the template `B` once (support index,
+//!   Schaefer classification, Booleanized template — each computed at
+//!   most once) and [`Session::solve`] / [`Session::solve_batch`]
+//!   stream instances against it. [`solve`] is a thin
+//!   compile-then-solve wrapper, so both entry points route
+//!   identically; a [`CompiledTemplate`] is immutable and `Sync`, ready
+//!   to be shared across threads or shards.
+//!
+//! ```
+//! use cqcs_core::Session;
+//! use cqcs_structures::generators;
+//!
+//! let session = Session::compile(&generators::complete_graph(3));
+//! let instances: Vec<_> = (0..8)
+//!     .map(|seed| generators::random_graph_nm(10, 15, seed))
+//!     .collect();
+//! for sol in session.solve_batch(&instances) {
+//!     println!("{:?}: hom = {}", sol.route, sol.homomorphism.is_some());
+//! }
+//! ```
 
 pub mod analysis;
+pub mod session;
 pub mod solvers;
 
 pub use analysis::{analyze, InstanceAnalysis};
+pub use session::{CompiledTemplate, Session};
 pub use solvers::backtracking::{backtracking_search, SearchOptions, SearchStats};
 pub use solvers::dispatch::{solve, Route, Solution, Strategy};

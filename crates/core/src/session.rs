@@ -1,0 +1,541 @@
+//! Compile the template once: [`CompiledTemplate`] and [`Session`].
+//!
+//! The paper's reduction sends CQ containment to `hom(A → B)` with one
+//! side fixed: in the CSP(`B`) serving regime many instances `A` stream
+//! against a single template `B`. A plain [`solve`](crate::solve) call
+//! rebuilds everything about `B` per instance — the
+//! [`SupportIndex`] behind arc-consistency propagation, the Schaefer
+//! classification, the Booleanized template and *its* classification.
+//! [`CompiledTemplate`] computes each of these once; [`Session`] then
+//! answers `hom(A → B)` per instance with only the genuinely
+//! per-instance work (acyclicity, `A`'s treewidth, propagation, search)
+//! left on the hot path.
+//!
+//! A `CompiledTemplate` is immutable after construction (the lazy
+//! fields are `OnceLock`s) and `Sync`, so one compiled template can be
+//! shared across threads or shards via `Arc`; a `Session` is a cheap
+//! handle holding such an `Arc`. All per-solve state (propagator
+//! domains, trails, search stacks) lives inside the solve call.
+//!
+//! Routing is **identical** to the one-shot dispatcher —
+//! [`solve`](crate::solve) runs the same routing core against the
+//! caller's borrowed template with a per-call set of lazy facts — so
+//! verdicts, witnesses, routes, and search statistics never depend on
+//! which entry point was used (pinned by the property suite and
+//! experiment E14).
+//!
+//! ```
+//! use cqcs_core::{Session, Strategy};
+//! use cqcs_structures::generators;
+//!
+//! let k3 = generators::complete_graph(3);
+//! let session = Session::compile(&k3);
+//! for seed in 0..4 {
+//!     let a = generators::random_graph_nm(8, 12, seed);
+//!     let sol = session.solve(&a);
+//!     let one_shot = cqcs_core::solve(&a, &k3, Strategy::Auto).unwrap();
+//!     assert_eq!(sol.homomorphism.is_some(), one_shot.homomorphism.is_some());
+//! }
+//! ```
+
+use crate::analysis::{EXACT_WIDTH_PROBE_MAX_VERTICES, EXACT_WIDTH_PROBE_NODE_BUDGET};
+use crate::solvers::backtracking::{
+    backtracking_search, backtracking_search_with, SearchOptions, SearchStats,
+};
+use crate::solvers::dispatch::{Route, Solution, SolveError, Strategy, AUTO_TREEWIDTH_BUDGET};
+use cqcs_boolean::booleanize::{
+    booleanize_instance, booleanize_template, identity_labels, BooleanizedTemplate,
+};
+use cqcs_boolean::schaefer::SchaeferSet;
+use cqcs_boolean::uniform::{schaefer_classes, solve_schaefer};
+use cqcs_pebble::propagator::Propagator;
+use cqcs_structures::{Element, Homomorphism, Structure, SupportIndex};
+use cqcs_treewidth::acyclic::yannakakis;
+use cqcs_treewidth::bb::bb_treewidth_best_effort_seeded;
+use cqcs_treewidth::dp::solve_with_decomposition;
+use cqcs_treewidth::heuristics::{decomposition_from_elimination, min_fill_order};
+use cqcs_treewidth::lower_bounds::mmd_lower_bound;
+use std::sync::{Arc, OnceLock};
+
+/// The lazily-computed template-side facts, separate from ownership of
+/// the template itself: [`CompiledTemplate`] pairs them with an owned
+/// `B` for sharing, while the one-shot [`solve`](crate::solve) keeps a
+/// fresh set on its stack next to the caller's borrowed `B` — so the
+/// wrapper clones nothing and still runs the identical routing code.
+#[derive(Debug, Default)]
+pub(crate) struct TemplateFacts {
+    /// Schaefer classification of `B` (`None` unless `B` is Boolean and
+    /// classifiable).
+    schaefer: OnceLock<Option<SchaeferSet>>,
+    /// Support index over `B`'s tuples, shared by every propagator the
+    /// template spawns.
+    support: OnceLock<Arc<SupportIndex>>,
+    /// The Booleanized template and its classification (`None` when `B`
+    /// is already Boolean, degenerate, or exceeds the bit-packed arity
+    /// budget).
+    booleanized: OnceLock<Option<(BooleanizedTemplate, SchaeferSet)>>,
+}
+
+impl TemplateFacts {
+    /// Schaefer classification of `b`, when Boolean (computed on first
+    /// use).
+    fn schaefer(&self, b: &Structure) -> Option<SchaeferSet> {
+        *self.schaefer.get_or_init(|| {
+            (b.universe() == 2)
+                .then(|| schaefer_classes(b).ok())
+                .flatten()
+        })
+    }
+
+    /// The support index over `b`'s tuples (built on first use, then
+    /// shared by every subsequent solve).
+    fn support(&self, b: &Structure) -> &Arc<SupportIndex> {
+        self.support
+            .get_or_init(|| Arc::new(SupportIndex::build(b)))
+    }
+
+    /// The Booleanized template (Lemma 3.5) with its Schaefer
+    /// classification, when `b` is non-Boolean and encodable.
+    fn booleanized(&self, b: &Structure) -> Option<&(BooleanizedTemplate, SchaeferSet)> {
+        self.booleanized
+            .get_or_init(|| {
+                if b.universe() <= 2 {
+                    return None; // already Boolean (or degenerate)
+                }
+                let t = booleanize_template(b, &identity_labels(b.universe())).ok()?;
+                let classes = schaefer_classes(&t.template).ok()?;
+                Some((t, classes))
+            })
+            .as_ref()
+    }
+}
+
+/// Everything the dispatcher ever needs to know about a fixed template
+/// `B`, computed at most once. [`compile`] itself only clones `B`; the
+/// Schaefer classification, the support index, and the Booleanized
+/// template are each built lazily on first use, so a template never
+/// pays for a fact its routes don't read.
+///
+/// [`compile`]: CompiledTemplate::compile
+#[derive(Debug)]
+pub struct CompiledTemplate {
+    b: Structure,
+    facts: TemplateFacts,
+}
+
+impl CompiledTemplate {
+    /// Compiles a template (clones `b` so the result is self-contained
+    /// and shareable).
+    pub fn compile(b: &Structure) -> CompiledTemplate {
+        CompiledTemplate {
+            b: b.clone(),
+            facts: TemplateFacts::default(),
+        }
+    }
+
+    /// The template structure `B`.
+    pub fn template(&self) -> &Structure {
+        &self.b
+    }
+
+    /// Schaefer classification of `B`, when `B` is Boolean (computed on
+    /// first use).
+    pub fn schaefer(&self) -> Option<SchaeferSet> {
+        self.facts.schaefer(&self.b)
+    }
+
+    /// The support index over `B`'s tuples (built on first use, then
+    /// shared by every subsequent solve).
+    pub fn support(&self) -> &Arc<SupportIndex> {
+        self.facts.support(&self.b)
+    }
+}
+
+/// A solving session against one compiled template: compile `B` once,
+/// then [`solve`](Session::solve) any number of instances `A` against
+/// it. See the [module docs](self) for the amortization story.
+#[derive(Debug, Clone)]
+pub struct Session {
+    template: Arc<CompiledTemplate>,
+}
+
+impl Session {
+    /// Compiles `b` and opens a session on it.
+    pub fn compile(b: &Structure) -> Session {
+        Session {
+            template: Arc::new(CompiledTemplate::compile(b)),
+        }
+    }
+
+    /// Opens a session on an already-compiled (possibly shared)
+    /// template.
+    pub fn from_template(template: Arc<CompiledTemplate>) -> Session {
+        Session { template }
+    }
+
+    /// The compiled template, for sharing with other sessions.
+    pub fn template(&self) -> &Arc<CompiledTemplate> {
+        &self.template
+    }
+
+    /// Solves `hom(a → B)` with the automatic route dispatch —
+    /// equivalent to [`solve`](crate::solve) with [`Strategy::Auto`].
+    ///
+    /// # Panics
+    /// Panics if `a` is over a different vocabulary than the template.
+    pub fn solve(&self, a: &Structure) -> Solution {
+        self.solve_with(a, Strategy::Auto)
+            .expect("the Auto strategy always applies")
+    }
+
+    /// Solves `hom(a → B)` with an explicit strategy — equivalent to
+    /// [`solve`](crate::solve) with the same strategy.
+    ///
+    /// # Panics
+    /// Panics if `a` is over a different vocabulary than the template.
+    pub fn solve_with(&self, a: &Structure, strategy: Strategy) -> Result<Solution, SolveError> {
+        solve_on(&self.template.b, &self.template.facts, a, strategy)
+    }
+
+    /// Solves a batch of instances against the template, in order.
+    ///
+    /// # Panics
+    /// Panics if any instance is over a different vocabulary.
+    pub fn solve_batch(&self, instances: &[Structure]) -> Vec<Solution> {
+        instances.iter().map(|a| self.solve(a)).collect()
+    }
+}
+
+/// The one-shot entry behind [`solve`](crate::solve): a fresh
+/// stack-local [`TemplateFacts`] next to the caller's borrowed `b` —
+/// no clone of the template, the facts built lazily per call, and the
+/// exact routing a [`Session`] runs.
+pub(crate) fn solve_one_shot(
+    a: &Structure,
+    b: &Structure,
+    strategy: Strategy,
+) -> Result<Solution, SolveError> {
+    let facts = TemplateFacts::default();
+    solve_on(b, &facts, a, strategy)
+}
+
+/// Routing core shared by [`Session`] and the one-shot wrapper.
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies.
+fn solve_on(
+    b: &Structure,
+    facts: &TemplateFacts,
+    a: &Structure,
+    strategy: Strategy,
+) -> Result<Solution, SolveError> {
+    assert!(a.same_vocabulary(b), "solve across different vocabularies");
+    match strategy {
+        Strategy::Auto => Ok(auto_on(b, facts, a)),
+        Strategy::Schaefer => try_schaefer(b, facts, a).ok_or(SolveError::RouteNotApplicable(
+            "B is not a Schaefer Boolean structure",
+        )),
+        Strategy::Booleanize => try_booleanize(b, facts, a).ok_or(SolveError::RouteNotApplicable(
+            "Booleanized template is not Schaefer",
+        )),
+        Strategy::Acyclic => {
+            try_acyclic(a, b).ok_or(SolveError::RouteNotApplicable("A is not acyclic"))
+        }
+        Strategy::Treewidth => Ok(treewidth_route(a, b)),
+        Strategy::Generic(opts) => {
+            let (h, stats) = if opts.mac || opts.ac_preprocess {
+                // The search will establish arc consistency: hand it
+                // the template's shared index instead of letting it
+                // build a fresh one.
+                let mut prop = Propagator::with_support(a, b, Arc::clone(facts.support(b)));
+                backtracking_search_with(opts, &mut prop)
+            } else {
+                backtracking_search(a, b, opts)
+            };
+            Ok(Solution {
+                homomorphism: h,
+                route: Route::Generic,
+                stats: Some(stats),
+            })
+        }
+    }
+}
+
+/// The uniform meta-algorithm (see `solvers::dispatch` for the route
+/// order and the theorems behind it), with every template-side fact
+/// read from the lazy cache.
+fn auto_on(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Solution {
+    if let Some(sol) = try_schaefer(b, facts, a) {
+        return sol;
+    }
+    if let Some(sol) = try_acyclic(a, b) {
+        return sol;
+    }
+    if let Some(sol) = try_booleanize(b, facts, a) {
+        return sol;
+    }
+    // Establish arc consistency once, up front: a wipeout refutes the
+    // instance before the treewidth DP or search spends anything, and
+    // otherwise the same propagator (shared support index, filtered
+    // domains) is handed to the generic search instead of being
+    // rebuilt.
+    let mut prop = Propagator::with_support(a, b, Arc::clone(facts.support(b)));
+    if a.universe() > 0 && b.universe() > 0 && !prop.establish() {
+        return Solution {
+            homomorphism: None,
+            route: Route::ArcRefuted,
+            stats: Some(SearchStats {
+                deletions: prop.deletions() as u64,
+                ..SearchStats::default()
+            }),
+        };
+    }
+    if a.universe() > 0 {
+        let g = cqcs_structures::gaifman_graph(a);
+        let order = min_fill_order(&g);
+        let td = decomposition_from_elimination(&g, &order);
+        if td.width() <= AUTO_TREEWIDTH_BUDGET {
+            let h = solve_with_decomposition(a, b, &td)
+                .expect("decomposition from A's own Gaifman graph is valid");
+            return Solution {
+                homomorphism: h,
+                route: Route::Treewidth(td.width()),
+                stats: None,
+            };
+        }
+        // The heuristic overshot the budget. On small graphs, ask the
+        // branch and bound (bounded effort, seeded with the min-fill
+        // order just computed) for a narrower order before surrendering
+        // to search. A witness is enough — even when the budget runs
+        // out, the incumbent is a complete order that may fit, so
+        // best-effort rather than oracle-or-nothing. The MMD degeneracy
+        // bound gates the probe: when it already proves the treewidth
+        // exceeds the budget, no order can rescue the DP route and the
+        // search starts immediately.
+        if g.len() <= EXACT_WIDTH_PROBE_MAX_VERTICES && mmd_lower_bound(&g) <= AUTO_TREEWIDTH_BUDGET
+        {
+            let (r, _optimal) =
+                bb_treewidth_best_effort_seeded(&g, &order, EXACT_WIDTH_PROBE_NODE_BUDGET);
+            if r.width <= AUTO_TREEWIDTH_BUDGET {
+                let td = decomposition_from_elimination(&g, &r.order);
+                let h = solve_with_decomposition(a, b, &td)
+                    .expect("decomposition from a complete order is valid");
+                return Solution {
+                    homomorphism: h,
+                    route: Route::Treewidth(r.width),
+                    stats: None,
+                };
+            }
+        }
+    }
+    let (h, mut stats) = backtracking_search_with(SearchOptions::default(), &mut prop);
+    // The search reports its own delta; fold the prefilter's establish
+    // deletions back in so the solution carries the whole solve's
+    // effort.
+    stats.deletions = prop.deletions() as u64;
+    Solution {
+        homomorphism: h,
+        route: Route::Generic,
+        stats: Some(stats),
+    }
+}
+
+fn try_schaefer(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Option<Solution> {
+    let classes = facts.schaefer(b)?;
+    if !classes.is_schaefer() {
+        return None;
+    }
+    let h = solve_schaefer(a, b).expect("classes checked");
+    Some(Solution {
+        homomorphism: h.map(bools_to_hom),
+        route: Route::Schaefer,
+        stats: None,
+    })
+}
+
+fn try_booleanize(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Option<Solution> {
+    let (t, classes) = facts.booleanized(b)?;
+    if !classes.is_schaefer() {
+        return None;
+    }
+    let (ab, info) = booleanize_instance(a, t).ok()?;
+    let h = solve_schaefer(&ab, &t.template).expect("classes checked");
+    let homomorphism = h.map(|bits| {
+        let hb: Vec<Element> = bits.into_iter().map(|v| Element(u32::from(v))).collect();
+        let decoded = info.decode(&hb);
+        debug_assert!(cqcs_structures::is_homomorphism(&decoded, a, b));
+        Homomorphism::from_map(decoded)
+    });
+    Some(Solution {
+        homomorphism,
+        route: Route::Booleanization,
+        stats: None,
+    })
+}
+
+fn bools_to_hom(bits: Vec<bool>) -> Homomorphism {
+    Homomorphism::from_map(bits.into_iter().map(|v| Element(u32::from(v))).collect())
+}
+
+fn try_acyclic(a: &Structure, b: &Structure) -> Option<Solution> {
+    let result = yannakakis(a, b)?;
+    Some(Solution {
+        homomorphism: result,
+        route: Route::Acyclic,
+        stats: None,
+    })
+}
+
+fn treewidth_route(a: &Structure, b: &Structure) -> Solution {
+    let td = if a.universe() == 0 {
+        cqcs_treewidth::TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        }
+    } else {
+        let g = cqcs_structures::gaifman_graph(a);
+        decomposition_from_elimination(&g, &min_fill_order(&g))
+    };
+    let width = td.width();
+    let h = solve_with_decomposition(a, b, &td).expect("own decomposition is valid");
+    Solution {
+        homomorphism: h,
+        route: Route::Treewidth(width),
+        stats: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::dispatch::solve;
+    use cqcs_structures::generators;
+    use cqcs_structures::homomorphism::homomorphism_exists;
+
+    fn assert_solutions_identical(s: &Solution, o: &Solution, what: &str) {
+        assert_eq!(
+            s.homomorphism.as_ref().map(Homomorphism::as_slice),
+            o.homomorphism.as_ref().map(Homomorphism::as_slice),
+            "{what}: witnesses differ"
+        );
+        assert_eq!(s.route, o.route, "{what}: routes differ");
+        assert_eq!(s.stats, o.stats, "{what}: stats differ");
+    }
+
+    #[test]
+    fn session_matches_one_shot_on_every_strategy() {
+        for seed in 0..10u64 {
+            let a = generators::random_digraph(6, 0.3, seed);
+            let b = generators::random_digraph(4, 0.4, seed + 777);
+            let session = Session::compile(&b);
+            for strat in [
+                Strategy::Auto,
+                Strategy::Treewidth,
+                Strategy::Generic(SearchOptions::default()),
+                Strategy::Generic(SearchOptions {
+                    mrv: false,
+                    mac: false,
+                    ac_preprocess: false,
+                }),
+            ] {
+                let s = session.solve_with(&a, strat).unwrap();
+                let o = solve(&a, &b, strat).unwrap();
+                assert_solutions_identical(&s, &o, &format!("seed {seed} {strat:?}"));
+            }
+            // Forced routes error identically too.
+            for strat in [Strategy::Schaefer, Strategy::Booleanize, Strategy::Acyclic] {
+                assert_eq!(
+                    session.solve_with(&a, strat).err(),
+                    solve(&a, &b, strat).err(),
+                    "seed {seed} {strat:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_session_serves_many_instances() {
+        let k3 = generators::complete_graph(3);
+        let session = Session::compile(&k3);
+        let instances: Vec<Structure> = (0..12)
+            .map(|seed| generators::random_graph_nm(9, 16, seed))
+            .collect();
+        let batch = session.solve_batch(&instances);
+        assert_eq!(batch.len(), instances.len());
+        for (a, sol) in instances.iter().zip(&batch) {
+            assert_eq!(sol.homomorphism.is_some(), homomorphism_exists(a, &k3));
+            if let Some(h) = &sol.homomorphism {
+                assert!(cqcs_structures::is_homomorphism(h.as_slice(), a, &k3));
+            }
+            // Reuse never changes the answer: a fresh session agrees.
+            let fresh = Session::compile(&k3).solve(a);
+            assert_solutions_identical(sol, &fresh, "batch vs fresh");
+        }
+    }
+
+    #[test]
+    fn routes_cover_all_templates() {
+        // Schaefer (Boolean template) through the session.
+        let k2 = generators::complete_graph(2);
+        let session = Session::compile(&k2);
+        let sol = session.solve(&generators::undirected_cycle(6));
+        assert_eq!(sol.route, Route::Schaefer);
+        assert!(sol.homomorphism.is_some());
+        // Booleanization (C4, Example 3.8) — twice, to exercise the
+        // cached template encoding.
+        let c4 = generators::directed_cycle(4);
+        let session = Session::compile(&c4);
+        for n in [4usize, 8] {
+            let sol = session.solve(&generators::directed_cycle(n));
+            assert_eq!(sol.route, Route::Booleanization);
+            assert!(sol.homomorphism.is_some());
+        }
+        // Acyclic.
+        let tt4 = generators::transitive_tournament(4);
+        let session = Session::compile(&tt4);
+        let sol = session.solve(&generators::directed_path(5));
+        assert_eq!(sol.route, Route::Acyclic);
+    }
+
+    #[test]
+    fn compiled_template_is_shareable_across_sessions_and_threads() {
+        let k3 = generators::complete_graph(3);
+        let template = Arc::new(CompiledTemplate::compile(&k3));
+        // Force the lazy index once; clones of the Arc share it.
+        let _ = template.support();
+        let handles: Vec<_> = (0..4u64)
+            .map(|seed| {
+                let t = Arc::clone(&template);
+                std::thread::spawn(move || {
+                    let a = generators::random_graph_nm(10, 18, seed);
+                    let sol = Session::from_template(t).solve(&a);
+                    (seed, sol.homomorphism.is_some())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (seed, got) = h.join().unwrap();
+            let a = generators::random_graph_nm(10, 18, seed);
+            assert_eq!(got, homomorphism_exists(&a, &k3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_universes() {
+        let voc = generators::digraph_vocabulary();
+        let empty = cqcs_structures::StructureBuilder::new(voc, 0).finish();
+        let k3 = generators::complete_graph(3);
+        let session = Session::compile(&k3);
+        assert!(session.solve(&empty).homomorphism.is_some());
+        let session = Session::compile(&empty);
+        assert!(session.solve(&k3).homomorphism.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different vocabularies")]
+    fn vocabulary_mismatch_panics() {
+        let k3 = generators::complete_graph(3);
+        let other = generators::random_structure(3, &[3], 2, 0);
+        Session::compile(&k3).solve(&other);
+    }
+}

@@ -107,7 +107,19 @@ pub fn backtracking_search_with(
         }
     }
     let mut assigned: Vec<Option<Element>> = vec![None; a.universe()];
-    let found = descend(a, b, &opts, &mut stats, prop, &mut assigned);
+    // Per-depth candidate buffers, reused across the whole search
+    // instead of one fresh Vec per node.
+    let mut candidate_pool: Vec<Vec<usize>> = vec![Vec::new(); a.universe()];
+    let found = descend(
+        a,
+        b,
+        &opts,
+        &mut stats,
+        prop,
+        &mut assigned,
+        &mut candidate_pool,
+        0,
+    );
     stats.deletions = prop.deletions() as u64 - deletions_at_entry;
     // A successful descent returns early with its assign frames still
     // open; unwind them so the propagator is reusable at depth 0.
@@ -125,6 +137,7 @@ pub fn backtracking_search_with(
     (hom, stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn descend(
     a: &Structure,
     b: &Structure,
@@ -132,6 +145,8 @@ fn descend(
     stats: &mut SearchStats,
     prop: &mut Propagator<'_>,
     assigned: &mut Vec<Option<Element>>,
+    candidate_pool: &mut Vec<Vec<usize>>,
+    depth: usize,
 ) -> bool {
     // Pick the next variable (MRV reads live domain sizes in O(1)).
     let next = if opts.mrv {
@@ -143,8 +158,13 @@ fn descend(
     };
     let Some(x) = next else { return true };
 
-    let candidates: Vec<usize> = prop.domain(Element::new(x)).iter().collect();
-    for v in candidates {
+    // Snapshot the domain into this depth's pooled buffer (propagation
+    // mutates the live domain below).
+    let mut candidates = std::mem::take(&mut candidate_pool[depth]);
+    candidates.clear();
+    candidates.extend(prop.domain(Element::new(x)).iter());
+    let mut found = false;
+    for &v in &candidates {
         stats.nodes += 1;
         assigned[x] = Some(Element(v as u32));
         if opts.mac {
@@ -152,11 +172,15 @@ fn descend(
             // tuple checks: every assigned element has a singleton
             // domain, so a violated tuple wipes a domain out.
             if prop.assign(Element::new(x), v) {
-                if descend(a, b, opts, stats, prop, assigned) {
-                    return true;
+                if descend(a, b, opts, stats, prop, assigned, candidate_pool, depth + 1) {
+                    found = true;
                 }
             } else {
                 stats.backtracks += 1;
+            }
+            if found {
+                candidate_pool[depth] = candidates;
+                return true;
             }
             prop.undo();
         } else {
@@ -164,12 +188,14 @@ fn descend(
                 assigned[x] = None;
                 continue;
             }
-            if descend(a, b, opts, stats, prop, assigned) {
+            if descend(a, b, opts, stats, prop, assigned, candidate_pool, depth + 1) {
+                candidate_pool[depth] = candidates;
                 return true;
             }
         }
         assigned[x] = None;
     }
+    candidate_pool[depth] = candidates;
     stats.backtracks += 1;
     false
 }

@@ -16,22 +16,19 @@
 //!    outright, and otherwise the established engine is reused by step
 //!    6 instead of being rebuilt;
 //! 5. **Bounded treewidth `A`** (Theorem 5.4): DP over a min-fill
-//!    decomposition when its width fits the budget;
+//!    decomposition when its width fits the budget (with a seeded
+//!    branch-and-bound probe when the heuristic overshoots);
 //! 6. **Generic search** seeded with the prefilter's propagator — the
 //!    NP-side fallback the paper's results exist to avoid.
+//!
+//! The routing itself lives in [`crate::session`]: [`solve`] is a thin
+//! compile-then-solve wrapper over [`Session`](crate::Session), so
+//! one-shot calls and template-reusing sessions take bit-identical
+//! decisions.
 
-use crate::analysis::{EXACT_WIDTH_PROBE_MAX_VERTICES, EXACT_WIDTH_PROBE_NODE_BUDGET};
-use crate::solvers::backtracking::{
-    backtracking_search, backtracking_search_with, SearchOptions, SearchStats,
-};
-use cqcs_boolean::booleanize::booleanize;
-use cqcs_boolean::uniform::{schaefer_classes, solve_schaefer};
-use cqcs_pebble::propagator::Propagator;
-use cqcs_structures::{Element, Homomorphism, Structure};
-use cqcs_treewidth::acyclic::yannakakis;
-use cqcs_treewidth::bb::bb_treewidth_best_effort;
-use cqcs_treewidth::dp::solve_with_decomposition;
-use cqcs_treewidth::heuristics::{decomposition_from_elimination, min_fill_decomposition};
+use crate::session::solve_one_shot;
+use crate::solvers::backtracking::{SearchOptions, SearchStats};
+use cqcs_structures::{Homomorphism, Structure};
 
 /// How to attack the instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,168 +102,17 @@ pub const AUTO_TREEWIDTH_BUDGET: usize = 3;
 
 /// Solves `hom(A → B)`.
 ///
+/// One-shot convenience over the session layer: runs the exact routing
+/// of [`Session::solve_with`](crate::Session::solve_with) against the
+/// borrowed template (nothing is cloned; the template-side facts are
+/// built lazily on this call's stack and dropped after). Callers with
+/// many instances against one `B` should hold a
+/// [`Session`](crate::Session) so those facts are computed once.
+///
 /// # Panics
 /// Panics if the structures are over different vocabularies.
 pub fn solve(a: &Structure, b: &Structure, strategy: Strategy) -> Result<Solution, SolveError> {
-    assert!(a.same_vocabulary(b), "solve across different vocabularies");
-    match strategy {
-        Strategy::Auto => Ok(auto(a, b)),
-        Strategy::Schaefer => try_schaefer(a, b).ok_or(SolveError::RouteNotApplicable(
-            "B is not a Schaefer Boolean structure",
-        )),
-        Strategy::Booleanize => try_booleanize(a, b).ok_or(SolveError::RouteNotApplicable(
-            "Booleanized template is not Schaefer",
-        )),
-        Strategy::Acyclic => {
-            try_acyclic(a, b).ok_or(SolveError::RouteNotApplicable("A is not acyclic"))
-        }
-        Strategy::Treewidth => Ok(treewidth_route(a, b)),
-        Strategy::Generic(opts) => {
-            let (h, stats) = backtracking_search(a, b, opts);
-            Ok(Solution {
-                homomorphism: h,
-                route: Route::Generic,
-                stats: Some(stats),
-            })
-        }
-    }
-}
-
-fn auto(a: &Structure, b: &Structure) -> Solution {
-    if let Some(sol) = try_schaefer(a, b) {
-        return sol;
-    }
-    if let Some(sol) = try_acyclic(a, b) {
-        return sol;
-    }
-    if let Some(sol) = try_booleanize(a, b) {
-        return sol;
-    }
-    // Establish arc consistency once, up front: a wipeout refutes the
-    // instance before the treewidth DP or search spends anything, and
-    // otherwise the same propagator (support index, filtered domains)
-    // is handed to the generic search instead of being rebuilt.
-    let mut prop = Propagator::new(a, b);
-    if a.universe() > 0 && b.universe() > 0 && !prop.establish() {
-        return Solution {
-            homomorphism: None,
-            route: Route::ArcRefuted,
-            stats: Some(SearchStats {
-                deletions: prop.deletions() as u64,
-                ..SearchStats::default()
-            }),
-        };
-    }
-    if a.universe() > 0 {
-        let g = cqcs_structures::gaifman_graph(a);
-        let td = min_fill_decomposition(&g);
-        if td.width() <= AUTO_TREEWIDTH_BUDGET {
-            let h = solve_with_decomposition(a, b, &td)
-                .expect("decomposition from A's own Gaifman graph is valid");
-            return Solution {
-                homomorphism: h,
-                route: Route::Treewidth(td.width()),
-                stats: None,
-            };
-        }
-        // The heuristic overshot the budget. On small graphs, ask the
-        // branch and bound (bounded effort) for a narrower order before
-        // surrendering to search. A witness is enough — even when the
-        // budget runs out, the incumbent is a complete order that may
-        // fit, so best-effort rather than oracle-or-nothing.
-        if g.len() <= EXACT_WIDTH_PROBE_MAX_VERTICES {
-            let (r, _optimal) = bb_treewidth_best_effort(&g, EXACT_WIDTH_PROBE_NODE_BUDGET);
-            if r.width <= AUTO_TREEWIDTH_BUDGET {
-                let td = decomposition_from_elimination(&g, &r.order);
-                let h = solve_with_decomposition(a, b, &td)
-                    .expect("decomposition from a complete order is valid");
-                return Solution {
-                    homomorphism: h,
-                    route: Route::Treewidth(r.width),
-                    stats: None,
-                };
-            }
-        }
-    }
-    let (h, mut stats) = backtracking_search_with(SearchOptions::default(), &mut prop);
-    // The search reports its own delta; fold the prefilter's establish
-    // deletions back in so the solution carries the whole solve's effort.
-    stats.deletions = prop.deletions() as u64;
-    Solution {
-        homomorphism: h,
-        route: Route::Generic,
-        stats: Some(stats),
-    }
-}
-
-fn bools_to_hom(bits: Vec<bool>) -> Homomorphism {
-    Homomorphism::from_map(bits.into_iter().map(|v| Element(u32::from(v))).collect())
-}
-
-fn try_schaefer(a: &Structure, b: &Structure) -> Option<Solution> {
-    if b.universe() != 2 {
-        return None;
-    }
-    let classes = schaefer_classes(b).ok()?;
-    if !classes.is_schaefer() {
-        return None;
-    }
-    let h = solve_schaefer(a, b).expect("classes checked");
-    Some(Solution {
-        homomorphism: h.map(bools_to_hom),
-        route: Route::Schaefer,
-        stats: None,
-    })
-}
-
-fn try_booleanize(a: &Structure, b: &Structure) -> Option<Solution> {
-    if b.universe() <= 2 {
-        return None; // already Boolean (or degenerate)
-    }
-    let (ab, bb, info) = booleanize(a, b).ok()?;
-    let classes = schaefer_classes(&bb).ok()?;
-    if !classes.is_schaefer() {
-        return None;
-    }
-    let h = solve_schaefer(&ab, &bb).expect("classes checked");
-    let homomorphism = h.map(|bits| {
-        let hb: Vec<Element> = bits.into_iter().map(|v| Element(u32::from(v))).collect();
-        let decoded = info.decode(&hb);
-        debug_assert!(cqcs_structures::is_homomorphism(&decoded, a, b));
-        Homomorphism::from_map(decoded)
-    });
-    Some(Solution {
-        homomorphism,
-        route: Route::Booleanization,
-        stats: None,
-    })
-}
-
-fn try_acyclic(a: &Structure, b: &Structure) -> Option<Solution> {
-    let result = yannakakis(a, b)?;
-    Some(Solution {
-        homomorphism: result,
-        route: Route::Acyclic,
-        stats: None,
-    })
-}
-
-fn treewidth_route(a: &Structure, b: &Structure) -> Solution {
-    let td = if a.universe() == 0 {
-        cqcs_treewidth::TreeDecomposition {
-            bags: vec![],
-            edges: vec![],
-        }
-    } else {
-        min_fill_decomposition(&cqcs_structures::gaifman_graph(a))
-    };
-    let width = td.width();
-    let h = solve_with_decomposition(a, b, &td).expect("own decomposition is valid");
-    Solution {
-        homomorphism: h,
-        route: Route::Treewidth(width),
-        stats: None,
-    }
+    solve_one_shot(a, b, strategy)
 }
 
 #[cfg(test)]
@@ -274,6 +120,7 @@ mod tests {
     use super::*;
     use cqcs_structures::generators;
     use cqcs_structures::homomorphism::homomorphism_exists;
+    use cqcs_treewidth::heuristics::min_fill_decomposition;
 
     fn check(a: &Structure, b: &Structure, expect_route: Option<Route>) {
         let expected = homomorphism_exists(a, b);

@@ -26,21 +26,22 @@ pub struct CanonicalDatabase {
     pub variables: Vec<String>,
 }
 
-/// Builds the joint vocabulary for a pair of queries with equally wide
-/// heads: the union of their predicates plus one marker per
+/// Builds the joint vocabulary for any number of queries with equally
+/// wide heads: the union of their predicates plus one marker per
 /// distinguished position.
-fn joint_vocabulary(
-    q1: &ConjunctiveQuery,
-    q2: &ConjunctiveQuery,
-) -> Result<Arc<Vocabulary>, QueryError> {
-    if q1.head_width() != q2.head_width() {
-        return Err(QueryError::HeadWidthMismatch {
-            left: q1.head_width(),
-            right: q2.head_width(),
-        });
-    }
+fn joint_vocabulary_many(queries: &[&ConjunctiveQuery]) -> Result<Arc<Vocabulary>, QueryError> {
+    let width = queries
+        .first()
+        .map(|q| q.head_width())
+        .expect("at least one query");
     let mut voc = Vocabulary::new();
-    for q in [q1, q2] {
+    for q in queries {
+        if q.head_width() != width {
+            return Err(QueryError::HeadWidthMismatch {
+                left: width,
+                right: q.head_width(),
+            });
+        }
         for (p, arity) in q.predicates() {
             voc.add(p, arity).map_err(|_| QueryError::ArityConflict {
                 predicate: p.to_owned(),
@@ -49,11 +50,19 @@ fn joint_vocabulary(
             })?;
         }
     }
-    for i in 0..q1.head_width() {
+    for i in 0..width {
         voc.add(&format!("{DISTINGUISHED_PREFIX}{i}"), 1)
             .expect("marker names are fresh");
     }
     Ok(voc.into_shared())
+}
+
+/// Builds the joint vocabulary for a pair of queries.
+fn joint_vocabulary(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Result<Arc<Vocabulary>, QueryError> {
+    joint_vocabulary_many(&[q1, q2])
 }
 
 /// Freezes one query over a given vocabulary.
@@ -101,6 +110,23 @@ pub fn canonical_databases(
 pub fn canonical_database(q: &ConjunctiveQuery) -> CanonicalDatabase {
     let voc = joint_vocabulary(q, q).expect("a query agrees with itself");
     freeze(q, &voc)
+}
+
+/// Builds the canonical databases of many queries over one **shared**
+/// vocabulary, in input order — the batch form of
+/// [`canonical_databases`], so a fixed query checked against many
+/// candidates is frozen once instead of once per pair. Errors if the
+/// heads have different widths or predicates clash in arity; the slice
+/// must be nonempty.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn canonical_databases_many(
+    queries: &[&ConjunctiveQuery],
+) -> Result<Vec<CanonicalDatabase>, QueryError> {
+    assert!(!queries.is_empty(), "at least one query to freeze");
+    let voc = joint_vocabulary_many(queries)?;
+    Ok(queries.iter().map(|q| freeze(q, &voc)).collect())
 }
 
 /// The canonical Boolean query `Q_D` of a database: one atom per fact,

@@ -8,7 +8,7 @@
 //! bounded treewidth) applies to containment automatically.
 
 use crate::ast::{ConjunctiveQuery, QueryError};
-use crate::canonical::canonical_databases;
+use crate::canonical::{canonical_databases, canonical_databases_many};
 use cqcs_core::{solve, Strategy};
 
 /// Decides `q1 ⊑ q2` with the uniform (auto-dispatching) solver.
@@ -50,9 +50,61 @@ pub fn containment_mapping(
     }))
 }
 
-/// Query equivalence: containment both ways.
+/// Decides `q1 ⊑ q2` for every `q1` in a batch against one fixed `q2`,
+/// freezing `q2` (and building the joint vocabulary) **once** instead
+/// of once per pair — the containment face of the template-reuse story
+/// in `cqcs-core::session`. Returns the verdicts in input order;
+/// answers agree with [`contained_in`] pair by pair (pinned by test).
+///
+/// The amortization assumes the batch shares a schema: all queries are
+/// frozen over the *union* vocabulary (extra predicates appear as empty
+/// relations on both sides of each check, which cannot change a
+/// verdict, though per-pair cost scales with the union). If two
+/// *candidates* clash in arity with each other — a conflict no pairwise
+/// check would ever see — the batch falls back to pairwise
+/// canonicalization rather than failing outright.
+pub fn contained_in_batch(
+    q1s: &[ConjunctiveQuery],
+    q2: &ConjunctiveQuery,
+) -> Result<Vec<bool>, QueryError> {
+    if q1s.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut all: Vec<&ConjunctiveQuery> = Vec::with_capacity(q1s.len() + 1);
+    all.push(q2);
+    all.extend(q1s.iter());
+    let Ok(mut frozen) = canonical_databases_many(&all) else {
+        // The union vocabulary is inconsistent. Each pair may still be
+        // fine on its own (candidate-vs-candidate clashes are invisible
+        // to pairwise checks), so answer pair by pair; a pair that
+        // really does clash with q2 errors here exactly as
+        // `contained_in` would.
+        return q1s.iter().map(|q1| contained_in(q1, q2)).collect();
+    };
+    let d2 = frozen.remove(0);
+    frozen
+        .iter()
+        .map(|d1| {
+            let sol = solve(&d2.database, &d1.database, Strategy::Auto)
+                .map_err(|e| QueryError::Invalid(e.to_string()))?;
+            Ok(sol.homomorphism.is_some())
+        })
+        .collect()
+}
+
+/// Query equivalence: containment both ways. The canonical databases
+/// (and their joint vocabulary) are built once and reused for both
+/// directions.
 pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool, QueryError> {
-    Ok(contained_in(q1, q2)? && contained_in(q2, q1)?)
+    let (d1, d2) = canonical_databases(q1, q2)?;
+    let forward = solve(&d2.database, &d1.database, Strategy::Auto)
+        .map_err(|e| QueryError::Invalid(e.to_string()))?;
+    if forward.homomorphism.is_none() {
+        return Ok(false);
+    }
+    let backward = solve(&d1.database, &d2.database, Strategy::Auto)
+        .map_err(|e| QueryError::Invalid(e.to_string()))?;
+    Ok(backward.homomorphism.is_some())
 }
 
 #[cfg(test)]
@@ -156,5 +208,72 @@ mod tests {
         let q1 = q("Q(X) :- E(X, Y).");
         let q2 = q("Q(X, Y) :- E(X, Y).");
         assert!(contained_in(&q1, &q2).is_err());
+        assert!(contained_in_batch(std::slice::from_ref(&q1), &q2).is_err());
+    }
+
+    #[test]
+    fn batch_containment_agrees_with_pairwise() {
+        // One fixed Q2, many candidates — the batch must answer exactly
+        // like the pairwise route, including across disjoint predicate
+        // sets (the joint vocabulary covers the whole batch).
+        let q2 = q("Q(X) :- E(X, Y).");
+        let q1s = vec![
+            q("Q(X) :- E(X, Y), E(Y, Z), E(Z, X)."),
+            q("Q(X) :- E(Y, X)."),
+            q("Q(X) :- E(X, X)."),
+            q("Q(X) :- R(X, Y), E(X, Z)."),
+            q("Q(X) :- R(X, Y)."),
+        ];
+        let batch = contained_in_batch(&q1s, &q2).unwrap();
+        assert_eq!(batch.len(), q1s.len());
+        for (q1, got) in q1s.iter().zip(&batch) {
+            assert_eq!(*got, contained_in(q1, &q2).unwrap(), "{q1}");
+        }
+        assert_eq!(batch, vec![true, false, true, true, false]);
+        assert!(contained_in_batch(&[], &q2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn candidate_vs_candidate_arity_clash_does_not_poison_the_batch() {
+        // R/2 in one candidate and R/1 in another never meet in a
+        // pairwise check; the batch must fall back to pairwise
+        // canonicalization instead of failing every verdict.
+        let q2 = q("Q(X) :- E(X, Y).");
+        let q1s = vec![q("Q(X) :- R(X, X)."), q("Q(X) :- R(X).")];
+        let batch = contained_in_batch(&q1s, &q2).unwrap();
+        for (q1, got) in q1s.iter().zip(&batch) {
+            assert_eq!(*got, contained_in(q1, &q2).unwrap(), "{q1}");
+        }
+        // A candidate clashing with q2 itself errors, as pairwise does.
+        let clash = vec![q("Q(X) :- E(X, Y, Z).")];
+        assert!(contained_in_batch(&clash, &q2).is_err());
+        assert!(contained_in(&clash[0], &q2).is_err());
+    }
+
+    #[test]
+    fn equivalent_still_pins_the_classic_answers() {
+        // `equivalent` now freezes the pair once and reuses the joint
+        // canonical databases for both directions; the verdicts must be
+        // exactly the two-call ones.
+        let cases = [
+            ("Q(X) :- E(X, Y), E(X, Z).", "Q(X) :- E(X, Y).", true),
+            ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(X, Y).", false),
+            ("Q :- E(A,B), E(B,C), E(C,A).", "Q :- E(A,B).", false),
+            (
+                "Q :- E(A,B), E(B,A).",
+                "Q :- E(A,B), E(B,C), E(C,D), E(D,A), E(B,A), E(C,B), E(D,C), E(A,D).",
+                true,
+            ),
+        ];
+        for (left, right, want) in cases {
+            let ql = q(left);
+            let qr = q(right);
+            assert_eq!(equivalent(&ql, &qr).unwrap(), want, "{left} ≡ {right}");
+            assert_eq!(
+                equivalent(&ql, &qr).unwrap(),
+                contained_in(&ql, &qr).unwrap() && contained_in(&qr, &ql).unwrap(),
+                "{left} ≡ {right} two-call agreement"
+            );
+        }
     }
 }

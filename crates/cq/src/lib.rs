@@ -27,8 +27,10 @@ pub mod saraiya;
 pub mod width;
 
 pub use ast::{Atom, ConjunctiveQuery, QueryError};
-pub use canonical::{canonical_databases, canonical_query};
-pub use containment::{contained_in, contained_in_with, equivalent};
+pub use canonical::{
+    canonical_database, canonical_databases, canonical_databases_many, canonical_query,
+};
+pub use containment::{contained_in, contained_in_batch, contained_in_with, equivalent};
 pub use evaluation::{boolean_answer, evaluate};
 pub use minimize::minimize;
 pub use parser::parse_query;

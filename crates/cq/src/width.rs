@@ -11,8 +11,10 @@ use crate::ast::ConjunctiveQuery;
 use crate::canonical::canonical_database;
 use cqcs_structures::{gaifman_graph, UndirectedGraph};
 use cqcs_treewidth::acyclic::is_acyclic;
-use cqcs_treewidth::exact::{dp_treewidth, exact_treewidth_budgeted, EXACT_MAX_VERTICES};
-use cqcs_treewidth::heuristics::min_fill_decomposition;
+use cqcs_treewidth::exact::{
+    dp_treewidth, exact_treewidth_budgeted, exact_treewidth_budgeted_seeded, EXACT_MAX_VERTICES,
+};
+use cqcs_treewidth::heuristics::{decomposition_from_elimination, min_fill_order};
 
 /// Largest query graph the exact-width oracle is consulted on. The old
 /// ceiling was the subset DP's 24 vertices; branch and bound lifts it,
@@ -52,12 +54,13 @@ pub struct QueryWidth {
 pub fn query_width(q: &ConjunctiveQuery) -> QueryWidth {
     let cd = canonical_database(q);
     let g = gaifman_graph(&cd.database);
-    let treewidth_upper = if cd.database.universe() == 0 {
-        0
-    } else {
-        min_fill_decomposition(&g).width()
-    };
-    let treewidth_exact = exact_width_oracle(&g, WIDTH_ORACLE_NODE_BUDGET);
+    // One min-fill run serves both the upper bound and the exact
+    // probe's seed order.
+    let order = (cd.database.universe() > 0).then(|| min_fill_order(&g));
+    let treewidth_upper = order
+        .as_ref()
+        .map_or(0, |o| decomposition_from_elimination(&g, o).width());
+    let treewidth_exact = exact_width_oracle(&g, order.as_deref(), WIDTH_ORACLE_NODE_BUDGET);
     QueryWidth {
         variables: cd.database.universe(),
         atoms: q.body.len(),
@@ -68,16 +71,24 @@ pub fn query_width(q: &ConjunctiveQuery) -> QueryWidth {
 }
 
 /// The exact measure behind [`query_width`]: budgeted branch and bound
-/// up to [`WIDTH_ORACLE_MAX_VERTICES`] vertices, falling back to the
+/// up to [`WIDTH_ORACLE_MAX_VERTICES`] vertices (seeded with the
+/// caller's min-fill order when it has one), falling back to the
 /// subset DP when the budget runs out on a graph small enough for it —
 /// so the ≤ [`EXACT_MAX_VERTICES`]-variable guarantee of the pre-B&B
 /// oracle is preserved (the DP is budgetless but bounded at that size).
-fn exact_width_oracle(g: &UndirectedGraph, node_budget: u64) -> Option<usize> {
+fn exact_width_oracle(
+    g: &UndirectedGraph,
+    seed_order: Option<&[usize]>,
+    node_budget: u64,
+) -> Option<usize> {
     if g.len() > WIDTH_ORACLE_MAX_VERTICES {
         return None;
     }
-    exact_treewidth_budgeted(g, node_budget)
-        .or_else(|| (g.len() <= EXACT_MAX_VERTICES).then(|| dp_treewidth(g)))
+    match seed_order {
+        Some(order) => exact_treewidth_budgeted_seeded(g, order, node_budget),
+        None => exact_treewidth_budgeted(g, node_budget),
+    }
+    .or_else(|| (g.len() <= EXACT_MAX_VERTICES).then(|| dp_treewidth(g)))
 }
 
 #[cfg(test)]
@@ -151,8 +162,10 @@ mod tests {
         let mut exercised_fallback = false;
         for seed in 0..6u64 {
             let g = gaifman_graph(&generators::random_graph_nm(12, 26, seed));
-            let w = exact_width_oracle(&g, 1).expect("small graph: always Some");
+            let order = min_fill_order(&g);
+            let w = exact_width_oracle(&g, Some(&order), 1).expect("small graph: always Some");
             assert_eq!(w, dp_treewidth(&g), "seed {seed}");
+            assert_eq!(exact_width_oracle(&g, None, 1), Some(w), "seed {seed}");
             if exact_treewidth_budgeted(&g, 1).is_none() {
                 exercised_fallback = true;
             }
@@ -164,7 +177,10 @@ mod tests {
         // Past the DP ceiling the oracle stays oracle-if-cheap: None on
         // exhaustion rather than stalling.
         let big = gaifman_graph(&generators::random_graph_nm(40, 120, 3));
-        assert_eq!(exact_width_oracle(&big, 1), None);
+        assert_eq!(
+            exact_width_oracle(&big, Some(&min_fill_order(&big)), 1),
+            None
+        );
     }
 
     #[test]

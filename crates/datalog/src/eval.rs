@@ -12,9 +12,91 @@
 use crate::ast::{Atom, PredId, Program, Rule};
 use cqcs_structures::Structure;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 /// Derived facts per predicate.
 pub type FactStore = HashMap<PredId, HashSet<Vec<u32>>>;
+
+/// An append-only fact list with a tuple-membership index: facts are
+/// stored once, in derivation order, so the semi-naive evaluator's
+/// deltas are just index ranges into this vector — no per-stratum
+/// cloning of relations into a separate delta store. Membership is a
+/// hash-bucket lookup (full-tuple comparison on collision, so the index
+/// is exact).
+#[derive(Debug, Default)]
+struct IndexedFacts {
+    facts: Vec<Vec<u32>>,
+    /// fact hash → indices into `facts` with that hash.
+    index: HashMap<u64, Vec<u32>>,
+}
+
+impl IndexedFacts {
+    fn hash_of(fact: &[u32]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        fact.hash(&mut h);
+        h.finish()
+    }
+
+    /// Membership with a caller-computed hash, so one hash serves
+    /// several probes of the same fact.
+    fn contains_hashed(&self, hash: u64, fact: &[u32]) -> bool {
+        self.index
+            .get(&hash)
+            .is_some_and(|ids| ids.iter().any(|&i| self.facts[i as usize] == fact))
+    }
+
+    /// Appends `fact` unless already present; reports whether it was new.
+    fn insert(&mut self, fact: Vec<u32>) -> bool {
+        self.insert_hashed(Self::hash_of(&fact), fact)
+    }
+
+    fn insert_hashed(&mut self, hash: u64, fact: Vec<u32>) -> bool {
+        let ids = self.index.entry(hash).or_default();
+        if ids.iter().any(|&i| self.facts[i as usize] == fact) {
+            return false;
+        }
+        ids.push(self.facts.len() as u32);
+        self.facts.push(fact);
+        true
+    }
+
+    /// Empties the store, keeping allocations (scratch reuse).
+    fn clear(&mut self) {
+        self.facts.clear();
+        self.index.clear();
+    }
+}
+
+/// Where one body atom draws its candidate facts from: an EDB hash set
+/// or a (possibly delta-ranged) slice of an [`IndexedFacts`] vector.
+enum AtomSource<'a> {
+    Set(&'a HashSet<Vec<u32>>),
+    Slice(&'a [Vec<u32>]),
+}
+
+impl<'a> AtomSource<'a> {
+    fn iter(&self) -> SourceIter<'a> {
+        match self {
+            AtomSource::Set(s) => SourceIter::Set(s.iter()),
+            AtomSource::Slice(s) => SourceIter::Slice(s.iter()),
+        }
+    }
+}
+
+enum SourceIter<'a> {
+    Set(std::collections::hash_set::Iter<'a, Vec<u32>>),
+    Slice(std::slice::Iter<'a, Vec<u32>>),
+}
+
+impl<'a> Iterator for SourceIter<'a> {
+    type Item = &'a Vec<u32>;
+    fn next(&mut self) -> Option<&'a Vec<u32>> {
+        match self {
+            SourceIter::Set(it) => it.next(),
+            SourceIter::Slice(it) => it.next(),
+        }
+    }
+}
 
 /// The outcome of a bottom-up evaluation.
 #[derive(Debug, Clone)]
@@ -62,12 +144,14 @@ pub fn eval_naive(program: &Program, input: &Structure) -> EvalResult {
         iterations += 1;
         let mut fresh: Vec<(PredId, Vec<u32>)> = Vec::new();
         for rule in &program.rules {
+            let sources: Vec<AtomSource> = rule
+                .body
+                .iter()
+                .map(|a| naive_source(a, &edb, &idb))
+                .collect();
             derive(
                 rule,
-                &edb,
-                &idb,
-                None,
-                &idb,
+                &sources,
                 universe,
                 &mut |fact| {
                     fresh.push((rule.head.pred, fact));
@@ -94,118 +178,174 @@ pub fn eval_naive(program: &Program, input: &Structure) -> EvalResult {
     }
 }
 
+fn naive_source<'a>(atom: &Atom, edb: &'a FactStore, idb: &'a FactStore) -> AtomSource<'a> {
+    let store = if edb.contains_key(&atom.pred) {
+        edb
+    } else {
+        idb
+    };
+    match store.get(&atom.pred) {
+        Some(facts) => AtomSource::Set(facts),
+        None => AtomSource::Slice(&[]),
+    }
+}
+
 /// Semi-naive evaluation: each round only instantiates rule bodies with
 /// at least one atom taken from the previous round's delta.
+///
+/// Derived facts live in per-predicate [`IndexedFacts`] — an
+/// append-only vector plus a tuple-membership index — and a round's
+/// delta is just the index range appended by the previous round, read
+/// as a slice. Nothing is cloned between the delta and the full store
+/// (the pre-rework evaluator copied every delta fact into the IDB per
+/// stratum), and the final [`EvalResult::facts`] is built by *moving*
+/// the vectors. Output is pinned equal to [`eval_naive`]'s (tests and
+/// E12), and `iterations`/`join_work` keep their conventions.
 pub fn eval_semi_naive(program: &Program, input: &Structure) -> EvalResult {
     let edb = edb_store(program, input);
     let universe = input.universe() as u32;
-    let mut idb: FactStore = HashMap::new();
+    let mut idb: HashMap<PredId, IndexedFacts> = HashMap::new();
+    // Pre-round fact counts: facts [..snapshot] are the full store a
+    // round may read, [delta_start..snapshot] the current delta.
+    fn snapshot_of(idb: &HashMap<PredId, IndexedFacts>) -> HashMap<PredId, usize> {
+        idb.iter().map(|(p, f)| (*p, f.facts.len())).collect()
+    }
     let mut iterations = 0usize;
     let mut join_work = 0usize;
+    // Per-derive scratch: dedups at emit time, so peak memory is
+    // bounded by *distinct* new facts (as the old per-round hash sets
+    // were), not by total join emissions.
+    let mut derived = IndexedFacts::default();
 
     // Round 0: rules whose bodies contain no IDB atom (including empty
     // bodies). This seeding round is a rule-application round and is
     // counted, matching the naive evaluator's every-round convention.
     iterations += 1;
-    let mut delta: FactStore = HashMap::new();
     for rule in &program.rules {
         if rule.body.iter().all(|a| !program.is_idb(a.pred)) {
+            let sources: Vec<AtomSource> = rule
+                .body
+                .iter()
+                .map(|a| {
+                    edb.get(&a.pred)
+                        .map_or(AtomSource::Slice(&[]), AtomSource::Set)
+                })
+                .collect();
             derive(
                 rule,
-                &edb,
-                &idb,
-                None,
-                &idb,
+                &sources,
                 universe,
                 &mut |fact| {
-                    delta.entry(rule.head.pred).or_default().insert(fact);
+                    derived.insert(fact);
                 },
                 &mut join_work,
             );
+            let store = idb.entry(rule.head.pred).or_default();
+            for fact in derived.facts.drain(..) {
+                store.insert(fact);
+            }
+            derived.clear();
         }
     }
-    for (p, facts) in &delta {
-        idb.entry(*p).or_default().extend(facts.iter().cloned());
-    }
 
-    while delta.values().any(|s| !s.is_empty()) {
+    // Each main round reads the store as of its start (`snapshot`) and
+    // appends; the facts appended during round k are round k+1's delta.
+    let mut delta_start: HashMap<PredId, usize> = HashMap::new();
+    loop {
+        let snapshot = snapshot_of(&idb);
+        let any_delta = snapshot
+            .iter()
+            .any(|(p, &end)| delta_start.get(p).copied().unwrap_or(0) < end);
+        if !any_delta {
+            break;
+        }
         iterations += 1;
-        let mut next: FactStore = HashMap::new();
         for rule in &program.rules {
             for (pos, atom) in rule.body.iter().enumerate() {
                 if !program.is_idb(atom.pred) {
                     continue;
                 }
-                if delta.get(&atom.pred).is_none_or(HashSet::is_empty) {
+                let d_end = snapshot.get(&atom.pred).copied().unwrap_or(0);
+                let d_start = delta_start.get(&atom.pred).copied().unwrap_or(0);
+                if d_start >= d_end {
                     continue;
                 }
-                derive(
-                    rule,
-                    &edb,
-                    &idb,
-                    Some(pos),
-                    &delta,
-                    universe,
-                    &mut |fact| {
-                        if !idb.get(&rule.head.pred).is_some_and(|s| s.contains(&fact)) {
-                            next.entry(rule.head.pred).or_default().insert(fact);
-                        }
-                    },
-                    &mut join_work,
-                );
+                {
+                    let sources: Vec<AtomSource> = rule
+                        .body
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| {
+                            if let Some(facts) = edb.get(&a.pred) {
+                                return AtomSource::Set(facts);
+                            }
+                            let all = idb.get(&a.pred).map_or(&[][..], |f| &f.facts[..]);
+                            let end = snapshot.get(&a.pred).copied().unwrap_or(0);
+                            if i == pos {
+                                AtomSource::Slice(&all[d_start..end])
+                            } else {
+                                AtomSource::Slice(&all[..end])
+                            }
+                        })
+                        .collect();
+                    let head = idb.get(&rule.head.pred);
+                    derive(
+                        rule,
+                        &sources,
+                        universe,
+                        &mut |fact| {
+                            let h = IndexedFacts::hash_of(&fact);
+                            if !head.is_some_and(|f| f.contains_hashed(h, &fact)) {
+                                derived.insert_hashed(h, fact);
+                            }
+                        },
+                        &mut join_work,
+                    );
+                }
+                if !derived.facts.is_empty() {
+                    let store = idb.entry(rule.head.pred).or_default();
+                    for fact in derived.facts.drain(..) {
+                        store.insert(fact);
+                    }
+                    derived.clear();
+                }
             }
         }
-        for (p, facts) in &next {
-            idb.entry(*p).or_default().extend(facts.iter().cloned());
+        for (p, end) in snapshot {
+            delta_start.insert(p, end);
         }
-        delta = next;
     }
-    let goal_derived = idb.get(&program.goal).is_some_and(|s| !s.is_empty());
+    let goal_derived = idb.get(&program.goal).is_some_and(|f| !f.facts.is_empty());
+    // Moves, not clones: each fact vector is handed to the result set.
+    let facts: FactStore = idb
+        .into_iter()
+        .map(|(p, f)| (p, f.facts.into_iter().collect::<HashSet<_>>()))
+        .collect();
     EvalResult {
-        facts: idb,
+        facts,
         goal_derived,
         iterations,
         join_work,
     }
 }
 
-/// Evaluates one rule body by backtracking join; head-only variables
-/// range over the active domain. When `delta_pos` is set, that body
-/// atom draws from `delta` instead of the full store.
-#[allow(clippy::too_many_arguments)]
+/// Evaluates one rule body by backtracking join over the given per-atom
+/// fact sources; head-only variables range over the active domain.
 fn derive(
     rule: &Rule,
-    edb: &FactStore,
-    idb: &FactStore,
-    delta_pos: Option<usize>,
-    delta: &FactStore,
+    sources: &[AtomSource],
     universe: u32,
     emit: &mut dyn FnMut(Vec<u32>),
     join_work: &mut usize,
 ) {
     let mut binding: Vec<Option<u32>> = vec![None; rule.num_vars];
-    join_atoms(
-        rule,
-        0,
-        edb,
-        idb,
-        delta_pos,
-        delta,
-        universe,
-        &mut binding,
-        emit,
-        join_work,
-    );
+    join_atoms(rule, 0, sources, universe, &mut binding, emit, join_work);
 }
 
-#[allow(clippy::too_many_arguments)]
 fn join_atoms(
     rule: &Rule,
     pos: usize,
-    edb: &FactStore,
-    idb: &FactStore,
-    delta_pos: Option<usize>,
-    delta: &FactStore,
+    sources: &[AtomSource],
     universe: u32,
     binding: &mut Vec<Option<u32>>,
     emit: &mut dyn FnMut(Vec<u32>),
@@ -217,17 +357,13 @@ fn join_atoms(
         return;
     }
     let atom = &rule.body[pos];
-    let store = if delta_pos == Some(pos) {
-        delta
-    } else {
-        pick_store(atom, edb, idb)
-    };
-    let Some(facts) = store.get(&atom.pred) else {
-        return;
-    };
-    'fact: for fact in facts {
+    // One scratch list per join level, reused across the fact loop
+    // (the old per-fact `Vec::new()` was a heap allocation per
+    // `join_work` unit).
+    let mut bound_here: Vec<usize> = Vec::with_capacity(atom.args.len());
+    'fact: for fact in sources[pos].iter() {
         *join_work += 1;
-        let mut bound_here: Vec<usize> = Vec::new();
+        bound_here.clear();
         for (i, &v) in atom.args.iter().enumerate() {
             match binding[v.index()] {
                 Some(existing) if existing != fact[i] => {
@@ -243,29 +379,10 @@ fn join_atoms(
                 }
             }
         }
-        join_atoms(
-            rule,
-            pos + 1,
-            edb,
-            idb,
-            delta_pos,
-            delta,
-            universe,
-            binding,
-            emit,
-            join_work,
-        );
+        join_atoms(rule, pos + 1, sources, universe, binding, emit, join_work);
         for &b in &bound_here {
             binding[b] = None;
         }
-    }
-}
-
-fn pick_store<'a>(atom: &Atom, edb: &'a FactStore, idb: &'a FactStore) -> &'a FactStore {
-    if edb.contains_key(&atom.pred) {
-        edb
-    } else {
-        idb
     }
 }
 
@@ -449,6 +566,28 @@ mod tests {
         let semi = eval_semi_naive(&program, &input);
         assert_eq!(naive.iterations, 5);
         assert_eq!(semi.iterations, 5);
+    }
+
+    #[test]
+    fn semi_naive_matches_naive_on_rho_b() {
+        // The delta-range rework must stay pinned to the naive
+        // evaluator on the canonical-program workload the benches
+        // measure: same facts for every predicate, same goal verdict.
+        let program = crate::canonical::canonical_program(&generators::complete_graph(2), 2);
+        for seed in 0..6u64 {
+            let input = generators::random_digraph(5, 0.3, seed);
+            let nv = eval_naive(&program, &input);
+            let sn = eval_semi_naive(&program, &input);
+            assert_eq!(nv.goal_derived, sn.goal_derived, "seed {seed}");
+            for p in 0..program.num_preds() {
+                let p = crate::ast::PredId(p as u32);
+                assert_eq!(
+                    nv.facts.get(&p).cloned().unwrap_or_default(),
+                    sn.facts.get(&p).cloned().unwrap_or_default(),
+                    "seed {seed} pred {p:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! property suite checks the engine against.
 
 use crate::propagator::Propagator;
-use cqcs_structures::{BitSet, Structure};
+use cqcs_structures::{BitSet, Structure, SupportIndex};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// The result of enforcing arc consistency.
 #[derive(Debug, Clone)]
@@ -50,7 +51,44 @@ pub fn arc_consistent_domains(a: &Structure, b: &Structure) -> ArcConsistency {
 /// use `assign`/`undo` instead.
 pub fn refine_domains(a: &Structure, b: &Structure, domains: Vec<BitSet>) -> ArcConsistency {
     let mut p = Propagator::with_domains(a, b, domains);
-    let consistent = p.establish();
+    finish(p.establish(), p)
+}
+
+/// [`arc_consistent_domains`] over a **prebuilt** support index for
+/// `b`: the one-shot fixpoint without the per-call index construction
+/// that used to dominate it. Callers streaming instances against one
+/// template build the index once (`SupportIndex::build(b)`) and pass it
+/// here per solve.
+///
+/// # Panics
+/// Panics on vocabulary mismatch or an index not matching `b`.
+pub fn arc_consistent_domains_with_support(
+    a: &Structure,
+    b: &Structure,
+    support: &Arc<SupportIndex>,
+) -> ArcConsistency {
+    let full = BitSet::full(b.universe());
+    let domains = vec![full; a.universe()];
+    refine_domains_with_support(a, b, support, domains)
+}
+
+/// [`refine_domains`] over a prebuilt support index (see
+/// [`arc_consistent_domains_with_support`]).
+///
+/// # Panics
+/// Panics on vocabulary mismatch, a domain vector not matching `a`, or
+/// an index not matching `b`.
+pub fn refine_domains_with_support(
+    a: &Structure,
+    b: &Structure,
+    support: &Arc<SupportIndex>,
+    domains: Vec<BitSet>,
+) -> ArcConsistency {
+    let mut p = Propagator::with_domains_and_support(a, b, domains, Arc::clone(support));
+    finish(p.establish(), p)
+}
+
+fn finish(consistent: bool, p: Propagator<'_>) -> ArcConsistency {
     let deletions = p.deletions();
     ArcConsistency {
         domains: p.into_domains(),
@@ -263,6 +301,34 @@ mod tests {
             assert_eq!(ac.domains[e].len(), 1, "cycle coloring is forced");
             assert_eq!(ac.domains[e].min(), Some(e % 2));
         }
+    }
+
+    #[test]
+    fn prebuilt_index_path_is_a_drop_in() {
+        use cqcs_structures::SupportIndex;
+        use std::sync::Arc;
+        for seed in 0..15u64 {
+            let a = generators::random_structure(5, &[1, 2, 3], 8, seed);
+            let b = generators::random_structure_over(a.vocabulary(), 3, 9, seed + 40);
+            let support = Arc::new(SupportIndex::build(&b));
+            let plain = arc_consistent_domains(&a, &b);
+            let shared = arc_consistent_domains_with_support(&a, &b, &support);
+            assert_eq!(shared.consistent, plain.consistent, "seed {seed}");
+            assert_eq!(shared.domains, plain.domains, "seed {seed}");
+            assert_eq!(shared.deletions, plain.deletions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support index does not match")]
+    fn mismatched_index_is_rejected() {
+        use cqcs_structures::SupportIndex;
+        use std::sync::Arc;
+        let a = generators::undirected_cycle(4);
+        let b = generators::complete_graph(3);
+        let other = generators::complete_graph(2);
+        let support = Arc::new(SupportIndex::build(&other));
+        let _ = arc_consistent_domains_with_support(&a, &b, &support);
     }
 
     #[test]

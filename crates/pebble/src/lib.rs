@@ -24,7 +24,10 @@ pub mod game;
 pub mod propagator;
 pub mod solver;
 
-pub use consistency::{arc_consistent_domains, refine_domains, ArcConsistency};
+pub use consistency::{
+    arc_consistent_domains, arc_consistent_domains_with_support, refine_domains,
+    refine_domains_with_support, ArcConsistency,
+};
 pub use game::{duplicator_wins, solve_game, Config, GameAnalysis};
 pub use propagator::Propagator;
 pub use solver::{pebble_filter, spoiler_wins, PebbleOutcome};

@@ -25,6 +25,7 @@
 
 use cqcs_structures::{BitSet, Element, RelId, Structure, SupportIndex};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Incremental arc-consistency engine over a fixed instance `(A, B)`.
 #[derive(Debug, Clone)]
@@ -32,8 +33,10 @@ pub struct Propagator<'s> {
     a: &'s Structure,
     b: &'s Structure,
     /// Built lazily on [`establish`](Propagator::establish) so plain
-    /// (non-MAC) searches pay nothing for it.
-    support: Option<SupportIndex>,
+    /// (non-MAC) searches pay nothing for it; shared (`Arc`) so a
+    /// compiled template can hand one index to many solves instead of
+    /// rebuilding it per instance.
+    support: Option<Arc<SupportIndex>>,
     domains: Vec<BitSet>,
     /// Cached `domains[e].len()` for O(1) MRV reads.
     sizes: Vec<usize>,
@@ -67,6 +70,49 @@ impl<'s> Propagator<'s> {
         let full = BitSet::full(b.universe());
         let domains = vec![full; a.universe()];
         Self::with_domains(a, b, domains)
+    }
+
+    /// Creates a propagator with full domains over a **prebuilt**
+    /// support index for `b`, so a caller solving many instances
+    /// against one template builds the index once
+    /// ([`SupportIndex::build`]) and shares it across solves.
+    ///
+    /// # Panics
+    /// Panics if the structures are over different vocabularies or the
+    /// index does not match `b`'s relations (tuple counts are checked).
+    pub fn with_support(a: &'s Structure, b: &'s Structure, support: Arc<SupportIndex>) -> Self {
+        let full = BitSet::full(b.universe());
+        let domains = vec![full; a.universe()];
+        Self::with_domains_and_support(a, b, domains, support)
+    }
+
+    /// [`Propagator::with_support`] starting from the given domains.
+    ///
+    /// # Panics
+    /// Panics on vocabulary mismatch, a domain vector not matching
+    /// `a`'s universe, or an index whose universe or tuple counts
+    /// disagree with `b`.
+    pub fn with_domains_and_support(
+        a: &'s Structure,
+        b: &'s Structure,
+        domains: Vec<BitSet>,
+        support: Arc<SupportIndex>,
+    ) -> Self {
+        assert_eq!(
+            support.universe(),
+            b.universe(),
+            "support index does not match the template"
+        );
+        for r in b.vocabulary().iter() {
+            assert_eq!(
+                support.tuple_count(r),
+                b.relation(r).len(),
+                "support index does not match the template"
+            );
+        }
+        let mut p = Self::with_domains(a, b, domains);
+        p.support = Some(support);
+        p
     }
 
     /// Creates a propagator starting from the given domains (each with
@@ -173,7 +219,7 @@ impl<'s> Propagator<'s> {
         }
         self.established = true;
         if self.support.is_none() {
-            self.support = Some(SupportIndex::build(self.b));
+            self.support = Some(Arc::new(SupportIndex::build(self.b)));
         }
         // 0-ary relations: a missing fact in B is a global wipeout.
         for r in self.a.vocabulary().iter() {
@@ -297,33 +343,45 @@ impl<'s> Propagator<'s> {
         let arity = tuple.len();
         let ri = r.index();
 
-        // live = ∩_p ⋃_{v ∈ dom(e_p)} supports(r, p, v)
-        let mut live = std::mem::take(&mut self.live[ri]);
-        let mut acc = std::mem::take(&mut self.acc[ri]);
-        live.insert_all();
-        for (p, &e) in tuple.iter().enumerate() {
-            if live.is_empty() {
-                break;
+        let b_universe = self.b.universe();
+        if tuple.iter().all(|&e| self.sizes[e.index()] == b_universe) {
+            // Every domain is still full (the common case on the first
+            // establish wave): every tuple of `R^B` is live, so the
+            // supported sets are exactly the index's cached position
+            // projections — skip the union/intersection work.
+            for (p, s) in self.supported.iter_mut().enumerate().take(arity) {
+                s.clear();
+                s.union_with(support.projection(r, p));
             }
-            acc.clear();
-            for v in self.domains[e.index()].iter() {
-                acc.union_with(support.supports(r, p, v));
+        } else {
+            // live = ∩_p ⋃_{v ∈ dom(e_p)} supports(r, p, v)
+            let mut live = std::mem::take(&mut self.live[ri]);
+            let mut acc = std::mem::take(&mut self.acc[ri]);
+            live.insert_all();
+            for (p, &e) in tuple.iter().enumerate() {
+                if live.is_empty() {
+                    break;
+                }
+                acc.clear();
+                for v in self.domains[e.index()].iter() {
+                    acc.union_with(support.supports(r, p, v));
+                }
+                live.intersect_with(&acc);
             }
-            live.intersect_with(&acc);
-        }
 
-        // supported[p] = {w[p] : w live}
-        let brel = self.b.relation(r);
-        for s in self.supported.iter_mut().take(arity) {
-            s.clear();
-        }
-        for w in live.iter() {
-            for (p, &bv) in brel.tuple(w).iter().enumerate() {
-                self.supported[p].insert(bv.index());
+            // supported[p] = {w[p] : w live}
+            let brel = self.b.relation(r);
+            for s in self.supported.iter_mut().take(arity) {
+                s.clear();
             }
+            for w in live.iter() {
+                for (p, &bv) in brel.tuple(w).iter().enumerate() {
+                    self.supported[p].insert(bv.index());
+                }
+            }
+            self.live[ri] = live;
+            self.acc[ri] = acc;
         }
-        self.live[ri] = live;
-        self.acc[ri] = acc;
 
         // Intersect each element's domain with its supported set,
         // trailing every removal so `undo` can restore it.

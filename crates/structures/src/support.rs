@@ -22,6 +22,13 @@ pub struct SupportIndex {
     per_rel: Vec<Vec<Vec<BitSet>>>,
     /// `|R|` per relation, the capacity of each tuple-id bitset.
     tuple_counts: Vec<usize>,
+    /// `projections[r][p]` = values occurring at position `p` of `R` —
+    /// the supported set a revision computes when every domain is still
+    /// full, cached here so that case skips the union/intersection work.
+    projections: Vec<Vec<BitSet>>,
+    /// Universe size of the indexed structure (the capacity of each
+    /// projection bitset).
+    universe: usize,
 }
 
 impl SupportIndex {
@@ -30,26 +37,42 @@ impl SupportIndex {
         let universe = s.universe();
         let mut per_rel = Vec::with_capacity(s.vocabulary().len());
         let mut tuple_counts = Vec::with_capacity(s.vocabulary().len());
+        let mut projections = Vec::with_capacity(s.vocabulary().len());
         for r in s.vocabulary().iter() {
             let rel = s.relation(r);
             let ntuples = rel.len();
             let mut positions = Vec::with_capacity(rel.arity());
+            let mut projs = Vec::with_capacity(rel.arity());
             for p in 0..rel.arity() {
                 let mut by_value = vec![BitSet::new(ntuples); universe];
+                let mut proj = BitSet::new(universe);
                 for (v, bits) in by_value.iter_mut().enumerate() {
                     for &t in rel.tuples_with(p, Element::new(v)) {
                         bits.insert(t as usize);
                     }
+                    if !bits.is_empty() {
+                        proj.insert(v);
+                    }
                 }
                 positions.push(by_value);
+                projs.push(proj);
             }
             per_rel.push(positions);
             tuple_counts.push(ntuples);
+            projections.push(projs);
         }
         SupportIndex {
             per_rel,
             tuple_counts,
+            projections,
+            universe,
         }
+    }
+
+    /// Universe size of the structure this index was built over.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
     }
 
     /// Ids of tuples of relation `r` whose `pos`-th component is
@@ -64,6 +87,14 @@ impl SupportIndex {
     #[inline]
     pub fn tuple_count(&self, r: RelId) -> usize {
         self.tuple_counts[r.index()]
+    }
+
+    /// Values occurring at position `pos` of relation `r`, as a bitset
+    /// over the indexed structure's universe: exactly the supported set
+    /// of a tuple whose every element still has a full domain.
+    #[inline]
+    pub fn projection(&self, r: RelId, pos: usize) -> &BitSet {
+        &self.projections[r.index()][pos]
     }
 }
 
@@ -102,6 +133,22 @@ mod tests {
             for p in 0..rel.arity() {
                 let total: usize = (0..s.universe()).map(|v| idx.supports(r, p, v).len()).sum();
                 assert_eq!(total, rel.len(), "partition of tuple ids by value");
+            }
+        }
+    }
+
+    #[test]
+    fn projections_are_position_value_sets() {
+        let s = generators::random_structure(5, &[1, 2, 3], 7, 9);
+        let idx = SupportIndex::build(&s);
+        for r in s.vocabulary().iter() {
+            let rel = s.relation(r);
+            for p in 0..rel.arity() {
+                let expected: Vec<usize> = (0..s.universe())
+                    .filter(|&v| rel.iter().any(|t| t[p] == Element::new(v)))
+                    .collect();
+                let got: Vec<usize> = idx.projection(r, p).iter().collect();
+                assert_eq!(got, expected, "relation {r:?} pos {p}");
             }
         }
     }

@@ -11,7 +11,7 @@
 //! `hom(A → B)` in polynomial time, with a top-down pass extracting a
 //! witness.
 
-use cqcs_structures::{Element, Homomorphism, RelId, Structure};
+use cqcs_structures::{BitSet, Element, Homomorphism, RelId, Structure};
 use std::collections::{HashMap, HashSet};
 
 /// A join tree over the tuples of a structure.
@@ -37,38 +37,68 @@ pub fn gyo_join_tree(a: &Structure) -> Option<JoinTree> {
         }
     }
     let n = nodes.len();
-    // Current (shrinking) vertex sets per hyperedge.
-    let mut edge_sets: Vec<HashSet<u32>> = nodes
+    // Current (shrinking) vertex sets per hyperedge, as bitsets over
+    // the universe: occurrence counting is an array walk and the
+    // containment test a word-wise subset check, instead of the
+    // hash-set churn this reduction used to spend most of its time on
+    // (it sits on the dispatcher's per-instance hot path).
+    let mut edge_sets: Vec<BitSet> = nodes
         .iter()
         .map(|&(r, t)| {
-            a.relation(r)
-                .tuple(t as usize)
-                .iter()
-                .map(|e| e.0)
-                .collect()
+            let mut s = BitSet::new(a.universe());
+            for &e in a.relation(r).tuple(t as usize) {
+                s.insert(e.index());
+            }
+            s
         })
         .collect();
     let mut alive: Vec<bool> = vec![true; n];
     let mut parent: Vec<Option<usize>> = vec![None; n];
     let mut remaining = n;
+    let mut occur = vec![0usize; a.universe()];
+    let mut ears: Vec<usize> = Vec::new();
+
+    // Exact duplicates (e.g. the two directions of a symmetric edge,
+    // or repeated-element tuples collapsing to one set) are contained
+    // in their twin by definition; folding them up front keeps the
+    // quadratic containment scan off the duplicated bulk.
+    {
+        let mut first: HashMap<Vec<usize>, usize> = HashMap::new();
+        for i in 0..n {
+            let key: Vec<usize> = edge_sets[i].iter().collect();
+            match first.get(&key) {
+                Some(&j) => {
+                    alive[i] = false;
+                    parent[i] = Some(j);
+                    remaining -= 1;
+                }
+                None => {
+                    first.insert(key, i);
+                }
+            }
+        }
+    }
 
     loop {
         let mut progress = false;
         // Count vertex occurrences among live edges.
-        let mut occur: HashMap<u32, usize> = HashMap::new();
+        occur.fill(0);
         for (i, set) in edge_sets.iter().enumerate() {
             if alive[i] {
-                for &v in set {
-                    *occur.entry(v).or_insert(0) += 1;
+                for v in set.iter() {
+                    occur[v] += 1;
                 }
             }
         }
         // Ear-vertex removal.
         for (i, set) in edge_sets.iter_mut().enumerate() {
             if alive[i] {
-                let before = set.len();
-                set.retain(|v| occur[v] > 1);
-                if set.len() < before {
+                ears.clear();
+                ears.extend(set.iter().filter(|&v| occur[v] <= 1));
+                for &v in &ears {
+                    set.remove(v);
+                }
+                if !ears.is_empty() {
                     progress = true;
                 }
             }

@@ -61,13 +61,52 @@ pub fn bb_treewidth_with_budget(g: &UndirectedGraph, node_budget: u64) -> Option
     optimal.then_some(r)
 }
 
+/// [`bb_treewidth_with_budget`] seeded by a caller-supplied elimination
+/// order (see [`bb_treewidth_best_effort_seeded`]).
+pub fn bb_treewidth_with_budget_seeded(
+    g: &UndirectedGraph,
+    seed_order: &[usize],
+    node_budget: u64,
+) -> Option<BbResult> {
+    let (r, optimal) = bb_treewidth_best_effort_seeded(g, seed_order, node_budget);
+    optimal.then_some(r)
+}
+
 /// [`bb_treewidth_with_budget`] for callers that want a *witness*, not
 /// a proof: exhaustion returns the incumbent — still a complete
 /// elimination order whose width upper-bounds the treewidth — instead
 /// of discarding it. The flag is `true` when the search finished, i.e.
 /// the width is exactly the treewidth.
 pub fn bb_treewidth_best_effort(g: &UndirectedGraph, node_budget: u64) -> (BbResult, bool) {
+    bb_treewidth_best_effort_seeded(g, &min_fill_order(g), node_budget)
+}
+
+/// [`bb_treewidth_best_effort`] seeded by a caller-supplied complete
+/// elimination order (typically the min-fill order the caller already
+/// computed for its upper bound — `analyze()`, `query_width()`, and the
+/// dispatcher's treewidth probe all have one in hand), so the search
+/// does not re-run the heuristic. The min-degree order is still tried
+/// as a second incumbent candidate: seeding with `min_fill_order(g)` is
+/// therefore exactly [`bb_treewidth_best_effort`].
+///
+/// # Panics
+/// Panics if `seed_order` is not a permutation of `g`'s vertices — a
+/// repeated or missing vertex would silently underestimate the
+/// incumbent width and could surface as a wrong "optimal" answer.
+pub fn bb_treewidth_best_effort_seeded(
+    g: &UndirectedGraph,
+    seed_order: &[usize],
+    node_budget: u64,
+) -> (BbResult, bool) {
     let n = g.len();
+    assert_eq!(seed_order.len(), n, "seed order must cover every vertex");
+    let mut seen = BitSet::new(n);
+    for &v in seed_order {
+        assert!(
+            v < n && seen.insert(v),
+            "seed order must be a permutation of the vertices"
+        );
+    }
     if n == 0 {
         return (
             BbResult {
@@ -78,8 +117,8 @@ pub fn bb_treewidth_best_effort(g: &UndirectedGraph, node_budget: u64) -> (BbRes
             true,
         );
     }
-    // Incumbent: the better of the two greedy elimination orders.
-    let mut best_order = min_fill_order(g);
+    // Incumbent: the better of the caller's seed and min-degree.
+    let mut best_order = seed_order.to_vec();
     let mut best_width = elimination_width(g, &best_order);
     let md = min_degree_order(g);
     let md_width = elimination_width(g, &md);
@@ -437,6 +476,51 @@ mod tests {
         let (r, optimal) = bb_treewidth_best_effort(&g, u64::MAX);
         assert!(optimal);
         assert_eq!(r.width, bb_treewidth(&g).width);
+    }
+
+    #[test]
+    fn seeding_with_min_fill_reproduces_the_unseeded_search_exactly() {
+        use crate::heuristics::min_fill_order;
+        // The seeded entry point exists so dispatch/analysis can hand
+        // over the min-fill order they already computed; with that seed
+        // it must be the same search — width, order, and node count.
+        for seed in 0..8u64 {
+            let g = gaifman_graph(&generators::random_graph_nm(13, 26, seed));
+            let order = min_fill_order(&g);
+            for budget in [u64::MAX, 50, 1] {
+                let (a, opt_a) = bb_treewidth_best_effort(&g, budget);
+                let (b, opt_b) = bb_treewidth_best_effort_seeded(&g, &order, budget);
+                assert_eq!(opt_a, opt_b, "seed {seed} budget {budget}");
+                assert_eq!(a.width, b.width, "seed {seed} budget {budget}");
+                assert_eq!(a.order, b.order, "seed {seed} budget {budget}");
+                assert_eq!(a.nodes, b.nodes, "seed {seed} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn non_permutation_seed_is_rejected() {
+        // A repeated vertex passes the length check but would
+        // underestimate the incumbent width; it must panic, not return
+        // a wrong "optimal" answer.
+        let g = gaifman_graph(&generators::undirected_cycle(5));
+        let bad = vec![0usize, 1, 2, 3, 3];
+        let _ = bb_treewidth_best_effort_seeded(&g, &bad, u64::MAX);
+    }
+
+    #[test]
+    fn arbitrary_seed_orders_are_sound() {
+        // Any complete order is a legal incumbent: the search still
+        // returns the exact width with a witnessing order.
+        for seed in 0..5u64 {
+            let g = gaifman_graph(&generators::random_graph_nm(11, 22, seed));
+            let identity: Vec<usize> = (0..g.len()).collect();
+            let (r, optimal) = bb_treewidth_best_effort_seeded(&g, &identity, u64::MAX);
+            assert!(optimal);
+            assert_eq!(r.width, bb_treewidth(&g).width, "seed {seed}");
+            check_order(&g, &r);
+        }
     }
 
     #[test]

@@ -110,15 +110,19 @@ pub fn solve_with_decomposition(
 
         let mut assignment: Vec<Element> = vec![Element(0); bag.len()];
         let mut counters = vec![0usize; bag.len()];
+        // Scratch projection buffer: `Vec<T>: Borrow<[T]>` lets the
+        // representative maps be probed by slice, so the enumeration's
+        // inner loop allocates only for assignments it actually keeps.
+        let mut proj: Vec<Element> = Vec::with_capacity(bag.len());
         'enumerate: loop {
             for (i, &c) in counters.iter().enumerate() {
                 assignment[i] = Element(c as u32);
             }
             if assignment_ok(a, b, bag, &assignment, &tuples_of[u])
                 && children.iter().enumerate().all(|(ci, &c)| {
-                    let proj: Vec<Element> =
-                        shared_pos[ci].iter().map(|&i| assignment[i]).collect();
-                    child_reps[c].contains_key(&proj)
+                    proj.clear();
+                    proj.extend(shared_pos[ci].iter().map(|&i| assignment[i]));
+                    child_reps[c].contains_key(proj.as_slice())
                 })
             {
                 valid[u].push(assignment.clone());
@@ -143,8 +147,11 @@ pub fn solve_with_decomposition(
                 .collect();
             let mut reps = HashMap::new();
             for asg in &valid[u] {
-                let proj: Vec<Element> = shared.iter().map(|&i| asg[i]).collect();
-                reps.entry(proj).or_insert_with(|| asg.clone());
+                proj.clear();
+                proj.extend(shared.iter().map(|&i| asg[i]));
+                if !reps.contains_key(proj.as_slice()) {
+                    reps.insert(proj.clone(), asg.clone());
+                }
             }
             child_reps[u] = reps;
         }

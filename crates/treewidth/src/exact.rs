@@ -16,7 +16,7 @@
 //! The two are cross-validated against each other by the differential
 //! property suite (`tests/property_based.rs`) and the E13 experiment.
 
-use crate::bb::{bb_treewidth, bb_treewidth_with_budget};
+use crate::bb::{bb_treewidth, bb_treewidth_with_budget, bb_treewidth_with_budget_seeded};
 use crate::decomposition::TreeDecomposition;
 use crate::heuristics::decomposition_from_elimination;
 use cqcs_structures::UndirectedGraph;
@@ -48,6 +48,21 @@ pub fn exact_treewidth(g: &UndirectedGraph) -> usize {
 /// one), so callers get oracle-if-cheap semantics at any size.
 pub fn exact_treewidth_budgeted(g: &UndirectedGraph, node_budget: u64) -> Option<usize> {
     bb_treewidth_with_budget(g, node_budget).map(|r| r.width)
+}
+
+/// [`exact_treewidth_budgeted`] seeded by an elimination order the
+/// caller already computed (its min-fill upper bound, typically), so
+/// the probe does not re-run the heuristic. Seeded with
+/// `min_fill_order(g)` this is exactly [`exact_treewidth_budgeted`].
+///
+/// # Panics
+/// Panics if `seed_order` does not cover every vertex of `g`.
+pub fn exact_treewidth_budgeted_seeded(
+    g: &UndirectedGraph,
+    seed_order: &[usize],
+    node_budget: u64,
+) -> Option<usize> {
+    bb_treewidth_with_budget_seeded(g, seed_order, node_budget).map(|r| r.width)
 }
 
 /// Exact treewidth together with a witnessing [`TreeDecomposition`]

@@ -41,11 +41,14 @@ pub mod lower_bounds;
 
 pub use acyclic::{is_acyclic, yannakakis};
 pub use bb::{
-    bb_treewidth, bb_treewidth_best_effort, bb_treewidth_with_budget, elimination_width, BbResult,
+    bb_treewidth, bb_treewidth_best_effort, bb_treewidth_best_effort_seeded,
+    bb_treewidth_with_budget, bb_treewidth_with_budget_seeded, elimination_width, BbResult,
 };
 pub use decomposition::TreeDecomposition;
 pub use dp::{homomorphism_via_treewidth, solve_with_decomposition};
-pub use exact::{exact_decomposition, exact_treewidth, exact_treewidth_budgeted};
+pub use exact::{
+    exact_decomposition, exact_treewidth, exact_treewidth_budgeted, exact_treewidth_budgeted_seeded,
+};
 pub use fo::{structure_to_fo, FoFormula};
 pub use heuristics::{decomposition_from_elimination, min_degree_order, min_fill_order};
 pub use lower_bounds::{mmd_lower_bound, mmd_plus_lower_bound};

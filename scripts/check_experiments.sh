@@ -27,7 +27,7 @@ if ! grep -q '^## E13' "$regen"; then
   echo "E13 treewidth cross-validation table is missing." >&2
   exit 1
 fi
-e13="$(sed -n '/^## E13/,$p' "$regen")"
+e13="$(sed -n '/^## E13/,/^## E14/p' "$regen")"
 if echo "$e13" | grep -qE 'INVALID|WIDTH MISMATCH'; then
   echo "E13 reports an invalid exact decomposition:" >&2
   echo "$e13" | grep -E 'INVALID|WIDTH MISMATCH' >&2
@@ -38,4 +38,30 @@ if echo "$e13" | grep -qE '\| false \|'; then
   echo "$e13" | grep -E '\| false \|' >&2
   exit 1
 fi
-echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates)."
+
+# E14 pins the session layer to the one-shot dispatcher: every row must
+# report identical node counts and verdicts between the two paths.
+if ! grep -q '^## E14' "$regen"; then
+  echo "E14 session-reuse table is missing." >&2
+  exit 1
+fi
+e14="$(sed -n '/^## E14/,/^## /p' "$regen")"
+if echo "$e14" | grep -qE '\| false \|'; then
+  echo "E14 reports a session/one-shot divergence:" >&2
+  echo "$e14" | grep -E '\| false \|' >&2
+  exit 1
+fi
+
+# The timing columns are tracked across PRs in EXPERIMENTS_HISTORY.md
+# (append-style, hand-maintained): it must exist and mention the newest
+# experiment so a PR that adds tables cannot skip the history line.
+if [ ! -s EXPERIMENTS_HISTORY.md ]; then
+  echo "EXPERIMENTS_HISTORY.md is missing or empty." >&2
+  exit 1
+fi
+newest="$(grep -oE '^## E[0-9]+' "$regen" | sed 's/^## //' | sort -V | tail -1)"
+if ! grep -q "$newest" EXPERIMENTS_HISTORY.md; then
+  echo "EXPERIMENTS_HISTORY.md does not track the $newest timing columns." >&2
+  exit 1
+fi
+echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session parity holds)."
