@@ -22,7 +22,13 @@
 //!   stream instances against it. [`solve`] is a thin
 //!   compile-then-solve wrapper, so both entry points route
 //!   identically; a [`CompiledTemplate`] is immutable and `Sync`, ready
-//!   to be shared across threads or shards.
+//!   to be shared across threads or shards;
+//! * [`exec`] — the multi-threaded batch driver over that shared
+//!   template: [`Session::par_solve_batch`] /
+//!   [`BatchExecutor`] fan a batch out to work-stealing workers, each
+//!   with a persistent per-worker scratch (propagator reset, pooled
+//!   search and GYO buffers), with output bit-identical to the
+//!   sequential batch.
 //!
 //! ```
 //! use cqcs_core::Session;
@@ -38,10 +44,12 @@
 //! ```
 
 pub mod analysis;
+pub mod exec;
 pub mod session;
 pub mod solvers;
 
 pub use analysis::{analyze, InstanceAnalysis};
+pub use exec::{par_map, BatchExecutor};
 pub use session::{CompiledTemplate, Session};
-pub use solvers::backtracking::{backtracking_search, SearchOptions, SearchStats};
+pub use solvers::backtracking::{backtracking_search, SearchOptions, SearchScratch, SearchStats};
 pub use solvers::dispatch::{solve, Route, Solution, Strategy};

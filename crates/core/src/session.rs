@@ -39,18 +39,16 @@
 //! ```
 
 use crate::analysis::{EXACT_WIDTH_PROBE_MAX_VERTICES, EXACT_WIDTH_PROBE_NODE_BUDGET};
-use crate::solvers::backtracking::{
-    backtracking_search, backtracking_search_with, SearchOptions, SearchStats,
-};
+use crate::exec::{BatchExecutor, WorkerScratch};
+use crate::solvers::backtracking::{backtracking_search_scratch, SearchOptions, SearchStats};
 use crate::solvers::dispatch::{Route, Solution, SolveError, Strategy, AUTO_TREEWIDTH_BUDGET};
 use cqcs_boolean::booleanize::{
     booleanize_instance, booleanize_template, identity_labels, BooleanizedTemplate,
 };
 use cqcs_boolean::schaefer::SchaeferSet;
 use cqcs_boolean::uniform::{schaefer_classes, solve_schaefer};
-use cqcs_pebble::propagator::Propagator;
 use cqcs_structures::{Element, Homomorphism, Structure, SupportIndex};
-use cqcs_treewidth::acyclic::yannakakis;
+use cqcs_treewidth::acyclic::{yannakakis_pooled, GyoScratch};
 use cqcs_treewidth::bb::bb_treewidth_best_effort_seeded;
 use cqcs_treewidth::dp::solve_with_decomposition;
 use cqcs_treewidth::heuristics::{decomposition_from_elimination, min_fill_order};
@@ -119,8 +117,8 @@ impl TemplateFacts {
 /// [`compile`]: CompiledTemplate::compile
 #[derive(Debug)]
 pub struct CompiledTemplate {
-    b: Structure,
-    facts: TemplateFacts,
+    pub(crate) b: Structure,
+    pub(crate) facts: TemplateFacts,
 }
 
 impl CompiledTemplate {
@@ -194,15 +192,56 @@ impl Session {
     /// # Panics
     /// Panics if `a` is over a different vocabulary than the template.
     pub fn solve_with(&self, a: &Structure, strategy: Strategy) -> Result<Solution, SolveError> {
-        solve_on(&self.template.b, &self.template.facts, a, strategy)
+        let mut scratch = WorkerScratch::new();
+        solve_on(
+            &self.template.b,
+            &self.template.facts,
+            a,
+            strategy,
+            &mut scratch,
+        )
     }
 
-    /// Solves a batch of instances against the template, in order.
+    /// Solves a batch of instances against the template, in order, on
+    /// one worker scratch — the propagator, search buffers, and GYO
+    /// bitsets are reset per instance instead of reallocated, so the
+    /// allocation profile stays flat across the stream. Output is
+    /// bit-identical to per-instance [`solve`](Session::solve) calls
+    /// (pinned by experiment E14 in CI).
     ///
     /// # Panics
     /// Panics if any instance is over a different vocabulary.
     pub fn solve_batch(&self, instances: &[Structure]) -> Vec<Solution> {
-        instances.iter().map(|a| self.solve(a)).collect()
+        BatchExecutor::new(1).solve_batch(&self.template, instances)
+    }
+
+    /// Solves a batch across `threads` work-stealing workers sharing
+    /// this compiled template. Output order and content — verdicts,
+    /// routes, witnesses, search statistics — are bit-identical to
+    /// [`solve_batch`](Session::solve_batch) regardless of the thread
+    /// count or steal schedule (pinned by the property suite and the
+    /// CI-gated experiment E15). See [`crate::exec`] for the execution
+    /// model.
+    ///
+    /// # Panics
+    /// Panics if any instance is over a different vocabulary.
+    pub fn par_solve_batch(&self, instances: &[Structure], threads: usize) -> Vec<Solution> {
+        BatchExecutor::new(threads).solve_batch(&self.template, instances)
+    }
+
+    /// [`par_solve_batch`](Session::par_solve_batch) with an explicit
+    /// strategy; errors exactly as the lowest-index failing instance
+    /// would under [`solve_with`](Session::solve_with).
+    ///
+    /// # Panics
+    /// Panics if any instance is over a different vocabulary.
+    pub fn par_solve_batch_with(
+        &self,
+        instances: &[Structure],
+        strategy: Strategy,
+        threads: usize,
+    ) -> Result<Vec<Solution>, SolveError> {
+        BatchExecutor::new(threads).solve_batch_with(&self.template, instances, strategy)
     }
 }
 
@@ -216,42 +255,60 @@ pub(crate) fn solve_one_shot(
     strategy: Strategy,
 ) -> Result<Solution, SolveError> {
     let facts = TemplateFacts::default();
-    solve_on(b, &facts, a, strategy)
+    let mut scratch = WorkerScratch::new();
+    solve_on(b, &facts, a, strategy, &mut scratch)
 }
 
-/// Routing core shared by [`Session`] and the one-shot wrapper.
+/// [`solve_on`] against a compiled template — the per-instance body of
+/// the batch executor's worker loop (`crate::exec`), which owns the
+/// long-lived scratch.
 ///
 /// # Panics
 /// Panics if the structures are over different vocabularies.
-fn solve_on(
-    b: &Structure,
-    facts: &TemplateFacts,
-    a: &Structure,
+pub(crate) fn solve_on_template<'s>(
+    template: &'s CompiledTemplate,
+    a: &'s Structure,
     strategy: Strategy,
+    scratch: &mut WorkerScratch<'s>,
+) -> Result<Solution, SolveError> {
+    solve_on(&template.b, &template.facts, a, strategy, scratch)
+}
+
+/// Routing core shared by [`Session`], the one-shot wrapper, and the
+/// batch executor's workers. All per-solve mutable state comes from
+/// `scratch`; a fresh scratch reproduces the allocation-per-call
+/// behaviour, a worker's long-lived scratch amortizes it across a
+/// stream — the results are bit-identical either way.
+///
+/// # Panics
+/// Panics if the structures are over different vocabularies.
+fn solve_on<'s>(
+    b: &'s Structure,
+    facts: &TemplateFacts,
+    a: &'s Structure,
+    strategy: Strategy,
+    scratch: &mut WorkerScratch<'s>,
 ) -> Result<Solution, SolveError> {
     assert!(a.same_vocabulary(b), "solve across different vocabularies");
     match strategy {
-        Strategy::Auto => Ok(auto_on(b, facts, a)),
+        Strategy::Auto => Ok(auto_on(b, facts, a, scratch)),
         Strategy::Schaefer => try_schaefer(b, facts, a).ok_or(SolveError::RouteNotApplicable(
             "B is not a Schaefer Boolean structure",
         )),
         Strategy::Booleanize => try_booleanize(b, facts, a).ok_or(SolveError::RouteNotApplicable(
             "Booleanized template is not Schaefer",
         )),
-        Strategy::Acyclic => {
-            try_acyclic(a, b).ok_or(SolveError::RouteNotApplicable("A is not acyclic"))
-        }
+        Strategy::Acyclic => try_acyclic(a, b, scratch.gyo())
+            .ok_or(SolveError::RouteNotApplicable("A is not acyclic")),
         Strategy::Treewidth => Ok(treewidth_route(a, b)),
         Strategy::Generic(opts) => {
-            let (h, stats) = if opts.mac || opts.ac_preprocess {
-                // The search will establish arc consistency: hand it
-                // the template's shared index instead of letting it
-                // build a fresh one.
-                let mut prop = Propagator::with_support(a, b, Arc::clone(facts.support(b)));
-                backtracking_search_with(opts, &mut prop)
-            } else {
-                backtracking_search(a, b, opts)
-            };
+            // Hand the search the scratch engine — on the template's
+            // shared index when it will establish arc consistency, and
+            // index-free for plain searches (which only read the full
+            // domains and must not pay for building an index).
+            let support = (opts.mac || opts.ac_preprocess).then(|| facts.support(b));
+            let (prop, search) = scratch.engine(a, b, support);
+            let (h, stats) = backtracking_search_scratch(opts, prop, search);
             Ok(Solution {
                 homomorphism: h,
                 route: Route::Generic,
@@ -264,11 +321,16 @@ fn solve_on(
 /// The uniform meta-algorithm (see `solvers::dispatch` for the route
 /// order and the theorems behind it), with every template-side fact
 /// read from the lazy cache.
-fn auto_on(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Solution {
+fn auto_on<'s>(
+    b: &'s Structure,
+    facts: &TemplateFacts,
+    a: &'s Structure,
+    scratch: &mut WorkerScratch<'s>,
+) -> Solution {
     if let Some(sol) = try_schaefer(b, facts, a) {
         return sol;
     }
-    if let Some(sol) = try_acyclic(a, b) {
+    if let Some(sol) = try_acyclic(a, b, scratch.gyo()) {
         return sol;
     }
     if let Some(sol) = try_booleanize(b, facts, a) {
@@ -279,7 +341,7 @@ fn auto_on(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Solution {
     // otherwise the same propagator (shared support index, filtered
     // domains) is handed to the generic search instead of being
     // rebuilt.
-    let mut prop = Propagator::with_support(a, b, Arc::clone(facts.support(b)));
+    let (prop, search) = scratch.engine(a, b, Some(facts.support(b)));
     if a.universe() > 0 && b.universe() > 0 && !prop.establish() {
         return Solution {
             homomorphism: None,
@@ -328,7 +390,7 @@ fn auto_on(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Solution {
             }
         }
     }
-    let (h, mut stats) = backtracking_search_with(SearchOptions::default(), &mut prop);
+    let (h, mut stats) = backtracking_search_scratch(SearchOptions::default(), prop, search);
     // The search reports its own delta; fold the prefilter's establish
     // deletions back in so the solution carries the whole solve's
     // effort.
@@ -377,8 +439,8 @@ fn bools_to_hom(bits: Vec<bool>) -> Homomorphism {
     Homomorphism::from_map(bits.into_iter().map(|v| Element(u32::from(v))).collect())
 }
 
-fn try_acyclic(a: &Structure, b: &Structure) -> Option<Solution> {
-    let result = yannakakis(a, b)?;
+fn try_acyclic(a: &Structure, b: &Structure, gyo: &mut GyoScratch) -> Option<Solution> {
+    let result = yannakakis_pooled(a, b, gyo)?;
     Some(Solution {
         homomorphism: result,
         route: Route::Acyclic,

@@ -53,6 +53,35 @@ pub struct SearchStats {
     pub deletions: u64,
 }
 
+impl SearchStats {
+    /// Folds another run's counters into this one, field by field — the
+    /// one way to aggregate per-instance statistics into batch totals
+    /// (hand-summing the fields at call sites silently drops any
+    /// counter added later, which is exactly how `deletions` went
+    /// missing from early aggregations).
+    pub fn merge(&mut self, other: &SearchStats) {
+        let SearchStats {
+            nodes,
+            backtracks,
+            deletions,
+        } = other;
+        self.nodes += nodes;
+        self.backtracks += backtracks;
+        self.deletions += deletions;
+    }
+}
+
+/// Reusable per-search buffers: the assignment vector and the per-depth
+/// candidate snapshots. One scratch per worker keeps the generic
+/// route's allocation profile flat across a streamed batch; a fresh
+/// (default) scratch makes [`backtracking_search_scratch`] behave
+/// exactly like [`backtracking_search_with`].
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    assigned: Vec<Option<Element>>,
+    candidate_pool: Vec<Vec<usize>>,
+}
+
 /// Runs the search. Returns a homomorphism (if one exists) plus the
 /// effort counters.
 ///
@@ -78,6 +107,22 @@ pub fn backtracking_search(
 pub fn backtracking_search_with(
     opts: SearchOptions,
     prop: &mut Propagator<'_>,
+) -> (Option<Homomorphism>, SearchStats) {
+    backtracking_search_scratch(opts, prop, &mut SearchScratch::default())
+}
+
+/// [`backtracking_search_with`] on caller-pooled buffers (identical
+/// output): the assignment vector and per-depth candidate snapshots
+/// come from `scratch` instead of fresh allocations, so a worker
+/// streaming instances against one template reuses them across the
+/// whole batch.
+///
+/// # Panics
+/// Panics if the propagator has open assignment frames.
+pub fn backtracking_search_scratch(
+    opts: SearchOptions,
+    prop: &mut Propagator<'_>,
+    scratch: &mut SearchScratch,
 ) -> (Option<Homomorphism>, SearchStats) {
     assert_eq!(prop.depth(), 0, "search requires a depth-0 propagator");
     let (a, b) = (prop.left(), prop.right());
@@ -106,18 +151,22 @@ pub fn backtracking_search_with(
             return (None, stats);
         }
     }
-    let mut assigned: Vec<Option<Element>> = vec![None; a.universe()];
-    // Per-depth candidate buffers, reused across the whole search
-    // instead of one fresh Vec per node.
-    let mut candidate_pool: Vec<Vec<usize>> = vec![Vec::new(); a.universe()];
+    scratch.assigned.clear();
+    scratch.assigned.resize(a.universe(), None);
+    // Per-depth candidate buffers, reused across the whole search (and,
+    // via the scratch, across the whole batch) instead of one fresh
+    // Vec per node.
+    if scratch.candidate_pool.len() < a.universe() {
+        scratch.candidate_pool.resize_with(a.universe(), Vec::new);
+    }
     let found = descend(
         a,
         b,
         &opts,
         &mut stats,
         prop,
-        &mut assigned,
-        &mut candidate_pool,
+        &mut scratch.assigned,
+        &mut scratch.candidate_pool,
         0,
     );
     stats.deletions = prop.deletions() as u64 - deletions_at_entry;
@@ -127,7 +176,8 @@ pub fn backtracking_search_with(
         prop.undo();
     }
     let hom = found.then(|| {
-        let map: Vec<Element> = assigned
+        let map: Vec<Element> = scratch
+            .assigned
             .iter()
             .map(|o| o.expect("search completed"))
             .collect();
@@ -381,6 +431,72 @@ mod tests {
             },
         );
         assert!(stats.nodes >= 6, "at least one node per element");
+    }
+
+    #[test]
+    fn merge_totals_equal_per_instance_sums() {
+        // Batch totals must equal the field-by-field sum of the
+        // per-instance statistics — every counter, including
+        // `deletions` (the one hand-summing call sites used to drop).
+        let k3 = generators::complete_graph(3);
+        let instances: Vec<_> = (0..8u64)
+            .map(|seed| generators::random_graph_nm(10, 20, seed))
+            .collect();
+        let per_instance: Vec<SearchStats> = instances
+            .iter()
+            .map(|a| backtracking_search(a, &k3, SearchOptions::default()).1)
+            .collect();
+        let mut merged = SearchStats::default();
+        for st in &per_instance {
+            merged.merge(st);
+        }
+        assert_eq!(
+            merged.nodes,
+            per_instance.iter().map(|s| s.nodes).sum::<u64>()
+        );
+        assert_eq!(
+            merged.backtracks,
+            per_instance.iter().map(|s| s.backtracks).sum::<u64>()
+        );
+        assert_eq!(
+            merged.deletions,
+            per_instance.iter().map(|s| s.deletions).sum::<u64>()
+        );
+        assert!(merged.deletions > 0, "the workload exercises propagation");
+        // Merging zero is the identity; merge is order-insensitive.
+        let mut with_zero = merged;
+        with_zero.merge(&SearchStats::default());
+        assert_eq!(with_zero, merged);
+        let mut reversed = SearchStats::default();
+        for st in per_instance.iter().rev() {
+            reversed.merge(st);
+        }
+        assert_eq!(reversed, merged);
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_is_invisible() {
+        // One scratch streamed across instances of varying size must
+        // reproduce the fresh-buffer search exactly: witnesses and
+        // statistics bit for bit.
+        let k3 = generators::complete_graph(3);
+        let mut scratch = SearchScratch::default();
+        for seed in 0..10u64 {
+            let n = 6 + (seed as usize % 5);
+            let a = generators::random_graph_nm(n, 2 * n - 4, seed);
+            for opts in all_option_combos() {
+                let mut prop = Propagator::new(&a, &k3);
+                let pooled = backtracking_search_scratch(opts, &mut prop, &mut scratch);
+                let mut prop = Propagator::new(&a, &k3);
+                let fresh = backtracking_search_with(opts, &mut prop);
+                assert_eq!(
+                    pooled.0.as_ref().map(Homomorphism::as_slice),
+                    fresh.0.as_ref().map(Homomorphism::as_slice),
+                    "seed {seed} opts {opts:?}"
+                );
+                assert_eq!(pooled.1, fresh.1, "seed {seed} opts {opts:?}");
+            }
+        }
     }
 
     #[test]

@@ -124,9 +124,26 @@ pub fn canonical_database(q: &ConjunctiveQuery) -> CanonicalDatabase {
 pub fn canonical_databases_many(
     queries: &[&ConjunctiveQuery],
 ) -> Result<Vec<CanonicalDatabase>, QueryError> {
+    par_canonical_databases_many(queries, 1)
+}
+
+/// [`canonical_databases_many`] across `threads` work-stealing workers
+/// (identical output, in input order): the joint vocabulary is built
+/// once sequentially — it is a fold over all queries — and the
+/// per-query freezing, which is independent once the vocabulary is
+/// fixed, fans out. `threads ≤ 1` runs inline.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn par_canonical_databases_many(
+    queries: &[&ConjunctiveQuery],
+    threads: usize,
+) -> Result<Vec<CanonicalDatabase>, QueryError> {
     assert!(!queries.is_empty(), "at least one query to freeze");
     let voc = joint_vocabulary_many(queries)?;
-    Ok(queries.iter().map(|q| freeze(q, &voc)).collect())
+    Ok(cqcs_core::par_map(queries.len(), threads, |i| {
+        freeze(queries[i], &voc)
+    }))
 }
 
 /// The canonical Boolean query `Q_D` of a database: one atom per fact,
@@ -211,6 +228,37 @@ mod tests {
         let cd = canonical_database(&q);
         assert!(homomorphism_exists(&cd.database, &d));
         assert!(homomorphism_exists(&d, &cd.database));
+    }
+
+    #[test]
+    fn parallel_freezing_matches_sequential() {
+        let queries: Vec<ConjunctiveQuery> = (2..8)
+            .map(|k| {
+                let body: Vec<String> = (0..k)
+                    .map(|i| format!("E(V{i}, V{})", (i + 1) % k))
+                    .collect();
+                parse_query(&format!("Q(V0) :- {}.", body.join(", "))).unwrap()
+            })
+            .collect();
+        let refs: Vec<&ConjunctiveQuery> = queries.iter().collect();
+        let seq = canonical_databases_many(&refs).unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = par_canonical_databases_many(&refs, threads).unwrap();
+            assert_eq!(par.len(), seq.len());
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.variables, p.variables, "threads {threads}");
+                assert_eq!(s.database.universe(), p.database.universe());
+                for r in s.database.vocabulary().iter() {
+                    let name = s.database.vocabulary().name(r);
+                    let pr = p.database.vocabulary().lookup(name).unwrap();
+                    assert_eq!(
+                        s.database.relation(r).iter().collect::<Vec<_>>(),
+                        p.database.relation(pr).iter().collect::<Vec<_>>(),
+                        "relation {name}, threads {threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

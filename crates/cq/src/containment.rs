@@ -8,8 +8,8 @@
 //! bounded treewidth) applies to containment automatically.
 
 use crate::ast::{ConjunctiveQuery, QueryError};
-use crate::canonical::{canonical_databases, canonical_databases_many};
-use cqcs_core::{solve, Strategy};
+use crate::canonical::{canonical_databases, par_canonical_databases_many};
+use cqcs_core::{par_map, solve, Strategy};
 
 /// Decides `q1 ⊑ q2` with the uniform (auto-dispatching) solver.
 pub fn contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool, QueryError> {
@@ -67,29 +67,47 @@ pub fn contained_in_batch(
     q1s: &[ConjunctiveQuery],
     q2: &ConjunctiveQuery,
 ) -> Result<Vec<bool>, QueryError> {
+    par_contained_in_batch(q1s, q2, 1)
+}
+
+/// [`contained_in_batch`] across `threads` work-stealing workers
+/// (identical verdicts, in input order). Freezing shares one batch
+/// canonicalization as before; the per-candidate homomorphism checks —
+/// independent, and by far the expensive half — fan out via
+/// [`cqcs_core::par_map`]. Note the roles Chandra–Merlin assigns:
+/// `q1 ⊑ q2` maps `D_{Q2}` *into* `D_{Q1}`, so the fixed query is the
+/// shared *instance* and each candidate supplies the template, which is
+/// why this fans out per pair rather than compiling one template.
+/// `threads ≤ 1` runs inline.
+pub fn par_contained_in_batch(
+    q1s: &[ConjunctiveQuery],
+    q2: &ConjunctiveQuery,
+    threads: usize,
+) -> Result<Vec<bool>, QueryError> {
     if q1s.is_empty() {
         return Ok(Vec::new());
     }
     let mut all: Vec<&ConjunctiveQuery> = Vec::with_capacity(q1s.len() + 1);
     all.push(q2);
     all.extend(q1s.iter());
-    let Ok(mut frozen) = canonical_databases_many(&all) else {
+    let Ok(mut frozen) = par_canonical_databases_many(&all, threads) else {
         // The union vocabulary is inconsistent. Each pair may still be
         // fine on its own (candidate-vs-candidate clashes are invisible
         // to pairwise checks), so answer pair by pair; a pair that
         // really does clash with q2 errors here exactly as
         // `contained_in` would.
-        return q1s.iter().map(|q1| contained_in(q1, q2)).collect();
+        return par_map(q1s.len(), threads, |i| contained_in(&q1s[i], q2))
+            .into_iter()
+            .collect();
     };
     let d2 = frozen.remove(0);
-    frozen
-        .iter()
-        .map(|d1| {
-            let sol = solve(&d2.database, &d1.database, Strategy::Auto)
-                .map_err(|e| QueryError::Invalid(e.to_string()))?;
-            Ok(sol.homomorphism.is_some())
-        })
-        .collect()
+    par_map(frozen.len(), threads, |i| {
+        let sol = solve(&d2.database, &frozen[i].database, Strategy::Auto)
+            .map_err(|e| QueryError::Invalid(e.to_string()))?;
+        Ok(sol.homomorphism.is_some())
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Query equivalence: containment both ways. The canonical databases
@@ -231,6 +249,36 @@ mod tests {
         }
         assert_eq!(batch, vec![true, false, true, true, false]);
         assert!(contained_in_batch(&[], &q2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_batch_containment_matches_sequential() {
+        let q2 = q("Q(X) :- E(X, Y).");
+        let q1s = vec![
+            q("Q(X) :- E(X, Y), E(Y, Z), E(Z, X)."),
+            q("Q(X) :- E(Y, X)."),
+            q("Q(X) :- E(X, X)."),
+            q("Q(X) :- R(X, Y), E(X, Z)."),
+            q("Q(X) :- R(X, Y)."),
+            q("Q(X) :- E(X, A), E(A, B), E(B, C)."),
+        ];
+        let seq = contained_in_batch(&q1s, &q2).unwrap();
+        for threads in [1usize, 2, 4, 16] {
+            assert_eq!(
+                par_contained_in_batch(&q1s, &q2, threads).unwrap(),
+                seq,
+                "threads {threads}"
+            );
+        }
+        assert!(par_contained_in_batch(&[], &q2, 4).unwrap().is_empty());
+        // The pairwise fallback (candidate-vs-candidate arity clash)
+        // parallelizes identically too.
+        let clashing = vec![q("Q(X) :- R(X, X)."), q("Q(X) :- R(X).")];
+        let seq = contained_in_batch(&clashing, &q2).unwrap();
+        assert_eq!(par_contained_in_batch(&clashing, &q2, 2).unwrap(), seq);
+        // Errors surface in parallel exactly as sequentially.
+        let bad = vec![q("Q(X) :- E(X, Y, Z).")];
+        assert!(par_contained_in_batch(&bad, &q2, 2).is_err());
     }
 
     #[test]

@@ -29,8 +29,11 @@ pub mod width;
 pub use ast::{Atom, ConjunctiveQuery, QueryError};
 pub use canonical::{
     canonical_database, canonical_databases, canonical_databases_many, canonical_query,
+    par_canonical_databases_many,
 };
-pub use containment::{contained_in, contained_in_batch, contained_in_with, equivalent};
+pub use containment::{
+    contained_in, contained_in_batch, contained_in_with, equivalent, par_contained_in_batch,
+};
 pub use evaluation::{boolean_answer, evaluate};
 pub use minimize::minimize;
 pub use parser::parse_query;

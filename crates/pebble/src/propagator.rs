@@ -161,6 +161,50 @@ impl<'s> Propagator<'s> {
         }
     }
 
+    /// Rebinds the engine to a new left structure `a` against the same
+    /// template, reusing every allocation — the domain bitsets, the
+    /// trail, the worklist and its queued flags, and the revision
+    /// scratch sets — instead of constructing a fresh engine. After the
+    /// call the propagator is observably in the state
+    /// [`with_support`](Propagator::with_support) would produce: full
+    /// domains, empty trail, zero [`deletions`](Propagator::deletions),
+    /// not yet established. Batch drivers solving many instances
+    /// against one compiled template call this once per instance, so
+    /// the per-instance allocation profile stays flat.
+    ///
+    /// # Panics
+    /// Panics if `a` is over a different vocabulary than the template.
+    pub fn reset_for_instance(&mut self, a: &'s Structure) {
+        assert!(
+            a.same_vocabulary(self.b),
+            "arc consistency across different vocabularies"
+        );
+        self.a = a;
+        let n = a.universe();
+        let b_universe = self.b.universe();
+        // The retained bitsets already have capacity |B| (the template
+        // is fixed), so refilling is a block-wise write, not a realloc.
+        self.domains.truncate(n);
+        for d in &mut self.domains {
+            d.insert_all();
+        }
+        if self.domains.len() < n {
+            self.domains.resize(n, BitSet::full(b_universe));
+        }
+        self.sizes.clear();
+        self.sizes.resize(n, b_universe);
+        self.trail.clear();
+        self.frames.clear();
+        self.deletions = 0;
+        self.queue.clear();
+        for (r, flags) in self.a.vocabulary().iter().zip(&mut self.queued) {
+            flags.clear();
+            flags.resize(self.a.relation(r).len(), false);
+        }
+        self.removed.clear();
+        self.established = false;
+    }
+
     /// The instance's left structure.
     pub fn left(&self) -> &'s Structure {
         self.a
@@ -529,6 +573,78 @@ mod tests {
         let mut p = Propagator::new(&a, &b);
         assert!(!p.establish());
         assert_eq!(p.deletions(), 4, "both full domains cleared");
+    }
+
+    #[test]
+    fn reset_for_instance_is_a_drop_in_for_a_fresh_engine() {
+        // One engine reused across a stream of instances must be
+        // observably identical to a fresh engine per instance: same
+        // fixpoints, same deletion counts, same assign/undo behaviour.
+        let b = generators::complete_graph(3);
+        let instances: Vec<_> = (0..12u64)
+            .map(|seed| {
+                let n = 5 + (seed as usize % 5);
+                generators::random_graph_nm(n, 2 * n - 3, seed)
+            })
+            .collect();
+        let mut reused: Option<Propagator<'_>> = None;
+        for a in &instances {
+            match reused.as_mut() {
+                None => reused = Some(Propagator::new(a, &b)),
+                Some(p) => p.reset_for_instance(a),
+            }
+            let p = reused.as_mut().unwrap();
+            let mut fresh = Propagator::new(a, &b);
+            assert_eq!(p.domains(), fresh.domains(), "pre-establish domains");
+            assert_eq!(p.deletions(), 0, "deletions reset");
+            assert_eq!(p.depth(), 0, "no open frames");
+            let ok = p.establish();
+            assert_eq!(ok, fresh.establish());
+            assert_eq!(p.domains(), fresh.domains(), "fixpoints");
+            assert_eq!(p.deletions(), fresh.deletions(), "deletion counts");
+            if ok {
+                for x in a.elements() {
+                    let Some(v) = p.domain(x).min() else { continue };
+                    assert_eq!(p.assign(x, v), fresh.assign(x, v), "{x:?}:={v}");
+                    assert_eq!(p.domains(), fresh.domains(), "{x:?}:={v}");
+                    p.undo();
+                    fresh.undo();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_for_instance_resizes_across_universes() {
+        // Growing and shrinking |A| across resets must track the
+        // universe exactly (domain vector length, sizes, queued flags).
+        let b = generators::complete_graph(3);
+        let small = generators::random_graph_nm(3, 3, 1);
+        let large = generators::random_graph_nm(9, 16, 2);
+        let mut p = Propagator::new(&small, &b);
+        assert!(p.establish());
+        p.reset_for_instance(&large);
+        assert_eq!(p.domains().len(), large.universe());
+        assert!(p.establish());
+        let mut fresh = Propagator::new(&large, &b);
+        fresh.establish();
+        assert_eq!(p.domains(), fresh.domains());
+        p.reset_for_instance(&small);
+        assert_eq!(p.domains().len(), small.universe());
+        assert!(p.establish());
+        let mut fresh = Propagator::new(&small, &b);
+        fresh.establish();
+        assert_eq!(p.domains(), fresh.domains());
+    }
+
+    #[test]
+    #[should_panic(expected = "different vocabularies")]
+    fn reset_for_instance_rejects_vocabulary_mismatch() {
+        let b = generators::complete_graph(3);
+        let a = generators::random_graph_nm(4, 5, 0);
+        let mut p = Propagator::new(&a, &b);
+        let other = generators::random_structure(3, &[3], 2, 0);
+        p.reset_for_instance(&other);
     }
 
     #[test]

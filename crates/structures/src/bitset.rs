@@ -108,6 +108,16 @@ impl BitSet {
         self.trim();
     }
 
+    /// Re-dimensions the set to `capacity` and clears it, reusing the
+    /// existing block allocation where possible — the scratch-pool
+    /// analogue of [`BitSet::new`] for buffers that outlive one
+    /// instance but not one batch.
+    pub fn reset(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.blocks.clear();
+        self.blocks.resize(capacity.div_ceil(BITS), 0);
+    }
+
     /// In-place union: `self ∪= other`.
     pub fn union_with(&mut self, other: &BitSet) {
         debug_assert_eq!(self.capacity, other.capacity);
@@ -318,6 +328,21 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn reset_matches_new_at_any_capacity() {
+        let mut s = BitSet::full(130);
+        for cap in [0usize, 1, 64, 65, 130, 200, 63] {
+            s.reset(cap);
+            assert_eq!(s, BitSet::new(cap), "capacity {cap}");
+            assert_eq!(s.capacity(), cap);
+            assert!(s.is_empty());
+            if cap > 0 {
+                s.insert(cap - 1);
+                assert_eq!(s.len(), 1);
+            }
+        }
     }
 
     #[test]

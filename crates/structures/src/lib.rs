@@ -26,7 +26,10 @@
 //!   CSP and its round-trip to the homomorphism form;
 //! * [`core_of`] — cores and retracts (powering CQ minimization);
 //! * [`generators`] — deterministic and random workload families used by
-//!   the test-suite and the benchmark harness.
+//!   the test-suite and the benchmark harness;
+//! * [`worksteal`] — hand-rolled work-stealing scheduling primitives
+//!   (atomic chunk claiming + steal-half deques) for the parallel batch
+//!   drivers upstream.
 
 pub mod binary_encoding;
 pub mod bitset;
@@ -43,6 +46,7 @@ pub mod structure;
 pub mod sum;
 pub mod support;
 pub mod vocabulary;
+pub mod worksteal;
 
 pub use binary_encoding::{binary_encode, binary_encode_optimized};
 pub use bitset::BitSet;
@@ -57,3 +61,4 @@ pub use structure::{Element, Relation, Structure, StructureBuilder};
 pub use sum::{structure_sum, SumVocabulary};
 pub use support::SupportIndex;
 pub use vocabulary::{RelId, Vocabulary};
+pub use worksteal::{ChunkClaimer, StealDeque, WorkStealQueue};

@@ -1,0 +1,296 @@
+//! Hand-rolled work-stealing scheduling primitives for batch drivers.
+//!
+//! The serving regime solves *batches* of independent instances against
+//! one fixed template, so the only scheduling problem is distributing a
+//! range of instance indices across workers whose per-item cost varies
+//! wildly (a Schaefer-routed instance is microseconds; a generic-search
+//! instance can be a thousand times that). External work-stealing
+//! crates are outside this workspace's dependency budget, so the two
+//! classic ingredients are built here from `std` alone:
+//!
+//! * [`ChunkClaimer`] — a single atomic claim counter handing out
+//!   contiguous index chunks. Claiming is one `fetch_add`, so workers
+//!   start instantly and contention is one cache line no matter how
+//!   many items the batch has.
+//! * [`StealDeque`] — a per-worker deque of claimed-but-unprocessed
+//!   indices. The owner drains it from the front (preserving the
+//!   cache-friendly submission order); an idle worker steals the *back
+//!   half* in one lock acquisition, halving the imbalance per steal the
+//!   way classic work-stealing schedulers do.
+//!
+//! [`WorkStealQueue`] composes the two: claim a chunk when the local
+//! deque runs dry, steal half from the richest victim when the claimer
+//! is exhausted, report `None` only when no queued work is visible
+//! anywhere. Every index in `0..total` is handed out **exactly once**
+//! across all workers (pinned by the tests below, including under
+//! thread contention), which is what lets a batch driver write results
+//! into pre-sized output slots without synchronizing on them.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An atomic claim counter over `0..total`, handing out disjoint
+/// contiguous chunks.
+#[derive(Debug)]
+pub struct ChunkClaimer {
+    next: AtomicUsize,
+    total: usize,
+    chunk: usize,
+}
+
+impl ChunkClaimer {
+    /// Creates a claimer over `0..total` handing out chunks of (at
+    /// most) `chunk` indices.
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`.
+    pub fn new(total: usize, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunkClaimer {
+            next: AtomicUsize::new(0),
+            total,
+            chunk,
+        }
+    }
+
+    /// Claims the next chunk. Returns `None` once `0..total` is
+    /// exhausted. Chunks are disjoint and cover the range exactly.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.total))
+    }
+}
+
+/// A per-worker deque supporting owner pops from the front and
+/// steal-half transfers from the back.
+///
+/// A `Mutex<VecDeque>` rather than a lock-free Chase–Lev deque: every
+/// critical section is a handful of pointer moves, the deque is touched
+/// once per *instance* (not per search node), and the straightforward
+/// locking makes the exactly-once accounting auditable.
+#[derive(Debug, Default)]
+pub struct StealDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> StealDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        StealDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends items at the back.
+    pub fn push_batch(&self, items: impl IntoIterator<Item = T>) {
+        self.inner.lock().expect("deque poisoned").extend(items);
+    }
+
+    /// Pops from the front (owner side).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// Current length (a racy snapshot, used only as a steal heuristic).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// Whether the deque is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Steals the back half — `ceil(len / 2)` items — appending them to
+    /// `thief` in order. Returns how many items moved (0 if the victim
+    /// was empty by the time the lock was taken).
+    pub fn steal_half_into(&self, thief: &StealDeque<T>) -> usize {
+        // Lock order: victim first, then thief. Safe because a stealing
+        // worker only ever locks its *own* (empty) deque as the thief,
+        // and never steals from itself, so no cycle can form.
+        let mut victim = self.inner.lock().expect("deque poisoned");
+        let n = victim.len();
+        if n == 0 {
+            return 0;
+        }
+        let take = n.div_ceil(2);
+        let stolen = victim.split_off(n - take);
+        drop(victim);
+        let count = stolen.len();
+        thief.inner.lock().expect("deque poisoned").extend(stolen);
+        count
+    }
+}
+
+/// Work-stealing distribution of the indices `0..total` across a fixed
+/// set of workers: chunked claiming from a shared counter, steal-half
+/// between per-worker deques once the counter runs out.
+#[derive(Debug)]
+pub struct WorkStealQueue {
+    claimer: ChunkClaimer,
+    locals: Vec<StealDeque<usize>>,
+}
+
+impl WorkStealQueue {
+    /// Creates a queue over `0..total` for `workers` workers, claiming
+    /// `chunk` indices at a time.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `chunk == 0`.
+    pub fn new(total: usize, workers: usize, chunk: usize) -> Self {
+        assert!(workers > 0, "at least one worker");
+        WorkStealQueue {
+            claimer: ChunkClaimer::new(total, chunk),
+            locals: (0..workers).map(|_| StealDeque::new()).collect(),
+        }
+    }
+
+    /// Number of workers this queue was built for.
+    pub fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Hands `worker` its next index, or `None` when no queued work is
+    /// left anywhere. Each index in `0..total` is returned exactly once
+    /// across all workers. A `None` means every index has been handed
+    /// out (some may still be *in progress* on other workers — workers
+    /// that received them will complete them).
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        loop {
+            // 1. Local work, in submission order.
+            if let Some(i) = self.locals[worker].pop() {
+                return Some(i);
+            }
+            // 2. Claim a fresh chunk: take its first index, queue the
+            //    rest locally (where neighbours may steal them back).
+            if let Some(range) = self.claimer.claim() {
+                let first = range.start;
+                self.locals[worker].push_batch(range.skip(1));
+                return Some(first);
+            }
+            // 3. Steal the back half from the richest victim.
+            let victim = (0..self.locals.len())
+                .filter(|&w| w != worker)
+                .map(|w| (self.locals[w].len(), w))
+                .max();
+            match victim {
+                Some((n, v)) if n > 0 => {
+                    // The victim may have drained between the snapshot
+                    // and the steal; a zero-item steal just re-scans.
+                    self.locals[v].steal_half_into(&self.locals[worker]);
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn claimer_chunks_are_disjoint_and_cover() {
+        let c = ChunkClaimer::new(23, 5);
+        let mut seen = Vec::new();
+        while let Some(r) = c.claim() {
+            seen.extend(r);
+        }
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        assert!(c.claim().is_none(), "exhausted stays exhausted");
+        assert!(ChunkClaimer::new(0, 4).claim().is_none());
+    }
+
+    #[test]
+    fn single_worker_pops_everything_in_order() {
+        let q = WorkStealQueue::new(11, 1, 4);
+        let got: Vec<usize> = std::iter::from_fn(|| q.pop(0)).collect();
+        assert_eq!(got, (0..11).collect::<Vec<_>>());
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn steal_half_takes_the_back_half() {
+        let d = StealDeque::new();
+        d.push_batch(0..10usize);
+        let thief = StealDeque::new();
+        assert_eq!(d.steal_half_into(&thief), 5);
+        assert_eq!(d.len(), 5);
+        // Victim keeps the front, thief got the back, both in order.
+        let keep: Vec<usize> = std::iter::from_fn(|| d.pop()).collect();
+        let got: Vec<usize> = std::iter::from_fn(|| thief.pop()).collect();
+        assert_eq!(keep, vec![0, 1, 2, 3, 4]);
+        assert_eq!(got, vec![5, 6, 7, 8, 9]);
+        // Odd lengths steal the larger half; singletons move whole.
+        let d = StealDeque::new();
+        d.push_batch(0..3usize);
+        assert_eq!(d.steal_half_into(&thief), 2);
+        let d = StealDeque::new();
+        d.push_batch([7usize]);
+        assert_eq!(d.steal_half_into(&thief), 1);
+        assert_eq!(d.steal_half_into(&thief), 0, "empty victim");
+    }
+
+    #[test]
+    fn idle_worker_steals_from_a_loaded_one() {
+        // Chunk ≥ total: worker 0's first pop claims everything; worker
+        // 1 must then be fed by stealing, not starve.
+        let q = WorkStealQueue::new(10, 2, 64);
+        assert_eq!(q.pop(0), Some(0));
+        let stolen = q.pop(1).expect("worker 1 steals");
+        assert!(stolen > 0);
+        let mut seen: HashSet<usize> = [0, stolen].into_iter().collect();
+        for w in [0usize, 1] {
+            while let Some(i) = q.pop(w) {
+                assert!(seen.insert(i), "index {i} handed out twice");
+            }
+        }
+        assert_eq!(seen, (0..10).collect());
+    }
+
+    #[test]
+    fn concurrent_pops_hand_out_every_index_exactly_once() {
+        for (total, workers, chunk) in [(103usize, 4usize, 4usize), (64, 3, 1), (7, 8, 2)] {
+            let q = WorkStealQueue::new(total, workers, chunk);
+            let per_worker: Vec<Vec<usize>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let q = &q;
+                        s.spawn(move || {
+                            let mut got = Vec::new();
+                            while let Some(i) = q.pop(w) {
+                                got.push(i);
+                                // Uneven per-item cost to force steals.
+                                if i % 3 == 0 {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut seen = HashSet::new();
+            for got in &per_worker {
+                for &i in got {
+                    assert!(seen.insert(i), "index {i} handed out twice");
+                }
+            }
+            assert_eq!(
+                seen,
+                (0..total).collect(),
+                "total {total} workers {workers} chunk {chunk}"
+            );
+        }
+    }
+}

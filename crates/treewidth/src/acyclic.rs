@@ -24,9 +24,31 @@ pub struct JoinTree {
     pub parent: Vec<Option<usize>>,
 }
 
+/// Reusable buffers for the GYO reduction, so a batch driver running
+/// the acyclicity test on every streamed instance keeps one set of
+/// hyperedge bitsets and counters per worker instead of reallocating
+/// them per instance. A fresh (default) scratch makes
+/// [`gyo_join_tree_pooled`] behave exactly like [`gyo_join_tree`].
+#[derive(Debug, Default)]
+pub struct GyoScratch {
+    /// Per-hyperedge vertex sets (re-dimensioned per instance).
+    edge_sets: Vec<BitSet>,
+    /// Liveness flags per hyperedge.
+    alive: Vec<bool>,
+    /// Vertex occurrence counts among live edges.
+    occur: Vec<usize>,
+    /// Ear vertices found in the current pass.
+    ears: Vec<usize>,
+}
+
 /// Attempts the GYO reduction. Returns the join tree if the structure's
 /// hypergraph is α-acyclic, `None` otherwise.
 pub fn gyo_join_tree(a: &Structure) -> Option<JoinTree> {
+    gyo_join_tree_pooled(a, &mut GyoScratch::default())
+}
+
+/// [`gyo_join_tree`] with caller-pooled buffers (identical output).
+pub fn gyo_join_tree_pooled(a: &Structure, scratch: &mut GyoScratch) -> Option<JoinTree> {
     let mut nodes: Vec<(RelId, u32)> = Vec::new();
     for r in a.vocabulary().iter() {
         if a.vocabulary().arity(r) == 0 {
@@ -37,26 +59,33 @@ pub fn gyo_join_tree(a: &Structure) -> Option<JoinTree> {
         }
     }
     let n = nodes.len();
+    let GyoScratch {
+        edge_sets: edge_pool,
+        alive,
+        occur,
+        ears,
+    } = scratch;
     // Current (shrinking) vertex sets per hyperedge, as bitsets over
     // the universe: occurrence counting is an array walk and the
     // containment test a word-wise subset check, instead of the
     // hash-set churn this reduction used to spend most of its time on
     // (it sits on the dispatcher's per-instance hot path).
-    let mut edge_sets: Vec<BitSet> = nodes
-        .iter()
-        .map(|&(r, t)| {
-            let mut s = BitSet::new(a.universe());
-            for &e in a.relation(r).tuple(t as usize) {
-                s.insert(e.index());
-            }
-            s
-        })
-        .collect();
-    let mut alive: Vec<bool> = vec![true; n];
+    if edge_pool.len() < n {
+        edge_pool.resize_with(n, BitSet::default);
+    }
+    let edge_sets = &mut edge_pool[..n];
+    for (set, &(r, t)) in edge_sets.iter_mut().zip(&nodes) {
+        set.reset(a.universe());
+        for &e in a.relation(r).tuple(t as usize) {
+            set.insert(e.index());
+        }
+    }
+    alive.clear();
+    alive.resize(n, true);
     let mut parent: Vec<Option<usize>> = vec![None; n];
     let mut remaining = n;
-    let mut occur = vec![0usize; a.universe()];
-    let mut ears: Vec<usize> = Vec::new();
+    occur.clear();
+    occur.resize(a.universe(), 0);
 
     // Exact duplicates (e.g. the two directions of a symmetric edge,
     // or repeated-element tuples collapsing to one set) are contained
@@ -95,7 +124,7 @@ pub fn gyo_join_tree(a: &Structure) -> Option<JoinTree> {
             if alive[i] {
                 ears.clear();
                 ears.extend(set.iter().filter(|&v| occur[v] <= 1));
-                for &v in &ears {
+                for &v in ears.iter() {
                     set.remove(v);
                 }
                 if !ears.is_empty() {
@@ -150,11 +179,22 @@ pub fn is_acyclic(a: &Structure) -> bool {
 /// and returns a witness. Returns `Err(())`-like `None` wrapped in
 /// `Option`: the outer `Option` is `None` when `A` is *not* acyclic.
 pub fn yannakakis(a: &Structure, b: &Structure) -> Option<Option<Homomorphism>> {
+    yannakakis_pooled(a, b, &mut GyoScratch::default())
+}
+
+/// [`yannakakis`] with caller-pooled GYO buffers (identical output) —
+/// the batch drivers hand every instance's acyclicity test one
+/// per-worker scratch.
+pub fn yannakakis_pooled(
+    a: &Structure,
+    b: &Structure,
+    scratch: &mut GyoScratch,
+) -> Option<Option<Homomorphism>> {
     assert!(
         a.same_vocabulary(b),
         "homomorphism across different vocabularies"
     );
-    let jt = gyo_join_tree(a)?;
+    let jt = gyo_join_tree_pooled(a, scratch)?;
 
     // Global 0-ary preconditions.
     for r in a.vocabulary().iter() {
@@ -398,6 +438,34 @@ mod tests {
         let loopy = bb.finish();
         let res = yannakakis(&a, &loopy).unwrap();
         assert!(res.is_some());
+    }
+
+    #[test]
+    fn pooled_gyo_reuse_is_invisible() {
+        // One scratch reused across a stream of instances of varying
+        // size must reproduce the fresh-buffer results exactly — join
+        // tree shape, acyclicity verdicts, and Yannakakis output.
+        let mut scratch = GyoScratch::default();
+        let b = generators::random_digraph(4, 0.4, 99);
+        for seed in 0..15u64 {
+            let n = 3 + (seed as usize % 6);
+            let a = generators::random_digraph(n, 0.35, seed);
+            let fresh = gyo_join_tree(&a);
+            let pooled = gyo_join_tree_pooled(&a, &mut scratch);
+            match (&fresh, &pooled) {
+                (None, None) => {}
+                (Some(f), Some(p)) => {
+                    assert_eq!(f.nodes, p.nodes, "seed {seed}");
+                    assert_eq!(f.parent, p.parent, "seed {seed}");
+                }
+                _ => panic!("acyclicity verdict diverged, seed {seed}"),
+            }
+            assert_eq!(
+                yannakakis(&a, &b),
+                yannakakis_pooled(&a, &b, &mut scratch),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

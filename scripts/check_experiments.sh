@@ -52,6 +52,20 @@ if echo "$e14" | grep -qE '\| false \|'; then
   exit 1
 fi
 
+# E15 pins the parallel batch executor to the sequential batch: every
+# row's `identical` column must hold (verdicts, routes, witnesses, and
+# stats compared bit for bit between par_solve_batch and solve_batch).
+if ! grep -q '^## E15' "$regen"; then
+  echo "E15 parallel-batch table is missing." >&2
+  exit 1
+fi
+e15="$(sed -n '/^## E15/,/^## /p' "$regen")"
+if echo "$e15" | grep -qE '\| false \|'; then
+  echo "E15 reports a parallel/sequential divergence:" >&2
+  echo "$e15" | grep -E '\| false' >&2
+  exit 1
+fi
+
 # The timing columns are tracked across PRs in EXPERIMENTS_HISTORY.md
 # (append-style, hand-maintained): it must exist and mention the newest
 # experiment so a PR that adds tables cannot skip the history line.
@@ -64,4 +78,4 @@ if ! grep -q "$newest" EXPERIMENTS_HISTORY.md; then
   echo "EXPERIMENTS_HISTORY.md does not track the $newest timing columns." >&2
   exit 1
 fi
-echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session parity holds)."
+echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session parity and E15 parallel parity hold)."

@@ -350,13 +350,90 @@ proptest! {
         }
     }
 
+    /// The parallel batch executor is a drop-in for the sequential
+    /// batch on arbitrary mixed-arity batches and every thread count,
+    /// including more threads than instances: same verdicts, same
+    /// routes, same search statistics, and bit-identical witnesses, in
+    /// input order. Stress-runnable via `PROPTEST_CASES=5000`.
+    #[test]
+    fn par_solve_batch_is_bit_identical_to_sequential(
+        (b, batch) in mixed_arity_batch(4, 5, 6),
+    ) {
+        let session = Session::compile(&b);
+        let seq = session.solve_batch(&batch);
+        prop_assert_eq!(seq.len(), batch.len());
+        for threads in [1usize, 2, 4] {
+            let par = session.par_solve_batch(&batch, threads);
+            prop_assert_eq!(par.len(), seq.len(), "threads {}", threads);
+            for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+                prop_assert_eq!(
+                    s.homomorphism.as_ref().map(|h| h.as_slice().to_vec()),
+                    p.homomorphism.as_ref().map(|h| h.as_slice().to_vec()),
+                    "witness {} with {} threads", i, threads
+                );
+                prop_assert_eq!(s.route, p.route, "route {} with {} threads", i, threads);
+                prop_assert_eq!(s.stats, p.stats, "stats {} with {} threads", i, threads);
+            }
+        }
+    }
+
+    /// The explicit-strategy parallel batch matches per-instance
+    /// `solve_with` for all 7 strategies — verdict, route, stats, and
+    /// witness when every instance succeeds, and the lowest-index error
+    /// when a forced route does not apply.
+    #[test]
+    fn par_solve_batch_with_matches_solve_with_on_every_strategy(
+        (b, batch) in mixed_arity_batch(4, 4, 5),
+    ) {
+        let session = Session::compile(&b);
+        let strategies = [
+            SolveStrategy::Auto,
+            SolveStrategy::Schaefer,
+            SolveStrategy::Booleanize,
+            SolveStrategy::Acyclic,
+            SolveStrategy::Treewidth,
+            SolveStrategy::Generic(SearchOptions::default()),
+            SolveStrategy::Generic(SearchOptions {
+                mrv: false,
+                mac: false,
+                ac_preprocess: false,
+            }),
+        ];
+        for strat in strategies {
+            let seq: Result<Vec<_>, _> = batch
+                .iter()
+                .map(|a| session.solve_with(a, strat))
+                .collect();
+            let par = session.par_solve_batch_with(&batch, strat, 3);
+            match (seq, par) {
+                (Ok(seq), Ok(par)) => {
+                    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+                        prop_assert_eq!(
+                            s.homomorphism.as_ref().map(|h| h.as_slice().to_vec()),
+                            p.homomorphism.as_ref().map(|h| h.as_slice().to_vec()),
+                            "witness {} under {:?}", i, strat
+                        );
+                        prop_assert_eq!(s.route, p.route, "route {} under {:?}", i, strat);
+                        prop_assert_eq!(s.stats, p.stats, "stats {} under {:?}", i, strat);
+                    }
+                }
+                (Err(se), Err(pe)) => prop_assert_eq!(se, pe, "error under {:?}", strat),
+                (s, p) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "ok/err divergence under {strat:?}: sequential {s:?} vs parallel {p:?}"
+                    )));
+                }
+            }
+        }
+    }
+
     /// Batch containment against one fixed query agrees with the
     /// pairwise route (the cq face of template reuse).
     #[test]
     fn batch_containment_matches_pairwise(edge_lists in proptest::collection::vec(
         proptest::collection::vec((0u32..4, 0u32..4), 1..4), 1..5,
     )) {
-        use cqcs::cq::{contained_in, contained_in_batch, parse_query};
+        use cqcs::cq::{contained_in, contained_in_batch, par_contained_in_batch, parse_query};
         let as_query = |edges: &[(u32, u32)]| {
             let body: Vec<String> = edges
                 .iter()
@@ -370,6 +447,8 @@ proptest! {
         for (q1, got) in q1s.iter().zip(&batch) {
             prop_assert_eq!(*got, contained_in(q1, &q2).unwrap());
         }
+        // The work-stealing variant answers identically.
+        prop_assert_eq!(par_contained_in_batch(&q1s, &q2, 2).unwrap(), batch);
         // Reflexivity comes out of the batch too: q2 is its own first
         // candidate here only when the head variable matches; just pin
         // q2 ⊑ q2 directly.
@@ -494,6 +573,63 @@ fn bb_treewidth_known_family_regressions() {
     check(&gaifman_graph(&generators::petersen()), 4, "Petersen");
 }
 
+/// Strategy: a template plus a batch of instances over the shared
+/// `{U/1, E/2, T/3}` vocabulary — the parallel-batch executor's input
+/// shape (batches mix empty, tiny, and propagation-heavy instances, so
+/// routes and worker scratch resets vary within one batch).
+fn mixed_arity_batch(
+    max_nb: usize,
+    max_na: usize,
+    max_batch: usize,
+) -> impl Strategy<
+    Value = (
+        cqcs::structures::Structure,
+        Vec<cqcs::structures::Structure>,
+    ),
+> {
+    let instance = move |max_n: usize| {
+        (
+            1..=max_n,
+            proptest::collection::vec((any::<u8>(), proptest::collection::vec(0u32..8, 3)), 0..=10),
+        )
+    };
+    (
+        instance(max_nb),
+        proptest::collection::vec(instance(max_na), 0..=max_batch),
+    )
+        .prop_map(|((nb, tb), instances)| {
+            (
+                build_mixed_arity(nb, &tb),
+                instances
+                    .into_iter()
+                    .map(|(na, ta)| build_mixed_arity(na, &ta))
+                    .collect(),
+            )
+        })
+}
+
+/// Builds one mixed-arity structure over `{U/1, E/2, T/3}`.
+fn build_mixed_arity(n: usize, tuples: &[(u8, Vec<u32>)]) -> cqcs::structures::Structure {
+    let mut voc = cqcs::structures::Vocabulary::new();
+    voc.add("U", 1).unwrap();
+    voc.add("E", 2).unwrap();
+    voc.add("T", 3).unwrap();
+    let voc = voc.into_shared();
+    let mut b = cqcs::structures::StructureBuilder::new(voc, n);
+    for (which, args) in tuples {
+        let name = ["U", "E", "T"][(*which % 3) as usize];
+        let arity = (*which % 3) as usize + 1;
+        let args: Vec<u32> = args
+            .iter()
+            .cycle()
+            .take(arity)
+            .map(|&v| v % n as u32)
+            .collect();
+        let _ = b.add_fact(name, &args);
+    }
+    b.finish()
+}
+
 /// Strategy: a pair of structures over a shared vocabulary
 /// `{U/1, E/2, T/3}`, hitting code paths the digraph-only strategies
 /// cannot (unary constraints, ternary constraint propagation).
@@ -502,26 +638,6 @@ fn mixed_arity_pair(
     max_nb: usize,
     max_tuples: usize,
 ) -> impl Strategy<Value = (cqcs::structures::Structure, cqcs::structures::Structure)> {
-    let build = move |n: usize, tuples: &[(u8, Vec<u32>)]| {
-        let mut voc = cqcs::structures::Vocabulary::new();
-        voc.add("U", 1).unwrap();
-        voc.add("E", 2).unwrap();
-        voc.add("T", 3).unwrap();
-        let voc = voc.into_shared();
-        let mut b = cqcs::structures::StructureBuilder::new(voc, n);
-        for (which, args) in tuples {
-            let name = ["U", "E", "T"][(*which % 3) as usize];
-            let arity = (*which % 3) as usize + 1;
-            let args: Vec<u32> = args
-                .iter()
-                .cycle()
-                .take(arity)
-                .map(|&v| v % n as u32)
-                .collect();
-            let _ = b.add_fact(name, &args);
-        }
-        b.finish()
-    };
     (
         1..=max_na,
         proptest::collection::vec((any::<u8>(), proptest::collection::vec(0u32..8, 3)), 0..=12),
@@ -531,5 +647,5 @@ fn mixed_arity_pair(
             0..=max_tuples * 3,
         ),
     )
-        .prop_map(move |(na, ta, nb, tb)| (build(na, &ta), build(nb, &tb)))
+        .prop_map(move |(na, ta, nb, tb)| (build_mixed_arity(na, &ta), build_mixed_arity(nb, &tb)))
 }
