@@ -18,11 +18,12 @@
 //!   with millisecond generic searches stays balanced without any
 //!   up-front cost model.
 //! * Each worker owns a `WorkerScratch` that **persists across
-//!   instances**: a propagator whose domains/trail/worklists are reset
-//!   (`Propagator::reset_for_instance`) instead of reallocated, pooled
-//!   candidate buffers for the backtracking search, and pooled bitsets
-//!   for the GYO acyclicity test. The per-instance allocation profile
-//!   drops even at `threads = 1`, which is why the sequential
+//!   instances**: a compiled propagation engine whose arena-resident
+//!   domains/trail/worklists are rebound in place
+//!   (`ProgramPropagator::reset_for_instance`) instead of reallocated,
+//!   pooled candidate buffers for the backtracking search, and pooled
+//!   bitsets for the GYO acyclicity test. The per-instance allocation
+//!   profile drops even at `threads = 1`, which is why the sequential
 //!   [`Session::solve_batch`](crate::Session::solve_batch) runs on the
 //!   same worker loop.
 //! * Results are written into pre-sized output slots, so the returned
@@ -54,21 +55,29 @@
 use crate::session::{solve_on_template, CompiledTemplate};
 use crate::solvers::backtracking::{SearchScratch, SearchStats};
 use crate::solvers::dispatch::{Solution, SolveError, Strategy};
+use cqcs_pebble::program::{ProgramPropagator, PropProgram};
 use cqcs_pebble::propagator::Propagator;
-use cqcs_structures::{Structure, SupportIndex, WorkStealQueue};
+use cqcs_structures::{Structure, WorkStealQueue};
 use cqcs_treewidth::acyclic::GyoScratch;
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 /// Per-worker state that persists across the instances a worker drains
-/// from the queue: the incremental propagator (reset, not rebuilt, per
-/// instance), the backtracking search's candidate buffers, the GYO
-/// reduction's bitsets, and a local statistics accumulator. One scratch
-/// serves exactly one template at a time; handing it instances against
-/// a different template transparently rebuilds the propagator.
+/// from the queue: the compiled propagation engine and its arena
+/// (rebound in place per instance, never reallocated), the backtracking
+/// search's candidate buffers, the GYO reduction's bitsets, and a local
+/// statistics accumulator. One scratch serves one template at a time;
+/// handing it instances against a different template transparently
+/// rebuilds the engine (recycling the arena allocation).
 #[derive(Debug, Default)]
 pub(crate) struct WorkerScratch<'s> {
-    prop: Option<Propagator<'s>>,
+    /// The compiled engine, for routes that propagate: executes the
+    /// template's shared [`PropProgram`] over this worker's arena.
+    prog: Option<ProgramPropagator<'s>>,
+    /// The interpreted engine, index-free, for plain searches (no
+    /// MAC/AC): they never propagate, so they must not pay for a
+    /// support index or a compiled program.
+    plain: Option<Propagator<'s>>,
     search: SearchScratch,
     gyo: GyoScratch,
     stats: SearchStats,
@@ -98,29 +107,56 @@ impl<'s> WorkerScratch<'s> {
         &mut self.gyo
     }
 
-    /// The propagator reset for instance `a` against template `b`,
-    /// plus the pooled search buffers (split borrow, since the generic
-    /// search needs both at once). Reuses the retained engine whenever
-    /// the template is the same object as last time; otherwise builds
-    /// one — on the template's shared support index when the caller
-    /// will propagate (`support: Some`), index-free when it won't
-    /// (plain searches never read it, so the template must not pay for
-    /// building it).
-    pub(crate) fn engine(
+    /// The compiled engine rebound to instance `a`, plus the pooled
+    /// search buffers (split borrow, since the generic search needs
+    /// both at once). Reuses the retained engine — arena included —
+    /// whenever it already runs this exact program (`Arc::ptr_eq`);
+    /// otherwise builds one on the new program, recycling the retired
+    /// engine's arena so the worker's allocation survives template
+    /// switches.
+    pub(crate) fn compiled_engine(
         &mut self,
         a: &'s Structure,
         b: &'s Structure,
-        support: Option<&Arc<SupportIndex>>,
-    ) -> (&mut Propagator<'s>, &mut SearchScratch) {
-        match (&mut self.prop, support) {
-            (Some(p), _) if std::ptr::eq(p.right(), b) => p.reset_for_instance(a),
-            (slot, Some(support)) => {
-                *slot = Some(Propagator::with_support(a, b, Arc::clone(support)))
+        program: &Arc<PropProgram>,
+    ) -> (&mut ProgramPropagator<'s>, &mut SearchScratch) {
+        match &mut self.prog {
+            Some(p) if Arc::ptr_eq(p.program(), program) => p.reset_for_instance(a),
+            slot => {
+                let arena = slot
+                    .take()
+                    .map(ProgramPropagator::into_arena)
+                    .unwrap_or_default();
+                *slot = Some(ProgramPropagator::with_arena(
+                    a,
+                    b,
+                    Arc::clone(program),
+                    arena,
+                ));
             }
-            (slot, None) => *slot = Some(Propagator::new(a, b)),
         }
         (
-            self.prop.as_mut().expect("engine just ensured"),
+            self.prog.as_mut().expect("engine just ensured"),
+            &mut self.search,
+        )
+    }
+
+    /// The interpreted, index-free engine rebound to instance `a`, for
+    /// plain (no MAC/AC) searches: the search only snapshots the full
+    /// domains, so building a support index or compiled program for it
+    /// would be pure waste — and a retained engine that was never
+    /// established must stay index-free across reuse.
+    pub(crate) fn plain_engine(
+        &mut self,
+        a: &'s Structure,
+        b: &'s Structure,
+    ) -> (&mut Propagator<'s>, &mut SearchScratch) {
+        match &mut self.plain {
+            Some(p) if std::ptr::eq(p.right(), b) => p.reset_for_instance(a),
+            slot => *slot = Some(Propagator::new(a, b)),
+        }
+        (
+            self.plain.as_mut().expect("engine just ensured"),
             &mut self.search,
         )
     }

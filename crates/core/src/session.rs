@@ -47,6 +47,7 @@ use cqcs_boolean::booleanize::{
 };
 use cqcs_boolean::schaefer::SchaeferSet;
 use cqcs_boolean::uniform::{schaefer_classes, solve_schaefer};
+use cqcs_pebble::program::PropProgram;
 use cqcs_structures::{Element, Homomorphism, Structure, SupportIndex};
 use cqcs_treewidth::acyclic::{yannakakis_pooled, GyoScratch};
 use cqcs_treewidth::bb::bb_treewidth_best_effort_seeded;
@@ -68,6 +69,11 @@ pub(crate) struct TemplateFacts {
     /// Support index over `B`'s tuples, shared by every propagator the
     /// template spawns.
     support: OnceLock<Arc<SupportIndex>>,
+    /// The flat propagation program compiled from the support index —
+    /// what every MAC/AC route actually executes. Chained off
+    /// [`support`](TemplateFacts::support), so the index is built at
+    /// most once per template no matter how routes interleave.
+    program: OnceLock<Arc<PropProgram>>,
     /// The Booleanized template and its classification (`None` when `B`
     /// is already Boolean, degenerate, or exceeds the bit-packed arity
     /// budget).
@@ -90,6 +96,14 @@ impl TemplateFacts {
     fn support(&self, b: &Structure) -> &Arc<SupportIndex> {
         self.support
             .get_or_init(|| Arc::new(SupportIndex::build(b)))
+    }
+
+    /// The compiled propagation program over `b` (lowered from the
+    /// shared support index on first use, then shared by every
+    /// subsequent solve).
+    fn program(&self, b: &Structure) -> &Arc<PropProgram> {
+        self.program
+            .get_or_init(|| Arc::new(PropProgram::compile(b, self.support(b))))
     }
 
     /// The Booleanized template (Lemma 3.5) with its Schaefer
@@ -146,6 +160,13 @@ impl CompiledTemplate {
     /// shared by every subsequent solve).
     pub fn support(&self) -> &Arc<SupportIndex> {
         self.facts.support(&self.b)
+    }
+
+    /// The flat propagation program compiled for `B` (built on first
+    /// use from the shared support index) — what every MAC/AC solve
+    /// against this template executes.
+    pub fn program(&self) -> &Arc<PropProgram> {
+        self.facts.program(&self.b)
     }
 }
 
@@ -302,13 +323,18 @@ fn solve_on<'s>(
             .ok_or(SolveError::RouteNotApplicable("A is not acyclic")),
         Strategy::Treewidth => Ok(treewidth_route(a, b)),
         Strategy::Generic(opts) => {
-            // Hand the search the scratch engine — on the template's
-            // shared index when it will establish arc consistency, and
-            // index-free for plain searches (which only read the full
-            // domains and must not pay for building an index).
-            let support = (opts.mac || opts.ac_preprocess).then(|| facts.support(b));
-            let (prop, search) = scratch.engine(a, b, support);
-            let (h, stats) = backtracking_search_scratch(opts, prop, search);
+            // Hand the search the scratch engine — the template's
+            // compiled program when it will establish arc consistency,
+            // and the index-free interpreted engine for plain searches
+            // (which only read the full domains and must not pay for
+            // compiling anything).
+            let (h, stats) = if opts.mac || opts.ac_preprocess {
+                let (prop, search) = scratch.compiled_engine(a, b, facts.program(b));
+                backtracking_search_scratch(opts, prop, search)
+            } else {
+                let (prop, search) = scratch.plain_engine(a, b);
+                backtracking_search_scratch(opts, prop, search)
+            };
             Ok(Solution {
                 homomorphism: h,
                 route: Route::Generic,
@@ -338,10 +364,10 @@ fn auto_on<'s>(
     }
     // Establish arc consistency once, up front: a wipeout refutes the
     // instance before the treewidth DP or search spends anything, and
-    // otherwise the same propagator (shared support index, filtered
+    // otherwise the same compiled engine (shared program, filtered
     // domains) is handed to the generic search instead of being
     // rebuilt.
-    let (prop, search) = scratch.engine(a, b, Some(facts.support(b)));
+    let (prop, search) = scratch.compiled_engine(a, b, facts.program(b));
     if a.universe() > 0 && b.universe() > 0 && !prop.establish() {
         return Solution {
             homomorphism: None,

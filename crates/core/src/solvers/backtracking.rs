@@ -15,7 +15,17 @@
 //! MAC implies arc-consistent starting domains (that is what
 //! "maintaining" means), so with `mac: true` the root domains are
 //! established once even when `ac_preprocess` is off.
+//!
+//! The search is generic over [`PropagationEngine`], so the dispatcher
+//! hands it either the interpreted [`Propagator`] (the reference
+//! specification, and what [`backtracking_search`] builds for
+//! standalone calls) or the compiled
+//! [`ProgramPropagator`](cqcs_pebble::ProgramPropagator) running a
+//! template's flat [`PropProgram`](cqcs_pebble::PropProgram) — the two
+//! produce bit-identical witnesses and statistics (pinned by the
+//! property suite and experiment E16).
 
+use cqcs_pebble::program::PropagationEngine;
 use cqcs_pebble::propagator::Propagator;
 use cqcs_structures::{Element, Homomorphism, Structure};
 
@@ -104,9 +114,9 @@ pub fn backtracking_search(
 /// # Panics
 /// Panics if the propagator has open assignment frames — the search
 /// unwinds to depth 0 on exit and must not pop a caller's own frames.
-pub fn backtracking_search_with(
+pub fn backtracking_search_with<'s, P: PropagationEngine<'s>>(
     opts: SearchOptions,
-    prop: &mut Propagator<'_>,
+    prop: &mut P,
 ) -> (Option<Homomorphism>, SearchStats) {
     backtracking_search_scratch(opts, prop, &mut SearchScratch::default())
 }
@@ -119,9 +129,9 @@ pub fn backtracking_search_with(
 ///
 /// # Panics
 /// Panics if the propagator has open assignment frames.
-pub fn backtracking_search_scratch(
+pub fn backtracking_search_scratch<'s, P: PropagationEngine<'s>>(
     opts: SearchOptions,
-    prop: &mut Propagator<'_>,
+    prop: &mut P,
     scratch: &mut SearchScratch,
 ) -> (Option<Homomorphism>, SearchStats) {
     assert_eq!(prop.depth(), 0, "search requires a depth-0 propagator");
@@ -188,12 +198,12 @@ pub fn backtracking_search_scratch(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn descend(
+fn descend<'s, P: PropagationEngine<'s>>(
     a: &Structure,
     b: &Structure,
     opts: &SearchOptions,
     stats: &mut SearchStats,
-    prop: &mut Propagator<'_>,
+    prop: &mut P,
     assigned: &mut Vec<Option<Element>>,
     candidate_pool: &mut Vec<Vec<usize>>,
     depth: usize,
@@ -211,8 +221,7 @@ fn descend(
     // Snapshot the domain into this depth's pooled buffer (propagation
     // mutates the live domain below).
     let mut candidates = std::mem::take(&mut candidate_pool[depth]);
-    candidates.clear();
-    candidates.extend(prop.domain(Element::new(x)).iter());
+    prop.domain_values_into(Element::new(x), &mut candidates);
     let mut found = false;
     for &v in &candidates {
         stats.nodes += 1;

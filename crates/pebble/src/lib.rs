@@ -15,12 +15,19 @@
 //!   support-indexed revisions, a trail of domain deltas for
 //!   `assign`/`undo` in O(changed), and change-seeded worklists, so
 //!   MAC search never re-establishes consistency from scratch;
+//! * [`program`] — the compiled form of the same engine: a
+//!   [`PropProgram`] lowers the template's support index into flat
+//!   CSR-style `u64` pools, and a [`ProgramPropagator`] executes it
+//!   over a single arena allocation with bit-identical behaviour to
+//!   [`Propagator`] (which survives as the executable reference
+//!   specification);
 //! * [`solver`] — the decision procedure of Theorem 4.9: `Spoiler wins ⟹
 //!   no homomorphism` always, and the converse exactly when co-CSP(B)
 //!   is expressible in k-Datalog (Theorem 4.8).
 
 pub mod consistency;
 pub mod game;
+pub mod program;
 pub mod propagator;
 pub mod solver;
 
@@ -29,5 +36,6 @@ pub use consistency::{
     refine_domains_with_support, ArcConsistency,
 };
 pub use game::{duplicator_wins, solve_game, Config, GameAnalysis};
+pub use program::{ProgramPropagator, PropProgram, PropagationEngine};
 pub use propagator::Propagator;
 pub use solver::{pebble_filter, spoiler_wins, PebbleOutcome};

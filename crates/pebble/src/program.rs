@@ -1,0 +1,1203 @@
+//! Compiled propagation: flat programs and the arena-resident engine.
+//!
+//! The interpreted [`Propagator`] re-walks generic `Relation`/`BitSet`
+//! structures on every revision: three pointer hops to reach a support
+//! set (`Vec<Vec<Vec<BitSet>>>`), a heap allocation per scratch set, a
+//! `VecDeque` worklist. This module **compiles the template away**:
+//!
+//! * [`PropProgram`] lowers a [`SupportIndex`] over a fixed template
+//!   `B` into dense CSR-style pools — one flat `u64` slab holding every
+//!   `(relation, position, value) → supporting-tuple` bitset at a
+//!   computed offset, the position projections beside it, and `B`'s
+//!   tuples flattened to a `u32` array. A program is immutable, `Sync`,
+//!   and shared via `Arc` by every worker solving against its template.
+//! * [`ProgramPropagator`] executes a program over one
+//!   [`PropArena`]: domains, domain sizes, the undo trail, the worklist
+//!   ring and its membership bitset, and the revision scratch sets all
+//!   live at fixed word offsets in a single contiguous allocation,
+//!   reset in O(words) per instance ([`reset_for_instance`]).
+//!
+//! The engine's observable behaviour is **bit-identical** to the
+//! interpreted [`Propagator`] — same fixpoints, same deletion counts,
+//! same trail/undo semantics, same wipeout verdicts — because the
+//! execution order is replicated exactly: the worklist is seeded
+//! relation-major, occurrences enqueue in `A`'s occurrence-list order,
+//! and removals trail in ascending value order per tuple position. The
+//! interpreted engine survives as the executable reference
+//! specification; the property suite pins the two against each other
+//! (and against `refine_domains_reference`) on random mixed-arity
+//! instances.
+//!
+//! [`PropagationEngine`] is the small trait the generic search in
+//! `cqcs-core` is written against, so one-shot, session, and batch
+//! paths pick either engine without duplicating the search.
+//!
+//! [`reset_for_instance`]: ProgramPropagator::reset_for_instance
+
+use crate::propagator::Propagator;
+use cqcs_structures::arena::{all_zero, and_into, fill_ones, or_into, PropArena};
+use cqcs_structures::{BitSet, Element, RelId, Structure, SupportIndex};
+use std::sync::Arc;
+
+/// The engine interface the generic backtracking search runs over:
+/// establish once, then `assign`/`undo` around each search node. Both
+/// the interpreted [`Propagator`] (the reference specification) and the
+/// compiled [`ProgramPropagator`] implement it with bit-identical
+/// observable behaviour.
+pub trait PropagationEngine<'s> {
+    /// The instance's left structure.
+    fn left(&self) -> &'s Structure;
+    /// The instance's right (template) structure.
+    fn right(&self) -> &'s Structure;
+    /// Runs propagation to the arc-consistency fixpoint from the
+    /// current domains; returns whether all domains are nonempty.
+    /// Idempotent after the first call.
+    fn establish(&mut self) -> bool;
+    /// Tentatively assigns `x := v` (opening an undo frame) and
+    /// propagates; returns `false` on wipeout.
+    fn assign(&mut self, x: Element, v: usize) -> bool;
+    /// Rolls back the most recent [`assign`](PropagationEngine::assign).
+    fn undo(&mut self);
+    /// Number of open assignment frames.
+    fn depth(&self) -> usize;
+    /// Monotone count of domain-value deletions performed so far.
+    fn deletions(&self) -> usize;
+    /// Current domain size of `e`, O(1).
+    fn domain_size(&self, e: Element) -> usize;
+    /// Replaces `out` with the current domain of `e`, ascending.
+    fn domain_values_into(&self, e: Element, out: &mut Vec<usize>);
+    /// Whether every domain is nonempty.
+    fn is_consistent(&self) -> bool;
+}
+
+impl<'s> PropagationEngine<'s> for Propagator<'s> {
+    fn left(&self) -> &'s Structure {
+        Propagator::left(self)
+    }
+    fn right(&self) -> &'s Structure {
+        Propagator::right(self)
+    }
+    fn establish(&mut self) -> bool {
+        Propagator::establish(self)
+    }
+    fn assign(&mut self, x: Element, v: usize) -> bool {
+        Propagator::assign(self, x, v)
+    }
+    fn undo(&mut self) {
+        Propagator::undo(self)
+    }
+    fn depth(&self) -> usize {
+        Propagator::depth(self)
+    }
+    fn deletions(&self) -> usize {
+        Propagator::deletions(self)
+    }
+    fn domain_size(&self, e: Element) -> usize {
+        Propagator::domain_size(self, e)
+    }
+    fn domain_values_into(&self, e: Element, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.domain(e).iter());
+    }
+    fn is_consistent(&self) -> bool {
+        Propagator::is_consistent(self)
+    }
+}
+
+/// Per-relation geometry and pool offsets of a compiled program.
+#[derive(Debug, Clone, Copy)]
+struct RelMeta {
+    arity: usize,
+    tuple_count: usize,
+    /// `tuple_count.div_ceil(64)` — the stride of one support bitset.
+    tuple_words: usize,
+    /// Offset of this relation's support bitsets in `support_words`:
+    /// the set for `(p, v)` starts at
+    /// `support_base + (p * universe + v) * tuple_words`.
+    support_base: usize,
+    /// Offset of this relation's projections in `proj_words` (one
+    /// universe-sized bitset per position).
+    proj_base: usize,
+    /// Offset of this relation's flattened tuples in `b_tuples`
+    /// (`tuple_count * arity` entries, tuple-major).
+    tuples_base: usize,
+}
+
+/// A template compiled to flat propagation pools — see the [module
+/// docs](self). Built once per template (from its shared
+/// [`SupportIndex`]) and handed to every [`ProgramPropagator`] via
+/// `Arc`.
+#[derive(Debug)]
+pub struct PropProgram {
+    /// `|B|`.
+    universe: usize,
+    /// `universe.div_ceil(64)` — the stride of one domain/projection.
+    word_blocks: usize,
+    max_arity: usize,
+    rels: Vec<RelMeta>,
+    /// All support bitsets, relation-major then position-major then
+    /// value-major, each `tuple_words(r)` words.
+    support_words: Vec<u64>,
+    /// All position projections, `word_blocks` words each.
+    proj_words: Vec<u64>,
+    /// `B`'s tuples flattened relation-major (components as element
+    /// indexes).
+    b_tuples: Vec<u32>,
+}
+
+impl PropProgram {
+    /// Lowers `support` (built over `b`) into flat pools.
+    ///
+    /// # Panics
+    /// Panics if the index does not match `b` (universe and per-relation
+    /// tuple counts are checked).
+    pub fn compile(b: &Structure, support: &SupportIndex) -> PropProgram {
+        assert_eq!(
+            support.universe(),
+            b.universe(),
+            "support index does not match the template"
+        );
+        let universe = b.universe();
+        let word_blocks = universe.div_ceil(64);
+        let nrels = b.vocabulary().len();
+        let mut rels = Vec::with_capacity(nrels);
+        let mut support_words = Vec::new();
+        let mut proj_words = Vec::new();
+        let mut b_tuples = Vec::new();
+        for r in b.vocabulary().iter() {
+            let rel = b.relation(r);
+            assert_eq!(
+                support.tuple_count(r),
+                rel.len(),
+                "support index does not match the template"
+            );
+            let meta = RelMeta {
+                arity: rel.arity(),
+                tuple_count: rel.len(),
+                tuple_words: rel.len().div_ceil(64),
+                support_base: support_words.len(),
+                proj_base: proj_words.len(),
+                tuples_base: b_tuples.len(),
+            };
+            for p in 0..meta.arity {
+                for v in 0..universe {
+                    support_words.extend_from_slice(support.supports(r, p, v).words());
+                }
+                proj_words.extend_from_slice(support.projection(r, p).words());
+            }
+            for t in 0..meta.tuple_count {
+                b_tuples.extend(rel.tuple(t).iter().map(|e| e.0));
+            }
+            rels.push(meta);
+        }
+        PropProgram {
+            universe,
+            word_blocks,
+            max_arity: b.vocabulary().max_arity(),
+            rels,
+            support_words,
+            proj_words,
+            b_tuples,
+        }
+    }
+
+    /// Universe size of the template this program was compiled for.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Whether this program was compiled for a template with `b`'s
+    /// shape (universe, relation count, arities, tuple counts) — the
+    /// cheap validity check engine constructors run.
+    pub fn matches(&self, b: &Structure) -> bool {
+        self.universe == b.universe()
+            && self.rels.len() == b.vocabulary().len()
+            && b.vocabulary().iter().all(|r| {
+                let rel = b.relation(r);
+                let m = &self.rels[r.index()];
+                m.arity == rel.arity() && m.tuple_count == rel.len()
+            })
+    }
+
+    /// Support bitset words for `(r, p, v)`.
+    #[inline]
+    fn supports(&self, ri: usize, p: usize, v: usize) -> &[u64] {
+        let m = &self.rels[ri];
+        let off = m.support_base + (p * self.universe + v) * m.tuple_words;
+        &self.support_words[off..off + m.tuple_words]
+    }
+
+    /// Projection bitset words for `(r, p)`.
+    #[inline]
+    fn projection(&self, ri: usize, p: usize) -> &[u64] {
+        let m = &self.rels[ri];
+        let off = m.proj_base + p * self.word_blocks;
+        &self.proj_words[off..off + self.word_blocks]
+    }
+
+    /// The `w`-th tuple of relation `ri` as flattened element indexes.
+    #[inline]
+    fn b_tuple(&self, ri: usize, w: usize) -> &[u32] {
+        let m = &self.rels[ri];
+        let off = m.tuples_base + w * m.arity;
+        &self.b_tuples[off..off + m.arity]
+    }
+
+    /// Single-word support set for `(r, p, v)` — the scalar form of
+    /// [`supports`](PropProgram::supports), valid only when the
+    /// relation's `tuple_words == 1`.
+    #[inline]
+    fn support_word(&self, m: &RelMeta, p: usize, v: usize) -> u64 {
+        debug_assert_eq!(m.tuple_words, 1);
+        self.support_words[m.support_base + p * self.universe + v]
+    }
+
+    /// Single-word projection for `(r, p)` — the scalar form of
+    /// [`projection`](PropProgram::projection), valid only when
+    /// `word_blocks == 1`.
+    #[inline]
+    fn projection_word(&self, m: &RelMeta, p: usize) -> u64 {
+        debug_assert_eq!(self.word_blocks, 1);
+        self.proj_words[m.proj_base + p]
+    }
+}
+
+/// Word offsets of every region carved from the arena, recomputed per
+/// instance bind (they depend on `|A|` and `A`'s tuple count).
+#[derive(Debug, Clone, Copy, Default)]
+struct Layout {
+    /// `|A|`.
+    n: usize,
+    /// `|B|` (the logical capacity of each domain).
+    d: usize,
+    /// `d.div_ceil(64)` — words per domain / supported set.
+    wb: usize,
+    /// Domains: `n * wb` words at offset 0.
+    domains: usize,
+    /// Supported sets: `max_arity * wb` words.
+    supported: usize,
+    /// Live-witness scratch: `max_tuple_words` words.
+    live: usize,
+    /// Witness-union accumulator: `max_tuple_words` words.
+    acc: usize,
+    /// Domain sizes: `n` words (one size per word).
+    sizes: usize,
+    /// Undo trail: `n * d` words, each packed `(element << 32) | value`.
+    trail: usize,
+    /// Worklist ring: `queue_cap` words of global `A`-tuple ids.
+    queue: usize,
+    /// Worklist membership bitset: `queue_cap.div_ceil(64)` words.
+    queued: usize,
+    /// Total arena words.
+    total: usize,
+    /// Total `A`-tuples — ring capacity (the queued bitset dedups, so
+    /// the ring never holds more).
+    queue_cap: usize,
+}
+
+/// The compiled engine: executes a shared [`PropProgram`] over one
+/// owned [`PropArena`], with the same public surface and the same
+/// observable behaviour as the interpreted [`Propagator`]. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct ProgramPropagator<'s> {
+    a: &'s Structure,
+    b: &'s Structure,
+    program: Arc<PropProgram>,
+    arena: PropArena,
+    layout: Layout,
+    /// Global-tuple-id base per relation (prefix sums of `A`'s
+    /// relation-major tuple counts), plus a total sentinel.
+    a_bases: Vec<u32>,
+    /// Trail marks at each open assign frame.
+    frames: Vec<usize>,
+    trail_len: usize,
+    deletions: usize,
+    queue_head: usize,
+    queue_len: usize,
+    established: bool,
+}
+
+impl<'s> ProgramPropagator<'s> {
+    /// Creates an engine with full domains on a fresh arena.
+    ///
+    /// # Panics
+    /// Panics if the structures are over different vocabularies or the
+    /// program was not compiled for `b`.
+    pub fn new(a: &'s Structure, b: &'s Structure, program: Arc<PropProgram>) -> Self {
+        Self::with_arena(a, b, program, PropArena::new())
+    }
+
+    /// [`ProgramPropagator::new`] on a recycled arena (e.g. taken from
+    /// a retired engine via [`into_arena`](ProgramPropagator::into_arena)),
+    /// so a worker switching templates keeps its allocation.
+    ///
+    /// # Panics
+    /// Panics if the structures are over different vocabularies or the
+    /// program was not compiled for `b`.
+    pub fn with_arena(
+        a: &'s Structure,
+        b: &'s Structure,
+        program: Arc<PropProgram>,
+        arena: PropArena,
+    ) -> Self {
+        assert!(
+            a.same_vocabulary(b),
+            "arc consistency across different vocabularies"
+        );
+        assert!(program.matches(b), "program does not match the template");
+        let mut p = ProgramPropagator {
+            a,
+            b,
+            program,
+            arena,
+            layout: Layout::default(),
+            a_bases: Vec::new(),
+            frames: Vec::new(),
+            trail_len: 0,
+            deletions: 0,
+            queue_head: 0,
+            queue_len: 0,
+            established: false,
+        };
+        p.bind(a);
+        p
+    }
+
+    /// Rebinds the engine to a new left structure against the same
+    /// compiled template, reusing the arena allocation — the compiled
+    /// analogue of [`Propagator::reset_for_instance`]. After the call
+    /// the engine is observably identical to a freshly constructed one:
+    /// full domains, empty trail, zero deletions, not yet established.
+    ///
+    /// # Panics
+    /// Panics if `a` is over a different vocabulary than the template.
+    pub fn reset_for_instance(&mut self, a: &'s Structure) {
+        assert!(
+            a.same_vocabulary(self.b),
+            "arc consistency across different vocabularies"
+        );
+        self.a = a;
+        self.frames.clear();
+        self.trail_len = 0;
+        self.deletions = 0;
+        self.queue_head = 0;
+        self.queue_len = 0;
+        self.established = false;
+        self.bind(a);
+    }
+
+    /// Computes the instance layout and initialises the arena regions
+    /// that start non-zero (full domains, domain sizes). Everything
+    /// else (trail, ring, scratch) is written before it is read; the
+    /// queued bitset starts all-zero from
+    /// [`PropArena::reset_zeroed`]. O(arena words).
+    fn bind(&mut self, a: &'s Structure) {
+        let prog = &self.program;
+        let n = a.universe();
+        let d = prog.universe;
+        let wb = prog.word_blocks;
+        let max_tw = prog.rels.iter().map(|m| m.tuple_words).max().unwrap_or(0);
+        self.a_bases.clear();
+        let mut total_tuples = 0u32;
+        for r in a.vocabulary().iter() {
+            self.a_bases.push(total_tuples);
+            total_tuples += a.relation(r).len() as u32;
+        }
+        self.a_bases.push(total_tuples);
+        let queue_cap = total_tuples as usize;
+
+        let domains = 0;
+        let supported = domains + n * wb;
+        let live = supported + prog.max_arity * wb;
+        let acc = live + max_tw;
+        let sizes = acc + max_tw;
+        let trail = sizes + n;
+        let queue = trail + n * d;
+        let queued = queue + queue_cap;
+        let total = queued + queue_cap.div_ceil(64);
+        self.layout = Layout {
+            n,
+            d,
+            wb,
+            domains,
+            supported,
+            live,
+            acc,
+            sizes,
+            trail,
+            queue,
+            queued,
+            total,
+            queue_cap,
+        };
+
+        self.arena.reset_zeroed(total);
+        let words = self.arena.words_mut();
+        for e in 0..n {
+            fill_ones(&mut words[domains + e * wb..domains + (e + 1) * wb], d);
+        }
+        words[sizes..sizes + n].fill(d as u64);
+    }
+
+    /// The shared program this engine executes.
+    pub fn program(&self) -> &Arc<PropProgram> {
+        &self.program
+    }
+
+    /// Consumes the engine, yielding its arena for reuse.
+    pub fn into_arena(self) -> PropArena {
+        self.arena
+    }
+
+    /// The instance's left structure.
+    pub fn left(&self) -> &'s Structure {
+        self.a
+    }
+
+    /// The instance's right (template) structure.
+    pub fn right(&self) -> &'s Structure {
+        self.b
+    }
+
+    /// Current domain size of an element, O(1).
+    #[inline]
+    pub fn domain_size(&self, e: Element) -> usize {
+        self.arena.words()[self.layout.sizes + e.index()] as usize
+    }
+
+    /// Whether `v` is currently in `dom(e)`.
+    #[inline]
+    pub fn domain_contains(&self, e: Element, v: usize) -> bool {
+        if v >= self.layout.d {
+            return false;
+        }
+        let off = self.layout.domains + e.index() * self.layout.wb + v / 64;
+        self.arena.words()[off] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Materialises `dom(e)` as a [`BitSet`] (diagnostics and parity
+    /// tests; the hot paths never construct sets).
+    pub fn domain_bitset(&self, e: Element) -> BitSet {
+        let l = self.layout;
+        let mut s = BitSet::new(l.d);
+        let dom = &self.arena.words()[l.domains + e.index() * l.wb..][..l.wb];
+        cqcs_structures::arena::for_each_set_bit(dom, |v| {
+            s.insert(v);
+        });
+        s
+    }
+
+    /// All current domains, materialised (parity tests).
+    pub fn domains_vec(&self) -> Vec<BitSet> {
+        (0..self.layout.n)
+            .map(|e| self.domain_bitset(Element::new(e)))
+            .collect()
+    }
+
+    /// Total `(element, value)` deletions performed so far (monotone;
+    /// not decremented by [`undo`](ProgramPropagator::undo)).
+    pub fn deletions(&self) -> usize {
+        self.deletions
+    }
+
+    /// Number of open assignment frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether every domain is nonempty.
+    pub fn is_consistent(&self) -> bool {
+        let l = self.layout;
+        self.arena.words()[l.sizes..l.sizes + l.n]
+            .iter()
+            .all(|&s| s > 0)
+    }
+
+    /// Runs propagation to the arc-consistency fixpoint, seeding the
+    /// worklist with every tuple of `A` relation-major — exactly
+    /// [`Propagator::establish`]. Idempotent.
+    pub fn establish(&mut self) -> bool {
+        if self.established {
+            return self.is_consistent();
+        }
+        self.established = true;
+        // 0-ary relations: a missing fact in B is a global wipeout.
+        for r in self.a.vocabulary().iter() {
+            if self.a.vocabulary().arity(r) == 0
+                && !self.a.relation(r).is_empty()
+                && self.b.relation(r).is_empty()
+            {
+                let l = self.layout;
+                let words = self.arena.words_mut();
+                for e in 0..l.n {
+                    let dom = l.domains + e * l.wb;
+                    for wi in 0..l.wb {
+                        let mut bits = words[dom + wi];
+                        while bits != 0 {
+                            let v = wi * 64 + bits.trailing_zeros() as usize;
+                            words[l.trail + self.trail_len] = ((e as u64) << 32) | v as u64;
+                            self.trail_len += 1;
+                            bits &= bits - 1;
+                        }
+                        words[dom + wi] = 0;
+                    }
+                    self.deletions += words[l.sizes + e] as usize;
+                    words[l.sizes + e] = 0;
+                }
+                return self.is_consistent();
+            }
+        }
+        for r in self.a.vocabulary().iter() {
+            if self.a.vocabulary().arity(r) == 0 {
+                continue;
+            }
+            let base = self.a_bases[r.index()] as usize;
+            for t in 0..self.a.relation(r).len() {
+                self.push_queued(base + t);
+            }
+        }
+        self.run_queue() && self.is_consistent()
+    }
+
+    /// Tentatively assigns `x := v` — exactly [`Propagator::assign`]:
+    /// opens a trail frame, narrows `dom(x)` to `{v}` (removals trailed
+    /// in ascending value order), propagates from the tuples through
+    /// `x`. Returns `false` on wipeout.
+    ///
+    /// # Panics
+    /// Panics if [`establish`](ProgramPropagator::establish) has not
+    /// run, or if `v` is not in `dom(x)`.
+    pub fn assign(&mut self, x: Element, v: usize) -> bool {
+        assert!(self.established, "assign before establish");
+        assert!(
+            self.domain_contains(x, v),
+            "assigning pruned value {v} to {x:?}"
+        );
+        self.frames.push(self.trail_len);
+        let l = self.layout;
+        let xi = x.index();
+        if self.arena.words()[l.sizes + xi] > 1 {
+            let words = self.arena.words_mut();
+            let dom = l.domains + xi * l.wb;
+            let mut removed = 0usize;
+            for wi in 0..l.wb {
+                let keep = if wi == v / 64 { 1u64 << (v % 64) } else { 0 };
+                let mut bits = words[dom + wi] & !keep;
+                words[dom + wi] &= keep;
+                while bits != 0 {
+                    let u = wi * 64 + bits.trailing_zeros() as usize;
+                    words[l.trail + self.trail_len] = ((xi as u64) << 32) | u as u64;
+                    self.trail_len += 1;
+                    removed += 1;
+                    bits &= bits - 1;
+                }
+            }
+            self.deletions += removed;
+            words[l.sizes + xi] = 1;
+            self.enqueue_occurrences(x);
+        }
+        self.run_queue()
+    }
+
+    /// Rolls back the most recent [`assign`](ProgramPropagator::assign),
+    /// restoring every domain it narrowed.
+    ///
+    /// # Panics
+    /// Panics if there is no open frame.
+    pub fn undo(&mut self) {
+        let mark = self.frames.pop().expect("undo without a matching assign");
+        let l = self.layout;
+        let words = self.arena.words_mut();
+        while self.trail_len > mark {
+            self.trail_len -= 1;
+            let packed = words[l.trail + self.trail_len];
+            let e = (packed >> 32) as usize;
+            let v = (packed & u64::from(u32::MAX)) as usize;
+            let dom = l.domains + e * l.wb + v / 64;
+            let bit = 1u64 << (v % 64);
+            if words[dom] & bit == 0 {
+                words[dom] |= bit;
+                words[l.sizes + e] += 1;
+            }
+        }
+    }
+
+    /// Appends `gid` to the ring and marks it queued (caller checks
+    /// membership first where needed; `establish`'s seed is
+    /// duplicate-free by construction).
+    #[inline]
+    fn push_queued(&mut self, gid: usize) {
+        let l = self.layout;
+        let words = self.arena.words_mut();
+        words[l.queued + gid / 64] |= 1u64 << (gid % 64);
+        let mut tail = self.queue_head + self.queue_len;
+        if tail >= l.queue_cap {
+            tail -= l.queue_cap;
+        }
+        words[l.queue + tail] = gid as u64;
+        self.queue_len += 1;
+    }
+
+    /// Enqueues every `A`-tuple through `e` not already queued, in
+    /// occurrence-list order — exactly the interpreted engine's
+    /// `enqueue_occurrences`.
+    fn enqueue_occurrences(&mut self, e: Element) {
+        let l = self.layout;
+        let a = self.a;
+        for &(r, t) in a.occurrences(e) {
+            let gid = self.a_bases[r.index()] as usize + t as usize;
+            let words = self.arena.words_mut();
+            if words[l.queued + gid / 64] & (1u64 << (gid % 64)) == 0 {
+                words[l.queued + gid / 64] |= 1u64 << (gid % 64);
+                let mut tail = self.queue_head + self.queue_len;
+                if tail >= l.queue_cap {
+                    tail -= l.queue_cap;
+                }
+                words[l.queue + tail] = gid as u64;
+                self.queue_len += 1;
+            }
+        }
+    }
+
+    /// Drains the worklist FIFO; on wipeout, clears it (the queued
+    /// bitset is exactly the ring's membership, so one block zero
+    /// clears every flag) and reports `false`.
+    fn run_queue(&mut self) -> bool {
+        while self.queue_len > 0 {
+            let l = self.layout;
+            let gid = {
+                let words = self.arena.words_mut();
+                let gid = words[l.queue + self.queue_head] as usize;
+                self.queue_head += 1;
+                if self.queue_head == l.queue_cap {
+                    self.queue_head = 0;
+                }
+                self.queue_len -= 1;
+                words[l.queued + gid / 64] &= !(1u64 << (gid % 64));
+                gid
+            };
+            // Single-relation vocabularies (every graph workload) skip
+            // the prefix-sum search: the sentinel is the only other base.
+            let ri = if self.a_bases.len() == 2 {
+                0
+            } else {
+                self.a_bases.partition_point(|&b| b as usize <= gid) - 1
+            };
+            let t = gid - self.a_bases[ri] as usize;
+            if !self.revise(RelId::from_index(ri), t) {
+                let words = self.arena.words_mut();
+                words[l.queued..l.total].fill(0);
+                self.queue_len = 0;
+                self.queue_head = 0;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Revises one `A`-tuple against the compiled pools — exactly
+    /// [`Propagator`]'s `revise`, word-at-a-time: live witnesses by
+    /// union/intersection over the CSR support slabs (with the cached
+    /// projection fast path while every domain is still full), then
+    /// per-position removals `dom & !supported` trailed in ascending
+    /// order. Returns `false` if a domain emptied.
+    ///
+    /// Dispatches to the scalar specialization when both the domains
+    /// and this relation's support sets fit one `u64` each — the
+    /// common case for small templates (e.g. K3), where the generic
+    /// slice kernels' loop and bounds overhead would dominate.
+    #[inline]
+    fn revise(&mut self, r: RelId, t: usize) -> bool {
+        let m = self.program.rels[r.index()];
+        if self.layout.wb == 1 && m.tuple_words == 1 {
+            self.revise_scalar(r, t, m)
+        } else {
+            self.revise_wide(r, t)
+        }
+    }
+
+    /// [`revise`](ProgramPropagator::revise) when every bitset involved
+    /// is a single word (`|B| ≤ 64` and `|R^B| ≤ 64`): identical
+    /// semantics and identical observable order (trail entries ascend
+    /// per position, occurrence enqueues in list order), but all set
+    /// algebra happens in registers on `u64` scalars.
+    fn revise_scalar(&mut self, r: RelId, t: usize, m: RelMeta) -> bool {
+        let ri = r.index();
+        let a = self.a;
+        let program: &PropProgram = &self.program;
+        let tuple = a.relation(r).tuple(t);
+        let arity = tuple.len();
+        let l = self.layout;
+        let words = self.arena.words_mut();
+
+        if tuple
+            .iter()
+            .all(|&e| words[l.sizes + e.index()] == l.d as u64)
+        {
+            // Full domains: supported sets are the cached projections.
+            for p in 0..arity {
+                words[l.supported + p] = program.projection_word(&m, p);
+            }
+        } else {
+            // live = ∩_p ⋃_{v ∈ dom(e_p)} supports(r, p, v)
+            let mut live = if m.tuple_count == 64 {
+                u64::MAX
+            } else {
+                (1u64 << m.tuple_count) - 1
+            };
+            for (p, &e) in tuple.iter().enumerate() {
+                if live == 0 {
+                    break;
+                }
+                let mut acc = 0u64;
+                let mut bits = words[l.domains + e.index()];
+                while bits != 0 {
+                    acc |= program.support_word(&m, p, bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
+                }
+                live &= acc;
+            }
+
+            // supported[p] = {w[p] : w live}
+            for p in 0..arity {
+                words[l.supported + p] = 0;
+            }
+            let mut bits = live;
+            while bits != 0 {
+                let w = bits.trailing_zeros() as usize;
+                for (p, &bv) in program.b_tuple(ri, w).iter().enumerate() {
+                    words[l.supported + p] |= 1u64 << bv;
+                }
+                bits &= bits - 1;
+            }
+        }
+
+        // Intersect each element's domain with its supported set,
+        // trailing every removal so `undo` can restore it.
+        for (p, &e) in tuple.iter().enumerate() {
+            let ei = e.index();
+            let sup = words[l.supported + p];
+            let dw = words[l.domains + ei];
+            let mut bits = dw & !sup;
+            if bits == 0 {
+                continue;
+            }
+            words[l.domains + ei] = dw & sup;
+            let mut removed = 0usize;
+            while bits != 0 {
+                let v = bits.trailing_zeros() as usize;
+                words[l.trail + self.trail_len] = ((ei as u64) << 32) | v as u64;
+                self.trail_len += 1;
+                removed += 1;
+                bits &= bits - 1;
+            }
+            self.deletions += removed;
+            words[l.sizes + ei] -= removed as u64;
+            if words[l.sizes + ei] == 0 {
+                return false;
+            }
+            for &(r2, t2) in a.occurrences(e) {
+                let gid = self.a_bases[r2.index()] as usize + t2 as usize;
+                if words[l.queued + gid / 64] & (1u64 << (gid % 64)) == 0 {
+                    words[l.queued + gid / 64] |= 1u64 << (gid % 64);
+                    let mut tail = self.queue_head + self.queue_len;
+                    if tail >= l.queue_cap {
+                        tail -= l.queue_cap;
+                    }
+                    words[l.queue + tail] = gid as u64;
+                    self.queue_len += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// The general multi-word form of
+    /// [`revise`](ProgramPropagator::revise).
+    fn revise_wide(&mut self, r: RelId, t: usize) -> bool {
+        let ri = r.index();
+        let a = self.a;
+        let program: &PropProgram = &self.program;
+        let tuple = a.relation(r).tuple(t);
+        let arity = tuple.len();
+        let m = program.rels[ri];
+        let l = self.layout;
+        let wb = l.wb;
+        let tw = m.tuple_words;
+
+        let words = self.arena.words_mut();
+        let (domains, rest) = words.split_at_mut(l.supported);
+        let (supported, rest) = rest.split_at_mut(l.live - l.supported);
+        let (live, rest) = rest.split_at_mut(l.acc - l.live);
+        let (acc, rest) = rest.split_at_mut(l.sizes - l.acc);
+        let (sizes, rest) = rest.split_at_mut(l.trail - l.sizes);
+        let (trail, rest) = rest.split_at_mut(l.queue - l.trail);
+        let (queue, queued) = rest.split_at_mut(l.queued - l.queue);
+
+        if tuple.iter().all(|&e| sizes[e.index()] == l.d as u64) {
+            // Every domain is still full (the common case on the first
+            // establish wave): every tuple of `R^B` is live, so the
+            // supported sets are exactly the program's cached position
+            // projections — one block copy each.
+            for p in 0..arity {
+                supported[p * wb..(p + 1) * wb].copy_from_slice(program.projection(ri, p));
+            }
+        } else {
+            // live = ∩_p ⋃_{v ∈ dom(e_p)} supports(r, p, v)
+            let live = &mut live[..tw];
+            fill_ones(live, m.tuple_count);
+            for (p, &e) in tuple.iter().enumerate() {
+                if all_zero(live) {
+                    break;
+                }
+                let acc = &mut acc[..tw];
+                acc.fill(0);
+                let dom = &domains[e.index() * wb..(e.index() + 1) * wb];
+                for (wi, &dw) in dom.iter().enumerate() {
+                    let mut bits = dw;
+                    while bits != 0 {
+                        let v = wi * 64 + bits.trailing_zeros() as usize;
+                        or_into(acc, program.supports(ri, p, v));
+                        bits &= bits - 1;
+                    }
+                }
+                and_into(live, acc);
+            }
+
+            // supported[p] = {w[p] : w live}
+            supported[..arity * wb].fill(0);
+            for (wi, &lw) in live.iter().enumerate() {
+                let mut bits = lw;
+                while bits != 0 {
+                    let w = wi * 64 + bits.trailing_zeros() as usize;
+                    for (p, &bv) in program.b_tuple(ri, w).iter().enumerate() {
+                        supported[p * wb + bv as usize / 64] |= 1u64 << (bv % 64);
+                    }
+                    bits &= bits - 1;
+                }
+            }
+        }
+
+        // Intersect each element's domain with its supported set,
+        // trailing every removal so `undo` can restore it.
+        let mut ok = true;
+        for (p, &e) in tuple.iter().enumerate() {
+            let ei = e.index();
+            let dom = &mut domains[ei * wb..(ei + 1) * wb];
+            let sup = &supported[p * wb..(p + 1) * wb];
+            let mut removed = 0usize;
+            for (wi, (dw, &sw)) in dom.iter_mut().zip(sup).enumerate() {
+                let mut bits = *dw & !sw;
+                if bits == 0 {
+                    continue;
+                }
+                *dw &= sw;
+                while bits != 0 {
+                    let v = wi * 64 + bits.trailing_zeros() as usize;
+                    trail[self.trail_len] = ((ei as u64) << 32) | v as u64;
+                    self.trail_len += 1;
+                    removed += 1;
+                    bits &= bits - 1;
+                }
+            }
+            if removed == 0 {
+                continue;
+            }
+            self.deletions += removed;
+            sizes[ei] -= removed as u64;
+            if sizes[ei] == 0 {
+                ok = false;
+                break;
+            }
+            for &(r2, t2) in a.occurrences(e) {
+                let gid = self.a_bases[r2.index()] as usize + t2 as usize;
+                if queued[gid / 64] & (1u64 << (gid % 64)) == 0 {
+                    queued[gid / 64] |= 1u64 << (gid % 64);
+                    let mut tail = self.queue_head + self.queue_len;
+                    if tail >= l.queue_cap {
+                        tail -= l.queue_cap;
+                    }
+                    queue[tail] = gid as u64;
+                    self.queue_len += 1;
+                }
+            }
+        }
+        ok
+    }
+}
+
+impl<'s> PropagationEngine<'s> for ProgramPropagator<'s> {
+    fn left(&self) -> &'s Structure {
+        ProgramPropagator::left(self)
+    }
+    fn right(&self) -> &'s Structure {
+        ProgramPropagator::right(self)
+    }
+    fn establish(&mut self) -> bool {
+        ProgramPropagator::establish(self)
+    }
+    fn assign(&mut self, x: Element, v: usize) -> bool {
+        ProgramPropagator::assign(self, x, v)
+    }
+    fn undo(&mut self) {
+        ProgramPropagator::undo(self)
+    }
+    fn depth(&self) -> usize {
+        ProgramPropagator::depth(self)
+    }
+    fn deletions(&self) -> usize {
+        ProgramPropagator::deletions(self)
+    }
+    fn domain_size(&self, e: Element) -> usize {
+        ProgramPropagator::domain_size(self, e)
+    }
+    fn domain_values_into(&self, e: Element, out: &mut Vec<usize>) {
+        out.clear();
+        let l = self.layout;
+        let dom = &self.arena.words()[l.domains + e.index() * l.wb..][..l.wb];
+        cqcs_structures::arena::for_each_set_bit(dom, |v| out.push(v));
+    }
+    fn is_consistent(&self) -> bool {
+        ProgramPropagator::is_consistent(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::refine_domains_reference;
+    use cqcs_structures::generators;
+
+    fn compile_for(b: &Structure) -> Arc<PropProgram> {
+        Arc::new(PropProgram::compile(b, &SupportIndex::build(b)))
+    }
+
+    /// Drives both engines through establish and a full sweep of
+    /// single assigns with undo, asserting bit-identical observables
+    /// at every step.
+    fn assert_engines_agree(a: &Structure, b: &Structure, what: &str) {
+        let program = compile_for(b);
+        let mut fast = ProgramPropagator::new(a, b, program);
+        let mut slow = Propagator::new(a, b);
+        let ok = fast.establish();
+        assert_eq!(ok, slow.establish(), "{what}: establish verdict");
+        assert_eq!(fast.deletions(), slow.deletions(), "{what}: deletions");
+        assert_eq!(
+            fast.domains_vec(),
+            slow.domains().to_vec(),
+            "{what}: fixpoint domains"
+        );
+        if !ok {
+            return;
+        }
+        for x in a.elements() {
+            let dom: Vec<usize> = slow.domain(x).iter().collect();
+            for v in dom {
+                assert_eq!(fast.assign(x, v), slow.assign(x, v), "{what} {x:?}:={v}");
+                assert_eq!(
+                    fast.deletions(),
+                    slow.deletions(),
+                    "{what} {x:?}:={v} deletions"
+                );
+                assert_eq!(
+                    fast.domains_vec(),
+                    slow.domains().to_vec(),
+                    "{what} {x:?}:={v} domains"
+                );
+                fast.undo();
+                slow.undo();
+                assert_eq!(
+                    fast.domains_vec(),
+                    slow.domains().to_vec(),
+                    "{what} {x:?}:={v} undo"
+                );
+            }
+        }
+        assert_eq!(fast.depth(), 0);
+    }
+
+    #[test]
+    fn establish_matches_interpreted_on_digraphs() {
+        for seed in 0..30u64 {
+            let a = generators::random_digraph(7, 0.3, seed);
+            let b = generators::random_digraph(4, 0.3, seed + 500);
+            assert_engines_agree(&a, &b, &format!("seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn establish_matches_interpreted_on_mixed_arity() {
+        for seed in 0..20u64 {
+            let a = generators::random_structure(5, &[1, 2, 3], 8, seed);
+            let b = generators::random_structure_over(a.vocabulary(), 3, 9, seed + 70);
+            assert_engines_agree(&a, &b, &format!("mixed seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn matches_reference_fixpoint() {
+        for seed in 0..20u64 {
+            let a = generators::random_digraph(6, 0.35, seed);
+            let b = generators::random_digraph(4, 0.4, seed + 123);
+            let program = compile_for(&b);
+            let mut p = ProgramPropagator::new(&a, &b, program);
+            let full = vec![BitSet::full(b.universe()); a.universe()];
+            let reference = refine_domains_reference(&a, &b, full);
+            assert_eq!(p.establish(), reference.consistent, "seed {seed}");
+            if reference.consistent {
+                assert_eq!(p.domains_vec(), reference.domains, "seed {seed}");
+                assert_eq!(p.deletions(), reference.deletions, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_assign_undo_restores_exactly() {
+        let a = generators::random_graph_nm(8, 14, 5);
+        let b = generators::complete_graph(3);
+        let program = compile_for(&b);
+        let mut p = ProgramPropagator::new(&a, &b, program);
+        assert!(p.establish());
+        let snap0 = p.domains_vec();
+        let v0 = p.domain_bitset(Element(0)).min().unwrap();
+        assert!(p.assign(Element(0), v0));
+        let snap1 = p.domains_vec();
+        let v1 = p.domain_bitset(Element(1)).min().unwrap();
+        let _ = p.assign(Element(1), v1);
+        if let Some(v2) = p.domain_bitset(Element(2)).min() {
+            let _ = p.assign(Element(2), v2);
+            p.undo();
+        }
+        p.undo();
+        assert_eq!(p.domains_vec(), snap1);
+        p.undo();
+        assert_eq!(p.domains_vec(), snap0);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn wipeout_is_sound_and_undoable() {
+        let c9 = generators::undirected_cycle(9);
+        let k2 = generators::complete_graph(2);
+        let program = compile_for(&k2);
+        let mut p = ProgramPropagator::new(&c9, &k2, program);
+        assert!(p.establish());
+        let snap = p.domains_vec();
+        for v in 0..2 {
+            assert!(!p.assign(Element(0), v), "odd cycle pinned must wipe out");
+            p.undo();
+            assert_eq!(p.domains_vec(), snap);
+        }
+    }
+
+    #[test]
+    fn zero_ary_wipeout_matches_interpreted() {
+        use cqcs_structures::{StructureBuilder, Vocabulary};
+        let voc = Vocabulary::from_symbols([("S", 0), ("E", 2)])
+            .unwrap()
+            .into_shared();
+        let mut ab = StructureBuilder::new(Arc::clone(&voc), 2);
+        ab.add_fact("S", &[]).unwrap();
+        ab.add_fact("E", &[0, 1]).unwrap();
+        let a = ab.finish();
+        let b = StructureBuilder::new(Arc::clone(&voc), 2).finish();
+        let program = compile_for(&b);
+        let mut p = ProgramPropagator::new(&a, &b, program);
+        assert!(!p.establish());
+        assert_eq!(p.deletions(), 4, "both full domains cleared");
+    }
+
+    #[test]
+    fn reset_for_instance_is_a_drop_in_for_a_fresh_engine() {
+        let b = generators::complete_graph(3);
+        let program = compile_for(&b);
+        let instances: Vec<_> = (0..12u64)
+            .map(|seed| {
+                let n = 5 + (seed as usize % 5);
+                generators::random_graph_nm(n, 2 * n - 3, seed)
+            })
+            .collect();
+        let mut reused: Option<ProgramPropagator<'_>> = None;
+        for a in &instances {
+            match reused.as_mut() {
+                None => reused = Some(ProgramPropagator::new(a, &b, Arc::clone(&program))),
+                Some(p) => p.reset_for_instance(a),
+            }
+            let p = reused.as_mut().unwrap();
+            let mut fresh = ProgramPropagator::new(a, &b, Arc::clone(&program));
+            assert_eq!(p.domains_vec(), fresh.domains_vec(), "pre-establish");
+            assert_eq!(p.deletions(), 0, "deletions reset");
+            assert_eq!(p.depth(), 0, "no open frames");
+            let ok = p.establish();
+            assert_eq!(ok, fresh.establish());
+            assert_eq!(p.domains_vec(), fresh.domains_vec(), "fixpoints");
+            assert_eq!(p.deletions(), fresh.deletions(), "deletion counts");
+            if ok {
+                for x in a.elements() {
+                    let Some(v) = p.domain_bitset(x).min() else {
+                        continue;
+                    };
+                    assert_eq!(p.assign(x, v), fresh.assign(x, v), "{x:?}:={v}");
+                    assert_eq!(p.domains_vec(), fresh.domains_vec(), "{x:?}:={v}");
+                    p.undo();
+                    fresh.undo();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_for_instance_resizes_across_universes() {
+        let b = generators::complete_graph(3);
+        let program = compile_for(&b);
+        let small = generators::random_graph_nm(3, 3, 1);
+        let large = generators::random_graph_nm(9, 16, 2);
+        let mut p = ProgramPropagator::new(&small, &b, Arc::clone(&program));
+        assert!(p.establish());
+        p.reset_for_instance(&large);
+        assert_eq!(p.domains_vec().len(), large.universe());
+        assert!(p.establish());
+        let mut fresh = ProgramPropagator::new(&large, &b, Arc::clone(&program));
+        fresh.establish();
+        assert_eq!(p.domains_vec(), fresh.domains_vec());
+        p.reset_for_instance(&small);
+        assert_eq!(p.domains_vec().len(), small.universe());
+        assert!(p.establish());
+        let mut fresh = ProgramPropagator::new(&small, &b, program);
+        fresh.establish();
+        assert_eq!(p.domains_vec(), fresh.domains_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the template")]
+    fn mismatched_program_is_rejected() {
+        let k3 = generators::complete_graph(3);
+        let k4 = generators::complete_graph(4);
+        let program = compile_for(&k4);
+        let a = generators::random_graph_nm(4, 5, 0);
+        let _ = ProgramPropagator::new(&a, &k3, program);
+    }
+
+    #[test]
+    fn large_template_crosses_word_boundaries() {
+        // |B| = 70 forces two domain words; many B-tuples force
+        // multi-word support sets.
+        let a = generators::random_digraph(9, 0.4, 3);
+        let b = generators::random_digraph(70, 0.05, 4);
+        assert_engines_agree(&a, &b, "70-element template");
+    }
+
+    #[test]
+    fn empty_template_universe() {
+        let voc = generators::digraph_vocabulary();
+        let b = cqcs_structures::StructureBuilder::new(voc, 0).finish();
+        let a = generators::random_digraph(3, 0.5, 9);
+        let program = compile_for(&b);
+        let mut p = ProgramPropagator::new(&a, &b, program);
+        let mut slow = Propagator::new(&a, &b);
+        assert_eq!(p.establish(), slow.establish());
+        assert_eq!(p.deletions(), slow.deletions());
+    }
+}

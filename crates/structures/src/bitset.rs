@@ -182,6 +182,16 @@ impl BitSet {
         None
     }
 
+    /// The backing `u64` words, least-significant bit first — exactly
+    /// `capacity.div_ceil(64)` of them, with every bit at position
+    /// `>= capacity` guaranteed zero. This is the raw form the flat
+    /// propagation programs copy into their
+    /// [`arena`](crate::arena)-resident pools.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {

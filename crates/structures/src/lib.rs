@@ -27,10 +27,13 @@
 //! * [`core_of`] — cores and retracts (powering CQ minimization);
 //! * [`generators`] — deterministic and random workload families used by
 //!   the test-suite and the benchmark harness;
+//! * [`arena`] — the flat `u64`-word [`PropArena`] and whole-word
+//!   kernels backing the compiled propagation route upstream;
 //! * [`worksteal`] — hand-rolled work-stealing scheduling primitives
 //!   (atomic chunk claiming + steal-half deques) for the parallel batch
 //!   drivers upstream.
 
+pub mod arena;
 pub mod binary_encoding;
 pub mod bitset;
 pub mod core_of;
@@ -48,6 +51,7 @@ pub mod support;
 pub mod vocabulary;
 pub mod worksteal;
 
+pub use arena::PropArena;
 pub use binary_encoding::{binary_encode, binary_encode_optimized};
 pub use bitset::BitSet;
 pub use csp::{Constraint, CspInstance};
@@ -59,6 +63,6 @@ pub use incidence::incidence_graph;
 pub use product::direct_product;
 pub use structure::{Element, Relation, Structure, StructureBuilder};
 pub use sum::{structure_sum, SumVocabulary};
-pub use support::SupportIndex;
+pub use support::{support_builds_on_this_thread, SupportIndex};
 pub use vocabulary::{RelId, Vocabulary};
 pub use worksteal::{ChunkClaimer, StealDeque, WorkStealQueue};

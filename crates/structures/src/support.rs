@@ -31,9 +31,26 @@ pub struct SupportIndex {
     universe: usize,
 }
 
+std::thread_local! {
+    /// Per-thread count of [`SupportIndex::build`] calls, so tests can
+    /// pin "built exactly once per template" without interference from
+    /// other tests running on sibling threads.
+    static BUILDS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`SupportIndex::build`] calls performed **by the calling
+/// thread** since it started. A diagnostic for caching layers: the
+/// compiled-template tests assert the delta across a batch of solves is
+/// exactly one, i.e. the lazy support/program caches never rebuild the
+/// index for the same template.
+pub fn support_builds_on_this_thread() -> usize {
+    BUILDS.with(|c| c.get())
+}
+
 impl SupportIndex {
     /// Builds the index over every relation of `s`.
     pub fn build(s: &Structure) -> SupportIndex {
+        BUILDS.with(|c| c.set(c.get() + 1));
         let universe = s.universe();
         let mut per_rel = Vec::with_capacity(s.vocabulary().len());
         let mut tuple_counts = Vec::with_capacity(s.vocabulary().len());

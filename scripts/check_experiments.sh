@@ -2,8 +2,9 @@
 # Fails if the committed EXPERIMENTS.md has rotted: regenerates every
 # table with the experiments binary and diffs against the committed
 # copy. Every count, verdict, route, width, and B&B node count is
-# seeded and deterministic; only timing cells vary by machine, so all
-# floats are masked on both sides before diffing.
+# seeded and deterministic; only timing cells (and E15's cpus caveat
+# column) vary by machine, so those are masked on both sides before
+# diffing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +12,7 @@ regen="$(mktemp)"
 trap 'rm -f "$regen"' EXIT
 cargo run -q -p cqcs-bench --release --bin experiments > "$regen"
 
-mask() { sed -E 's/[0-9]+\.[0-9]+/<float>/g' "$1"; }
+mask() { sed -E 's/[0-9]+\.[0-9]+/<float>/g; s/cpus=[0-9]+/cpus=<n>/g' "$1"; }
 if ! diff -u <(mask EXPERIMENTS.md) <(mask "$regen"); then
   echo >&2
   echo "EXPERIMENTS.md is stale. Regenerate it with:" >&2
@@ -66,6 +67,22 @@ if echo "$e15" | grep -qE '\| false \|'; then
   exit 1
 fi
 
+# E16 pins the compiled propagation engine to the interpreted
+# reference: every row's `identical` column must hold (witnesses and
+# full search statistics compared bit for bit between the compiled
+# ProgramPropagator — arena reused and fresh — and the interpreted
+# Propagator on the same MRV+MAC search).
+if ! grep -q '^## E16' "$regen"; then
+  echo "E16 compiled-propagation table is missing." >&2
+  exit 1
+fi
+e16="$(sed -n '/^## E16/,/^## /p' "$regen")"
+if echo "$e16" | grep -qE '\| false \|'; then
+  echo "E16 reports a compiled/interpreted divergence:" >&2
+  echo "$e16" | grep -E '\| false \|' >&2
+  exit 1
+fi
+
 # The timing columns are tracked across PRs in EXPERIMENTS_HISTORY.md
 # (append-style, hand-maintained): it must exist and mention the newest
 # experiment so a PR that adds tables cannot skip the history line.
@@ -78,4 +95,4 @@ if ! grep -q "$newest" EXPERIMENTS_HISTORY.md; then
   echo "EXPERIMENTS_HISTORY.md does not track the $newest timing columns." >&2
   exit 1
 fi
-echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session parity and E15 parallel parity hold)."
+echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, and E16 compiled-engine parity hold)."

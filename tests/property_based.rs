@@ -512,6 +512,105 @@ proptest! {
         prop_assert_eq!(min_fill_order(&g), min_fill_order_reference(&g));
     }
 
+    /// The compiled engine is bit-identical to the interpreted
+    /// reference spec and the from-scratch reference refinement on
+    /// random mixed-arity templates: establishment verdict, domains,
+    /// deletion count, and open-frame depth agree after `establish` and
+    /// after arbitrary `assign`/`undo` round-trips (including failed
+    /// assigns, where even the partially pruned domains must match,
+    /// because the compiled engine replays the interpreted pruning
+    /// order exactly). Stress-runnable via `PROPTEST_CASES=5000`.
+    #[test]
+    fn compiled_engine_matches_interpreted_and_reference(
+        (a, b) in mixed_arity_pair(4, 3, 6),
+        picks in proptest::collection::vec((0usize..8, 0usize..8, any::<bool>()), 0..5),
+    ) {
+        use cqcs::pebble::program::{ProgramPropagator, PropProgram};
+        use cqcs::structures::SupportIndex;
+        let program = std::sync::Arc::new(PropProgram::compile(&b, &SupportIndex::build(&b)));
+        let mut interp = Propagator::new(&a, &b);
+        let mut comp = ProgramPropagator::new(&a, &b, std::sync::Arc::clone(&program));
+        let ok = interp.establish();
+        prop_assert_eq!(comp.establish(), ok);
+        prop_assert_eq!(comp.deletions(), interp.deletions());
+        prop_assert_eq!(&comp.domains_vec()[..], interp.domains());
+        if ok {
+            // Both engines sit on the reference fixpoint.
+            let full = vec![BitSet::full(b.universe()); a.universe()];
+            let reference = refine_domains_reference(&a, &b, full);
+            prop_assert!(reference.consistent);
+            prop_assert_eq!(&comp.domains_vec()[..], &reference.domains[..]);
+        }
+        for (xe, vv, undo_now) in picks {
+            if !ok || !interp.is_consistent() {
+                break;
+            }
+            let x = cqcs::structures::Element::new(xe % a.universe());
+            let dom = interp.domain(x);
+            if dom.is_empty() {
+                break;
+            }
+            let v = dom.iter().nth(vv % dom.len()).unwrap();
+            let ok_i = interp.assign(x, v);
+            prop_assert_eq!(comp.assign(x, v), ok_i);
+            prop_assert_eq!(comp.deletions(), interp.deletions());
+            prop_assert_eq!(comp.depth(), interp.depth());
+            prop_assert_eq!(&comp.domains_vec()[..], interp.domains());
+            if !ok_i || undo_now {
+                interp.undo();
+                comp.undo();
+                prop_assert_eq!(comp.depth(), interp.depth());
+                prop_assert_eq!(&comp.domains_vec()[..], interp.domains());
+            }
+        }
+        while interp.depth() > 0 {
+            interp.undo();
+            comp.undo();
+        }
+        prop_assert_eq!(comp.depth(), 0);
+        prop_assert_eq!(&comp.domains_vec()[..], interp.domains());
+    }
+
+    /// Same equivalence on templates past the single-word regime
+    /// (universe > 64, often > 64 tuples per relation), forcing the
+    /// compiled engine's multi-word kernels rather than its scalar
+    /// specialization. Stress-runnable via `PROPTEST_CASES=5000`.
+    #[test]
+    fn compiled_engine_matches_interpreted_wide(
+        a in digraph(6, 12),
+        b in wide_digraph(),
+        picks in proptest::collection::vec((0usize..8, 0usize..8), 0..3),
+    ) {
+        use cqcs::pebble::program::{ProgramPropagator, PropProgram};
+        use cqcs::structures::SupportIndex;
+        let program = std::sync::Arc::new(PropProgram::compile(&b, &SupportIndex::build(&b)));
+        let mut interp = Propagator::new(&a, &b);
+        let mut comp = ProgramPropagator::new(&a, &b, std::sync::Arc::clone(&program));
+        let ok = interp.establish();
+        prop_assert_eq!(comp.establish(), ok);
+        prop_assert_eq!(comp.deletions(), interp.deletions());
+        prop_assert_eq!(&comp.domains_vec()[..], interp.domains());
+        for (xe, vv) in picks {
+            if !ok || !interp.is_consistent() {
+                break;
+            }
+            let x = cqcs::structures::Element::new(xe % a.universe());
+            let dom = interp.domain(x);
+            if dom.is_empty() {
+                break;
+            }
+            let v = dom.iter().nth(vv % dom.len()).unwrap();
+            prop_assert_eq!(comp.assign(x, v), interp.assign(x, v));
+            prop_assert_eq!(comp.deletions(), interp.deletions());
+            prop_assert_eq!(&comp.domains_vec()[..], interp.domains());
+        }
+        while interp.depth() > 0 {
+            interp.undo();
+            comp.undo();
+        }
+        prop_assert_eq!(&comp.domains_vec()[..], interp.domains());
+    }
+
     /// Exact treewidth reproduces the textbook values on known
     /// families: paths 1, cycles 2, cliques k-1, grids min(r, c).
     #[test]
@@ -525,6 +624,68 @@ proptest! {
         let grid = cqcs::structures::gaifman_graph(&generators::grid_graph(r, c));
         prop_assert_eq!(exact_treewidth(&grid), r.min(c));
     }
+}
+
+/// Strategy: a digraph template past the single-word regime — universe
+/// in 65..=80 (two domain words) and enough edges that the `E` relation
+/// frequently exceeds 64 tuples (two support words).
+fn wide_digraph() -> impl Strategy<Value = cqcs::structures::Structure> {
+    (
+        65usize..=80,
+        proptest::collection::vec((0u32..80, 0u32..80), 40..=140),
+    )
+        .prop_map(|(n, edges)| {
+            let voc = generators::digraph_vocabulary();
+            let mut b = cqcs::structures::StructureBuilder::new(voc, n);
+            for (x, y) in edges {
+                let _ = b.add_fact("E", &[x % n as u32, y % n as u32]);
+            }
+            b.finish()
+        })
+}
+
+/// One compiled template never rebuilds its support index: across a
+/// batch of session solves on every route that touches propagation
+/// (the Auto dispatcher's AC prefilter, Generic MAC/AC searches, and
+/// index-free Generic searches), the per-thread build counter moves
+/// exactly once. Guards the regression where the interpreted engine and
+/// the compiled program each lowered their own index for the same `B`.
+#[test]
+fn support_index_built_once_per_template() {
+    use cqcs::structures::support_builds_on_this_thread;
+    let b = generators::complete_graph(3);
+    let session = Session::compile(&b);
+    let batch: Vec<_> = (0..6u64)
+        .map(|s| generators::random_graph_nm(10, 20, s))
+        .collect();
+    let before = support_builds_on_this_thread();
+    for a in &batch {
+        let _ = session.solve(a);
+        let _ = session.solve_with(a, SolveStrategy::Generic(SearchOptions::default()));
+        let _ = session.solve_with(
+            a,
+            SolveStrategy::Generic(SearchOptions {
+                mrv: true,
+                mac: false,
+                ac_preprocess: true,
+            }),
+        );
+        // The index-free search route must not build an index at all.
+        let _ = session.solve_with(
+            a,
+            SolveStrategy::Generic(SearchOptions {
+                mrv: true,
+                mac: false,
+                ac_preprocess: false,
+            }),
+        );
+    }
+    let _ = session.solve_batch(&batch);
+    assert_eq!(
+        support_builds_on_this_thread() - before,
+        1,
+        "the session must lower exactly one support index per template"
+    );
 }
 
 /// Known treewidth families pinned through the branch-and-bound oracle
