@@ -28,7 +28,13 @@
 //!   [`BatchExecutor`] fan a batch out to work-stealing workers, each
 //!   with a persistent per-worker scratch (propagator reset, pooled
 //!   search and GYO buffers), with output bit-identical to the
-//!   sequential batch.
+//!   sequential batch;
+//! * [`watch`] — the delta-solve pipeline: [`Session::watch`] registers
+//!   one instance and absorbs [`StructureDelta`](cqcs_structures::StructureDelta)
+//!   streams, repairing the parked arc-consistency fixpoint in place
+//!   and skipping routes whose outcome is provable from cached
+//!   monotone facts, with verdict/route/witness bit-identical to fresh
+//!   solves and notifications exactly on verdict flips.
 //!
 //! ```
 //! use cqcs_core::Session;
@@ -47,9 +53,11 @@ pub mod analysis;
 pub mod exec;
 pub mod session;
 pub mod solvers;
+pub mod watch;
 
 pub use analysis::{analyze, InstanceAnalysis};
 pub use exec::{par_map, BatchExecutor};
 pub use session::{CompiledTemplate, Session};
 pub use solvers::backtracking::{backtracking_search, SearchOptions, SearchScratch, SearchStats};
 pub use solvers::dispatch::{solve, Route, Solution, Strategy};
+pub use watch::{WatchSession, WatchStats};

@@ -428,7 +428,11 @@ fn auto_on<'s>(
     }
 }
 
-fn try_schaefer(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Option<Solution> {
+pub(crate) fn try_schaefer(
+    b: &Structure,
+    facts: &TemplateFacts,
+    a: &Structure,
+) -> Option<Solution> {
     let classes = facts.schaefer(b)?;
     if !classes.is_schaefer() {
         return None;
@@ -441,7 +445,11 @@ fn try_schaefer(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Option<S
     })
 }
 
-fn try_booleanize(b: &Structure, facts: &TemplateFacts, a: &Structure) -> Option<Solution> {
+pub(crate) fn try_booleanize(
+    b: &Structure,
+    facts: &TemplateFacts,
+    a: &Structure,
+) -> Option<Solution> {
     let (t, classes) = facts.booleanized(b)?;
     if !classes.is_schaefer() {
         return None;
@@ -465,7 +473,7 @@ fn bools_to_hom(bits: Vec<bool>) -> Homomorphism {
     Homomorphism::from_map(bits.into_iter().map(|v| Element(u32::from(v))).collect())
 }
 
-fn try_acyclic(a: &Structure, b: &Structure, gyo: &mut GyoScratch) -> Option<Solution> {
+pub(crate) fn try_acyclic(a: &Structure, b: &Structure, gyo: &mut GyoScratch) -> Option<Solution> {
     let result = yannakakis_pooled(a, b, gyo)?;
     Some(Solution {
         homomorphism: result,

@@ -1,0 +1,655 @@
+//! Register-once delta watching: [`WatchSession`].
+//!
+//! A [`Session`] answers `hom(A → B)` per instance; a `WatchSession`
+//! answers it per **edit**. Register the check once against a compiled
+//! template, then feed a stream of [`StructureDelta`]s: each
+//! [`apply`](WatchSession::apply) re-solves on the post-delta structure
+//! and reports exactly the goal-verdict flips. Three mechanisms keep
+//! the per-update cost proportional to the delta instead of the
+//! instance:
+//!
+//! * **Resident propagation state.** The compiled engine's
+//!   arena — fixpoint domains, trail, counters — is parked between
+//!   updates ([`SavedPropState`]) and rehydrated per delta
+//!   ([`ProgramPropagator::resume_with_delta`]); when the shared
+//!   admission rules (`cqcs_pebble::binding::plan_delta`) admit it, the
+//!   worklist is re-seeded from the added tuples only, so
+//!   re-establishing arc consistency costs O(delta's cone) rather than
+//!   O(A×B). Inadmissible deltas (retractions, universe growth, prior
+//!   wipeout) transparently rebind and establish from scratch.
+//! * **Provable route skips.** The dispatch replays the uniform
+//!   meta-algorithm route for route, but skips a stage when a cached
+//!   fact *proves* its outcome on the grown instance. All skips rest on
+//!   monotonicity under fact additions and are gated on
+//!   `delta.additions_only()` (any retraction clears the cache):
+//!   GYO-cyclicity persists when every scope has arity ≤ 2 (a new edge
+//!   can neither subsume a cycle edge nor enable an ear); `tw(A) >`
+//!   budget persists because the Gaifman graph only gains
+//!   vertices/edges and both the MMD degeneracy bound and treewidth
+//!   itself are subgraph-monotone (the flag is set only from proofs: an
+//!   MMD bound above budget, or an exhausted branch-and-bound probe).
+//! * **Monotone refutation.** `A ⊆ A'` makes `hom(A → B) = ∅` final
+//!   under additions; when the previous update was arc-refuted (and the
+//!   GYO skip applies, so the fresh route is pinned), the update is
+//!   O(1).
+//!
+//! **Parity contract**: the verdict, route, and witness of
+//! [`solution`](WatchSession::solution) are bit-identical to a fresh
+//! [`Session::solve`] on the current structure after every update
+//! (pinned by the tests below, the facade property suite, and the
+//! CI-gated experiment E17). Search statistics are also identical on
+//! every route that executes; only the monotone-refutation fast path
+//! returns `stats: None` where a fresh solve would recount the
+//! establish deletions it provably does not need to repeat.
+//!
+//! ```
+//! use cqcs_core::Session;
+//! use cqcs_structures::{generators, StructureDelta};
+//!
+//! let session = Session::compile(&generators::complete_graph(3));
+//! let a = generators::undirected_cycle(6);
+//! let mut watch = session.watch(&a);
+//! assert!(watch.verdict(), "C6 is 3-colorable");
+//! let mut delta = StructureDelta::new(watch.current());
+//! delta.add_fact("E", &[0, 2]).unwrap();
+//! delta.add_fact("E", &[2, 0]).unwrap();
+//! assert_eq!(watch.apply(&delta).unwrap(), None, "still 3-colorable");
+//! ```
+//!
+//! The Datalog analogue (incremental least-fixpoint maintenance with
+//! the same flip-notification surface) is
+//! `cqcs_datalog::incremental::DatalogWatch`.
+
+use crate::analysis::{EXACT_WIDTH_PROBE_MAX_VERTICES, EXACT_WIDTH_PROBE_NODE_BUDGET};
+use crate::session::{try_acyclic, try_booleanize, try_schaefer, Session};
+use crate::solvers::backtracking::{backtracking_search_scratch, SearchOptions, SearchScratch};
+use crate::solvers::dispatch::{Route, Solution, AUTO_TREEWIDTH_BUDGET};
+use crate::CompiledTemplate;
+use cqcs_pebble::program::{ProgramPropagator, SavedPropState};
+use cqcs_structures::{PropArena, Structure, StructureDelta};
+use cqcs_treewidth::acyclic::GyoScratch;
+use cqcs_treewidth::bb::bb_treewidth_best_effort_seeded;
+use cqcs_treewidth::dp::solve_with_decomposition;
+use cqcs_treewidth::heuristics::{decomposition_from_elimination, min_fill_order};
+use cqcs_treewidth::lower_bounds::mmd_lower_bound;
+use std::sync::Arc;
+
+/// Facts about the **current** watched instance that prove route
+/// outcomes on any additions-only successor. Cleared whenever a delta
+/// retracts facts (the proofs are one-directional).
+#[derive(Debug, Default, Clone, Copy)]
+struct RouteCache {
+    /// `A`'s hypergraph failed GYO reduction. Under arity ≤ 2 this is
+    /// "the graph has a real cycle", which additions cannot remove.
+    gyo_cyclic: bool,
+    /// `tw(gaifman(A))` provably exceeds [`AUTO_TREEWIDTH_BUDGET`]
+    /// (MMD degeneracy bound, or an exhausted branch-and-bound probe).
+    /// Treewidth is subgraph-monotone, so the DP stage stays closed.
+    tw_exceeds_budget: bool,
+}
+
+/// Per-update path counters: how the watch actually absorbed its
+/// stream. `repaired_establishes + full_establishes` counts the updates
+/// that reached the propagation stage at all (earlier routes and the
+/// monotone fast path never touch the engine).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WatchStats {
+    /// Deltas absorbed so far (excluding the registering solve).
+    pub updates: usize,
+    /// Propagation re-established in place from the delta's seeds.
+    pub repaired_establishes: usize,
+    /// Propagation rebuilt from scratch (first solve, retractions,
+    /// growth, prior wipeout, oversized delta).
+    pub full_establishes: usize,
+    /// GYO acyclicity tests skipped via cached cyclicity.
+    pub acyclicity_skips: usize,
+    /// Treewidth stages skipped via a cached width lower bound.
+    pub treewidth_skips: usize,
+    /// O(1) updates via monotone arc-refutation.
+    pub monotone_refutations: usize,
+}
+
+/// A homomorphism / CQ-containment check registered once against a
+/// compiled template and maintained across a [`StructureDelta`] stream.
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct WatchSession {
+    template: Arc<CompiledTemplate>,
+    current: Structure,
+    solution: Solution,
+    /// Parked engine state from the last update that propagated; its
+    /// bound revision always equals `current` when it was refreshed on
+    /// the latest update, which is the only case repair admission can
+    /// accept (stale snapshots fail the binding checks and rebind).
+    saved: Option<SavedPropState>,
+    /// Recycled arena from a snapshot that went stale (a pre-propagation
+    /// route fired), so the next engine build still reuses the words.
+    spare: Option<PropArena>,
+    cache: RouteCache,
+    search: SearchScratch,
+    gyo: GyoScratch,
+    stats: WatchStats,
+}
+
+impl Session {
+    /// Registers instance `a` against this session's template and
+    /// solves it once; feed the returned watch deltas from there.
+    ///
+    /// # Panics
+    /// Panics if `a` is over a different vocabulary than the template.
+    pub fn watch(&self, a: &Structure) -> WatchSession {
+        WatchSession::open(self, a)
+    }
+}
+
+impl WatchSession {
+    /// [`Session::watch`] — registers `a` and computes the initial
+    /// verdict with the full (skip-free) route dispatch.
+    ///
+    /// # Panics
+    /// Panics if `a` is over a different vocabulary than the template.
+    pub fn open(session: &Session, a: &Structure) -> WatchSession {
+        assert!(
+            a.same_vocabulary(session.template().template()),
+            "solve across different vocabularies"
+        );
+        let mut watch = WatchSession {
+            template: Arc::clone(session.template()),
+            current: a.clone(),
+            solution: Solution {
+                homomorphism: None,
+                route: Route::Generic,
+                stats: None,
+            },
+            saved: None,
+            spare: None,
+            cache: RouteCache::default(),
+            search: SearchScratch::default(),
+            gyo: GyoScratch::default(),
+            stats: WatchStats::default(),
+        };
+        watch.resolve(a.clone(), None);
+        watch
+    }
+
+    /// Applies `delta` to the watched structure and re-solves. Returns
+    /// `Ok(Some(new_verdict))` exactly when the verdict ("a
+    /// homomorphism exists") flipped, `Ok(None)` when it held; errors
+    /// (vocabulary mismatch, facts that do not match the current
+    /// structure) leave the watch unchanged.
+    pub fn apply(&mut self, delta: &StructureDelta) -> cqcs_structures::Result<Option<bool>> {
+        let next = delta.apply(&self.current)?;
+        let before = self.solution.homomorphism.is_some();
+        self.stats.updates += 1;
+        self.resolve(next, Some(delta));
+        let after = self.solution.homomorphism.is_some();
+        Ok((after != before).then_some(after))
+    }
+
+    /// The uniform meta-algorithm of [`Session::solve`], replayed on
+    /// `next` with the delta-powered stages described in the
+    /// [module docs](self). `delta` is `None` only for the registering
+    /// solve (every stage runs, every cacheable fact is recorded).
+    fn resolve(&mut self, next: Structure, delta: Option<&StructureDelta>) {
+        let additions_only = delta.is_some_and(StructureDelta::additions_only);
+        if !additions_only {
+            // Retractions invalidate every monotone proof; the first
+            // solve starts with an empty cache anyway.
+            self.cache = RouteCache::default();
+        }
+        let template = Arc::clone(&self.template);
+        let b = template.template();
+        let a = &next;
+        // The GYO skip and the monotone-refutation route pin fresh
+        // behaviour only when no hyperedge scope can exceed 2.
+        let arity_le2 = b.vocabulary().max_arity() <= 2;
+        let solution = 'route: {
+            // Monotone refutation: additions cannot create a
+            // homomorphism, and the fresh route is pinned to
+            // ArcRefuted (template stages depend only on B; GYO stays
+            // cyclic; the old wipeout only deepens).
+            if additions_only && arity_le2 && self.solution.route == Route::ArcRefuted {
+                self.stats.monotone_refutations += 1;
+                break 'route Solution {
+                    homomorphism: None,
+                    route: Route::ArcRefuted,
+                    stats: None,
+                };
+            }
+            if let Some(sol) = try_schaefer(b, &template.facts, a) {
+                break 'route sol;
+            }
+            if additions_only && arity_le2 && self.cache.gyo_cyclic {
+                self.stats.acyclicity_skips += 1;
+            } else if let Some(sol) = try_acyclic(a, b, &mut self.gyo) {
+                self.cache.gyo_cyclic = false;
+                break 'route sol;
+            } else {
+                self.cache.gyo_cyclic = true;
+            }
+            if let Some(sol) = try_booleanize(b, &template.facts, a) {
+                break 'route sol;
+            }
+            // Arc consistency, resumed from the parked fixpoint when
+            // the delta admits in-place repair.
+            let program = template.program();
+            let mut prop = match (self.saved.take(), delta) {
+                (Some(saved), Some(d)) => {
+                    ProgramPropagator::resume_with_delta(a, b, Arc::clone(program), saved, d)
+                }
+                (Some(saved), None) => {
+                    ProgramPropagator::with_arena(a, b, Arc::clone(program), saved.into_arena())
+                }
+                (None, _) => ProgramPropagator::with_arena(
+                    a,
+                    b,
+                    Arc::clone(program),
+                    self.spare.take().unwrap_or_default(),
+                ),
+            };
+            if prop.is_established() {
+                self.stats.repaired_establishes += 1;
+            } else {
+                self.stats.full_establishes += 1;
+            }
+            if a.universe() > 0 && b.universe() > 0 && !prop.establish() {
+                let deletions = prop.deletions() as u64;
+                self.saved = Some(prop.into_saved());
+                break 'route Solution {
+                    homomorphism: None,
+                    route: Route::ArcRefuted,
+                    stats: Some(crate::SearchStats {
+                        deletions,
+                        ..crate::SearchStats::default()
+                    }),
+                };
+            }
+            if a.universe() > 0 {
+                if additions_only && self.cache.tw_exceeds_budget {
+                    self.stats.treewidth_skips += 1;
+                } else {
+                    let g = cqcs_structures::gaifman_graph(a);
+                    let order = min_fill_order(&g);
+                    let td = decomposition_from_elimination(&g, &order);
+                    if td.width() <= AUTO_TREEWIDTH_BUDGET {
+                        let h = solve_with_decomposition(a, b, &td)
+                            .expect("decomposition from A's own Gaifman graph is valid");
+                        self.saved = Some(prop.into_saved());
+                        break 'route Solution {
+                            homomorphism: h,
+                            route: Route::Treewidth(td.width()),
+                            stats: None,
+                        };
+                    }
+                    if g.len() <= EXACT_WIDTH_PROBE_MAX_VERTICES {
+                        if mmd_lower_bound(&g) <= AUTO_TREEWIDTH_BUDGET {
+                            let (r, optimal) = bb_treewidth_best_effort_seeded(
+                                &g,
+                                &order,
+                                EXACT_WIDTH_PROBE_NODE_BUDGET,
+                            );
+                            if r.width <= AUTO_TREEWIDTH_BUDGET {
+                                let td = decomposition_from_elimination(&g, &r.order);
+                                let h = solve_with_decomposition(a, b, &td)
+                                    .expect("decomposition from a complete order is valid");
+                                self.saved = Some(prop.into_saved());
+                                break 'route Solution {
+                                    homomorphism: h,
+                                    route: Route::Treewidth(r.width),
+                                    stats: None,
+                                };
+                            }
+                            // The probe ran to completion: r.width is
+                            // the exact treewidth, and it exceeds the
+                            // budget for good.
+                            if optimal {
+                                self.cache.tw_exceeds_budget = true;
+                            }
+                        } else {
+                            self.cache.tw_exceeds_budget = true;
+                        }
+                    } else if mmd_lower_bound(&g) > AUTO_TREEWIDTH_BUDGET {
+                        // A fresh solve skips the probe on graphs this
+                        // large, so this bound is purely a cache
+                        // investment for the stream's later updates.
+                        self.cache.tw_exceeds_budget = true;
+                    }
+                }
+            }
+            let (h, mut stats) =
+                backtracking_search_scratch(SearchOptions::default(), &mut prop, &mut self.search);
+            stats.deletions = prop.deletions() as u64;
+            self.saved = Some(prop.into_saved());
+            break 'route Solution {
+                homomorphism: h,
+                route: Route::Generic,
+                stats: Some(stats),
+            };
+        };
+        // A route that returned before propagation leaves any parked
+        // snapshot describing a *previous* revision; repair admission
+        // must never see it (its tuple-count bookkeeping is relative to
+        // the delta's immediate base). Keep only the allocation.
+        if self.solution_route_propagated(&solution) {
+            debug_assert!(self.saved.is_some());
+        } else if let Some(saved) = self.saved.take() {
+            self.spare = Some(saved.into_arena());
+        }
+        self.solution = solution;
+        self.current = next;
+    }
+
+    /// Whether this route refreshed the parked engine state (reached
+    /// the propagation stage on the current revision).
+    fn solution_route_propagated(&self, sol: &Solution) -> bool {
+        match sol.route {
+            Route::Generic | Route::Treewidth(_) => true,
+            // The monotone fast path reports ArcRefuted *without*
+            // propagating (stats: None marks it).
+            Route::ArcRefuted => sol.stats.is_some(),
+            Route::Schaefer | Route::Acyclic | Route::Booleanization => false,
+        }
+    }
+
+    /// The current verdict: does a homomorphism `current → B` exist?
+    pub fn verdict(&self) -> bool {
+        self.solution.homomorphism.is_some()
+    }
+
+    /// The full solution of the latest update — verdict, route, and
+    /// witness bit-identical to a fresh [`Session::solve`] on
+    /// [`current`](WatchSession::current) (see the parity contract in
+    /// the [module docs](self)).
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// The watched structure as of the last applied delta.
+    pub fn current(&self) -> &Structure {
+        &self.current
+    }
+
+    /// The compiled template this watch runs against.
+    pub fn template(&self) -> &Arc<CompiledTemplate> {
+        &self.template
+    }
+
+    /// Update-path counters.
+    pub fn stats(&self) -> WatchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcs_structures::{generators, Homomorphism, StructureBuilder};
+
+    /// Verdict, route, and witness parity against a fresh solve on the
+    /// watch's current structure — the module's contract.
+    fn assert_parity(watch: &WatchSession, what: &str) {
+        let fresh = Session::from_template(Arc::clone(watch.template())).solve(watch.current());
+        assert_eq!(
+            watch
+                .solution()
+                .homomorphism
+                .as_ref()
+                .map(Homomorphism::as_slice),
+            fresh.homomorphism.as_ref().map(Homomorphism::as_slice),
+            "{what}: witnesses differ"
+        );
+        assert_eq!(watch.solution().route, fresh.route, "{what}: routes differ");
+        if watch.solution().stats.is_some() {
+            assert_eq!(watch.solution().stats, fresh.stats, "{what}: stats differ");
+        }
+    }
+
+    fn ramp_deltas(
+        edges: &[(u32, u32)],
+        n: usize,
+        start: usize,
+    ) -> (Structure, Vec<StructureDelta>) {
+        let digraph = |m: usize| {
+            let mut b = StructureBuilder::new(generators::digraph_vocabulary(), n);
+            for &(x, y) in &edges[..m] {
+                b.add_fact("E", &[x, y]).unwrap();
+            }
+            b.finish()
+        };
+        let a0 = digraph(start);
+        let mut deltas = Vec::new();
+        for m in start..edges.len() {
+            let d = StructureDelta::between(&digraph(m), &digraph(m + 1)).unwrap();
+            deltas.push(d);
+        }
+        (a0, deltas)
+    }
+
+    fn random_edges(n: u32, m: usize, mut seed: u64) -> Vec<(u32, u32)> {
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut edges = Vec::new();
+        while edges.len() < m {
+            let x = (next() % n as u64) as u32;
+            let y = (next() % n as u64) as u32;
+            if x != y && !edges.contains(&(x, y)) && !edges.contains(&(y, x)) {
+                edges.push((x, y));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn additive_graph_ramp_stays_pinned_to_fresh_solves() {
+        // Undirected G(n, m) ramp against K3: starts 3-colorable,
+        // densifies until arc consistency (or search) refutes it.
+        let k3 = generators::complete_graph(3);
+        let session = Session::compile(&k3);
+        let pairs = random_edges(10, 28, 0xC0FFEE);
+        let sym: Vec<(u32, u32)> = pairs.iter().flat_map(|&(x, y)| [(x, y), (y, x)]).collect();
+        let mut b = StructureBuilder::new(generators::digraph_vocabulary(), 10);
+        for &(x, y) in &sym[..8] {
+            b.add_fact("E", &[x, y]).unwrap();
+        }
+        let a0 = b.finish();
+        let mut watch = session.watch(&a0);
+        assert_parity(&watch, "registering solve");
+        let mut cur = a0;
+        for step in 0..(sym.len() - 8) / 2 {
+            let mut d = StructureDelta::new(&cur);
+            d.add_fact("E", &[sym[8 + 2 * step].0, sym[8 + 2 * step].1])
+                .unwrap();
+            d.add_fact("E", &[sym[9 + 2 * step].0, sym[9 + 2 * step].1])
+                .unwrap();
+            cur = d.apply(&cur).unwrap();
+            watch.apply(&d).unwrap();
+            assert_parity(&watch, &format!("step {step}"));
+        }
+        let stats = watch.stats();
+        assert_eq!(stats.updates, (sym.len() - 8) / 2);
+        assert!(
+            stats.repaired_establishes + stats.monotone_refutations > 0,
+            "the additive ramp must exercise a delta path: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn verdict_flips_are_reported_exactly_once() {
+        // K3 plus a unary predicate P that is empty in the template:
+        // any instance fact P(v) empties dom(v), so arc consistency
+        // refutes — the dispatcher's ArcRefuted regime (Schaefer and
+        // Booleanization stay closed: B is not Boolean and its
+        // Booleanization is not Schaefer).
+        let voc = cqcs_structures::Vocabulary::from_symbols([("E", 2), ("P", 1)])
+            .unwrap()
+            .into_shared();
+        let mut bb = StructureBuilder::new(Arc::clone(&voc), 3);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                if i != j {
+                    bb.add_fact("E", &[i, j]).unwrap();
+                }
+            }
+        }
+        let template = bb.finish();
+        let session = Session::compile(&template);
+
+        // A directed triangle (GYO-cyclic, loopless → maps into K3).
+        let mut ab = StructureBuilder::new(voc, 4);
+        ab.add_fact("E", &[0, 1]).unwrap();
+        ab.add_fact("E", &[1, 2]).unwrap();
+        ab.add_fact("E", &[2, 0]).unwrap();
+        let a0 = ab.finish();
+        let mut watch = session.watch(&a0);
+        assert!(watch.verdict(), "a triangle 3-colors");
+        assert_parity(&watch, "registering solve");
+
+        // P(0) has no image: wipeout, verdict flips to false.
+        let mut d = StructureDelta::new(watch.current());
+        d.add_fact("P", &[0]).unwrap();
+        assert_eq!(watch.apply(&d).unwrap(), Some(false));
+        assert_parity(&watch, "after the flip");
+        assert_eq!(watch.solution().route, Route::ArcRefuted);
+
+        // Further additions hold the verdict — and take the O(1)
+        // monotone path (stats intentionally absent there).
+        let mut d = StructureDelta::new(watch.current());
+        d.add_fact("E", &[3, 1]).unwrap();
+        assert_eq!(watch.apply(&d).unwrap(), None);
+        assert_parity(&watch, "monotone refutation");
+        assert_eq!(watch.stats().monotone_refutations, 1);
+
+        // Retract the offending fact: verdict flips back to true.
+        let mut d = StructureDelta::new(watch.current());
+        d.retract_fact("P", &[0]).unwrap();
+        assert_eq!(watch.apply(&d).unwrap(), Some(true));
+        assert_parity(&watch, "after the flip back");
+        assert_eq!(watch.stats().monotone_refutations, 1, "no longer monotone");
+    }
+
+    #[test]
+    fn retractions_and_growth_rebind_but_stay_pinned() {
+        let k3 = generators::complete_graph(3);
+        let session = Session::compile(&k3);
+        let edges = random_edges(8, 16, 7);
+        let sym: Vec<(u32, u32)> = edges.iter().flat_map(|&(x, y)| [(x, y), (y, x)]).collect();
+        let mut b = StructureBuilder::new(generators::digraph_vocabulary(), 8);
+        for &(x, y) in &sym {
+            b.add_fact("E", &[x, y]).unwrap();
+        }
+        let a0 = b.finish();
+        let mut watch = session.watch(&a0);
+        assert_parity(&watch, "registering solve");
+
+        // Retraction: clears the cache, rebinds, still pinned.
+        let mut d = StructureDelta::new(watch.current());
+        d.retract_fact("E", &[sym[0].0, sym[0].1]).unwrap();
+        d.retract_fact("E", &[sym[1].0, sym[1].1]).unwrap();
+        watch.apply(&d).unwrap();
+        assert_parity(&watch, "after retraction");
+
+        // Universe growth: layout re-keys, full rebind, still pinned.
+        let mut d = StructureDelta::new(watch.current());
+        d.grow_universe(1);
+        d.add_fact("E", &[7, 8]).unwrap();
+        d.add_fact("E", &[8, 7]).unwrap();
+        watch.apply(&d).unwrap();
+        assert_parity(&watch, "after growth");
+        assert_eq!(watch.current().universe(), 9);
+    }
+
+    #[test]
+    fn pre_propagation_routes_invalidate_the_parked_state() {
+        // A template whose instances route through GYO/Yannakakis
+        // (acyclic instances) interleaved with cyclic ones: the parked
+        // snapshot from a propagating update must not be repaired
+        // against a delta whose base the engine never saw.
+        let tt4 = generators::transitive_tournament(4);
+        let session = Session::compile(&tt4);
+        // A directed path: acyclic route, no propagation.
+        let mut b = StructureBuilder::new(generators::digraph_vocabulary(), 6);
+        for i in 0..3u32 {
+            b.add_fact("E", &[i, i + 1]).unwrap();
+        }
+        let a0 = b.finish();
+        let mut watch = session.watch(&a0);
+        assert_eq!(watch.solution().route, Route::Acyclic);
+        assert_parity(&watch, "acyclic registering solve");
+
+        // Close a cycle: now GYO fails and the solve propagates.
+        let mut d = StructureDelta::new(watch.current());
+        d.add_fact("E", &[3, 0]).unwrap();
+        watch.apply(&d).unwrap();
+        assert_parity(&watch, "cyclic");
+
+        // Retract the closing edge — acyclic again, snapshot goes
+        // stale (recycled, not trusted)...
+        let mut d = StructureDelta::new(watch.current());
+        d.retract_fact("E", &[3, 0]).unwrap();
+        watch.apply(&d).unwrap();
+        assert_eq!(watch.solution().route, Route::Acyclic);
+        assert_parity(&watch, "acyclic again");
+
+        // ...so this delta (whose base the engine never bound) must
+        // not be "repaired" into the old arena.
+        let mut d = StructureDelta::new(watch.current());
+        d.add_fact("E", &[3, 5]).unwrap();
+        d.add_fact("E", &[5, 4]).unwrap();
+        d.add_fact("E", &[4, 3]).unwrap();
+        watch.apply(&d).unwrap();
+        assert_parity(&watch, "cyclic after stale snapshot");
+    }
+
+    #[test]
+    fn dense_ramps_cache_treewidth_bounds() {
+        // A dense instance whose Gaifman graph exceeds the treewidth
+        // budget provably (MMD): the stage is skipped on later
+        // additions-only updates.
+        let k4 = generators::complete_graph(4);
+        let session = Session::compile(&k4);
+        let pairs = random_edges(12, 40, 99);
+        let sym: Vec<(u32, u32)> = pairs.iter().flat_map(|&(x, y)| [(x, y), (y, x)]).collect();
+        let (a0, deltas) = ramp_deltas(&sym, 12, sym.len() - 8);
+        let mut watch = session.watch(&a0);
+        assert_parity(&watch, "registering solve");
+        for (i, d) in deltas.iter().enumerate() {
+            watch.apply(d).unwrap();
+            assert_parity(&watch, &format!("ramp step {i}"));
+        }
+        let stats = watch.stats();
+        assert!(
+            stats.treewidth_skips + stats.acyclicity_skips > 0,
+            "a dense additive ramp should hit the route cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_a_cheap_no_op_update() {
+        let k3 = generators::complete_graph(3);
+        let session = Session::compile(&k3);
+        let a = generators::undirected_cycle(5);
+        let mut watch = session.watch(&a);
+        let d = StructureDelta::new(watch.current());
+        assert_eq!(watch.apply(&d).unwrap(), None);
+        assert_parity(&watch, "empty delta");
+    }
+
+    #[test]
+    fn bad_delta_leaves_the_watch_unchanged() {
+        let k3 = generators::complete_graph(3);
+        let session = Session::compile(&k3);
+        let a = generators::undirected_cycle(5);
+        let mut watch = session.watch(&a);
+        let before = watch.solution().clone();
+        let mut d = StructureDelta::new(watch.current());
+        d.retract_fact("E", &[0, 3]).unwrap(); // not a fact of C5
+        assert!(watch.apply(&d).is_err());
+        assert_eq!(watch.solution().route, before.route);
+        assert_eq!(watch.current().total_tuples(), a.total_tuples());
+        assert_parity(&watch, "after rejected delta");
+    }
+}

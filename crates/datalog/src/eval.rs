@@ -69,7 +69,8 @@ impl IndexedFacts {
 
 /// Where one body atom draws its candidate facts from: an EDB hash set
 /// or a (possibly delta-ranged) slice of an [`IndexedFacts`] vector.
-enum AtomSource<'a> {
+/// Shared with the incremental maintainer in [`crate::incremental`].
+pub(crate) enum AtomSource<'a> {
     Set(&'a HashSet<Vec<u32>>),
     Slice(&'a [Vec<u32>]),
 }
@@ -117,7 +118,7 @@ pub struct EvalResult {
 
 /// Binds the program's EDB predicates to the structure's relations by
 /// name; missing relations are treated as empty.
-fn edb_store(program: &Program, input: &Structure) -> FactStore {
+pub(crate) fn edb_store(program: &Program, input: &Structure) -> FactStore {
     let mut store: FactStore = HashMap::new();
     for p in program.edb_preds() {
         let mut set = HashSet::new();
@@ -331,7 +332,7 @@ pub fn eval_semi_naive(program: &Program, input: &Structure) -> EvalResult {
 
 /// Evaluates one rule body by backtracking join over the given per-atom
 /// fact sources; head-only variables range over the active domain.
-fn derive(
+pub(crate) fn derive(
     rule: &Rule,
     sources: &[AtomSource],
     universe: u32,

@@ -16,11 +16,17 @@
 //!   k-Datalog program expressing "the Spoiler wins the existential
 //!   k-pebble game on (A, B)" for fixed B;
 //! * [`programs`] — textbook programs (non-2-colorability from §4.1,
-//!   reachability) used across tests and benches.
+//!   reachability) used across tests and benches;
+//! * [`incremental`] — delta maintenance of the least fixpoint:
+//!   counting for non-recursive predicates, DRed delete/re-derive for
+//!   recursive strata, and a [`DatalogWatch`] that notifies exactly on
+//!   goal-verdict flips under a
+//!   [`StructureDelta`](cqcs_structures::StructureDelta) stream.
 
 pub mod ast;
 pub mod canonical;
 pub mod eval;
+pub mod incremental;
 pub mod parser;
 pub mod programs;
 pub mod validate;
@@ -28,5 +34,6 @@ pub mod validate;
 pub use ast::{Atom, PredId, Program, ProgramBuilder, Rule, VarId};
 pub use canonical::canonical_program;
 pub use eval::{eval_naive, eval_semi_naive, EvalResult};
+pub use incremental::{DatalogWatch, IncStats, IncrementalEval};
 pub use parser::parse_program;
 pub use validate::{datalog_width, is_k_datalog};

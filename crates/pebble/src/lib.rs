@@ -21,21 +21,28 @@
 //!   over a single arena allocation with bit-identical behaviour to
 //!   [`Propagator`] (which survives as the executable reference
 //!   specification);
+//! * [`binding`] — the shared instance-binding seam of both engines:
+//!   validated fresh-bind geometry ([`InstanceBinding`]) and the
+//!   admission rules ([`plan_delta`]) that decide when a
+//!   [`StructureDelta`](cqcs_structures::StructureDelta) can repair an
+//!   established fixpoint in place instead of rebinding from scratch;
 //! * [`solver`] — the decision procedure of Theorem 4.9: `Spoiler wins ⟹
 //!   no homomorphism` always, and the converse exactly when co-CSP(B)
 //!   is expressible in k-Datalog (Theorem 4.8).
 
+pub mod binding;
 pub mod consistency;
 pub mod game;
 pub mod program;
 pub mod propagator;
 pub mod solver;
 
+pub use binding::{plan_delta, DeltaPlan, EngineState, InstanceBinding, REBIND_FACTOR};
 pub use consistency::{
     arc_consistent_domains, arc_consistent_domains_with_support, refine_domains,
     refine_domains_with_support, ArcConsistency,
 };
 pub use game::{duplicator_wins, solve_game, Config, GameAnalysis};
-pub use program::{ProgramPropagator, PropProgram, PropagationEngine};
+pub use program::{ProgramPropagator, PropProgram, PropagationEngine, SavedPropState};
 pub use propagator::Propagator;
 pub use solver::{pebble_filter, spoiler_wins, PebbleOutcome};

@@ -23,7 +23,8 @@
 //! which the matching `undo` repairs), so MRV heuristics can read live
 //! domain sizes in O(1) via [`domain_size`](Propagator::domain_size).
 
-use cqcs_structures::{BitSet, Element, RelId, Structure, SupportIndex};
+use crate::binding::{plan_delta, DeltaPlan, EngineState, InstanceBinding};
+use cqcs_structures::{BitSet, Element, RelId, Structure, StructureDelta, SupportIndex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -175,13 +176,10 @@ impl<'s> Propagator<'s> {
     /// # Panics
     /// Panics if `a` is over a different vocabulary than the template.
     pub fn reset_for_instance(&mut self, a: &'s Structure) {
-        assert!(
-            a.same_vocabulary(self.b),
-            "arc consistency across different vocabularies"
-        );
+        let bind = InstanceBinding::plan(a, self.b);
         self.a = a;
-        let n = a.universe();
-        let b_universe = self.b.universe();
+        let n = bind.universe;
+        let b_universe = bind.domain_size;
         // The retained bitsets already have capacity |B| (the template
         // is fixed), so refilling is a block-wise write, not a realloc.
         self.domains.truncate(n);
@@ -197,12 +195,90 @@ impl<'s> Propagator<'s> {
         self.frames.clear();
         self.deletions = 0;
         self.queue.clear();
-        for (r, flags) in self.a.vocabulary().iter().zip(&mut self.queued) {
+        for (&count, flags) in bind.tuple_counts.iter().zip(&mut self.queued) {
             flags.clear();
-            flags.resize(self.a.relation(r).len(), false);
+            flags.resize(count as usize, false);
         }
         self.removed.clear();
         self.established = false;
+    }
+
+    /// Rebinds the engine to the post-delta instance `a2` **in place**:
+    /// when the delta is monotone (additions only) and the engine sits
+    /// at an established, consistent fixpoint, the existing domains are
+    /// repaired by re-propagating from exactly the added tuples — the
+    /// arc-consistency greatest fixpoint of `a2` is reachable from the
+    /// fixpoint of the predecessor because every old tuple is already
+    /// revised and every future domain change re-enqueues its
+    /// neighbourhood. Otherwise (retractions, prior wipeout, open
+    /// frames, oversized delta) it falls back to a full
+    /// [`reset_for_instance`](Propagator::reset_for_instance) +
+    /// [`establish`](Propagator::establish).
+    ///
+    /// Either way the engine afterwards is **observably equivalent** to
+    /// a fresh establish on `a2`: same fixpoint domains, same
+    /// consistency verdict, same [`deletions`](Propagator::deletions)
+    /// count (reconciled to the trail length, which equals the fresh
+    /// count because the trail is exactly `full ∖ fixpoint` as a set),
+    /// and identical behaviour under subsequent `assign`/`undo`. The
+    /// returned flag is what `establish` would return.
+    ///
+    /// # Panics
+    /// Panics if `a2` is over a different vocabulary than the template.
+    pub fn apply_delta(&mut self, a2: &'s Structure, delta: &StructureDelta) -> bool {
+        let state = EngineState {
+            established: self.established,
+            consistent: self.is_consistent(),
+            depth: self.frames.len(),
+            allow_growth: true,
+            bound_universe: self.a.universe(),
+            bound_tuples: self.a.total_tuples(),
+        };
+        let seeds = match plan_delta(a2, self.b, delta, state) {
+            DeltaPlan::Incremental { seeds } => seeds,
+            DeltaPlan::Rebind { .. } => {
+                self.reset_for_instance(a2);
+                return self.establish();
+            }
+        };
+        let old_n = self.a.universe();
+        self.a = a2;
+        let n = a2.universe();
+        let b_universe = self.b.universe();
+        debug_assert!(self.domains.len() == old_n && n >= old_n);
+        // Fresh elements start with full domains, exactly as a fresh
+        // bind would seed them; existing domains stay at the old
+        // fixpoint and are only ever narrowed further.
+        self.domains.resize(n, BitSet::full(b_universe));
+        for d in &mut self.domains[old_n..] {
+            d.insert_all();
+        }
+        self.sizes.resize(n, b_universe);
+        for s in &mut self.sizes[old_n..] {
+            *s = b_universe;
+        }
+        // Tuple ids shift when relations re-sort, but at a fixpoint the
+        // queue is empty and every flag false, so re-dimensioning the
+        // flags loses nothing.
+        debug_assert!(self.queue.is_empty());
+        for (r, flags) in a2.vocabulary().iter().zip(&mut self.queued) {
+            flags.clear();
+            flags.resize(a2.relation(r).len(), false);
+        }
+        for &(r, t) in &seeds {
+            self.queued[r.index()][t as usize] = true;
+            self.queue.push_back((r, t));
+        }
+        if !self.run_queue() {
+            // Wipeout during repair: deletion order (and thus the
+            // partial trail) is path-dependent, so re-run from scratch
+            // for exact parity with a fresh establish.
+            self.reset_for_instance(a2);
+            return self.establish();
+        }
+        self.deletions = self.trail.len();
+        debug_assert!(self.is_consistent());
+        true
     }
 
     /// The instance's left structure.
@@ -645,6 +721,150 @@ mod tests {
         let mut p = Propagator::new(&a, &b);
         let other = generators::random_structure(3, &[3], 2, 0);
         p.reset_for_instance(&other);
+    }
+
+    fn digraph(edges: &[(u32, u32)], n: usize) -> Structure {
+        use cqcs_structures::StructureBuilder;
+        let mut b = StructureBuilder::new(generators::digraph_vocabulary(), n);
+        for &(x, y) in edges {
+            b.add_fact("E", &[x, y]).unwrap();
+        }
+        b.finish()
+    }
+
+    const CHAIN_EDGES: [(u32, u32); 16] = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 0),
+        (0, 2),
+        (1, 3),
+        (2, 4),
+        (3, 5),
+        (4, 6),
+        (5, 7),
+        (6, 0),
+        (7, 1),
+    ];
+
+    /// A ramp of digraphs where each step adds two edges — the delta
+    /// between consecutive structures is small enough for the
+    /// incremental path to admit repair.
+    fn additive_chain() -> Vec<Structure> {
+        (0..=3)
+            .map(|i| digraph(&CHAIN_EDGES[..10 + 2 * i], 8))
+            .collect()
+    }
+
+    #[test]
+    fn apply_delta_is_observably_a_fresh_establish() {
+        use cqcs_structures::StructureDelta;
+        // Two templates: K3 (AC prunes nothing — pure repair plumbing)
+        // and a directed path (AC prunes hard, wipeouts included).
+        let templates = [generators::complete_graph(3), digraph(&[(0, 1), (1, 2)], 3)];
+        let structures = additive_chain();
+        for b in &templates {
+            let mut p = Propagator::new(&structures[0], b);
+            p.establish();
+            for w in structures.windows(2) {
+                let d = StructureDelta::between(&w[0], &w[1]).unwrap();
+                assert!(d.additions_only() && d.added().len() == 2);
+                let ok = p.apply_delta(&w[1], &d);
+                let mut fresh = Propagator::new(&w[1], b);
+                assert_eq!(ok, fresh.establish(), "verdict");
+                assert_eq!(p.domains(), fresh.domains(), "fixpoint domains");
+                assert_eq!(p.deletions(), fresh.deletions(), "deletion counts");
+                if !ok {
+                    continue;
+                }
+                for x in w[1].elements() {
+                    let Some(v) = p.domain(x).min() else { continue };
+                    assert_eq!(p.assign(x, v), fresh.assign(x, v), "{x:?}:={v}");
+                    assert_eq!(p.domains(), fresh.domains(), "{x:?}:={v}");
+                    p.undo();
+                    fresh.undo();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_repairs_across_universe_growth() {
+        // The interpreted engine extends its domain vector in place;
+        // fresh elements start with full domains exactly as a fresh
+        // bind seeds them.
+        use cqcs_structures::StructureDelta;
+        let b = generators::complete_graph(3);
+        let a = digraph(&CHAIN_EDGES[..10], 8);
+        let mut d = StructureDelta::new(&a);
+        d.grow_universe(2);
+        d.add_fact("E", &[7, 8]).unwrap();
+        d.add_fact("E", &[8, 9]).unwrap();
+        let a2 = d.apply(&a).unwrap();
+        let mut p = Propagator::new(&a, &b);
+        assert!(p.establish());
+        assert!(p.apply_delta(&a2, &d));
+        let mut fresh = Propagator::new(&a2, &b);
+        assert!(fresh.establish());
+        assert_eq!(p.domains(), fresh.domains());
+        assert_eq!(p.deletions(), fresh.deletions());
+    }
+
+    #[test]
+    fn apply_delta_crossing_a_wipeout_matches_fresh() {
+        // Template: the one-edge digraph 0→1. Disjoint instance edges
+        // are satisfiable; extending a path to length two forces an
+        // element to need both an outgoing and an incoming edge, which
+        // the template cannot provide — the repair hits the wipeout and
+        // falls back to an exact fresh establish.
+        use cqcs_structures::StructureDelta;
+        let b = digraph(&[(0, 1)], 2);
+        let a = digraph(&[(0, 1), (2, 3), (4, 5), (6, 7)], 8);
+        let mut d = StructureDelta::new(&a);
+        d.add_fact("E", &[1, 2]).unwrap();
+        let a2 = d.apply(&a).unwrap();
+        let mut p = Propagator::new(&a, &b);
+        assert!(p.establish());
+        let ok = p.apply_delta(&a2, &d);
+        let mut fresh = Propagator::new(&a2, &b);
+        assert_eq!(ok, fresh.establish());
+        assert!(!ok, "path of length two is unsatisfiable here");
+        assert_eq!(p.domains(), fresh.domains());
+        assert_eq!(p.deletions(), fresh.deletions());
+    }
+
+    #[test]
+    fn apply_delta_with_retractions_falls_back_exactly() {
+        use cqcs_structures::StructureDelta;
+        let b = digraph(&[(0, 1), (1, 2)], 3);
+        let a = digraph(&CHAIN_EDGES[..12], 8);
+        let mut d = StructureDelta::new(&a);
+        d.retract_fact("E", &[0, 1]).unwrap();
+        d.add_fact("E", &[1, 0]).unwrap();
+        let a2 = d.apply(&a).unwrap();
+        let mut p = Propagator::new(&a, &b);
+        p.establish();
+        let ok = p.apply_delta(&a2, &d);
+        let mut fresh = Propagator::new(&a2, &b);
+        assert_eq!(ok, fresh.establish());
+        assert_eq!(p.domains(), fresh.domains());
+        assert_eq!(p.deletions(), fresh.deletions());
+    }
+
+    #[test]
+    #[should_panic(expected = "different vocabularies")]
+    fn apply_delta_rejects_vocabulary_mismatch() {
+        let b = generators::complete_graph(3);
+        let a = generators::random_graph_nm(4, 5, 0);
+        let mut p = Propagator::new(&a, &b);
+        p.establish();
+        let other = generators::random_structure(3, &[3], 2, 0);
+        let d = cqcs_structures::StructureDelta::new(&other);
+        p.apply_delta(&other, &d);
     }
 
     #[test]

@@ -48,6 +48,21 @@ impl PropArena {
         self.words.resize(len, 0);
     }
 
+    /// Re-dimensions the arena to exactly `len` words while
+    /// **preserving** the first `prefix` words; everything from `prefix`
+    /// on is zeroed. The delta-rebind path uses this to keep the
+    /// fixed-offset regions (domains, sizes, trail) resident while the
+    /// tail regions (worklist ring, membership bitset) are re-sized for
+    /// the new tuple count.
+    ///
+    /// # Panics
+    /// Panics if `prefix` exceeds either the current or the new length.
+    pub fn resize_tail_zeroed(&mut self, prefix: usize, len: usize) {
+        assert!(prefix <= self.words.len() && prefix <= len);
+        self.words.resize(len, 0);
+        self.words[prefix..].fill(0);
+    }
+
     /// Number of words currently carved out.
     pub fn len(&self) -> usize {
         self.words.len()
@@ -175,6 +190,23 @@ mod tests {
             assert_eq!(a.len(), len);
             assert!(all_zero(a.words()), "len {len}");
         }
+    }
+
+    #[test]
+    fn resize_tail_preserves_prefix() {
+        let mut a = PropArena::new();
+        a.reset_zeroed(8);
+        for (i, w) in a.words_mut().iter_mut().enumerate() {
+            *w = i as u64 + 1;
+        }
+        a.resize_tail_zeroed(5, 12);
+        assert_eq!(a.len(), 12);
+        assert_eq!(&a.words()[..5], &[1, 2, 3, 4, 5]);
+        assert!(all_zero(&a.words()[5..]));
+        // Shrinking below the old length keeps the prefix too.
+        a.words_mut().fill(9);
+        a.resize_tail_zeroed(3, 4);
+        assert_eq!(a.words(), &[9, 9, 9, 0]);
     }
 
     #[test]

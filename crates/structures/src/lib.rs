@@ -27,6 +27,8 @@
 //! * [`core_of`] — cores and retracts (powering CQ minimization);
 //! * [`generators`] — deterministic and random workload families used by
 //!   the test-suite and the benchmark harness;
+//! * [`delta`] — first-class [`StructureDelta`]s (added/retracted facts,
+//!   universe growth), the unit of incremental serving upstream;
 //! * [`arena`] — the flat `u64`-word [`PropArena`] and whole-word
 //!   kernels backing the compiled propagation route upstream;
 //! * [`worksteal`] — hand-rolled work-stealing scheduling primitives
@@ -38,6 +40,7 @@ pub mod binary_encoding;
 pub mod bitset;
 pub mod core_of;
 pub mod csp;
+pub mod delta;
 pub mod error;
 pub mod gaifman;
 pub mod generators;
@@ -55,6 +58,7 @@ pub use arena::PropArena;
 pub use binary_encoding::{binary_encode, binary_encode_optimized};
 pub use bitset::BitSet;
 pub use csp::{Constraint, CspInstance};
+pub use delta::StructureDelta;
 pub use error::{Error, Result};
 pub use gaifman::gaifman_graph;
 pub use graph::UndirectedGraph;

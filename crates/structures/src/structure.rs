@@ -114,9 +114,16 @@ impl Relation {
 
     /// Membership test by binary search (tuples are sorted).
     pub fn contains(&self, tuple: &[Element]) -> bool {
+        self.position(tuple).is_some()
+    }
+
+    /// The id of a tuple by binary search (tuples are sorted), or `None`
+    /// if the relation does not contain it. For 0-ary relations the only
+    /// possible tuple is `[]` with id 0.
+    pub fn position(&self, tuple: &[Element]) -> Option<u32> {
         debug_assert_eq!(tuple.len(), self.arity);
         if self.arity == 0 {
-            return self.ntuples > 0;
+            return (self.ntuples > 0).then_some(0);
         }
         let mut lo = 0usize;
         let mut hi = self.ntuples;
@@ -125,10 +132,10 @@ impl Relation {
             match self.tuple(mid).cmp(tuple) {
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
-                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Equal => return Some(mid as u32),
             }
         }
-        false
+        None
     }
 }
 
@@ -225,6 +232,56 @@ impl Structure {
             }
         }
         (builder.finish(), rename)
+    }
+
+    /// A copy of the structure without one fact, named-relation form
+    /// (the retraction ergonomic mirroring [`StructureBuilder::add_fact`]).
+    ///
+    /// Errors with [`Error::UnknownRelation`] on an unknown name,
+    /// [`Error::ArityMismatch`] on a wrong-length tuple, and
+    /// [`Error::Invalid`] if the fact is not present.
+    pub fn remove_fact(&self, name: &str, tuple: &[u32]) -> Result<Structure> {
+        let r = self.voc.require(name)?;
+        let arity = self.voc.arity(r);
+        if tuple.len() != arity {
+            return Err(Error::ArityMismatch {
+                relation: name.to_owned(),
+                arity,
+                got: tuple.len(),
+            });
+        }
+        let elems: Vec<Element> = tuple.iter().map(|&e| Element(e)).collect();
+        if !self.relation(r).contains(&elems) {
+            return Err(Error::Invalid(format!(
+                "cannot remove absent fact {name}{tuple:?}"
+            )));
+        }
+        let mut builder = StructureBuilder::new(Arc::clone(&self.voc), self.universe);
+        for s in self.voc.iter() {
+            for t in self.relation(s).iter() {
+                if s == r && t == elems.as_slice() {
+                    continue;
+                }
+                builder
+                    .add_tuple(s, t)
+                    .expect("existing tuple is valid by construction");
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    /// A copy of the structure with `by` fresh elements appended to the
+    /// universe (no facts mention them yet).
+    pub fn extend_universe(&self, by: usize) -> Structure {
+        let mut builder = StructureBuilder::new(Arc::clone(&self.voc), self.universe + by);
+        for r in self.voc.iter() {
+            for t in self.relation(r).iter() {
+                builder
+                    .add_tuple(r, t)
+                    .expect("existing tuple is valid by construction");
+            }
+        }
+        builder.finish()
     }
 }
 

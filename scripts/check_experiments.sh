@@ -83,6 +83,31 @@ if echo "$e16" | grep -qE '\| false \|'; then
   exit 1
 fi
 
+# E17 pins the delta-solve pipeline to from-scratch re-solves: every
+# update's verdict/route/witness (hom streams) and goal/IDB fact sets
+# (Datalog stream) must match a fresh solve on the post-delta
+# structure. The speedup column is checked on the *committed* table
+# (regenerated timings vary by machine): the whole point of the
+# pipeline is that a small delta re-solves at least 3x faster per
+# update than from scratch, so a committed row below 3.0x is a
+# regression even if every verdict agrees.
+if ! grep -q '^## E17' "$regen"; then
+  echo "E17 delta-solve table is missing." >&2
+  exit 1
+fi
+e17="$(sed -n '/^## E17/,/^## /p' "$regen")"
+if echo "$e17" | grep -qE '\| false \|'; then
+  echo "E17 reports a watch/from-scratch divergence:" >&2
+  echo "$e17" | grep -E '\| false \|' >&2
+  exit 1
+fi
+if ! sed -n '/^## E17/,/^## /p' EXPERIMENTS.md \
+  | awk -F'|' '/^\|/ { for (i = 1; i <= NF; i++) if ($i ~ /^[[:space:]]*[0-9.]+×[[:space:]]*$/) { gsub(/[ ×]/, "", $i); if ($i + 0 < 3.0) bad = 1 } } END { exit bad }'; then
+  echo "E17's committed speedup column has a row under 3.0x:" >&2
+  sed -n '/^## E17/,/^## /p' EXPERIMENTS.md | grep -E '^\|.*×' >&2
+  exit 1
+fi
+
 # The timing columns are tracked across PRs in EXPERIMENTS_HISTORY.md
 # (append-style, hand-maintained): it must exist and mention the newest
 # experiment so a PR that adds tables cannot skip the history line.
@@ -95,4 +120,4 @@ if ! grep -q "$newest" EXPERIMENTS_HISTORY.md; then
   echo "EXPERIMENTS_HISTORY.md does not track the $newest timing columns." >&2
   exit 1
 fi
-echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, and E16 compiled-engine parity hold)."
+echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, E16 compiled-engine, and E17 delta-solve parity hold; E17 speedups >= 3x)."

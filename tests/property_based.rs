@@ -611,6 +611,185 @@ proptest! {
         prop_assert_eq!(&comp.domains_vec()[..], interp.domains());
     }
 
+    /// `apply_delta` is a drop-in for a fresh bind on the post-delta
+    /// instance, for both propagation engines, under arbitrary
+    /// add/retract streams on mixed-arity instances: same establish
+    /// verdict after every step, and whenever consistent the same
+    /// fixpoint domains and deletion count (the repaired trail is the
+    /// fixpoint's complement, so equal domains pin the trail as a
+    /// set). Covers both the incremental repair and the
+    /// too-large-delta / wipeout fallback paths, whichever the
+    /// admission rules pick. Stress-runnable via `PROPTEST_CASES=5000`.
+    #[test]
+    fn apply_delta_matches_fresh_bind_on_both_engines(
+        (b, na, script) in delta_stream(4, 4, 5),
+    ) {
+        use cqcs::pebble::program::{ProgramPropagator, PropProgram};
+        use cqcs::structures::SupportIndex;
+        let (structures, deltas) = materialize_stream(na, &script);
+        let program = std::sync::Arc::new(PropProgram::compile(&b, &SupportIndex::build(&b)));
+        let mut interp = Propagator::new(&structures[0], &b);
+        let mut comp = ProgramPropagator::new(&structures[0], &b, std::sync::Arc::clone(&program));
+        interp.establish();
+        comp.establish();
+        for (delta, post) in deltas.iter().zip(&structures[1..]) {
+            let ok_i = interp.apply_delta(post, delta);
+            let ok_c = comp.apply_delta(post, delta);
+            let mut fresh = Propagator::new(post, &b);
+            let ok_f = fresh.establish();
+            prop_assert_eq!(ok_i, ok_f, "interpreted verdict");
+            prop_assert_eq!(ok_c, ok_f, "compiled verdict");
+            if ok_f {
+                prop_assert_eq!(interp.domains(), fresh.domains(), "interpreted domains");
+                prop_assert_eq!(&comp.domains_vec()[..], fresh.domains(), "compiled domains");
+                prop_assert_eq!(interp.deletions(), fresh.deletions(), "interpreted deletions");
+                prop_assert_eq!(comp.deletions(), fresh.deletions(), "compiled deletions");
+            }
+            prop_assert_eq!(interp.depth(), 0);
+            prop_assert_eq!(comp.depth(), 0);
+        }
+    }
+
+    /// The same pin on a wide template (universe > 64, multi-word
+    /// kernels in the compiled engine) under an additive-then-churning
+    /// digraph stream. Stress-runnable via `PROPTEST_CASES=5000`.
+    #[test]
+    fn apply_delta_matches_fresh_bind_wide_template(
+        b in wide_digraph(),
+        n in 2usize..=6,
+        script in proptest::collection::vec(
+            proptest::collection::vec((0u32..6, 0u32..6), 1..=3), 1..=6,
+        ),
+    ) {
+        use cqcs::pebble::program::{ProgramPropagator, PropProgram};
+        use cqcs::structures::{StructureDelta, SupportIndex};
+        let voc = generators::digraph_vocabulary();
+        let mut facts: HashSet<Vec<u32>> = HashSet::new();
+        let build = |facts: &HashSet<Vec<u32>>| {
+            let mut bb = cqcs::structures::StructureBuilder::new(
+                std::sync::Arc::clone(&voc), n,
+            );
+            for t in facts {
+                bb.add_fact("E", t).unwrap();
+            }
+            bb.finish()
+        };
+        let mut structures = vec![build(&facts)];
+        for step in &script {
+            for &(x, y) in step {
+                let t = vec![x % n as u32, y % n as u32];
+                if !facts.insert(t.clone()) {
+                    facts.remove(&t);
+                }
+            }
+            structures.push(build(&facts));
+        }
+        let program = std::sync::Arc::new(PropProgram::compile(&b, &SupportIndex::build(&b)));
+        let mut comp = ProgramPropagator::new(&structures[0], &b, std::sync::Arc::clone(&program));
+        comp.establish();
+        for w in structures.windows(2) {
+            let delta = StructureDelta::between(&w[0], &w[1]).unwrap();
+            let ok_c = comp.apply_delta(&w[1], &delta);
+            let mut fresh = Propagator::new(&w[1], &b);
+            let ok_f = fresh.establish();
+            prop_assert_eq!(ok_c, ok_f, "wide verdict");
+            if ok_f {
+                prop_assert_eq!(&comp.domains_vec()[..], fresh.domains(), "wide domains");
+                prop_assert_eq!(comp.deletions(), fresh.deletions(), "wide deletions");
+            }
+        }
+    }
+
+    /// A `Session::watch` absorbing an arbitrary add/retract stream
+    /// stays pinned to from-scratch `Session::solve` on every
+    /// post-delta instance: same verdict, same route, bit-identical
+    /// witness, and identical search statistics whenever the watch
+    /// reports them (they are absent only on the O(1)
+    /// monotone-refutation path, which skips the solve entirely).
+    /// Stress-runnable via `PROPTEST_CASES=5000`.
+    #[test]
+    fn watch_session_stays_pinned_to_fresh_solves(
+        (b, na, script) in delta_stream(4, 4, 5),
+    ) {
+        let (structures, deltas) = materialize_stream(na, &script);
+        let session = Session::compile(&b);
+        let mut watch = session.watch(&structures[0]);
+        for (d, post) in deltas.iter().zip(&structures[1..]) {
+            let before = watch.verdict();
+            let flip = watch.apply(d).unwrap();
+            prop_assert_eq!(flip, (watch.verdict() != before).then_some(watch.verdict()));
+            let fresh = session.solve(post);
+            prop_assert_eq!(
+                watch.solution().homomorphism.as_ref().map(|h| h.as_slice().to_vec()),
+                fresh.homomorphism.as_ref().map(|h| h.as_slice().to_vec()),
+                "witness"
+            );
+            prop_assert_eq!(watch.solution().route, fresh.route, "route");
+            if watch.solution().stats.is_some() {
+                prop_assert_eq!(&watch.solution().stats, &fresh.stats, "stats");
+            }
+        }
+    }
+
+    /// Incremental Datalog (counting + DRed) stays pinned to
+    /// from-scratch semi-naive evaluation under arbitrary add/retract
+    /// streams on the transitive-closure/cycle program: same goal
+    /// verdict and identical IDB fact sets after every step, with
+    /// every step absorbed incrementally (the universe never grows, so
+    /// the recompute fallback must not fire). Stress-runnable via
+    /// `PROPTEST_CASES=5000`.
+    #[test]
+    fn incremental_datalog_matches_semi_naive(
+        n in 2usize..=7,
+        script in proptest::collection::vec(
+            proptest::collection::vec((0u32..7, 0u32..7), 1..=4), 1..=8,
+        ),
+    ) {
+        use cqcs::datalog::{eval::eval_semi_naive, programs, IncrementalEval, PredId};
+        use cqcs::structures::StructureDelta;
+        let program = programs::cycle_detection();
+        let voc = generators::digraph_vocabulary();
+        let mut facts: HashSet<Vec<u32>> = HashSet::new();
+        let build = |facts: &HashSet<Vec<u32>>| {
+            let mut bb = cqcs::structures::StructureBuilder::new(
+                std::sync::Arc::clone(&voc), n,
+            );
+            for t in facts {
+                bb.add_fact("E", t).unwrap();
+            }
+            bb.finish()
+        };
+        let mut structures = vec![build(&facts)];
+        for step in &script {
+            for &(x, y) in step {
+                let t = vec![x % n as u32, y % n as u32];
+                if !facts.insert(t.clone()) {
+                    facts.remove(&t);
+                }
+            }
+            structures.push(build(&facts));
+        }
+        let mut inc = IncrementalEval::new(&program, &structures[0]);
+        for w in structures.windows(2) {
+            let delta = StructureDelta::between(&w[0], &w[1]).unwrap();
+            let goal = inc.apply_delta(&w[1], &delta);
+            let fresh = eval_semi_naive(&program, &w[1]);
+            prop_assert_eq!(goal, fresh.goal_derived, "goal verdict");
+            for i in 0..program.num_preds() as u32 {
+                let p = PredId(i);
+                if program.is_idb(p) {
+                    prop_assert_eq!(
+                        inc.facts().get(&p).cloned().unwrap_or_default(),
+                        fresh.facts.get(&p).cloned().unwrap_or_default(),
+                        "IDB facts for {}", program.pred_name(p)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(inc.stats().full_recomputes, 0);
+        prop_assert_eq!(inc.stats().incremental_updates as usize, structures.len() - 1);
+    }
+
     /// Exact treewidth reproduces the textbook values on known
     /// families: paths 1, cycles 2, cliques k-1, grids min(r, c).
     #[test]
@@ -789,6 +968,76 @@ fn build_mixed_arity(n: usize, tuples: &[(u8, Vec<u32>)]) -> cqcs::structures::S
         let _ = b.add_fact(name, &args);
     }
     b.finish()
+}
+
+/// A [`delta_stream`] sample: the template, the instance universe
+/// size, and the toggle script (one list of `{U/1, E/2, T/3}` fact
+/// togglings per step).
+type DeltaStreamInput = (cqcs::structures::Structure, usize, Vec<Vec<(u8, Vec<u32>)>>);
+
+/// Strategy: a mixed-arity template plus an instance-side add/retract
+/// script — a base universe size and a list of steps, each toggling
+/// membership of a few `{U/1, E/2, T/3}` facts. Materialized by
+/// [`materialize_stream`] into nested structures and valid deltas.
+fn delta_stream(
+    max_nb: usize,
+    max_na: usize,
+    max_steps: usize,
+) -> impl Strategy<Value = DeltaStreamInput> {
+    (
+        (
+            1..=max_nb,
+            proptest::collection::vec((any::<u8>(), proptest::collection::vec(0u32..8, 3)), 0..=12),
+        ),
+        1..=max_na,
+        proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), proptest::collection::vec(0u32..8, 3)), 1..=4),
+            1..=max_steps,
+        ),
+    )
+        .prop_map(|((nb, tb), na, script)| (build_mixed_arity(nb, &tb), na, script))
+}
+
+/// Plays a [`delta_stream`] script: each step toggles its facts in a
+/// running fact set, yielding the structure after every step and the
+/// exact `StructureDelta` between consecutive states.
+fn materialize_stream(
+    n: usize,
+    script: &[Vec<(u8, Vec<u32>)>],
+) -> (
+    Vec<cqcs::structures::Structure>,
+    Vec<cqcs::structures::StructureDelta>,
+) {
+    let mut facts: HashSet<(usize, Vec<u32>)> = HashSet::new();
+    let build = |facts: &HashSet<(usize, Vec<u32>)>| {
+        let tuples: Vec<(u8, Vec<u32>)> = facts
+            .iter()
+            .map(|(which, args)| (*which as u8, args.clone()))
+            .collect();
+        build_mixed_arity(n, &tuples)
+    };
+    let mut structures = vec![build(&facts)];
+    for step in script {
+        for (which, args) in step {
+            let which = (*which % 3) as usize;
+            let args: Vec<u32> = args
+                .iter()
+                .cycle()
+                .take(which + 1)
+                .map(|&v| v % n as u32)
+                .collect();
+            let key = (which, args);
+            if !facts.insert(key.clone()) {
+                facts.remove(&key);
+            }
+        }
+        structures.push(build(&facts));
+    }
+    let deltas = structures
+        .windows(2)
+        .map(|w| cqcs::structures::StructureDelta::between(&w[0], &w[1]).unwrap())
+        .collect();
+    (structures, deltas)
 }
 
 /// Strategy: a pair of structures over a shared vocabulary
