@@ -652,4 +652,58 @@ mod tests {
         assert_eq!(watch.current().total_tuples(), a.total_tuples());
         assert_parity(&watch, "after rejected delta");
     }
+
+    #[test]
+    fn vocabulary_mismatch_delta_is_an_error_not_a_panic() {
+        // Regression: a delta anchored to a structure over a *different*
+        // vocabulary must surface `Error::VocabularyMismatch` — never
+        // panic inside the incremental engine — and must leave the
+        // watch both unchanged and usable.
+        let k3 = generators::complete_graph(3);
+        let session = Session::compile(&k3);
+        let a = generators::undirected_cycle(5);
+        let mut watch = session.watch(&a);
+        let before_verdict = watch.verdict();
+
+        let foreign = generators::random_structure(5, &[2, 1], 3, 7);
+        let mut d = StructureDelta::new(&foreign);
+        d.add_fact("R0", &[0, 1]).unwrap();
+        let err = watch
+            .apply(&d)
+            .expect_err("foreign-vocabulary delta accepted");
+        assert!(
+            matches!(err, cqcs_structures::Error::VocabularyMismatch),
+            "wrong error: {err:?}"
+        );
+
+        // Unchanged...
+        assert_eq!(watch.verdict(), before_verdict);
+        assert_eq!(watch.current().total_tuples(), a.total_tuples());
+        assert_parity(&watch, "after vocabulary-mismatch delta");
+        // ...and still able to make progress with a well-formed delta.
+        let mut good = StructureDelta::new(watch.current());
+        good.add_fact("E", &[0, 2]).unwrap();
+        good.add_fact("E", &[2, 0]).unwrap();
+        watch.apply(&good).unwrap();
+        assert_parity(&watch, "good delta after rejected one");
+    }
+
+    #[test]
+    fn universe_anchor_mismatch_delta_is_rejected() {
+        // Same vocabulary, wrong base universe: the strict delta
+        // validation must refuse (as `Error::Invalid`) rather than
+        // apply a delta anchored to a different snapshot size.
+        let k3 = generators::complete_graph(3);
+        let session = Session::compile(&k3);
+        let mut watch = session.watch(&generators::undirected_cycle(5));
+        let smaller = generators::undirected_cycle(4);
+        let mut d = StructureDelta::new(&smaller);
+        d.add_fact("E", &[0, 2]).unwrap();
+        let err = watch.apply(&d).expect_err("mis-anchored delta accepted");
+        assert!(
+            matches!(err, cqcs_structures::Error::Invalid(_)),
+            "wrong error: {err:?}"
+        );
+        assert_parity(&watch, "after mis-anchored delta");
+    }
 }

@@ -1,0 +1,136 @@
+//! `cqcs-load` — smoke-load the server and report latency percentiles.
+//!
+//! ```text
+//! cqcs-load [--clients N] [--requests N] [--window-ms N]
+//! ```
+//!
+//! Spins up an in-process server on an ephemeral port, registers the
+//! K3 template, then runs `--clients` concurrent connections each
+//! issuing `--requests` solve requests over random graph instances.
+//! Reports throughput, p50/p95/p99 latency, coalescing stats, and a
+//! parity verdict: every networked solution is compared bit-for-bit
+//! against a direct in-process `Session` solve of the same instance.
+
+use cqcs_core::Session;
+use cqcs_net::client::Client;
+use cqcs_net::codec::solutions_identical;
+use cqcs_net::server::{Server, ServerConfig};
+use cqcs_structures::generators;
+use std::time::{Duration, Instant};
+
+fn parse_value<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let raw = args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    });
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: bad value `{raw}`");
+        std::process::exit(2);
+    })
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut clients = 4usize;
+    let mut requests = 64usize;
+    let mut window = Duration::ZERO;
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--clients" => clients = parse_value(&mut args, "--clients"),
+            "--requests" => requests = parse_value(&mut args, "--requests"),
+            "--window-ms" => {
+                window = Duration::from_millis(parse_value(&mut args, "--window-ms"));
+            }
+            _ => {
+                eprintln!("usage: cqcs-load [--clients N] [--requests N] [--window-ms N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = ServerConfig {
+        coalesce_window: window,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let template = generators::complete_graph(3);
+
+    // One registration shared by every client connection.
+    let template_id = {
+        let mut c = Client::connect(addr).expect("connect");
+        c.register_template(&template).expect("register")
+    };
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|ci| {
+            let template = template.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let direct = Session::compile(&template);
+                let mut latencies = Vec::with_capacity(requests);
+                let mut mismatches = 0usize;
+                for ri in 0..requests {
+                    let seed = (ci * requests + ri) as u64;
+                    let a = generators::random_graph_nm(8, 12, seed);
+                    let t0 = Instant::now();
+                    let sol = c.solve(template_id, &a).expect("solve");
+                    latencies.push(t0.elapsed());
+                    if !solutions_identical(&sol, &direct.solve(&a)) {
+                        mismatches += 1;
+                    }
+                }
+                (latencies, mismatches)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut mismatches = 0usize;
+    for h in handles {
+        let (l, m) = h.join().expect("client thread");
+        latencies.extend(l);
+        mismatches += m;
+    }
+    let elapsed = start.elapsed();
+    latencies.sort();
+
+    let total = clients * requests;
+    let status = {
+        let mut c = Client::connect(addr).expect("connect");
+        c.status().expect("status")
+    };
+    server.shutdown();
+
+    println!(
+        "cqcs-load: {total} solves over {clients} clients in {:.3} s  ({:.1} req/s)",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        percentile(&latencies, 0.50).as_secs_f64() * 1e3,
+        percentile(&latencies, 0.95).as_secs_f64() * 1e3,
+        percentile(&latencies, 0.99).as_secs_f64() * 1e3,
+    );
+    println!(
+        "server: {} batches for {} solves, max {} jobs coalesced, {} overloaded",
+        status.batches, status.solves, status.max_coalesced_jobs, status.overloaded
+    );
+    if mismatches == 0 {
+        println!("parity: all {total} networked solutions identical to direct solves");
+    } else {
+        println!("parity: {mismatches} MISMATCHES out of {total}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,168 @@
+//! A blocking client for the cqcs serving protocol.
+//!
+//! One [`Client`] wraps one TCP connection and speaks strict
+//! request/response: every method encodes a frame, writes it, reads
+//! exactly one response frame, and decodes it. Server-side
+//! [`Response::Error`] frames become [`ClientError::Server`] with the
+//! structured [`ErrorCode`] preserved, so callers can distinguish
+//! "retry later" ([`ErrorCode::Overloaded`]) from "re-register"
+//! ([`ErrorCode::UnknownTemplate`]) without string matching.
+
+use crate::codec::{
+    parse_header, DecodeError, ErrorCode, Request, Response, StatusInfo, HEADER_LEN,
+};
+use cqcs_core::Solution;
+use cqcs_structures::Structure;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The server's bytes failed to decode.
+    Decode(DecodeError),
+    /// The server answered with a structured error.
+    Server {
+        /// The machine-readable failure class.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The server answered with the wrong response kind for the
+    /// request (a protocol bug, not an expected runtime condition).
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Decode(e) => write!(f, "protocol decode error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A blocking connection to a cqcs server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// One request/response exchange.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.stream.write_all(&request.encode())?;
+        self.stream.flush()?;
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let (kind, len) = parse_header(&header)?;
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        let resp = Response::decode_payload(kind, &payload)?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Registers a template for later solves; returns its server id.
+    pub fn register_template(&mut self, template: &Structure) -> Result<u64, ClientError> {
+        match self.call(&Request::RegisterTemplate {
+            template: template.clone(),
+        })? {
+            Response::TemplateRegistered { id } => Ok(id),
+            _ => Err(ClientError::Unexpected("expected TemplateRegistered")),
+        }
+    }
+
+    /// Solves one instance against a registered template.
+    pub fn solve(
+        &mut self,
+        template_id: u64,
+        instance: &Structure,
+    ) -> Result<Solution, ClientError> {
+        self.solve_deadline(template_id, instance, 0)
+    }
+
+    /// Like [`Client::solve`] with a queue deadline in milliseconds
+    /// (0 = none): if the server cannot start the solve in time it
+    /// answers [`ErrorCode::DeadlineExceeded`].
+    pub fn solve_deadline(
+        &mut self,
+        template_id: u64,
+        instance: &Structure,
+        deadline_ms: u32,
+    ) -> Result<Solution, ClientError> {
+        match self.call(&Request::Solve {
+            template_id,
+            deadline_ms,
+            instance: instance.clone(),
+        })? {
+            Response::Solved(sol) => Ok(sol),
+            _ => Err(ClientError::Unexpected("expected Solved")),
+        }
+    }
+
+    /// Solves a batch of instances against one registered template;
+    /// solutions come back in instance order.
+    pub fn solve_batch(
+        &mut self,
+        template_id: u64,
+        instances: &[Structure],
+    ) -> Result<Vec<Solution>, ClientError> {
+        match self.call(&Request::SolveBatch {
+            template_id,
+            deadline_ms: 0,
+            instances: instances.to_vec(),
+        })? {
+            Response::BatchSolved(sols) => Ok(sols),
+            _ => Err(ClientError::Unexpected("expected BatchSolved")),
+        }
+    }
+
+    /// Decides CQ containment `q1 ⊑ q2` server-side (queries in the
+    /// `cqcs-cq` surface syntax).
+    pub fn containment(&mut self, q1: &str, q2: &str) -> Result<bool, ClientError> {
+        match self.call(&Request::Containment {
+            q1: q1.to_owned(),
+            q2: q2.to_owned(),
+        })? {
+            Response::Containment { contained } => Ok(contained),
+            _ => Err(ClientError::Unexpected("expected Containment")),
+        }
+    }
+
+    /// Fetches server statistics.
+    pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
+        match self.call(&Request::Status)? {
+            Response::Status(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("expected Status")),
+        }
+    }
+}

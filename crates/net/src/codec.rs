@@ -1,0 +1,893 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  b"CQ"
+//! 2       1     protocol version (currently 1)
+//! 3       1     message kind (request 0x01–0x05, response 0x81–0x85, error 0xFF)
+//! 4       4     payload length, little-endian u32 (≤ MAX_PAYLOAD)
+//! 8       len   payload
+//! ```
+//!
+//! Payload integers are little-endian and fixed-width; structures are
+//! encoded as their vocabulary (symbol names + arities) followed by the
+//! universe size and each relation's sorted tuple list. Decoding works
+//! over a borrowed `&[u8]` with a cursor — the only allocations are the
+//! decoded values themselves — and **never panics** on malformed input:
+//! truncated buffers, oversized length prefixes, wrong versions, unknown
+//! kinds, and semantically invalid structures (bad arities, elements out
+//! of range, duplicate symbols) all surface as [`DecodeError`]s. The
+//! codec property suite mutates valid frames byte-by-byte to pin this.
+//!
+//! Solutions cross the wire losslessly: verdict, witness, route (with
+//! treewidth width), and full search statistics round-trip into the very
+//! [`Solution`] type the in-process [`Session`](cqcs_core::Session)
+//! returns, which is what lets the integration suite and experiment E18
+//! pin server responses bit-identical to direct solves.
+
+use cqcs_core::{Route, SearchStats, Solution};
+use cqcs_structures::{Element, Homomorphism, Structure, StructureBuilder, Vocabulary};
+
+/// First two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"CQ";
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Upper bound on a frame's payload length; longer prefixes are
+/// rejected before any allocation happens.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+/// Upper bound on an encoded relation-symbol name.
+pub const MAX_NAME_LEN: usize = 4096;
+
+// Request kinds.
+const K_REGISTER: u8 = 0x01;
+const K_SOLVE: u8 = 0x02;
+const K_SOLVE_BATCH: u8 = 0x03;
+const K_CONTAINMENT: u8 = 0x04;
+const K_STATUS: u8 = 0x05;
+// Response kinds.
+const K_REGISTERED: u8 = 0x81;
+const K_SOLVED: u8 = 0x82;
+const K_BATCH_SOLVED: u8 = 0x83;
+const K_CONTAINMENT_R: u8 = 0x84;
+const K_STATUS_R: u8 = 0x85;
+const K_ERROR: u8 = 0xFF;
+
+/// Structured error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame or payload failed to decode.
+    Malformed = 1,
+    /// The frame's protocol version is not served.
+    UnsupportedVersion = 2,
+    /// The referenced template id is not registered (never was, or was
+    /// evicted).
+    UnknownTemplate = 3,
+    /// The instance's vocabulary differs from the template's.
+    VocabularyMismatch = 4,
+    /// The admission queue is full; retry later.
+    Overloaded = 5,
+    /// The request's deadline expired before it was executed.
+    DeadlineExceeded = 6,
+    /// A containment query failed to parse or compare.
+    InvalidQuery = 7,
+    /// The server failed internally.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownTemplate,
+            4 => ErrorCode::VocabularyMismatch,
+            5 => ErrorCode::Overloaded,
+            6 => ErrorCode::DeadlineExceeded,
+            7 => ErrorCode::InvalidQuery,
+            8 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a buffer failed to decode. Every variant is a graceful error —
+/// the decoder has no panicking path on foreign bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the announced content did.
+    Truncated,
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The version byte is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion(u8),
+    /// The kind byte names no known message.
+    UnknownKind(u8),
+    /// The length prefix exceeds [`MAX_PAYLOAD`] (or an inner length
+    /// exceeds its own bound).
+    Oversized(u64),
+    /// The payload decoded completely but bytes were left over.
+    TrailingBytes(usize),
+    /// A string field is not UTF-8.
+    BadUtf8,
+    /// The bytes parsed but describe an invalid value (bad arity,
+    /// element out of range, duplicate relation symbol, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("frame truncated"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            DecodeError::Oversized(n) => write!(f, "length {n} exceeds the protocol bound"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the payload"),
+            DecodeError::BadUtf8 => f.write_str("string field is not UTF-8"),
+            DecodeError::Invalid(m) => write!(f, "invalid payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A client→server message.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile and register a template; the response names its id.
+    RegisterTemplate {
+        /// The template structure `B`.
+        template: Structure,
+    },
+    /// Solve `hom(instance → template)` under the Auto strategy.
+    Solve {
+        /// A previously registered template id.
+        template_id: u64,
+        /// Per-request deadline in milliseconds (0 = none): if the
+        /// request waits in the queue longer than this, the server
+        /// answers [`ErrorCode::DeadlineExceeded`] instead of solving.
+        deadline_ms: u32,
+        /// The instance structure `A`.
+        instance: Structure,
+    },
+    /// Solve a whole batch against one template.
+    SolveBatch {
+        /// A previously registered template id.
+        template_id: u64,
+        /// Per-request deadline in milliseconds (0 = none).
+        deadline_ms: u32,
+        /// The instance structures, answered in order.
+        instances: Vec<Structure>,
+    },
+    /// Decide CQ containment `q1 ⊑ q2` (queries in the `cqcs-cq`
+    /// surface syntax, parsed server-side).
+    Containment {
+        /// Source text of the candidate contained query.
+        q1: String,
+        /// Source text of the candidate containing query.
+        q2: String,
+    },
+    /// Ask for server statistics.
+    Status,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A template was compiled and registered under this id.
+    TemplateRegistered {
+        /// The id to pass to later `Solve`/`SolveBatch` requests.
+        id: u64,
+    },
+    /// The solution of a `Solve` request.
+    Solved(Solution),
+    /// The solutions of a `SolveBatch` request, in request order.
+    BatchSolved(Vec<Solution>),
+    /// The verdict of a `Containment` request.
+    Containment {
+        /// Whether `q1 ⊑ q2`.
+        contained: bool,
+    },
+    /// Server statistics.
+    Status(StatusInfo),
+    /// The request failed; the code is machine-readable, the message
+    /// human-readable.
+    Error {
+        /// The structured failure class.
+        code: ErrorCode,
+        /// Detail for humans and logs.
+        message: String,
+    },
+}
+
+/// A server's self-description, as carried by [`Response::Status`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// The protocol version the server speaks.
+    pub protocol_version: u8,
+    /// Templates currently resident in the registry.
+    pub templates: u32,
+    /// Registry capacity (LRU eviction beyond this).
+    pub registry_capacity: u32,
+    /// Templates evicted since startup.
+    pub evictions: u64,
+    /// Solve jobs admitted but not yet answered.
+    pub queue_depth: u32,
+    /// Admission bound: jobs beyond this are refused with `Overloaded`.
+    pub max_queue_depth: u32,
+    /// Requests decoded since startup (all kinds).
+    pub requests: u64,
+    /// Instances solved since startup.
+    pub solves: u64,
+    /// Executor batches run since startup.
+    pub batches: u64,
+    /// Solve jobs that shared an executor batch with at least one
+    /// other job (the coalescer's work product).
+    pub coalesced_jobs: u64,
+    /// Largest number of jobs ever coalesced into one executor batch.
+    pub max_coalesced_jobs: u32,
+    /// Requests refused at admission since startup.
+    pub overloaded: u64,
+    /// Requests expired in the queue since startup.
+    pub deadline_expired: u64,
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers.
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Primitive reader: a cursor over borrowed bytes; every accessor is a
+// checked, panic-free slice.
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str(&mut self) -> Result<&'a str, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > MAX_NAME_LEN.max(MAX_PAYLOAD as usize) {
+            return Err(DecodeError::Oversized(len as u64));
+        }
+        std::str::from_utf8(self.bytes(len)?).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn done(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structures.
+
+fn encode_structure(out: &mut Vec<u8>, s: &Structure) {
+    let voc = s.vocabulary();
+    put_u16(out, voc.len() as u16);
+    for (_, name, arity) in voc.symbols() {
+        put_u16(out, name.len() as u16);
+        out.extend_from_slice(name.as_bytes());
+        put_u16(out, arity as u16);
+    }
+    put_u32(out, s.universe() as u32);
+    for r in voc.iter() {
+        let rel = s.relation(r);
+        put_u32(out, rel.len() as u32);
+        for t in rel.iter() {
+            for &e in t {
+                put_u32(out, e.0);
+            }
+        }
+    }
+}
+
+fn decode_structure(r: &mut Reader<'_>) -> Result<Structure, DecodeError> {
+    let nrels = r.u16()? as usize;
+    let mut voc = Vocabulary::new();
+    for _ in 0..nrels {
+        let name_len = r.u16()? as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(DecodeError::Oversized(name_len as u64));
+        }
+        let name = std::str::from_utf8(r.bytes(name_len)?).map_err(|_| DecodeError::BadUtf8)?;
+        let arity = r.u16()? as usize;
+        let id = voc
+            .add(name, arity)
+            .map_err(|e| DecodeError::Invalid(e.to_string()))?;
+        if id.index() + 1 != voc.len() {
+            // `add` deduplicates same-name-same-arity symbols; a wire
+            // vocabulary must list each symbol exactly once.
+            return Err(DecodeError::Invalid(format!(
+                "relation symbol `{name}` listed twice"
+            )));
+        }
+    }
+    let voc = voc.into_shared();
+    let universe = r.u32()? as usize;
+    let mut builder = StructureBuilder::new(std::sync::Arc::clone(&voc), universe);
+    let mut tuple: Vec<Element> = Vec::new();
+    for rel in voc.iter() {
+        let ntuples = r.u32()? as usize;
+        let arity = voc.arity(rel);
+        for _ in 0..ntuples {
+            tuple.clear();
+            for _ in 0..arity {
+                tuple.push(Element(r.u32()?));
+            }
+            builder
+                .add_tuple(rel, &tuple)
+                .map_err(|e| DecodeError::Invalid(e.to_string()))?;
+        }
+    }
+    Ok(builder.finish())
+}
+
+// ---------------------------------------------------------------------
+// Solutions.
+
+const ROUTE_SCHAEFER: u8 = 0;
+const ROUTE_BOOLEANIZATION: u8 = 1;
+const ROUTE_ACYCLIC: u8 = 2;
+const ROUTE_ARC_REFUTED: u8 = 3;
+const ROUTE_TREEWIDTH: u8 = 4;
+const ROUTE_GENERIC: u8 = 5;
+
+fn encode_solution(out: &mut Vec<u8>, sol: &Solution) {
+    match &sol.homomorphism {
+        Some(h) => {
+            out.push(1);
+            let map = h.as_slice();
+            put_u32(out, map.len() as u32);
+            for &e in map {
+                put_u32(out, e.0);
+            }
+        }
+        None => out.push(0),
+    }
+    match sol.route {
+        Route::Schaefer => out.push(ROUTE_SCHAEFER),
+        Route::Booleanization => out.push(ROUTE_BOOLEANIZATION),
+        Route::Acyclic => out.push(ROUTE_ACYCLIC),
+        Route::ArcRefuted => out.push(ROUTE_ARC_REFUTED),
+        Route::Treewidth(w) => {
+            out.push(ROUTE_TREEWIDTH);
+            put_u32(out, w as u32);
+        }
+        Route::Generic => out.push(ROUTE_GENERIC),
+    }
+    match &sol.stats {
+        Some(st) => {
+            out.push(1);
+            put_u64(out, st.nodes);
+            put_u64(out, st.backtracks);
+            put_u64(out, st.deletions);
+        }
+        None => out.push(0),
+    }
+}
+
+fn decode_solution(r: &mut Reader<'_>) -> Result<Solution, DecodeError> {
+    let homomorphism = match r.u8()? {
+        0 => None,
+        1 => {
+            let len = r.u32()? as usize;
+            if len > MAX_PAYLOAD as usize {
+                return Err(DecodeError::Oversized(len as u64));
+            }
+            let mut map = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                map.push(Element(r.u32()?));
+            }
+            Some(Homomorphism::from_map(map))
+        }
+        v => return Err(DecodeError::Invalid(format!("bad witness flag {v}"))),
+    };
+    let route = match r.u8()? {
+        ROUTE_SCHAEFER => Route::Schaefer,
+        ROUTE_BOOLEANIZATION => Route::Booleanization,
+        ROUTE_ACYCLIC => Route::Acyclic,
+        ROUTE_ARC_REFUTED => Route::ArcRefuted,
+        ROUTE_TREEWIDTH => Route::Treewidth(r.u32()? as usize),
+        ROUTE_GENERIC => Route::Generic,
+        v => return Err(DecodeError::Invalid(format!("bad route tag {v}"))),
+    };
+    let stats = match r.u8()? {
+        0 => None,
+        1 => Some(SearchStats {
+            nodes: r.u64()?,
+            backtracks: r.u64()?,
+            deletions: r.u64()?,
+        }),
+        v => return Err(DecodeError::Invalid(format!("bad stats flag {v}"))),
+    };
+    Ok(Solution {
+        homomorphism,
+        route,
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Frames.
+
+/// Builds a complete frame (header + payload) for a payload already
+/// encoded under `kind`.
+fn frame(kind: u8, payload: Vec<u8>) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validates an 8-byte frame header; returns `(kind, payload_len)`.
+pub fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(u8, u32), DecodeError> {
+    if h[0..2] != MAGIC {
+        return Err(DecodeError::BadMagic([h[0], h[1]]));
+    }
+    if h[2] != PROTOCOL_VERSION {
+        return Err(DecodeError::UnsupportedVersion(h[2]));
+    }
+    let len = u32::from_le_bytes([h[4], h[5], h[6], h[7]]);
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized(len as u64));
+    }
+    Ok((h[3], len))
+}
+
+/// Splits a complete in-memory frame into `(kind, payload)`, rejecting
+/// truncated and over-long buffers.
+pub fn parse_frame(buf: &[u8]) -> Result<(u8, &[u8]), DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let mut h = [0u8; HEADER_LEN];
+    h.copy_from_slice(&buf[..HEADER_LEN]);
+    let (kind, len) = parse_header(&h)?;
+    let expected = HEADER_LEN + len as usize;
+    if buf.len() < expected {
+        return Err(DecodeError::Truncated);
+    }
+    if buf.len() > expected {
+        return Err(DecodeError::TrailingBytes(buf.len() - expected));
+    }
+    Ok((kind, &buf[HEADER_LEN..]))
+}
+
+impl Request {
+    /// Encodes the request as a complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let kind = match self {
+            Request::RegisterTemplate { template } => {
+                encode_structure(&mut p, template);
+                K_REGISTER
+            }
+            Request::Solve {
+                template_id,
+                deadline_ms,
+                instance,
+            } => {
+                put_u64(&mut p, *template_id);
+                put_u32(&mut p, *deadline_ms);
+                encode_structure(&mut p, instance);
+                K_SOLVE
+            }
+            Request::SolveBatch {
+                template_id,
+                deadline_ms,
+                instances,
+            } => {
+                put_u64(&mut p, *template_id);
+                put_u32(&mut p, *deadline_ms);
+                put_u32(&mut p, instances.len() as u32);
+                for a in instances {
+                    encode_structure(&mut p, a);
+                }
+                K_SOLVE_BATCH
+            }
+            Request::Containment { q1, q2 } => {
+                put_str(&mut p, q1);
+                put_str(&mut p, q2);
+                K_CONTAINMENT
+            }
+            Request::Status => K_STATUS,
+        };
+        frame(kind, p)
+    }
+
+    /// Decodes a complete frame into a request.
+    pub fn decode(buf: &[u8]) -> Result<Request, DecodeError> {
+        let (kind, payload) = parse_frame(buf)?;
+        Request::decode_payload(kind, payload)
+    }
+
+    /// Decodes a request payload whose frame header was already parsed.
+    pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut r = Reader::new(payload);
+        let req = match kind {
+            K_REGISTER => Request::RegisterTemplate {
+                template: decode_structure(&mut r)?,
+            },
+            K_SOLVE => Request::Solve {
+                template_id: r.u64()?,
+                deadline_ms: r.u32()?,
+                instance: decode_structure(&mut r)?,
+            },
+            K_SOLVE_BATCH => {
+                let template_id = r.u64()?;
+                let deadline_ms = r.u32()?;
+                let n = r.u32()? as usize;
+                if n > MAX_PAYLOAD as usize {
+                    return Err(DecodeError::Oversized(n as u64));
+                }
+                let mut instances = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    instances.push(decode_structure(&mut r)?);
+                }
+                Request::SolveBatch {
+                    template_id,
+                    deadline_ms,
+                    instances,
+                }
+            }
+            K_CONTAINMENT => Request::Containment {
+                q1: r.str()?.to_owned(),
+                q2: r.str()?.to_owned(),
+            },
+            K_STATUS => Request::Status,
+            k => return Err(DecodeError::UnknownKind(k)),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as a complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let kind = match self {
+            Response::TemplateRegistered { id } => {
+                put_u64(&mut p, *id);
+                K_REGISTERED
+            }
+            Response::Solved(sol) => {
+                encode_solution(&mut p, sol);
+                K_SOLVED
+            }
+            Response::BatchSolved(sols) => {
+                put_u32(&mut p, sols.len() as u32);
+                for s in sols {
+                    encode_solution(&mut p, s);
+                }
+                K_BATCH_SOLVED
+            }
+            Response::Containment { contained } => {
+                p.push(u8::from(*contained));
+                K_CONTAINMENT_R
+            }
+            Response::Status(info) => {
+                p.push(info.protocol_version);
+                put_u32(&mut p, info.templates);
+                put_u32(&mut p, info.registry_capacity);
+                put_u64(&mut p, info.evictions);
+                put_u32(&mut p, info.queue_depth);
+                put_u32(&mut p, info.max_queue_depth);
+                put_u64(&mut p, info.requests);
+                put_u64(&mut p, info.solves);
+                put_u64(&mut p, info.batches);
+                put_u64(&mut p, info.coalesced_jobs);
+                put_u32(&mut p, info.max_coalesced_jobs);
+                put_u64(&mut p, info.overloaded);
+                put_u64(&mut p, info.deadline_expired);
+                K_STATUS_R
+            }
+            Response::Error { code, message } => {
+                p.push(*code as u8);
+                put_str(&mut p, message);
+                K_ERROR
+            }
+        };
+        frame(kind, p)
+    }
+
+    /// Decodes a complete frame into a response.
+    pub fn decode(buf: &[u8]) -> Result<Response, DecodeError> {
+        let (kind, payload) = parse_frame(buf)?;
+        Response::decode_payload(kind, payload)
+    }
+
+    /// Decodes a response payload whose frame header was already
+    /// parsed.
+    pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut r = Reader::new(payload);
+        let resp = match kind {
+            K_REGISTERED => Response::TemplateRegistered { id: r.u64()? },
+            K_SOLVED => Response::Solved(decode_solution(&mut r)?),
+            K_BATCH_SOLVED => {
+                let n = r.u32()? as usize;
+                if n > MAX_PAYLOAD as usize {
+                    return Err(DecodeError::Oversized(n as u64));
+                }
+                let mut sols = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    sols.push(decode_solution(&mut r)?);
+                }
+                Response::BatchSolved(sols)
+            }
+            K_CONTAINMENT_R => Response::Containment {
+                contained: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    v => return Err(DecodeError::Invalid(format!("bad bool {v}"))),
+                },
+            },
+            K_STATUS_R => Response::Status(StatusInfo {
+                protocol_version: r.u8()?,
+                templates: r.u32()?,
+                registry_capacity: r.u32()?,
+                evictions: r.u64()?,
+                queue_depth: r.u32()?,
+                max_queue_depth: r.u32()?,
+                requests: r.u64()?,
+                solves: r.u64()?,
+                batches: r.u64()?,
+                coalesced_jobs: r.u64()?,
+                max_coalesced_jobs: r.u32()?,
+                overloaded: r.u64()?,
+                deadline_expired: r.u64()?,
+            }),
+            K_ERROR => {
+                let raw = r.u8()?;
+                let code = ErrorCode::from_u8(raw)
+                    .ok_or_else(|| DecodeError::Invalid(format!("bad error code {raw}")))?;
+                Response::Error {
+                    code,
+                    message: r.str()?.to_owned(),
+                }
+            }
+            k => return Err(DecodeError::UnknownKind(k)),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+/// Structural equality of two structures (same vocabulary content,
+/// universe, and tuple sets) — [`Structure`] itself deliberately does
+/// not implement `PartialEq`, but the codec's round-trip contract needs
+/// a checkable notion of "identical".
+pub fn structures_identical(a: &Structure, b: &Structure) -> bool {
+    if !a.same_vocabulary(b) || a.universe() != b.universe() {
+        return false;
+    }
+    a.vocabulary().iter().all(|r| {
+        let (ra, rb) = (a.relation(r), b.relation(r));
+        ra.len() == rb.len() && ra.iter().zip(rb.iter()).all(|(x, y)| x == y)
+    })
+}
+
+/// Bit-level equality of two solutions (witness, route, stats) — the
+/// parity predicate used by the integration suite and experiment E18.
+pub fn solutions_identical(a: &Solution, b: &Solution) -> bool {
+    a.homomorphism.as_ref().map(Homomorphism::as_slice)
+        == b.homomorphism.as_ref().map(Homomorphism::as_slice)
+        && a.route == b.route
+        && a.stats == b.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcs_structures::generators;
+
+    #[test]
+    fn structure_round_trip() {
+        let s = generators::random_structure(5, &[1, 2, 3], 4, 7);
+        let req = Request::RegisterTemplate { template: s };
+        let bytes = req.encode();
+        let back = Request::decode(&bytes).unwrap();
+        let Request::RegisterTemplate { template } = &back else {
+            panic!("wrong kind");
+        };
+        let Request::RegisterTemplate { template: orig } = &req else {
+            unreachable!();
+        };
+        assert!(structures_identical(template, orig));
+        assert_eq!(back.encode(), bytes, "re-encoding is byte-stable");
+    }
+
+    #[test]
+    fn solution_round_trip_all_routes() {
+        let routes = [
+            Route::Schaefer,
+            Route::Booleanization,
+            Route::Acyclic,
+            Route::ArcRefuted,
+            Route::Treewidth(3),
+            Route::Generic,
+        ];
+        for route in routes {
+            for hom in [
+                None,
+                Some(Homomorphism::from_map(vec![Element(2), Element(0)])),
+            ] {
+                for stats in [
+                    None,
+                    Some(SearchStats {
+                        nodes: 12,
+                        backtracks: 3,
+                        deletions: 9,
+                    }),
+                ] {
+                    let sol = Solution {
+                        homomorphism: hom.clone(),
+                        route,
+                        stats,
+                    };
+                    let bytes = Response::Solved(sol.clone()).encode();
+                    let Response::Solved(back) = Response::decode(&bytes).unwrap() else {
+                        panic!("wrong kind");
+                    };
+                    assert!(solutions_identical(&sol, &back));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_rejections() {
+        let good = Request::Status.encode();
+        // Magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Request::decode(&bad),
+            Err(DecodeError::BadMagic(_))
+        ));
+        // Version.
+        let mut bad = good.clone();
+        bad[2] = 9;
+        assert_eq!(
+            Request::decode(&bad).unwrap_err(),
+            DecodeError::UnsupportedVersion(9)
+        );
+        // Kind.
+        let mut bad = good.clone();
+        bad[3] = 0x77;
+        assert_eq!(
+            Request::decode(&bad).unwrap_err(),
+            DecodeError::UnknownKind(0x77)
+        );
+        // Oversized length prefix.
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            Request::decode(&bad).unwrap_err(),
+            DecodeError::Oversized(u64::from(MAX_PAYLOAD) + 1)
+        );
+        // Truncation at every prefix.
+        for cut in 0..good.len() {
+            assert!(
+                Request::decode(&good[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing garbage.
+        let mut bad = good;
+        bad.push(0);
+        assert_eq!(
+            Request::decode(&bad).unwrap_err(),
+            DecodeError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn status_info_round_trip() {
+        let info = StatusInfo {
+            protocol_version: PROTOCOL_VERSION,
+            templates: 3,
+            registry_capacity: 64,
+            evictions: 2,
+            queue_depth: 1,
+            max_queue_depth: 1024,
+            requests: 99,
+            solves: 55,
+            batches: 11,
+            coalesced_jobs: 8,
+            max_coalesced_jobs: 4,
+            overloaded: 1,
+            deadline_expired: 2,
+        };
+        let bytes = Response::Status(info.clone()).encode();
+        let Response::Status(back) = Response::decode(&bytes).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(info, back);
+    }
+
+    #[test]
+    fn decoded_structure_is_validated() {
+        // An element out of range must be a decode error, not a panic:
+        // universe 1 with a tuple mentioning element 5.
+        let mut p = Vec::new();
+        put_u16(&mut p, 1); // one relation
+        put_u16(&mut p, 1);
+        p.extend_from_slice(b"E");
+        put_u16(&mut p, 2); // arity 2
+        put_u32(&mut p, 1); // universe 1
+        put_u32(&mut p, 1); // one tuple
+        put_u32(&mut p, 0);
+        put_u32(&mut p, 5); // out of range
+        let buf = frame(K_REGISTER, p);
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(DecodeError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Network front end: serve compiled templates behind a TCP socket.
+//!
+//! The in-process pipeline compiles a template once
+//! ([`cqcs_core::Session::compile`]) and amortizes it over many solves;
+//! this crate puts that amortization behind a socket so the compile is
+//! shared across **processes** too. Four layers, bottom-up:
+//!
+//! * [`codec`] — the length-prefixed binary wire protocol: an 8-byte
+//!   `b"CQ"`-magic header (version, kind, payload length) followed by a
+//!   fixed-width little-endian payload. Decoding is cursor-based over
+//!   borrowed bytes and never panics on malformed input; solutions
+//!   round-trip losslessly into [`cqcs_core::Solution`].
+//! * [`registry`] — the template registry: compile once, share by
+//!   `Arc`, evict least-recently-used beyond a capacity bound.
+//! * [`server`] — the serving loop: one acceptor, a thread per
+//!   connection, and a coalescing executor that merges concurrent solve
+//!   jobs on the same template into a single
+//!   [`par_solve_batch`](cqcs_core::Session::par_solve_batch) pass.
+//!   Admission control bounds the queue (`Overloaded`), per-request
+//!   deadlines expire stale work (`DeadlineExceeded`), and shutdown
+//!   drains every admitted job before returning.
+//! * [`client`] — a blocking client speaking the same codec, used by
+//!   the examples, the integration suite, and the `cqcs-load` smoke
+//!   binary.
+//!
+//! The server's responses are pinned **bit-identical** (verdict,
+//! witness, route, search stats) to direct [`cqcs_core::Session::solve`]
+//! calls — the integration suite and experiment E18 assert it — so
+//! moving a workload behind the socket changes where the work runs, not
+//! what it answers.
+//!
+//! ```no_run
+//! use cqcs_net::{client::Client, server::{Server, ServerConfig}};
+//! use cqcs_structures::generators;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let k3 = generators::complete_graph(3);
+//! let id = client.register_template(&k3)?;
+//! let sol = client.solve(id, &generators::undirected_cycle(4))?;
+//! assert!(sol.homomorphism.is_some(), "C4 → K3 (3-colorable)");
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod registry;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use codec::{
+    solutions_identical, structures_identical, DecodeError, ErrorCode, Request, Response,
+    StatusInfo, MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+pub use registry::TemplateRegistry;
+pub use server::{Server, ServerConfig};

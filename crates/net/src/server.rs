@@ -1,0 +1,600 @@
+//! The serving loop: acceptor, connection threads, coalescing executor.
+//!
+//! ```text
+//!                 ┌────────────┐   accept   ┌───────────────────┐
+//!  TCP clients ──▶│  acceptor  │──────────▶│ connection thread │ (one per conn)
+//!                 └────────────┘            │  read → decode    │
+//!                                           │  admission check  │
+//!                                           └────────┬──────────┘
+//!                                          Job (template, A's, reply)
+//!                                                    ▼
+//!                                           ┌───────────────────┐
+//!                                           │  shared queue     │ (bounded)
+//!                                           └────────┬──────────┘
+//!                                                    ▼
+//!                 ┌──────────────────────────────────────────────┐
+//!                 │ executor: pop, coalesce by template,         │
+//!                 │ par_solve_batch over the merged instances,   │
+//!                 │ split results back per job, reply            │
+//!                 └──────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Admission control.** A connection admits a solve job only while
+//!   fewer than `max_queue_depth` jobs are outstanding (admitted and
+//!   not yet answered); beyond that it answers
+//!   [`ErrorCode::Overloaded`] immediately instead of queueing without
+//!   bound. Requests may also carry a deadline: a job that waited in
+//!   the queue past its `deadline_ms` is answered
+//!   [`ErrorCode::DeadlineExceeded`] instead of being solved late.
+//! * **Coalescing.** The executor drains whatever is queued (waiting up
+//!   to [`ServerConfig::coalesce_window`] for stragglers once a first
+//!   job arrives), groups jobs by template id, and runs each group as
+//!   **one** [`Session::par_solve_batch`] call over the concatenated
+//!   instances — concurrent clients asking about the same template
+//!   share a batch executor pass and its per-worker scratch. Batch
+//!   output is pinned bit-identical to per-instance solves (PR 5's E15
+//!   gate), so coalescing is invisible in the responses.
+//! * **Graceful shutdown.** [`Server::shutdown`] stops the acceptor,
+//!   lets every connection finish the request it is reading, waits for
+//!   the executor to drain every admitted job, and only then returns.
+//!   No admitted request is ever dropped with a dead socket.
+//!
+//! Registration, containment, and status requests are handled inline on
+//! the connection thread — they either mutate the registry (cheap under
+//! its mutex) or touch no shared solver state — so the queue carries
+//! exactly the work the coalescer can batch.
+
+use crate::codec::{
+    parse_header, ErrorCode, Request, Response, StatusInfo, HEADER_LEN, PROTOCOL_VERSION,
+};
+use crate::registry::TemplateRegistry;
+use cqcs_core::{CompiledTemplate, Session, Solution};
+use cqcs_cq::{contained_in, parse_query};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::bind`]. `Default` is sized for tests and
+/// small deployments; the serve binary exposes each knob.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum templates resident in the registry (LRU beyond this).
+    pub registry_capacity: usize,
+    /// Maximum outstanding solve jobs (admitted, not yet answered);
+    /// beyond this new solves are refused with `Overloaded`.
+    pub max_queue_depth: usize,
+    /// Worker threads for each coalesced `par_solve_batch` call.
+    pub batch_threads: usize,
+    /// How long the executor waits for more jobs to coalesce after the
+    /// first one arrives. Zero (the default) batches only what is
+    /// already queued — lowest latency; a positive window trades
+    /// first-request latency for bigger shared batches.
+    pub coalesce_window: Duration,
+    /// Granularity at which blocked reads re-check the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            registry_capacity: 64,
+            max_queue_depth: 1024,
+            batch_threads: 1,
+            coalesce_window: Duration::ZERO,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Upper bound on jobs merged into one executor pass, whatever the
+/// window says — bounds reply latency under a flood.
+const MAX_COALESCE_JOBS: usize = 256;
+
+/// How a queued job wants its solutions wrapped.
+enum JobKind {
+    /// A `Solve` request: exactly one instance, answered `Solved`.
+    Single,
+    /// A `SolveBatch` request: answered `BatchSolved` in order.
+    Batch,
+}
+
+struct Job {
+    template_id: u64,
+    template: Arc<CompiledTemplate>,
+    instances: Vec<cqcs_structures::Structure>,
+    kind: JobKind,
+    enqueued: Instant,
+    deadline_ms: u32,
+    reply: Sender<Response>,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    solves: AtomicU64,
+    batches: AtomicU64,
+    coalesced_jobs: AtomicU64,
+    max_coalesced_jobs: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_expired: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    registry: Mutex<TemplateRegistry>,
+    /// Producer half of the job queue; taken (and dropped) on shutdown
+    /// so the executor sees disconnection once every connection ended.
+    sender: Mutex<Option<Sender<Job>>>,
+    /// Admitted-but-unanswered solve jobs (admission control bound).
+    outstanding: AtomicUsize,
+    /// Cleared when shutdown begins: acceptor stops accepting and
+    /// connections stop reading *new* requests.
+    accepting: AtomicBool,
+    counters: Counters,
+}
+
+/// A running server. Bind with [`Server::bind`], stop with
+/// [`Server::shutdown`] (which drains in-flight work) — dropping the
+/// handle shuts down the same way.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds a listener (use port 0 for an ephemeral port) and starts
+    /// the acceptor and executor threads.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel::<Job>();
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(TemplateRegistry::new(cfg.registry_capacity)),
+            sender: Mutex::new(Some(tx)),
+            outstanding: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            counters: Counters::default(),
+            cfg,
+        });
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || executor_loop(&shared, &rx))
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || acceptor_loop(&listener, &shared, &connections))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            executor: Some(executor),
+            connections,
+        })
+    }
+
+    /// The bound address (resolves the actual port when bound to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains every admitted request, joins all
+    /// threads. Blocks until the last in-flight response is written.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Blocks until the acceptor exits (i.e. until another thread calls
+    /// nothing — effectively forever). The serve binary's main loop.
+    pub fn wait(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // 1. Stop admitting connections and new requests.
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        // 2. Wake the acceptor's blocking accept() with a throwaway
+        //    connection and join it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // 3. Join connection threads: each finishes the request it is
+        //    handling (replies come from the still-running executor)
+        //    and exits at its next poll of the accepting flag.
+        let conns = std::mem::take(&mut *self.connections.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+        // 4. Drop the queue's producer half: the executor drains every
+        //    remaining job, then sees disconnection and exits.
+        drop(self.shared.sender.lock().unwrap().take());
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || self.executor.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if !shared.accepting.load(Ordering::SeqCst) {
+            // The wake-up poke (or a straggler): refuse politely.
+            return;
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || connection_loop(&shared, stream));
+        connections.lock().unwrap().push(handle);
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating read timeouts (used as
+/// shutdown polls). Returns `Ok(false)` on clean EOF before the first
+/// byte, or when shutdown begins while no request is mid-read.
+fn read_exact_polled(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+) -> std::io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // A frame we started reading is drained even during
+                // shutdown; only an idle wait gives up.
+                if filled == 0 && !shared.accepting.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    stream.write_all(&resp.encode())?;
+    stream.flush()
+}
+
+fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    loop {
+        // Header.
+        let mut header = [0u8; HEADER_LEN];
+        match read_exact_polled(&mut stream, &mut header, shared) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let (kind, len) = match parse_header(&header) {
+            Ok(v) => v,
+            Err(e) => {
+                // The stream is desynchronized; report and hang up.
+                let code = match e {
+                    crate::codec::DecodeError::UnsupportedVersion(_) => {
+                        ErrorCode::UnsupportedVersion
+                    }
+                    _ => ErrorCode::Malformed,
+                };
+                let _ = write_response(&mut stream, &error_response(code, e.to_string()));
+                return;
+            }
+        };
+        // Payload.
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_polled(&mut stream, &mut payload, shared) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::decode_payload(kind, &payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing held, so the stream is still in sync: answer
+                // the error and keep serving this connection.
+                let resp = error_response(ErrorCode::Malformed, e.to_string());
+                if write_response(&mut stream, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = handle_request(shared, request);
+        if write_response(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
+    match request {
+        Request::RegisterTemplate { template } => {
+            let id = shared.registry.lock().unwrap().register(&template);
+            Response::TemplateRegistered { id }
+        }
+        Request::Solve {
+            template_id,
+            deadline_ms,
+            instance,
+        } => enqueue_solve(
+            shared,
+            template_id,
+            deadline_ms,
+            vec![instance],
+            JobKind::Single,
+        ),
+        Request::SolveBatch {
+            template_id,
+            deadline_ms,
+            instances,
+        } => enqueue_solve(shared, template_id, deadline_ms, instances, JobKind::Batch),
+        Request::Containment { q1, q2 } => {
+            let parsed = parse_query(&q1).and_then(|p1| Ok((p1, parse_query(&q2)?)));
+            match parsed.and_then(|(p1, p2)| contained_in(&p1, &p2)) {
+                Ok(contained) => Response::Containment { contained },
+                Err(e) => error_response(ErrorCode::InvalidQuery, e.to_string()),
+            }
+        }
+        Request::Status => {
+            let (templates, capacity, evictions) = {
+                let reg = shared.registry.lock().unwrap();
+                (reg.len() as u32, reg.capacity() as u32, reg.evictions())
+            };
+            let c = &shared.counters;
+            Response::Status(StatusInfo {
+                protocol_version: PROTOCOL_VERSION,
+                templates,
+                registry_capacity: capacity,
+                evictions,
+                queue_depth: shared.outstanding.load(Ordering::SeqCst) as u32,
+                max_queue_depth: shared.cfg.max_queue_depth as u32,
+                requests: c.requests.load(Ordering::Relaxed),
+                solves: c.solves.load(Ordering::Relaxed),
+                batches: c.batches.load(Ordering::Relaxed),
+                coalesced_jobs: c.coalesced_jobs.load(Ordering::Relaxed),
+                max_coalesced_jobs: c.max_coalesced_jobs.load(Ordering::Relaxed) as u32,
+                overloaded: c.overloaded.load(Ordering::Relaxed),
+                deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            })
+        }
+    }
+}
+
+fn enqueue_solve(
+    shared: &Arc<Shared>,
+    template_id: u64,
+    deadline_ms: u32,
+    instances: Vec<cqcs_structures::Structure>,
+    kind: JobKind,
+) -> Response {
+    let Some(template) = shared.registry.lock().unwrap().get(template_id) else {
+        return error_response(
+            ErrorCode::UnknownTemplate,
+            format!("template {template_id} is not registered (evicted or never known)"),
+        );
+    };
+    // The executor must never panic on a bad instance: vocabulary
+    // compatibility is the connection thread's problem.
+    for a in &instances {
+        if !a.same_vocabulary(template.template()) {
+            return error_response(
+                ErrorCode::VocabularyMismatch,
+                "instance vocabulary differs from the template's",
+            );
+        }
+    }
+    if instances.is_empty() {
+        return match kind {
+            JobKind::Single => error_response(ErrorCode::Malformed, "solve without an instance"),
+            JobKind::Batch => Response::BatchSolved(Vec::new()),
+        };
+    }
+    // Admission control: bound the outstanding jobs.
+    let prev = shared.outstanding.fetch_add(1, Ordering::SeqCst);
+    if prev >= shared.cfg.max_queue_depth {
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+        shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+        return error_response(
+            ErrorCode::Overloaded,
+            format!(
+                "admission queue full ({} outstanding)",
+                shared.cfg.max_queue_depth
+            ),
+        );
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        template_id,
+        template,
+        instances,
+        kind,
+        enqueued: Instant::now(),
+        deadline_ms,
+        reply: reply_tx,
+    };
+    let sent = {
+        let sender = shared.sender.lock().unwrap();
+        match sender.as_ref() {
+            Some(tx) => tx.send(job).is_ok(),
+            None => false,
+        }
+    };
+    if !sent {
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+        return error_response(ErrorCode::Internal, "server is shutting down");
+    }
+    match reply_rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => error_response(ErrorCode::Internal, "executor dropped the request"),
+    }
+}
+
+fn executor_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
+    loop {
+        // Block for the first job (with a poll so disconnection is
+        // noticed promptly even on quiet servers).
+        let first = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut jobs = vec![first];
+        // Coalesce: wait out the window (if any) for concurrent
+        // clients, then sweep whatever else is already queued.
+        let window_end = Instant::now() + shared.cfg.coalesce_window;
+        if !shared.cfg.coalesce_window.is_zero() {
+            while jobs.len() < MAX_COALESCE_JOBS {
+                let now = Instant::now();
+                let Some(left) = window_end
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                match rx.recv_timeout(left) {
+                    Ok(job) => jobs.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        while jobs.len() < MAX_COALESCE_JOBS {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        execute_jobs(shared, jobs);
+    }
+}
+
+fn execute_jobs(shared: &Arc<Shared>, jobs: Vec<Job>) {
+    // Group by template id, preserving arrival order within a group.
+    let mut order: Vec<u64> = Vec::new();
+    let mut groups: HashMap<u64, Vec<Job>> = HashMap::new();
+    for job in jobs {
+        let group = groups.entry(job.template_id).or_default();
+        if group.is_empty() {
+            order.push(job.template_id);
+        }
+        group.push(job);
+    }
+    for id in order {
+        let group = groups.remove(&id).expect("group was just inserted");
+        execute_group(shared, group);
+    }
+}
+
+fn execute_group(shared: &Arc<Shared>, group: Vec<Job>) {
+    // Expire deadlines first — a late answer is worse than an honest
+    // refusal, and expired instances must not pad the batch.
+    let mut live: Vec<Job> = Vec::with_capacity(group.len());
+    for job in group {
+        let expired = job.deadline_ms > 0
+            && job.enqueued.elapsed() > Duration::from_millis(u64::from(job.deadline_ms));
+        if expired {
+            shared
+                .counters
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            // Decrement before replying so a client that sees the
+            // response never observes its own job still "outstanding".
+            shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+            let _ = job.reply.send(error_response(
+                ErrorCode::DeadlineExceeded,
+                format!("deadline of {} ms expired in the queue", job.deadline_ms),
+            ));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    // One coalesced batch over the concatenated instances: the same
+    // compiled template, one executor pass, per-worker scratch shared
+    // across all clients' instances.
+    let template = Arc::clone(&live[0].template);
+    let merged: Vec<cqcs_structures::Structure> = live
+        .iter()
+        .flat_map(|j| j.instances.iter().cloned())
+        .collect();
+    let session = Session::from_template(template);
+    let solutions = session.par_solve_batch(&merged, shared.cfg.batch_threads);
+
+    let c = &shared.counters;
+    c.batches.fetch_add(1, Ordering::Relaxed);
+    c.solves.fetch_add(merged.len() as u64, Ordering::Relaxed);
+    if live.len() > 1 {
+        c.coalesced_jobs
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
+    }
+    c.max_coalesced_jobs
+        .fetch_max(live.len() as u64, Ordering::Relaxed);
+
+    // Split the merged results back per job, in order.
+    let mut cursor = solutions.into_iter();
+    for job in live {
+        let take = job.instances.len();
+        let sols: Vec<Solution> = cursor.by_ref().take(take).collect();
+        let resp = match job.kind {
+            JobKind::Single => {
+                debug_assert_eq!(take, 1);
+                Response::Solved(sols.into_iter().next().expect("one instance per solve"))
+            }
+            JobKind::Batch => Response::BatchSolved(sols),
+        };
+        // Decrement before replying (see the deadline path above).
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+        let _ = job.reply.send(resp);
+    }
+}

@@ -1,0 +1,426 @@
+//! In-process integration suite: a real server on an ephemeral port,
+//! driven end-to-end through the blocking client (and, for the
+//! malformed-frame cases, through a raw socket).
+//!
+//! The load-bearing property throughout is **parity**: every solution
+//! that crosses the wire is bit-identical — verdict, witness, route,
+//! search stats — to what a direct in-process
+//! [`Session`](cqcs_core::Session) answers for the same instance.
+
+use cqcs_core::Session;
+use cqcs_cq::{contained_in, parse_query};
+use cqcs_net::client::{Client, ClientError};
+use cqcs_net::codec::{solutions_identical, ErrorCode, HEADER_LEN, PROTOCOL_VERSION};
+use cqcs_net::server::{Server, ServerConfig};
+use cqcs_structures::{generators, Structure};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn server_with(cfg: ServerConfig) -> Server {
+    Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port")
+}
+
+fn default_server() -> Server {
+    server_with(ServerConfig::default())
+}
+
+/// A spread of digraph instances against K3: some 3-colorable, some
+/// not, various routes.
+fn instances() -> Vec<Structure> {
+    let mut v = vec![
+        generators::undirected_cycle(4),
+        generators::undirected_cycle(5),
+        generators::complete_graph(4),
+        generators::directed_path(6),
+        generators::petersen(),
+    ];
+    for seed in 0..6 {
+        v.push(generators::random_graph_nm(7, 10, seed));
+    }
+    v
+}
+
+#[test]
+fn solve_matches_direct_session_bit_for_bit() {
+    let server = default_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let k3 = generators::complete_graph(3);
+    let id = client.register_template(&k3).unwrap();
+    let direct = Session::compile(&k3);
+    for a in instances() {
+        let over_wire = client.solve(id, &a).unwrap();
+        let in_process = direct.solve(&a);
+        assert!(
+            solutions_identical(&over_wire, &in_process),
+            "wire solution diverged: {over_wire:?} vs {in_process:?}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn solve_batch_matches_direct_batch() {
+    let server = default_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let k3 = generators::complete_graph(3);
+    let id = client.register_template(&k3).unwrap();
+    let batch = instances();
+    let over_wire = client.solve_batch(id, &batch).unwrap();
+    let direct = Session::compile(&k3).solve_batch(&batch);
+    assert_eq!(over_wire.len(), direct.len());
+    for (w, d) in over_wire.iter().zip(direct.iter()) {
+        assert!(solutions_identical(w, d));
+    }
+    // An empty batch is answered, not refused.
+    assert!(client.solve_batch(id, &[]).unwrap().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn containment_matches_in_process() {
+    let server = default_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let cases = [
+        ("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(X, Y)."),
+        ("Q(X) :- E(X, Y).", "Q(X) :- E(X, Y), E(Y, X)."),
+        ("Q(X, Y) :- E(X, Y).", "Q(X, Y) :- E(X, Y)."),
+    ];
+    for (q1, q2) in cases {
+        let expected = contained_in(&parse_query(q1).unwrap(), &parse_query(q2).unwrap()).unwrap();
+        assert_eq!(client.containment(q1, q2).unwrap(), expected, "{q1} ⊑ {q2}");
+    }
+    // A bad query is a structured error, not a hangup.
+    match client.containment("this is not a query", "Q(X) :- E(X, Y).") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::InvalidQuery),
+        other => panic!("expected InvalidQuery, got {other:?}"),
+    }
+    // The connection is still usable afterwards.
+    assert!(client.status().unwrap().requests > 0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_template_and_vocabulary_mismatch_are_structured_errors() {
+    let server = default_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let k3 = generators::complete_graph(3);
+    let c4 = generators::undirected_cycle(4);
+
+    match client.solve(999, &c4) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownTemplate),
+        other => panic!("expected UnknownTemplate, got {other:?}"),
+    }
+
+    let id = client.register_template(&k3).unwrap();
+    // An instance over a different vocabulary is refused up front —
+    // this must be an error frame, never a server-side panic.
+    let other_voc = generators::random_structure(3, &[2, 2], 2, 1);
+    match client.solve(id, &other_voc) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::VocabularyMismatch),
+        other => panic!("expected VocabularyMismatch, got {other:?}"),
+    }
+    // The same template still answers well-vocabularied requests.
+    assert!(client.solve(id, &c4).unwrap().homomorphism.is_some());
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_solves_coalesce_into_shared_batches() {
+    // A generous window guarantees all four clients' jobs land in one
+    // executor pass; the barrier makes them concurrent.
+    let server = server_with(ServerConfig {
+        coalesce_window: Duration::from_millis(750),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let k3 = generators::complete_graph(3);
+    let id = Client::connect(addr)
+        .unwrap()
+        .register_template(&k3)
+        .unwrap();
+    let direct = Arc::new(Session::compile(&k3));
+
+    let n_clients = 4;
+    let barrier = Arc::new(Barrier::new(n_clients));
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..n_clients)
+        .map(|ci| {
+            let barrier = Arc::clone(&barrier);
+            let direct = Arc::clone(&direct);
+            let mismatches = Arc::clone(&mismatches);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let a = generators::random_graph_nm(7, 10, ci as u64);
+                barrier.wait();
+                let sol = c.solve(id, &a).unwrap();
+                if !solutions_identical(&sol, &direct.solve(&a)) {
+                    mismatches.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        mismatches.load(Ordering::SeqCst),
+        0,
+        "coalescing changed answers"
+    );
+
+    let status = Client::connect(addr).unwrap().status().unwrap();
+    assert!(
+        status.max_coalesced_jobs >= 2,
+        "no coalescing observed: {status:?}"
+    );
+    assert!(
+        status.batches < status.solves,
+        "batching never shared a pass"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn registry_evicts_lru_and_reports_unknown_template() {
+    let server = server_with(ServerConfig {
+        registry_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id_k2 = client
+        .register_template(&generators::complete_graph(2))
+        .unwrap();
+    let id_k3 = client
+        .register_template(&generators::complete_graph(3))
+        .unwrap();
+    // Touch K2 so K3 is the LRU victim when a third template arrives.
+    let p2 = generators::directed_path(2);
+    client.solve(id_k2, &p2).unwrap();
+    let id_k4 = client
+        .register_template(&generators::complete_graph(4))
+        .unwrap();
+
+    match client.solve(id_k3, &p2) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownTemplate),
+        other => panic!("expected UnknownTemplate after eviction, got {other:?}"),
+    }
+    assert!(client.solve(id_k2, &p2).unwrap().homomorphism.is_some());
+    assert!(client.solve(id_k4, &p2).unwrap().homomorphism.is_some());
+
+    let status = client.status().unwrap();
+    assert_eq!(status.templates, 2);
+    assert_eq!(status.evictions, 1);
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_refuses_overload_with_structured_error() {
+    // Queue bound 1 and a long window: the first job is admitted and
+    // parked in the coalescer; a second concurrent job must be refused
+    // immediately with Overloaded (not queued, not hung).
+    let server = server_with(ServerConfig {
+        max_queue_depth: 1,
+        coalesce_window: Duration::from_millis(1500),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let k3 = generators::complete_graph(3);
+    let id = Client::connect(addr)
+        .unwrap()
+        .register_template(&k3)
+        .unwrap();
+
+    let first = {
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.solve(id, &generators::undirected_cycle(4)).unwrap()
+        })
+    };
+    // Let the first request get admitted into the window.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut second = Client::connect(addr).unwrap();
+    match second.solve(id, &generators::undirected_cycle(5)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // The admitted request still completes correctly.
+    let sol = first.join().unwrap();
+    assert!(solutions_identical(
+        &sol,
+        &Session::compile(&k3).solve(&generators::undirected_cycle(4))
+    ));
+    assert!(second.status().unwrap().overloaded >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn queue_deadline_expires_stale_requests() {
+    // A 1 ms deadline cannot survive a 600 ms coalesce window.
+    let server = server_with(ServerConfig {
+        coalesce_window: Duration::from_millis(600),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id = client
+        .register_template(&generators::complete_graph(3))
+        .unwrap();
+    match client.solve_deadline(id, &generators::undirected_cycle(4), 1) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // No-deadline requests on the same connection still succeed.
+    assert!(client
+        .solve(id, &generators::undirected_cycle(4))
+        .unwrap()
+        .homomorphism
+        .is_some());
+    assert!(client.status().unwrap().deadline_expired >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let server = server_with(ServerConfig {
+        coalesce_window: Duration::from_millis(800),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let k3 = generators::complete_graph(3);
+    let id = Client::connect(addr)
+        .unwrap()
+        .register_template(&k3)
+        .unwrap();
+
+    let in_flight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.solve(id, &generators::petersen()).unwrap()
+    });
+    // The request is parked in the coalesce window when shutdown hits.
+    std::thread::sleep(Duration::from_millis(250));
+    server.shutdown();
+
+    let sol = in_flight.join().expect("in-flight request completed");
+    assert!(solutions_identical(
+        &sol,
+        &Session::compile(&k3).solve(&generators::petersen())
+    ));
+    // The port is closed for new connections (or refuses service):
+    // either connect fails, or the accepted socket is dropped unserved.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            let _ = s.write_all(&cqcs_net::codec::Request::Status.encode());
+            let mut buf = [0u8; 1];
+            // A live server would answer; a shut-down one hangs up.
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            assert!(
+                !matches!(s.read(&mut buf), Ok(n) if n > 0),
+                "server answered after shutdown"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raw-socket protocol conformance: what a *misbehaving* client sees.
+
+fn read_error_frame(s: &mut TcpStream) -> (ErrorCode, String) {
+    let mut header = [0u8; HEADER_LEN];
+    s.read_exact(&mut header).expect("error frame header");
+    let (kind, len) = cqcs_net::codec::parse_header(&header).expect("valid response header");
+    let mut payload = vec![0u8; len as usize];
+    s.read_exact(&mut payload).expect("error frame payload");
+    match cqcs_net::codec::Response::decode_payload(kind, &payload).expect("decodable response") {
+        cqcs_net::codec::Response::Error { code, message } => (code, message),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_protocol_version_is_refused() {
+    let server = default_server();
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    let mut frame = cqcs_net::codec::Request::Status.encode();
+    frame[2] = PROTOCOL_VERSION + 1;
+    s.write_all(&frame).unwrap();
+    let (code, _) = read_error_frame(&mut s);
+    assert_eq!(code, ErrorCode::UnsupportedVersion);
+    // The server hangs up after a framing error (the stream cannot be
+    // trusted to be in sync).
+    let mut buf = [0u8; 1];
+    assert_eq!(s.read(&mut buf).unwrap_or(0), 0);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_header_is_refused_without_panic() {
+    let server = default_server();
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let (code, _) = read_error_frame(&mut s);
+    assert_eq!(code, ErrorCode::Malformed);
+    // The server survives: a fresh, well-behaved connection works.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.status().unwrap().protocol_version, PROTOCOL_VERSION);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_payload_keeps_connection_alive() {
+    let server = default_server();
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).unwrap();
+    // A valid header announcing a 3-byte Solve payload that cannot
+    // possibly decode (Solve needs ≥ 12 bytes of ids alone).
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"CQ");
+    frame.push(PROTOCOL_VERSION);
+    frame.push(0x02); // K_SOLVE
+    frame.extend_from_slice(&3u32.to_le_bytes());
+    frame.extend_from_slice(&[1, 2, 3]);
+    s.write_all(&frame).unwrap();
+    let (code, _) = read_error_frame(&mut s);
+    assert_eq!(code, ErrorCode::Malformed);
+    // Framing stayed in sync, so the same connection keeps working.
+    s.write_all(&cqcs_net::codec::Request::Status.encode())
+        .unwrap();
+    let mut header = [0u8; HEADER_LEN];
+    s.read_exact(&mut header)
+        .expect("status reply on same connection");
+    let (kind, len) = cqcs_net::codec::parse_header(&header).unwrap();
+    let mut payload = vec![0u8; len as usize];
+    s.read_exact(&mut payload).unwrap();
+    let resp = cqcs_net::codec::Response::decode_payload(kind, &payload).unwrap();
+    assert!(matches!(resp, cqcs_net::codec::Response::Status(_)));
+    server.shutdown();
+}
+
+#[test]
+fn status_reports_protocol_and_counters() {
+    let server = default_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id = client
+        .register_template(&generators::complete_graph(3))
+        .unwrap();
+    client.solve(id, &generators::undirected_cycle(4)).unwrap();
+    client
+        .solve_batch(
+            id,
+            &[
+                generators::undirected_cycle(5),
+                generators::directed_path(3),
+            ],
+        )
+        .unwrap();
+    let status = client.status().unwrap();
+    assert_eq!(status.protocol_version, PROTOCOL_VERSION);
+    assert_eq!(status.templates, 1);
+    assert_eq!(status.solves, 3);
+    assert!(status.batches >= 2);
+    assert!(status.requests >= 4);
+    assert_eq!(status.queue_depth, 0, "nothing outstanding at rest");
+    server.shutdown();
+}

@@ -1,0 +1,65 @@
+//! Run a template server and drive it in-process.
+//!
+//! The real deployment runs the `cqcs-serve` binary and connects from
+//! other processes; this example keeps both ends in one program so
+//! `cargo run --example serve` is self-contained. It binds an
+//! ephemeral port, registers two templates, and shows the registry and
+//! coalescing statistics the server exposes over `Status`.
+
+use cqcs::net::client::Client;
+use cqcs::net::server::{Server, ServerConfig};
+use cqcs::structures::generators;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small coalesce window: concurrent solves on the same template
+    // are merged into one shared batch-executor pass.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            coalesce_window: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )?;
+    println!("serving on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr())?;
+
+    // Register once, solve many: the server compiles K3 a single time
+    // and every request (from any connection) reuses the compiled
+    // propagation program.
+    let k3 = client.register_template(&generators::complete_graph(3))?;
+    let k2 = client.register_template(&generators::complete_graph(2))?;
+
+    for n in [4, 5, 6, 7] {
+        let sol = client.solve(k3, &generators::undirected_cycle(n))?;
+        println!(
+            "C{n} → K3: {} (route {:?})",
+            if sol.homomorphism.is_some() {
+                "3-colorable"
+            } else {
+                "not 3-colorable"
+            },
+            sol.route,
+        );
+    }
+    // Even cycles are 2-colorable, odd ones are not.
+    for n in [4, 5] {
+        let sol = client.solve(k2, &generators::undirected_cycle(n))?;
+        println!("C{n} → K2: {}", sol.homomorphism.is_some());
+    }
+
+    // Containment queries ride the same connection.
+    let contained = client.containment("Q(X) :- E(X, Y), E(Y, X).", "Q(X) :- E(X, Y).")?;
+    println!("symmetric-edge query ⊑ edge query: {contained}");
+
+    let status = client.status()?;
+    println!(
+        "server answered {} requests, {} solves in {} batches, {} templates resident",
+        status.requests, status.solves, status.batches, status.templates
+    );
+
+    server.shutdown();
+    println!("drained and shut down");
+    Ok(())
+}

@@ -108,6 +108,21 @@ if ! sed -n '/^## E17/,/^## /p' EXPERIMENTS.md \
   exit 1
 fi
 
+# E18 pins the network front end to in-process solves: every row's
+# `identical` column must hold (networked solutions compared bit for
+# bit against direct Session solves, plus per-request-kind
+# conformance for register/solve/solve_batch/containment/status).
+if ! grep -q '^## E18' "$regen"; then
+  echo "E18 network-serving table is missing." >&2
+  exit 1
+fi
+e18="$(sed -n '/^## E18/,/^## /p' "$regen")"
+if echo "$e18" | grep -qE '\| false \|'; then
+  echo "E18 reports a wire/in-process divergence:" >&2
+  echo "$e18" | grep -E '\| false \|' >&2
+  exit 1
+fi
+
 # The timing columns are tracked across PRs in EXPERIMENTS_HISTORY.md
 # (append-style, hand-maintained): it must exist and mention the newest
 # experiment so a PR that adds tables cannot skip the history line.
@@ -120,4 +135,4 @@ if ! grep -q "$newest" EXPERIMENTS_HISTORY.md; then
   echo "EXPERIMENTS_HISTORY.md does not track the $newest timing columns." >&2
   exit 1
 fi
-echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, E16 compiled-engine, and E17 delta-solve parity hold; E17 speedups >= 3x)."
+echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, E16 compiled-engine, E17 delta-solve, and E18 wire parity hold; E17 speedups >= 3x)."

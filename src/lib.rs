@@ -20,7 +20,10 @@
 //!   ∃FO^{k+1} translation, acyclic queries;
 //! * [`core`] — the uniform solver dispatching across all routes;
 //! * [`cq`] — conjunctive queries: parsing, containment, evaluation,
-//!   minimization, Saraiya's two-atom case.
+//!   minimization, Saraiya's two-atom case;
+//! * [`net`] — the network front end: compiled templates served behind
+//!   a TCP socket (length-prefixed wire protocol, LRU template
+//!   registry, coalescing serving loop, blocking client).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ pub use cqcs_boolean as boolean;
 pub use cqcs_core as core;
 pub use cqcs_cq as cq;
 pub use cqcs_datalog as datalog;
+pub use cqcs_net as net;
 pub use cqcs_pebble as pebble;
 pub use cqcs_structures as structures;
 pub use cqcs_treewidth as treewidth;
