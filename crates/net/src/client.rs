@@ -9,7 +9,7 @@
 //! ([`ErrorCode::UnknownTemplate`]) without string matching.
 
 use crate::codec::{
-    parse_header, DecodeError, ErrorCode, Request, Response, StatusInfo, HEADER_LEN,
+    parse_header, DecodeError, EncodeError, ErrorCode, Request, Response, StatusInfo, HEADER_LEN,
 };
 use cqcs_core::Solution;
 use cqcs_structures::Structure;
@@ -21,6 +21,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ClientError {
     /// The socket failed.
     Io(std::io::Error),
+    /// The request is too large for the protocol's frame limit and was
+    /// never sent.
+    Encode(EncodeError),
     /// The server's bytes failed to decode.
     Decode(DecodeError),
     /// The server answered with a structured error.
@@ -39,6 +42,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Encode(e) => write!(f, "protocol encode error: {e}"),
             ClientError::Decode(e) => write!(f, "protocol decode error: {e}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error {code:?}: {message}")
@@ -62,6 +66,12 @@ impl From<DecodeError> for ClientError {
     }
 }
 
+impl From<EncodeError> for ClientError {
+    fn from(e: EncodeError) -> Self {
+        ClientError::Encode(e)
+    }
+}
+
 /// A blocking connection to a cqcs server.
 pub struct Client {
     stream: TcpStream,
@@ -77,7 +87,7 @@ impl Client {
 
     /// One request/response exchange.
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.stream.write_all(&request.encode())?;
+        self.stream.write_all(&request.encode()?)?;
         self.stream.flush()?;
         let mut header = [0u8; HEADER_LEN];
         self.stream.read_exact(&mut header)?;

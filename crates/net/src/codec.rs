@@ -17,9 +17,14 @@
 //! over a borrowed `&[u8]` with a cursor — the only allocations are the
 //! decoded values themselves — and **never panics** on malformed input:
 //! truncated buffers, oversized length prefixes, wrong versions, unknown
-//! kinds, and semantically invalid structures (bad arities, elements out
-//! of range, duplicate symbols) all surface as [`DecodeError`]s. The
-//! codec property suite mutates valid frames byte-by-byte to pin this.
+//! kinds, hostile universe claims (a tiny frame declaring billions of
+//! elements — see [`MAX_UNIVERSE`]), and semantically invalid structures
+//! (bad arities, elements out of range, duplicate symbols) all surface
+//! as [`DecodeError`]s. The codec property suite mutates valid frames
+//! byte-by-byte to pin this. Encoding is fallible the other way: a
+//! message whose payload would exceed [`MAX_PAYLOAD`] is refused with an
+//! [`EncodeError`] instead of framed (the peer would reject the header
+//! and desynchronize).
 //!
 //! Solutions cross the wire losslessly: verdict, witness, route (with
 //! treewidth width), and full search statistics round-trip into the very
@@ -41,6 +46,14 @@ pub const HEADER_LEN: usize = 8;
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 /// Upper bound on an encoded relation-symbol name.
 pub const MAX_NAME_LEN: usize = 4096;
+/// Upper bound on a decoded structure's universe (and on a decoded
+/// witness map's length). The universe is a client-claimed count, not
+/// backed byte-for-byte by the payload — materializing a structure
+/// allocates per-element bookkeeping, so an unbounded claim (a ~30-byte
+/// frame declaring `u32::MAX` elements) would be a remote-allocation
+/// DoS. Claims beyond this bound are rejected with
+/// [`DecodeError::Oversized`] before any allocation happens.
+pub const MAX_UNIVERSE: u32 = 1 << 20;
 
 // Request kinds.
 const K_REGISTER: u8 = 0x01;
@@ -135,6 +148,32 @@ impl std::fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Why a message could not be encoded: the protocol caps frame
+/// payloads at [`MAX_PAYLOAD`], and a message whose encoding exceeds
+/// that (e.g. a batch response whose witness maps total more than
+/// 16 MiB) must not be framed at all — the peer would reject the frame
+/// header and desynchronize the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The encoded payload is this many bytes, above [`MAX_PAYLOAD`].
+    OversizedPayload(usize),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::OversizedPayload(n) => {
+                write!(
+                    f,
+                    "encoded payload of {n} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 /// A client→server message.
 #[derive(Debug, Clone)]
@@ -364,7 +403,14 @@ fn decode_structure(r: &mut Reader<'_>) -> Result<Structure, DecodeError> {
         }
     }
     let voc = voc.into_shared();
-    let universe = r.u32()? as usize;
+    let universe_claim = r.u32()?;
+    if universe_claim > MAX_UNIVERSE {
+        // The universe is a bare count, not backed by payload bytes;
+        // materializing it allocates per-element, so an unbounded claim
+        // is a remote-allocation DoS. Reject before the builder exists.
+        return Err(DecodeError::Oversized(u64::from(universe_claim)));
+    }
+    let universe = universe_claim as usize;
     let mut builder = StructureBuilder::new(std::sync::Arc::clone(&voc), universe);
     let mut tuple: Vec<Element> = Vec::new();
     for rel in voc.iter() {
@@ -432,7 +478,9 @@ fn decode_solution(r: &mut Reader<'_>) -> Result<Solution, DecodeError> {
         0 => None,
         1 => {
             let len = r.u32()? as usize;
-            if len > MAX_PAYLOAD as usize {
+            // A witness maps an instance's universe, so it obeys the
+            // same bound decoded structures do.
+            if len > MAX_UNIVERSE as usize {
                 return Err(DecodeError::Oversized(len as u64));
             }
             let mut map = Vec::with_capacity(len.min(1 << 20));
@@ -472,16 +520,18 @@ fn decode_solution(r: &mut Reader<'_>) -> Result<Solution, DecodeError> {
 // Frames.
 
 /// Builds a complete frame (header + payload) for a payload already
-/// encoded under `kind`.
-fn frame(kind: u8, payload: Vec<u8>) -> Vec<u8> {
-    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+/// encoded under `kind`; refuses payloads the protocol itself forbids.
+fn frame(kind: u8, payload: Vec<u8>) -> Result<Vec<u8>, EncodeError> {
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(EncodeError::OversizedPayload(payload.len()));
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
     out.push(kind);
     put_u32(&mut out, payload.len() as u32);
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
 /// Validates an 8-byte frame header; returns `(kind, payload_len)`.
@@ -519,8 +569,11 @@ pub fn parse_frame(buf: &[u8]) -> Result<(u8, &[u8]), DecodeError> {
 }
 
 impl Request {
-    /// Encodes the request as a complete frame.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes the request as a complete frame; fails with
+    /// [`EncodeError::OversizedPayload`] if the encoding exceeds
+    /// [`MAX_PAYLOAD`] (such a frame must never reach the wire — the
+    /// peer would refuse the header and desynchronize).
+    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
         let mut p = Vec::new();
         let kind = match self {
             Request::RegisterTemplate { template } => {
@@ -608,8 +661,11 @@ impl Request {
 }
 
 impl Response {
-    /// Encodes the response as a complete frame.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes the response as a complete frame; fails with
+    /// [`EncodeError::OversizedPayload`] if the encoding exceeds
+    /// [`MAX_PAYLOAD`] (callers substitute a small error frame rather
+    /// than desynchronize the stream).
+    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
         let mut p = Vec::new();
         let kind = match self {
             Response::TemplateRegistered { id } => {
@@ -750,7 +806,7 @@ mod tests {
     fn structure_round_trip() {
         let s = generators::random_structure(5, &[1, 2, 3], 4, 7);
         let req = Request::RegisterTemplate { template: s };
-        let bytes = req.encode();
+        let bytes = req.encode().unwrap();
         let back = Request::decode(&bytes).unwrap();
         let Request::RegisterTemplate { template } = &back else {
             panic!("wrong kind");
@@ -759,7 +815,7 @@ mod tests {
             unreachable!();
         };
         assert!(structures_identical(template, orig));
-        assert_eq!(back.encode(), bytes, "re-encoding is byte-stable");
+        assert_eq!(back.encode().unwrap(), bytes, "re-encoding is byte-stable");
     }
 
     #[test]
@@ -790,7 +846,7 @@ mod tests {
                         route,
                         stats,
                     };
-                    let bytes = Response::Solved(sol.clone()).encode();
+                    let bytes = Response::Solved(sol.clone()).encode().unwrap();
                     let Response::Solved(back) = Response::decode(&bytes).unwrap() else {
                         panic!("wrong kind");
                     };
@@ -802,7 +858,7 @@ mod tests {
 
     #[test]
     fn header_rejections() {
-        let good = Request::Status.encode();
+        let good = Request::Status.encode().unwrap();
         // Magic.
         let mut bad = good.clone();
         bad[0] = b'X';
@@ -864,7 +920,7 @@ mod tests {
             overloaded: 1,
             deadline_expired: 2,
         };
-        let bytes = Response::Status(info.clone()).encode();
+        let bytes = Response::Status(info.clone()).encode().unwrap();
         let Response::Status(back) = Response::decode(&bytes).unwrap() else {
             panic!("wrong kind");
         };
@@ -884,10 +940,77 @@ mod tests {
         put_u32(&mut p, 1); // one tuple
         put_u32(&mut p, 0);
         put_u32(&mut p, 5); // out of range
-        let buf = frame(K_REGISTER, p);
+        let buf = frame(K_REGISTER, p).unwrap();
         assert!(matches!(
             Request::decode(&buf),
             Err(DecodeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unbounded_universe_claim_is_rejected_before_allocation() {
+        // A tiny frame claiming a u32::MAX-element universe with zero
+        // tuples must be refused up front — materializing the structure
+        // would allocate per-element bookkeeping (a remote-OOM vector).
+        for claim in [u32::MAX, MAX_UNIVERSE + 1] {
+            let mut p = Vec::new();
+            put_u16(&mut p, 1); // one relation
+            put_u16(&mut p, 1);
+            p.extend_from_slice(b"E");
+            put_u16(&mut p, 2); // arity 2
+            put_u32(&mut p, claim); // the hostile universe claim
+            put_u32(&mut p, 0); // zero tuples
+            let buf = frame(K_REGISTER, p).unwrap();
+            assert_eq!(
+                Request::decode(&buf).unwrap_err(),
+                DecodeError::Oversized(u64::from(claim))
+            );
+        }
+        // The bound itself is still fine.
+        let mut p = Vec::new();
+        put_u16(&mut p, 1);
+        put_u16(&mut p, 1);
+        p.extend_from_slice(b"E");
+        put_u16(&mut p, 2);
+        put_u32(&mut p, MAX_UNIVERSE);
+        put_u32(&mut p, 0);
+        let buf = frame(K_REGISTER, p).unwrap();
+        let Request::RegisterTemplate { template } = Request::decode(&buf).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(template.universe(), MAX_UNIVERSE as usize);
+    }
+
+    #[test]
+    fn oversized_witness_claim_is_rejected() {
+        let mut p = Vec::new();
+        p.push(1); // has witness
+        put_u32(&mut p, MAX_UNIVERSE + 1); // hostile map length
+        let buf = frame(K_SOLVED, p).unwrap();
+        assert_eq!(
+            Response::decode(&buf).unwrap_err(),
+            DecodeError::Oversized(u64::from(MAX_UNIVERSE) + 1)
+        );
+    }
+
+    #[test]
+    fn over_limit_encoding_is_refused_not_framed() {
+        // Five witnesses of MAX_UNIVERSE elements encode past the
+        // 16 MiB frame limit; encode must fail rather than emit a frame
+        // the peer's header check would reject (stream desync), and
+        // rather than silently truncating the length prefix.
+        let huge = Solution {
+            homomorphism: Some(Homomorphism::from_map(vec![
+                Element(0);
+                MAX_UNIVERSE as usize
+            ])),
+            route: Route::Generic,
+            stats: None,
+        };
+        let resp = Response::BatchSolved(vec![huge; 5]);
+        assert!(matches!(
+            resp.encode(),
+            Err(EncodeError::OversizedPayload(n)) if n > MAX_PAYLOAD as usize
         ));
     }
 }

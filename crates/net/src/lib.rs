@@ -50,8 +50,8 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use codec::{
-    solutions_identical, structures_identical, DecodeError, ErrorCode, Request, Response,
-    StatusInfo, MAX_PAYLOAD, PROTOCOL_VERSION,
+    solutions_identical, structures_identical, DecodeError, EncodeError, ErrorCode, Request,
+    Response, StatusInfo, MAX_PAYLOAD, MAX_UNIVERSE, PROTOCOL_VERSION,
 };
 pub use registry::TemplateRegistry;
 pub use server::{Server, ServerConfig};

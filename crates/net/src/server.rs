@@ -77,6 +77,12 @@ pub struct ServerConfig {
     pub coalesce_window: Duration,
     /// Granularity at which blocked reads re-check the shutdown flag.
     pub poll_interval: Duration,
+    /// How long, once shutdown begins, a connection keeps waiting for
+    /// the rest of a frame it already started reading. A well-behaved
+    /// client finishes within the grace; a stalled one (partial header
+    /// or payload, then silence) is cut off so [`Server::shutdown`]
+    /// cannot block on it forever.
+    pub shutdown_drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +93,7 @@ impl Default for ServerConfig {
             batch_threads: 1,
             coalesce_window: Duration::ZERO,
             poll_interval: Duration::from_millis(25),
+            shutdown_drain_grace: Duration::from_millis(1000),
         }
     }
 }
@@ -245,7 +252,14 @@ fn acceptor_loop(
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
-            Err(_) => continue,
+            Err(_) => {
+                // Persistent accept errors (EMFILE, ...) must not busy-spin.
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(shared.cfg.poll_interval);
+                continue;
+            }
         };
         if !shared.accepting.load(Ordering::SeqCst) {
             // The wake-up poke (or a straggler): refuse politely.
@@ -253,19 +267,28 @@ fn acceptor_loop(
         }
         let shared = Arc::clone(shared);
         let handle = std::thread::spawn(move || connection_loop(&shared, stream));
-        connections.lock().unwrap().push(handle);
+        let mut conns = connections.lock().unwrap();
+        // Reap threads whose connections already ended so a long-running
+        // server does not accumulate one handle per connection ever made.
+        conns.retain(|h| !h.is_finished());
+        conns.push(handle);
     }
 }
 
 /// Reads exactly `buf.len()` bytes, tolerating read timeouts (used as
 /// shutdown polls). Returns `Ok(false)` on clean EOF before the first
-/// byte, or when shutdown begins while no request is mid-read.
+/// byte, or when shutdown begins while no request is mid-read. A frame
+/// already started is drained during shutdown, but only for
+/// [`ServerConfig::shutdown_drain_grace`] — a peer that stalls
+/// mid-frame must not pin the connection thread (and so
+/// [`Server::shutdown`], which joins it) forever.
 fn read_exact_polled(
     stream: &mut TcpStream,
     buf: &mut [u8],
     shared: &Shared,
 ) -> std::io::Result<bool> {
     let mut filled = 0usize;
+    let mut drain_deadline: Option<Instant> = None;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
@@ -280,10 +303,19 @@ fn read_exact_polled(
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                // A frame we started reading is drained even during
-                // shutdown; only an idle wait gives up.
-                if filled == 0 && !shared.accepting.load(Ordering::SeqCst) {
-                    return Ok(false);
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    if filled == 0 {
+                        // An idle wait gives up immediately.
+                        return Ok(false);
+                    }
+                    let deadline = *drain_deadline
+                        .get_or_insert_with(|| Instant::now() + shared.cfg.shutdown_drain_grace);
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            ErrorKind::TimedOut,
+                            "peer stalled mid-frame during shutdown",
+                        ));
+                    }
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -294,7 +326,19 @@ fn read_exact_polled(
 }
 
 fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    stream.write_all(&resp.encode())?;
+    let bytes = match resp.encode() {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            // The response is too large for the protocol's frame limit
+            // (e.g. a batch of huge witness maps). Emitting it anyway
+            // would desynchronize the peer, so answer with a small
+            // structured error instead.
+            error_response(ErrorCode::Internal, e.to_string())
+                .encode()
+                .expect("error frames are small")
+        }
+    };
+    stream.write_all(&bytes)?;
     stream.flush()
 }
 

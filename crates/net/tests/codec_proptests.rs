@@ -17,7 +17,7 @@
 use cqcs_core::{Route, SearchStats, Solution};
 use cqcs_net::codec::{
     solutions_identical, structures_identical, DecodeError, Request, Response, StatusInfo,
-    HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
+    HEADER_LEN, MAX_PAYLOAD, MAX_UNIVERSE, PROTOCOL_VERSION,
 };
 use cqcs_structures::{Element, Homomorphism, Structure, StructureBuilder, Vocabulary};
 use proptest::prelude::*;
@@ -115,20 +115,20 @@ proptest! {
     #[test]
     fn register_round_trips(s in structure(6)) {
         let req = Request::RegisterTemplate { template: s.clone() };
-        let bytes = req.encode();
+        let bytes = req.encode().unwrap();
         let back = Request::decode(&bytes).unwrap();
         let Request::RegisterTemplate { template } = &back else {
             panic!("wrong kind back");
         };
         prop_assert!(structures_identical(template, &s));
-        prop_assert_eq!(back.encode(), bytes);
+        prop_assert_eq!(back.encode().unwrap(), bytes);
     }
 
     /// Solve carries id, deadline, and instance faithfully.
     #[test]
     fn solve_round_trips(id in any::<u64>(), deadline in any::<u32>(), s in structure(5)) {
         let req = Request::Solve { template_id: id, deadline_ms: deadline, instance: s.clone() };
-        let back = Request::decode(&req.encode()).unwrap();
+        let back = Request::decode(&req.encode().unwrap()).unwrap();
         let Request::Solve { template_id, deadline_ms, instance } = back else {
             panic!("wrong kind back");
         };
@@ -144,7 +144,7 @@ proptest! {
         batch in proptest::collection::vec(structure(4), 0..4),
     ) {
         let req = Request::SolveBatch { template_id: id, deadline_ms: 0, instances: batch.clone() };
-        let back = Request::decode(&req.encode()).unwrap();
+        let back = Request::decode(&req.encode().unwrap()).unwrap();
         let Request::SolveBatch { template_id, instances, .. } = back else {
             panic!("wrong kind back");
         };
@@ -159,18 +159,18 @@ proptest! {
     /// combination — the parity predicate sees no difference.
     #[test]
     fn solution_round_trips(sol in solution()) {
-        let bytes = Response::Solved(sol.clone()).encode();
+        let bytes = Response::Solved(sol.clone()).encode().unwrap();
         let Response::Solved(back) = Response::decode(&bytes).unwrap() else {
             panic!("wrong kind back");
         };
         prop_assert!(solutions_identical(&back, &sol));
-        prop_assert_eq!(Response::Solved(back).encode(), bytes);
+        prop_assert_eq!(Response::Solved(back).encode().unwrap(), bytes);
     }
 
     /// BatchSolved preserves order and content.
     #[test]
     fn batch_solved_round_trips(sols in proptest::collection::vec(solution(), 0..6)) {
-        let bytes = Response::BatchSolved(sols.clone()).encode();
+        let bytes = Response::BatchSolved(sols.clone()).encode().unwrap();
         let Response::BatchSolved(back) = Response::decode(&bytes).unwrap() else {
             panic!("wrong kind back");
         };
@@ -184,7 +184,7 @@ proptest! {
     #[test]
     fn containment_round_trips(q1 in text(), q2 in text()) {
         let req = Request::Containment { q1: q1.clone(), q2: q2.clone() };
-        let back = Request::decode(&req.encode()).unwrap();
+        let back = Request::decode(&req.encode().unwrap()).unwrap();
         let Request::Containment { q1: b1, q2: b2 } = back else {
             panic!("wrong kind back");
         };
@@ -216,7 +216,7 @@ proptest! {
             overloaded,
             deadline_expired: expired,
         };
-        let Response::Status(back) = Response::decode(&Response::Status(info.clone()).encode()).unwrap() else {
+        let Response::Status(back) = Response::decode(&Response::Status(info.clone()).encode().unwrap()).unwrap() else {
             panic!("wrong kind back");
         };
         prop_assert_eq!(back, info);
@@ -253,7 +253,7 @@ proptest! {
     /// no prefix length decodes, none panics.
     #[test]
     fn truncation_always_rejected(s in structure(5), cut_seed in any::<u64>()) {
-        let bytes = Request::RegisterTemplate { template: s }.encode();
+        let bytes = Request::RegisterTemplate { template: s }.encode().unwrap();
         let cut = (cut_seed % bytes.len() as u64) as usize;
         prop_assert!(Request::decode(&bytes[..cut]).is_err());
     }
@@ -262,7 +262,7 @@ proptest! {
     /// version, kind, or a length that no longer matches the buffer).
     #[test]
     fn header_corruption_rejected(delta in 1u8..=255, pos in 0usize..HEADER_LEN) {
-        let good = Request::Status.encode();
+        let good = Request::Status.encode().unwrap();
         let mut bad = good.clone();
         bad[pos] = bad[pos].wrapping_add(delta);
         // Status has an empty payload, so any header change is visible:
@@ -273,7 +273,7 @@ proptest! {
     /// Oversized length prefixes are rejected before allocation.
     #[test]
     fn oversized_length_rejected(extra in 1u32..=1000) {
-        let mut bad = Request::Status.encode();
+        let mut bad = Request::Status.encode().unwrap();
         let huge = MAX_PAYLOAD + extra;
         bad[4..8].copy_from_slice(&huge.to_le_bytes());
         prop_assert_eq!(
@@ -282,11 +282,36 @@ proptest! {
         );
     }
 
+    /// Universe claims beyond `MAX_UNIVERSE` are rejected before the
+    /// structure (whose bookkeeping allocates per claimed element) is
+    /// ever built — a ~30-byte frame must not buy a giant allocation.
+    #[test]
+    fn hostile_universe_claim_rejected(extra in 1u32..=u32::MAX - MAX_UNIVERSE) {
+        let claim = MAX_UNIVERSE + extra;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u16.to_le_bytes()); // one relation
+        payload.extend_from_slice(&1u16.to_le_bytes()); // name len 1
+        payload.push(b'E');
+        payload.extend_from_slice(&2u16.to_le_bytes()); // arity 2
+        payload.extend_from_slice(&claim.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // zero tuples
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.extend_from_slice(b"CQ");
+        buf.push(PROTOCOL_VERSION);
+        buf.push(0x01); // K_REGISTER
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        prop_assert_eq!(
+            Request::decode(&buf).unwrap_err(),
+            DecodeError::Oversized(u64::from(claim))
+        );
+    }
+
     /// Wrong protocol versions are rejected with the version echoed.
     #[test]
     fn wrong_version_rejected(v in any::<u8>()) {
         prop_assume!(v != PROTOCOL_VERSION);
-        let mut bad = Request::Status.encode();
+        let mut bad = Request::Status.encode().unwrap();
         bad[2] = v;
         prop_assert_eq!(
             Request::decode(&bad).unwrap_err(),

@@ -312,7 +312,7 @@ fn graceful_shutdown_drains_in_flight_requests() {
     match TcpStream::connect(addr) {
         Err(_) => {}
         Ok(mut s) => {
-            let _ = s.write_all(&cqcs_net::codec::Request::Status.encode());
+            let _ = s.write_all(&cqcs_net::codec::Request::Status.encode().unwrap());
             let mut buf = [0u8; 1];
             // A live server would answer; a shut-down one hangs up.
             let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
@@ -322,6 +322,33 @@ fn graceful_shutdown_drains_in_flight_requests() {
             );
         }
     }
+}
+
+#[test]
+fn shutdown_is_not_blocked_by_a_client_stalled_mid_frame() {
+    // A client that sends half a frame header and then goes silent must
+    // not pin its connection thread — and therefore shutdown, which
+    // joins connection threads — forever. The drain grace bounds how
+    // long shutdown waits for the rest of the frame.
+    let server = server_with(ServerConfig {
+        shutdown_drain_grace: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"CQ\x01").unwrap(); // 3 of 8 header bytes, then silence
+    stalled.flush().unwrap();
+    // Give the connection thread time to start reading the partial frame.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown hung on a stalled client: {:?}",
+        start.elapsed()
+    );
+    drop(stalled);
 }
 
 // ---------------------------------------------------------------------
@@ -343,7 +370,7 @@ fn read_error_frame(s: &mut TcpStream) -> (ErrorCode, String) {
 fn wrong_protocol_version_is_refused() {
     let server = default_server();
     let mut s = TcpStream::connect(server.local_addr()).unwrap();
-    let mut frame = cqcs_net::codec::Request::Status.encode();
+    let mut frame = cqcs_net::codec::Request::Status.encode().unwrap();
     frame[2] = PROTOCOL_VERSION + 1;
     s.write_all(&frame).unwrap();
     let (code, _) = read_error_frame(&mut s);
@@ -385,7 +412,7 @@ fn malformed_payload_keeps_connection_alive() {
     let (code, _) = read_error_frame(&mut s);
     assert_eq!(code, ErrorCode::Malformed);
     // Framing stayed in sync, so the same connection keeps working.
-    s.write_all(&cqcs_net::codec::Request::Status.encode())
+    s.write_all(&cqcs_net::codec::Request::Status.encode().unwrap())
         .unwrap();
     let mut header = [0u8; HEADER_LEN];
     s.read_exact(&mut header)
