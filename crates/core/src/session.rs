@@ -168,6 +168,15 @@ impl CompiledTemplate {
     pub fn program(&self) -> &Arc<PropProgram> {
         self.facts.program(&self.b)
     }
+
+    /// Forces the lazy per-template state — the support index and the
+    /// propagation program chained off it — to exist *now*, on the
+    /// calling thread. Serving paths call this at registration time so
+    /// the first solve against a fresh template pays a hash probe, not
+    /// the full lowering.
+    pub fn warm(&self) {
+        let _ = self.program();
+    }
 }
 
 /// A solving session against one compiled template: compile `B` once,

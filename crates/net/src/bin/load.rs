@@ -1,21 +1,40 @@
-//! `cqcs-load` — smoke-load the server and report latency percentiles.
+//! `cqcs-load` — load the server and report latency percentiles.
 //!
 //! ```text
-//! cqcs-load [--clients N] [--requests N] [--window-ms N]
+//! cqcs-load [--clients N] [--requests N] [--window-ms N] [--shards N]
+//!           [--pipeline K] [--cpus N]
+//!           [--initial-rps R --increment-rps R --target-rps R [--step-secs S]]
 //! ```
 //!
 //! Spins up an in-process server on an ephemeral port, registers the
-//! K3 template, then runs `--clients` concurrent connections each
-//! issuing `--requests` solve requests over random graph instances.
-//! Reports throughput, p50/p95/p99 latency, coalescing stats, and a
-//! parity verdict: every networked solution is compared bit-for-bit
-//! against a direct in-process `Session` solve of the same instance.
+//! K3 template, then drives it in one of two modes:
+//!
+//! * **Fixed** (default): `--clients` concurrent connections each issue
+//!   `--requests` solve requests over random graph instances, with up
+//!   to `--pipeline` requests in flight per connection (depth 1 is the
+//!   old strict request/response behavior).
+//! * **Ramp** (when `--initial-rps/--increment-rps/--target-rps` are
+//!   given): a single connection runs an open-loop paced load, stepping
+//!   the offered rate from initial to target by increment, holding each
+//!   step for `--step-secs`. Each step reports offered vs achieved
+//!   rate and p50/p95/p99 latency, so the knee where the server stops
+//!   keeping up is visible in one run. In-flight is capped at
+//!   `--pipeline` — when the cap is hit the pacer blocks on a
+//!   response, making overload show up as achieved < offered instead
+//!   of unbounded queueing.
+//!
+//! Either way every networked solution is compared bit-for-bit against
+//! a direct in-process `Session` solve of the same instance, and any
+//! mismatch exits nonzero. Honesty rule (same as experiment E15): runs
+//! on a single CPU are marked **overhead-only** — with no parallelism
+//! the numbers measure protocol and scheduling overhead, not speedup.
 
-use cqcs_core::Session;
+use cqcs_core::{Session, Solution};
 use cqcs_net::client::Client;
-use cqcs_net::codec::solutions_identical;
+use cqcs_net::codec::{solutions_identical, Request, Response};
 use cqcs_net::server::{Server, ServerConfig};
-use cqcs_structures::generators;
+use cqcs_structures::{generators, Structure};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 fn parse_value<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
@@ -37,10 +56,152 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+fn solve_request(template_id: u64, a: &Structure) -> Request {
+    Request::Solve {
+        template_id,
+        deadline_ms: 0,
+        instance: a.clone(),
+    }
+}
+
+fn expect_solved(resp: Response) -> Solution {
+    match resp {
+        Response::Solved(sol) => sol,
+        Response::Error { code, message } => panic!("server error {code:?}: {message}"),
+        other => panic!("expected Solved, got {other:?}"),
+    }
+}
+
+/// Drives `instances` through one connection with up to `depth`
+/// requests in flight, returning per-request (instance index, latency,
+/// solution). Latency is submit→receive for that request's id, so
+/// queueing behind the window is included — the honest client view.
+fn run_pipelined(
+    c: &mut Client,
+    template_id: u64,
+    instances: &[Structure],
+    depth: usize,
+) -> Vec<(usize, Duration, Solution)> {
+    let depth = depth.max(1);
+    let mut out = Vec::with_capacity(instances.len());
+    let mut pending: HashMap<u64, (usize, Instant)> = HashMap::with_capacity(depth);
+    let mut next = 0usize;
+    while next < instances.len() || !pending.is_empty() {
+        while next < instances.len() && pending.len() < depth {
+            let id = c
+                .submit(&solve_request(template_id, &instances[next]))
+                .expect("submit");
+            pending.insert(id, (next, Instant::now()));
+            next += 1;
+        }
+        let (id, resp) = c.recv().expect("recv");
+        let (ix, t0) = pending.remove(&id).expect("known id");
+        out.push((ix, t0.elapsed(), expect_solved(resp)));
+    }
+    out
+}
+
+struct RampStep {
+    offered_rps: f64,
+    achieved_rps: f64,
+    sent: usize,
+    latencies: Vec<Duration>,
+}
+
+/// Pacing knobs for one [`ramp_step`].
+struct RampPace {
+    /// Offered request rate.
+    rps: f64,
+    /// How long the step holds that rate.
+    hold: Duration,
+    /// Maximum requests in flight before the pacer blocks on a recv.
+    depth: usize,
+    /// Instance-seed offset so steps never repeat instances.
+    seed_base: u64,
+}
+
+/// One open-loop ramp step: submit at a fixed pace for `pace.hold`,
+/// blocking on a response whenever `pace.depth` requests are in flight.
+fn ramp_step(
+    c: &mut Client,
+    template_id: u64,
+    direct: &Session,
+    pace: &RampPace,
+    mismatches: &mut usize,
+) -> RampStep {
+    let RampPace {
+        rps,
+        hold,
+        depth,
+        seed_base,
+    } = *pace;
+    let interval = Duration::from_secs_f64(1.0 / rps);
+    let start = Instant::now();
+    let mut pending: HashMap<u64, (Structure, Instant)> = HashMap::new();
+    let mut latencies = Vec::new();
+    let mut sent = 0usize;
+    let check = |sol: Solution, a: &Structure, mismatches: &mut usize| {
+        if !solutions_identical(&sol, &direct.solve(a)) {
+            *mismatches += 1;
+        }
+    };
+    while start.elapsed() < hold {
+        let due = start + interval.mul_f64(sent as f64);
+        // Pace in short slices, draining responses as they arrive so
+        // latency is the true round trip, not "when the pacer next
+        // bothered to read".
+        loop {
+            while let Some((id, resp)) = c.try_recv().expect("recv") {
+                let (a, t0) = pending.remove(&id).expect("known id");
+                latencies.push(t0.elapsed());
+                check(expect_solved(resp), &a, mismatches);
+            }
+            let now = Instant::now();
+            if now >= due {
+                break;
+            }
+            std::thread::sleep((due - now).min(Duration::from_millis(1)));
+        }
+        while pending.len() >= depth.max(1) {
+            let (id, resp) = c.recv().expect("recv");
+            let (a, t0) = pending.remove(&id).expect("known id");
+            latencies.push(t0.elapsed());
+            check(expect_solved(resp), &a, mismatches);
+        }
+        let a = generators::random_graph_nm(8, 12, seed_base + sent as u64);
+        let id = c.submit(&solve_request(template_id, &a)).expect("submit");
+        pending.insert(id, (a, Instant::now()));
+        sent += 1;
+    }
+    // Drain the tail so steps don't bleed into each other.
+    while !pending.is_empty() {
+        let (id, resp) = c.recv().expect("recv");
+        let (a, t0) = pending.remove(&id).expect("known id");
+        latencies.push(t0.elapsed());
+        check(expect_solved(resp), &a, mismatches);
+    }
+    let elapsed = start.elapsed();
+    latencies.sort();
+    RampStep {
+        offered_rps: rps,
+        achieved_rps: sent as f64 / elapsed.as_secs_f64(),
+        sent,
+        latencies,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let mut clients = 4usize;
     let mut requests = 64usize;
     let mut window = Duration::ZERO;
+    let mut shards = ServerConfig::default().executor_shards;
+    let mut pipeline = 1usize;
+    let mut cpus: Option<usize> = None;
+    let mut initial_rps: Option<f64> = None;
+    let mut increment_rps: Option<f64> = None;
+    let mut target_rps: Option<f64> = None;
+    let mut step_secs = 2.0f64;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
@@ -50,15 +211,38 @@ fn main() {
             "--window-ms" => {
                 window = Duration::from_millis(parse_value(&mut args, "--window-ms"));
             }
+            "--shards" => shards = parse_value(&mut args, "--shards"),
+            "--pipeline" => pipeline = parse_value(&mut args, "--pipeline"),
+            "--cpus" => cpus = Some(parse_value(&mut args, "--cpus")),
+            "--initial-rps" => initial_rps = Some(parse_value(&mut args, "--initial-rps")),
+            "--increment-rps" => increment_rps = Some(parse_value(&mut args, "--increment-rps")),
+            "--target-rps" => target_rps = Some(parse_value(&mut args, "--target-rps")),
+            "--step-secs" => step_secs = parse_value(&mut args, "--step-secs"),
             _ => {
-                eprintln!("usage: cqcs-load [--clients N] [--requests N] [--window-ms N]");
+                eprintln!(
+                    "usage: cqcs-load [--clients N] [--requests N] [--window-ms N] [--shards N] \
+                     [--pipeline K] [--cpus N] \
+                     [--initial-rps R --increment-rps R --target-rps R [--step-secs S]]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let ramp = match (initial_rps, increment_rps, target_rps) {
+        (Some(i), Some(s), Some(t)) => Some((i, s, t)),
+        (None, None, None) => None,
+        _ => {
+            eprintln!("ramp mode needs all of --initial-rps, --increment-rps, --target-rps");
+            std::process::exit(2);
+        }
+    };
+    let cpus = cpus.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
 
     let cfg = ServerConfig {
         coalesce_window: window,
+        executor_shards: shards,
         ..ServerConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
@@ -71,41 +255,103 @@ fn main() {
         c.register_template(&template).expect("register")
     };
 
-    let start = Instant::now();
-    let handles: Vec<_> = (0..clients)
-        .map(|ci| {
-            let template = template.clone();
-            std::thread::spawn(move || {
-                let mut c = Client::connect(addr).expect("connect");
-                let direct = Session::compile(&template);
-                let mut latencies = Vec::with_capacity(requests);
-                let mut mismatches = 0usize;
-                for ri in 0..requests {
-                    let seed = (ci * requests + ri) as u64;
-                    let a = generators::random_graph_nm(8, 12, seed);
-                    let t0 = Instant::now();
-                    let sol = c.solve(template_id, &a).expect("solve");
-                    latencies.push(t0.elapsed());
-                    if !solutions_identical(&sol, &direct.solve(&a)) {
-                        mismatches += 1;
-                    }
-                }
-                (latencies, mismatches)
-            })
-        })
-        .collect();
+    let honesty = if cpus <= 1 {
+        " [cpus=1: overhead-only — no parallel speedup is claimable]"
+    } else {
+        ""
+    };
 
-    let mut latencies = Vec::new();
     let mut mismatches = 0usize;
-    for h in handles {
-        let (l, m) = h.join().expect("client thread");
-        latencies.extend(l);
-        mismatches += m;
+    let total;
+    let mut latencies = Vec::new();
+    let elapsed;
+    if let Some((initial, increment, target)) = ramp {
+        println!(
+            "cqcs-load ramp: {initial}→{target} rps by {increment}, {step_secs} s/step, \
+             pipeline {pipeline}, shards {shards}, cpus={cpus}{honesty}"
+        );
+        let mut c = Client::connect(addr).expect("connect");
+        let direct = Session::compile(&template);
+        let start = Instant::now();
+        let mut rps = initial;
+        let mut sent_total = 0usize;
+        let mut step_ix = 0u64;
+        while rps <= target + 1e-9 {
+            let step = ramp_step(
+                &mut c,
+                template_id,
+                &direct,
+                &RampPace {
+                    rps,
+                    hold: Duration::from_secs_f64(step_secs),
+                    depth: pipeline,
+                    seed_base: step_ix * 1_000_000,
+                },
+                &mut mismatches,
+            );
+            println!(
+                "  step {:>7.1} rps offered | {:>7.1} achieved | {} reqs | \
+                 p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+                step.offered_rps,
+                step.achieved_rps,
+                step.sent,
+                percentile(&step.latencies, 0.50).as_secs_f64() * 1e3,
+                percentile(&step.latencies, 0.95).as_secs_f64() * 1e3,
+                percentile(&step.latencies, 0.99).as_secs_f64() * 1e3,
+            );
+            sent_total += step.sent;
+            latencies.extend(step.latencies);
+            rps += increment.max(1e-9);
+            step_ix += 1;
+        }
+        elapsed = start.elapsed();
+        total = sent_total;
+    } else {
+        let handles: Vec<_> = (0..clients)
+            .map(|ci| {
+                let template = template.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let direct = Session::compile(&template);
+                    let instances: Vec<Structure> = (0..requests)
+                        .map(|ri| generators::random_graph_nm(8, 12, (ci * requests + ri) as u64))
+                        .collect();
+                    // Time only the wire section; the parity re-solve
+                    // below costs a full solve per instance and must
+                    // not be billed to the server.
+                    let t0 = Instant::now();
+                    let results = run_pipelined(&mut c, template_id, &instances, pipeline);
+                    let wire_elapsed = t0.elapsed();
+                    let mut latencies = Vec::with_capacity(requests);
+                    let mut mismatches = 0usize;
+                    for (ix, latency, sol) in results {
+                        latencies.push(latency);
+                        if !solutions_identical(&sol, &direct.solve(&instances[ix])) {
+                            mismatches += 1;
+                        }
+                    }
+                    (wire_elapsed, latencies, mismatches)
+                })
+            })
+            .collect();
+        let mut wire_elapsed = Duration::ZERO;
+        for h in handles {
+            let (e, l, m) = h.join().expect("client thread");
+            wire_elapsed = wire_elapsed.max(e);
+            latencies.extend(l);
+            mismatches += m;
+        }
+        elapsed = wire_elapsed;
+        total = clients * requests;
+        println!(
+            "cqcs-load: {total} solves over {clients} clients (pipeline {pipeline}, \
+             shards {shards}) in {:.3} s  ({:.1} req/s)  cpus={cpus}{honesty}",
+            elapsed.as_secs_f64(),
+            total as f64 / elapsed.as_secs_f64()
+        );
     }
-    let elapsed = start.elapsed();
     latencies.sort();
 
-    let total = clients * requests;
     let status = {
         let mut c = Client::connect(addr).expect("connect");
         c.status().expect("status")
@@ -113,19 +359,27 @@ fn main() {
     server.shutdown();
 
     println!(
-        "cqcs-load: {total} solves over {clients} clients in {:.3} s  ({:.1} req/s)",
-        elapsed.as_secs_f64(),
-        total as f64 / elapsed.as_secs_f64()
-    );
-    println!(
-        "latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        "latency p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  ({} reqs in {:.3} s)",
         percentile(&latencies, 0.50).as_secs_f64() * 1e3,
         percentile(&latencies, 0.95).as_secs_f64() * 1e3,
         percentile(&latencies, 0.99).as_secs_f64() * 1e3,
+        total,
+        elapsed.as_secs_f64(),
     );
     println!(
-        "server: {} batches for {} solves, max {} jobs coalesced, {} overloaded",
-        status.batches, status.solves, status.max_coalesced_jobs, status.overloaded
+        "server: {} batches for {} solves, max {} jobs coalesced, {} overloaded, \
+         {} idle wakeups, shard batches [{}]",
+        status.batches,
+        status.solves,
+        status.max_coalesced_jobs,
+        status.overloaded,
+        status.idle_wakeups,
+        status
+            .shards
+            .iter()
+            .map(|s| s.batches.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     if mismatches == 0 {
         println!("parity: all {total} networked solutions identical to direct solves");

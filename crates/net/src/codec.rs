@@ -1,15 +1,32 @@
-//! The wire protocol: length-prefixed binary frames.
+//! The wire protocol: length-prefixed binary frames with correlation
+//! ids (protocol v2).
 //!
 //! Every message — request or response — travels as one **frame**:
 //!
 //! ```text
 //! offset  size  field
 //! 0       2     magic  b"CQ"
-//! 2       1     protocol version (currently 1)
+//! 2       1     protocol version (currently 2)
 //! 3       1     message kind (request 0x01–0x05, response 0x81–0x85, error 0xFF)
-//! 4       4     payload length, little-endian u32 (≤ MAX_PAYLOAD)
-//! 8       len   payload
+//! 4       8     request id, little-endian u64 (chosen by the client,
+//!               echoed verbatim on the matching response)
+//! 12      4     payload length, little-endian u32 (≤ MAX_PAYLOAD)
+//! 16      len   payload
 //! ```
+//!
+//! The **request id** is what makes pipelining possible: a connection
+//! may have many requests in flight, responses come back in completion
+//! order, and each response names the request it answers. The server
+//! never invents ids — it echoes whatever the client chose — so id
+//! allocation policy (a counter, a handle table) is the client's alone.
+//!
+//! Protocol v1 framed the same payloads under an 8-byte header with no
+//! id field. The first 8 bytes of a v2 header deliberately share v1's
+//! magic/version prefix, so a v2 server can recognize a v1 frame from
+//! the version byte alone and answer a **v1-framed**
+//! `UnsupportedVersion` error ([`legacy_error_frame`]) the old peer can
+//! actually decode — a typed refusal, never a desync or a silent
+//! hangup.
 //!
 //! Payload integers are little-endian and fixed-width; structures are
 //! encoded as their vocabulary (symbol names + arities) followed by the
@@ -26,6 +43,12 @@
 //! [`EncodeError`] instead of framed (the peer would reject the header
 //! and desynchronize).
 //!
+//! Encoding is allocation-conscious: [`Request::encode_into`] /
+//! [`Response::encode_into`] append a complete frame to a caller-owned
+//! `Vec<u8>`, so the server's writer half and the client reuse one
+//! scratch buffer across every frame on a connection (the owning
+//! `encode` methods are thin wrappers that allocate a fresh vector).
+//!
 //! Solutions cross the wire losslessly: verdict, witness, route (with
 //! treewidth width), and full search statistics round-trip into the very
 //! [`Solution`] type the in-process [`Session`](cqcs_core::Session)
@@ -38,9 +61,21 @@ use cqcs_structures::{Element, Homomorphism, Structure, StructureBuilder, Vocabu
 /// First two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"CQ";
 /// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
-/// Fixed frame-header size in bytes.
-pub const HEADER_LEN: usize = 8;
+pub const PROTOCOL_VERSION: u8 = 2;
+/// Fixed frame-header size in bytes: magic, version, kind, request id,
+/// payload length.
+pub const HEADER_LEN: usize = 16;
+/// The retired v1 protocol version (no request-id field). A v2 server
+/// recognizes it from the shared header prefix and answers a v1-framed
+/// [`ErrorCode::UnsupportedVersion`] so old peers get a typed refusal.
+pub const LEGACY_VERSION: u8 = 1;
+/// Frame-header size of the retired v1 protocol (magic, version, kind,
+/// payload length — no request id).
+pub const LEGACY_HEADER_LEN: usize = 8;
+/// Upper bound on the executor-shard count a Status payload may claim
+/// (each claimed shard decodes into per-shard counters, so an unbounded
+/// claim would be a remote-allocation vector like [`MAX_UNIVERSE`]).
+pub const MAX_SHARDS: usize = 1024;
 /// Upper bound on a frame's payload length; longer prefixes are
 /// rejected before any allocation happens.
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
@@ -274,6 +309,24 @@ pub struct StatusInfo {
     pub overloaded: u64,
     /// Requests expired in the queue since startup.
     pub deadline_expired: u64,
+    /// Idle read-timeout wakeups across all connection readers since
+    /// startup — a connection with no bytes pending should barely move
+    /// this (see `ServerConfig::idle_poll_interval`).
+    pub idle_wakeups: u64,
+    /// Per-shard executor counters, one entry per configured shard.
+    pub shards: Vec<ShardStatus>,
+}
+
+/// Per-shard executor counters inside [`StatusInfo`]: jobs are routed
+/// to shards by template-id hash, so these show how traffic spreads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Solve jobs admitted to this shard and not yet answered.
+    pub queue_depth: u32,
+    /// Executor batches this shard has run since startup.
+    pub batches: u64,
+    /// Largest number of jobs this shard ever coalesced into one batch.
+    pub max_coalesced: u32,
 }
 
 // ---------------------------------------------------------------------
@@ -519,27 +572,73 @@ fn decode_solution(r: &mut Reader<'_>) -> Result<Solution, DecodeError> {
 // ---------------------------------------------------------------------
 // Frames.
 
-/// Builds a complete frame (header + payload) for a payload already
-/// encoded under `kind`; refuses payloads the protocol itself forbids.
-fn frame(kind: u8, payload: Vec<u8>) -> Result<Vec<u8>, EncodeError> {
-    if payload.len() > MAX_PAYLOAD as usize {
-        return Err(EncodeError::OversizedPayload(payload.len()));
-    }
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+/// Appends a v2 frame header for request id `id` with the kind and
+/// payload-length fields zeroed; returns the header's start offset for
+/// [`finish_frame`] to patch once the payload is written in place.
+fn begin_frame(out: &mut Vec<u8>, id: u64) -> usize {
+    let start = out.len();
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
-    out.push(kind);
-    put_u32(&mut out, payload.len() as u32);
-    out.extend_from_slice(&payload);
-    Ok(out)
+    out.push(0); // kind, patched by finish_frame
+    put_u64(out, id);
+    put_u32(out, 0); // payload length, patched by finish_frame
+    start
 }
 
-/// Validates an 8-byte frame header; returns `(kind, payload_len)`.
-pub fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(u8, u32), DecodeError> {
+/// Patches the kind and payload-length fields of the frame begun at
+/// `start`; on an oversized payload the buffer is truncated back to
+/// `start` (nothing half-framed is left behind) and encoding fails.
+fn finish_frame(out: &mut Vec<u8>, start: usize, kind: u8) -> Result<(), EncodeError> {
+    let payload_len = out.len() - start - HEADER_LEN;
+    if payload_len > MAX_PAYLOAD as usize {
+        out.truncate(start);
+        return Err(EncodeError::OversizedPayload(payload_len));
+    }
+    out[start + 3] = kind;
+    out[start + 12..start + 16].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Validates a 16-byte frame header; returns
+/// `(kind, request_id, payload_len)`.
+pub fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(u8, u64, u32), DecodeError> {
     if h[0..2] != MAGIC {
         return Err(DecodeError::BadMagic([h[0], h[1]]));
     }
     if h[2] != PROTOCOL_VERSION {
+        return Err(DecodeError::UnsupportedVersion(h[2]));
+    }
+    let id = u64::from_le_bytes([h[4], h[5], h[6], h[7], h[8], h[9], h[10], h[11]]);
+    let len = u32::from_le_bytes([h[12], h[13], h[14], h[15]]);
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized(len as u64));
+    }
+    Ok((h[3], id, len))
+}
+
+/// Validates the first 8 bytes of an incoming frame — the prefix v1 and
+/// v2 headers share (magic, version). This is how a reader tells a v1
+/// peer apart from garbage *before* committing to the v2 header length:
+/// a [`DecodeError::UnsupportedVersion`] here means a well-formed frame
+/// in a version this build does not speak.
+pub fn parse_header_prefix(h: &[u8; LEGACY_HEADER_LEN]) -> Result<(), DecodeError> {
+    if h[0..2] != MAGIC {
+        return Err(DecodeError::BadMagic([h[0], h[1]]));
+    }
+    if h[2] != PROTOCOL_VERSION {
+        return Err(DecodeError::UnsupportedVersion(h[2]));
+    }
+    Ok(())
+}
+
+/// Validates a retired v1 8-byte frame header; returns
+/// `(kind, payload_len)`. Only used to decode the v1-framed error a v2
+/// server sends to a v1 peer (and by tests impersonating one).
+pub fn parse_legacy_header(h: &[u8; LEGACY_HEADER_LEN]) -> Result<(u8, u32), DecodeError> {
+    if h[0..2] != MAGIC {
+        return Err(DecodeError::BadMagic([h[0], h[1]]));
+    }
+    if h[2] != LEGACY_VERSION {
         return Err(DecodeError::UnsupportedVersion(h[2]));
     }
     let len = u32::from_le_bytes([h[4], h[5], h[6], h[7]]);
@@ -549,15 +648,34 @@ pub fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(u8, u32), DecodeError> {
     Ok((h[3], len))
 }
 
-/// Splits a complete in-memory frame into `(kind, payload)`, rejecting
-/// truncated and over-long buffers.
-pub fn parse_frame(buf: &[u8]) -> Result<(u8, &[u8]), DecodeError> {
+/// Builds a complete **v1-framed** error frame. When a v2 server sees a
+/// v1 version byte it cannot answer in v2 — the old peer would reject
+/// the unfamiliar header and desynchronize — so the refusal itself is
+/// sent in the peer's own framing (the error payload format is
+/// identical across versions).
+pub fn legacy_error_frame(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.push(code as u8);
+    put_str(&mut p, message);
+    debug_assert!(p.len() <= MAX_PAYLOAD as usize, "error frames are small");
+    let mut out = Vec::with_capacity(LEGACY_HEADER_LEN + p.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(LEGACY_VERSION);
+    out.push(K_ERROR);
+    put_u32(&mut out, p.len() as u32);
+    out.extend_from_slice(&p);
+    out
+}
+
+/// Splits a complete in-memory frame into `(kind, request_id, payload)`,
+/// rejecting truncated and over-long buffers.
+pub fn parse_frame(buf: &[u8]) -> Result<(u8, u64, &[u8]), DecodeError> {
     if buf.len() < HEADER_LEN {
         return Err(DecodeError::Truncated);
     }
     let mut h = [0u8; HEADER_LEN];
     h.copy_from_slice(&buf[..HEADER_LEN]);
-    let (kind, len) = parse_header(&h)?;
+    let (kind, id, len) = parse_header(&h)?;
     let expected = HEADER_LEN + len as usize;
     if buf.len() < expected {
         return Err(DecodeError::Truncated);
@@ -565,19 +683,23 @@ pub fn parse_frame(buf: &[u8]) -> Result<(u8, &[u8]), DecodeError> {
     if buf.len() > expected {
         return Err(DecodeError::TrailingBytes(buf.len() - expected));
     }
-    Ok((kind, &buf[HEADER_LEN..]))
+    Ok((kind, id, &buf[HEADER_LEN..]))
 }
 
 impl Request {
-    /// Encodes the request as a complete frame; fails with
-    /// [`EncodeError::OversizedPayload`] if the encoding exceeds
-    /// [`MAX_PAYLOAD`] (such a frame must never reach the wire — the
-    /// peer would refuse the header and desynchronize).
-    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
-        let mut p = Vec::new();
+    /// Appends the request as a complete frame carrying request id `id`
+    /// to `out` — the zero-allocation path: the payload is encoded in
+    /// place and the header patched afterwards, so a caller reusing one
+    /// scratch buffer allocates nothing per frame at steady state.
+    /// Fails with [`EncodeError::OversizedPayload`] (truncating `out`
+    /// back to its prior length) if the encoding exceeds
+    /// [`MAX_PAYLOAD`] — such a frame must never reach the wire, the
+    /// peer would refuse the header and desynchronize.
+    pub fn encode_into(&self, id: u64, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        let start = begin_frame(out, id);
         let kind = match self {
             Request::RegisterTemplate { template } => {
-                encode_structure(&mut p, template);
+                encode_structure(out, template);
                 K_REGISTER
             }
             Request::Solve {
@@ -585,9 +707,9 @@ impl Request {
                 deadline_ms,
                 instance,
             } => {
-                put_u64(&mut p, *template_id);
-                put_u32(&mut p, *deadline_ms);
-                encode_structure(&mut p, instance);
+                put_u64(out, *template_id);
+                put_u32(out, *deadline_ms);
+                encode_structure(out, instance);
                 K_SOLVE
             }
             Request::SolveBatch {
@@ -595,28 +717,36 @@ impl Request {
                 deadline_ms,
                 instances,
             } => {
-                put_u64(&mut p, *template_id);
-                put_u32(&mut p, *deadline_ms);
-                put_u32(&mut p, instances.len() as u32);
+                put_u64(out, *template_id);
+                put_u32(out, *deadline_ms);
+                put_u32(out, instances.len() as u32);
                 for a in instances {
-                    encode_structure(&mut p, a);
+                    encode_structure(out, a);
                 }
                 K_SOLVE_BATCH
             }
             Request::Containment { q1, q2 } => {
-                put_str(&mut p, q1);
-                put_str(&mut p, q2);
+                put_str(out, q1);
+                put_str(out, q2);
                 K_CONTAINMENT
             }
             Request::Status => K_STATUS,
         };
-        frame(kind, p)
+        finish_frame(out, start, kind)
     }
 
-    /// Decodes a complete frame into a request.
-    pub fn decode(buf: &[u8]) -> Result<Request, DecodeError> {
-        let (kind, payload) = parse_frame(buf)?;
-        Request::decode_payload(kind, payload)
+    /// Encodes the request as a freshly allocated frame — a thin
+    /// wrapper over [`Request::encode_into`].
+    pub fn encode(&self, id: u64) -> Result<Vec<u8>, EncodeError> {
+        let mut out = Vec::new();
+        self.encode_into(id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes a complete frame into its request id and request.
+    pub fn decode(buf: &[u8]) -> Result<(u64, Request), DecodeError> {
+        let (kind, id, payload) = parse_frame(buf)?;
+        Ok((id, Request::decode_payload(kind, payload)?))
     }
 
     /// Decodes a request payload whose frame header was already parsed.
@@ -661,61 +791,79 @@ impl Request {
 }
 
 impl Response {
-    /// Encodes the response as a complete frame; fails with
-    /// [`EncodeError::OversizedPayload`] if the encoding exceeds
-    /// [`MAX_PAYLOAD`] (callers substitute a small error frame rather
-    /// than desynchronize the stream).
-    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
-        let mut p = Vec::new();
+    /// Appends the response as a complete frame echoing request id `id`
+    /// to `out` — the zero-allocation path mirroring
+    /// [`Request::encode_into`]. Fails with
+    /// [`EncodeError::OversizedPayload`] (truncating `out` back to its
+    /// prior length) if the encoding exceeds [`MAX_PAYLOAD`] — callers
+    /// substitute a small error frame rather than desynchronize the
+    /// stream.
+    pub fn encode_into(&self, id: u64, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        let start = begin_frame(out, id);
         let kind = match self {
             Response::TemplateRegistered { id } => {
-                put_u64(&mut p, *id);
+                put_u64(out, *id);
                 K_REGISTERED
             }
             Response::Solved(sol) => {
-                encode_solution(&mut p, sol);
+                encode_solution(out, sol);
                 K_SOLVED
             }
             Response::BatchSolved(sols) => {
-                put_u32(&mut p, sols.len() as u32);
+                put_u32(out, sols.len() as u32);
                 for s in sols {
-                    encode_solution(&mut p, s);
+                    encode_solution(out, s);
                 }
                 K_BATCH_SOLVED
             }
             Response::Containment { contained } => {
-                p.push(u8::from(*contained));
+                out.push(u8::from(*contained));
                 K_CONTAINMENT_R
             }
             Response::Status(info) => {
-                p.push(info.protocol_version);
-                put_u32(&mut p, info.templates);
-                put_u32(&mut p, info.registry_capacity);
-                put_u64(&mut p, info.evictions);
-                put_u32(&mut p, info.queue_depth);
-                put_u32(&mut p, info.max_queue_depth);
-                put_u64(&mut p, info.requests);
-                put_u64(&mut p, info.solves);
-                put_u64(&mut p, info.batches);
-                put_u64(&mut p, info.coalesced_jobs);
-                put_u32(&mut p, info.max_coalesced_jobs);
-                put_u64(&mut p, info.overloaded);
-                put_u64(&mut p, info.deadline_expired);
+                out.push(info.protocol_version);
+                put_u32(out, info.templates);
+                put_u32(out, info.registry_capacity);
+                put_u64(out, info.evictions);
+                put_u32(out, info.queue_depth);
+                put_u32(out, info.max_queue_depth);
+                put_u64(out, info.requests);
+                put_u64(out, info.solves);
+                put_u64(out, info.batches);
+                put_u64(out, info.coalesced_jobs);
+                put_u32(out, info.max_coalesced_jobs);
+                put_u64(out, info.overloaded);
+                put_u64(out, info.deadline_expired);
+                put_u64(out, info.idle_wakeups);
+                put_u16(out, info.shards.len() as u16);
+                for s in &info.shards {
+                    put_u32(out, s.queue_depth);
+                    put_u64(out, s.batches);
+                    put_u32(out, s.max_coalesced);
+                }
                 K_STATUS_R
             }
             Response::Error { code, message } => {
-                p.push(*code as u8);
-                put_str(&mut p, message);
+                out.push(*code as u8);
+                put_str(out, message);
                 K_ERROR
             }
         };
-        frame(kind, p)
+        finish_frame(out, start, kind)
     }
 
-    /// Decodes a complete frame into a response.
-    pub fn decode(buf: &[u8]) -> Result<Response, DecodeError> {
-        let (kind, payload) = parse_frame(buf)?;
-        Response::decode_payload(kind, payload)
+    /// Encodes the response as a freshly allocated frame — a thin
+    /// wrapper over [`Response::encode_into`].
+    pub fn encode(&self, id: u64) -> Result<Vec<u8>, EncodeError> {
+        let mut out = Vec::new();
+        self.encode_into(id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes a complete frame into its request id and response.
+    pub fn decode(buf: &[u8]) -> Result<(u64, Response), DecodeError> {
+        let (kind, id, payload) = parse_frame(buf)?;
+        Ok((id, Response::decode_payload(kind, payload)?))
     }
 
     /// Decodes a response payload whose frame header was already
@@ -743,21 +891,38 @@ impl Response {
                     v => return Err(DecodeError::Invalid(format!("bad bool {v}"))),
                 },
             },
-            K_STATUS_R => Response::Status(StatusInfo {
-                protocol_version: r.u8()?,
-                templates: r.u32()?,
-                registry_capacity: r.u32()?,
-                evictions: r.u64()?,
-                queue_depth: r.u32()?,
-                max_queue_depth: r.u32()?,
-                requests: r.u64()?,
-                solves: r.u64()?,
-                batches: r.u64()?,
-                coalesced_jobs: r.u64()?,
-                max_coalesced_jobs: r.u32()?,
-                overloaded: r.u64()?,
-                deadline_expired: r.u64()?,
-            }),
+            K_STATUS_R => {
+                let mut info = StatusInfo {
+                    protocol_version: r.u8()?,
+                    templates: r.u32()?,
+                    registry_capacity: r.u32()?,
+                    evictions: r.u64()?,
+                    queue_depth: r.u32()?,
+                    max_queue_depth: r.u32()?,
+                    requests: r.u64()?,
+                    solves: r.u64()?,
+                    batches: r.u64()?,
+                    coalesced_jobs: r.u64()?,
+                    max_coalesced_jobs: r.u32()?,
+                    overloaded: r.u64()?,
+                    deadline_expired: r.u64()?,
+                    idle_wakeups: r.u64()?,
+                    shards: Vec::new(),
+                };
+                let nshards = r.u16()? as usize;
+                if nshards > MAX_SHARDS {
+                    return Err(DecodeError::Oversized(nshards as u64));
+                }
+                info.shards.reserve_exact(nshards);
+                for _ in 0..nshards {
+                    info.shards.push(ShardStatus {
+                        queue_depth: r.u32()?,
+                        batches: r.u64()?,
+                        max_coalesced: r.u32()?,
+                    });
+                }
+                Response::Status(info)
+            }
             K_ERROR => {
                 let raw = r.u8()?;
                 let code = ErrorCode::from_u8(raw)
@@ -802,12 +967,26 @@ mod tests {
     use super::*;
     use cqcs_structures::generators;
 
+    /// Builds a v2 frame around an already-encoded payload — the tests'
+    /// stand-in for a peer hand-crafting (possibly hostile) payloads.
+    fn test_frame(kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(PROTOCOL_VERSION);
+        out.push(kind);
+        put_u64(&mut out, id);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(payload);
+        out
+    }
+
     #[test]
     fn structure_round_trip() {
         let s = generators::random_structure(5, &[1, 2, 3], 4, 7);
         let req = Request::RegisterTemplate { template: s };
-        let bytes = req.encode().unwrap();
-        let back = Request::decode(&bytes).unwrap();
+        let bytes = req.encode(42).unwrap();
+        let (id, back) = Request::decode(&bytes).unwrap();
+        assert_eq!(id, 42, "request id echoes through the frame");
         let Request::RegisterTemplate { template } = &back else {
             panic!("wrong kind");
         };
@@ -815,7 +994,64 @@ mod tests {
             unreachable!();
         };
         assert!(structures_identical(template, orig));
-        assert_eq!(back.encode().unwrap(), bytes, "re-encoding is byte-stable");
+        assert_eq!(
+            back.encode(42).unwrap(),
+            bytes,
+            "re-encoding is byte-stable"
+        );
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        // The appending variant is the owning API byte for byte, and it
+        // appends — two frames in one buffer, prior contents untouched.
+        let req = Request::Solve {
+            template_id: 7,
+            deadline_ms: 0,
+            instance: generators::undirected_cycle(4),
+        };
+        let a = req.encode(1).unwrap();
+        let b = Request::Status.encode(2).unwrap();
+        let mut buf = Vec::new();
+        req.encode_into(1, &mut buf).unwrap();
+        Request::Status.encode_into(2, &mut buf).unwrap();
+        assert_eq!(buf.len(), a.len() + b.len());
+        assert_eq!(&buf[..a.len()], &a[..]);
+        assert_eq!(&buf[a.len()..], &b[..]);
+    }
+
+    #[test]
+    fn correlation_id_round_trips_extremes() {
+        for id in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
+            let bytes = Request::Status.encode(id).unwrap();
+            assert_eq!(Request::decode(&bytes).unwrap().0, id);
+            let bytes = Response::Containment { contained: true }
+                .encode(id)
+                .unwrap();
+            assert_eq!(Response::decode(&bytes).unwrap().0, id);
+        }
+    }
+
+    #[test]
+    fn legacy_error_frame_is_v1_decodable() {
+        // The frame a v2 server sends to a v1 peer must parse under the
+        // v1 header rules and carry the structured code.
+        let frame = legacy_error_frame(ErrorCode::UnsupportedVersion, "speak v2");
+        let mut h = [0u8; LEGACY_HEADER_LEN];
+        h.copy_from_slice(&frame[..LEGACY_HEADER_LEN]);
+        let (kind, len) = parse_legacy_header(&h).unwrap();
+        assert_eq!(len as usize, frame.len() - LEGACY_HEADER_LEN);
+        let resp = Response::decode_payload(kind, &frame[LEGACY_HEADER_LEN..]).unwrap();
+        let Response::Error { code, message } = resp else {
+            panic!("expected an error payload");
+        };
+        assert_eq!(code, ErrorCode::UnsupportedVersion);
+        assert_eq!(message, "speak v2");
+        // And the v2 parser refuses it as the version mismatch it is.
+        assert_eq!(
+            parse_header_prefix(&h).unwrap_err(),
+            DecodeError::UnsupportedVersion(LEGACY_VERSION)
+        );
     }
 
     #[test]
@@ -846,10 +1082,11 @@ mod tests {
                         route,
                         stats,
                     };
-                    let bytes = Response::Solved(sol.clone()).encode().unwrap();
-                    let Response::Solved(back) = Response::decode(&bytes).unwrap() else {
+                    let bytes = Response::Solved(sol.clone()).encode(9).unwrap();
+                    let (id, Response::Solved(back)) = Response::decode(&bytes).unwrap() else {
                         panic!("wrong kind");
                     };
+                    assert_eq!(id, 9);
                     assert!(solutions_identical(&sol, &back));
                 }
             }
@@ -858,7 +1095,7 @@ mod tests {
 
     #[test]
     fn header_rejections() {
-        let good = Request::Status.encode().unwrap();
+        let good = Request::Status.encode(5).unwrap();
         // Magic.
         let mut bad = good.clone();
         bad[0] = b'X';
@@ -866,13 +1103,15 @@ mod tests {
             Request::decode(&bad),
             Err(DecodeError::BadMagic(_))
         ));
-        // Version.
-        let mut bad = good.clone();
-        bad[2] = 9;
-        assert_eq!(
-            Request::decode(&bad).unwrap_err(),
-            DecodeError::UnsupportedVersion(9)
-        );
+        // Version (including the retired v1 byte).
+        for v in [9u8, LEGACY_VERSION] {
+            let mut bad = good.clone();
+            bad[2] = v;
+            assert_eq!(
+                Request::decode(&bad).unwrap_err(),
+                DecodeError::UnsupportedVersion(v)
+            );
+        }
         // Kind.
         let mut bad = good.clone();
         bad[3] = 0x77;
@@ -880,9 +1119,9 @@ mod tests {
             Request::decode(&bad).unwrap_err(),
             DecodeError::UnknownKind(0x77)
         );
-        // Oversized length prefix.
+        // Oversized length prefix (offset 12 in the v2 header).
         let mut bad = good.clone();
-        bad[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        bad[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert_eq!(
             Request::decode(&bad).unwrap_err(),
             DecodeError::Oversized(u64::from(MAX_PAYLOAD) + 1)
@@ -919,12 +1158,38 @@ mod tests {
             max_coalesced_jobs: 4,
             overloaded: 1,
             deadline_expired: 2,
+            idle_wakeups: 7,
+            shards: vec![
+                ShardStatus {
+                    queue_depth: 1,
+                    batches: 6,
+                    max_coalesced: 3,
+                },
+                ShardStatus {
+                    queue_depth: 0,
+                    batches: 5,
+                    max_coalesced: 1,
+                },
+            ],
         };
-        let bytes = Response::Status(info.clone()).encode().unwrap();
-        let Response::Status(back) = Response::decode(&bytes).unwrap() else {
+        let bytes = Response::Status(info.clone()).encode(3).unwrap();
+        let (_, Response::Status(back)) = Response::decode(&bytes).unwrap() else {
             panic!("wrong kind");
         };
         assert_eq!(info, back);
+    }
+
+    #[test]
+    fn hostile_shard_count_claim_is_rejected() {
+        // A Status payload claiming more shard entries than MAX_SHARDS
+        // must be refused before the per-shard vector is reserved.
+        let mut p = Response::Status(StatusInfo::default()).encode(0).unwrap();
+        let shard_count_at = p.len() - 2; // the trailing u16 of an empty shard list
+        p[shard_count_at..].copy_from_slice(&(MAX_SHARDS as u16 + 1).to_le_bytes());
+        assert_eq!(
+            Response::decode(&p).unwrap_err(),
+            DecodeError::Oversized(MAX_SHARDS as u64 + 1)
+        );
     }
 
     #[test]
@@ -940,7 +1205,7 @@ mod tests {
         put_u32(&mut p, 1); // one tuple
         put_u32(&mut p, 0);
         put_u32(&mut p, 5); // out of range
-        let buf = frame(K_REGISTER, p).unwrap();
+        let buf = test_frame(K_REGISTER, 0, &p);
         assert!(matches!(
             Request::decode(&buf),
             Err(DecodeError::Invalid(_))
@@ -960,7 +1225,7 @@ mod tests {
             put_u16(&mut p, 2); // arity 2
             put_u32(&mut p, claim); // the hostile universe claim
             put_u32(&mut p, 0); // zero tuples
-            let buf = frame(K_REGISTER, p).unwrap();
+            let buf = test_frame(K_REGISTER, 0, &p);
             assert_eq!(
                 Request::decode(&buf).unwrap_err(),
                 DecodeError::Oversized(u64::from(claim))
@@ -974,8 +1239,8 @@ mod tests {
         put_u16(&mut p, 2);
         put_u32(&mut p, MAX_UNIVERSE);
         put_u32(&mut p, 0);
-        let buf = frame(K_REGISTER, p).unwrap();
-        let Request::RegisterTemplate { template } = Request::decode(&buf).unwrap() else {
+        let buf = test_frame(K_REGISTER, 0, &p);
+        let (_, Request::RegisterTemplate { template }) = Request::decode(&buf).unwrap() else {
             panic!("wrong kind");
         };
         assert_eq!(template.universe(), MAX_UNIVERSE as usize);
@@ -986,7 +1251,7 @@ mod tests {
         let mut p = Vec::new();
         p.push(1); // has witness
         put_u32(&mut p, MAX_UNIVERSE + 1); // hostile map length
-        let buf = frame(K_SOLVED, p).unwrap();
+        let buf = test_frame(K_SOLVED, 0, &p);
         assert_eq!(
             Response::decode(&buf).unwrap_err(),
             DecodeError::Oversized(u64::from(MAX_UNIVERSE) + 1)
@@ -1009,8 +1274,13 @@ mod tests {
         };
         let resp = Response::BatchSolved(vec![huge; 5]);
         assert!(matches!(
-            resp.encode(),
+            resp.encode(0),
             Err(EncodeError::OversizedPayload(n)) if n > MAX_PAYLOAD as usize
         ));
+        // The appending variant must leave the scratch buffer exactly
+        // as it found it — no half-written frame to desynchronize on.
+        let mut buf = b"prior".to_vec();
+        assert!(resp.encode_into(0, &mut buf).is_err());
+        assert_eq!(buf, b"prior");
     }
 }

@@ -3,31 +3,43 @@
 //! The in-process pipeline compiles a template once
 //! ([`cqcs_core::Session::compile`]) and amortizes it over many solves;
 //! this crate puts that amortization behind a socket so the compile is
-//! shared across **processes** too. Four layers, bottom-up:
+//! shared across **processes** too. Five layers, bottom-up:
 //!
-//! * [`codec`] — the length-prefixed binary wire protocol: an 8-byte
-//!   `b"CQ"`-magic header (version, kind, payload length) followed by a
-//!   fixed-width little-endian payload. Decoding is cursor-based over
-//!   borrowed bytes and never panics on malformed input; solutions
-//!   round-trip losslessly into [`cqcs_core::Solution`].
-//! * [`registry`] — the template registry: compile once, share by
-//!   `Arc`, evict least-recently-used beyond a capacity bound.
-//! * [`server`] — the serving loop: one acceptor, a thread per
-//!   connection, and a coalescing executor that merges concurrent solve
-//!   jobs on the same template into a single
+//! * [`codec`] — the protocol-v2 binary wire format: a 16-byte
+//!   `b"CQ"`-magic header (version, kind, a client-chosen `u64`
+//!   **correlation id**, payload length) followed by a fixed-width
+//!   little-endian payload. The id lets a connection keep many requests
+//!   in flight — responses are matched by id, not arrival order.
+//!   Decoding is cursor-based over borrowed bytes and never panics on
+//!   malformed input; `encode_into` variants append frames to reusable
+//!   buffers for the zero-allocation hot path.
+//! * [`pool`] — pooled frame buffers plus a global growth counter that
+//!   *proves* the steady-state path stops allocating (gated by
+//!   experiment E19).
+//! * [`registry`] — the template registry: compile **and warm** once,
+//!   share by `Arc`, evict least-recently-used beyond a capacity bound.
+//! * [`server`] — the serving loop: one acceptor; per connection a
+//!   reader thread (decode → enqueue) and a writer thread (mpsc-fed,
+//!   completion order); and N executor shards partitioned by
+//!   template-id hash, each coalescing concurrent solve jobs on the
+//!   same template into a single
 //!   [`par_solve_batch`](cqcs_core::Session::par_solve_batch) pass.
-//!   Admission control bounds the queue (`Overloaded`), per-request
-//!   deadlines expire stale work (`DeadlineExceeded`), and shutdown
-//!   drains every admitted job before returning.
-//! * [`client`] — a blocking client speaking the same codec, used by
-//!   the examples, the integration suite, and the `cqcs-load` smoke
-//!   binary.
+//!   Admission control bounds the outstanding jobs (`Overloaded`),
+//!   per-request deadlines expire stale work (`DeadlineExceeded`), and
+//!   shutdown drains every admitted job before returning. A
+//!   v1-versioned peer gets a typed `UnsupportedVersion` refusal in the
+//!   legacy framing it can decode — never a desync.
+//! * [`client`] — a client speaking the same codec: blocking
+//!   convenience calls plus a windowed [`Client::submit`]/
+//!   [`Client::recv`] pipelining API (see
+//!   [`Client::solve_pipelined`]), used by the examples, the
+//!   integration suite, and the `cqcs-load` binary.
 //!
 //! The server's responses are pinned **bit-identical** (verdict,
 //! witness, route, search stats) to direct [`cqcs_core::Session::solve`]
-//! calls — the integration suite and experiment E18 assert it — so
-//! moving a workload behind the socket changes where the work runs, not
-//! what it answers.
+//! calls — the integration suite and experiments E18/E19 assert it, at
+//! every pipeline depth and shard count — so moving a workload behind
+//! the socket changes where the work runs, not what it answers.
 //!
 //! ```no_run
 //! use cqcs_net::{client::Client, server::{Server, ServerConfig}};
@@ -45,13 +57,15 @@
 
 pub mod client;
 pub mod codec;
+pub mod pool;
 pub mod registry;
 pub mod server;
 
 pub use client::{Client, ClientError};
 pub use codec::{
     solutions_identical, structures_identical, DecodeError, EncodeError, ErrorCode, Request,
-    Response, StatusInfo, MAX_PAYLOAD, MAX_UNIVERSE, PROTOCOL_VERSION,
+    Response, ShardStatus, StatusInfo, LEGACY_VERSION, MAX_PAYLOAD, MAX_UNIVERSE, PROTOCOL_VERSION,
 };
+pub use pool::frame_buf_growths;
 pub use registry::TemplateRegistry;
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,87 @@
+//! Pooled frame buffers: reuse, don't reallocate.
+//!
+//! Both ends of a connection touch three buffers per frame — the fixed
+//! header, the payload being read, and the scratch a response/request
+//! is encoded into. Allocating them fresh per frame is pure overhead at
+//! steady state, so the server's reader/writer halves and the client
+//! each own long-lived `Vec<u8>`s and route every resize through this
+//! module. [`reserve_payload`] grows a read buffer to a frame's payload
+//! length (shrinking logically, never releasing capacity), and
+//! [`track_growth`] wraps an encode so capacity growth is observed.
+//!
+//! The point of the global [`frame_buf_growths`] counter is
+//! **evidence**: once a connection has seen its largest frame, the
+//! counter must stop moving — a steady-state solve round-trip performs
+//! zero per-request frame-buffer allocations on either end. Experiment
+//! E19 snapshots the counter around a measured run (after a warmup
+//! pass) and reports the delta as a table column gated in CI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Frame-buffer capacity growths (reallocations) across the process,
+/// client and server sides both. See [`frame_buf_growths`].
+static GROWTHS: AtomicU64 = AtomicU64::new(0);
+
+/// Total frame-buffer capacity growths since process start. A
+/// steady-state workload holds this flat; warmup (first sight of each
+/// frame size) and new connections are the only legitimate movement.
+pub fn frame_buf_growths() -> u64 {
+    GROWTHS.load(Ordering::Relaxed)
+}
+
+/// Resizes `buf` to exactly `len` bytes (zero-filling fresh bytes),
+/// recording a growth event if the underlying capacity had to grow.
+/// Shrinking keeps capacity, so alternating small and large frames on
+/// one connection reallocates at most once per high-water mark.
+pub fn reserve_payload(buf: &mut Vec<u8>, len: usize) {
+    if len > buf.capacity() {
+        GROWTHS.fetch_add(1, Ordering::Relaxed);
+    }
+    buf.resize(len, 0);
+}
+
+/// Runs `f` over `buf` and records a growth event if `f` grew the
+/// buffer's capacity — the wrapper for in-place frame encoding.
+pub fn track_growth<R>(buf: &mut Vec<u8>, f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    let cap = buf.capacity();
+    let out = f(buf);
+    if buf.capacity() > cap {
+        GROWTHS.fetch_add(1, Ordering::Relaxed);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_counts_growth_only_once_per_high_water_mark() {
+        let before = frame_buf_growths();
+        let mut buf = Vec::new();
+        reserve_payload(&mut buf, 100);
+        assert_eq!(buf.len(), 100);
+        let after_first = frame_buf_growths();
+        assert!(after_first > before, "first reserve grows");
+        // Smaller and equal requests reuse the capacity: no new growth.
+        reserve_payload(&mut buf, 10);
+        assert_eq!(buf.len(), 10);
+        reserve_payload(&mut buf, 100);
+        assert_eq!(frame_buf_growths(), after_first);
+        // A larger request grows again.
+        let over = buf.capacity() + 1;
+        reserve_payload(&mut buf, over);
+        assert!(frame_buf_growths() > after_first);
+    }
+
+    #[test]
+    fn track_growth_observes_capacity_changes() {
+        let mut buf: Vec<u8> = Vec::with_capacity(8);
+        let before = frame_buf_growths();
+        track_growth(&mut buf, |b| b.extend_from_slice(&[0; 4]));
+        assert_eq!(frame_buf_growths(), before, "within capacity is free");
+        buf.clear();
+        track_growth(&mut buf, |b| b.extend_from_slice(&[0; 64]));
+        assert!(frame_buf_growths() > before, "past capacity is counted");
+    }
+}

@@ -52,16 +52,31 @@ impl TemplateRegistry {
         }
     }
 
-    /// Compiles and registers a template, returning its fresh id and
-    /// evicting the least-recently-used entry if the registry is full.
+    /// Compiles, **warms** (pre-builds the support index and
+    /// propagation program — see [`CompiledTemplate::warm`]), and
+    /// registers a template. Callers holding this registry behind a
+    /// lock should prefer compiling+warming outside it and handing the
+    /// result to [`TemplateRegistry::insert`]; this method is the
+    /// convenient unlocked-path equivalent.
     pub fn register(&mut self, template: &Structure) -> u64 {
+        let compiled = Arc::new(CompiledTemplate::compile(template));
+        compiled.warm();
+        self.insert(compiled)
+    }
+
+    /// Registers an already-compiled template, returning its fresh id
+    /// and evicting the least-recently-used entry if the registry is
+    /// full. Nothing slow happens here — the point of taking an `Arc`
+    /// is that compilation and warming happened *before* whatever lock
+    /// guards the registry was taken.
+    pub fn insert(&mut self, compiled: Arc<CompiledTemplate>) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.clock += 1;
         self.entries.insert(
             id,
             Entry {
-                template: Arc::new(CompiledTemplate::compile(template)),
+                template: compiled,
                 last_used: self.clock,
             },
         );
@@ -155,5 +170,33 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         TemplateRegistry::new(0);
+    }
+
+    #[test]
+    fn registration_warms_the_template_off_the_serving_path() {
+        use cqcs_structures::support_builds_on_this_thread;
+
+        let mut reg = TemplateRegistry::new(4);
+        let before = support_builds_on_this_thread();
+        let id = reg.register(&generators::complete_graph(3));
+        assert!(
+            support_builds_on_this_thread() > before,
+            "register pays for the support build on the registering thread"
+        );
+        // A solve on a *different* thread (the executor, in the server)
+        // must find everything pre-built: its thread-local build
+        // counter stays at zero.
+        let template = reg.get(id).expect("registered");
+        let handle = std::thread::spawn(move || {
+            let session = cqcs_core::Session::from_template(template);
+            let sol = session.solve(&generators::undirected_cycle(4));
+            assert!(sol.homomorphism.is_some(), "C4 → K3");
+            support_builds_on_this_thread()
+        });
+        let solver_thread_builds = handle.join().expect("solver thread");
+        assert_eq!(
+            solver_thread_builds, 0,
+            "warm registration leaves no lowering for the serving path"
+        );
     }
 }

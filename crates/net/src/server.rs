@@ -1,52 +1,85 @@
-//! The serving loop: acceptor, connection threads, coalescing executor.
+//! The serving loop: acceptor, pipelined connections, sharded
+//! coalescing executors.
 //!
 //! ```text
-//!                 ┌────────────┐   accept   ┌───────────────────┐
-//!  TCP clients ──▶│  acceptor  │──────────▶│ connection thread │ (one per conn)
-//!                 └────────────┘            │  read → decode    │
-//!                                           │  admission check  │
-//!                                           └────────┬──────────┘
-//!                                          Job (template, A's, reply)
-//!                                                    ▼
-//!                                           ┌───────────────────┐
-//!                                           │  shared queue     │ (bounded)
-//!                                           └────────┬──────────┘
-//!                                                    ▼
-//!                 ┌──────────────────────────────────────────────┐
-//!                 │ executor: pop, coalesce by template,         │
-//!                 │ par_solve_batch over the merged instances,   │
-//!                 │ split results back per job, reply            │
-//!                 └──────────────────────────────────────────────┘
+//!                 ┌────────────┐   accept   ┌─────────────────────────────┐
+//!  TCP clients ──▶│  acceptor  │──────────▶│ connection (two threads)     │
+//!                 └────────────┘            │  reader: decode → enqueue   │
+//!                                           │  writer: mpsc → encode →    │
+//!                                           │          write (completion  │
+//!                                           │          order, id-tagged)  │
+//!                                           └──────────────┬──────────────┘
+//!                                        Job (template, A's, id, writer)
+//!                                                          ▼
+//!                                    hash(template_id) % N shard queues
+//!                                           ┌──────┐ ┌──────┐ ┌──────┐
+//!                                           │shard0│ │shard1│ │  …   │
+//!                                           └──┬───┘ └──┬───┘ └──┬───┘
+//!                 each shard: pop, coalesce by template, one
+//!                 par_solve_batch over the merged instances, split
+//!                 results back per job, reply to each job's writer
 //! ```
 //!
-//! * **Admission control.** A connection admits a solve job only while
+//! * **Pipelining.** Each connection is split into a reader thread
+//!   (frame → decode → enqueue, never blocking on results) and a writer
+//!   thread fed by an mpsc channel of `(request id, Response)` pairs.
+//!   A client may therefore keep many requests in flight; responses go
+//!   out in completion order and are matched by the correlation id the
+//!   client chose (protocol v2). A v1-versioned frame is answered with
+//!   a **v1-framed** `UnsupportedVersion` error the old peer can
+//!   decode, then the connection closes — typed refusal, no desync.
+//! * **Sharding.** Solve jobs are routed to one of
+//!   [`ServerConfig::executor_shards`] executor threads by template-id
+//!   hash. Each shard owns its queue, coalescing window, and per-shard
+//!   depth/batch counters (visible in `Status`), so concurrent traffic
+//!   against different templates no longer serializes behind one loop.
+//!   Same-template jobs always share a shard, which is what lets the
+//!   coalescer keep merging them.
+//! * **Pooled buffers.** The reader reuses one payload buffer and the
+//!   writer one encode-scratch buffer across every frame on the
+//!   connection ([`crate::pool`]); at steady state a solve round-trip
+//!   allocates no frame buffers on the server at all (experiment E19
+//!   gates this via the pool's growth counter).
+//! * **Admission control.** A reader admits a solve job only while
 //!   fewer than `max_queue_depth` jobs are outstanding (admitted and
-//!   not yet answered); beyond that it answers
+//!   not yet answered) across all shards; beyond that it answers
 //!   [`ErrorCode::Overloaded`] immediately instead of queueing without
 //!   bound. Requests may also carry a deadline: a job that waited in
 //!   the queue past its `deadline_ms` is answered
 //!   [`ErrorCode::DeadlineExceeded`] instead of being solved late.
-//! * **Coalescing.** The executor drains whatever is queued (waiting up
+//! * **Coalescing.** Each shard drains whatever is queued (waiting up
 //!   to [`ServerConfig::coalesce_window`] for stragglers once a first
 //!   job arrives), groups jobs by template id, and runs each group as
 //!   **one** [`Session::par_solve_batch`] call over the concatenated
-//!   instances — concurrent clients asking about the same template
-//!   share a batch executor pass and its per-worker scratch. Batch
-//!   output is pinned bit-identical to per-instance solves (PR 5's E15
-//!   gate), so coalescing is invisible in the responses.
+//!   instances. With pipelining this now also merges one client's
+//!   depth-k window, not just concurrent clients. Batch output is
+//!   pinned bit-identical to per-instance solves (PR 5's E15 gate), so
+//!   coalescing is invisible in the responses.
+//! * **Idle connections sleep.** A reader waiting for the *first* byte
+//!   of a frame polls at the wide [`ServerConfig::idle_poll_interval`];
+//!   only once a frame has started does it tighten to
+//!   [`ServerConfig::poll_interval`] so the shutdown drain grace keeps
+//!   its PR 8 bound. Pure idle wakeups are counted
+//!   (`StatusInfo::idle_wakeups`) and pinned low by a test.
 //! * **Graceful shutdown.** [`Server::shutdown`] stops the acceptor,
-//!   lets every connection finish the request it is reading, waits for
-//!   the executor to drain every admitted job, and only then returns.
-//!   No admitted request is ever dropped with a dead socket.
+//!   lets every reader finish the frame it started (bounded by
+//!   [`ServerConfig::shutdown_drain_grace`]), waits for the shards to
+//!   drain every admitted job — writers flush those replies — and only
+//!   then returns. No admitted request is ever dropped with a dead
+//!   socket.
 //!
 //! Registration, containment, and status requests are handled inline on
-//! the connection thread — they either mutate the registry (cheap under
-//! its mutex) or touch no shared solver state — so the queue carries
-//! exactly the work the coalescer can batch.
+//! the reader thread. Registration pre-builds the template's support
+//! index and propagation program **before** taking the registry lock
+//! ([`CompiledTemplate::warm`]), so the heavy lowering happens off the
+//! serving path: the first solve against a fresh template pays a hash
+//! probe, not a compile.
 
 use crate::codec::{
-    parse_header, ErrorCode, Request, Response, StatusInfo, HEADER_LEN, PROTOCOL_VERSION,
+    legacy_error_frame, parse_header, parse_header_prefix, DecodeError, ErrorCode, Request,
+    Response, ShardStatus, StatusInfo, HEADER_LEN, LEGACY_HEADER_LEN, PROTOCOL_VERSION,
 };
+use crate::pool;
 use crate::registry::TemplateRegistry;
 use cqcs_core::{CompiledTemplate, Session, Solution};
 use cqcs_cq::{contained_in, parse_query};
@@ -65,18 +98,30 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Maximum templates resident in the registry (LRU beyond this).
     pub registry_capacity: usize,
-    /// Maximum outstanding solve jobs (admitted, not yet answered);
-    /// beyond this new solves are refused with `Overloaded`.
+    /// Maximum outstanding solve jobs (admitted, not yet answered,
+    /// summed over all shards); beyond this new solves are refused with
+    /// `Overloaded`.
     pub max_queue_depth: usize,
     /// Worker threads for each coalesced `par_solve_batch` call.
     pub batch_threads: usize,
-    /// How long the executor waits for more jobs to coalesce after the
+    /// Executor shards: solve jobs are routed by template-id hash to
+    /// one of this many independent coalescing executor threads.
+    pub executor_shards: usize,
+    /// How long a shard waits for more jobs to coalesce after the
     /// first one arrives. Zero (the default) batches only what is
     /// already queued — lowest latency; a positive window trades
     /// first-request latency for bigger shared batches.
     pub coalesce_window: Duration,
-    /// Granularity at which blocked reads re-check the shutdown flag.
+    /// Granularity at which blocked reads re-check the shutdown flag
+    /// once a frame has started arriving.
     pub poll_interval: Duration,
+    /// Granularity at which a connection waiting for the *first* byte
+    /// of a frame re-checks the shutdown flag. Much wider than
+    /// [`ServerConfig::poll_interval`]: an idle connection has nothing
+    /// to drain, so waking it 40×/s is pure overhead. The cost is
+    /// shutdown noticing idle connections this much later, never
+    /// correctness.
+    pub idle_poll_interval: Duration,
     /// How long, once shutdown begins, a connection keeps waiting for
     /// the rest of a frame it already started reading. A well-behaved
     /// client finishes within the grace; a stalled one (partial header
@@ -91,8 +136,10 @@ impl Default for ServerConfig {
             registry_capacity: 64,
             max_queue_depth: 1024,
             batch_threads: 1,
+            executor_shards: 2,
             coalesce_window: Duration::ZERO,
             poll_interval: Duration::from_millis(25),
+            idle_poll_interval: Duration::from_millis(500),
             shutdown_drain_grace: Duration::from_millis(1000),
         }
     }
@@ -102,12 +149,25 @@ impl Default for ServerConfig {
 /// window says — bounds reply latency under a flood.
 const MAX_COALESCE_JOBS: usize = 256;
 
+/// Writer batching bound: a writer drains at most this many queued
+/// bytes into one `write_all` before flushing, so one syscall can carry
+/// a pipelined window's worth of responses without unbounded buffering.
+const MAX_WRITE_BATCH: usize = 1 << 20;
+
 /// How a queued job wants its solutions wrapped.
 enum JobKind {
     /// A `Solve` request: exactly one instance, answered `Solved`.
     Single,
     /// A `SolveBatch` request: answered `BatchSolved` in order.
     Batch,
+}
+
+/// What a connection's writer thread writes: either a response to
+/// encode under its correlation id, or pre-framed bytes (the v1-framed
+/// refusal sent to old-protocol peers).
+enum WriteItem {
+    Reply(u64, Response),
+    Raw(Vec<u8>),
 }
 
 struct Job {
@@ -117,7 +177,10 @@ struct Job {
     kind: JobKind,
     enqueued: Instant,
     deadline_ms: u32,
-    reply: Sender<Response>,
+    /// The correlation id the reply must echo.
+    request_id: u64,
+    /// The owning connection's writer channel.
+    reply: Sender<WriteItem>,
 }
 
 #[derive(Default)]
@@ -129,20 +192,38 @@ struct Counters {
     max_coalesced_jobs: AtomicU64,
     overloaded: AtomicU64,
     deadline_expired: AtomicU64,
+    idle_wakeups: AtomicU64,
+}
+
+/// One executor shard: its queue's producer half (taken on shutdown)
+/// and its public counters.
+struct Shard {
+    sender: Mutex<Option<Sender<Job>>>,
+    /// Jobs admitted to this shard and not yet answered.
+    depth: AtomicUsize,
+    batches: AtomicU64,
+    max_coalesced: AtomicU64,
 }
 
 struct Shared {
     cfg: ServerConfig,
     registry: Mutex<TemplateRegistry>,
-    /// Producer half of the job queue; taken (and dropped) on shutdown
-    /// so the executor sees disconnection once every connection ended.
-    sender: Mutex<Option<Sender<Job>>>,
-    /// Admitted-but-unanswered solve jobs (admission control bound).
+    shards: Vec<Shard>,
+    /// Admitted-but-unanswered solve jobs across all shards (admission
+    /// control bound).
     outstanding: AtomicUsize,
     /// Cleared when shutdown begins: acceptor stops accepting and
-    /// connections stop reading *new* requests.
+    /// readers stop reading *new* requests.
     accepting: AtomicBool,
     counters: Counters,
+}
+
+/// Routes a template id to an executor shard. Registry ids are
+/// sequential, so a multiplicative (Fibonacci) hash spreads them; the
+/// function is pure so every request for a template lands on the same
+/// shard — the invariant coalescing relies on.
+fn shard_index(template_id: u64, shards: usize) -> usize {
+    (template_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize % shards
 }
 
 /// A running server. Bind with [`Server::bind`], stop with
@@ -152,20 +233,32 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    executor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
     /// Binds a listener (use port 0 for an ephemeral port) and starts
-    /// the acceptor and executor threads.
+    /// the acceptor and executor-shard threads.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let (tx, rx) = mpsc::channel::<Job>();
+        let nshards = cfg.executor_shards.max(1);
+        let mut shards = Vec::with_capacity(nshards);
+        let mut receivers = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            shards.push(Shard {
+                sender: Mutex::new(Some(tx)),
+                depth: AtomicUsize::new(0),
+                batches: AtomicU64::new(0),
+                max_coalesced: AtomicU64::new(0),
+            });
+            receivers.push(rx);
+        }
         let shared = Arc::new(Shared {
             registry: Mutex::new(TemplateRegistry::new(cfg.registry_capacity)),
-            sender: Mutex::new(Some(tx)),
+            shards,
             outstanding: AtomicUsize::new(0),
             accepting: AtomicBool::new(true),
             counters: Counters::default(),
@@ -173,10 +266,14 @@ impl Server {
         });
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let executor = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || executor_loop(&shared, &rx))
-        };
+        let executors = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || executor_loop(&shared, i, &rx))
+            })
+            .collect();
         let acceptor = {
             let shared = Arc::clone(&shared);
             let connections = Arc::clone(&connections);
@@ -186,7 +283,7 @@ impl Server {
             addr,
             shared,
             acceptor: Some(acceptor),
-            executor: Some(executor),
+            executors,
             connections,
         })
     }
@@ -220,17 +317,21 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        // 3. Join connection threads: each finishes the request it is
-        //    handling (replies come from the still-running executor)
-        //    and exits at its next poll of the accepting flag.
+        // 3. Join connection threads. Each reader finishes the frame it
+        //    is reading and exits; each writer drains once the reader
+        //    and every in-flight job for that connection has dropped
+        //    its channel — replies still come from the shards, which
+        //    are running until step 4.
         let conns = std::mem::take(&mut *self.connections.lock().unwrap());
         for h in conns {
             let _ = h.join();
         }
-        // 4. Drop the queue's producer half: the executor drains every
-        //    remaining job, then sees disconnection and exits.
-        drop(self.shared.sender.lock().unwrap().take());
-        if let Some(h) = self.executor.take() {
+        // 4. Drop each shard queue's producer half: the shard drains
+        //    every remaining job, then sees disconnection and exits.
+        for shard in &self.shared.shards {
+            drop(shard.sender.lock().unwrap().take());
+        }
+        for h in self.executors.drain(..) {
             let _ = h.join();
         }
     }
@@ -238,7 +339,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || self.executor.is_some() {
+        if self.acceptor.is_some() || !self.executors.is_empty() {
             self.shutdown_inner();
         }
     }
@@ -275,37 +376,177 @@ fn acceptor_loop(
     }
 }
 
-/// Reads exactly `buf.len()` bytes, tolerating read timeouts (used as
-/// shutdown polls). Returns `Ok(false)` on clean EOF before the first
-/// byte, or when shutdown begins while no request is mid-read. A frame
-/// already started is drained during shutdown, but only for
-/// [`ServerConfig::shutdown_drain_grace`] — a peer that stalls
-/// mid-frame must not pin the connection thread (and so
-/// [`Server::shutdown`], which joins it) forever.
+/// Reads exactly `buf.len()` bytes **mid-frame**: the caller has
+/// already committed to a frame, so EOF is an error, the stream polls
+/// at the tight `poll_interval`, and once shutdown begins the read is
+/// drained only for [`ServerConfig::shutdown_drain_grace`] — a peer
+/// that stalls mid-frame must not pin the connection thread (and so
+/// [`Server::shutdown`], which joins it) forever. The caller is
+/// responsible for the stream's read timeout being `poll_interval`.
 fn read_exact_polled(
     stream: &mut TcpStream,
     buf: &mut [u8],
     shared: &Shared,
-) -> std::io::Result<bool> {
+) -> std::io::Result<()> {
     let mut filled = 0usize;
     let mut drain_deadline: Option<Instant> = None;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
-                return if filled == 0 {
-                    Ok(false)
-                } else {
-                    Err(std::io::Error::new(
-                        ErrorKind::UnexpectedEof,
-                        "connection closed mid-frame",
-                    ))
-                };
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if !shared.accepting.load(Ordering::SeqCst) {
-                    if filled == 0 {
-                        // An idle wait gives up immediately.
+                if shared.accepting.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let deadline = *drain_deadline
+                    .get_or_insert_with(|| Instant::now() + shared.cfg.shutdown_drain_grace);
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "peer stalled mid-frame during shutdown",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// How much a connection reads per syscall: one chunk usually carries a
+/// pipelined window's worth of small frames, so the steady-state cost
+/// is ~one read per window instead of three per frame.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Which read timeout is currently installed on the socket — tracked so
+/// mode changes (one `setsockopt`) happen only at idle/busy
+/// transitions, not per frame.
+#[derive(PartialEq, Clone, Copy)]
+enum TimeoutMode {
+    Unset,
+    Idle,
+    Poll,
+}
+
+/// Buffered frame input over one connection. Owns the read half plus a
+/// fixed chunk buffer allocated once per connection; frames are parsed
+/// out of the buffer and only payload bytes beyond the chunk fall back
+/// to direct reads. The idle/poll timeout split lives here: waiting
+/// for a frame's *first* byte uses the wide
+/// [`ServerConfig::idle_poll_interval`] (wakeups counted), anything
+/// mid-frame the tight [`ServerConfig::poll_interval`] so the shutdown
+/// drain grace keeps its bound.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    mode: TimeoutMode,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> FrameReader {
+        FrameReader {
+            stream,
+            buf: vec![0u8; READ_CHUNK],
+            start: 0,
+            end: 0,
+            mode: TimeoutMode::Unset,
+        }
+    }
+
+    fn available(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// The next `n` buffered bytes, without consuming them.
+    fn peek(&self, n: usize) -> &[u8] {
+        &self.buf[self.start..self.start + n]
+    }
+
+    /// Consumes and returns the next `n` buffered bytes.
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = &self.buf[self.start..self.start + n];
+        self.start += n;
+        s
+    }
+
+    fn set_mode(&mut self, shared: &Shared, mode: TimeoutMode) {
+        if self.mode != mode {
+            let t = match mode {
+                TimeoutMode::Idle => shared.cfg.idle_poll_interval,
+                _ => shared.cfg.poll_interval,
+            };
+            let _ = self.stream.set_read_timeout(Some(t));
+            self.mode = mode;
+        }
+    }
+
+    /// Ensures at least `need` contiguous buffered bytes, reading as
+    /// much as the socket offers per syscall. `at_boundary` marks the
+    /// wait for a frame's first byte: there EOF and shutdown end the
+    /// connection cleanly (`Ok(false)`) and timeouts tick the
+    /// idle-wakeup counter; once any byte of a frame exists, EOF is an
+    /// error and shutdown grants only the drain grace.
+    fn fill(&mut self, shared: &Shared, need: usize, at_boundary: bool) -> std::io::Result<bool> {
+        debug_assert!(need <= self.buf.len());
+        if self.available() >= need {
+            return Ok(true);
+        }
+        if self.start + need > self.buf.len() {
+            // Compact so the frame head fits contiguously.
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        let mut awaiting_first = at_boundary && self.available() == 0;
+        let mut drain_deadline: Option<Instant> = None;
+        self.set_mode(
+            shared,
+            if awaiting_first {
+                TimeoutMode::Idle
+            } else {
+                TimeoutMode::Poll
+            },
+        );
+        loop {
+            let dst_from = self.end;
+            match self.stream.read(&mut self.buf[dst_from..]) {
+                Ok(0) => {
+                    return if awaiting_first {
+                        Ok(false)
+                    } else {
+                        Err(std::io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => {
+                    self.end += n;
+                    if awaiting_first {
+                        awaiting_first = false;
+                        self.set_mode(shared, TimeoutMode::Poll);
+                    }
+                    if self.available() >= need {
+                        return Ok(true);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if shared.accepting.load(Ordering::SeqCst) {
+                        if awaiting_first {
+                            shared.counters.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    if awaiting_first {
+                        // An idle wait gives up immediately at shutdown.
                         return Ok(false);
                     }
                     let deadline = *drain_deadline
@@ -317,29 +558,31 @@ fn read_exact_polled(
                         ));
                     }
                 }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
         }
     }
-    Ok(true)
-}
 
-fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    let bytes = match resp.encode() {
-        Ok(bytes) => bytes,
-        Err(e) => {
-            // The response is too large for the protocol's frame limit
-            // (e.g. a batch of huge witness maps). Emitting it anyway
-            // would desynchronize the peer, so answer with a small
-            // structured error instead.
-            error_response(ErrorCode::Internal, e.to_string())
-                .encode()
-                .expect("error frames are small")
+    /// Reads a `len`-byte payload into `payload` (pooled): whatever is
+    /// already buffered is copied out, and only an overflow beyond the
+    /// chunk size falls back to direct polled reads.
+    fn read_payload(
+        &mut self,
+        shared: &Shared,
+        payload: &mut Vec<u8>,
+        len: usize,
+    ) -> std::io::Result<()> {
+        pool::reserve_payload(payload, len);
+        let buffered = len.min(self.available());
+        payload[..buffered].copy_from_slice(self.peek(buffered));
+        self.start += buffered;
+        if buffered < len {
+            self.set_mode(shared, TimeoutMode::Poll);
+            read_exact_polled(&mut self.stream, &mut payload[buffered..], shared)?;
         }
-    };
-    stream.write_all(&bytes)?;
-    stream.flush()
+        Ok(())
+    }
 }
 
 fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
@@ -349,35 +592,124 @@ fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
     }
 }
 
-fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+/// Appends one writer item to the batching buffer, encoding responses
+/// in place. An oversized response is substituted with a small
+/// structured error under the same id rather than desynchronizing the
+/// stream; `encode_into` truncates its partial frame on failure, so the
+/// buffer never carries half a frame.
+fn append_write_item(buf: &mut Vec<u8>, item: WriteItem) {
+    pool::track_growth(buf, |out| match item {
+        WriteItem::Reply(id, resp) => {
+            if let Err(e) = resp.encode_into(id, out) {
+                error_response(ErrorCode::Internal, e.to_string())
+                    .encode_into(id, out)
+                    .expect("error frames are small");
+            }
+        }
+        WriteItem::Raw(bytes) => out.extend_from_slice(&bytes),
+    });
+}
+
+/// The connection's writer half: drains the reply channel in completion
+/// order, batching whatever is already queued into one write. Exits
+/// when every sender (the reader plus each in-flight job) is gone, or
+/// on a write error (peer hung up — in-flight replies are discarded by
+/// the channel senders failing silently).
+fn writer_loop(mut stream: TcpStream, rx: &Receiver<WriteItem>) {
+    // Sized up front so batch-size jitter cannot trigger mid-run
+    // growth: a window of small replies fits the initial reservation
+    // and the pool's growth counter stays flat in steady state.
+    let mut buf: Vec<u8> = Vec::with_capacity(READ_CHUNK);
+    while let Ok(first) = rx.recv() {
+        buf.clear();
+        append_write_item(&mut buf, first);
+        // As in `executor_loop`: give the executor that woke us its
+        // quantum back, so a coalesced batch's replies land in one
+        // write instead of one write per reply.
+        std::thread::yield_now();
+        while buf.len() < MAX_WRITE_BATCH {
+            match rx.try_recv() {
+                Ok(item) => append_write_item(&mut buf, item),
+                Err(_) => break,
+            }
+        }
+        if stream
+            .write_all(&buf)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<WriteItem>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, &reply_rx));
+    reader_loop(shared, stream, &reply_tx);
+    // The reader is done admitting work; once the shards answer every
+    // job this connection still has in flight, the writer's channel
+    // disconnects and it exits with all replies flushed.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, reply: &Sender<WriteItem>) {
+    let mut rd = FrameReader::new(stream);
+    // Reused across every frame on this connection: steady state reads
+    // allocate no frame buffers (see `crate::pool`).
+    let mut payload: Vec<u8> = Vec::new();
     loop {
-        // Header.
-        let mut header = [0u8; HEADER_LEN];
-        match read_exact_polled(&mut stream, &mut header, shared) {
+        // The 8-byte prefix v1 and v2 headers share: enough to vet
+        // magic and version before committing to the v2 header length.
+        match rd.fill(shared, LEGACY_HEADER_LEN, true) {
             Ok(true) => {}
             Ok(false) | Err(_) => return,
         }
-        let (kind, len) = match parse_header(&header) {
+        if let Err(e) = parse_header_prefix(
+            rd.peek(LEGACY_HEADER_LEN)
+                .try_into()
+                .expect("peek returns the requested length"),
+        ) {
+            // A v1 peer (or garbage). We cannot answer in v2 framing —
+            // the peer would not recognize it — so the typed refusal
+            // goes out in the legacy framing both speak, then hang up.
+            let code = match e {
+                DecodeError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+                _ => ErrorCode::Malformed,
+            };
+            let _ = reply.send(WriteItem::Raw(legacy_error_frame(code, &e.to_string())));
+            return;
+        }
+        match rd.fill(shared, HEADER_LEN, false) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let header: [u8; HEADER_LEN] = rd
+            .take(HEADER_LEN)
+            .try_into()
+            .expect("take returns the requested length");
+        let (kind, id, len) = match parse_header(&header) {
             Ok(v) => v,
             Err(e) => {
-                // The stream is desynchronized; report and hang up.
-                let code = match e {
-                    crate::codec::DecodeError::UnsupportedVersion(_) => {
-                        ErrorCode::UnsupportedVersion
-                    }
-                    _ => ErrorCode::Malformed,
-                };
-                let _ = write_response(&mut stream, &error_response(code, e.to_string()));
+                // Magic and version already passed, so this is an
+                // oversized length claim: framing cannot be trusted
+                // past this point. The id bytes are still well-defined,
+                // so the refusal can at least name the request.
+                let id = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+                let _ = reply.send(WriteItem::Reply(
+                    id,
+                    error_response(ErrorCode::Malformed, e.to_string()),
+                ));
                 return;
             }
         };
-        // Payload.
-        let mut payload = vec![0u8; len as usize];
-        match read_exact_polled(&mut stream, &mut payload, shared) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => return,
+        if rd.read_payload(shared, &mut payload, len as usize).is_err() {
+            return;
         }
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
         let request = match Request::decode_payload(kind, &payload) {
@@ -385,42 +717,69 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             Err(e) => {
                 // Framing held, so the stream is still in sync: answer
                 // the error and keep serving this connection.
-                let resp = error_response(ErrorCode::Malformed, e.to_string());
-                if write_response(&mut stream, &resp).is_err() {
+                if reply
+                    .send(WriteItem::Reply(
+                        id,
+                        error_response(ErrorCode::Malformed, e.to_string()),
+                    ))
+                    .is_err()
+                {
                     return;
                 }
                 continue;
             }
         };
-        let response = handle_request(shared, request);
-        if write_response(&mut stream, &response).is_err() {
-            return;
+        let inline = match request {
+            Request::Solve {
+                template_id,
+                deadline_ms,
+                instance,
+            } => enqueue_solve(
+                shared,
+                id,
+                template_id,
+                deadline_ms,
+                vec![instance],
+                JobKind::Single,
+                reply,
+            ),
+            Request::SolveBatch {
+                template_id,
+                deadline_ms,
+                instances,
+            } => enqueue_solve(
+                shared,
+                id,
+                template_id,
+                deadline_ms,
+                instances,
+                JobKind::Batch,
+                reply,
+            ),
+            other => Some(handle_inline(shared, other)),
+        };
+        if let Some(resp) = inline {
+            if reply.send(WriteItem::Reply(id, resp)).is_err() {
+                return;
+            }
         }
     }
 }
 
-fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
+/// Handles the request kinds answered on the reader thread (no solver
+/// work): registration, containment, status.
+fn handle_inline(shared: &Arc<Shared>, request: Request) -> Response {
     match request {
         Request::RegisterTemplate { template } => {
-            let id = shared.registry.lock().unwrap().register(&template);
+            // Compile AND pre-build the serving-path state (support
+            // index, propagation program) before taking the registry
+            // lock: the heavy lowering happens here, off the solve
+            // path, and other connections never block on it.
+            let compiled = Arc::new(CompiledTemplate::compile(&template));
+            compiled.warm();
+            let id = shared.registry.lock().unwrap().insert(compiled);
             Response::TemplateRegistered { id }
         }
-        Request::Solve {
-            template_id,
-            deadline_ms,
-            instance,
-        } => enqueue_solve(
-            shared,
-            template_id,
-            deadline_ms,
-            vec![instance],
-            JobKind::Single,
-        ),
-        Request::SolveBatch {
-            template_id,
-            deadline_ms,
-            instances,
-        } => enqueue_solve(shared, template_id, deadline_ms, instances, JobKind::Batch),
         Request::Containment { q1, q2 } => {
             let parsed = parse_query(&q1).and_then(|p1| Ok((p1, parse_query(&q2)?)));
             match parsed.and_then(|(p1, p2)| contained_in(&p1, &p2)) {
@@ -448,54 +807,74 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
                 max_coalesced_jobs: c.max_coalesced_jobs.load(Ordering::Relaxed) as u32,
                 overloaded: c.overloaded.load(Ordering::Relaxed),
                 deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+                idle_wakeups: c.idle_wakeups.load(Ordering::Relaxed),
+                shards: shared
+                    .shards
+                    .iter()
+                    .map(|s| ShardStatus {
+                        queue_depth: s.depth.load(Ordering::SeqCst) as u32,
+                        batches: s.batches.load(Ordering::Relaxed),
+                        max_coalesced: s.max_coalesced.load(Ordering::Relaxed) as u32,
+                    })
+                    .collect(),
             })
+        }
+        Request::Solve { .. } | Request::SolveBatch { .. } => {
+            unreachable!("solve kinds are enqueued, not handled inline")
         }
     }
 }
 
+/// Validates and admits a solve job onto its template's shard. Returns
+/// `Some(response)` if the request was answered here (an error, or an
+/// empty batch); `None` once the job is enqueued — the shard replies
+/// through the connection's writer, tagged with `request_id`.
 fn enqueue_solve(
     shared: &Arc<Shared>,
+    request_id: u64,
     template_id: u64,
     deadline_ms: u32,
     instances: Vec<cqcs_structures::Structure>,
     kind: JobKind,
-) -> Response {
+    reply: &Sender<WriteItem>,
+) -> Option<Response> {
     let Some(template) = shared.registry.lock().unwrap().get(template_id) else {
-        return error_response(
+        return Some(error_response(
             ErrorCode::UnknownTemplate,
             format!("template {template_id} is not registered (evicted or never known)"),
-        );
+        ));
     };
     // The executor must never panic on a bad instance: vocabulary
-    // compatibility is the connection thread's problem.
+    // compatibility is the reader thread's problem.
     for a in &instances {
         if !a.same_vocabulary(template.template()) {
-            return error_response(
+            return Some(error_response(
                 ErrorCode::VocabularyMismatch,
                 "instance vocabulary differs from the template's",
-            );
+            ));
         }
     }
     if instances.is_empty() {
-        return match kind {
+        return Some(match kind {
             JobKind::Single => error_response(ErrorCode::Malformed, "solve without an instance"),
             JobKind::Batch => Response::BatchSolved(Vec::new()),
-        };
+        });
     }
-    // Admission control: bound the outstanding jobs.
+    // Admission control: bound the outstanding jobs across all shards.
     let prev = shared.outstanding.fetch_add(1, Ordering::SeqCst);
     if prev >= shared.cfg.max_queue_depth {
         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
         shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-        return error_response(
+        return Some(error_response(
             ErrorCode::Overloaded,
             format!(
                 "admission queue full ({} outstanding)",
                 shared.cfg.max_queue_depth
             ),
-        );
+        ));
     }
-    let (reply_tx, reply_rx) = mpsc::channel();
+    let shard_ix = shard_index(template_id, shared.shards.len());
+    let shard = &shared.shards[shard_ix];
     let job = Job {
         template_id,
         template,
@@ -503,33 +882,35 @@ fn enqueue_solve(
         kind,
         enqueued: Instant::now(),
         deadline_ms,
-        reply: reply_tx,
+        request_id,
+        reply: reply.clone(),
     };
+    shard.depth.fetch_add(1, Ordering::SeqCst);
     let sent = {
-        let sender = shared.sender.lock().unwrap();
+        let sender = shard.sender.lock().unwrap();
         match sender.as_ref() {
             Some(tx) => tx.send(job).is_ok(),
             None => false,
         }
     };
     if !sent {
+        shard.depth.fetch_sub(1, Ordering::SeqCst);
         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-        return error_response(ErrorCode::Internal, "server is shutting down");
+        return Some(error_response(
+            ErrorCode::Internal,
+            "server is shutting down",
+        ));
     }
-    match reply_rx.recv() {
-        Ok(resp) => resp,
-        Err(_) => error_response(ErrorCode::Internal, "executor dropped the request"),
-    }
+    None
 }
 
-fn executor_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
+fn executor_loop(shared: &Arc<Shared>, shard_ix: usize, rx: &Receiver<Job>) {
     loop {
-        // Block for the first job (with a poll so disconnection is
-        // noticed promptly even on quiet servers).
-        let first = match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(job) => job,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
+        // Block for the first job; disconnection (shutdown dropping the
+        // shard's sender) wakes the recv immediately, so no timeout
+        // poll — an idle shard sleeps.
+        let Ok(first) = rx.recv() else {
+            return;
         };
         let mut jobs = vec![first];
         // Coalesce: wait out the window (if any) for concurrent
@@ -551,18 +932,27 @@ fn executor_loop(shared: &Arc<Shared>, rx: &Receiver<Job>) {
                 }
             }
         }
+        // One scheduling quantum for the reader that woke us: on a
+        // loaded single-CPU box the wake lands mid-window — the reader
+        // has parsed one frame of a pipelined burst and is still
+        // draining the rest. Yielding lets it finish enqueueing the
+        // burst so the sweep below coalesces the whole window instead
+        // of fragmenting it into single-job batches.
+        std::thread::yield_now();
         while jobs.len() < MAX_COALESCE_JOBS {
             match rx.try_recv() {
                 Ok(job) => jobs.push(job),
                 Err(_) => break,
             }
         }
-        execute_jobs(shared, jobs);
+        execute_jobs(shared, shard_ix, jobs);
     }
 }
 
-fn execute_jobs(shared: &Arc<Shared>, jobs: Vec<Job>) {
+fn execute_jobs(shared: &Arc<Shared>, shard_ix: usize, jobs: Vec<Job>) {
     // Group by template id, preserving arrival order within a group.
+    // Different templates can share a shard (the hash is many-to-one),
+    // but each group still runs as one batch.
     let mut order: Vec<u64> = Vec::new();
     let mut groups: HashMap<u64, Vec<Job>> = HashMap::new();
     for job in jobs {
@@ -574,11 +964,19 @@ fn execute_jobs(shared: &Arc<Shared>, jobs: Vec<Job>) {
     }
     for id in order {
         let group = groups.remove(&id).expect("group was just inserted");
-        execute_group(shared, group);
+        execute_group(shared, shard_ix, group);
     }
 }
 
-fn execute_group(shared: &Arc<Shared>, group: Vec<Job>) {
+/// Marks one job answered: the admission and shard-depth counters drop
+/// before the reply is sent, so a client that sees the response never
+/// observes its own job still "outstanding".
+fn finish_job(shared: &Arc<Shared>, shard_ix: usize) {
+    shared.shards[shard_ix].depth.fetch_sub(1, Ordering::SeqCst);
+    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn execute_group(shared: &Arc<Shared>, shard_ix: usize, group: Vec<Job>) {
     // Expire deadlines first — a late answer is worse than an honest
     // refusal, and expired instances must not pad the batch.
     let mut live: Vec<Job> = Vec::with_capacity(group.len());
@@ -590,12 +988,13 @@ fn execute_group(shared: &Arc<Shared>, group: Vec<Job>) {
                 .counters
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
-            // Decrement before replying so a client that sees the
-            // response never observes its own job still "outstanding".
-            shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-            let _ = job.reply.send(error_response(
-                ErrorCode::DeadlineExceeded,
-                format!("deadline of {} ms expired in the queue", job.deadline_ms),
+            finish_job(shared, shard_ix);
+            let _ = job.reply.send(WriteItem::Reply(
+                job.request_id,
+                error_response(
+                    ErrorCode::DeadlineExceeded,
+                    format!("deadline of {} ms expired in the queue", job.deadline_ms),
+                ),
             ));
         } else {
             live.push(job);
@@ -624,6 +1023,11 @@ fn execute_group(shared: &Arc<Shared>, group: Vec<Job>) {
     }
     c.max_coalesced_jobs
         .fetch_max(live.len() as u64, Ordering::Relaxed);
+    let shard = &shared.shards[shard_ix];
+    shard.batches.fetch_add(1, Ordering::Relaxed);
+    shard
+        .max_coalesced
+        .fetch_max(live.len() as u64, Ordering::Relaxed);
 
     // Split the merged results back per job, in order.
     let mut cursor = solutions.into_iter();
@@ -637,8 +1041,7 @@ fn execute_group(shared: &Arc<Shared>, group: Vec<Job>) {
             }
             JobKind::Batch => Response::BatchSolved(sols),
         };
-        // Decrement before replying (see the deadline path above).
-        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-        let _ = job.reply.send(resp);
+        finish_job(shared, shard_ix);
+        let _ = job.reply.send(WriteItem::Reply(job.request_id, resp));
     }
 }

@@ -10,7 +10,10 @@
 use cqcs_core::Session;
 use cqcs_cq::{contained_in, parse_query};
 use cqcs_net::client::{Client, ClientError};
-use cqcs_net::codec::{solutions_identical, ErrorCode, HEADER_LEN, PROTOCOL_VERSION};
+use cqcs_net::codec::{
+    solutions_identical, ErrorCode, Request, Response, HEADER_LEN, LEGACY_HEADER_LEN,
+    LEGACY_VERSION, PROTOCOL_VERSION,
+};
 use cqcs_net::server::{Server, ServerConfig};
 use cqcs_structures::{generators, Structure};
 use std::io::{Read, Write};
@@ -312,7 +315,7 @@ fn graceful_shutdown_drains_in_flight_requests() {
     match TcpStream::connect(addr) {
         Err(_) => {}
         Ok(mut s) => {
-            let _ = s.write_all(&cqcs_net::codec::Request::Status.encode().unwrap());
+            let _ = s.write_all(&Request::Status.encode(1).unwrap());
             let mut buf = [0u8; 1];
             // A live server would answer; a shut-down one hangs up.
             let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
@@ -336,7 +339,7 @@ fn shutdown_is_not_blocked_by_a_client_stalled_mid_frame() {
     });
     let addr = server.local_addr();
     let mut stalled = TcpStream::connect(addr).unwrap();
-    stalled.write_all(b"CQ\x01").unwrap(); // 3 of 8 header bytes, then silence
+    stalled.write_all(b"CQ\x02").unwrap(); // 3 of 16 header bytes, then silence
     stalled.flush().unwrap();
     // Give the connection thread time to start reading the partial frame.
     std::thread::sleep(Duration::from_millis(100));
@@ -354,14 +357,34 @@ fn shutdown_is_not_blocked_by_a_client_stalled_mid_frame() {
 // ---------------------------------------------------------------------
 // Raw-socket protocol conformance: what a *misbehaving* client sees.
 
-fn read_error_frame(s: &mut TcpStream) -> (ErrorCode, String) {
+/// Reads one v2 response frame and expects it to be a structured error,
+/// returning the correlation id alongside the error.
+fn read_error_frame(s: &mut TcpStream) -> (u64, ErrorCode, String) {
     let mut header = [0u8; HEADER_LEN];
     s.read_exact(&mut header).expect("error frame header");
-    let (kind, len) = cqcs_net::codec::parse_header(&header).expect("valid response header");
+    let (kind, id, len) = cqcs_net::codec::parse_header(&header).expect("valid response header");
     let mut payload = vec![0u8; len as usize];
     s.read_exact(&mut payload).expect("error frame payload");
-    match cqcs_net::codec::Response::decode_payload(kind, &payload).expect("decodable response") {
-        cqcs_net::codec::Response::Error { code, message } => (code, message),
+    match Response::decode_payload(kind, &payload).expect("decodable response") {
+        Response::Error { code, message } => (id, code, message),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+/// Reads one **legacy (v1) framed** error — what the server sends to a
+/// peer whose version byte it refused, in the only framing that peer
+/// can be assumed to decode.
+fn read_legacy_error_frame(s: &mut TcpStream) -> (ErrorCode, String) {
+    let mut header = [0u8; LEGACY_HEADER_LEN];
+    s.read_exact(&mut header)
+        .expect("legacy error frame header");
+    let (kind, len) =
+        cqcs_net::codec::parse_legacy_header(&header).expect("valid v1 response header");
+    let mut payload = vec![0u8; len as usize];
+    s.read_exact(&mut payload)
+        .expect("legacy error frame payload");
+    match Response::decode_payload(kind, &payload).expect("decodable response") {
+        Response::Error { code, message } => (code, message),
         other => panic!("expected an error frame, got {other:?}"),
     }
 }
@@ -370,10 +393,12 @@ fn read_error_frame(s: &mut TcpStream) -> (ErrorCode, String) {
 fn wrong_protocol_version_is_refused() {
     let server = default_server();
     let mut s = TcpStream::connect(server.local_addr()).unwrap();
-    let mut frame = cqcs_net::codec::Request::Status.encode().unwrap();
+    let mut frame = Request::Status.encode(1).unwrap();
     frame[2] = PROTOCOL_VERSION + 1;
     s.write_all(&frame).unwrap();
-    let (code, _) = read_error_frame(&mut s);
+    // The refusal is typed but legacy-framed: the server cannot assume
+    // an unknown-version peer decodes v2 frames.
+    let (code, _) = read_legacy_error_frame(&mut s);
     assert_eq!(code, ErrorCode::UnsupportedVersion);
     // The server hangs up after a framing error (the stream cannot be
     // trusted to be in sync).
@@ -383,11 +408,39 @@ fn wrong_protocol_version_is_refused() {
 }
 
 #[test]
+fn v1_peer_gets_structured_unsupported_version_not_desync() {
+    // A well-formed *v1* frame (8-byte header, version 1, Status kind,
+    // empty payload): the v2 server must answer with a typed
+    // UnsupportedVersion error in v1 framing — no panic, no desync, no
+    // silent hangup — and the server must keep serving v2 clients.
+    let server = default_server();
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    let mut v1_frame = Vec::new();
+    v1_frame.extend_from_slice(b"CQ");
+    v1_frame.push(LEGACY_VERSION);
+    v1_frame.push(0x05); // K_STATUS in the v1 kind space
+    v1_frame.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&v1_frame).unwrap();
+    let (code, message) = read_legacy_error_frame(&mut s);
+    assert_eq!(code, ErrorCode::UnsupportedVersion);
+    assert!(
+        message.contains('1'),
+        "refusal names the offered version: {message}"
+    );
+    let mut buf = [0u8; 1];
+    assert_eq!(s.read(&mut buf).unwrap_or(0), 0, "v1 peer is hung up on");
+    // The server survives: a v2 client on a fresh connection works.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.status().unwrap().protocol_version, PROTOCOL_VERSION);
+    server.shutdown();
+}
+
+#[test]
 fn garbage_header_is_refused_without_panic() {
     let server = default_server();
     let mut s = TcpStream::connect(server.local_addr()).unwrap();
     s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
-    let (code, _) = read_error_frame(&mut s);
+    let (code, _) = read_legacy_error_frame(&mut s);
     assert_eq!(code, ErrorCode::Malformed);
     // The server survives: a fresh, well-behaved connection works.
     let mut client = Client::connect(server.local_addr()).unwrap();
@@ -406,22 +459,24 @@ fn malformed_payload_keeps_connection_alive() {
     frame.extend_from_slice(b"CQ");
     frame.push(PROTOCOL_VERSION);
     frame.push(0x02); // K_SOLVE
+    frame.extend_from_slice(&77u64.to_le_bytes()); // correlation id
     frame.extend_from_slice(&3u32.to_le_bytes());
     frame.extend_from_slice(&[1, 2, 3]);
     s.write_all(&frame).unwrap();
-    let (code, _) = read_error_frame(&mut s);
+    let (id, code, _) = read_error_frame(&mut s);
+    assert_eq!(id, 77, "the refusal names the offending request");
     assert_eq!(code, ErrorCode::Malformed);
     // Framing stayed in sync, so the same connection keeps working.
-    s.write_all(&cqcs_net::codec::Request::Status.encode().unwrap())
-        .unwrap();
+    s.write_all(&Request::Status.encode(78).unwrap()).unwrap();
     let mut header = [0u8; HEADER_LEN];
     s.read_exact(&mut header)
         .expect("status reply on same connection");
-    let (kind, len) = cqcs_net::codec::parse_header(&header).unwrap();
+    let (kind, id, len) = cqcs_net::codec::parse_header(&header).unwrap();
+    assert_eq!(id, 78);
     let mut payload = vec![0u8; len as usize];
     s.read_exact(&mut payload).unwrap();
-    let resp = cqcs_net::codec::Response::decode_payload(kind, &payload).unwrap();
-    assert!(matches!(resp, cqcs_net::codec::Response::Status(_)));
+    let resp = Response::decode_payload(kind, &payload).unwrap();
+    assert!(matches!(resp, Response::Status(_)));
     server.shutdown();
 }
 
@@ -449,5 +504,164 @@ fn status_reports_protocol_and_counters() {
     assert!(status.batches >= 2);
     assert!(status.requests >= 4);
     assert_eq!(status.queue_depth, 0, "nothing outstanding at rest");
+    assert!(
+        !status.shards.is_empty(),
+        "status reports per-shard counters"
+    );
+    assert_eq!(
+        status
+            .shards
+            .iter()
+            .map(|s| u64::from(s.queue_depth))
+            .sum::<u64>(),
+        0,
+        "shard depths drain to zero at rest"
+    );
+    assert_eq!(
+        status.shards.iter().map(|s| s.batches).sum::<u64>(),
+        status.batches,
+        "shard batch counters sum to the global one"
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Pipelining: correlation ids under out-of-order completion.
+
+#[test]
+fn solve_pipelined_matches_direct_session_at_every_depth() {
+    let server = default_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let k3 = generators::complete_graph(3);
+    let id = client.register_template(&k3).unwrap();
+    let batch = instances();
+    let direct: Vec<_> = {
+        let s = Session::compile(&k3);
+        batch.iter().map(|a| s.solve(a)).collect()
+    };
+    for depth in [1, 3, 8, 64] {
+        let over_wire = client.solve_pipelined(id, &batch, depth).unwrap();
+        assert_eq!(over_wire.len(), direct.len());
+        for (i, (w, d)) in over_wire.iter().zip(direct.iter()).enumerate() {
+            assert!(
+                solutions_identical(w, d),
+                "depth {depth}, instance {i}: pipelined solution diverged"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_multi_template_load_never_mismatches_correlation_ids() {
+    // Several clients, each pipelining solves that alternate between
+    // two templates routed to different executor shards, released
+    // simultaneously by a barrier. Shards complete independently, so
+    // responses genuinely arrive out of submission order; every one
+    // must still match the direct solution for *its own* instance —
+    // a swapped correlation id would pair a response with the wrong
+    // instance and fail parity.
+    let server = server_with(ServerConfig {
+        executor_shards: 4,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let k3 = generators::complete_graph(3);
+    let k4 = generators::complete_graph(4);
+    let (id3, id4) = {
+        let mut c = Client::connect(addr).unwrap();
+        (
+            c.register_template(&k3).unwrap(),
+            c.register_template(&k4).unwrap(),
+        )
+    };
+    let direct3 = Arc::new(Session::compile(&k3));
+    let direct4 = Arc::new(Session::compile(&k4));
+
+    let n_clients = 3;
+    let per_client = 12;
+    let barrier = Arc::new(Barrier::new(n_clients));
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..n_clients)
+        .map(|ci| {
+            let barrier = Arc::clone(&barrier);
+            let direct3 = Arc::clone(&direct3);
+            let direct4 = Arc::clone(&direct4);
+            let mismatches = Arc::clone(&mismatches);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let work: Vec<(u64, Structure)> = (0..per_client)
+                    .map(|ri| {
+                        let seed = (ci * per_client + ri) as u64;
+                        let a = generators::random_graph_nm(7, 10, seed);
+                        (if ri % 2 == 0 { id3 } else { id4 }, a)
+                    })
+                    .collect();
+                barrier.wait();
+                // Submit the whole window, remembering which id went
+                // with which instance, then receive in whatever order
+                // the shards finish.
+                let mut pending = std::collections::HashMap::new();
+                for (tid, a) in &work {
+                    let rid = c
+                        .submit(&Request::Solve {
+                            template_id: *tid,
+                            deadline_ms: 0,
+                            instance: a.clone(),
+                        })
+                        .unwrap();
+                    pending.insert(rid, (*tid, a.clone()));
+                }
+                for _ in 0..work.len() {
+                    let (rid, resp) = c.recv().unwrap();
+                    let (tid, a) = pending.remove(&rid).expect("known id, never reused");
+                    let Response::Solved(sol) = resp else {
+                        panic!("expected Solved, got {resp:?}");
+                    };
+                    let direct = if tid == id3 {
+                        direct3.solve(&a)
+                    } else {
+                        direct4.solve(&a)
+                    };
+                    if !solutions_identical(&sol, &direct) {
+                        mismatches.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                assert!(pending.is_empty(), "every submission answered exactly once");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        mismatches.load(Ordering::SeqCst),
+        0,
+        "a response was paired with the wrong request"
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Idle connections must not spin.
+
+#[test]
+fn idle_connection_does_not_inflate_wakeup_counters() {
+    // Wide idle interval, tight mid-frame interval: a connection that
+    // sits idle shorter than the idle interval must record zero idle
+    // wakeups (the pre-fix behavior polled at poll_interval, ~24 wakes
+    // in this window).
+    let server = server_with(ServerConfig {
+        poll_interval: Duration::from_millis(25),
+        idle_poll_interval: Duration::from_millis(1200),
+        ..ServerConfig::default()
+    });
+    let mut idle = Client::connect(server.local_addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    let status = idle.status().unwrap();
+    assert_eq!(
+        status.idle_wakeups, 0,
+        "an idle connection woke the reader: {status:?}"
+    );
     server.shutdown();
 }

@@ -1,10 +1,12 @@
-//! Concurrent clients sharing one server: coalescing in action.
+//! Concurrent clients sharing one server: coalescing and pipelining.
 //!
-//! Four client threads hammer the same registered template at once.
-//! The server's coalescer merges their concurrent requests into shared
-//! `par_solve_batch` passes — visible in the `max_coalesced_jobs`
-//! statistic — while every response stays bit-identical to a direct
-//! in-process solve, which this example checks.
+//! Four client threads hammer the same registered template at once,
+//! then a single connection pipelines a batch at depth 8. The server's
+//! coalescer merges concurrent (and in-flight-window) requests into
+//! shared `par_solve_batch` passes — visible in the
+//! `max_coalesced_jobs` statistic — while every response stays
+//! bit-identical to a direct in-process solve, which this example
+//! checks.
 
 use cqcs::core::Session;
 use cqcs::net::client::Client;
@@ -60,6 +62,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         status.solves, status.batches, status.max_coalesced_jobs
     );
     assert_eq!(agreements, total);
+
+    // Pipelining: one connection, eight requests in flight. The window
+    // travels as one buffered write, the server coalesces it into few
+    // batches, and correlation ids bring the answers back in
+    // submission order.
+    let mut c = Client::connect(addr)?;
+    let direct = Session::compile(&template);
+    let instances: Vec<_> = (0..16)
+        .map(|s| generators::random_graph_nm(8, 14, 1000 + s))
+        .collect();
+    let piped = c.solve_pipelined(id, &instances, 8)?;
+    let piped_agree = piped
+        .iter()
+        .zip(&instances)
+        .filter(|(sol, a)| solutions_identical(sol, &direct.solve(a)))
+        .count();
+    println!(
+        "pipelined depth 8: {piped_agree}/{} in-order solutions bit-identical to direct solves",
+        instances.len()
+    );
+    assert_eq!(piped_agree, instances.len());
 
     server.shutdown();
     Ok(())

@@ -123,6 +123,32 @@ if echo "$e18" | grep -qE '\| false \|'; then
   exit 1
 fi
 
+# E19 pins the pipelined data plane three ways: parity (every wire
+# solution bit-identical to a direct Session solve — `| false |`
+# fails), pooled-buffer discipline (the `buf growths` column is an
+# unmasked integer, so a steady-state frame-buffer allocation shows up
+# as a rot diff), and the committed depth-8 speedup: pipelining's whole
+# point is amortizing per-request wire/scheduling overhead, so a
+# committed depth-8 row under 1.5x over depth-1 is a regression even
+# with parity green (regenerated timings vary by machine; the committed
+# table is the gate, as with E17).
+if ! grep -q '^## E19' "$regen"; then
+  echo "E19 pipelined-serving table is missing." >&2
+  exit 1
+fi
+e19="$(sed -n '/^## E19/,/^## /p' "$regen")"
+if echo "$e19" | grep -qE '\| false \|'; then
+  echo "E19 reports a pipelined wire/in-process divergence:" >&2
+  echo "$e19" | grep -E '\| false \|' >&2
+  exit 1
+fi
+if ! sed -n '/^## E19/,/^## /p' EXPERIMENTS.md \
+  | awk -F'|' '/^\| 8 \|/ { for (i = 1; i <= NF; i++) if ($i ~ /^[[:space:]]*[0-9.]+×[[:space:]]*$/) { gsub(/[ ×]/, "", $i); if ($i + 0 < 1.5) bad = 1 } } END { exit bad }'; then
+  echo "E19's committed depth-8 speedup is under 1.5x:" >&2
+  sed -n '/^## E19/,/^## /p' EXPERIMENTS.md | grep -E '^\| 8 \|' >&2
+  exit 1
+fi
+
 # The timing columns are tracked across PRs in EXPERIMENTS_HISTORY.md
 # (append-style, hand-maintained): it must exist and mention the newest
 # experiment so a PR that adds tables cannot skip the history line.
@@ -135,4 +161,4 @@ if ! grep -q "$newest" EXPERIMENTS_HISTORY.md; then
   echo "EXPERIMENTS_HISTORY.md does not track the $newest timing columns." >&2
   exit 1
 fi
-echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, E16 compiled-engine, E17 delta-solve, and E18 wire parity hold; E17 speedups >= 3x)."
+echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, E16 compiled-engine, E17 delta-solve, E18 wire, and E19 pipelined parity hold; E17 speedups >= 3x; E19 depth-8 speedup >= 1.5x with zero steady-state buffer growths)."
