@@ -3,6 +3,7 @@
 //! ```text
 //! cqcs-load [--clients N] [--requests N] [--window-ms N] [--shards N]
 //!           [--pipeline K] [--cpus N]
+//!           [--chaos-seed S] [--fault-rate R]
 //!           [--initial-rps R --increment-rps R --target-rps R [--step-secs S]]
 //! ```
 //!
@@ -23,6 +24,17 @@
 //!   response, making overload show up as achieved < offered instead
 //!   of unbounded queueing.
 //!
+//! With `--fault-rate R > 0` the fixed mode becomes a **chaos run**:
+//! the server wraps every accepted connection in a seeded
+//! [`cqcs_net::FaultStream`] (plus accept-time resets and scheduled
+//! executor panics/crashes), each client wraps its own stream at half
+//! the rate, and the drivers switch to [`cqcs_net::ResilientClient`].
+//! The run then checks the failure-model contract, not just parity:
+//! every request must terminate in a solution or a typed error, none
+//! may be lost or answered twice, and every successful answer must
+//! still be bit-identical to the direct solve. `--chaos-seed` makes
+//! the whole fault schedule replayable.
+//!
 //! Either way every networked solution is compared bit-for-bit against
 //! a direct in-process `Session` solve of the same instance, and any
 //! mismatch exits nonzero. Honesty rule (same as experiment E15): runs
@@ -30,9 +42,11 @@
 //! the numbers measure protocol and scheduling overhead, not speedup.
 
 use cqcs_core::{Session, Solution};
-use cqcs_net::client::Client;
+use cqcs_net::client::{Client, ClientConfig};
 use cqcs_net::codec::{solutions_identical, Request, Response};
-use cqcs_net::server::{Server, ServerConfig};
+use cqcs_net::resilient::{ResilientClient, RetryPolicy};
+use cqcs_net::server::{ChaosConfig, Server, ServerConfig};
+use cqcs_net::transport::FaultConfig;
 use cqcs_structures::{generators, Structure};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -99,6 +113,31 @@ fn run_pipelined(
         out.push((ix, t0.elapsed(), expect_solved(resp)));
     }
     out
+}
+
+/// Client-side chaos setup: wrap the client stream at half the server's
+/// fault rate (each end sees its own seeded schedule), with socket
+/// timeouts so a wedged connection surfaces as a typed `Timeout`
+/// instead of pinning a retry attempt.
+fn chaos_client_config(chaos_seed: u64, fault_rate: f64, client_ix: u64) -> ClientConfig {
+    ClientConfig {
+        read_timeout: Some(Duration::from_millis(250)),
+        write_timeout: Some(Duration::from_millis(250)),
+        fault: Some(FaultConfig::new(
+            chaos_seed ^ client_ix.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            fault_rate / 2.0,
+        )),
+    }
+}
+
+fn chaos_retry(chaos_seed: u64, client_ix: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 64,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        request_deadline: Duration::from_secs(60),
+        jitter_seed: chaos_seed.wrapping_add(client_ix),
+    }
 }
 
 struct RampStep {
@@ -198,6 +237,8 @@ fn main() {
     let mut shards = ServerConfig::default().executor_shards;
     let mut pipeline = 1usize;
     let mut cpus: Option<usize> = None;
+    let mut chaos_seed = 0xC0A5u64;
+    let mut fault_rate = 0.0f64;
     let mut initial_rps: Option<f64> = None;
     let mut increment_rps: Option<f64> = None;
     let mut target_rps: Option<f64> = None;
@@ -214,6 +255,8 @@ fn main() {
             "--shards" => shards = parse_value(&mut args, "--shards"),
             "--pipeline" => pipeline = parse_value(&mut args, "--pipeline"),
             "--cpus" => cpus = Some(parse_value(&mut args, "--cpus")),
+            "--chaos-seed" => chaos_seed = parse_value(&mut args, "--chaos-seed"),
+            "--fault-rate" => fault_rate = parse_value(&mut args, "--fault-rate"),
             "--initial-rps" => initial_rps = Some(parse_value(&mut args, "--initial-rps")),
             "--increment-rps" => increment_rps = Some(parse_value(&mut args, "--increment-rps")),
             "--target-rps" => target_rps = Some(parse_value(&mut args, "--target-rps")),
@@ -221,7 +264,7 @@ fn main() {
             _ => {
                 eprintln!(
                     "usage: cqcs-load [--clients N] [--requests N] [--window-ms N] [--shards N] \
-                     [--pipeline K] [--cpus N] \
+                     [--pipeline K] [--cpus N] [--chaos-seed S] [--fault-rate R] \
                      [--initial-rps R --increment-rps R --target-rps R [--step-secs S]]"
                 );
                 std::process::exit(2);
@@ -240,9 +283,20 @@ fn main() {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     });
 
+    if fault_rate > 0.0 && ramp.is_some() {
+        eprintln!("chaos mode (--fault-rate > 0) does not combine with ramp mode");
+        std::process::exit(2);
+    }
     let cfg = ServerConfig {
         coalesce_window: window,
         executor_shards: shards,
+        chaos: (fault_rate > 0.0).then(|| ChaosConfig {
+            seed: chaos_seed,
+            fault_rate,
+            accept_reset_rate: fault_rate / 4.0,
+            panic_every: 13,
+            crash_every: 17,
+        }),
         ..ServerConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
@@ -306,6 +360,82 @@ fn main() {
         }
         elapsed = start.elapsed();
         total = sent_total;
+    } else if fault_rate > 0.0 {
+        println!(
+            "cqcs-load chaos: {clients} clients x {requests} requests, fault rate {fault_rate}, \
+             seed {chaos_seed:#x}, pipeline {pipeline}, shards {shards}, cpus={cpus}{honesty}"
+        );
+        let handles: Vec<_> = (0..clients)
+            .map(|ci| {
+                let template = template.clone();
+                std::thread::spawn(move || {
+                    let mut c = ResilientClient::connect(
+                        addr,
+                        chaos_client_config(chaos_seed, fault_rate, ci as u64),
+                        chaos_retry(chaos_seed, ci as u64),
+                    )
+                    .expect("resilient connect");
+                    let handle = c.register_template(&template).expect("register");
+                    let direct = Session::compile(&template);
+                    let mut latencies = Vec::with_capacity(requests);
+                    let mut mismatches = 0usize;
+                    let (mut ok, mut typed_err) = (0usize, 0usize);
+                    let t0 = Instant::now();
+                    for ri in 0..requests {
+                        let a = generators::random_graph_nm(8, 12, (ci * requests + ri) as u64);
+                        let r0 = Instant::now();
+                        match c.solve(handle, &a) {
+                            Ok(sol) => {
+                                latencies.push(r0.elapsed());
+                                ok += 1;
+                                if !solutions_identical(&sol, &direct.solve(&a)) {
+                                    mismatches += 1;
+                                }
+                            }
+                            Err(_) => {
+                                latencies.push(r0.elapsed());
+                                typed_err += 1;
+                            }
+                        }
+                    }
+                    let elapsed = t0.elapsed();
+                    (
+                        elapsed,
+                        latencies,
+                        mismatches,
+                        ok,
+                        typed_err,
+                        c.retries() + c.reconnects(),
+                        c.duplicates(),
+                    )
+                })
+            })
+            .collect();
+        let mut wire_elapsed = Duration::ZERO;
+        let (mut ok, mut typed_err) = (0usize, 0usize);
+        let (mut retries, mut duplicates) = (0u64, 0u64);
+        for h in handles {
+            let (e, l, m, o, te, r, d) = h.join().expect("client thread");
+            wire_elapsed = wire_elapsed.max(e);
+            latencies.extend(l);
+            mismatches += m;
+            ok += o;
+            typed_err += te;
+            retries += r;
+            duplicates += d;
+        }
+        elapsed = wire_elapsed;
+        total = clients * requests;
+        let lost = total - ok - typed_err;
+        println!(
+            "chaos contract: {ok} ok, {typed_err} typed errors, {lost} lost, \
+             {duplicates} duplicated, {retries} retries+reconnects, {} faults injected",
+            cqcs_net::faults_injected()
+        );
+        if lost > 0 || duplicates > 0 {
+            println!("chaos contract VIOLATED: lost={lost} duplicated={duplicates}");
+            std::process::exit(1);
+        }
     } else {
         let handles: Vec<_> = (0..clients)
             .map(|ci| {
@@ -352,7 +482,16 @@ fn main() {
     }
     latencies.sort();
 
-    let status = {
+    let status = if fault_rate > 0.0 {
+        ResilientClient::connect(
+            addr,
+            chaos_client_config(chaos_seed, fault_rate, u64::MAX),
+            chaos_retry(chaos_seed, u64::MAX),
+        )
+        .expect("resilient connect")
+        .status()
+        .expect("status")
+    } else {
         let mut c = Client::connect(addr).expect("connect");
         c.status().expect("status")
     };
@@ -366,6 +505,18 @@ fn main() {
         total,
         elapsed.as_secs_f64(),
     );
+    if fault_rate > 0.0 {
+        println!(
+            "server failure ledger: {} panics caught, {} shards respawned, \
+             {} accept faults, {} transient / {} fatal accept errors, {} retry-flagged requests",
+            status.panics_caught,
+            status.shards_respawned,
+            status.accept_faults,
+            status.accept_transient_errors,
+            status.accept_fatal_errors,
+            status.client_retries,
+        );
+    }
     println!(
         "server: {} batches for {} solves, max {} jobs coalesced, {} overloaded, \
          {} idle wakeups, shard batches [{}]",

@@ -22,22 +22,41 @@
 //! The write scratch and payload read buffer are owned by the client
 //! and reused across requests ([`crate::pool`]): a steady-state solve
 //! round-trip allocates no frame buffers on this side either.
+//!
+//! Bytes move through a [`crate::transport::Transport`], so the same
+//! client code runs over a plain `TcpStream` or a fault-injecting
+//! [`FaultStream`](crate::transport::FaultStream) (see
+//! [`ClientConfig::fault`]). With [`ClientConfig::read_timeout`] set, a
+//! peer that hangs up mid-frame or goes quiet surfaces as the typed
+//! [`ClientError::Timeout`] instead of blocking forever; retries,
+//! backoff, and reconnect live one layer up in
+//! [`crate::resilient::ResilientClient`], which drives this client's
+//! [`Client::roundtrip`]/[`Client::submit_with`] with the retry-attempt
+//! id bit.
 
 use crate::codec::{
     parse_header, DecodeError, EncodeError, ErrorCode, Request, Response, StatusInfo, HEADER_LEN,
+    RETRY_ID_BIT,
 };
 use crate::pool;
+use crate::transport::{FaultConfig, FaultStream, Transport};
 use cqcs_core::Solution;
 use cqcs_structures::Structure;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
     /// The socket failed.
     Io(std::io::Error),
+    /// A configured socket timeout fired before the peer produced
+    /// bytes. Framing state is unknown after a timeout (a frame may be
+    /// half-read), so the connection should be considered poisoned —
+    /// the resilient layer reconnects rather than reuse it.
+    Timeout,
     /// The request is too large for the protocol's frame limit and was
     /// never sent.
     Encode(EncodeError),
@@ -59,6 +78,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Timeout => write!(f, "socket timeout"),
             ClientError::Encode(e) => write!(f, "protocol encode error: {e}"),
             ClientError::Decode(e) => write!(f, "protocol decode error: {e}"),
             ClientError::Server { code, message } => {
@@ -71,9 +91,35 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+impl ClientError {
+    /// Whether retrying the failed request (on a fresh connection where
+    /// needed) can plausibly succeed. Solves are pure functions of
+    /// `(template, instance)`, so transport trouble — I/O errors,
+    /// timeouts, undecodable or out-of-protocol bytes from a corrupted
+    /// stream — and the server-side codes in
+    /// [`ErrorCode::is_retryable`] are all safely retryable; only
+    /// errors about the request's own content are terminal.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_)
+            | ClientError::Timeout
+            | ClientError::Decode(_)
+            | ClientError::Unexpected(_) => true,
+            ClientError::Encode(_) => false,
+            ClientError::Server { code, .. } => code.is_retryable(),
+        }
+    }
+}
+
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        // A fired socket timeout surfaces as WouldBlock or TimedOut
+        // depending on platform; both mean "the peer went quiet", not
+        // "the socket broke" — give them their own typed variant.
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::Timeout,
+            _ => ClientError::Io(e),
+        }
     }
 }
 
@@ -94,9 +140,24 @@ impl From<EncodeError> for ClientError {
 /// server busy during very deep windows.
 const FLUSH_THRESHOLD: usize = 64 * 1024;
 
+/// Connection options for [`Client::connect_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Socket read timeout; `None` blocks forever. With a timeout set,
+    /// a quiet server surfaces as [`ClientError::Timeout`] instead of a
+    /// hung call.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// Wrap the connection in a fault-injecting
+    /// [`FaultStream`](crate::transport::FaultStream) — the client half
+    /// of a chaos run. `None` is the production path.
+    pub fault: Option<FaultConfig>,
+}
+
 /// A connection to a cqcs server.
 pub struct Client {
-    stream: TcpStream,
+    stream: Box<dyn Transport>,
     /// The next correlation id [`Client::submit`] will assign.
     next_id: u64,
     /// Reused encode scratch: submitted frames accumulate here until
@@ -114,10 +175,23 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with no timeouts and no fault injection
+    /// (the zero-config production path).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Client::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects to a server with explicit socket timeouts and an
+    /// optional client-side fault-injection layer.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: &ClientConfig) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(cfg.read_timeout)?;
+        stream.set_write_timeout(cfg.write_timeout)?;
+        let stream: Box<dyn Transport> = match &cfg.fault {
+            Some(fault) => Box::new(FaultStream::new(stream, fault.clone())),
+            None => Box::new(stream),
+        };
         Ok(Client {
             stream,
             next_id: 1,
@@ -168,8 +242,20 @@ impl Client {
     /// means no caller can deadlock waiting for a response to an
     /// unsent request.
     pub fn submit(&mut self, request: &Request) -> Result<u64, ClientError> {
-        let id = self.next_id;
+        self.submit_with(request, false)
+    }
+
+    /// Like [`Client::submit`], with the **retry-attempt flag**: a
+    /// retry send carries [`RETRY_ID_BIT`] in its correlation id, which
+    /// the server echoes untouched but counts in
+    /// [`StatusInfo::client_retries`]. The low bits still come from the
+    /// per-connection counter, so flagged ids stay unique.
+    pub fn submit_with(&mut self, request: &Request, retry: bool) -> Result<u64, ClientError> {
+        let mut id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
+        if retry {
+            id |= RETRY_ID_BIT;
+        }
         let start = self.write_buf.len();
         match pool::track_growth(&mut self.write_buf, |out| request.encode_into(id, out)) {
             Ok(()) => {}
@@ -261,7 +347,14 @@ impl Client {
 
     /// One blocking request/response exchange.
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let id = self.submit(request)?;
+        self.roundtrip(request, false)
+    }
+
+    /// One blocking request/response exchange with an explicit
+    /// retry-attempt flag (see [`Client::submit_with`]) — the building
+    /// block [`crate::resilient::ResilientClient`] drives.
+    pub fn roundtrip(&mut self, request: &Request, retry: bool) -> Result<Response, ClientError> {
+        let id = self.submit_with(request, retry)?;
         let (got, resp) = self.recv()?;
         if got != id {
             // Strict request/response: nothing else can be in flight.

@@ -89,6 +89,12 @@ pub const MAX_NAME_LEN: usize = 4096;
 /// DoS. Claims beyond this bound are rejected with
 /// [`DecodeError::Oversized`] before any allocation happens.
 pub const MAX_UNIVERSE: u32 = 1 << 20;
+/// High bit of the correlation id, set by clients on **retry** sends of
+/// an idempotent request. The server echoes ids verbatim (the bit does
+/// not change routing or matching — low bits keep ids unique) but
+/// counts flagged requests in [`StatusInfo::client_retries`], making
+/// client-side retry pressure observable server-side.
+pub const RETRY_ID_BIT: u64 = 1 << 63;
 
 // Request kinds.
 const K_REGISTER: u8 = 0x01;
@@ -140,6 +146,27 @@ impl ErrorCode {
             8 => ErrorCode::Internal,
             _ => return None,
         })
+    }
+
+    /// Whether a request refused with this code is worth retrying.
+    ///
+    /// Solves are pure functions of `(template, instance)`, so any
+    /// failure that is about the *server's moment* rather than the
+    /// *request's content* is safely retryable: overload and deadline
+    /// pressure pass, an `Internal` panic is caught per-job and does
+    /// not recur deterministically for honest inputs, and an unknown
+    /// template may simply have been evicted (the resilient client
+    /// re-registers and retries). Content errors — malformed frames,
+    /// vocabulary mismatches, unparseable queries, wrong protocol —
+    /// will fail identically forever and are terminal.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded
+                | ErrorCode::DeadlineExceeded
+                | ErrorCode::Internal
+                | ErrorCode::UnknownTemplate
+        )
     }
 }
 
@@ -313,6 +340,25 @@ pub struct StatusInfo {
     /// startup — a connection with no bytes pending should barely move
     /// this (see `ServerConfig::idle_poll_interval`).
     pub idle_wakeups: u64,
+    /// Solve-job panics caught (and answered as `Internal`) since
+    /// startup — each would have been a dead shard without
+    /// `catch_unwind`.
+    pub panics_caught: u64,
+    /// Executor shard threads respawned by the supervisor since
+    /// startup.
+    pub shards_respawned: u64,
+    /// Accept-time connection resets injected by the chaos layer since
+    /// startup.
+    pub accept_faults: u64,
+    /// Transient accept errors (`WouldBlock`, `ConnectionAborted`, …)
+    /// absorbed by the acceptor since startup.
+    pub accept_transient_errors: u64,
+    /// Accept errors outside the transient class since startup.
+    pub accept_fatal_errors: u64,
+    /// Requests carrying the retry-attempt correlation-id bit
+    /// ([`RETRY_ID_BIT`]) seen since startup — how often clients had to
+    /// resend.
+    pub client_retries: u64,
     /// Per-shard executor counters, one entry per configured shard.
     pub shards: Vec<ShardStatus>,
 }
@@ -835,6 +881,12 @@ impl Response {
                 put_u64(out, info.overloaded);
                 put_u64(out, info.deadline_expired);
                 put_u64(out, info.idle_wakeups);
+                put_u64(out, info.panics_caught);
+                put_u64(out, info.shards_respawned);
+                put_u64(out, info.accept_faults);
+                put_u64(out, info.accept_transient_errors);
+                put_u64(out, info.accept_fatal_errors);
+                put_u64(out, info.client_retries);
                 put_u16(out, info.shards.len() as u16);
                 for s in &info.shards {
                     put_u32(out, s.queue_depth);
@@ -907,6 +959,12 @@ impl Response {
                     overloaded: r.u64()?,
                     deadline_expired: r.u64()?,
                     idle_wakeups: r.u64()?,
+                    panics_caught: r.u64()?,
+                    shards_respawned: r.u64()?,
+                    accept_faults: r.u64()?,
+                    accept_transient_errors: r.u64()?,
+                    accept_fatal_errors: r.u64()?,
+                    client_retries: r.u64()?,
                     shards: Vec::new(),
                 };
                 let nshards = r.u16()? as usize;
@@ -1159,6 +1217,12 @@ mod tests {
             overloaded: 1,
             deadline_expired: 2,
             idle_wakeups: 7,
+            panics_caught: 4,
+            shards_respawned: 1,
+            accept_faults: 9,
+            accept_transient_errors: 3,
+            accept_fatal_errors: 1,
+            client_retries: 12,
             shards: vec![
                 ShardStatus {
                     queue_depth: 1,

@@ -3,8 +3,13 @@
 //! The in-process pipeline compiles a template once
 //! ([`cqcs_core::Session::compile`]) and amortizes it over many solves;
 //! this crate puts that amortization behind a socket so the compile is
-//! shared across **processes** too. Five layers, bottom-up:
+//! shared across **processes** too. Seven layers, bottom-up:
 //!
+//! * [`transport`] — the byte-stream trait both ends move bytes
+//!   through: `TcpStream` is the zero-fault production instantiation,
+//!   the seeded [`FaultStream`] injects a deterministic schedule of
+//!   short reads/writes, latency, stalls, and mid-frame disconnects
+//!   for chaos runs (experiment E20).
 //! * [`codec`] — the protocol-v2 binary wire format: a 16-byte
 //!   `b"CQ"`-magic header (version, kind, a client-chosen `u64`
 //!   **correlation id**, payload length) followed by a fixed-width
@@ -34,6 +39,13 @@
 //!   [`Client::recv`] pipelining API (see
 //!   [`Client::solve_pipelined`]), used by the examples, the
 //!   integration suite, and the `cqcs-load` binary.
+//! * [`resilient`] — retry/reconnect/replay over the client: a
+//!   [`RetryPolicy`] (capped exponential backoff, seeded jitter,
+//!   per-request deadline budget) plus a [`ResilientClient`] that
+//!   remembers registered templates, replays them on reconnect, and
+//!   re-submits unacknowledged pipelined requests exactly once —
+//!   solves are pure functions of `(template, instance)`, so every
+//!   request is idempotent and safely retryable.
 //!
 //! The server's responses are pinned **bit-identical** (verdict,
 //! witness, route, search stats) to direct [`cqcs_core::Session::solve`]
@@ -59,13 +71,18 @@ pub mod client;
 pub mod codec;
 pub mod pool;
 pub mod registry;
+pub mod resilient;
 pub mod server;
+pub mod transport;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use codec::{
     solutions_identical, structures_identical, DecodeError, EncodeError, ErrorCode, Request,
     Response, ShardStatus, StatusInfo, LEGACY_VERSION, MAX_PAYLOAD, MAX_UNIVERSE, PROTOCOL_VERSION,
+    RETRY_ID_BIT,
 };
 pub use pool::frame_buf_growths;
 pub use registry::TemplateRegistry;
-pub use server::{Server, ServerConfig};
+pub use resilient::{ResilientClient, RetryPolicy, TemplateHandle};
+pub use server::{ChaosConfig, Server, ServerConfig};
+pub use transport::{faults_injected, FaultConfig, FaultPlan, FaultStream, Transport};

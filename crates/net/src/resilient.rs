@@ -1,0 +1,582 @@
+//! Retry, reconnect, and replay: the resilient layer over [`Client`].
+//!
+//! Solves are **pure functions** of `(template, instance)` — the server
+//! holds no per-request state a retry could corrupt — so every request
+//! the protocol can carry is idempotent, and the correct response to
+//! transport trouble is to try again. This module packages that
+//! argument as machinery:
+//!
+//! * [`RetryPolicy`] — capped exponential backoff with **seeded**
+//!   jitter (deterministic under a chaos seed, decorrelated in
+//!   production use) and a per-request deadline budget that bounds the
+//!   total time a logical request may spend across attempts.
+//! * [`ResilientClient`] — owns the address and a remembered copy of
+//!   every registered template. On a retryable failure
+//!   ([`ClientError::is_retryable`]) it backs off, reconnects if the
+//!   connection state is suspect, **replays its `RegisterTemplate`
+//!   set** (template ids are per-server state and do not survive a
+//!   restart or an eviction), and retries the in-flight request with
+//!   the [`RETRY_ID_BIT`](crate::codec::RETRY_ID_BIT) set so the server
+//!   can count observed client retries. Terminal errors (malformed
+//!   content, vocabulary mismatch, unparseable query) return
+//!   immediately — retrying them would fail identically forever.
+//!
+//! Callers hold [`TemplateHandle`]s — client-local indices into the
+//! remembered template set — rather than raw server ids, because the
+//! server id of a template may change across reconnects.
+//!
+//! [`ResilientClient::solve_pipelined`] extends the same contract to
+//! windowed traffic: when a connection dies mid-window, the
+//! **unacknowledged** correlation ids are re-submitted exactly once per
+//! failure on the fresh connection (settled slots stay settled), and a
+//! response whose id matches no outstanding request is counted in
+//! [`ResilientClient::duplicates`] instead of being delivered — a
+//! logical request yields exactly one result.
+
+use crate::client::{Client, ClientConfig, ClientError};
+use crate::codec::{ErrorCode, Request, Response, StatusInfo};
+use cqcs_core::Solution;
+use cqcs_structures::Structure;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How a [`ResilientClient`] paces its retries.
+///
+/// Backoff for attempt `k` (1-based) is `base_backoff · 2^(k-1)`
+/// capped at `max_backoff`, then jittered uniformly into the upper
+/// half of that value (`[exp/2, exp]`) from a generator seeded with
+/// `jitter_seed` — so a chaos run's sleep schedule replays exactly,
+/// while concurrent clients with different seeds desynchronize instead
+/// of thundering back in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per logical request, first attempt included.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Wall-clock budget for one logical request across all of its
+    /// attempts and backoffs; `Duration::ZERO` means unbounded.
+    pub request_deadline: Duration,
+    /// Seed for the jitter generator.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(200),
+            request_deadline: Duration::from_secs(30),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let base = self.base_backoff.as_nanos().max(1) as u64;
+        let cap = self.max_backoff.as_nanos().max(1) as u64;
+        let shift = attempt.saturating_sub(1).min(32);
+        let exp = base.saturating_mul(1u64 << shift).min(cap);
+        let lo = exp / 2;
+        Duration::from_nanos(lo + rng.next_u64() % (exp - lo + 1))
+    }
+}
+
+/// A client-local name for a registered template, stable across
+/// reconnects (unlike the server-assigned id it maps to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemplateHandle(usize);
+
+/// Whether this failure leaves the connection's framing state suspect,
+/// forcing a reconnect before the retry. Server-side typed errors
+/// arrive on an intact connection; everything transport-shaped does
+/// not.
+fn needs_reconnect(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(_)
+            | ClientError::Timeout
+            | ClientError::Decode(_)
+            | ClientError::Unexpected(_)
+    )
+}
+
+fn is_unknown_template(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::UnknownTemplate,
+            ..
+        }
+    )
+}
+
+/// A [`Client`] wrapper that retries idempotent requests through
+/// disconnects, timeouts, and transient server errors. See the module
+/// docs for the contract.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    retry: RetryPolicy,
+    inner: Option<Client>,
+    /// Every template ever registered through this client, replayed on
+    /// reconnect; indexed by [`TemplateHandle`].
+    templates: Vec<Structure>,
+    /// The current server id for each remembered template.
+    server_ids: Vec<u64>,
+    rng: StdRng,
+    /// Connections opened so far (used to derive per-connection fault
+    /// seeds: replaying one schedule on every reconnect could sever
+    /// each fresh connection at the identical byte and livelock).
+    epoch: u64,
+    retries: u64,
+    reconnects: u64,
+    duplicates: u64,
+}
+
+impl ResilientClient {
+    /// Connects (first attempt immediately, then under the policy's
+    /// backoff) and returns the client.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+        retry: RetryPolicy,
+    ) -> Result<ResilientClient, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(ClientError::from)?
+            .next()
+            .ok_or_else(|| {
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to nothing",
+                ))
+            })?;
+        let rng = StdRng::seed_from_u64(retry.jitter_seed);
+        let mut client = ResilientClient {
+            addr,
+            config,
+            retry,
+            inner: None,
+            templates: Vec::new(),
+            server_ids: Vec::new(),
+            rng,
+            epoch: 0,
+            retries: 0,
+            reconnects: 0,
+            duplicates: 0,
+        };
+        client.with_retry(None, |_c, _sid, _retry| Ok(()))?;
+        Ok(client)
+    }
+
+    /// Retry sends performed (requests re-submitted after a failure).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Fresh connections established after the first.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Responses received whose correlation id matched no outstanding
+    /// request (discarded, never delivered). Zero in a correct run.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        (!self.retry.request_deadline.is_zero())
+            .then(|| Instant::now() + self.retry.request_deadline)
+    }
+
+    /// (Re)establish the connection and replay remembered templates.
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.inner.is_some() {
+            return Ok(());
+        }
+        let mut cfg = self.config.clone();
+        if let Some(fault) = &mut cfg.fault {
+            fault.seed = fault
+                .seed
+                .wrapping_add(self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        let client = Client::connect_with(self.addr, &cfg).map_err(ClientError::from)?;
+        if self.epoch > 0 {
+            self.reconnects += 1;
+        }
+        self.epoch += 1;
+        self.inner = Some(client);
+        if let Err(e) = self.replay_registrations() {
+            self.inner = None;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Re-register every remembered template on the live connection,
+    /// refreshing the server-id map. Replays carry the retry flag.
+    fn replay_registrations(&mut self) -> Result<(), ClientError> {
+        let Some(client) = self.inner.as_mut() else {
+            return Ok(());
+        };
+        for (ix, template) in self.templates.iter().enumerate() {
+            match client.roundtrip(
+                &Request::RegisterTemplate {
+                    template: template.clone(),
+                },
+                true,
+            )? {
+                Response::TemplateRegistered { id } => self.server_ids[ix] = id,
+                _ => return Err(ClientError::Unexpected("expected TemplateRegistered")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-register only the template behind `handle` — the on-demand
+    /// path for a server-side eviction. Replaying the *whole* set here
+    /// would be wrong: on a registry smaller than the set, the later
+    /// replays evict the very template the caller is about to use, and
+    /// the retry loop never converges.
+    fn reregister(&mut self, handle: Option<TemplateHandle>) -> Result<(), ClientError> {
+        let Some(h) = handle else {
+            return self.replay_registrations();
+        };
+        let Some(client) = self.inner.as_mut() else {
+            return Ok(());
+        };
+        match client.roundtrip(
+            &Request::RegisterTemplate {
+                template: self.templates[h.0].clone(),
+            },
+            true,
+        )? {
+            Response::TemplateRegistered { id } => {
+                self.server_ids[h.0] = id;
+                Ok(())
+            }
+            _ => Err(ClientError::Unexpected("expected TemplateRegistered")),
+        }
+    }
+
+    /// Classify a failure and either back off for another attempt
+    /// (`Ok`) or give up (`Err`). Shared by the blocking and pipelined
+    /// paths.
+    fn absorb_failure(
+        &mut self,
+        e: ClientError,
+        handle: Option<TemplateHandle>,
+        attempt: &mut u32,
+        deadline: Option<Instant>,
+    ) -> Result<(), ClientError> {
+        if !e.is_retryable() {
+            return Err(e);
+        }
+        *attempt += 1;
+        self.retries += 1;
+        if *attempt >= self.retry.max_attempts.max(1) {
+            return Err(e);
+        }
+        if needs_reconnect(&e) {
+            self.inner = None;
+        } else if is_unknown_template(&e) {
+            // The registry evicted us but the connection is fine:
+            // re-register on demand, reconnect only if that fails.
+            if self.reregister(handle).is_err() {
+                self.inner = None;
+            }
+        }
+        let mut backoff = self.retry.backoff(*attempt, &mut self.rng);
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                return Err(e);
+            }
+            backoff = backoff.min(d.saturating_duration_since(now));
+        }
+        std::thread::sleep(backoff);
+        Ok(())
+    }
+
+    /// Run one idempotent operation under the retry policy. The
+    /// closure receives the live client, the current server id for
+    /// `handle` (0 if none), and whether this send is a retry.
+    fn with_retry<T>(
+        &mut self,
+        handle: Option<TemplateHandle>,
+        mut op: impl FnMut(&mut Client, u64, bool) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let deadline = self.deadline();
+        let mut attempt: u32 = 0;
+        loop {
+            let result = match self.ensure_connected() {
+                Ok(()) => {
+                    let sid = handle.map_or(0, |h| self.server_ids[h.0]);
+                    let client = self.inner.as_mut().expect("ensure_connected succeeded");
+                    op(client, sid, attempt > 0)
+                }
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) => self.absorb_failure(e, handle, &mut attempt, deadline)?,
+            }
+        }
+    }
+
+    /// Registers a template, remembering it for replay on reconnect.
+    pub fn register_template(
+        &mut self,
+        template: &Structure,
+    ) -> Result<TemplateHandle, ClientError> {
+        let id = self.with_retry(None, |client, _sid, retry| {
+            match client.roundtrip(
+                &Request::RegisterTemplate {
+                    template: template.clone(),
+                },
+                retry,
+            )? {
+                Response::TemplateRegistered { id } => Ok(id),
+                _ => Err(ClientError::Unexpected("expected TemplateRegistered")),
+            }
+        })?;
+        self.templates.push(template.clone());
+        self.server_ids.push(id);
+        Ok(TemplateHandle(self.server_ids.len() - 1))
+    }
+
+    /// Solves one instance, retrying through transient failures.
+    pub fn solve(
+        &mut self,
+        handle: TemplateHandle,
+        instance: &Structure,
+    ) -> Result<Solution, ClientError> {
+        self.with_retry(Some(handle), |client, sid, retry| {
+            match client.roundtrip(
+                &Request::Solve {
+                    template_id: sid,
+                    deadline_ms: 0,
+                    instance: instance.clone(),
+                },
+                retry,
+            )? {
+                Response::Solved(sol) => Ok(sol),
+                _ => Err(ClientError::Unexpected("expected Solved")),
+            }
+        })
+    }
+
+    /// Solves a batch in one request, retrying through transient
+    /// failures.
+    pub fn solve_batch(
+        &mut self,
+        handle: TemplateHandle,
+        instances: &[Structure],
+    ) -> Result<Vec<Solution>, ClientError> {
+        self.with_retry(Some(handle), |client, sid, retry| {
+            match client.roundtrip(
+                &Request::SolveBatch {
+                    template_id: sid,
+                    deadline_ms: 0,
+                    instances: instances.to_vec(),
+                },
+                retry,
+            )? {
+                Response::BatchSolved(sols) => Ok(sols),
+                _ => Err(ClientError::Unexpected("expected BatchSolved")),
+            }
+        })
+    }
+
+    /// Decides CQ containment server-side, retrying through transient
+    /// failures.
+    pub fn containment(&mut self, q1: &str, q2: &str) -> Result<bool, ClientError> {
+        self.with_retry(None, |client, _sid, retry| {
+            match client.roundtrip(
+                &Request::Containment {
+                    q1: q1.to_owned(),
+                    q2: q2.to_owned(),
+                },
+                retry,
+            )? {
+                Response::Containment { contained } => Ok(contained),
+                _ => Err(ClientError::Unexpected("expected Containment")),
+            }
+        })
+    }
+
+    /// Fetches server statistics, retrying through transient failures.
+    pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
+        self.with_retry(None, |client, _sid, retry| {
+            match client.roundtrip(&Request::Status, retry)? {
+                Response::Status(info) => Ok(info),
+                _ => Err(ClientError::Unexpected("expected Status")),
+            }
+        })
+    }
+
+    /// Pipelined solves with retry: up to `depth` requests in flight,
+    /// results in submission order, connection failures survived by
+    /// re-submitting exactly the unacknowledged window on a fresh
+    /// connection. Already-settled slots are never re-requested, and a
+    /// response for a no-longer-outstanding id is counted in
+    /// [`ResilientClient::duplicates`] and dropped — each logical
+    /// request yields exactly one result.
+    pub fn solve_pipelined(
+        &mut self,
+        handle: TemplateHandle,
+        instances: &[Structure],
+        depth: usize,
+    ) -> Result<Vec<Solution>, ClientError> {
+        let depth = depth.max(1);
+        let n = instances.len();
+        let mut slots: Vec<Option<Solution>> = (0..n).map(|_| None).collect();
+        let mut todo: Vec<usize> = (0..n).collect();
+        let mut attempts: Vec<u32> = vec![0; n];
+        let deadline = self.deadline();
+        // Round-level failures with no settled slot in between; bounded
+        // by max_attempts so a dead server cannot spin us forever.
+        let mut barren_rounds: u32 = 0;
+        while !todo.is_empty() {
+            if let Err(e) = self.ensure_connected() {
+                self.absorb_failure(e, Some(handle), &mut barren_rounds, deadline)?;
+                continue;
+            }
+            let sid = self.server_ids[handle.0];
+            let round = std::mem::take(&mut todo);
+            let settled_before: usize = slots.iter().filter(|s| s.is_some()).count();
+            let mut failed: Vec<(usize, ClientError)> = Vec::new();
+            let outcome = pipelined_round(
+                self.inner.as_mut().expect("ensure_connected succeeded"),
+                sid,
+                instances,
+                &round,
+                &attempts,
+                depth,
+                &mut slots,
+                &mut failed,
+                &mut self.duplicates,
+            );
+            // Whatever happened, the unsettled part of the round is
+            // owed another submission (exactly once per failure).
+            let unsettled: Vec<usize> = round
+                .iter()
+                .copied()
+                .filter(|ix| slots[*ix].is_none())
+                .collect();
+            for &ix in &unsettled {
+                attempts[ix] += 1;
+                if attempts[ix] > 1 {
+                    self.retries += 1;
+                }
+            }
+            // A per-request retryable server error past its attempt
+            // budget becomes the round's error.
+            for (ix, e) in failed {
+                if attempts[ix] >= self.retry.max_attempts.max(1) {
+                    return Err(e);
+                }
+            }
+            todo = unsettled;
+            match outcome {
+                Ok(()) => {
+                    let settled_now: usize = slots.iter().filter(|s| s.is_some()).count();
+                    if settled_now > settled_before {
+                        barren_rounds = 0;
+                    }
+                }
+                Err(e) => {
+                    self.absorb_failure(e, Some(handle), &mut barren_rounds, deadline)?;
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every slot settled"))
+            .collect())
+    }
+}
+
+/// One pipelined pass over `round` (indices into `instances`) on a
+/// live connection. Settles what it can into `slots`; per-request
+/// **retryable** server errors go to `failed` (the caller re-queues
+/// them), a terminal server error or transport failure aborts the
+/// round with `Err`.
+#[allow(clippy::too_many_arguments)]
+fn pipelined_round(
+    client: &mut Client,
+    sid: u64,
+    instances: &[Structure],
+    round: &[usize],
+    attempts: &[u32],
+    depth: usize,
+    slots: &mut [Option<Solution>],
+    failed: &mut Vec<(usize, ClientError)>,
+    duplicates: &mut u64,
+) -> Result<(), ClientError> {
+    let mut pending: HashMap<u64, usize> = HashMap::with_capacity(depth);
+    let mut next = 0usize;
+    let mut settle = |pending: &mut HashMap<u64, usize>,
+                      slots: &mut [Option<Solution>],
+                      duplicates: &mut u64,
+                      id: u64,
+                      resp: Response|
+     -> Result<(), ClientError> {
+        let Some(ix) = pending.remove(&id) else {
+            // Not one of ours (stale or repeated id): count, drop,
+            // keep receiving — delivery stays exactly-once.
+            *duplicates += 1;
+            return Ok(());
+        };
+        match resp {
+            Response::Solved(sol) => {
+                slots[ix] = Some(sol);
+                Ok(())
+            }
+            Response::Error { code, message } => {
+                let e = ClientError::Server { code, message };
+                if e.is_retryable() {
+                    failed.push((ix, e));
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            }
+            _ => Err(ClientError::Unexpected("expected Solved")),
+        }
+    };
+    while next < round.len() || !pending.is_empty() {
+        while next < round.len() && pending.len() < depth {
+            let ix = round[next];
+            let id = client.submit_with(
+                &Request::Solve {
+                    template_id: sid,
+                    deadline_ms: 0,
+                    instance: instances[ix].clone(),
+                },
+                attempts[ix] > 0,
+            )?;
+            pending.insert(id, ix);
+            next += 1;
+        }
+        let (id, resp) = client.recv()?;
+        settle(&mut pending, slots, duplicates, id, resp)?;
+        while !pending.is_empty() {
+            match client.try_recv()? {
+                Some((id, resp)) => settle(&mut pending, slots, duplicates, id, resp)?,
+                None => break,
+            }
+        }
+    }
+    Ok(())
+}

@@ -67,6 +67,18 @@
 //!   drain every admitted job — writers flush those replies — and only
 //!   then returns. No admitted request is ever dropped with a dead
 //!   socket.
+//! * **Self-healing.** Each coalesced solve batch runs under
+//!   `catch_unwind`: a panicking job costs its batch a typed
+//!   [`ErrorCode::Internal`] reply, never the shard. If an executor
+//!   thread dies anyway, a supervisor respawns it and **re-queues** the
+//!   admitted jobs it was holding (exactly once per job — a job that
+//!   kills its executor twice is answered `Internal`). Accept errors
+//!   are split transient/fatal, and the whole failure ledger — panics
+//!   caught, shards respawned, accept faults, client retries — is
+//!   visible in `Status`. See ARCHITECTURE.md's "Failure model".
+//!   Deterministic chaos (fault-injected connections, accept-time
+//!   resets, scheduled panics/crashes) is switched by
+//!   [`ServerConfig::chaos`] and exercised by experiment E20.
 //!
 //! Registration, containment, and status requests are handled inline on
 //! the reader thread. Registration pre-builds the template's support
@@ -78,19 +90,64 @@
 use crate::codec::{
     legacy_error_frame, parse_header, parse_header_prefix, DecodeError, ErrorCode, Request,
     Response, ShardStatus, StatusInfo, HEADER_LEN, LEGACY_HEADER_LEN, PROTOCOL_VERSION,
+    RETRY_ID_BIT,
 };
 use crate::pool;
 use crate::registry::TemplateRegistry;
+use crate::transport::{FaultConfig, FaultStream, Transport};
 use cqcs_core::{CompiledTemplate, Session, Solution};
 use cqcs_cq::{contained_in, parse_query};
-use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Deterministic fault injection for chaos runs, carried by
+/// [`ServerConfig::chaos`]. `None`/zeroed fields are the production
+/// path; every knob is driven by the seed so a chaos run replays
+/// bit-identically.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed. The acceptor derives per-connection
+    /// [`FaultConfig`] seeds and its own accept-reset schedule from it.
+    pub seed: u64,
+    /// Per-operation fault probability for the [`FaultStream`] wrapped
+    /// around every accepted connection (0 = do not wrap).
+    pub fault_rate: f64,
+    /// Probability an accepted connection is reset on the spot before
+    /// any byte is served (counted in `StatusInfo::accept_faults`).
+    pub accept_reset_rate: f64,
+    /// Every Nth executor solve batch panics **inside** the per-job
+    /// `catch_unwind` (0 = never): exercises panic containment — the
+    /// batch's requests get typed `Internal` errors, the shard lives.
+    pub panic_every: u64,
+    /// Every Nth executor batch panics **outside** the containment
+    /// boundary (0 = never), killing the shard thread: exercises
+    /// supervision — the supervisor respawns the executor and re-queues
+    /// the admitted jobs it was holding.
+    pub crash_every: u64,
+}
+
+impl ChaosConfig {
+    /// A chaos config where every probabilistic knob runs at
+    /// `fault_rate` faults per op, resets at a quarter of that, and
+    /// deterministic panic/crash injection stays off.
+    pub fn new(seed: u64, fault_rate: f64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            fault_rate,
+            accept_reset_rate: fault_rate / 4.0,
+            panic_every: 0,
+            crash_every: 0,
+        }
+    }
+}
 
 /// Tunables for [`Server::bind`]. `Default` is sized for tests and
 /// small deployments; the serve binary exposes each knob.
@@ -128,6 +185,9 @@ pub struct ServerConfig {
     /// or payload, then silence) is cut off so [`Server::shutdown`]
     /// cannot block on it forever.
     pub shutdown_drain_grace: Duration,
+    /// Deterministic fault injection; `None` (the default) is the
+    /// production path with no chaos machinery on any hot path.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServerConfig {
@@ -141,8 +201,17 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(25),
             idle_poll_interval: Duration::from_millis(500),
             shutdown_drain_grace: Duration::from_millis(1000),
+            chaos: None,
         }
     }
+}
+
+/// Locks a mutex, shrugging off poisoning: an executor that panicked
+/// while touching shard state must not take the supervisor (or
+/// shutdown) down with it — the protected data is counters and job
+/// vectors, all valid at every step.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Upper bound on jobs merged into one executor pass, whatever the
@@ -181,6 +250,11 @@ struct Job {
     request_id: u64,
     /// The owning connection's writer channel.
     reply: Sender<WriteItem>,
+    /// Set when the supervisor re-queues this job after an executor
+    /// crash. A job that kills its executor **twice** is answered with
+    /// a typed `Internal` error instead of a third chance — re-queueing
+    /// must never loop a poison job forever.
+    requeued: bool,
 }
 
 #[derive(Default)]
@@ -193,12 +267,35 @@ struct Counters {
     overloaded: AtomicU64,
     deadline_expired: AtomicU64,
     idle_wakeups: AtomicU64,
+    panics_caught: AtomicU64,
+    shards_respawned: AtomicU64,
+    accept_faults: AtomicU64,
+    accept_transient_errors: AtomicU64,
+    accept_fatal_errors: AtomicU64,
+    client_retries: AtomicU64,
+    /// Sequence numbers for deterministic chaos injection
+    /// (`ChaosConfig::panic_every` / `crash_every`).
+    chaos_solve_seq: AtomicU64,
+    chaos_batch_seq: AtomicU64,
 }
 
-/// One executor shard: its queue's producer half (taken on shutdown)
-/// and its public counters.
+/// One executor shard: its queue's two halves (the producer is taken on
+/// shutdown; the consumer is shared so a respawned executor resumes the
+/// same queue), the jobs the current executor has swept but not yet
+/// answered (re-queued by the supervisor if the executor dies), and the
+/// shard's public counters.
 struct Shard {
     sender: Mutex<Option<Sender<Job>>>,
+    /// The consumer half, shared between the live executor thread and
+    /// any respawned successor. Uncontended in steady state — exactly
+    /// one executor per shard is ever alive.
+    receiver: Arc<Mutex<Receiver<Job>>>,
+    /// Jobs swept off the queue by the executor and not yet answered.
+    /// The executor parks each sweep here before solving and drains it
+    /// group by group; if the thread dies, whatever is left is exactly
+    /// the set of admitted jobs that would otherwise be lost, and the
+    /// supervisor re-queues them.
+    processing: Mutex<Vec<Job>>,
     /// Jobs admitted to this shard and not yet answered.
     depth: AtomicUsize,
     batches: AtomicU64,
@@ -233,7 +330,11 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    executors: Vec<JoinHandle<()>>,
+    /// One slot per shard; `None` while a crashed executor awaits
+    /// respawn. Shared with the supervisor, which swaps in fresh
+    /// handles.
+    executors: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -245,16 +346,16 @@ impl Server {
         let addr = listener.local_addr()?;
         let nshards = cfg.executor_shards.max(1);
         let mut shards = Vec::with_capacity(nshards);
-        let mut receivers = Vec::with_capacity(nshards);
         for _ in 0..nshards {
             let (tx, rx) = mpsc::channel::<Job>();
             shards.push(Shard {
                 sender: Mutex::new(Some(tx)),
+                receiver: Arc::new(Mutex::new(rx)),
+                processing: Mutex::new(Vec::new()),
                 depth: AtomicUsize::new(0),
                 batches: AtomicU64::new(0),
                 max_coalesced: AtomicU64::new(0),
             });
-            receivers.push(rx);
         }
         let shared = Arc::new(Shared {
             registry: Mutex::new(TemplateRegistry::new(cfg.registry_capacity)),
@@ -266,14 +367,16 @@ impl Server {
         });
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let executors = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(i, rx)| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || executor_loop(&shared, i, &rx))
-            })
-            .collect();
+        let executors: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            (0..nshards)
+                .map(|i| Some(spawn_executor(&shared, i)))
+                .collect(),
+        ));
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let executors = Arc::clone(&executors);
+            std::thread::spawn(move || supervisor_loop(&shared, &executors))
+        };
         let acceptor = {
             let shared = Arc::clone(&shared);
             let connections = Arc::clone(&connections);
@@ -284,6 +387,7 @@ impl Server {
             shared,
             acceptor: Some(acceptor),
             executors,
+            supervisor: Some(supervisor),
             connections,
         })
     }
@@ -312,26 +416,51 @@ impl Server {
         // 1. Stop admitting connections and new requests.
         self.shared.accepting.store(false, Ordering::SeqCst);
         // 2. Wake the acceptor's blocking accept() with a throwaway
-        //    connection and join it.
+        //    connection and join it, then the supervisor (it re-checks
+        //    the flag every poll_interval).
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
         // 3. Join connection threads. Each reader finishes the frame it
         //    is reading and exits; each writer drains once the reader
         //    and every in-flight job for that connection has dropped
         //    its channel — replies still come from the shards, which
-        //    are running until step 4.
+        //    are running until step 5.
         let conns = std::mem::take(&mut *self.connections.lock().unwrap());
         for h in conns {
             let _ = h.join();
         }
-        // 4. Drop each shard queue's producer half: the shard drains
+        // 4. An executor that crashed after the supervisor's last pass
+        //    would strand its queue (and any swept-but-unanswered
+        //    jobs): give every dead shard one more recovery so the
+        //    drain below really drains everything admitted.
+        {
+            let mut handles = lock_clean(&self.executors);
+            for (i, slot) in handles.iter_mut().enumerate() {
+                let crashed = match slot {
+                    None => true,
+                    Some(h) => h.is_finished(),
+                };
+                if crashed {
+                    if let Some(h) = slot.take() {
+                        let _ = h.join();
+                    }
+                    recover_shard(&self.shared, i);
+                    *slot = Some(spawn_executor(&self.shared, i));
+                }
+            }
+        }
+        // 5. Drop each shard queue's producer half: the shard drains
         //    every remaining job, then sees disconnection and exits.
         for shard in &self.shared.shards {
-            drop(shard.sender.lock().unwrap().take());
+            drop(lock_clean(&shard.sender).take());
         }
-        for h in self.executors.drain(..) {
+        let handles = std::mem::take(&mut *lock_clean(&self.executors));
+        for h in handles.into_iter().flatten() {
             let _ = h.join();
         }
     }
@@ -339,10 +468,106 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.executors.is_empty() {
+        if self.acceptor.is_some() || !lock_clean(&self.executors).is_empty() {
             self.shutdown_inner();
         }
     }
+}
+
+/// Starts (or restarts) the executor thread for one shard, resuming the
+/// shard's shared queue receiver.
+fn spawn_executor(shared: &Arc<Shared>, shard_ix: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || executor_loop(&shared, shard_ix))
+}
+
+/// Salvages the jobs a dead executor had swept but not answered:
+/// first-time casualties go back on the shard's queue (marked
+/// `requeued`); a job that already crashed an executor once is answered
+/// with a typed `Internal` error instead — exactly-once re-queueing, no
+/// poison-job loop. Called only while the shard has no live executor.
+fn recover_shard(shared: &Arc<Shared>, shard_ix: usize) {
+    let shard = &shared.shards[shard_ix];
+    let orphans: Vec<Job> = lock_clean(&shard.processing).drain(..).collect();
+    for mut job in orphans {
+        if job.requeued {
+            finish_job(shared, shard_ix);
+            let _ = job.reply.send(WriteItem::Reply(
+                job.request_id,
+                error_response(
+                    ErrorCode::Internal,
+                    "executor crashed twice while running this job",
+                ),
+            ));
+            continue;
+        }
+        job.requeued = true;
+        let sent = {
+            let sender = lock_clean(&shard.sender);
+            match sender.as_ref() {
+                Some(tx) => tx.send(job).is_ok(),
+                None => false,
+            }
+        };
+        if !sent {
+            // Shutdown already took the sender; the writer channels are
+            // about to drain, so account the job as finished.
+            finish_job(shared, shard_ix);
+        }
+    }
+}
+
+/// Watches the executor threads and respawns any that die, re-queueing
+/// the admitted jobs the casualty was holding. Polls at
+/// `poll_interval`; exits when shutdown clears `accepting` (after which
+/// `shutdown_inner` does one final recovery pass itself).
+fn supervisor_loop(shared: &Arc<Shared>, executors: &Arc<Mutex<Vec<Option<JoinHandle<()>>>>>) {
+    while shared.accepting.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.cfg.poll_interval);
+        let nshards = shared.shards.len();
+        for i in 0..nshards {
+            let finished = {
+                let handles = lock_clean(executors);
+                handles[i].as_ref().is_some_and(JoinHandle::is_finished)
+            };
+            if !finished {
+                continue;
+            }
+            // is_finished guarantees this join cannot block.
+            let handle = lock_clean(executors)[i].take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+            if !shared.accepting.load(Ordering::SeqCst) {
+                // Shutdown owns recovery from here.
+                return;
+            }
+            shared
+                .counters
+                .shards_respawned
+                .fetch_add(1, Ordering::Relaxed);
+            recover_shard(shared, i);
+            lock_clean(executors)[i] = Some(spawn_executor(shared, i));
+        }
+    }
+}
+
+/// Accept errors that name a moment, not a broken listener: the peer
+/// aborted its half-open connection, a signal landed, or a nonblocking
+/// accept had nothing ready. Retrying after `poll_interval` is correct.
+/// Anything else (EMFILE, EBADF, ...) is counted as fatal — the
+/// acceptor still only backs off and retries (a file-descriptor squeeze
+/// can pass), but the two classes are tallied separately in `Status` so
+/// an operator can tell bad weather from breakage.
+fn accept_error_is_transient(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::WouldBlock
+            | ErrorKind::TimedOut
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::Interrupted
+    )
 }
 
 fn acceptor_loop(
@@ -350,14 +575,29 @@ fn acceptor_loop(
     shared: &Arc<Shared>,
     connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
+    // The accept-time chaos schedule: one reset draw per accepted
+    // connection, plus a derived per-connection fault seed. Seeded off
+    // the master chaos seed so the whole acceptor replays exactly.
+    let mut chaos_rng = shared
+        .cfg
+        .chaos
+        .as_ref()
+        .map(|c| StdRng::seed_from_u64(c.seed ^ 0xACCE_9705));
+    let mut accepted: u64 = 0;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
-            Err(_) => {
-                // Persistent accept errors (EMFILE, ...) must not busy-spin.
+            Err(e) => {
+                // Either class must back off, never busy-spin.
                 if !shared.accepting.load(Ordering::SeqCst) {
                     return;
                 }
+                let counter = if accept_error_is_transient(e.kind()) {
+                    &shared.counters.accept_transient_errors
+                } else {
+                    &shared.counters.accept_fatal_errors
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(shared.cfg.poll_interval);
                 continue;
             }
@@ -366,8 +606,35 @@ fn acceptor_loop(
             // The wake-up poke (or a straggler): refuse politely.
             return;
         }
+        accepted += 1;
+        let transport: Box<dyn Transport> = match (&shared.cfg.chaos, &mut chaos_rng) {
+            (Some(chaos), Some(rng)) => {
+                if chaos.accept_reset_rate > 0.0 && rng.gen_bool(chaos.accept_reset_rate) {
+                    // Injected accept-time reset: the client sees the
+                    // connection die before its first byte is served.
+                    shared
+                        .counters
+                        .accept_faults
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    continue;
+                }
+                if chaos.fault_rate > 0.0 {
+                    let seed = chaos
+                        .seed
+                        .wrapping_add(accepted.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    Box::new(FaultStream::new(
+                        stream,
+                        FaultConfig::new(seed, chaos.fault_rate),
+                    ))
+                } else {
+                    Box::new(stream)
+                }
+            }
+            _ => Box::new(stream),
+        };
         let shared = Arc::clone(shared);
-        let handle = std::thread::spawn(move || connection_loop(&shared, stream));
+        let handle = std::thread::spawn(move || connection_loop(&shared, transport));
         let mut conns = connections.lock().unwrap();
         // Reap threads whose connections already ended so a long-running
         // server does not accumulate one handle per connection ever made.
@@ -384,7 +651,7 @@ fn acceptor_loop(
 /// [`Server::shutdown`], which joins it) forever. The caller is
 /// responsible for the stream's read timeout being `poll_interval`.
 fn read_exact_polled(
-    stream: &mut TcpStream,
+    stream: &mut dyn Transport,
     buf: &mut [u8],
     shared: &Shared,
 ) -> std::io::Result<()> {
@@ -443,7 +710,7 @@ enum TimeoutMode {
 /// mid-frame the tight [`ServerConfig::poll_interval`] so the shutdown
 /// drain grace keeps its bound.
 struct FrameReader {
-    stream: TcpStream,
+    stream: Box<dyn Transport>,
     buf: Vec<u8>,
     start: usize,
     end: usize,
@@ -451,7 +718,7 @@ struct FrameReader {
 }
 
 impl FrameReader {
-    fn new(stream: TcpStream) -> FrameReader {
+    fn new(stream: Box<dyn Transport>) -> FrameReader {
         FrameReader {
             stream,
             buf: vec![0u8; READ_CHUNK],
@@ -579,7 +846,7 @@ impl FrameReader {
         self.start += buffered;
         if buffered < len {
             self.set_mode(shared, TimeoutMode::Poll);
-            read_exact_polled(&mut self.stream, &mut payload[buffered..], shared)?;
+            read_exact_polled(&mut *self.stream, &mut payload[buffered..], shared)?;
         }
         Ok(())
     }
@@ -615,7 +882,7 @@ fn append_write_item(buf: &mut Vec<u8>, item: WriteItem) {
 /// when every sender (the reader plus each in-flight job) is gone, or
 /// on a write error (peer hung up — in-flight replies are discarded by
 /// the channel senders failing silently).
-fn writer_loop(mut stream: TcpStream, rx: &Receiver<WriteItem>) {
+fn writer_loop(mut stream: Box<dyn Transport>, rx: &Receiver<WriteItem>) {
     // Sized up front so batch-size jitter cannot trigger mid-run
     // growth: a window of small replies fits the initial reservation
     // and the pool's growth counter stays flat in steady state.
@@ -643,9 +910,9 @@ fn writer_loop(mut stream: TcpStream, rx: &Receiver<WriteItem>) {
     }
 }
 
-fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+fn connection_loop(shared: &Arc<Shared>, stream: Box<dyn Transport>) {
     let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
+    let Ok(write_half) = stream.try_clone_box() else {
         return;
     };
     let (reply_tx, reply_rx) = mpsc::channel::<WriteItem>();
@@ -658,7 +925,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = writer.join();
 }
 
-fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, reply: &Sender<WriteItem>) {
+fn reader_loop(shared: &Arc<Shared>, stream: Box<dyn Transport>, reply: &Sender<WriteItem>) {
     let mut rd = FrameReader::new(stream);
     // Reused across every frame on this connection: steady state reads
     // allocate no frame buffers (see `crate::pool`).
@@ -712,6 +979,14 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, reply: &Sender<WriteItem
             return;
         }
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if id & RETRY_ID_BIT != 0 {
+            // The id is echoed verbatim either way; the flag only
+            // makes client-side retry pressure visible in Status.
+            shared
+                .counters
+                .client_retries
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let request = match Request::decode_payload(kind, &payload) {
             Ok(r) => r,
             Err(e) => {
@@ -808,6 +1083,12 @@ fn handle_inline(shared: &Arc<Shared>, request: Request) -> Response {
                 overloaded: c.overloaded.load(Ordering::Relaxed),
                 deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
                 idle_wakeups: c.idle_wakeups.load(Ordering::Relaxed),
+                panics_caught: c.panics_caught.load(Ordering::Relaxed),
+                shards_respawned: c.shards_respawned.load(Ordering::Relaxed),
+                accept_faults: c.accept_faults.load(Ordering::Relaxed),
+                accept_transient_errors: c.accept_transient_errors.load(Ordering::Relaxed),
+                accept_fatal_errors: c.accept_fatal_errors.load(Ordering::Relaxed),
+                client_retries: c.client_retries.load(Ordering::Relaxed),
                 shards: shared
                     .shards
                     .iter()
@@ -884,6 +1165,7 @@ fn enqueue_solve(
         deadline_ms,
         request_id,
         reply: reply.clone(),
+        requeued: false,
     };
     shard.depth.fetch_add(1, Ordering::SeqCst);
     let sent = {
@@ -904,66 +1186,105 @@ fn enqueue_solve(
     None
 }
 
-fn executor_loop(shared: &Arc<Shared>, shard_ix: usize, rx: &Receiver<Job>) {
+fn executor_loop(shared: &Arc<Shared>, shard_ix: usize) {
+    let shard = &shared.shards[shard_ix];
     loop {
-        // Block for the first job; disconnection (shutdown dropping the
-        // shard's sender) wakes the recv immediately, so no timeout
-        // poll — an idle shard sleeps.
-        let Ok(first) = rx.recv() else {
-            return;
-        };
-        let mut jobs = vec![first];
-        // Coalesce: wait out the window (if any) for concurrent
-        // clients, then sweep whatever else is already queued.
-        let window_end = Instant::now() + shared.cfg.coalesce_window;
-        if !shared.cfg.coalesce_window.is_zero() {
+        let mut jobs = {
+            // Hold the shared receiver for the whole sweep: exactly one
+            // executor per shard is alive, so the lock is uncontended;
+            // a respawned successor resumes the same queue through it.
+            let rx = lock_clean(&shard.receiver);
+            // Block for the first job; disconnection (shutdown dropping
+            // the shard's sender) wakes the recv immediately, so no
+            // timeout poll — an idle shard sleeps.
+            let Ok(first) = rx.recv() else {
+                return;
+            };
+            let mut jobs = vec![first];
+            // Coalesce: wait out the window (if any) for concurrent
+            // clients, then sweep whatever else is already queued.
+            let window_end = Instant::now() + shared.cfg.coalesce_window;
+            if !shared.cfg.coalesce_window.is_zero() {
+                while jobs.len() < MAX_COALESCE_JOBS {
+                    let now = Instant::now();
+                    let Some(left) = window_end
+                        .checked_duration_since(now)
+                        .filter(|d| !d.is_zero())
+                    else {
+                        break;
+                    };
+                    match rx.recv_timeout(left) {
+                        Ok(job) => jobs.push(job),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }
+            // One scheduling quantum for the reader that woke us: on a
+            // loaded single-CPU box the wake lands mid-window — the
+            // reader has parsed one frame of a pipelined burst and is
+            // still draining the rest. Yielding lets it finish
+            // enqueueing the burst so the sweep below coalesces the
+            // whole window instead of fragmenting it into single-job
+            // batches.
+            std::thread::yield_now();
             while jobs.len() < MAX_COALESCE_JOBS {
-                let now = Instant::now();
-                let Some(left) = window_end
-                    .checked_duration_since(now)
-                    .filter(|d| !d.is_zero())
-                else {
-                    break;
-                };
-                match rx.recv_timeout(left) {
+                match rx.try_recv() {
                     Ok(job) => jobs.push(job),
-                    Err(RecvTimeoutError::Timeout) => break,
-                    Err(RecvTimeoutError::Disconnected) => break,
+                    Err(_) => break,
+                }
+            }
+            jobs
+        };
+        // Park the sweep where the supervisor can see it: if this
+        // thread dies from here on, `processing` is exactly the set of
+        // admitted jobs that would otherwise be dropped, and
+        // `recover_shard` re-queues them.
+        lock_clean(&shard.processing).append(&mut jobs);
+        if let Some(chaos) = &shared.cfg.chaos {
+            if chaos.crash_every > 0 {
+                let n = shared
+                    .counters
+                    .chaos_batch_seq
+                    .fetch_add(1, Ordering::Relaxed)
+                    + 1;
+                if n.is_multiple_of(chaos.crash_every) {
+                    // Deliberately OUTSIDE any catch_unwind: this kills
+                    // the executor thread to exercise supervision.
+                    panic!("injected executor crash (chaos.crash_every)");
                 }
             }
         }
-        // One scheduling quantum for the reader that woke us: on a
-        // loaded single-CPU box the wake lands mid-window — the reader
-        // has parsed one frame of a pipelined burst and is still
-        // draining the rest. Yielding lets it finish enqueueing the
-        // burst so the sweep below coalesces the whole window instead
-        // of fragmenting it into single-job batches.
-        std::thread::yield_now();
-        while jobs.len() < MAX_COALESCE_JOBS {
-            match rx.try_recv() {
-                Ok(job) => jobs.push(job),
-                Err(_) => break,
-            }
-        }
-        execute_jobs(shared, shard_ix, jobs);
+        execute_processing(shared, shard_ix);
     }
 }
 
-fn execute_jobs(shared: &Arc<Shared>, shard_ix: usize, jobs: Vec<Job>) {
-    // Group by template id, preserving arrival order within a group.
-    // Different templates can share a shard (the hash is many-to-one),
-    // but each group still runs as one batch.
-    let mut order: Vec<u64> = Vec::new();
-    let mut groups: HashMap<u64, Vec<Job>> = HashMap::new();
-    for job in jobs {
-        let group = groups.entry(job.template_id).or_default();
-        if group.is_empty() {
-            order.push(job.template_id);
-        }
-        group.push(job);
-    }
-    for id in order {
-        let group = groups.remove(&id).expect("group was just inserted");
+/// Drains the shard's `processing` set group by group: each pass pulls
+/// every parked job sharing the oldest job's template (preserving
+/// arrival order — the hash is many-to-one, so different templates can
+/// share a shard) and runs the group as one batch. Jobs leave
+/// `processing` only at the moment their group executes, so a crash
+/// between groups strands nothing.
+fn execute_processing(shared: &Arc<Shared>, shard_ix: usize) {
+    let shard = &shared.shards[shard_ix];
+    loop {
+        let group: Vec<Job> = {
+            let mut parked = lock_clean(&shard.processing);
+            let Some(template_id) = parked.first().map(|j| j.template_id) else {
+                return;
+            };
+            let mut group = Vec::new();
+            let mut rest = Vec::with_capacity(parked.len());
+            for job in parked.drain(..) {
+                if job.template_id == template_id {
+                    group.push(job);
+                } else {
+                    rest.push(job);
+                }
+            }
+            *parked = rest;
+            group
+        };
         execute_group(shared, shard_ix, group);
     }
 }
@@ -1011,8 +1332,46 @@ fn execute_group(shared: &Arc<Shared>, shard_ix: usize, group: Vec<Job>) {
         .iter()
         .flat_map(|j| j.instances.iter().cloned())
         .collect();
-    let session = Session::from_template(template);
-    let solutions = session.par_solve_batch(&merged, shared.cfg.batch_threads);
+    // Panic containment: a panicking solve must cost its own batch a
+    // typed `Internal` error, not the whole shard. The closure only
+    // touches the session and the chaos counter, both dropped or
+    // atomically consistent on unwind, so AssertUnwindSafe is honest.
+    let solve = || {
+        if let Some(chaos) = &shared.cfg.chaos {
+            if chaos.panic_every > 0 {
+                let n = shared
+                    .counters
+                    .chaos_solve_seq
+                    .fetch_add(1, Ordering::Relaxed)
+                    + 1;
+                if n.is_multiple_of(chaos.panic_every) {
+                    panic!("injected solve panic (chaos.panic_every)");
+                }
+            }
+        }
+        let session = Session::from_template(template);
+        session.par_solve_batch(&merged, shared.cfg.batch_threads)
+    };
+    let solutions = match catch_unwind(AssertUnwindSafe(solve)) {
+        Ok(solutions) => solutions,
+        Err(_) => {
+            shared
+                .counters
+                .panics_caught
+                .fetch_add(1, Ordering::Relaxed);
+            for job in live {
+                finish_job(shared, shard_ix);
+                let _ = job.reply.send(WriteItem::Reply(
+                    job.request_id,
+                    error_response(
+                        ErrorCode::Internal,
+                        "solve panicked; the request was not completed",
+                    ),
+                ));
+            }
+            return;
+        }
+    };
 
     let c = &shared.counters;
     c.batches.fetch_add(1, Ordering::Relaxed);
@@ -1043,5 +1402,41 @@ fn execute_group(shared: &Arc<Shared>, shard_ix: usize, group: Vec<Job>) {
         };
         finish_job(shared, shard_ix);
         let _ = job.reply.send(WriteItem::Reply(job.request_id, resp));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_error_classes() {
+        for kind in [
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionReset,
+            ErrorKind::Interrupted,
+        ] {
+            assert!(accept_error_is_transient(kind), "{kind:?} is weather");
+        }
+        for kind in [
+            ErrorKind::PermissionDenied,
+            ErrorKind::InvalidInput,
+            ErrorKind::Other,
+        ] {
+            assert!(!accept_error_is_transient(kind), "{kind:?} is breakage");
+        }
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for shards in 1..8 {
+            for id in 0..64u64 {
+                let ix = shard_index(id, shards);
+                assert!(ix < shards);
+                assert_eq!(ix, shard_index(id, shards), "pure function");
+            }
+        }
     }
 }

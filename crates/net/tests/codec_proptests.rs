@@ -216,6 +216,8 @@ proptest! {
         (evictions, requests, solves, batches, coalesced) in
             (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (overloaded, expired, idle) in (any::<u64>(), any::<u64>(), any::<u64>()),
+        (panics, respawns, afaults) in (any::<u64>(), any::<u64>(), any::<u64>()),
+        (atransient, afatal, retries) in (any::<u64>(), any::<u64>(), any::<u64>()),
         shards in proptest::collection::vec(
             (any::<u32>(), any::<u64>(), any::<u32>()), 0..6),
     ) {
@@ -234,6 +236,12 @@ proptest! {
             overloaded,
             deadline_expired: expired,
             idle_wakeups: idle,
+            panics_caught: panics,
+            shards_respawned: respawns,
+            accept_faults: afaults,
+            accept_transient_errors: atransient,
+            accept_fatal_errors: afatal,
+            client_retries: retries,
             shards: shards
                 .into_iter()
                 .map(|(queue_depth, batches, max_coalesced)| ShardStatus {

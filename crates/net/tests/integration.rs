@@ -665,3 +665,412 @@ fn idle_connection_does_not_inflate_wakeup_counters() {
     );
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Robustness: timeouts, truncation, chaos, self-healing, resilience.
+
+use cqcs_net::client::ClientConfig;
+use cqcs_net::resilient::{ResilientClient, RetryPolicy};
+use cqcs_net::server::ChaosConfig;
+use cqcs_net::transport::FaultConfig;
+use std::net::TcpListener;
+
+/// A retry policy tuned for tests: patient enough to outlast injected
+/// stalls, bounded enough that a genuinely dead server fails fast.
+fn test_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 64,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        request_deadline: Duration::from_secs(30),
+        jitter_seed: 0x7E57,
+    }
+}
+
+#[test]
+fn half_frame_then_silence_is_a_typed_timeout() {
+    // Regression for the mid-frame hangup bug: a server that answers
+    // half a response header and then stalls used to pin `recv` in a
+    // blocking read forever. With a read timeout configured the client
+    // must surface a typed, retryable `ClientError::Timeout`.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut discard = [0u8; 256];
+        let _ = s.read(&mut discard); // swallow the request
+        s.write_all(b"CQ\x02\x05").unwrap(); // 4 of 16 header bytes
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1500)); // then silence
+    });
+    let mut client = Client::connect_with(
+        addr,
+        &ClientConfig {
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    match client.status() {
+        Err(ClientError::Timeout) => {}
+        other => panic!("expected ClientError::Timeout, got {other:?}"),
+    }
+    assert!(ClientError::Timeout.is_retryable());
+    stall.join().unwrap();
+}
+
+#[test]
+fn half_frame_then_close_is_a_typed_error() {
+    // The hangup variant of the same bug: half a frame and then EOF
+    // must decode to a typed, retryable error — never a hang, never a
+    // panic, never a silent `Ok`.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hangup = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut discard = [0u8; 256];
+        let _ = s.read(&mut discard);
+        s.write_all(b"CQ\x02\x05\x01\x00\x00").unwrap(); // 7 of 16 bytes
+        s.flush().unwrap();
+        // drop: close mid-frame
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.status().expect_err("half frame then close");
+    assert!(
+        matches!(err, ClientError::Io(ref e) if e.kind() == std::io::ErrorKind::UnexpectedEof),
+        "expected UnexpectedEof, got {err:?}"
+    );
+    assert!(err.is_retryable());
+    hangup.join().unwrap();
+}
+
+#[test]
+fn truncated_requests_at_every_cut_point_never_kill_the_server() {
+    // Server-end truncation sweep: a client that dies after sending
+    // every possible prefix of a valid solve frame. The server must
+    // survive each one and keep answering well-behaved clients.
+    let server = server_with(ServerConfig {
+        shutdown_drain_grace: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let id = client
+        .register_template(&generators::complete_graph(3))
+        .unwrap();
+    let frame = Request::Solve {
+        template_id: id,
+        deadline_ms: 0,
+        instance: generators::undirected_cycle(4),
+    }
+    .encode(7)
+    .unwrap();
+    for cut in 0..frame.len() {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&frame[..cut]).unwrap();
+        s.flush().unwrap();
+        drop(s); // hang up mid-frame
+    }
+    // The full frame still works, and the server still answers.
+    assert!(client
+        .solve(id, &generators::undirected_cycle(4))
+        .unwrap()
+        .homomorphism
+        .is_some());
+    server.shutdown();
+}
+
+#[test]
+fn truncated_responses_at_every_cut_point_are_typed_client_errors() {
+    // Client-end truncation sweep: a server that hangs up after every
+    // possible prefix of a valid response frame. The client must return
+    // a typed error at every cut point — no panic, no hang, no bogus
+    // success.
+    let status_frame = {
+        let server = default_server();
+        let mut probe = TcpStream::connect(server.local_addr()).unwrap();
+        probe
+            .write_all(&Request::Status.encode(1).unwrap())
+            .unwrap();
+        let mut header = [0u8; HEADER_LEN];
+        probe.read_exact(&mut header).unwrap();
+        let (_, _, len) = cqcs_net::codec::parse_header(&header).unwrap();
+        let mut payload = vec![0u8; len as usize];
+        probe.read_exact(&mut payload).unwrap();
+        server.shutdown();
+        let mut f = header.to_vec();
+        f.extend_from_slice(&payload);
+        f
+    };
+    for cut in 0..status_frame.len() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let prefix = status_frame[..cut].to_vec();
+        let trunc = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut discard = [0u8; 256];
+            let _ = s.read(&mut discard);
+            s.write_all(&prefix).unwrap();
+            s.flush().unwrap();
+        });
+        let mut client = Client::connect(addr).unwrap();
+        let err = client
+            .status()
+            .expect_err("a truncated response must not decode");
+        assert!(
+            err.is_retryable(),
+            "cut {cut}: truncation must be retryable, got {err:?}"
+        );
+        trunc.join().unwrap();
+    }
+}
+
+#[test]
+fn injected_panic_is_contained_to_a_typed_internal_error() {
+    // panic_every = 2 on a single shard: solve #1 succeeds, solve #2
+    // panics inside catch_unwind and is answered `Internal`, solve #3
+    // succeeds **on the same shard** — the panic cost one request its
+    // answer, not the executor its life.
+    let server = server_with(ServerConfig {
+        executor_shards: 1,
+        chaos: Some(ChaosConfig {
+            seed: 1,
+            fault_rate: 0.0,
+            accept_reset_rate: 0.0,
+            panic_every: 2,
+            crash_every: 0,
+        }),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id = client
+        .register_template(&generators::complete_graph(3))
+        .unwrap();
+    let c4 = generators::undirected_cycle(4);
+    assert!(client.solve(id, &c4).unwrap().homomorphism.is_some());
+    match client.solve(id, &c4) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Internal),
+        other => panic!("expected Internal from the injected panic, got {other:?}"),
+    }
+    assert!(client.solve(id, &c4).unwrap().homomorphism.is_some());
+    let status = client.status().unwrap();
+    assert_eq!(status.panics_caught, 1, "{status:?}");
+    assert_eq!(status.shards_respawned, 0, "the shard must not die");
+    server.shutdown();
+}
+
+#[test]
+fn crashed_executor_is_respawned_and_requeued_jobs_complete() {
+    // crash_every = 2 kills the executor thread itself on every second
+    // batch — *outside* the panic containment. The supervisor must
+    // respawn the shard and re-queue the admitted jobs, so every solve
+    // still completes with the right answer.
+    let server = server_with(ServerConfig {
+        executor_shards: 1,
+        poll_interval: Duration::from_millis(10),
+        chaos: Some(ChaosConfig {
+            seed: 2,
+            fault_rate: 0.0,
+            accept_reset_rate: 0.0,
+            panic_every: 0,
+            crash_every: 2,
+        }),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let k3 = generators::complete_graph(3);
+    let id = client.register_template(&k3).unwrap();
+    let direct = Session::compile(&k3);
+    for a in instances().into_iter().take(6) {
+        let sol = client.solve(id, &a).unwrap();
+        assert!(
+            solutions_identical(&sol, &direct.solve(&a)),
+            "a requeued job changed its answer"
+        );
+    }
+    let status = client.status().unwrap();
+    assert!(
+        status.shards_respawned >= 2,
+        "crash_every=2 over 6 solves must respawn: {status:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn resilient_client_survives_disconnect_heavy_chaos() {
+    // Server-side fault injection at a rate where stalls and mid-frame
+    // disconnects are certain across the run. The resilient client must
+    // finish every solve with bit-identical answers, reconnecting and
+    // replaying its template registrations as needed.
+    let server = server_with(ServerConfig {
+        chaos: Some(ChaosConfig {
+            seed: 0xC0A5,
+            fault_rate: 0.25,
+            accept_reset_rate: 0.0,
+            panic_every: 0,
+            crash_every: 0,
+        }),
+        ..ServerConfig::default()
+    });
+    let k3 = generators::complete_graph(3);
+    let direct = Session::compile(&k3);
+    let mut client = ResilientClient::connect(
+        server.local_addr(),
+        ClientConfig {
+            // Without a read timeout, a connection whose server-side
+            // writer died to an injected fault would pin the client
+            // until the server's idle poll happens to sever it.
+            read_timeout: Some(Duration::from_millis(250)),
+            write_timeout: Some(Duration::from_millis(250)),
+            fault: None,
+        },
+        test_retry(),
+    )
+    .unwrap();
+    let handle = client.register_template(&k3).unwrap();
+    for a in instances() {
+        let sol = client.solve(handle, &a).unwrap();
+        assert!(
+            solutions_identical(&sol, &direct.solve(&a)),
+            "a retried solve changed its answer"
+        );
+    }
+    assert!(
+        client.retries() + client.reconnects() >= 1,
+        "a 25% fault rate injected nothing? retries={} reconnects={}",
+        client.retries(),
+        client.reconnects()
+    );
+    assert!(cqcs_net::faults_injected() > 0);
+    server.shutdown();
+}
+
+#[test]
+fn resilient_pipelined_chaos_loses_and_duplicates_nothing() {
+    // Faults on *both* ends of the wire, pipelined at depth 8: every
+    // logical request must settle exactly once, in submission order,
+    // bit-identical to the direct session — the exactly-once invariant
+    // experiment E20 gates at scale.
+    let server = server_with(ServerConfig {
+        chaos: Some(ChaosConfig {
+            seed: 0xE2E,
+            fault_rate: 0.10,
+            accept_reset_rate: 0.0,
+            panic_every: 0,
+            crash_every: 0,
+        }),
+        ..ServerConfig::default()
+    });
+    let k3 = generators::complete_graph(3);
+    let direct = Session::compile(&k3);
+    let mut client = ResilientClient::connect(
+        server.local_addr(),
+        ClientConfig {
+            read_timeout: Some(Duration::from_millis(500)),
+            write_timeout: Some(Duration::from_millis(500)),
+            fault: Some(FaultConfig::new(0x51DE, 0.05)),
+        },
+        test_retry(),
+    )
+    .unwrap();
+    let handle = client.register_template(&k3).unwrap();
+    let batch = instances();
+    let sols = client.solve_pipelined(handle, &batch, 8).unwrap();
+    assert_eq!(sols.len(), batch.len(), "no request lost, none invented");
+    for (i, (w, d)) in sols
+        .iter()
+        .zip(batch.iter().map(|a| direct.solve(a)))
+        .enumerate()
+    {
+        assert!(
+            solutions_identical(w, &d),
+            "instance {i}: pipelined chaos solution diverged"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn evicted_template_is_transparently_re_registered() {
+    // A registry too small for both templates: registering the second
+    // evicts the first server-side. The resilient client treats the
+    // resulting UnknownTemplate as retryable, re-registers from its
+    // remembered copy, and the solve succeeds without caller-visible
+    // failure.
+    let server = server_with(ServerConfig {
+        registry_capacity: 1,
+        ..ServerConfig::default()
+    });
+    let mut client =
+        ResilientClient::connect(server.local_addr(), ClientConfig::default(), test_retry())
+            .unwrap();
+    let h_k3 = client
+        .register_template(&generators::complete_graph(3))
+        .unwrap();
+    let _h_k4 = client
+        .register_template(&generators::complete_graph(4))
+        .unwrap();
+    // K3 was evicted; this solve must re-register it behind the scenes.
+    let sol = client.solve(h_k3, &generators::directed_path(2)).unwrap();
+    assert!(sol.homomorphism.is_some());
+    assert!(client.retries() >= 1, "the eviction must have cost a retry");
+    server.shutdown();
+}
+
+#[test]
+fn accept_resets_are_counted_and_survivable() {
+    // Half of all accepted connections are reset before a byte is
+    // served. Plain clients see transport errors; the resilient client
+    // gets through; Status reports the injected accept faults.
+    let server = server_with(ServerConfig {
+        chaos: Some(ChaosConfig {
+            seed: 0xACCE,
+            fault_rate: 0.0,
+            accept_reset_rate: 0.5,
+            panic_every: 0,
+            crash_every: 0,
+        }),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    // Burn through enough accepts that the seeded schedule certainly
+    // contains both resets and passes.
+    for _ in 0..12 {
+        if let Ok(mut c) = Client::connect(addr) {
+            let _ = c.status(); // may fail: that is the point
+        }
+    }
+    let mut client = ResilientClient::connect(addr, ClientConfig::default(), test_retry()).unwrap();
+    let status = client.status().unwrap();
+    assert!(
+        status.accept_faults >= 1,
+        "a 50% reset rate over 12+ accepts injected nothing: {status:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn retry_flagged_requests_are_counted_by_the_server() {
+    let server = default_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id = client
+        .register_template(&generators::complete_graph(3))
+        .unwrap();
+    let c4 = generators::undirected_cycle(4);
+    // A retry-flagged roundtrip still solves correctly…
+    let resp = client
+        .roundtrip(
+            &Request::Solve {
+                template_id: id,
+                deadline_ms: 0,
+                instance: c4.clone(),
+            },
+            true,
+        )
+        .unwrap();
+    assert!(matches!(resp, Response::Solved(_)));
+    // …and the server's failure ledger saw the flag.
+    let status = client.status().unwrap();
+    assert_eq!(status.client_retries, 1, "{status:?}");
+    server.shutdown();
+}

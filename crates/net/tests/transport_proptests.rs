@@ -1,0 +1,90 @@
+//! Property suite for the fault-injection transport: the determinism
+//! contract behind every chaos run.
+//!
+//! Three families of properties:
+//!
+//! 1. **Replay**: the fault schedule is a pure function of
+//!    [`FaultConfig`] — two plans from the same config agree action by
+//!    action, and a shorter schedule is a strict prefix of a longer
+//!    one. This is what makes an E20 failure reproducible from its
+//!    printed seed alone.
+//! 2. **Rate endpoints**: rate 0 is the identity schedule (all `Pass`,
+//!    the production path), rate 1 never passes.
+//! 3. **Well-formedness**: every injected action respects its own
+//!    bounds — truncations are 1–4 bytes, latencies fit under
+//!    `max_latency`, stalls equal the configured stall.
+//!
+//! Run with `PROPTEST_CASES=5000` for the CI stress setting.
+
+use cqcs_net::transport::{FaultAction, FaultConfig, FaultPlan};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn config(seed: u64, rate: f64) -> FaultConfig {
+    FaultConfig::new(seed, rate)
+}
+
+proptest! {
+    #[test]
+    fn same_config_replays_the_same_schedule(
+        seed in any::<u64>(),
+        rate_pct in 0u32..=100,
+        n in 0usize..512,
+    ) {
+        let a = FaultPlan::schedule(config(seed, f64::from(rate_pct) / 100.0), n);
+        let b = FaultPlan::schedule(config(seed, f64::from(rate_pct) / 100.0), n);
+        prop_assert_eq!(a, b, "seed {} rate {} diverged", seed, rate_pct);
+    }
+
+    #[test]
+    fn shorter_schedules_are_prefixes_of_longer_ones(
+        seed in any::<u64>(),
+        rate_pct in 0u32..=100,
+        short in 0usize..256,
+        extra in 0usize..256,
+    ) {
+        let long = FaultPlan::schedule(config(seed, f64::from(rate_pct) / 100.0), short + extra);
+        let shorter = FaultPlan::schedule(config(seed, f64::from(rate_pct) / 100.0), short);
+        prop_assert_eq!(&long[..short], &shorter[..],
+            "schedule is not draw-by-draw deterministic");
+    }
+
+    #[test]
+    fn zero_rate_is_the_identity_transport(
+        seed in any::<u64>(),
+        n in 0usize..512,
+    ) {
+        for action in FaultPlan::schedule(config(seed, 0.0), n) {
+            prop_assert_eq!(action, FaultAction::Pass);
+        }
+    }
+
+    #[test]
+    fn full_rate_never_passes(seed in any::<u64>(), n in 1usize..512) {
+        for action in FaultPlan::schedule(config(seed, 1.0), n) {
+            prop_assert_ne!(action, FaultAction::Pass);
+        }
+    }
+
+    #[test]
+    fn every_action_respects_its_bounds(
+        seed in any::<u64>(),
+        rate_pct in 0u32..=100,
+        n in 0usize..512,
+    ) {
+        let cfg = config(seed, f64::from(rate_pct) / 100.0);
+        for action in FaultPlan::schedule(cfg.clone(), n) {
+            match action {
+                FaultAction::Pass | FaultAction::Disconnect => {}
+                FaultAction::Truncate(k) => {
+                    prop_assert!((1..=4).contains(&k), "truncate length {k}");
+                }
+                FaultAction::Latency(d) => {
+                    prop_assert!(d <= cfg.max_latency, "latency {d:?}");
+                    prop_assert!(d > Duration::ZERO, "zero latency is Pass in disguise");
+                }
+                FaultAction::Stall(d) => prop_assert_eq!(d, cfg.stall),
+            }
+        }
+    }
+}

@@ -12,7 +12,10 @@ regen="$(mktemp)"
 trap 'rm -f "$regen"' EXIT
 cargo run -q -p cqcs-bench --release --bin experiments > "$regen"
 
-mask() { sed -E 's/[0-9]+\.[0-9]+/<float>/g; s/cpus=[0-9]+/cpus=<n>/g' "$1"; }
+mask() {
+  sed -E 's/[0-9]+\.[0-9]+/<float>/g; s/cpus=[0-9]+/cpus=<n>/g;
+          s/(ok|err|retries|reconnects|panics|respawns|accept_faults|client_retries|stale_dropped|faults)=[0-9]+/\1=<n>/g' "$1"
+}
 if ! diff -u <(mask EXPERIMENTS.md) <(mask "$regen"); then
   echo >&2
   echo "EXPERIMENTS.md is stale. Regenerate it with:" >&2
@@ -149,6 +152,31 @@ if ! sed -n '/^## E19/,/^## /p' EXPERIMENTS.md \
   exit 1
 fi
 
+# E20 gates the failure model at every fault rate: `terminated` and
+# `identical` must be true and `lost`/`dup` zero on every row — every
+# request ends in a solution or a typed error, each is answered exactly
+# once, and chaos never changes an answer, only its latency. The
+# retry/respawn counters are scheduling-dependent and masked; the
+# invariants are not.
+if ! grep -q '^## E20' "$regen"; then
+  echo "E20 chaos table is missing." >&2
+  exit 1
+fi
+e20="$(sed -n '/^## E20/,/^## /p' "$regen")"
+if echo "$e20" | grep -qE '\| false \|'; then
+  echo "E20 reports a chaos invariant violation (hang, loss, duplication, or divergence):" >&2
+  echo "$e20" | grep -E '\| false \|' >&2
+  exit 1
+fi
+# Column 5 of every E20 data row is the lost+dup count (both tables are
+# laid out so it lands there); any nonzero cell is a broken delivery
+# contract.
+if echo "$e20" | awk -F'|' '/^\| [0-9]/ { gsub(/ /, "", $5); if ($5 + 0 != 0) bad = 1 } END { exit !bad }'; then
+  echo "E20 reports lost or duplicated requests under chaos:" >&2
+  echo "$e20" | grep -E '^\| [0-9]' >&2
+  exit 1
+fi
+
 # The timing columns are tracked across PRs in EXPERIMENTS_HISTORY.md
 # (append-style, hand-maintained): it must exist and mention the newest
 # experiment so a PR that adds tables cannot skip the history line.
@@ -161,4 +189,4 @@ if ! grep -q "$newest" EXPERIMENTS_HISTORY.md; then
   echo "EXPERIMENTS_HISTORY.md does not track the $newest timing columns." >&2
   exit 1
 fi
-echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, E16 compiled-engine, E17 delta-solve, E18 wire, and E19 pipelined parity hold; E17 speedups >= 3x; E19 depth-8 speedup >= 1.5x with zero steady-state buffer growths)."
+echo "EXPERIMENTS.md is fresh (E13 cross-validation agrees and validates; E14 session, E15 parallel, E16 compiled-engine, E17 delta-solve, E18 wire, and E19 pipelined parity hold; E17 speedups >= 3x; E19 depth-8 speedup >= 1.5x with zero steady-state buffer growths; E20 chaos invariants hold: no hangs, no losses, no duplicates, no divergence)."
